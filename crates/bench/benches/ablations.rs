@@ -1,0 +1,126 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! Each variant replays the full virtual-time experiment; Criterion measures
+//! replay cost while the scientific effect (final design quality) is printed
+//! once per variant, so `cargo bench` doubles as the ablation table:
+//!
+//! 1. Stage-6 adaptive selection on/off,
+//! 2. retry budget 1 / 5 / 10,
+//! 3. full-MSA vs single-sequence mode (the EvoPro trade-off),
+//! 4. speculation width 1 / 2 / 4 (utilization optimization).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use impress_core::adaptive::AdaptivePolicy;
+use impress_core::experiment::run_imrp;
+use impress_core::ProtocolConfig;
+use impress_proteins::datasets::named_pdz_domains;
+use impress_proteins::msa::MsaMode;
+
+fn final_quality(result: &impress_core::ExperimentResult) -> f64 {
+    let scores: Vec<f64> = result
+        .outcomes
+        .iter()
+        .filter_map(|o| o.final_report().map(|r| r.score()))
+        .collect();
+    impress_sim::Summary::of(&scores).median
+}
+
+fn run_variant(mutate: impl Fn(&mut ProtocolConfig)) -> impress_core::ExperimentResult {
+    let targets = named_pdz_domains(42);
+    let mut config = ProtocolConfig::imrp(3);
+    mutate(&mut config);
+    run_imrp(&targets, config, AdaptivePolicy::default())
+}
+
+fn bench_adaptivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/adaptive_selection");
+    group.sample_size(10);
+    for &adaptive in &[true, false] {
+        let result = run_variant(|cfg| cfg.adaptive = adaptive);
+        eprintln!(
+            "[ablation] adaptive={adaptive}: median final score {:.4}, {} evaluations, CPU {:.0}%",
+            final_quality(&result),
+            result.evaluations,
+            result.run.cpu_utilization * 100.0
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(adaptive),
+            &adaptive,
+            |b, &adaptive| {
+                b.iter(|| black_box(run_variant(|cfg| cfg.adaptive = adaptive)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_retry_budget(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/retry_budget");
+    group.sample_size(10);
+    for &budget in &[1u32, 5, 10] {
+        let result = run_variant(|cfg| cfg.retry_budget = budget);
+        eprintln!(
+            "[ablation] retry_budget={budget}: median final score {:.4}, {} evaluations, {} early terminations",
+            final_quality(&result),
+            result.evaluations,
+            result.outcomes.iter().filter(|o| o.terminated_early).count()
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(budget),
+            &budget,
+            |b, &budget| {
+                b.iter(|| black_box(run_variant(|cfg| cfg.retry_budget = budget)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_msa_mode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/msa_mode");
+    group.sample_size(10);
+    for mode in [MsaMode::Full, MsaMode::SingleSequence] {
+        let result = run_variant(|cfg| cfg.alphafold.msa_mode = mode);
+        eprintln!(
+            "[ablation] msa={mode:?}: median final score {:.4}, virtual makespan {:.1} h",
+            final_quality(&result),
+            result.run.makespan.as_hours_f64()
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mode", format!("{mode:?}")),
+            &mode,
+            |b, &mode| {
+                b.iter(|| black_box(run_variant(|cfg| cfg.alphafold.msa_mode = mode)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_speculation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/speculation_width");
+    group.sample_size(10);
+    for &width in &[1u32, 2, 4] {
+        let result = run_variant(|cfg| cfg.speculation = width);
+        eprintln!(
+            "[ablation] speculation={width}: CPU {:.0}%, GPU {:.0}%, {:.1} virtual h, {} evaluations",
+            result.run.cpu_utilization * 100.0,
+            result.run.gpu_slot_utilization * 100.0,
+            result.run.makespan.as_hours_f64(),
+            result.evaluations
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &width| {
+            b.iter(|| black_box(run_variant(|cfg| cfg.speculation = width)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_adaptivity,
+    bench_retry_budget,
+    bench_msa_mode,
+    bench_speculation
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Coordinator overhead benchmarks: pipeline round-trip cost with trivial
+//! tasks, scaling in concurrent pipeline count, and decision-engine cost.
+//!
+//! These isolate the middleware's own overhead from the workload — the
+//! pilot-runtime equivalent of a null-RPC benchmark.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use impress_pilot::backend::SimulatedBackend;
+use impress_pilot::{Completion, PilotConfig, ResourceRequest, TaskDescription};
+use impress_sim::SimDuration;
+use impress_workflow::{Coordinator, NoDecisions, PipelineLogic, Step};
+
+/// A pipeline of `stages` trivial single-task stages.
+struct NullPipeline {
+    stages: u32,
+}
+
+impl PipelineLogic<u32> for NullPipeline {
+    fn name(&self) -> String {
+        "null".into()
+    }
+    fn begin(&mut self) -> Step<u32> {
+        self.next()
+    }
+    fn stage_done(&mut self, _: Vec<Completion>) -> Step<u32> {
+        self.next()
+    }
+}
+
+impl NullPipeline {
+    fn next(&mut self) -> Step<u32> {
+        if self.stages == 0 {
+            return Step::Complete(0);
+        }
+        self.stages -= 1;
+        Step::run(
+            TaskDescription::new("null", ResourceRequest::cores(1), SimDuration::from_secs(1))
+                .with_work(|| 0u32),
+        )
+    }
+}
+
+fn backend() -> SimulatedBackend {
+    SimulatedBackend::new(PilotConfig {
+        bootstrap: SimDuration::from_secs(1),
+        exec_setup_per_task: SimDuration::ZERO,
+        ..PilotConfig::default()
+    })
+}
+
+fn bench_stage_round_trip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coordinator/stage_round_trips");
+    for &stages in &[10u32, 100, 1000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(stages),
+            &stages,
+            |b, &stages| {
+                b.iter(|| {
+                    let mut coord = Coordinator::new(backend(), NoDecisions);
+                    coord.add_pipeline(Box::new(NullPipeline { stages }));
+                    black_box(coord.run())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_concurrent_pipelines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coordinator/concurrent_pipelines");
+    for &n in &[4usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut coord = Coordinator::new(backend(), NoDecisions);
+                for _ in 0..n {
+                    coord.add_pipeline(Box::new(NullPipeline { stages: 8 }));
+                }
+                black_box(coord.run())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stage_round_trip, bench_concurrent_pipelines);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Scaling study (beyond the paper): the paper's future work promises "a
+//! scalable and generalized computational platform". This harness runs the
+//! expanded IM-RP cohort on 1, 2, 4 and 8 Amarel-shaped nodes and reports
+//! strong-scaling makespan and efficiency.
+//!
+//! Usage: `cargo run --release -p impress-bench --bin scaling [n_complexes]`
+//! (default 24).
+
+use impress_bench::harness::master_seed;
+use impress_core::adaptive::AdaptivePolicy;
+use impress_core::experiment::run_imrp_on;
+use impress_core::ProtocolConfig;
+use impress_pilot::PilotConfig;
+use impress_proteins::datasets::mined_pdz_complexes;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24);
+    let seed = master_seed();
+    let targets = mined_pdz_complexes(seed, n);
+    println!(
+        "strong scaling: {n} PDZ complexes, adaptive IM-RP, 1..8 Amarel nodes (seed {seed})\n"
+    );
+    println!(
+        "{:>6} {:>12} {:>10} {:>10} {:>12} {:>12}",
+        "nodes", "makespan(h)", "speedup", "efficiency", "CPU %", "GPU % (slot)"
+    );
+
+    let mut baseline_h = None;
+    let mut rows = Vec::new();
+    for nodes in [1u32, 2, 4, 8] {
+        let pilot = PilotConfig {
+            nodes,
+            ..PilotConfig::with_seed(seed)
+        };
+        let result = run_imrp_on(
+            &targets,
+            ProtocolConfig::imrp(seed),
+            AdaptivePolicy {
+                sub_budget: n / 3,
+                ..AdaptivePolicy::default()
+            },
+            pilot,
+        );
+        let h = result.run.makespan.as_hours_f64();
+        let base = *baseline_h.get_or_insert(h);
+        let speedup = base / h;
+        let efficiency = speedup / nodes as f64;
+        println!(
+            "{nodes:>6} {h:>12.2} {speedup:>10.2} {efficiency:>10.2} {:>11.1}% {:>11.1}%",
+            result.run.cpu_utilization * 100.0,
+            result.run.gpu_slot_utilization * 100.0
+        );
+        rows.push(serde_json::json!({
+            "nodes": nodes,
+            "makespan_hours": h,
+            "speedup": speedup,
+            "efficiency": efficiency,
+            "cpu": result.run.cpu_utilization,
+            "gpu_slot": result.run.gpu_slot_utilization,
+            "trajectories": result.trajectories,
+        }));
+    }
+    println!(
+        "\nEfficiency falls off once per-node concurrency (pipelines / nodes) \
+         drops below the ~5-lineage saturation point — the adaptive workload \
+         scales out as long as the cohort keeps all nodes fed."
+    );
+    std::fs::write(
+        "scaling.json",
+        serde_json::to_string_pretty(
+            &serde_json::json!({"seed": seed, "complexes": n, "rows": rows}),
+        )
+        .unwrap(),
+    )
+    .expect("write scaling.json");
+    eprintln!("wrote scaling.json");
+}

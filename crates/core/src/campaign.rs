@@ -1,0 +1,186 @@
+//! Campaign output: persist a finished experiment to a directory the way a
+//! real design campaign hands results to wet-lab collaborators — one FASTA
+//! and Cα-PDB per final design, a JSON result bundle, and a human-readable
+//! summary.
+
+use crate::experiment::ExperimentResult;
+use impress_proteins::datasets::DesignTarget;
+use impress_proteins::fasta::{write_fasta, FastaRecord};
+use impress_proteins::pdb::write_pdb;
+use impress_proteins::Structure;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Files written for one experiment arm.
+#[derive(Debug, Clone)]
+pub struct CampaignOutput {
+    /// The directory everything was written into.
+    pub dir: PathBuf,
+    /// Paths of the per-design FASTA files.
+    pub fasta_files: Vec<PathBuf>,
+    /// Paths of the per-design PDB files.
+    pub pdb_files: Vec<PathBuf>,
+    /// Path of the JSON result bundle.
+    pub results_json: PathBuf,
+    /// Path of the summary text file.
+    pub summary: PathBuf,
+}
+
+/// Write `result` into `dir` (created if missing). `targets` supplies the
+/// peptide chains for complex reconstruction.
+pub fn export_campaign(
+    dir: impl AsRef<Path>,
+    result: &ExperimentResult,
+    targets: &[DesignTarget],
+) -> io::Result<CampaignOutput> {
+    let dir = dir.as_ref().to_path_buf();
+    std::fs::create_dir_all(&dir)?;
+
+    let mut fasta_files = Vec::new();
+    let mut pdb_files = Vec::new();
+    for outcome in &result.outcomes {
+        let Some(target) = targets.iter().find(|t| t.name == outcome.target) else {
+            continue;
+        };
+        let complex = target
+            .start
+            .complex
+            .with_receptor_sequence(outcome.final_receptor.clone());
+        let stem = outcome.label.replace('/', "_");
+
+        let fasta = write_fasta(&[FastaRecord {
+            header: format!(
+                "{} final design ({}; {} iterations, {} evaluations)",
+                outcome.target,
+                result.label,
+                outcome.iterations.len(),
+                outcome.total_evaluations
+            ),
+            chains: vec![
+                complex.receptor.sequence.clone(),
+                complex.peptide.sequence.clone(),
+            ],
+        }]);
+        let fasta_path = dir.join(format!("{stem}.fasta"));
+        std::fs::write(&fasta_path, fasta)?;
+        fasta_files.push(fasta_path);
+
+        let structure = Structure::refined(
+            complex,
+            outcome.final_backbone_quality,
+            outcome.iterations.last().map(|r| r.iteration).unwrap_or(0),
+        );
+        let pdb_path = dir.join(format!("{stem}.pdb"));
+        std::fs::write(&pdb_path, write_pdb(&structure))?;
+        pdb_files.push(pdb_path);
+    }
+
+    let results_json = dir.join("results.json");
+    std::fs::write(
+        &results_json,
+        serde_json::to_string_pretty(result).expect("results serialize"),
+    )?;
+
+    let summary = dir.join("SUMMARY.txt");
+    let mut text = format!(
+        "{} campaign: {} lineages, {} trajectories, {} evaluations\n\
+         makespan {:.1} h | CPU {:.1}% | GPU {:.1}% (slot)\n\n",
+        result.label,
+        result.outcomes.len(),
+        result.trajectories,
+        result.evaluations,
+        result.run.makespan.as_hours_f64(),
+        result.run.cpu_utilization * 100.0,
+        result.run.gpu_slot_utilization * 100.0
+    );
+    for outcome in &result.outcomes {
+        text.push_str(&format!(
+            "{:<28} {}  ({} iterations{})\n",
+            outcome.label,
+            outcome
+                .final_report()
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "no accepted iteration".into()),
+            outcome.iterations.len(),
+            if outcome.terminated_early {
+                ", terminated early"
+            } else {
+                ""
+            }
+        ));
+    }
+    std::fs::write(&summary, text)?;
+
+    Ok(CampaignOutput {
+        dir,
+        fasta_files,
+        pdb_files,
+        results_json,
+        summary,
+    })
+}
+
+/// Load a previously exported result bundle.
+pub fn load_results(path: impl AsRef<Path>) -> io::Result<ExperimentResult> {
+    let text = std::fs::read_to_string(path)?;
+    serde_json::from_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptive::AdaptivePolicy;
+    use crate::experiment::run_cont_v_experiment;
+    use crate::ProtocolConfig;
+    use impress_proteins::datasets::named_pdz_domains;
+    use impress_proteins::pdb::parse_pdb;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("impress-campaign-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn export_writes_every_artifact_and_round_trips() {
+        let targets: Vec<_> = named_pdz_domains(3).into_iter().take(2).collect();
+        let result = run_cont_v_experiment(&targets, ProtocolConfig::cont_v(3));
+        let dir = tmpdir("export");
+        let out = export_campaign(&dir, &result, &targets).expect("export");
+        assert_eq!(out.fasta_files.len(), 2);
+        assert_eq!(out.pdb_files.len(), 2);
+        assert!(out.results_json.exists());
+        assert!(out.summary.exists());
+
+        // PDB parses back to the exported design.
+        let pdb_text = std::fs::read_to_string(&out.pdb_files[0]).unwrap();
+        let chains = parse_pdb(&pdb_text).expect("valid pdb");
+        assert_eq!(chains.len(), 2);
+        assert_eq!(&chains[0].sequence, &result.outcomes[0].final_receptor);
+
+        // JSON round trip.
+        let loaded = load_results(&out.results_json).expect("load");
+        assert_eq!(loaded.label, result.label);
+        assert_eq!(loaded.trajectories, result.trajectories);
+        assert_eq!(loaded.outcomes.len(), result.outcomes.len());
+
+        // Summary mentions every lineage.
+        let summary = std::fs::read_to_string(&out.summary).unwrap();
+        for o in &result.outcomes {
+            assert!(summary.contains(&o.label), "{summary}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = AdaptivePolicy::default();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = tmpdir("garbage");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "not json").unwrap();
+        assert!(load_results(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

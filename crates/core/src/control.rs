@@ -1,0 +1,214 @@
+//! CONT-V: the non-adaptive sequential control (§III-A).
+//!
+//! "We also prepared a control pipeline (CONT-V), which consists of all the
+//! IM-RP stages but lacks adaptive decision-making between cycles. … Ten
+//! sequences for each complex were generated with ProteinMPNN … One was
+//! chosen randomly to have its structure predicted with AlphaFold. The new
+//! structure was fed into ProteinMPNN for the next cycle. Performance was
+//! not compared between iterations, and trajectories were not pruned."
+//!
+//! CONT-V does not use the pilot's concurrency: it submits exactly one task
+//! at a time and waits for it — a vanilla sequential script. That is what
+//! produces Fig. 4's idle-resource profile.
+
+use crate::config::ProtocolConfig;
+use crate::protocol::{DesignOutcome, IterationRecord};
+use crate::stages::{
+    stage1_mpnn, stage2_3_select, stage4_inference, stage4_msa, stage5_6_assess, SelectOutput,
+};
+use crate::toolkit::TargetToolkit;
+use impress_pilot::{ExecutionBackend, Session, TaskDescription};
+use impress_proteins::msa::Msa;
+use impress_proteins::{Prediction, ScoredSequence};
+use impress_sim::SimRng;
+use std::sync::Arc;
+
+/// Run one task and wait for it — the sequential execution model.
+fn run_blocking<B: ExecutionBackend, T: 'static>(
+    session: &mut Session<B>,
+    desc: TaskDescription,
+) -> T {
+    let id = session.submit(desc);
+    loop {
+        let c = session.wait_next().expect("submitted task must complete");
+        if c.task == id {
+            return c.output::<T>();
+        }
+    }
+}
+
+/// Run the CONT-V protocol for `toolkits` over `session`, strictly
+/// sequentially. Returns one outcome per structure.
+pub fn run_cont_v<B: ExecutionBackend>(
+    session: &mut Session<B>,
+    toolkits: &[Arc<TargetToolkit>],
+    config: &ProtocolConfig,
+) -> Vec<DesignOutcome> {
+    assert!(
+        !config.adaptive,
+        "CONT-V is the non-adaptive control; use ProtocolConfig::cont_v"
+    );
+    let root_rng = SimRng::from_seed(config.seed).fork("cont-v");
+    toolkits
+        .iter()
+        .map(|tk| {
+            let rng = root_rng.fork(&tk.name);
+            run_lineage(session, tk, config, rng)
+        })
+        .collect()
+}
+
+fn run_lineage<B: ExecutionBackend>(
+    session: &mut Session<B>,
+    tk: &Arc<TargetToolkit>,
+    config: &ProtocolConfig,
+    rng: SimRng,
+) -> DesignOutcome {
+    let mut current = tk.start.clone();
+    let baseline_report = tk.baseline_report();
+    let mut records = Vec::new();
+    for cycle in 1..=config.cycles {
+        // Stage 1: generate.
+        let proposals: Vec<ScoredSequence> = run_blocking(
+            session,
+            stage1_mpnn(
+                tk,
+                current.clone(),
+                config.mpnn.clone(),
+                &config.cost,
+                rng.fork_idx("mpnn", cycle as u64),
+            ),
+        );
+        // Stages 2+3: random (unranked) choice, compiled to FASTA.
+        let selected: SelectOutput = run_blocking(
+            session,
+            stage2_3_select(
+                tk,
+                proposals,
+                false,
+                &config.cost,
+                rng.fork_idx("select", cycle as u64),
+            ),
+        );
+        let candidate = selected.ordered[0].sequence.clone();
+        // Stage 4: MSA then inference.
+        let msa: Msa = run_blocking(
+            session,
+            stage4_msa(
+                tk,
+                candidate.clone(),
+                config.alphafold.msa_mode,
+                &config.cost,
+                rng.fork_idx("msa", cycle as u64),
+            ),
+        );
+        let prediction: Prediction = run_blocking(
+            session,
+            stage4_inference(
+                tk,
+                candidate,
+                msa,
+                config.alphafold,
+                cycle,
+                &config.cost,
+                rng.fork_idx("fold", cycle as u64),
+            ),
+        );
+        // Stages 5+6: metrics gathered; no comparison, no pruning.
+        let prediction: Prediction =
+            run_blocking(session, stage5_6_assess(prediction, &config.cost));
+        let truth = tk
+            .landscape
+            .fitness(&prediction.structure.complex.receptor.sequence);
+        records.push(IterationRecord {
+            iteration: cycle,
+            report: prediction.report,
+            true_quality: truth.quality,
+            bind_quality: truth.bind_quality,
+            evaluations: 1,
+            accepted_rank: 0,
+        });
+        current = prediction.structure;
+    }
+    DesignOutcome {
+        target: tk.name.clone(),
+        label: format!("{}/cont-v", tk.name),
+        iterations: records,
+        final_receptor: current.complex.receptor.sequence.clone(),
+        final_backbone_quality: current.backbone_quality,
+        total_evaluations: config.cycles,
+        terminated_early: false,
+        baseline_report,
+        start_iteration: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impress_pilot::backend::SimulatedBackend;
+    use impress_pilot::PilotConfig;
+    use impress_proteins::datasets::named_pdz_domains;
+
+    fn toolkits(n: usize) -> Vec<Arc<TargetToolkit>> {
+        named_pdz_domains(42)
+            .iter()
+            .take(n)
+            .map(|t| TargetToolkit::for_target(t, 7))
+            .collect()
+    }
+
+    #[test]
+    fn cont_v_produces_four_iterations_per_structure() {
+        let config = ProtocolConfig::cont_v(1);
+        let mut session = Session::new(SimulatedBackend::new(PilotConfig::with_seed(1)));
+        let outcomes = run_cont_v(&mut session, &toolkits(2), &config);
+        assert_eq!(outcomes.len(), 2);
+        for o in &outcomes {
+            assert_eq!(o.iterations.len(), 4);
+            assert_eq!(o.total_evaluations, 4);
+            assert!(!o.terminated_early);
+        }
+    }
+
+    #[test]
+    fn cont_v_is_strictly_sequential() {
+        // With one task in flight at a time, CPU occupancy can never exceed
+        // the largest single-task request (6 MSA cores of 28 ≈ 21%).
+        let config = ProtocolConfig::cont_v(2);
+        let mut session = Session::new(SimulatedBackend::new(PilotConfig::with_seed(2)));
+        let _ = run_cont_v(&mut session, &toolkits(1), &config);
+        let r = session.utilization();
+        assert!(
+            r.cpu < 0.25,
+            "sequential execution must leave CPUs idle, got {}",
+            r.cpu
+        );
+        assert!(
+            r.gpu_hardware < 0.05,
+            "vanilla AF2 barely touches the GPUs, got {}",
+            r.gpu_hardware
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-adaptive control")]
+    fn adaptive_config_is_rejected() {
+        let config = ProtocolConfig::imrp(1);
+        let mut session = Session::new(SimulatedBackend::new(PilotConfig::with_seed(1)));
+        let _ = run_cont_v(&mut session, &toolkits(1), &config);
+    }
+
+    #[test]
+    fn cont_v_is_deterministic() {
+        let run = |seed: u64| {
+            let config = ProtocolConfig::cont_v(seed);
+            let mut session = Session::new(SimulatedBackend::new(PilotConfig::with_seed(seed)));
+            run_cont_v(&mut session, &toolkits(1), &config)
+        };
+        let a = run(9);
+        let b = run(9);
+        assert_eq!(a[0].final_receptor, b[0].final_receptor);
+        assert_eq!(a[0].iterations, b[0].iterations);
+    }
+}

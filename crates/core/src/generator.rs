@@ -1,0 +1,154 @@
+//! Pluggable sequence generation (Stage 1).
+//!
+//! "The IMPRESS framework allows any sequence generation method to be
+//! plugged into the design pipeline, enabling both LLMs and graph-based
+//! models to fully exploit the rich functional information available in
+//! protein structures" (§IV). This trait is that plug point: Stage 1 calls
+//! whatever [`SequenceGenerator`] the target's toolkit carries.
+//!
+//! Two implementations ship:
+//!
+//! * [`MpnnGenerator`] — the default, wrapping the ProteinMPNN surrogate
+//!   (backbone-conditioned, log-likelihood-scored).
+//! * [`RandomMutagenesis`] — EvoPro's alternative operator (§IV): blind
+//!   point mutations with no informative scores, leaving candidate
+//!   discrimination entirely to AlphaFold. Useful as a generation-quality
+//!   ablation.
+
+use impress_proteins::{MpnnConfig, ScoredSequence, Structure, SurrogateMpnn};
+use impress_sim::SimRng;
+
+/// A Stage-1 sequence generation method.
+pub trait SequenceGenerator: Send + Sync {
+    /// Method name (for reports).
+    fn name(&self) -> &str;
+
+    /// Produce `config.num_sequences` candidate receptor sequences
+    /// conditioned on `structure`, each with a selection score
+    /// (higher = preferred by Stage 2's ranking).
+    fn generate(
+        &self,
+        structure: &Structure,
+        config: &MpnnConfig,
+        rng: &mut SimRng,
+    ) -> Vec<ScoredSequence>;
+}
+
+/// The default generator: the ProteinMPNN surrogate.
+pub struct MpnnGenerator(pub SurrogateMpnn);
+
+impl SequenceGenerator for MpnnGenerator {
+    fn name(&self) -> &str {
+        "ProteinMPNN"
+    }
+
+    fn generate(
+        &self,
+        structure: &Structure,
+        config: &MpnnConfig,
+        rng: &mut SimRng,
+    ) -> Vec<ScoredSequence> {
+        self.0.sample(structure, config, rng)
+    }
+}
+
+/// EvoPro-style random mutagenesis: uniform point mutations, uninformative
+/// (constant) scores. Respects `fixed_positions`.
+pub struct RandomMutagenesis {
+    /// Per-position mutation probability (per proposal).
+    pub rate: f64,
+}
+
+impl Default for RandomMutagenesis {
+    fn default() -> Self {
+        RandomMutagenesis { rate: 0.05 }
+    }
+}
+
+impl SequenceGenerator for RandomMutagenesis {
+    fn name(&self) -> &str {
+        "random-mutagenesis"
+    }
+
+    fn generate(
+        &self,
+        structure: &Structure,
+        config: &MpnnConfig,
+        rng: &mut SimRng,
+    ) -> Vec<ScoredSequence> {
+        (0..config.num_sequences)
+            .map(|i| {
+                let mut prop_rng = rng.fork_idx("random-mut", i as u64);
+                let mut seq = structure.complex.receptor.sequence.clone();
+                for pos in 0..seq.len() {
+                    if config.fixed_positions.contains(&pos) || !prop_rng.chance(self.rate) {
+                        continue;
+                    }
+                    seq.set(pos, *prop_rng.choose(&impress_proteins::amino::ALL));
+                }
+                ScoredSequence {
+                    sequence: seq,
+                    // No model, no likelihood: every candidate scores alike,
+                    // so Stage 2's ranking is arbitrary and all selection
+                    // pressure comes from AlphaFold (EvoPro's regime).
+                    log_likelihood: -1.0,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impress_proteins::datasets::named_pdz_domains;
+
+    fn structure() -> (Structure, impress_proteins::DesignLandscape) {
+        let t = named_pdz_domains(42).remove(0);
+        (t.start, t.landscape)
+    }
+
+    #[test]
+    fn mpnn_generator_delegates() {
+        let (s, landscape) = structure();
+        let g = MpnnGenerator(SurrogateMpnn::new(landscape));
+        let out = g.generate(&s, &MpnnConfig::default(), &mut SimRng::from_seed(1));
+        assert_eq!(out.len(), 10);
+        assert_eq!(g.name(), "ProteinMPNN");
+        let distinct: std::collections::HashSet<u64> =
+            out.iter().map(|p| p.log_likelihood.to_bits()).collect();
+        assert!(distinct.len() > 1, "MPNN scores are informative");
+    }
+
+    #[test]
+    fn random_mutagenesis_mutates_without_information() {
+        let (s, _) = structure();
+        let g = RandomMutagenesis { rate: 0.10 };
+        let out = g.generate(&s, &MpnnConfig::default(), &mut SimRng::from_seed(2));
+        assert_eq!(out.len(), 10);
+        assert!(out.iter().all(|p| p.log_likelihood == -1.0));
+        let parent = &s.complex.receptor.sequence;
+        assert!(out.iter().any(|p| parent.hamming(&p.sequence) > 0));
+        for p in &out {
+            let d = parent.hamming(&p.sequence) as f64 / parent.len() as f64;
+            assert!(d < 0.35, "mutation load too high: {d}");
+        }
+    }
+
+    #[test]
+    fn random_mutagenesis_respects_fixed_positions() {
+        let (s, _) = structure();
+        let g = RandomMutagenesis { rate: 1.0 };
+        let fixed = vec![0, 5, 10];
+        let cfg = MpnnConfig {
+            fixed_positions: fixed.clone(),
+            ..MpnnConfig::default()
+        };
+        let parent = s.complex.receptor.sequence.clone();
+        for p in g.generate(&s, &cfg, &mut SimRng::from_seed(3)) {
+            for &pos in &fixed {
+                assert_eq!(p.sequence.at(pos), parent.at(pos));
+            }
+        }
+    }
+}

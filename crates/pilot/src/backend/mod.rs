@@ -1,0 +1,219 @@
+//! Execution backends.
+//!
+//! One trait, two implementations:
+//!
+//! * [`SimulatedBackend`] — deterministic virtual time on the `impress-sim`
+//!   engine. Tasks cost their declared [`crate::task::TaskDescription::duration`];
+//!   work closures run at the completion instant. Every paper figure is
+//!   regenerated on this backend, because the original experiments take
+//!   27–38 wall-clock hours.
+//! * [`ThreadedBackend`] — real threads, real work, the same slot
+//!   semantics. Used by the examples and by tests that exercise actual
+//!   concurrency. Virtual durations can optionally be dilated into real
+//!   sleeps via a time-scale factor.
+//!
+//! The coordinator (in `impress-workflow`) drives either through
+//! [`ExecutionBackend`], so protocol logic is backend-agnostic.
+
+pub mod simulated;
+pub mod threaded;
+
+pub use simulated::SimulatedBackend;
+pub use threaded::ThreadedBackend;
+
+use crate::pilot::PhaseBreakdown;
+use crate::profiler::UtilizationReport;
+use crate::task::{TaskDescription, TaskId, TaskOutput};
+use impress_sim::SimTime;
+use std::fmt;
+
+/// Why a task did not complete successfully.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskError {
+    /// The work closure panicked; the payload's message if it was a string.
+    WorkPanicked(String),
+    /// The task was cancelled before completion.
+    Canceled,
+}
+
+impl fmt::Display for TaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskError::WorkPanicked(msg) => write!(f, "task work panicked: {msg}"),
+            TaskError::Canceled => write!(f, "task canceled"),
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+/// Delivered when a task reaches a terminal state.
+pub struct Completion {
+    /// The task.
+    pub task: TaskId,
+    /// Task name (copied from the description).
+    pub name: String,
+    /// Bookkeeping tag.
+    pub tag: String,
+    /// The work closure's output (`Ok(None)` for tasks without work), or
+    /// the failure reason.
+    pub result: Result<Option<TaskOutput>, TaskError>,
+    /// When slots were granted.
+    pub started: SimTime,
+    /// When slots were released.
+    pub finished: SimTime,
+}
+
+impl Completion {
+    /// Downcast the work output to its concrete type. Panics with a clear
+    /// message on failure/missing output — stage plumbing bugs should be
+    /// loud.
+    pub fn output<T: 'static>(self) -> T {
+        match self.result {
+            Ok(Some(out)) => *out
+                .downcast::<T>()
+                .unwrap_or_else(|_| panic!("{}: output has unexpected type", self.task)),
+            Ok(None) => panic!("{}: task had no work output", self.task),
+            Err(e) => panic!("{}: task failed: {e}", self.task),
+        }
+    }
+
+    /// Borrow the work output without consuming the completion — for
+    /// consumers that share one completion between several dependents
+    /// (e.g. DAG fan-out). Panics like [`Completion::output`] on
+    /// failure/missing/mistyped output.
+    pub fn peek<T: 'static>(&self) -> &T {
+        match &self.result {
+            Ok(Some(out)) => out
+                .downcast_ref::<T>()
+                .unwrap_or_else(|| panic!("{}: output has unexpected type", self.task)),
+            Ok(None) => panic!("{}: task had no work output", self.task),
+            Err(e) => panic!("{}: task failed: {e}", self.task),
+        }
+    }
+}
+
+impl fmt::Debug for Completion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Completion")
+            .field("task", &self.task)
+            .field("name", &self.name)
+            .field("ok", &self.result.is_ok())
+            .field("started", &self.started.to_string())
+            .field("finished", &self.finished.to_string())
+            .finish()
+    }
+}
+
+/// A pilot execution backend.
+pub trait ExecutionBackend {
+    /// Submit a task; returns its id immediately.
+    fn submit(&mut self, desc: TaskDescription) -> TaskId;
+
+    /// Deliver the next completion, advancing (virtual or real) time as
+    /// needed. Returns `None` when no submitted task remains unfinished.
+    fn next_completion(&mut self) -> Option<Completion>;
+
+    /// Current backend time.
+    fn now(&self) -> SimTime;
+
+    /// Tasks submitted but not yet completed.
+    fn in_flight(&self) -> usize;
+
+    /// Utilization report up to the current time.
+    fn utilization(&self) -> UtilizationReport;
+
+    /// Pilot phase breakdown so far.
+    fn phase_breakdown(&self) -> PhaseBreakdown;
+
+    /// Best-effort cancellation of a *queued* task (running tasks always
+    /// finish — tasks here are opaque closures that cannot be interrupted
+    /// safely). On success a completion with
+    /// [`TaskError::Canceled`] is delivered through the normal stream.
+    /// Returns `false` if the task already started, finished, or is
+    /// unknown; the threaded backend processes the request asynchronously
+    /// and may return `true` for a task that wins the race and runs anyway.
+    fn cancel(&mut self, _id: TaskId) -> bool {
+        false
+    }
+}
+
+impl ExecutionBackend for Box<dyn ExecutionBackend> {
+    fn submit(&mut self, desc: TaskDescription) -> TaskId {
+        (**self).submit(desc)
+    }
+    fn next_completion(&mut self) -> Option<Completion> {
+        (**self).next_completion()
+    }
+    fn now(&self) -> SimTime {
+        (**self).now()
+    }
+    fn in_flight(&self) -> usize {
+        (**self).in_flight()
+    }
+    fn utilization(&self) -> UtilizationReport {
+        (**self).utilization()
+    }
+    fn phase_breakdown(&self) -> PhaseBreakdown {
+        (**self).phase_breakdown()
+    }
+    fn cancel(&mut self, id: TaskId) -> bool {
+        (**self).cancel(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_output_downcasts() {
+        let c = Completion {
+            task: TaskId(1),
+            name: "t".into(),
+            tag: String::new(),
+            result: Ok(Some(Box::new(7u32))),
+            started: SimTime::ZERO,
+            finished: SimTime::ZERO,
+        };
+        assert_eq!(c.output::<u32>(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected type")]
+    fn wrong_downcast_panics_loudly() {
+        let c = Completion {
+            task: TaskId(1),
+            name: "t".into(),
+            tag: String::new(),
+            result: Ok(Some(Box::new(7u32))),
+            started: SimTime::ZERO,
+            finished: SimTime::ZERO,
+        };
+        let _ = c.output::<String>();
+    }
+
+    #[test]
+    fn peek_borrows_without_consuming() {
+        let c = Completion {
+            task: TaskId(2),
+            name: "t".into(),
+            tag: String::new(),
+            result: Ok(Some(Box::new(vec![1u8, 2, 3]))),
+            started: SimTime::ZERO,
+            finished: SimTime::ZERO,
+        };
+        assert_eq!(c.peek::<Vec<u8>>().len(), 3);
+        assert_eq!(c.peek::<Vec<u8>>()[0], 1, "still available");
+        assert_eq!(c.output::<Vec<u8>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn task_error_displays() {
+        assert_eq!(
+            TaskError::WorkPanicked("boom".into()).to_string(),
+            "task work panicked: boom"
+        );
+        assert_eq!(TaskError::Canceled.to_string(), "task canceled");
+    }
+}

@@ -1,0 +1,53 @@
+//! # impress-pilot
+//!
+//! A pilot-job runtime for heterogeneous (CPU + GPU) task execution — the
+//! role RADICAL-Pilot plays in the IMPRESS paper (§II-D). A *pilot* acquires
+//! a resource allocation (here: a virtual cluster node) once, then schedules
+//! many small tasks onto it directly, avoiding per-task batch-queue waits
+//! and enabling the concurrent, asynchronous execution the paper's adaptive
+//! protocol needs.
+//!
+//! Components:
+//!
+//! * [`resources`] — node specification and slot allocations (cores + GPUs).
+//! * [`states`] — the task state model (mirrors RP's `NEW → … → DONE`),
+//!   with a validated transition table.
+//! * [`task`] — task descriptions: resource request, virtual cost, optional
+//!   real work closure, bookkeeping tags.
+//! * [`scheduler`] — slot pool plus placement policies (strict FIFO vs
+//!   backfill).
+//! * [`backend`] — execution backends behind one trait:
+//!   [`backend::SimulatedBackend`] replays runs in deterministic virtual
+//!   time on the `impress-sim` engine (used for every paper figure), and
+//!   [`backend::ThreadedBackend`] executes task closures on real threads
+//!   with the same slot semantics.
+//! * [`pilot`] — pilot lifecycle phases (Bootstrap → Exec setup → Running,
+//!   the Fig. 5 breakdown) and their timing configuration.
+//! * [`profiler`] — per-device utilization accounting, distinguishing *slot
+//!   occupancy* (what RP's profiler sees) from *hardware busy* time (what
+//!   `nvidia-smi` sees) — the distinction behind the paper's 61% vs 1% GPU
+//!   utilization gap.
+//! * [`session`] — the user-facing API tying the above together.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod backend;
+pub mod pilot;
+pub mod profiler;
+pub mod resources;
+pub mod scheduler;
+pub mod session;
+pub mod states;
+pub mod task;
+pub mod timeline;
+
+pub use backend::{Completion, ExecutionBackend, TaskError};
+pub use pilot::{PhaseBreakdown, PilotConfig, PilotPhase};
+pub use profiler::{Profiler, UtilizationReport};
+pub use resources::{Allocation, ClusterSpec, NodeSpec, ResourceRequest};
+pub use scheduler::{PlacementPolicy, Scheduler};
+pub use session::Session;
+pub use states::TaskState;
+pub use task::{TaskDescription, TaskId, TaskWork};
+pub use timeline::{GanttRow, Timeline};

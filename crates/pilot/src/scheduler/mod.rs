@@ -1,0 +1,364 @@
+//! Slot scheduling: the pilot agent's core decision loop.
+//!
+//! The scheduler owns the node's free core/GPU sets and a queue of waiting
+//! tasks, and decides which waiting tasks to place whenever capacity
+//! changes. Two placement policies are provided:
+//!
+//! * [`PlacementPolicy::Fifo`] — strict arrival order; a large task at the
+//!   head blocks everything behind it (simple, fair, poor utilization).
+//! * [`PlacementPolicy::Backfill`] — RP-style continuous scheduling: any
+//!   queued task that fits the current free slots may start, even if an
+//!   earlier, larger task is still waiting. This is what lets IMPRESS
+//!   "offload newly created pipelines … to the idle resources when
+//!   possible" (§III-B) and is the default.
+//!
+//! Placement is deterministic: free devices are kept in ordered sets and
+//! granted lowest-id-first, so identical submission sequences produce
+//! identical allocations in both backends.
+
+mod pool;
+
+pub use pool::SlotPool;
+
+use crate::resources::{Allocation, ClusterSpec, NodeSpec, ResourceRequest};
+use crate::task::TaskId;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Which waiting task may start when slots are free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Strict arrival order; the queue head blocks.
+    Fifo,
+    /// Continuous scheduling: any fitting task may start (default).
+    Backfill,
+}
+
+/// The pilot agent's scheduler.
+#[derive(Debug)]
+pub struct Scheduler {
+    pools: Vec<SlotPool>,
+    queue: VecDeque<(TaskId, ResourceRequest, i32)>,
+    policy: PlacementPolicy,
+    cluster: ClusterSpec,
+}
+
+impl Scheduler {
+    /// A scheduler over a single `node` with the given policy.
+    pub fn new(node: NodeSpec, policy: PlacementPolicy) -> Self {
+        Self::new_cluster(ClusterSpec::single(node), policy)
+    }
+
+    /// A scheduler over a homogeneous multi-node cluster. Tasks are placed
+    /// first-fit across nodes and never span nodes.
+    pub fn new_cluster(cluster: ClusterSpec, policy: PlacementPolicy) -> Self {
+        Scheduler {
+            pools: (0..cluster.count)
+                .map(|_| SlotPool::new(&cluster.node))
+                .collect(),
+            queue: VecDeque::new(),
+            policy,
+            cluster,
+        }
+    }
+
+    /// The per-node shape this scheduler manages.
+    pub fn node(&self) -> &NodeSpec {
+        &self.cluster.node
+    }
+
+    /// The full cluster shape.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// First-fit placement across the cluster's nodes.
+    fn try_alloc(&mut self, req: &ResourceRequest) -> Option<Allocation> {
+        for (idx, pool) in self.pools.iter_mut().enumerate() {
+            if let Some(mut alloc) = pool.try_alloc(req) {
+                alloc.node = idx as u32;
+                return Some(alloc);
+            }
+        }
+        None
+    }
+
+    /// The active placement policy.
+    pub fn policy(&self) -> PlacementPolicy {
+        self.policy
+    }
+
+    /// Enqueue a task at default priority. Panics if the request can never
+    /// fit the node — accepting it would deadlock the queue.
+    pub fn enqueue(&mut self, id: TaskId, request: ResourceRequest) {
+        self.enqueue_with_priority(id, request, 0);
+    }
+
+    /// Enqueue a task with an explicit priority: higher priorities are
+    /// considered first at every placement round; equal priorities keep
+    /// submission (FIFO) order.
+    pub fn enqueue_with_priority(&mut self, id: TaskId, request: ResourceRequest, priority: i32) {
+        assert!(
+            request.fits_node(&self.cluster.node),
+            "{id}: request {request} can never fit node {}",
+            self.cluster.node
+        );
+        // Stable insert before the first strictly-lower-priority entry.
+        let pos = self
+            .queue
+            .iter()
+            .position(|&(_, _, p)| p < priority)
+            .unwrap_or(self.queue.len());
+        self.queue.insert(pos, (id, request, priority));
+    }
+
+    /// Place every task the policy allows right now. Returns the granted
+    /// `(task, allocation)` pairs in placement order.
+    pub fn place_ready(&mut self) -> Vec<(TaskId, Allocation)> {
+        let mut placed = Vec::new();
+        match self.policy {
+            PlacementPolicy::Fifo => {
+                while let Some((_, req, _)) = self.queue.front() {
+                    let req = *req;
+                    match self.try_alloc(&req) {
+                        Some(alloc) => {
+                            let (id, _, _) = self.queue.pop_front().expect("front exists");
+                            placed.push((id, alloc));
+                        }
+                        None => break,
+                    }
+                }
+            }
+            PlacementPolicy::Backfill => {
+                let mut i = 0;
+                while i < self.queue.len() {
+                    let req = self.queue[i].1;
+                    match self.try_alloc(&req) {
+                        Some(alloc) => {
+                            let (id, _, _) = self.queue.remove(i).expect("index in bounds");
+                            placed.push((id, alloc));
+                            // do not advance i: the next entry shifted into i
+                        }
+                        None => i += 1,
+                    }
+                }
+            }
+        }
+        placed
+    }
+
+    /// Return an allocation's slots to its node's pool. The caller should
+    /// follow with [`Scheduler::place_ready`].
+    pub fn release(&mut self, alloc: &Allocation) {
+        self.pools[alloc.node as usize].release(alloc);
+    }
+
+    /// Remove a queued (not yet placed) task. Returns `true` if it was found.
+    pub fn cancel_queued(&mut self, id: TaskId) -> bool {
+        if let Some(pos) = self.queue.iter().position(|(qid, _, _)| *qid == id) {
+            self.queue.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of tasks waiting for slots.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Free cores right now, across all nodes.
+    pub fn cores_free(&self) -> u32 {
+        self.pools.iter().map(|p| p.cores_free()).sum()
+    }
+
+    /// Free GPUs right now, across all nodes.
+    pub fn gpus_free(&self) -> u32 {
+        self.pools.iter().map(|p| p.gpus_free()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(c: u32, g: u32) -> ResourceRequest {
+        ResourceRequest::with_gpus(c, g)
+    }
+
+    fn ids(placed: &[(TaskId, Allocation)]) -> Vec<u64> {
+        placed.iter().map(|(id, _)| id.0).collect()
+    }
+
+    #[test]
+    fn fifo_blocks_behind_large_head() {
+        let mut s = Scheduler::new(NodeSpec::new(8, 0, 1), PlacementPolicy::Fifo);
+        s.enqueue(TaskId(0), req(6, 0));
+        s.enqueue(TaskId(1), req(6, 0)); // won't fit after task 0
+        s.enqueue(TaskId(2), req(2, 0)); // would fit, but FIFO blocks
+        let placed = s.place_ready();
+        assert_eq!(ids(&placed), vec![0]);
+        assert_eq!(s.queue_len(), 2);
+        assert_eq!(s.cores_free(), 2);
+    }
+
+    #[test]
+    fn backfill_places_fitting_tasks_past_blocked_head() {
+        let mut s = Scheduler::new(NodeSpec::new(8, 0, 1), PlacementPolicy::Backfill);
+        s.enqueue(TaskId(0), req(6, 0));
+        s.enqueue(TaskId(1), req(6, 0));
+        s.enqueue(TaskId(2), req(2, 0));
+        let placed = s.place_ready();
+        assert_eq!(ids(&placed), vec![0, 2]);
+        assert_eq!(s.cores_free(), 0);
+        assert_eq!(s.queue_len(), 1);
+    }
+
+    #[test]
+    fn release_makes_blocked_task_placeable() {
+        let mut s = Scheduler::new(NodeSpec::new(8, 0, 1), PlacementPolicy::Backfill);
+        s.enqueue(TaskId(0), req(8, 0));
+        let placed = s.place_ready();
+        assert_eq!(ids(&placed), vec![0]);
+        s.enqueue(TaskId(1), req(4, 0));
+        assert!(s.place_ready().is_empty());
+        s.release(&placed[0].1);
+        let placed2 = s.place_ready();
+        assert_eq!(ids(&placed2), vec![1]);
+    }
+
+    #[test]
+    fn gpus_are_scheduled_independently_of_cores() {
+        let mut s = Scheduler::new(NodeSpec::new(28, 4, 128), PlacementPolicy::Backfill);
+        s.enqueue(TaskId(0), req(2, 4)); // all GPUs
+        s.enqueue(TaskId(1), req(2, 1)); // blocked on GPUs
+        s.enqueue(TaskId(2), req(24, 0)); // CPU-only fits
+        let placed = s.place_ready();
+        assert_eq!(ids(&placed), vec![0, 2]);
+        assert_eq!(s.gpus_free(), 0);
+        assert_eq!(s.cores_free(), 2);
+    }
+
+    #[test]
+    fn allocations_satisfy_requests_and_do_not_overlap() {
+        let mut s = Scheduler::new(NodeSpec::new(10, 2, 1), PlacementPolicy::Backfill);
+        s.enqueue(TaskId(0), req(4, 1));
+        s.enqueue(TaskId(1), req(4, 1));
+        let placed = s.place_ready();
+        assert_eq!(placed.len(), 2);
+        for (i, (_, a)) in placed.iter().enumerate() {
+            assert!(a.satisfies(&req(4, 1)), "alloc {i}");
+        }
+        let mut all_cores: Vec<u32> = placed
+            .iter()
+            .flat_map(|(_, a)| a.core_ids.iter().copied())
+            .collect();
+        all_cores.sort_unstable();
+        all_cores.dedup();
+        assert_eq!(all_cores.len(), 8, "core grants must not overlap");
+        assert_ne!(placed[0].1.gpu_ids, placed[1].1.gpu_ids);
+    }
+
+    #[test]
+    fn release_returns_exactly_the_granted_devices() {
+        let mut s = Scheduler::new(NodeSpec::new(4, 2, 1), PlacementPolicy::Fifo);
+        s.enqueue(TaskId(0), req(4, 2));
+        let placed = s.place_ready();
+        assert_eq!(s.cores_free(), 0);
+        assert_eq!(s.gpus_free(), 0);
+        s.release(&placed[0].1);
+        assert_eq!(s.cores_free(), 4);
+        assert_eq!(s.gpus_free(), 2);
+    }
+
+    #[test]
+    fn cancel_queued_removes_waiting_task() {
+        let mut s = Scheduler::new(NodeSpec::new(2, 0, 1), PlacementPolicy::Fifo);
+        s.enqueue(TaskId(0), req(2, 0));
+        s.enqueue(TaskId(1), req(2, 0));
+        let _ = s.place_ready();
+        assert!(s.cancel_queued(TaskId(1)));
+        assert!(!s.cancel_queued(TaskId(1)));
+        assert_eq!(s.queue_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "can never fit")]
+    fn impossible_request_is_rejected_at_enqueue() {
+        let mut s = Scheduler::new(NodeSpec::new(4, 0, 1), PlacementPolicy::Fifo);
+        s.enqueue(TaskId(0), req(5, 0));
+    }
+
+    #[test]
+    fn higher_priority_tasks_jump_the_queue() {
+        let mut s = Scheduler::new(NodeSpec::new(2, 0, 1), PlacementPolicy::Backfill);
+        s.enqueue(TaskId(0), req(2, 0)); // occupies everything
+        let placed = s.place_ready();
+        assert_eq!(ids(&placed), vec![0]);
+        s.enqueue_with_priority(TaskId(1), req(2, 0), 0);
+        s.enqueue_with_priority(TaskId(2), req(2, 0), 5); // urgent
+        s.enqueue_with_priority(TaskId(3), req(2, 0), 5); // urgent, later
+        s.release(&placed[0].1);
+        let placed = s.place_ready();
+        assert_eq!(ids(&placed), vec![2], "highest priority first");
+        s.release(&placed[0].1);
+        let placed = s.place_ready();
+        assert_eq!(ids(&placed), vec![3], "FIFO within a priority class");
+        s.release(&placed[0].1);
+        assert_eq!(ids(&s.place_ready()), vec![1]);
+    }
+
+    #[test]
+    fn backfill_still_fills_around_high_priority_blockers() {
+        let mut s = Scheduler::new(NodeSpec::new(4, 0, 1), PlacementPolicy::Backfill);
+        s.enqueue(TaskId(0), req(3, 0));
+        let placed = s.place_ready();
+        assert_eq!(ids(&placed), vec![0]);
+        // High-priority task needs 4 cores (blocked); low-priority 1-core
+        // task can still backfill the free core.
+        s.enqueue_with_priority(TaskId(1), req(4, 0), 9);
+        s.enqueue_with_priority(TaskId(2), req(1, 0), -1);
+        let placed2 = s.place_ready();
+        assert_eq!(ids(&placed2), vec![2], "backfill around the blocked head");
+    }
+
+    #[test]
+    fn multi_node_spills_to_next_node() {
+        let cluster = ClusterSpec::homogeneous(NodeSpec::new(4, 1, 1), 2);
+        let mut s = Scheduler::new_cluster(cluster, PlacementPolicy::Backfill);
+        s.enqueue(TaskId(0), req(4, 1)); // fills node 0
+        s.enqueue(TaskId(1), req(4, 1)); // must go to node 1
+        s.enqueue(TaskId(2), req(1, 0)); // nothing left anywhere
+        let placed = s.place_ready();
+        assert_eq!(ids(&placed), vec![0, 1]);
+        assert_eq!(placed[0].1.node, 0);
+        assert_eq!(placed[1].1.node, 1);
+        assert_eq!(s.cores_free(), 0);
+        assert_eq!(s.queue_len(), 1);
+        // Releasing node 1's allocation frees only node 1.
+        s.release(&placed[1].1);
+        assert_eq!(s.cores_free(), 4);
+        let placed2 = s.place_ready();
+        assert_eq!(placed2[0].1.node, 1);
+    }
+
+    #[test]
+    fn cluster_totals() {
+        let cluster = ClusterSpec::homogeneous(NodeSpec::amarel(), 4);
+        assert_eq!(cluster.total_cores(), 112);
+        assert_eq!(cluster.total_gpus(), 16);
+        let s = Scheduler::new_cluster(cluster, PlacementPolicy::Backfill);
+        assert_eq!(s.cores_free(), 112);
+        assert_eq!(s.gpus_free(), 16);
+    }
+
+    #[test]
+    fn deterministic_lowest_id_first_grants() {
+        let mut s = Scheduler::new(NodeSpec::new(6, 2, 1), PlacementPolicy::Backfill);
+        s.enqueue(TaskId(0), req(2, 1));
+        let placed = s.place_ready();
+        assert_eq!(placed[0].1.core_ids, vec![0, 1]);
+        assert_eq!(placed[0].1.gpu_ids, vec![0]);
+    }
+}

@@ -1,0 +1,126 @@
+//! The free-slot pool: which cores and GPUs are unallocated right now.
+
+use crate::resources::{Allocation, NodeSpec, ResourceRequest};
+use std::collections::BTreeSet;
+
+/// Free device sets for one node. Grants are lowest-id-first, so placement
+/// is deterministic and device utilization traces are stable across runs.
+#[derive(Debug, Clone)]
+pub struct SlotPool {
+    free_cores: BTreeSet<u32>,
+    free_gpus: BTreeSet<u32>,
+    total_cores: u32,
+    total_gpus: u32,
+}
+
+impl SlotPool {
+    /// A pool with every device of `node` free.
+    pub fn new(node: &NodeSpec) -> Self {
+        SlotPool {
+            free_cores: (0..node.cores).collect(),
+            free_gpus: (0..node.gpus).collect(),
+            total_cores: node.cores,
+            total_gpus: node.gpus,
+        }
+    }
+
+    /// Grant `request` if it fits, taking the lowest-numbered free devices.
+    pub fn try_alloc(&mut self, request: &ResourceRequest) -> Option<Allocation> {
+        if (self.free_cores.len() as u32) < request.cores
+            || (self.free_gpus.len() as u32) < request.gpus
+        {
+            return None;
+        }
+        let core_ids: Vec<u32> = self
+            .free_cores
+            .iter()
+            .copied()
+            .take(request.cores as usize)
+            .collect();
+        let gpu_ids: Vec<u32> = self
+            .free_gpus
+            .iter()
+            .copied()
+            .take(request.gpus as usize)
+            .collect();
+        for c in &core_ids {
+            self.free_cores.remove(c);
+        }
+        for g in &gpu_ids {
+            self.free_gpus.remove(g);
+        }
+        Some(Allocation {
+            node: 0,
+            core_ids,
+            gpu_ids,
+        })
+    }
+
+    /// Return an allocation's devices. Panics on double-release — returning
+    /// a device that is already free means the accounting is corrupt.
+    pub fn release(&mut self, alloc: &Allocation) {
+        for &c in &alloc.core_ids {
+            assert!(c < self.total_cores, "core id {c} out of range");
+            assert!(self.free_cores.insert(c), "double release of core {c}");
+        }
+        for &g in &alloc.gpu_ids {
+            assert!(g < self.total_gpus, "gpu id {g} out of range");
+            assert!(self.free_gpus.insert(g), "double release of gpu {g}");
+        }
+    }
+
+    /// Free core count.
+    pub fn cores_free(&self) -> u32 {
+        self.free_cores.len() as u32
+    }
+
+    /// Free GPU count.
+    pub fn gpus_free(&self) -> u32 {
+        self.free_gpus.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_release_round_trip() {
+        let mut p = SlotPool::new(&NodeSpec::new(4, 2, 1));
+        let a = p.try_alloc(&ResourceRequest::with_gpus(3, 1)).unwrap();
+        assert_eq!(a.core_ids, vec![0, 1, 2]);
+        assert_eq!(a.gpu_ids, vec![0]);
+        assert_eq!(p.cores_free(), 1);
+        p.release(&a);
+        assert_eq!(p.cores_free(), 4);
+        assert_eq!(p.gpus_free(), 2);
+    }
+
+    #[test]
+    fn insufficient_capacity_returns_none_without_partial_grant() {
+        let mut p = SlotPool::new(&NodeSpec::new(4, 1, 1));
+        assert!(p.try_alloc(&ResourceRequest::with_gpus(2, 2)).is_none());
+        // Nothing was taken.
+        assert_eq!(p.cores_free(), 4);
+        assert_eq!(p.gpus_free(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn double_release_panics() {
+        let mut p = SlotPool::new(&NodeSpec::new(2, 0, 1));
+        let a = p.try_alloc(&ResourceRequest::cores(1)).unwrap();
+        p.release(&a);
+        p.release(&a);
+    }
+
+    #[test]
+    fn grants_reuse_lowest_ids_after_release() {
+        let mut p = SlotPool::new(&NodeSpec::new(4, 0, 1));
+        let a = p.try_alloc(&ResourceRequest::cores(2)).unwrap(); // 0,1
+        let _b = p.try_alloc(&ResourceRequest::cores(2)).unwrap(); // 2,3
+        p.release(&a);
+        let c = p.try_alloc(&ResourceRequest::cores(1)).unwrap();
+        assert_eq!(c.core_ids, vec![0]);
+    }
+}

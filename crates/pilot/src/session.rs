@@ -1,0 +1,188 @@
+//! The user-facing session API.
+//!
+//! A [`Session`] owns an execution backend and offers the ergonomic
+//! operations the workflow layer and the examples use: submit, wait,
+//! drain-all, and typed batch execution. It corresponds to RP's
+//! `Session`/`TaskManager` pair at the granularity IMPRESS needs.
+
+use crate::backend::{Completion, ExecutionBackend};
+use crate::pilot::PhaseBreakdown;
+use crate::profiler::UtilizationReport;
+use crate::resources::ResourceRequest;
+use crate::task::{TaskDescription, TaskId};
+use impress_sim::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// A pilot session over some backend.
+pub struct Session<B: ExecutionBackend> {
+    backend: B,
+}
+
+impl<B: ExecutionBackend> Session<B> {
+    /// Wrap a backend.
+    pub fn new(backend: B) -> Self {
+        Session { backend }
+    }
+
+    /// Submit one task.
+    pub fn submit(&mut self, desc: TaskDescription) -> TaskId {
+        self.backend.submit(desc)
+    }
+
+    /// Wait for the next completion (advancing time), if any task remains.
+    pub fn wait_next(&mut self) -> Option<Completion> {
+        self.backend.next_completion()
+    }
+
+    /// Best-effort cancellation of a queued task (see
+    /// [`crate::backend::ExecutionBackend::cancel`]).
+    pub fn cancel(&mut self, id: TaskId) -> bool {
+        self.backend.cancel(id)
+    }
+
+    /// Run every submitted task to completion, returning completions in
+    /// completion order.
+    pub fn drain(&mut self) -> Vec<Completion> {
+        let mut out = Vec::new();
+        while let Some(c) = self.backend.next_completion() {
+            out.push(c);
+        }
+        out
+    }
+
+    /// Execute a batch of homogeneous work closures concurrently and return
+    /// their typed outputs **in submission order**.
+    pub fn execute_batch<T, F>(
+        &mut self,
+        name: &str,
+        request: ResourceRequest,
+        duration: SimDuration,
+        works: Vec<F>,
+    ) -> Vec<T>
+    where
+        T: 'static + Send,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let ids: Vec<TaskId> = works
+            .into_iter()
+            .enumerate()
+            .map(|(i, w)| {
+                self.submit(
+                    TaskDescription::new(format!("{name}[{i}]"), request, duration).with_work(w),
+                )
+            })
+            .collect();
+        let mut by_id: HashMap<TaskId, T> = HashMap::new();
+        while by_id.len() < ids.len() {
+            let c = self
+                .backend
+                .next_completion()
+                .expect("batch tasks must all complete");
+            if ids.contains(&c.task) {
+                let id = c.task;
+                by_id.insert(id, c.output::<T>());
+            }
+        }
+        ids.into_iter()
+            .map(|id| by_id.remove(&id).expect("completed"))
+            .collect()
+    }
+
+    /// Current backend time.
+    pub fn now(&self) -> SimTime {
+        self.backend.now()
+    }
+
+    /// Tasks submitted but not yet completed.
+    pub fn in_flight(&self) -> usize {
+        self.backend.in_flight()
+    }
+
+    /// Utilization report up to the current time.
+    pub fn utilization(&self) -> UtilizationReport {
+        self.backend.utilization()
+    }
+
+    /// Pilot phase breakdown so far.
+    pub fn phase_breakdown(&self) -> PhaseBreakdown {
+        self.backend.phase_breakdown()
+    }
+
+    /// Borrow the backend (e.g. for simulated-backend-specific series).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Mutably borrow the backend.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::SimulatedBackend;
+    use crate::pilot::PilotConfig;
+    use crate::resources::NodeSpec;
+    use crate::scheduler::PlacementPolicy;
+
+    fn session(cores: u32) -> Session<SimulatedBackend> {
+        Session::new(SimulatedBackend::new(PilotConfig {
+            node: NodeSpec::new(cores, 2, 64),
+            nodes: 1,
+            policy: PlacementPolicy::Backfill,
+            bootstrap: SimDuration::from_secs(10),
+            exec_setup_per_task: SimDuration::from_secs(1),
+            seed: 0,
+        }))
+    }
+
+    #[test]
+    fn batch_outputs_preserve_submission_order() {
+        let mut s = session(4);
+        let works: Vec<_> = (0..10u64).map(|i| move || i * i).collect();
+        let outs = s.execute_batch(
+            "sq",
+            ResourceRequest::cores(1),
+            SimDuration::from_secs(5),
+            works,
+        );
+        assert_eq!(outs, (0..10).map(|i| i * i).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn drain_returns_everything() {
+        let mut s = session(2);
+        for i in 0..5 {
+            s.submit(
+                TaskDescription::new(
+                    format!("t{i}"),
+                    ResourceRequest::cores(1),
+                    SimDuration::from_secs(i + 1),
+                )
+                .with_work(move || i),
+            );
+        }
+        let out = s.drain();
+        assert_eq!(out.len(), 5);
+        assert_eq!(s.in_flight(), 0);
+        assert!(s.wait_next().is_none());
+    }
+
+    #[test]
+    fn session_reports_time_and_utilization() {
+        let mut s = session(1);
+        s.submit(TaskDescription::new(
+            "t",
+            ResourceRequest::cores(1),
+            SimDuration::from_secs(100),
+        ));
+        let _ = s.drain();
+        assert!(s.now() >= SimTime::from_micros(111_000_000)); // 10+1+100 s
+        let r = s.utilization();
+        assert_eq!(r.tasks, 1);
+        assert!(r.cpu > 0.0);
+        assert_eq!(s.phase_breakdown().tasks_executed, 1);
+    }
+}

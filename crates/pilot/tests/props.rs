@@ -1,0 +1,139 @@
+//! Property-based tests for the pilot runtime: no oversubscription, slot
+//! conservation, and full completion under arbitrary task streams.
+
+use impress_pilot::backend::SimulatedBackend;
+use impress_pilot::{
+    ExecutionBackend, NodeSpec, PilotConfig, PlacementPolicy, ResourceRequest, Scheduler,
+    TaskDescription, TaskId,
+};
+use impress_sim::SimDuration;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct TaskSpec {
+    cores: u32,
+    gpus: u32,
+    secs: u64,
+}
+
+fn arb_tasks(max_cores: u32, max_gpus: u32) -> impl Strategy<Value = Vec<TaskSpec>> {
+    prop::collection::vec(
+        (1..=max_cores, 0..=max_gpus, 1u64..500).prop_map(|(cores, gpus, secs)| TaskSpec {
+            cores,
+            gpus,
+            secs,
+        }),
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The scheduler never grants more devices than exist, never grants the
+    /// same device twice concurrently, and eventually places every task.
+    #[test]
+    fn scheduler_conserves_devices(
+        tasks in arb_tasks(8, 2),
+        policy_fifo in any::<bool>(),
+    ) {
+        let node = NodeSpec::new(8, 2, 64);
+        let policy = if policy_fifo { PlacementPolicy::Fifo } else { PlacementPolicy::Backfill };
+        let mut s = Scheduler::new(node, policy);
+        for (i, t) in tasks.iter().enumerate() {
+            s.enqueue(TaskId(i as u64), ResourceRequest::with_gpus(t.cores, t.gpus));
+        }
+        let mut running: Vec<(TaskId, impress_pilot::Allocation)> = Vec::new();
+        let mut placed_total = 0usize;
+        // Alternate placing and releasing the oldest running task until done.
+        loop {
+            let placed = s.place_ready();
+            placed_total += placed.len();
+            for (id, alloc) in &placed {
+                // Device conservation: no overlap with running allocations.
+                for (_, other) in &running {
+                    for c in &alloc.core_ids {
+                        prop_assert!(!other.core_ids.contains(c), "core {c} double-granted");
+                    }
+                    for g in &alloc.gpu_ids {
+                        prop_assert!(!other.gpu_ids.contains(g), "gpu {g} double-granted");
+                    }
+                }
+                running.push((*id, alloc.clone()));
+            }
+            let used_cores: usize = running.iter().map(|(_, a)| a.core_ids.len()).sum();
+            let used_gpus: usize = running.iter().map(|(_, a)| a.gpu_ids.len()).sum();
+            prop_assert!(used_cores <= 8, "cores oversubscribed: {used_cores}");
+            prop_assert!(used_gpus <= 2, "gpus oversubscribed: {used_gpus}");
+            if running.is_empty() {
+                break;
+            }
+            let (_, alloc) = running.remove(0);
+            s.release(&alloc);
+        }
+        prop_assert_eq!(placed_total, tasks.len(), "every task must eventually place");
+        prop_assert_eq!(s.queue_len(), 0);
+        prop_assert_eq!(s.cores_free(), 8);
+        prop_assert_eq!(s.gpus_free(), 2);
+    }
+
+    /// Every submitted task completes exactly once on the simulated backend,
+    /// and per-device busy time never exceeds the makespan.
+    #[test]
+    fn simulated_backend_completes_everything(tasks in arb_tasks(6, 2)) {
+        let mut backend = SimulatedBackend::new(PilotConfig {
+            node: NodeSpec::new(6, 2, 64),
+            bootstrap: SimDuration::from_secs(5),
+            exec_setup_per_task: SimDuration::from_secs(1),
+            ..PilotConfig::default()
+        });
+        let n = tasks.len();
+        for (i, t) in tasks.iter().enumerate() {
+            backend.submit(TaskDescription::new(
+                format!("t{i}"),
+                ResourceRequest::with_gpus(t.cores, t.gpus),
+                SimDuration::from_secs(t.secs),
+            ));
+        }
+        let mut seen = std::collections::HashSet::new();
+        while let Some(c) = backend.next_completion() {
+            prop_assert!(seen.insert(c.task), "duplicate completion for {}", c.task);
+            prop_assert!(c.finished >= c.started);
+        }
+        prop_assert_eq!(seen.len(), n);
+        prop_assert_eq!(backend.in_flight(), 0);
+        let report = backend.utilization();
+        prop_assert!(report.cpu <= 1.0 + 1e-9);
+        prop_assert!(report.gpu_slot <= 1.0 + 1e-9);
+        prop_assert!(report.gpu_hardware <= report.gpu_slot + 1e-9);
+    }
+
+    /// Makespan lower bounds: no schedule beats the critical-path and
+    /// total-work bounds.
+    #[test]
+    fn makespan_respects_work_bounds(tasks in arb_tasks(4, 1)) {
+        let cores = 4u64;
+        let mut backend = SimulatedBackend::new(PilotConfig {
+            node: NodeSpec::new(cores as u32, 1, 64),
+            bootstrap: SimDuration::ZERO,
+            exec_setup_per_task: SimDuration::ZERO,
+            ..PilotConfig::default()
+        });
+        for (i, t) in tasks.iter().enumerate() {
+            backend.submit(TaskDescription::new(
+                format!("t{i}"),
+                ResourceRequest::with_gpus(t.cores, t.gpus),
+                SimDuration::from_secs(t.secs),
+            ));
+        }
+        while backend.next_completion().is_some() {}
+        let makespan = backend.now().as_secs_f64();
+        let longest = tasks.iter().map(|t| t.secs).max().unwrap() as f64;
+        let core_work: u64 = tasks.iter().map(|t| t.secs * t.cores as u64).sum();
+        prop_assert!(makespan + 1e-6 >= longest, "makespan {makespan} < longest task {longest}");
+        prop_assert!(
+            makespan + 1e-6 >= core_work as f64 / cores as f64,
+            "makespan {makespan} beats total-work bound"
+        );
+    }
+}

@@ -1,0 +1,287 @@
+//! Pairwise sequence alignment and design-comparison statistics.
+//!
+//! Used to characterize designs against their starting sequences (mutation
+//! load, identity, conservation of regions) and to compare final designs
+//! across protocol arms. Global alignment is Needleman–Wunsch with a
+//! BLOSUM-like match score derived from the residues' physicochemistry
+//! (same residue ≫ similar chemistry > dissimilar).
+
+use crate::amino::AminoAcid;
+use crate::sequence::Sequence;
+use serde::{Deserialize, Serialize};
+
+/// Scoring scheme for alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlignScoring {
+    /// Score for an identical pair.
+    pub match_score: f64,
+    /// Maximum score for a chemically similar (non-identical) pair.
+    pub similar_score: f64,
+    /// Gap penalty (per gap position, linear).
+    pub gap: f64,
+}
+
+impl Default for AlignScoring {
+    fn default() -> Self {
+        AlignScoring {
+            match_score: 4.0,
+            similar_score: 1.5,
+            gap: -4.0,
+        }
+    }
+}
+
+impl AlignScoring {
+    /// Substitution score for a residue pair: identity scores
+    /// `match_score`; otherwise chemistry similarity (hydropathy and size
+    /// proximity, charge agreement) scales up to `similar_score`, down to
+    /// `-similar_score` for chemically opposite pairs.
+    pub fn pair(&self, a: AminoAcid, b: AminoAcid) -> f64 {
+        if a == b {
+            return self.match_score;
+        }
+        let hyd = 1.0 - (a.hydropathy() - b.hydropathy()).abs() / 9.0;
+        let vol = 1.0 - (a.volume() - b.volume()).abs() / 170.0;
+        let chg = if (a.charge() - b.charge()).abs() < 0.5 {
+            1.0
+        } else {
+            0.0
+        };
+        let sim = (0.45 * hyd + 0.30 * vol + 0.25 * chg).clamp(0.0, 1.0);
+        self.similar_score * (2.0 * sim - 1.0)
+    }
+}
+
+/// One aligned column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Column {
+    /// Residues aligned (may be identical or substituted).
+    Pair(AminoAcid, AminoAcid),
+    /// Gap in the second sequence.
+    Delete(AminoAcid),
+    /// Gap in the first sequence.
+    Insert(AminoAcid),
+}
+
+/// A global alignment of two sequences.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Alignment {
+    /// Aligned columns, N-terminal first.
+    pub columns: Vec<Column>,
+    /// Total alignment score.
+    pub score: f64,
+}
+
+impl Alignment {
+    /// Fraction of aligned (non-gap) columns that are identical.
+    pub fn identity(&self) -> f64 {
+        let pairs: Vec<_> = self
+            .columns
+            .iter()
+            .filter_map(|c| match c {
+                Column::Pair(a, b) => Some((a, b)),
+                _ => None,
+            })
+            .collect();
+        if pairs.is_empty() {
+            return 0.0;
+        }
+        pairs.iter().filter(|(a, b)| a == b).count() as f64 / pairs.len() as f64
+    }
+
+    /// Number of substitutions (aligned, non-identical columns).
+    pub fn substitutions(&self) -> usize {
+        self.columns
+            .iter()
+            .filter(|c| matches!(c, Column::Pair(a, b) if a != b))
+            .count()
+    }
+
+    /// Number of gap columns (insertions + deletions).
+    pub fn gaps(&self) -> usize {
+        self.columns
+            .iter()
+            .filter(|c| !matches!(c, Column::Pair(..)))
+            .count()
+    }
+
+    /// Render as two gapped lines plus a match line (`|` identity, `:`
+    /// aligned substitution, space for gaps).
+    pub fn render(&self) -> String {
+        let mut top = String::new();
+        let mut mid = String::new();
+        let mut bot = String::new();
+        for c in &self.columns {
+            match c {
+                Column::Pair(a, b) => {
+                    top.push(a.letter());
+                    bot.push(b.letter());
+                    mid.push(if a == b { '|' } else { ':' });
+                }
+                Column::Delete(a) => {
+                    top.push(a.letter());
+                    bot.push('-');
+                    mid.push(' ');
+                }
+                Column::Insert(b) => {
+                    top.push('-');
+                    bot.push(b.letter());
+                    mid.push(' ');
+                }
+            }
+        }
+        format!("{top}\n{mid}\n{bot}\n")
+    }
+}
+
+/// Needleman–Wunsch global alignment of `a` against `b`.
+pub fn global_align(a: &Sequence, b: &Sequence, scoring: &AlignScoring) -> Alignment {
+    let (n, m) = (a.len(), b.len());
+    // DP matrices: score and backpointer (0 = diag, 1 = up/delete, 2 = left/insert).
+    let mut score = vec![vec![0.0f64; m + 1]; n + 1];
+    let mut back = vec![vec![0u8; m + 1]; n + 1];
+    for i in 1..=n {
+        score[i][0] = scoring.gap * i as f64;
+        back[i][0] = 1;
+    }
+    for j in 1..=m {
+        score[0][j] = scoring.gap * j as f64;
+        back[0][j] = 2;
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let diag = score[i - 1][j - 1] + scoring.pair(a.at(i - 1), b.at(j - 1));
+            let up = score[i - 1][j] + scoring.gap;
+            let left = score[i][j - 1] + scoring.gap;
+            // Deterministic tie-breaking: diag ≥ up ≥ left.
+            let (s, d) = if diag >= up && diag >= left {
+                (diag, 0)
+            } else if up >= left {
+                (up, 1)
+            } else {
+                (left, 2)
+            };
+            score[i][j] = s;
+            back[i][j] = d;
+        }
+    }
+    // Traceback.
+    let mut columns = Vec::new();
+    let (mut i, mut j) = (n, m);
+    while i > 0 || j > 0 {
+        match back[i][j] {
+            0 => {
+                columns.push(Column::Pair(a.at(i - 1), b.at(j - 1)));
+                i -= 1;
+                j -= 1;
+            }
+            1 => {
+                columns.push(Column::Delete(a.at(i - 1)));
+                i -= 1;
+            }
+            _ => {
+                columns.push(Column::Insert(b.at(j - 1)));
+                j -= 1;
+            }
+        }
+    }
+    columns.reverse();
+    Alignment {
+        columns,
+        score: score[n][m],
+    }
+}
+
+/// Percent identity between two equal-or-unequal length sequences, via
+/// global alignment with default scoring.
+pub fn percent_identity(a: &Sequence, b: &Sequence) -> f64 {
+    global_align(a, b, &AlignScoring::default()).identity() * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> Sequence {
+        Sequence::parse(s).unwrap()
+    }
+
+    #[test]
+    fn identical_sequences_align_perfectly() {
+        let a = seq("MKVLAWYQ");
+        let al = global_align(&a, &a, &AlignScoring::default());
+        assert_eq!(al.identity(), 1.0);
+        assert_eq!(al.substitutions(), 0);
+        assert_eq!(al.gaps(), 0);
+        assert!((al.score - 8.0 * 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_substitution_detected() {
+        let al = global_align(&seq("MKVLA"), &seq("MKILA"), &AlignScoring::default());
+        assert_eq!(al.substitutions(), 1);
+        assert_eq!(al.gaps(), 0);
+        assert!((al.identity() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn insertion_produces_gap_not_substitution_cascade() {
+        // b has one extra residue in the middle.
+        let al = global_align(
+            &seq("MKVLAWYQ"),
+            &seq("MKVLGAWYQ"),
+            &AlignScoring::default(),
+        );
+        assert_eq!(al.gaps(), 1);
+        assert_eq!(al.substitutions(), 0);
+        assert_eq!(al.identity(), 1.0, "all aligned columns identical");
+    }
+
+    #[test]
+    fn chemistry_similarity_orders_substitution_scores() {
+        let s = AlignScoring::default();
+        // Ile↔Leu (both large hydrophobics) must beat Ile↔Asp (opposite).
+        let similar = s.pair(AminoAcid::Ile, AminoAcid::Leu);
+        let dissimilar = s.pair(AminoAcid::Ile, AminoAcid::Asp);
+        assert!(similar > dissimilar, "{similar} vs {dissimilar}");
+        assert!(s.pair(AminoAcid::Ile, AminoAcid::Ile) > similar);
+    }
+
+    #[test]
+    fn render_shows_three_lines() {
+        let al = global_align(&seq("MKV"), &seq("MRV"), &AlignScoring::default());
+        let text = al.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "MKV");
+        assert_eq!(lines[2], "MRV");
+        assert_eq!(lines[1], "|:|");
+    }
+
+    #[test]
+    fn percent_identity_scale() {
+        assert!((percent_identity(&seq("AAAA"), &seq("AAAA")) - 100.0).abs() < 1e-9);
+        assert!((percent_identity(&seq("AAAA"), &seq("AAAW")) - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alignment_is_symmetric_in_identity() {
+        let a = seq("MKVLAWYQDE");
+        let b = seq("MKVIAWYADE");
+        let ab = global_align(&a, &b, &AlignScoring::default());
+        let ba = global_align(&b, &a, &AlignScoring::default());
+        assert!((ab.identity() - ba.identity()).abs() < 1e-9);
+        assert!((ab.score - ba.score).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_sequence_aligns_as_all_gaps() {
+        let al = global_align(
+            &seq("MKV"),
+            &Sequence::new(vec![]),
+            &AlignScoring::default(),
+        );
+        assert_eq!(al.gaps(), 3);
+        assert_eq!(al.identity(), 0.0);
+    }
+}

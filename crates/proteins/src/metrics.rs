@@ -1,0 +1,185 @@
+//! AlphaFold confidence metrics: pLDDT, pTM, and inter-chain pAE.
+//!
+//! These are the three quantities the paper tracks across design iterations
+//! (Figs. 2–3) and reports net-Δ for (Table I). The types encode each
+//! metric's range and polarity (pAE is *lower-is-better*), so comparison
+//! logic in the protocol cannot silently get a sign wrong.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which confidence metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Predicted local distance difference test, 0–100, higher is better.
+    Plddt,
+    /// Predicted TM-score, 0–1, higher is better.
+    Ptm,
+    /// Inter-chain predicted aligned error in Å, lower is better.
+    InterChainPae,
+}
+
+impl MetricKind {
+    /// All three metrics, in the paper's reporting order.
+    pub const ALL: [MetricKind; 3] = [
+        MetricKind::Plddt,
+        MetricKind::Ptm,
+        MetricKind::InterChainPae,
+    ];
+
+    /// Whether higher values are better for this metric.
+    pub fn higher_is_better(self) -> bool {
+        !matches!(self, MetricKind::InterChainPae)
+    }
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            MetricKind::Plddt => "pLDDT",
+            MetricKind::Ptm => "pTM",
+            MetricKind::InterChainPae => "ipAE",
+        }
+    }
+}
+
+impl fmt::Display for MetricKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The confidence report AlphaFold attaches to one predicted model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceReport {
+    /// Mean predicted lDDT over all residues (0–100).
+    pub plddt: f64,
+    /// Predicted TM-score of the complex (0–1).
+    pub ptm: f64,
+    /// Mean inter-chain predicted aligned error (Å, lower is better).
+    pub inter_chain_pae: f64,
+}
+
+impl ConfidenceReport {
+    /// Construct a report, clamping each metric into its physical range.
+    pub fn new(plddt: f64, ptm: f64, inter_chain_pae: f64) -> Self {
+        ConfidenceReport {
+            plddt: plddt.clamp(0.0, 100.0),
+            ptm: ptm.clamp(0.0, 1.0),
+            inter_chain_pae: inter_chain_pae.clamp(0.0, 35.0),
+        }
+    }
+
+    /// Value of one metric.
+    pub fn get(&self, kind: MetricKind) -> f64 {
+        match kind {
+            MetricKind::Plddt => self.plddt,
+            MetricKind::Ptm => self.ptm,
+            MetricKind::InterChainPae => self.inter_chain_pae,
+        }
+    }
+
+    /// Whether this report is an improvement over `previous` — the Stage 6
+    /// acceptance test. The paper accepts a design cycle when "the structure
+    /// quality improves"; we require the *majority* of the three metrics to
+    /// move in their good direction, which is robust to one noisy metric.
+    pub fn improves_over(&self, previous: &ConfidenceReport) -> bool {
+        let votes = MetricKind::ALL
+            .iter()
+            .filter(|&&k| {
+                if k.higher_is_better() {
+                    self.get(k) > previous.get(k)
+                } else {
+                    self.get(k) < previous.get(k)
+                }
+            })
+            .count();
+        votes >= 2
+    }
+
+    /// Scalar ranking score: mean of each metric normalized to `[0, 1]` with
+    /// good = 1. Used by the coordinator to rank pipeline outcomes globally.
+    pub fn score(&self) -> f64 {
+        let p = self.plddt / 100.0;
+        let t = self.ptm;
+        let e = 1.0 - self.inter_chain_pae / 35.0;
+        (p + t + e) / 3.0
+    }
+}
+
+impl fmt::Display for ConfidenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pLDDT={:.1} pTM={:.3} ipAE={:.2}Å",
+            self.plddt, self.ptm, self.inter_chain_pae
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_clamps_ranges() {
+        let r = ConfidenceReport::new(150.0, -0.5, 99.0);
+        assert_eq!(r.plddt, 100.0);
+        assert_eq!(r.ptm, 0.0);
+        assert_eq!(r.inter_chain_pae, 35.0);
+    }
+
+    #[test]
+    fn polarity_is_correct() {
+        assert!(MetricKind::Plddt.higher_is_better());
+        assert!(MetricKind::Ptm.higher_is_better());
+        assert!(!MetricKind::InterChainPae.higher_is_better());
+    }
+
+    #[test]
+    fn clear_improvement_is_detected() {
+        let old = ConfidenceReport::new(70.0, 0.5, 15.0);
+        let new = ConfidenceReport::new(75.0, 0.6, 12.0);
+        assert!(new.improves_over(&old));
+        assert!(!old.improves_over(&new));
+    }
+
+    #[test]
+    fn majority_vote_tolerates_one_noisy_metric() {
+        let old = ConfidenceReport::new(70.0, 0.5, 15.0);
+        // pAE slightly worse, the other two better → still an improvement.
+        let new = ConfidenceReport::new(74.0, 0.58, 15.5);
+        assert!(new.improves_over(&old));
+        // Only one metric better → not an improvement.
+        let new2 = ConfidenceReport::new(74.0, 0.45, 15.5);
+        assert!(!new2.improves_over(&old));
+    }
+
+    #[test]
+    fn identical_reports_do_not_improve() {
+        let r = ConfidenceReport::new(70.0, 0.5, 15.0);
+        assert!(!r.improves_over(&r));
+    }
+
+    #[test]
+    fn score_is_monotone_in_each_metric() {
+        let base = ConfidenceReport::new(70.0, 0.5, 15.0);
+        assert!(ConfidenceReport::new(80.0, 0.5, 15.0).score() > base.score());
+        assert!(ConfidenceReport::new(70.0, 0.6, 15.0).score() > base.score());
+        assert!(ConfidenceReport::new(70.0, 0.5, 10.0).score() > base.score());
+    }
+
+    #[test]
+    fn get_matches_fields() {
+        let r = ConfidenceReport::new(70.0, 0.5, 15.0);
+        assert_eq!(r.get(MetricKind::Plddt), 70.0);
+        assert_eq!(r.get(MetricKind::Ptm), 0.5);
+        assert_eq!(r.get(MetricKind::InterChainPae), 15.0);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(MetricKind::Plddt.label(), "pLDDT");
+        assert_eq!(MetricKind::Ptm.label(), "pTM");
+        assert_eq!(MetricKind::InterChainPae.label(), "ipAE");
+    }
+}

@@ -1,0 +1,227 @@
+//! Point-mutation notation: parsing, applying, and describing mutations in
+//! the standard `A45G` convention (wild-type residue, 1-based position, new
+//! residue) used throughout the protein-design literature.
+
+use crate::amino::AminoAcid;
+use crate::sequence::Sequence;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One point mutation in standard notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Mutation {
+    /// Wild-type residue.
+    pub from: AminoAcid,
+    /// 1-based sequence position.
+    pub position: usize,
+    /// Designed residue.
+    pub to: AminoAcid,
+}
+
+impl fmt::Display for Mutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            self.from.letter(),
+            self.position,
+            self.to.letter()
+        )
+    }
+}
+
+/// Errors from mutation parsing and application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MutationError {
+    /// The notation string was malformed.
+    BadNotation(String),
+    /// Position is 0 or beyond the sequence end.
+    OutOfRange {
+        /// The offending 1-based position.
+        position: usize,
+        /// The sequence length.
+        len: usize,
+    },
+    /// The wild-type residue in the notation does not match the sequence.
+    WildTypeMismatch {
+        /// The mutation as written.
+        mutation: Mutation,
+        /// What the sequence actually has at that position.
+        actual: AminoAcid,
+    },
+}
+
+impl fmt::Display for MutationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MutationError::BadNotation(s) => write!(f, "bad mutation notation {s:?}"),
+            MutationError::OutOfRange { position, len } => {
+                write!(f, "position {position} out of range (length {len})")
+            }
+            MutationError::WildTypeMismatch { mutation, actual } => write!(
+                f,
+                "{mutation}: sequence has {} at position {}",
+                actual.letter(),
+                mutation.position
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MutationError {}
+
+impl Mutation {
+    /// Parse `A45G`-style notation.
+    pub fn parse(s: &str) -> Result<Mutation, MutationError> {
+        let s = s.trim();
+        let bad = || MutationError::BadNotation(s.to_string());
+        let mut chars = s.chars();
+        let from = AminoAcid::from_letter(chars.next().ok_or_else(bad)?).map_err(|_| bad())?;
+        let rest: String = chars.collect();
+        if rest.len() < 2 {
+            return Err(bad());
+        }
+        let (digits, to_letter) = rest.split_at(rest.len() - 1);
+        let position: usize = digits.parse().map_err(|_| bad())?;
+        if position == 0 {
+            return Err(bad());
+        }
+        let to =
+            AminoAcid::from_letter(to_letter.chars().next().ok_or_else(bad)?).map_err(|_| bad())?;
+        Ok(Mutation { from, position, to })
+    }
+
+    /// Apply to a sequence, validating position and wild type.
+    pub fn apply(&self, seq: &Sequence) -> Result<Sequence, MutationError> {
+        if self.position == 0 || self.position > seq.len() {
+            return Err(MutationError::OutOfRange {
+                position: self.position,
+                len: seq.len(),
+            });
+        }
+        let actual = seq.at(self.position - 1);
+        if actual != self.from {
+            return Err(MutationError::WildTypeMismatch {
+                mutation: *self,
+                actual,
+            });
+        }
+        Ok(seq.with_substitution(self.position - 1, self.to))
+    }
+}
+
+/// All mutations turning `from` into `to` (equal lengths), in position order.
+pub fn diff(from: &Sequence, to: &Sequence) -> Vec<Mutation> {
+    assert_eq!(from.len(), to.len(), "diff requires equal lengths");
+    (0..from.len())
+        .filter(|&i| from.at(i) != to.at(i))
+        .map(|i| Mutation {
+            from: from.at(i),
+            position: i + 1,
+            to: to.at(i),
+        })
+        .collect()
+}
+
+/// Apply a list of mutations in order, validating each against the evolving
+/// sequence.
+pub fn apply_all(seq: &Sequence, mutations: &[Mutation]) -> Result<Sequence, MutationError> {
+    let mut current = seq.clone();
+    for m in mutations {
+        current = m.apply(&current)?;
+    }
+    Ok(current)
+}
+
+/// Render a mutation list in the conventional comma-joined form
+/// (`"A45G, W12F"`).
+pub fn format_mutations(mutations: &[Mutation]) -> String {
+    mutations
+        .iter()
+        .map(|m| m.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> Sequence {
+        Sequence::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for notation in ["A45G", "W1F", "K120R"] {
+            let m = Mutation::parse(notation).unwrap();
+            assert_eq!(m.to_string(), notation);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in ["", "A", "AG", "A0G", "AxG", "45G", "A45", "Z45G", "A45B"] {
+            assert!(
+                matches!(Mutation::parse(bad), Err(MutationError::BadNotation(_))),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_validates_wild_type_and_range() {
+        let s = seq("MKVLA");
+        let ok = Mutation::parse("K2R").unwrap().apply(&s).unwrap();
+        assert_eq!(ok.to_letters(), "MRVLA");
+        assert!(matches!(
+            Mutation::parse("A2R").unwrap().apply(&s),
+            Err(MutationError::WildTypeMismatch { .. })
+        ));
+        assert!(matches!(
+            Mutation::parse("K9R").unwrap().apply(&s),
+            Err(MutationError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn diff_and_apply_all_invert() {
+        let a = seq("MKVLAWYQDE");
+        let b = seq("MRVLAWFQDE");
+        let muts = diff(&a, &b);
+        assert_eq!(format_mutations(&muts), "K2R, Y7F");
+        assert_eq!(apply_all(&a, &muts).unwrap(), b);
+    }
+
+    #[test]
+    fn diff_of_identical_is_empty() {
+        let a = seq("MKVLA");
+        assert!(diff(&a, &a).is_empty());
+        assert_eq!(format_mutations(&[]), "");
+    }
+
+    #[test]
+    fn apply_all_fails_fast_on_stale_wild_type() {
+        let a = seq("MKVLA");
+        // Second mutation claims K2 again after K2R already applied.
+        let muts = vec![
+            Mutation::parse("K2R").unwrap(),
+            Mutation::parse("K2W").unwrap(),
+        ];
+        assert!(matches!(
+            apply_all(&a, &muts),
+            Err(MutationError::WildTypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = Mutation::parse("A2R")
+            .unwrap()
+            .apply(&seq("MK"))
+            .unwrap_err();
+        let text = e.to_string();
+        assert!(text.contains("A2R"), "{text}");
+        assert!(text.contains('K'), "{text}");
+    }
+}

@@ -1,0 +1,299 @@
+//! The discrete-event engine.
+//!
+//! The engine runs continuation-passing "processes": a process is any closure
+//! `FnOnce(&mut Engine)` scheduled at a virtual instant. A closure models a
+//! multi-step activity by scheduling its own next step (possibly capturing
+//! state) before returning. Combined with [`crate::resource`] wait queues this
+//! is sufficient to express pilot bootstraps, task launches, I/O contention,
+//! and every other timed behaviour the pilot's simulated backend needs.
+//!
+//! Determinism: the engine is single-threaded and events fire in
+//! `(time, scheduling order)` — see [`crate::event`].
+
+use crate::event::{EventId, EventQueue};
+use crate::resource::{ResourceId, ResourcePool};
+use crate::time::{SimDuration, SimTime};
+
+/// A continuation scheduled on the engine.
+pub type Continuation = Box<dyn FnOnce(&mut Engine)>;
+
+/// Handle to a scheduled continuation; allows cancellation before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcessHandle(pub(crate) EventId);
+
+/// The discrete-event simulation engine.
+pub struct Engine {
+    now: SimTime,
+    queue: EventQueue<Continuation>,
+    resources: ResourcePool,
+    steps: u64,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// Create an engine at `t = 0` with no scheduled events.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            resources: ResourcePool::new(),
+            steps: 0,
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events dispatched so far.
+    #[inline]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Schedule `f` to run after `delay`.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, f: F) -> ProcessHandle
+    where
+        F: FnOnce(&mut Engine) + 'static,
+    {
+        self.schedule_at(self.now + delay, f)
+    }
+
+    /// Schedule `f` at an absolute instant. Instants in the past fire at the
+    /// current time (never before already-dispatched events).
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F) -> ProcessHandle
+    where
+        F: FnOnce(&mut Engine) + 'static,
+    {
+        let at = at.max(self.now);
+        ProcessHandle(self.queue.schedule(at, Box::new(f)))
+    }
+
+    /// Cancel a scheduled continuation. Returns `false` if it already fired
+    /// or was already cancelled.
+    pub fn cancel(&mut self, handle: ProcessHandle) -> bool {
+        self.queue.cancel(handle.0)
+    }
+
+    /// Dispatch the next event, if any. Returns `false` when the queue is
+    /// exhausted.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some(ev) => {
+                debug_assert!(ev.at >= self.now, "event queue went backwards");
+                self.now = ev.at;
+                self.steps += 1;
+                (ev.payload)(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until no events remain. Returns the final virtual time.
+    pub fn run(&mut self) -> SimTime {
+        while self.step() {}
+        self.now
+    }
+
+    /// Run until the queue is empty or the next event would fire after
+    /// `deadline`. Events *at* the deadline are dispatched.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(deadline.min(self.now.max(deadline)));
+        self.now
+    }
+
+    /// Register a counted resource with the given capacity. See
+    /// [`crate::resource`] for acquisition semantics.
+    pub fn add_resource(&mut self, capacity: u64) -> ResourceId {
+        self.resources.add(capacity)
+    }
+
+    /// Acquire `amount` units of `res`, running `f` as soon as they are
+    /// granted (possibly immediately, at the current instant).
+    pub fn acquire<F>(&mut self, res: ResourceId, amount: u64, f: F)
+    where
+        F: FnOnce(&mut Engine) + 'static,
+    {
+        if self.resources.try_acquire(res, amount) {
+            // Grant at the current instant but *through the queue*, so grant
+            // order interleaves deterministically with same-time events.
+            self.schedule_at(self.now, f);
+        } else {
+            self.resources.enqueue_waiter(res, amount, Box::new(f));
+        }
+    }
+
+    /// Release `amount` units of `res`, waking FIFO waiters whose requests
+    /// now fit.
+    pub fn release(&mut self, res: ResourceId, amount: u64) {
+        let woken = self.resources.release(res, amount);
+        for cont in woken {
+            self.schedule_at(self.now, cont);
+        }
+    }
+
+    /// Units of `res` currently available.
+    pub fn available(&self, res: ResourceId) -> u64 {
+        self.resources.available(res)
+    }
+
+    /// Units of `res` currently held by processes.
+    pub fn in_use(&self, res: ResourceId) -> u64 {
+        self.resources.in_use(res)
+    }
+
+    /// Number of processes waiting on `res`.
+    pub fn waiters(&self, res: ResourceId) -> usize {
+        self.resources.waiters(res)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn secs(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn events_fire_in_order_and_advance_time() {
+        let mut eng = Engine::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for (delay, tag) in [(3u64, "c"), (1, "a"), (2, "b")] {
+            let log = log.clone();
+            eng.schedule_in(secs(delay), move |e| {
+                log.borrow_mut().push((tag, e.now().as_secs_f64() as u64));
+            });
+        }
+        let end = eng.run();
+        assert_eq!(*log.borrow(), vec![("a", 1), ("b", 2), ("c", 3)]);
+        assert_eq!(end, SimTime::ZERO + secs(3));
+    }
+
+    #[test]
+    fn chained_continuations_model_multi_step_processes() {
+        let mut eng = Engine::new();
+        let done = Rc::new(RefCell::new(0u64));
+        let done2 = done.clone();
+        eng.schedule_in(secs(1), move |e| {
+            // step 2 scheduled from inside step 1
+            e.schedule_in(secs(4), move |e2| {
+                *done2.borrow_mut() = e2.now().as_secs_f64() as u64;
+            });
+        });
+        eng.run();
+        assert_eq!(*done.borrow(), 5);
+    }
+
+    #[test]
+    fn cancellation_prevents_firing() {
+        let mut eng = Engine::new();
+        let fired = Rc::new(RefCell::new(false));
+        let f2 = fired.clone();
+        let h = eng.schedule_in(secs(1), move |_| *f2.borrow_mut() = true);
+        assert!(eng.cancel(h));
+        eng.run();
+        assert!(!*fired.borrow());
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut eng = Engine::new();
+        let count = Rc::new(RefCell::new(0));
+        for i in 1..=10u64 {
+            let count = count.clone();
+            eng.schedule_in(secs(i), move |_| *count.borrow_mut() += 1);
+        }
+        eng.run_until(SimTime::ZERO + secs(5));
+        assert_eq!(*count.borrow(), 5);
+        eng.run();
+        assert_eq!(*count.borrow(), 10);
+    }
+
+    #[test]
+    fn resource_acquisition_blocks_until_release() {
+        let mut eng = Engine::new();
+        let res = eng.add_resource(2);
+        let log = Rc::new(RefCell::new(Vec::new()));
+
+        // Two unit holders for 10s each; a third waits until one releases.
+        for tag in ["a", "b", "c"] {
+            let log = log.clone();
+            eng.schedule_at(SimTime::ZERO, move |e| {
+                e.acquire(res, 1, move |e| {
+                    let at = e.now().as_secs_f64() as u64;
+                    log.borrow_mut().push((tag, at));
+                    e.schedule_in(secs(10), move |e| e.release(res, 1));
+                });
+            });
+        }
+        eng.run();
+        assert_eq!(*log.borrow(), vec![("a", 0), ("b", 0), ("c", 10)]);
+    }
+
+    #[test]
+    fn fifo_waiters_wake_in_request_order() {
+        let mut eng = Engine::new();
+        let res = eng.add_resource(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for tag in 0..5u32 {
+            let log = log.clone();
+            eng.schedule_at(SimTime::ZERO, move |e| {
+                e.acquire(res, 1, move |e| {
+                    log.borrow_mut().push(tag);
+                    e.schedule_in(secs(1), move |e| e.release(res, 1));
+                });
+            });
+        }
+        eng.run();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn accounting_tracks_available_and_in_use() {
+        let mut eng = Engine::new();
+        let res = eng.add_resource(4);
+        eng.schedule_at(SimTime::ZERO, move |e| {
+            e.acquire(res, 3, move |e| {
+                assert_eq!(e.available(res), 1);
+                assert_eq!(e.in_use(res), 3);
+                e.release(res, 3);
+            });
+        });
+        eng.run();
+        assert_eq!(eng.available(res), 4);
+        assert_eq!(eng.in_use(res), 0);
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let mut eng = Engine::new();
+        let seen = Rc::new(RefCell::new(SimTime::ZERO));
+        let seen2 = seen.clone();
+        eng.schedule_in(secs(5), move |e| {
+            // schedule "in the past" — must fire now, not at t=1
+            e.schedule_at(SimTime::ZERO + secs(1), move |e2| {
+                *seen2.borrow_mut() = e2.now();
+            });
+        });
+        eng.run();
+        assert_eq!(*seen.borrow(), SimTime::ZERO + secs(5));
+    }
+}

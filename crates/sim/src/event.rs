@@ -1,0 +1,182 @@
+//! The deterministic event queue.
+//!
+//! Events are ordered by `(time, sequence number)`: ties at the same virtual
+//! instant fire in scheduling order. This makes every simulation replayable —
+//! the queue never consults wall-clock time, thread identity, or hash order.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Monotonically increasing identifier assigned to every scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub u64);
+
+/// An entry in the event queue: a firing time plus an opaque payload.
+///
+/// The engine stores continuations as payloads; tests may use plain values.
+pub struct ScheduledEvent<T> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Queue-unique identifier; also the deterministic tie-breaker.
+    pub id: EventId,
+    /// The payload delivered when the event fires.
+    pub payload: T,
+}
+
+impl<T> PartialEq for ScheduledEvent<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.id == other.id
+    }
+}
+impl<T> Eq for ScheduledEvent<T> {}
+
+impl<T> PartialOrd for ScheduledEvent<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for ScheduledEvent<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, id) pops first.
+        other.at.cmp(&self.at).then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+/// A min-queue of timed events with deterministic FIFO tie-breaking.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<ScheduledEvent<T>>,
+    next_id: u64,
+    cancelled: std::collections::HashSet<u64>,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_id: 0,
+            cancelled: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Schedule `payload` to fire at `at`. Returns the event's id, usable
+    /// with [`EventQueue::cancel`].
+    pub fn schedule(&mut self, at: SimTime, payload: T) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.heap.push(ScheduledEvent { at, id, payload });
+        id
+    }
+
+    /// Cancel a previously scheduled event. Cancellation is lazy: the entry
+    /// stays in the heap but is skipped when popped. Returns `true` if the
+    /// id had not already been cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.cancelled.insert(id.0)
+    }
+
+    /// Remove and return the earliest non-cancelled event.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<T>> {
+        while let Some(ev) = self.heap.pop() {
+            if self.cancelled.remove(&ev.id.0) {
+                continue;
+            }
+            return Some(ev);
+        }
+        None
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drop cancelled entries from the top so the peek is accurate.
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.contains(&top.id.0) {
+                let ev = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&ev.id.0);
+            } else {
+                return Some(top.at);
+            }
+        }
+        None
+    }
+
+    /// Number of events still scheduled (including lazily cancelled ones).
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.heap.len().saturating_sub(self.cancelled.len())
+    }
+
+    /// Whether no live events remain. (Takes `&mut self` because it prunes
+    /// lazily-cancelled entries to give an exact answer.)
+    #[allow(clippy::wrong_self_convention)]
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), "c");
+        q.schedule(t(1), "a");
+        q.schedule(t(3), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_in_scheduling_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(7), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double-cancel reports false");
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_ignores_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(9), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(9)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop().map(|e| e.at), None);
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,46 @@
+//! # impress-sim
+//!
+//! A deterministic, single-threaded discrete-event simulation (DES) substrate
+//! used to replay virtual-time HPC cluster executions.
+//!
+//! The IMPRESS paper evaluates its middleware on a real cluster node where a
+//! single experiment takes 27–38 wall-clock *hours* (Table I). This crate lets
+//! the pilot runtime replay the exact same scheduling decisions in virtual
+//! time, so the paper's utilization and makespan figures regenerate in
+//! milliseconds and are bit-reproducible across runs and machines.
+//!
+//! Components:
+//!
+//! * [`time`] — virtual time points and durations with microsecond resolution.
+//! * [`event`] — the deterministic event queue (ordered by `(time, seq)`).
+//! * [`engine`] — the event loop; schedules continuation-passing callbacks.
+//! * [`resource`] — counted resources with FIFO wait queues (e.g. shared
+//!   filesystem bandwidth during AlphaFold MSA construction).
+//! * [`rng`] — seedable, forkable deterministic random streams.
+//! * [`trace`] — busy-interval timelines and utilization accounting.
+//! * [`stats`] — summary statistics (median, std-dev, quantiles) used by the
+//!   experiment harnesses.
+//!
+//! The engine is intentionally *not* thread-safe: determinism is the point.
+//! Real-time execution is provided by `impress-pilot`'s threaded backend
+//! instead.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod engine;
+pub mod event;
+pub mod histogram;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Engine, ProcessHandle};
+pub use histogram::Histogram;
+pub use resource::{Resource, ResourceId};
+pub use rng::SimRng;
+pub use stats::Summary;
+pub use time::{SimDuration, SimTime};
+pub use trace::{IntervalTrace, UtilizationTracker};

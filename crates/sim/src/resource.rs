@@ -1,0 +1,196 @@
+//! Counted resources with FIFO wait queues.
+//!
+//! A [`Resource`] models a pool of interchangeable units — CPU cores, GPU
+//! slots, filesystem bandwidth tokens. Processes request `n` units; requests
+//! that do not fit wait in FIFO order. FIFO granting (rather than best-fit)
+//! mirrors the fairness of the pilot agent's launcher queue and keeps the
+//! simulation deterministic.
+//!
+//! Note the deliberate *head-of-line blocking*: if the queue head wants 4
+//! units and only 2 are free, smaller requests behind it also wait. The pilot
+//! scheduler in `impress-pilot` implements smarter placement (backfill) at a
+//! layer above; this primitive stays simple and predictable.
+
+use crate::engine::Continuation;
+use std::collections::VecDeque;
+
+/// Identifies a counted resource registered with an [`crate::Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(pub(crate) usize);
+
+/// A single counted resource. Exposed for direct (non-engine) use in tests
+/// and in the pilot's utilization accounting.
+pub struct Resource {
+    capacity: u64,
+    available: u64,
+    waiters: VecDeque<(u64, Continuation)>,
+}
+
+impl Resource {
+    /// A resource with `capacity` free units and no waiters.
+    pub fn new(capacity: u64) -> Self {
+        Resource {
+            capacity,
+            available: capacity,
+            waiters: VecDeque::new(),
+        }
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Currently free units.
+    pub fn available(&self) -> u64 {
+        self.available
+    }
+
+    /// Currently held units.
+    pub fn in_use(&self) -> u64 {
+        self.capacity - self.available
+    }
+
+    /// Queued requests.
+    pub fn waiters(&self) -> usize {
+        self.waiters.len()
+    }
+
+    fn try_acquire(&mut self, amount: u64) -> bool {
+        // Respect FIFO: even if `amount` fits, queue-jumping ahead of an
+        // existing waiter would starve large requests.
+        if self.waiters.is_empty() && amount <= self.available {
+            self.available -= amount;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn release(&mut self, amount: u64) -> Vec<Continuation> {
+        assert!(
+            self.available + amount <= self.capacity,
+            "release of {amount} units would exceed capacity {} (available {})",
+            self.capacity,
+            self.available
+        );
+        self.available += amount;
+        let mut woken = Vec::new();
+        while let Some((need, _)) = self.waiters.front() {
+            if *need <= self.available {
+                let (need, cont) = self.waiters.pop_front().expect("front exists");
+                self.available -= need;
+                woken.push(cont);
+            } else {
+                break;
+            }
+        }
+        woken
+    }
+}
+
+/// The set of resources owned by an engine.
+pub(crate) struct ResourcePool {
+    resources: Vec<Resource>,
+}
+
+impl ResourcePool {
+    pub(crate) fn new() -> Self {
+        ResourcePool {
+            resources: Vec::new(),
+        }
+    }
+
+    pub(crate) fn add(&mut self, capacity: u64) -> ResourceId {
+        self.resources.push(Resource::new(capacity));
+        ResourceId(self.resources.len() - 1)
+    }
+
+    pub(crate) fn try_acquire(&mut self, id: ResourceId, amount: u64) -> bool {
+        self.resources[id.0].try_acquire(amount)
+    }
+
+    pub(crate) fn enqueue_waiter(&mut self, id: ResourceId, amount: u64, cont: Continuation) {
+        assert!(
+            amount <= self.resources[id.0].capacity,
+            "request of {amount} units can never be satisfied by capacity {}",
+            self.resources[id.0].capacity
+        );
+        self.resources[id.0].waiters.push_back((amount, cont));
+    }
+
+    pub(crate) fn release(&mut self, id: ResourceId, amount: u64) -> Vec<Continuation> {
+        self.resources[id.0].release(amount)
+    }
+
+    pub(crate) fn available(&self, id: ResourceId) -> u64 {
+        self.resources[id.0].available()
+    }
+
+    pub(crate) fn in_use(&self, id: ResourceId) -> u64 {
+        self.resources[id.0].in_use()
+    }
+
+    pub(crate) fn waiters(&self, id: ResourceId) -> usize {
+        self.resources[id.0].waiters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_conserves_units() {
+        let mut r = Resource::new(8);
+        assert!(r.try_acquire(5));
+        assert_eq!(r.available(), 3);
+        assert_eq!(r.in_use(), 5);
+        let woken = r.release(5);
+        assert!(woken.is_empty());
+        assert_eq!(r.available(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed capacity")]
+    fn over_release_panics() {
+        let mut r = Resource::new(2);
+        r.release(1);
+    }
+
+    #[test]
+    fn fifo_prevents_queue_jumping() {
+        let mut r = Resource::new(4);
+        assert!(r.try_acquire(3));
+        // Big request queues...
+        r.waiters.push_back((4, Box::new(|_| {})));
+        // ...so a small request that *would* fit must also wait.
+        assert!(!r.try_acquire(1));
+        // Releasing 3 gives 4 free; exactly the queue head wakes.
+        let woken = r.release(3);
+        assert_eq!(woken.len(), 1);
+        assert_eq!(r.available(), 0);
+    }
+
+    #[test]
+    fn release_wakes_multiple_fitting_waiters() {
+        let mut r = Resource::new(4);
+        assert!(r.try_acquire(4));
+        r.waiters.push_back((2, Box::new(|_| {})));
+        r.waiters.push_back((1, Box::new(|_| {})));
+        r.waiters.push_back((4, Box::new(|_| {})));
+        let woken = r.release(4);
+        // 2 and 1 fit (3 of 4); 4 does not.
+        assert_eq!(woken.len(), 2);
+        assert_eq!(r.available(), 1);
+        assert_eq!(r.waiters(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "never be satisfied")]
+    fn impossible_request_panics_instead_of_deadlocking() {
+        let mut pool = ResourcePool::new();
+        let id = pool.add(2);
+        pool.enqueue_waiter(id, 3, Box::new(|_| {}));
+    }
+}

@@ -1,0 +1,211 @@
+//! Deterministic, forkable random streams.
+//!
+//! Every stochastic component of the reproduction (landscape construction,
+//! surrogate model noise, task duration jitter) draws from a [`SimRng`]
+//! derived from a master seed plus a *stream label*. Labelled forking means:
+//!
+//! * two runs with the same master seed are bit-identical,
+//! * adding a new consumer of randomness does not perturb existing streams
+//!   (no shared global sequence), and
+//! * parallel (threaded-backend) and simulated runs see the same draws.
+//!
+//! ChaCha8 is used rather than `rand`'s `StdRng` because its output is
+//! specified and stable across `rand` versions and platforms.
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A deterministic random stream.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    inner: ChaCha8Rng,
+}
+
+impl SimRng {
+    /// Create a stream from a master seed.
+    pub fn from_seed(seed: u64) -> Self {
+        SimRng {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent child stream identified by `label`.
+    ///
+    /// The child's seed mixes the parent seed material with an FNV-1a hash
+    /// of the label, so sibling streams with different labels never collide
+    /// in practice and the derivation is order-independent.
+    pub fn fork(&self, label: &str) -> SimRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        // Mix with the parent's word stream position-independently: use the
+        // parent's seed words, not its current position.
+        let seed_words = self.inner.get_seed();
+        let mut seed = [0u8; 32];
+        for (i, chunk) in seed.chunks_mut(8).enumerate() {
+            let parent = u64::from_le_bytes(seed_words[i * 8..i * 8 + 8].try_into().unwrap());
+            let mixed = parent ^ h.rotate_left((i as u32) * 16 + 1);
+            chunk.copy_from_slice(&mixed.to_le_bytes());
+        }
+        SimRng {
+            inner: ChaCha8Rng::from_seed(seed),
+        }
+    }
+
+    /// Derive a child stream labelled by an integer index (e.g. replica id).
+    pub fn fork_idx(&self, label: &str, idx: u64) -> SimRng {
+        self.fork(&format!("{label}/{idx}"))
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is undefined");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Standard normal draw (Box–Muller; one value per call for simplicity).
+    pub fn normal(&mut self) -> f64 {
+        let u1: f64 = self.uniform().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f64, sd: f64) -> f64 {
+        mean + sd * self.normal()
+    }
+
+    /// Log-normal-ish positive jitter: multiplies `base` by `exp(sd * N(0,1))`.
+    /// Used for task duration noise.
+    pub fn jitter(&mut self, base: f64, sd: f64) -> f64 {
+        base * (sd * self.normal()).exp()
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p.clamp(0.0, 1.0)
+    }
+
+    /// Choose a uniformly random element of `slice`. Panics on empty input.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        &slice[self.below(slice.len())]
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::from_seed(42);
+        let mut b = SimRng::from_seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_labels_give_different_streams() {
+        let root = SimRng::from_seed(7);
+        let mut a = root.fork("mpnn");
+        let mut b = root.fork("alphafold");
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fork_is_independent_of_parent_position() {
+        let mut root = SimRng::from_seed(7);
+        let before = root.fork("x");
+        let _ = root.next_u64(); // advance parent
+        let after = root.fork("x");
+        let mut b = before;
+        let mut a = after;
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn normal_has_plausible_moments() {
+        let mut rng = SimRng::from_seed(1);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn chance_respects_extremes() {
+        let mut rng = SimRng::from_seed(3);
+        assert!(!(0..100).any(|_| rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::from_seed(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jitter_is_positive_and_centered() {
+        let mut rng = SimRng::from_seed(11);
+        let vals: Vec<f64> = (0..5000).map(|_| rng.jitter(10.0, 0.1)).collect();
+        assert!(vals.iter().all(|&v| v > 0.0));
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!((mean - 10.0).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn below_covers_full_range() {
+        let mut rng = SimRng::from_seed(5);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.below(10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

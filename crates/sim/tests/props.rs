@@ -1,0 +1,122 @@
+//! Property-based tests for the simulation substrate.
+
+use impress_sim::event::EventQueue;
+use impress_sim::stats::{net_delta, quantile};
+use impress_sim::{SimDuration, SimRng, SimTime, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    /// The event queue is a stable priority queue: pops come out sorted by
+    /// time, and equal times preserve insertion order.
+    #[test]
+    fn event_queue_pops_sorted_and_stable(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some(ev) = q.pop() {
+            popped.push((ev.at.as_micros(), ev.payload));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "times out of order");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO violated at equal times");
+            }
+        }
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn cancellation_removes_exactly_the_cancelled(
+        times in prop::collection::vec(0u64..100, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| q.schedule(SimTime::from_micros(t), i))
+            .collect();
+        let mut expected: Vec<usize> = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if cancel_mask.get(i).copied().unwrap_or(false) {
+                q.cancel(*id);
+            } else {
+                expected.push(i);
+            }
+        }
+        let mut popped: Vec<usize> = Vec::new();
+        while let Some(ev) = q.pop() {
+            popped.push(ev.payload);
+        }
+        popped.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// Summary invariants: min ≤ median ≤ max, min ≤ mean ≤ max, σ ≥ 0, and
+    /// the count matches after NaN filtering.
+    #[test]
+    fn summary_invariants(values in prop::collection::vec(-1e6f64..1e6, 0..300)) {
+        let s = Summary::of(&values);
+        prop_assert_eq!(s.n, values.len());
+        if s.n > 0 {
+            prop_assert!(s.min <= s.median + 1e-9);
+            prop_assert!(s.median <= s.max + 1e-9);
+            prop_assert!(s.min <= s.mean + 1e-9);
+            prop_assert!(s.mean <= s.max + 1e-9);
+            prop_assert!(s.std_dev >= 0.0);
+        }
+    }
+
+    /// Quantiles are monotone in q and bounded by the extremes.
+    #[test]
+    fn quantiles_are_monotone(values in prop::collection::vec(-1e3f64..1e3, 1..100)) {
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
+        let results: Vec<f64> = qs.iter().map(|&q| quantile(&values, q)).collect();
+        for w in results.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-9);
+        }
+        let s = Summary::of(&values);
+        prop_assert!((results[0] - s.min).abs() < 1e-9);
+        prop_assert!((results[6] - s.max).abs() < 1e-9);
+    }
+
+    /// net_delta is antisymmetric under series reversal.
+    #[test]
+    fn net_delta_antisymmetry(values in prop::collection::vec(-1e3f64..1e3, 2..50)) {
+        let fwd = net_delta(&values);
+        let mut rev = values.clone();
+        rev.reverse();
+        prop_assert!((fwd + net_delta(&rev)).abs() < 1e-9);
+    }
+
+    /// Forked RNG streams with different labels are uncorrelated (no equal
+    /// first draws across a sample of labels), and same labels identical.
+    #[test]
+    fn rng_fork_label_independence(seed in any::<u64>(), a in 0u64..5000, b in 0u64..5000) {
+        prop_assume!(a != b);
+        let root = SimRng::from_seed(seed);
+        let mut fa = root.fork_idx("stream", a);
+        let mut fb = root.fork_idx("stream", b);
+        let mut fa2 = root.fork_idx("stream", a);
+        let xa: Vec<f64> = (0..4).map(|_| fa.uniform()).collect();
+        let xb: Vec<f64> = (0..4).map(|_| fb.uniform()).collect();
+        let xa2: Vec<f64> = (0..4).map(|_| fa2.uniform()).collect();
+        prop_assert_eq!(&xa, &xa2, "same label must replay");
+        prop_assert_ne!(&xa, &xb, "different labels must diverge");
+    }
+
+    /// Duration arithmetic: saturating and order-preserving.
+    #[test]
+    fn duration_arithmetic_props(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let da = SimDuration::from_micros(a);
+        let db = SimDuration::from_micros(b);
+        prop_assert_eq!((da + db).as_micros(), a + b);
+        prop_assert_eq!((da - db).as_micros(), a.saturating_sub(b));
+        let t = SimTime::from_micros(a);
+        prop_assert_eq!((t + db) - t, db);
+    }
+}

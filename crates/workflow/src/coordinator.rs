@@ -1,0 +1,540 @@
+//! The pipelines coordinator.
+//!
+//! Manages "the concurrent and dynamic submission of pipelines using two
+//! communication channels: one to track new pipeline instances that need to
+//! be submitted … and the other for completed tasks from each pipeline"
+//! (§II-D). In this implementation the completed-task channel is the pilot
+//! backend's completion stream, and the new-pipeline channel is the spawn
+//! queue fed by the [`crate::decision::DecisionEngine`].
+//!
+//! The coordinator is backend-agnostic: drive it over the simulated backend
+//! for deterministic virtual-time experiments, or over the threaded backend
+//! for live runs.
+
+use crate::decision::{DecisionEngine, Spawn};
+use crate::events::{EventKind, EventLog};
+use crate::pipeline::{BoxedPipeline, PipelineId, PipelineState};
+use crate::registry::Registry;
+use crate::report::RunReport;
+use crate::stage::{StageBuffer, Step};
+use impress_pilot::{Completion, ExecutionBackend, Session, TaskId};
+use impress_sim::SimTime;
+use std::collections::HashMap;
+
+/// A read-only snapshot handed to the decision engine.
+pub struct CoordinatorView<'a> {
+    /// Current backend time.
+    pub now: SimTime,
+    /// The pipeline ledger.
+    pub registry: &'a Registry,
+    /// Utilization so far.
+    pub utilization: impress_pilot::UtilizationReport,
+}
+
+/// The pipelines coordinator. `O` is the pipeline outcome type.
+pub struct Coordinator<O, B: ExecutionBackend, D: DecisionEngine<O>> {
+    session: Session<B>,
+    decision: D,
+    registry: Registry,
+    live: HashMap<u64, BoxedPipeline<O>>,
+    buffers: HashMap<u64, StageBuffer>,
+    routes: HashMap<TaskId, PipelineId>,
+    to_start: Vec<PipelineId>,
+    outcomes: Vec<(PipelineId, O)>,
+    aborts: Vec<(PipelineId, String)>,
+    events: EventLog,
+}
+
+impl<O, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D> {
+    /// A coordinator over a fresh session on `backend`, advised by
+    /// `decision`.
+    pub fn new(backend: B, decision: D) -> Self {
+        Coordinator {
+            session: Session::new(backend),
+            decision,
+            registry: Registry::new(),
+            live: HashMap::new(),
+            buffers: HashMap::new(),
+            routes: HashMap::new(),
+            to_start: Vec::new(),
+            outcomes: Vec::new(),
+            aborts: Vec::new(),
+            events: EventLog::new(),
+        }
+    }
+
+    /// Register a root pipeline. It begins executing when [`Coordinator::run`]
+    /// is called (or immediately if the run loop is already active).
+    pub fn add_pipeline(&mut self, pipeline: BoxedPipeline<O>) -> PipelineId {
+        self.add(None, pipeline)
+    }
+
+    fn add(&mut self, parent: Option<PipelineId>, pipeline: BoxedPipeline<O>) -> PipelineId {
+        let id = self
+            .registry
+            .register(pipeline.name(), parent, self.session.now());
+        self.events
+            .push(self.session.now(), id, EventKind::Registered { parent });
+        self.live.insert(id.0, pipeline);
+        self.to_start.push(id);
+        id
+    }
+
+    fn start_pending(&mut self) {
+        while let Some(id) = self.to_start.pop() {
+            let step = self
+                .live
+                .get_mut(&id.0)
+                .expect("pipeline registered")
+                .begin();
+            self.apply_step(id, step);
+        }
+    }
+
+    fn apply_step(&mut self, id: PipelineId, step: Step<O>) {
+        match step {
+            Step::Submit(tasks) => {
+                assert!(!tasks.is_empty(), "{id}: empty stage submission");
+                self.events.push(
+                    self.session.now(),
+                    id,
+                    EventKind::StageSubmitted {
+                        stage: self.registry.get(id).stages_completed,
+                        n_tasks: tasks.len(),
+                    },
+                );
+                self.registry.note_stage_submitted(id, tasks.len());
+                let mut ids = Vec::with_capacity(tasks.len());
+                for task in tasks {
+                    let tid = self.session.submit(task.with_tag(format!("{id}")));
+                    self.routes.insert(tid, id);
+                    ids.push(tid);
+                }
+                let prev = self.buffers.insert(id.0, StageBuffer::new(ids));
+                assert!(
+                    prev.is_none(),
+                    "{id}: submitted a stage while one is in flight"
+                );
+            }
+            Step::Complete(outcome) => {
+                self.events
+                    .push(self.session.now(), id, EventKind::Completed);
+                self.registry
+                    .finish(id, PipelineState::Completed, self.session.now());
+                self.live.remove(&id.0);
+                // Decision point: the adaptive engine may spawn sub-pipelines.
+                let spawns = {
+                    let view = CoordinatorView {
+                        now: self.session.now(),
+                        registry: &self.registry,
+                        utilization: self.session.utilization(),
+                    };
+                    self.decision.on_pipeline_complete(id, &outcome, &view)
+                };
+                self.outcomes.push((id, outcome));
+                self.apply_spawns(spawns);
+            }
+            Step::Abort(reason) => {
+                self.events.push(
+                    self.session.now(),
+                    id,
+                    EventKind::Aborted {
+                        reason: reason.clone(),
+                    },
+                );
+                self.registry
+                    .finish(id, PipelineState::Aborted, self.session.now());
+                self.live.remove(&id.0);
+                let spawns = {
+                    let view = CoordinatorView {
+                        now: self.session.now(),
+                        registry: &self.registry,
+                        utilization: self.session.utilization(),
+                    };
+                    self.decision.on_pipeline_aborted(id, &reason, &view)
+                };
+                self.aborts.push((id, reason));
+                self.apply_spawns(spawns);
+            }
+        }
+    }
+
+    fn apply_spawns(&mut self, spawns: Vec<Spawn<O>>) {
+        for spawn in spawns {
+            self.add(spawn.parent, spawn.pipeline);
+        }
+    }
+
+    fn route(&mut self, completion: Completion) {
+        let id = *self
+            .routes
+            .get(&completion.task)
+            .unwrap_or_else(|| panic!("{}: completion has no route", completion.task));
+        self.routes.remove(&completion.task);
+        let buffer = self
+            .buffers
+            .get_mut(&id.0)
+            .unwrap_or_else(|| panic!("{id}: completion but no in-flight stage"));
+        if let Some(batch) = buffer.record(completion) {
+            self.buffers.remove(&id.0);
+            self.events.push(
+                self.session.now(),
+                id,
+                EventKind::StageCompleted {
+                    stage: self.registry.get(id).stages_completed,
+                },
+            );
+            self.registry.note_stage_completed(id);
+            let step = self
+                .live
+                .get_mut(&id.0)
+                .expect("live pipeline")
+                .stage_done(batch);
+            self.apply_step(id, step);
+        }
+    }
+
+    /// Drive every pipeline (and everything the decision engine spawns) to
+    /// a terminal state, then return the run report.
+    pub fn run(&mut self) -> RunReport {
+        loop {
+            self.start_pending();
+            match self.session.wait_next() {
+                Some(c) => self.route(c),
+                None => {
+                    // Workload drained. Give the engine a chance to start
+                    // another round; otherwise we are done.
+                    let spawns = {
+                        let view = CoordinatorView {
+                            now: self.session.now(),
+                            registry: &self.registry,
+                            utilization: self.session.utilization(),
+                        };
+                        self.decision.on_all_idle(&view)
+                    };
+                    if spawns.is_empty() && self.to_start.is_empty() {
+                        assert_eq!(
+                            self.registry.live_count(),
+                            0,
+                            "drained backend but pipelines still live (stuck stage?)"
+                        );
+                        break;
+                    }
+                    self.apply_spawns(spawns);
+                }
+            }
+        }
+        self.report()
+    }
+
+    /// Build the run report for everything finished so far.
+    pub fn report(&self) -> RunReport {
+        RunReport::build(
+            &self.registry,
+            self.session.utilization(),
+            self.session.phase_breakdown(),
+            self.session.now(),
+            self.aborts.len(),
+        )
+    }
+
+    /// Completed pipeline outcomes, in completion order.
+    pub fn outcomes(&self) -> &[(PipelineId, O)] {
+        &self.outcomes
+    }
+
+    /// Aborted pipelines and their reasons.
+    pub fn aborts(&self) -> &[(PipelineId, String)] {
+        &self.aborts
+    }
+
+    /// The pipeline ledger.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The structured event log of everything that happened this run.
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// The underlying session (for backend-specific inspection).
+    pub fn session(&self) -> &Session<B> {
+        &self.session
+    }
+
+    /// Consume the coordinator, returning outcomes and the session.
+    pub fn into_parts(self) -> CoordinatorParts<O, B> {
+        (self.outcomes, self.aborts, self.session)
+    }
+}
+
+/// What [`Coordinator::into_parts`] returns: completed outcomes, aborted
+/// pipelines with reasons, and the underlying session.
+pub type CoordinatorParts<O, B> = (Vec<(PipelineId, O)>, Vec<(PipelineId, String)>, Session<B>);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::NoDecisions;
+    use crate::pipeline::PipelineLogic;
+    use impress_pilot::backend::SimulatedBackend;
+    use impress_pilot::{PilotConfig, ResourceRequest, TaskDescription};
+    use impress_sim::SimDuration;
+
+    fn backend() -> SimulatedBackend {
+        SimulatedBackend::new(PilotConfig {
+            node: impress_pilot::NodeSpec::new(4, 1, 64),
+            bootstrap: SimDuration::from_secs(10),
+            exec_setup_per_task: SimDuration::from_secs(1),
+            ..PilotConfig::default()
+        })
+    }
+
+    /// Counts down `stages` single-task stages, then completes with the sum
+    /// of its tasks' outputs.
+    struct Counter {
+        label: String,
+        stages: u32,
+        acc: u64,
+    }
+
+    impl PipelineLogic<u64> for Counter {
+        fn name(&self) -> String {
+            self.label.clone()
+        }
+        fn begin(&mut self) -> Step<u64> {
+            self.next_stage()
+        }
+        fn stage_done(&mut self, completions: Vec<Completion>) -> Step<u64> {
+            for c in completions {
+                self.acc += c.output::<u64>();
+            }
+            self.next_stage()
+        }
+    }
+
+    impl Counter {
+        fn next_stage(&mut self) -> Step<u64> {
+            if self.stages == 0 {
+                return Step::Complete(self.acc);
+            }
+            self.stages -= 1;
+            Step::run(
+                TaskDescription::new(
+                    format!("{}-stage", self.label),
+                    ResourceRequest::cores(1),
+                    SimDuration::from_secs(5),
+                )
+                .with_work(|| 1u64),
+            )
+        }
+    }
+
+    #[test]
+    fn single_pipeline_runs_all_stages() {
+        let mut c = Coordinator::new(backend(), NoDecisions);
+        let id = c.add_pipeline(Box::new(Counter {
+            label: "p".into(),
+            stages: 3,
+            acc: 0,
+        }));
+        let report = c.run();
+        assert_eq!(c.outcomes().len(), 1);
+        assert_eq!(c.outcomes()[0], (id, 3));
+        assert_eq!(report.root_pipelines, 1);
+        assert_eq!(report.total_tasks, 3);
+        assert_eq!(c.registry().get(id).stages_completed, 3);
+    }
+
+    #[test]
+    fn concurrent_pipelines_interleave() {
+        let mut c = Coordinator::new(backend(), NoDecisions);
+        for i in 0..4 {
+            c.add_pipeline(Box::new(Counter {
+                label: format!("p{i}"),
+                stages: 2,
+                acc: 0,
+            }));
+        }
+        let report = c.run();
+        assert_eq!(c.outcomes().len(), 4);
+        assert!(c.outcomes().iter().all(|(_, v)| *v == 2));
+        assert_eq!(report.total_tasks, 8);
+        // 8 × 5s tasks on 4 cores with bootstrap 10 + setups: concurrent
+        // execution must beat the 8 × 6 = 48s sequential floor.
+        assert!(
+            report.makespan.as_secs_f64() < 40.0,
+            "no concurrency: {}",
+            report.makespan
+        );
+    }
+
+    /// Spawns one sub-pipeline for each completed root pipeline, once.
+    struct SpawnOnce {
+        spawned: usize,
+    }
+
+    impl DecisionEngine<u64> for SpawnOnce {
+        fn on_pipeline_complete(
+            &mut self,
+            id: PipelineId,
+            _outcome: &u64,
+            view: &CoordinatorView<'_>,
+        ) -> Vec<Spawn<u64>> {
+            if view.registry.get(id).parent.is_some() || self.spawned >= 2 {
+                return Vec::new();
+            }
+            self.spawned += 1;
+            vec![Spawn::sub_of(
+                id,
+                Box::new(Counter {
+                    label: format!("sub-of-{id}"),
+                    stages: 1,
+                    acc: 100,
+                }),
+            )]
+        }
+    }
+
+    #[test]
+    fn decision_engine_spawns_sub_pipelines() {
+        let mut c = Coordinator::new(backend(), SpawnOnce { spawned: 0 });
+        for i in 0..2 {
+            c.add_pipeline(Box::new(Counter {
+                label: format!("root{i}"),
+                stages: 1,
+                acc: 0,
+            }));
+        }
+        let report = c.run();
+        assert_eq!(report.root_pipelines, 2);
+        assert_eq!(report.sub_pipelines, 2);
+        assert_eq!(c.outcomes().len(), 4);
+        let sub_outcomes: Vec<u64> = c
+            .outcomes()
+            .iter()
+            .filter(|(id, _)| c.registry().get(*id).parent.is_some())
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(sub_outcomes, vec![101, 101]);
+    }
+
+    /// Aborts at its only stage.
+    struct Aborter;
+
+    impl PipelineLogic<u64> for Aborter {
+        fn name(&self) -> String {
+            "aborter".into()
+        }
+        fn begin(&mut self) -> Step<u64> {
+            Step::run(
+                TaskDescription::new("a", ResourceRequest::cores(1), SimDuration::from_secs(1))
+                    .with_work(|| 0u64),
+            )
+        }
+        fn stage_done(&mut self, _completions: Vec<Completion>) -> Step<u64> {
+            Step::Abort("quality floor breached".into())
+        }
+    }
+
+    #[test]
+    fn aborts_are_recorded_and_run_terminates() {
+        let mut c = Coordinator::new(backend(), NoDecisions);
+        c.add_pipeline(Box::new(Aborter));
+        let report = c.run();
+        assert_eq!(c.aborts().len(), 1);
+        assert!(c.aborts()[0].1.contains("quality floor"));
+        assert_eq!(report.aborted_pipelines, 1);
+        assert!(c.outcomes().is_empty());
+    }
+
+    /// Completes without ever submitting a task.
+    struct Immediate;
+
+    impl PipelineLogic<u64> for Immediate {
+        fn name(&self) -> String {
+            "immediate".into()
+        }
+        fn begin(&mut self) -> Step<u64> {
+            Step::Complete(7)
+        }
+        fn stage_done(&mut self, _: Vec<Completion>) -> Step<u64> {
+            unreachable!()
+        }
+    }
+
+    #[test]
+    fn immediately_completing_pipeline_is_fine() {
+        let mut c = Coordinator::new(backend(), NoDecisions);
+        c.add_pipeline(Box::new(Immediate));
+        let report = c.run();
+        assert_eq!(c.outcomes().len(), 1);
+        assert_eq!(report.total_tasks, 0);
+    }
+
+    /// An engine that runs a second round from on_all_idle.
+    struct TwoRounds {
+        rounds: usize,
+    }
+
+    impl DecisionEngine<u64> for TwoRounds {
+        fn on_pipeline_complete(
+            &mut self,
+            _id: PipelineId,
+            _outcome: &u64,
+            _view: &CoordinatorView<'_>,
+        ) -> Vec<Spawn<u64>> {
+            Vec::new()
+        }
+        fn on_all_idle(&mut self, _view: &CoordinatorView<'_>) -> Vec<Spawn<u64>> {
+            if self.rounds >= 2 {
+                return Vec::new();
+            }
+            self.rounds += 1;
+            vec![Spawn::root(Box::new(Counter {
+                label: format!("round{}", self.rounds),
+                stages: 1,
+                acc: 0,
+            }))]
+        }
+    }
+
+    #[test]
+    fn event_log_captures_the_full_lifecycle() {
+        let mut c = Coordinator::new(backend(), NoDecisions);
+        let id = c.add_pipeline(Box::new(Counter {
+            label: "p".into(),
+            stages: 2,
+            acc: 0,
+        }));
+        c.run();
+        let events = c.events().for_pipeline(id);
+        use crate::events::EventKind as K;
+        assert!(matches!(events[0].kind, K::Registered { parent: None }));
+        let submitted = c
+            .events()
+            .count(|e| matches!(e.kind, K::StageSubmitted { .. }));
+        let completed = c
+            .events()
+            .count(|e| matches!(e.kind, K::StageCompleted { .. }));
+        assert_eq!(submitted, 2);
+        assert_eq!(completed, 2);
+        assert!(matches!(events.last().unwrap().kind, K::Completed));
+        let (start, end) = c.events().pipeline_span(id).unwrap();
+        assert!(end > start);
+    }
+
+    #[test]
+    fn on_all_idle_can_run_additional_rounds() {
+        let mut c = Coordinator::new(backend(), TwoRounds { rounds: 0 });
+        c.add_pipeline(Box::new(Counter {
+            label: "initial".into(),
+            stages: 1,
+            acc: 0,
+        }));
+        let report = c.run();
+        assert_eq!(c.outcomes().len(), 3); // initial + 2 idle rounds
+        assert_eq!(report.root_pipelines, 3);
+    }
+}

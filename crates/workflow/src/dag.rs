@@ -1,0 +1,258 @@
+//! DAG pipelines: named tasks with explicit dependencies, executed in
+//! level-synchronized waves.
+//!
+//! [`crate::linear::LinearPipeline`] covers chains; this covers general
+//! directed acyclic dependency graphs. Nodes are grouped into *levels* by
+//! longest path from a source; each level is submitted as one stage, so a
+//! node starts only after every node of earlier levels finished. (This is
+//! level-synchronous, not fully asynchronous, matching the coordinator's
+//! one-stage-in-flight model; inter-*pipeline* asynchrony is where IMPRESS
+//! gets its concurrency.)
+//!
+//! Node builders receive the completions of all *dependency* nodes by name
+//! and use [`impress_pilot::Completion::peek`] to read shared outputs.
+
+use crate::pipeline::PipelineLogic;
+use crate::stage::Step;
+use impress_pilot::{Completion, TaskDescription};
+use std::collections::HashMap;
+
+/// Builds one node's task from its dependencies' completions.
+pub type NodeFn = Box<dyn FnMut(&HashMap<String, Completion>) -> TaskDescription>;
+
+/// Builds the pipeline outcome from all completions.
+pub type DagFinishFn<O> = Box<dyn FnMut(&HashMap<String, Completion>) -> O>;
+
+struct Node {
+    name: String,
+    deps: Vec<String>,
+    build: NodeFn,
+    level: usize,
+}
+
+/// Builder for [`DagPipeline`].
+pub struct DagBuilder {
+    name: String,
+    nodes: Vec<Node>,
+}
+
+impl DagBuilder {
+    /// Start a named DAG.
+    pub fn named(name: impl Into<String>) -> DagBuilder {
+        DagBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Add a node. `deps` must name previously added nodes (cycles are
+    /// thereby impossible by construction). Panics on duplicate names or
+    /// unknown dependencies.
+    pub fn node<F>(mut self, name: impl Into<String>, deps: &[&str], build: F) -> Self
+    where
+        F: FnMut(&HashMap<String, Completion>) -> TaskDescription + 'static,
+    {
+        let name = name.into();
+        assert!(
+            !self.nodes.iter().any(|n| n.name == name),
+            "duplicate node {name:?}"
+        );
+        let mut level = 0;
+        let deps: Vec<String> = deps
+            .iter()
+            .map(|d| {
+                let dep = self
+                    .nodes
+                    .iter()
+                    .find(|n| n.name == *d)
+                    .unwrap_or_else(|| panic!("node {name:?}: unknown dependency {d:?}"));
+                level = level.max(dep.level + 1);
+                dep.name.clone()
+            })
+            .collect();
+        self.nodes.push(Node {
+            name,
+            deps,
+            build: Box::new(build),
+            level,
+        });
+        self
+    }
+
+    /// Finish with an outcome builder over *all* node completions.
+    /// Panics if the DAG has no nodes.
+    pub fn finish<O, F>(self, finish: F) -> DagPipeline<O>
+    where
+        F: FnMut(&HashMap<String, Completion>) -> O + 'static,
+    {
+        assert!(!self.nodes.is_empty(), "DAG pipeline needs ≥ 1 node");
+        let levels = self.nodes.iter().map(|n| n.level).max().unwrap_or(0) + 1;
+        DagPipeline {
+            name: self.name,
+            nodes: self.nodes,
+            finish: Box::new(finish),
+            levels,
+            current_level: 0,
+            in_flight: Vec::new(),
+            completed: HashMap::new(),
+        }
+    }
+}
+
+/// A pipeline executing a dependency DAG in level waves.
+pub struct DagPipeline<O> {
+    name: String,
+    nodes: Vec<Node>,
+    finish: DagFinishFn<O>,
+    levels: usize,
+    current_level: usize,
+    /// Node names of the level in flight, in submission order.
+    in_flight: Vec<String>,
+    completed: HashMap<String, Completion>,
+}
+
+impl<O> DagPipeline<O> {
+    fn submit_level(&mut self) -> Step<O> {
+        let level = self.current_level;
+        let mut names = Vec::new();
+        let mut tasks = Vec::new();
+        // Two passes to appease the borrow checker: collect indices first.
+        let idxs: Vec<usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.level == level)
+            .map(|(i, _)| i)
+            .collect();
+        for i in idxs {
+            // Assemble just this node's dependency map (completions stay
+            // owned by the pipeline; builders peek).
+            let node = &mut self.nodes[i];
+            let mut deps = HashMap::new();
+            for d in node.deps.clone() {
+                let c = self
+                    .completed
+                    .remove(&d)
+                    .expect("dependency completed in an earlier level");
+                deps.insert(d, c);
+            }
+            let task = (node.build)(&deps);
+            // Return the dependencies for later nodes / the finisher.
+            self.completed.extend(deps);
+            names.push(node.name.clone());
+            tasks.push(task);
+        }
+        assert!(!tasks.is_empty(), "level {level} of {} is empty", self.name);
+        self.in_flight = names;
+        self.current_level += 1;
+        Step::Submit(tasks)
+    }
+}
+
+impl<O> PipelineLogic<O> for DagPipeline<O> {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn begin(&mut self) -> Step<O> {
+        self.current_level = 0;
+        self.submit_level()
+    }
+
+    fn stage_done(&mut self, completions: Vec<Completion>) -> Step<O> {
+        let names = std::mem::take(&mut self.in_flight);
+        assert_eq!(names.len(), completions.len(), "level size mismatch");
+        for (name, completion) in names.into_iter().zip(completions) {
+            self.completed.insert(name, completion);
+        }
+        if self.current_level < self.levels {
+            self.submit_level()
+        } else {
+            Step::Complete((self.finish)(&self.completed))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Coordinator, NoDecisions};
+    use impress_pilot::backend::SimulatedBackend;
+    use impress_pilot::{PilotConfig, ResourceRequest};
+    use impress_sim::SimDuration;
+
+    fn task(name: &str, out: u64) -> TaskDescription {
+        TaskDescription::new(name, ResourceRequest::cores(1), SimDuration::from_secs(1))
+            .with_work(move || out)
+    }
+
+    fn run<O>(pipeline: DagPipeline<O>) -> O
+    where
+        O: Clone + 'static,
+    {
+        let mut c = Coordinator::new(SimulatedBackend::new(PilotConfig::default()), NoDecisions);
+        c.add_pipeline(Box::new(pipeline));
+        c.run();
+        c.outcomes()[0].1.clone()
+    }
+
+    #[test]
+    fn diamond_dag_threads_dependency_outputs() {
+        // a → (b, c) → d ; d sums b and c which each doubled a.
+        let dag = DagBuilder::named("diamond")
+            .node("a", &[], |_| task("a", 10))
+            .node("b", &["a"], |deps| {
+                let a = *deps["a"].peek::<u64>();
+                task("b", a * 2)
+            })
+            .node("c", &["a"], |deps| {
+                let a = *deps["a"].peek::<u64>();
+                task("c", a * 3)
+            })
+            .node("d", &["b", "c"], |deps| {
+                let sum = deps["b"].peek::<u64>() + deps["c"].peek::<u64>();
+                task("d", sum)
+            })
+            .finish(|all| *all["d"].peek::<u64>());
+        assert_eq!(run(dag), 50);
+    }
+
+    #[test]
+    fn independent_nodes_share_a_level() {
+        let dag = DagBuilder::named("par")
+            .node("x", &[], |_| task("x", 1))
+            .node("y", &[], |_| task("y", 2))
+            .node("z", &[], |_| task("z", 3))
+            .finish(|all| all.values().map(|c| *c.peek::<u64>()).sum::<u64>());
+        assert_eq!(run(dag), 6);
+    }
+
+    #[test]
+    fn levels_follow_longest_path() {
+        // a → b → c with an extra edge a → c: c must land at level 2.
+        let dag = DagBuilder::named("lp")
+            .node("a", &[], |_| task("a", 1))
+            .node("b", &["a"], |_| task("b", 2))
+            .node("c", &["a", "b"], |deps| {
+                // Both deps visible despite different levels.
+                let v = deps["a"].peek::<u64>() + deps["b"].peek::<u64>();
+                task("c", v)
+            })
+            .finish(|all| *all["c"].peek::<u64>());
+        assert_eq!(run(dag), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dependency")]
+    fn unknown_dependency_is_rejected_at_build_time() {
+        let _ = DagBuilder::named("bad").node("a", &["ghost"], |_| task("a", 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node")]
+    fn duplicate_names_rejected() {
+        let _ = DagBuilder::named("dup")
+            .node("a", &[], |_| task("a", 1))
+            .node("a", &[], |_| task("a", 2));
+    }
+}

@@ -1,0 +1,83 @@
+//! The adaptive decision engine.
+//!
+//! "The IMPRESS decision-making step determines the next steps by evaluating
+//! previous pipeline results … It dynamically generates sub-pipelines when
+//! additional refinement, exploration, or iterative improvement is needed"
+//! (§II-D). The coordinator calls a [`DecisionEngine`] at each pipeline
+//! terminal event and whenever the workload drains; the engine answers with
+//! sub-pipelines to spawn. `impress-core` provides the paper's
+//! quality-ranked policy; [`NoDecisions`] is the non-adaptive null engine.
+
+use crate::coordinator::CoordinatorView;
+use crate::pipeline::{BoxedPipeline, PipelineId};
+
+/// A request to spawn a new pipeline, optionally recorded as a child of
+/// `parent` (making it a *sub-pipeline* in Table I's accounting).
+pub struct Spawn<O> {
+    /// Parent pipeline, if this is a sub-pipeline.
+    pub parent: Option<PipelineId>,
+    /// The pipeline to run.
+    pub pipeline: BoxedPipeline<O>,
+}
+
+impl<O> Spawn<O> {
+    /// A sub-pipeline of `parent`.
+    pub fn sub_of(parent: PipelineId, pipeline: BoxedPipeline<O>) -> Self {
+        Spawn {
+            parent: Some(parent),
+            pipeline,
+        }
+    }
+
+    /// A new root pipeline.
+    pub fn root(pipeline: BoxedPipeline<O>) -> Self {
+        Spawn {
+            parent: None,
+            pipeline,
+        }
+    }
+}
+
+/// The adaptive brain of the coordinator.
+pub trait DecisionEngine<O> {
+    /// A pipeline completed with `outcome`. Return sub-pipelines to spawn.
+    fn on_pipeline_complete(
+        &mut self,
+        id: PipelineId,
+        outcome: &O,
+        view: &CoordinatorView<'_>,
+    ) -> Vec<Spawn<O>>;
+
+    /// A pipeline aborted. Return sub-pipelines to spawn (e.g. re-process
+    /// the failed design with fresh sampling).
+    fn on_pipeline_aborted(
+        &mut self,
+        _id: PipelineId,
+        _reason: &str,
+        _view: &CoordinatorView<'_>,
+    ) -> Vec<Spawn<O>> {
+        Vec::new()
+    }
+
+    /// Every submitted pipeline has finished. Return more pipelines to run
+    /// another round, or nothing to end the run.
+    fn on_all_idle(&mut self, _view: &CoordinatorView<'_>) -> Vec<Spawn<O>> {
+        Vec::new()
+    }
+}
+
+/// The null engine: never spawns anything (the CONT-V behaviour of running
+/// exactly the submitted workload).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoDecisions;
+
+impl<O> DecisionEngine<O> for NoDecisions {
+    fn on_pipeline_complete(
+        &mut self,
+        _id: PipelineId,
+        _outcome: &O,
+        _view: &CoordinatorView<'_>,
+    ) -> Vec<Spawn<O>> {
+        Vec::new()
+    }
+}

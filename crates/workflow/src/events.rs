@@ -1,0 +1,160 @@
+//! Structured coordinator event log.
+//!
+//! Every pipeline lifecycle transition the coordinator performs is recorded
+//! with its virtual timestamp. The log is the workflow-level counterpart of
+//! the pilot profiler's task records: it answers "when did pipeline X enter
+//! stage N, and what triggered the spawn of sub-pipeline Y?" — the raw
+//! material for makespan attribution and for debugging adaptive policies.
+
+use crate::pipeline::PipelineId;
+use impress_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One coordinator event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Pipeline registered (root or sub).
+    Registered {
+        /// Parent pipeline for sub-pipelines.
+        parent: Option<PipelineId>,
+    },
+    /// A stage of `n_tasks` tasks was submitted.
+    StageSubmitted {
+        /// Stage ordinal within the pipeline (0-based).
+        stage: usize,
+        /// Number of tasks in the stage.
+        n_tasks: usize,
+    },
+    /// A stage's tasks all completed.
+    StageCompleted {
+        /// Stage ordinal within the pipeline (0-based).
+        stage: usize,
+    },
+    /// Pipeline finished successfully.
+    Completed,
+    /// Pipeline aborted.
+    Aborted {
+        /// The abort reason.
+        reason: String,
+    },
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// When it happened (backend time).
+    pub at: SimTime,
+    /// Which pipeline.
+    pub pipeline: PipelineId,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Append-only event log.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EventLog {
+    events: Vec<Event>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, at: SimTime, pipeline: PipelineId, kind: EventKind) {
+        self.events.push(Event { at, pipeline, kind });
+    }
+
+    /// All events, in record order (monotone in time).
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Events of one pipeline, in order.
+    pub fn for_pipeline(&self, id: PipelineId) -> Vec<&Event> {
+        self.events.iter().filter(|e| e.pipeline == id).collect()
+    }
+
+    /// Count of events matching a predicate.
+    pub fn count(&self, pred: impl Fn(&Event) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(e)).count()
+    }
+
+    /// Time from a pipeline's registration to its terminal event, if both
+    /// are present.
+    pub fn pipeline_span(&self, id: PipelineId) -> Option<(SimTime, SimTime)> {
+        let events = self.for_pipeline(id);
+        let start = events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::Registered { .. }))?
+            .at;
+        let end = events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::Completed | EventKind::Aborted { .. }))?
+            .at;
+        Some((start, end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_micros(s * 1_000_000)
+    }
+
+    #[test]
+    fn log_records_in_order_and_filters() {
+        let mut log = EventLog::new();
+        let p0 = PipelineId(0);
+        let p1 = PipelineId(1);
+        log.push(t(0), p0, EventKind::Registered { parent: None });
+        log.push(t(1), p1, EventKind::Registered { parent: Some(p0) });
+        log.push(
+            t(2),
+            p0,
+            EventKind::StageSubmitted {
+                stage: 0,
+                n_tasks: 1,
+            },
+        );
+        log.push(t(5), p0, EventKind::StageCompleted { stage: 0 });
+        log.push(t(6), p0, EventKind::Completed);
+        assert_eq!(log.events().len(), 5);
+        assert_eq!(log.for_pipeline(p0).len(), 4);
+        assert_eq!(
+            log.count(|e| matches!(e.kind, EventKind::Registered { .. })),
+            2
+        );
+    }
+
+    #[test]
+    fn pipeline_span_measures_lifetime() {
+        let mut log = EventLog::new();
+        let p = PipelineId(3);
+        log.push(t(10), p, EventKind::Registered { parent: None });
+        log.push(t(40), p, EventKind::Completed);
+        let (start, end) = log.pipeline_span(p).unwrap();
+        assert_eq!(start, t(10));
+        assert_eq!(end, t(40));
+        assert!(log.pipeline_span(PipelineId(99)).is_none());
+    }
+
+    #[test]
+    fn span_handles_aborts() {
+        let mut log = EventLog::new();
+        let p = PipelineId(1);
+        log.push(t(0), p, EventKind::Registered { parent: None });
+        log.push(
+            t(7),
+            p,
+            EventKind::Aborted {
+                reason: "budget".into(),
+            },
+        );
+        assert_eq!(log.pipeline_span(p), Some((t(0), t(7))));
+    }
+}

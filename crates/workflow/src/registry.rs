@@ -1,0 +1,214 @@
+//! Pipeline bookkeeping: states, parentage, task counts.
+//!
+//! The coordinator "tracks their execution states" (§II-B); the registry is
+//! that ledger. Parentage distinguishes *root* pipelines (submitted by the
+//! experiment) from *sub-pipelines* (spawned by the decision engine) — the
+//! distinction behind Table I's `# PL` and `# Sub-PL` columns.
+
+use crate::pipeline::{PipelineId, PipelineState};
+use impress_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One pipeline's ledger entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineEntry {
+    /// The pipeline.
+    pub id: PipelineId,
+    /// Its display name.
+    pub name: String,
+    /// `None` for root pipelines; `Some(parent)` for spawned sub-pipelines.
+    pub parent: Option<PipelineId>,
+    /// Current state.
+    pub state: PipelineState,
+    /// Tasks submitted on behalf of this pipeline so far.
+    pub tasks_submitted: usize,
+    /// Stages completed so far.
+    pub stages_completed: usize,
+    /// When the pipeline was registered.
+    pub created_at: SimTime,
+    /// When it reached a terminal state (if it has).
+    pub finished_at: Option<SimTime>,
+}
+
+/// The coordinator's pipeline ledger.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: HashMap<u64, PipelineEntry>,
+    order: Vec<PipelineId>,
+    next_id: u64,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new pipeline, returning its id.
+    pub fn register(
+        &mut self,
+        name: String,
+        parent: Option<PipelineId>,
+        at: SimTime,
+    ) -> PipelineId {
+        if let Some(p) = parent {
+            assert!(
+                self.entries.contains_key(&p.0),
+                "parent {p} is not registered"
+            );
+        }
+        let id = PipelineId(self.next_id);
+        self.next_id += 1;
+        self.entries.insert(
+            id.0,
+            PipelineEntry {
+                id,
+                name,
+                parent,
+                state: PipelineState::Created,
+                tasks_submitted: 0,
+                stages_completed: 0,
+                created_at: at,
+                finished_at: None,
+            },
+        );
+        self.order.push(id);
+        id
+    }
+
+    /// Look up an entry.
+    pub fn get(&self, id: PipelineId) -> &PipelineEntry {
+        self.entries.get(&id.0).expect("pipeline is registered")
+    }
+
+    fn get_mut(&mut self, id: PipelineId) -> &mut PipelineEntry {
+        self.entries.get_mut(&id.0).expect("pipeline is registered")
+    }
+
+    /// Mark a pipeline running and charge `n_tasks` submitted tasks to it.
+    pub fn note_stage_submitted(&mut self, id: PipelineId, n_tasks: usize) {
+        let e = self.get_mut(id);
+        assert!(!e.state.is_terminal(), "{id} is already terminal");
+        e.state = PipelineState::Running;
+        e.tasks_submitted += n_tasks;
+    }
+
+    /// Record a completed stage.
+    pub fn note_stage_completed(&mut self, id: PipelineId) {
+        self.get_mut(id).stages_completed += 1;
+    }
+
+    /// Move a pipeline to a terminal state.
+    pub fn finish(&mut self, id: PipelineId, state: PipelineState, at: SimTime) {
+        assert!(state.is_terminal(), "finish() needs a terminal state");
+        let e = self.get_mut(id);
+        assert!(!e.state.is_terminal(), "{id} already finished");
+        e.state = state;
+        e.finished_at = Some(at);
+    }
+
+    /// All entries in registration order.
+    pub fn entries(&self) -> Vec<&PipelineEntry> {
+        self.order.iter().map(|id| self.get(*id)).collect()
+    }
+
+    /// Number of root pipelines (Table I `# PL`).
+    pub fn root_count(&self) -> usize {
+        self.entries.values().filter(|e| e.parent.is_none()).count()
+    }
+
+    /// Number of spawned sub-pipelines (Table I `# Sub-PL`).
+    pub fn sub_count(&self) -> usize {
+        self.entries.values().filter(|e| e.parent.is_some()).count()
+    }
+
+    /// Pipelines not yet in a terminal state.
+    pub fn live_count(&self) -> usize {
+        self.entries
+            .values()
+            .filter(|e| !e.state.is_terminal())
+            .count()
+    }
+
+    /// Total tasks submitted across all pipelines.
+    pub fn total_tasks(&self) -> usize {
+        self.entries.values().map(|e| e.tasks_submitted).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_assigns_sequential_ids() {
+        let mut r = Registry::new();
+        let a = r.register("a".into(), None, SimTime::ZERO);
+        let b = r.register("b".into(), None, SimTime::ZERO);
+        assert_eq!(a, PipelineId(0));
+        assert_eq!(b, PipelineId(1));
+        assert_eq!(r.root_count(), 2);
+        assert_eq!(r.sub_count(), 0);
+    }
+
+    #[test]
+    fn sub_pipeline_parentage_is_tracked() {
+        let mut r = Registry::new();
+        let root = r.register("root".into(), None, SimTime::ZERO);
+        let sub = r.register("sub".into(), Some(root), SimTime::ZERO);
+        assert_eq!(r.get(sub).parent, Some(root));
+        assert_eq!(r.root_count(), 1);
+        assert_eq!(r.sub_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn unknown_parent_rejected() {
+        let mut r = Registry::new();
+        r.register("orphan".into(), Some(PipelineId(99)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn task_and_stage_accounting() {
+        let mut r = Registry::new();
+        let id = r.register("p".into(), None, SimTime::ZERO);
+        r.note_stage_submitted(id, 3);
+        r.note_stage_completed(id);
+        r.note_stage_submitted(id, 1);
+        let e = r.get(id);
+        assert_eq!(e.tasks_submitted, 4);
+        assert_eq!(e.stages_completed, 1);
+        assert_eq!(e.state, PipelineState::Running);
+        assert_eq!(r.total_tasks(), 4);
+    }
+
+    #[test]
+    fn finish_transitions_and_counts() {
+        let mut r = Registry::new();
+        let a = r.register("a".into(), None, SimTime::ZERO);
+        let b = r.register("b".into(), None, SimTime::ZERO);
+        assert_eq!(r.live_count(), 2);
+        r.finish(a, PipelineState::Completed, SimTime::ZERO);
+        r.finish(b, PipelineState::Aborted, SimTime::ZERO);
+        assert_eq!(r.live_count(), 0);
+        assert!(r.get(a).finished_at.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "already finished")]
+    fn double_finish_panics() {
+        let mut r = Registry::new();
+        let a = r.register("a".into(), None, SimTime::ZERO);
+        r.finish(a, PipelineState::Completed, SimTime::ZERO);
+        r.finish(a, PipelineState::Completed, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a terminal state")]
+    fn finish_requires_terminal() {
+        let mut r = Registry::new();
+        let a = r.register("a".into(), None, SimTime::ZERO);
+        r.finish(a, PipelineState::Running, SimTime::ZERO);
+    }
+}

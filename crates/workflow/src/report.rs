@@ -1,0 +1,129 @@
+//! The run report: the computational half of Table I.
+
+use crate::registry::Registry;
+use impress_pilot::{PhaseBreakdown, UtilizationReport};
+use impress_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Aggregate outcome of one coordinator run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Root pipelines submitted (Table I `# PL`).
+    pub root_pipelines: usize,
+    /// Sub-pipelines spawned by the decision engine (Table I `# Sub-PL`).
+    pub sub_pipelines: usize,
+    /// Pipelines that aborted.
+    pub aborted_pipelines: usize,
+    /// Tasks submitted across all pipelines.
+    pub total_tasks: usize,
+    /// Wall-clock (virtual) duration of the whole run.
+    pub makespan: SimDuration,
+    /// Mean CPU-core occupancy, 0–1 (Table I `CPU %`).
+    pub cpu_utilization: f64,
+    /// Mean GPU slot occupancy, 0–1 (Table I `GPUs %`, RP semantics).
+    pub gpu_slot_utilization: f64,
+    /// Mean GPU hardware-busy fraction, 0–1 (`nvidia-smi` semantics).
+    pub gpu_hardware_utilization: f64,
+    /// Pilot phase breakdown (Fig. 5 annotations).
+    pub phases: PhaseBreakdown,
+}
+
+impl RunReport {
+    /// Assemble a report from the coordinator's ledgers.
+    pub fn build(
+        registry: &Registry,
+        utilization: UtilizationReport,
+        phases: PhaseBreakdown,
+        now: SimTime,
+        aborted: usize,
+    ) -> RunReport {
+        RunReport {
+            root_pipelines: registry.root_count(),
+            sub_pipelines: registry.sub_count(),
+            aborted_pipelines: aborted,
+            total_tasks: registry.total_tasks(),
+            makespan: now.since(SimTime::ZERO),
+            cpu_utilization: utilization.cpu,
+            gpu_slot_utilization: utilization.gpu_slot,
+            gpu_hardware_utilization: utilization.gpu_hardware,
+            phases,
+        }
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "pipelines: {} root, {} sub, {} aborted; tasks: {}",
+            self.root_pipelines, self.sub_pipelines, self.aborted_pipelines, self.total_tasks
+        )?;
+        writeln!(
+            f,
+            "makespan: {} | CPU {:.1}% | GPU {:.1}% (slot) / {:.1}% (hw)",
+            self.makespan,
+            self.cpu_utilization * 100.0,
+            self.gpu_slot_utilization * 100.0,
+            self.gpu_hardware_utilization * 100.0
+        )?;
+        write!(
+            f,
+            "phases: bootstrap {} | exec setup {} | running {}",
+            self.phases.bootstrap, self.phases.exec_setup_total, self.phases.running_total
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_pulls_registry_counts() {
+        let mut reg = Registry::new();
+        let root = reg.register("r".into(), None, SimTime::ZERO);
+        reg.register("s".into(), Some(root), SimTime::ZERO);
+        reg.note_stage_submitted(root, 5);
+        let report = RunReport::build(
+            &reg,
+            UtilizationReport {
+                cpu: 0.5,
+                gpu_slot: 0.25,
+                gpu_hardware: 0.1,
+                makespan: SimDuration::from_secs(10),
+                tasks: 5,
+            },
+            PhaseBreakdown::default(),
+            SimTime::from_micros(10_000_000),
+            1,
+        );
+        assert_eq!(report.root_pipelines, 1);
+        assert_eq!(report.sub_pipelines, 1);
+        assert_eq!(report.total_tasks, 5);
+        assert_eq!(report.aborted_pipelines, 1);
+        assert_eq!(report.makespan, SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn display_is_compact_and_percentaged() {
+        let reg = Registry::new();
+        let report = RunReport::build(
+            &reg,
+            UtilizationReport {
+                cpu: 0.883,
+                gpu_slot: 0.61,
+                gpu_hardware: 0.2,
+                makespan: SimDuration::from_hours(38),
+                tasks: 0,
+            },
+            PhaseBreakdown::default(),
+            SimTime::ZERO + SimDuration::from_hours(38),
+            0,
+        );
+        let s = report.to_string();
+        assert!(s.contains("CPU 88.3%"), "{s}");
+        assert!(s.contains("GPU 61.0% (slot)"), "{s}");
+        assert!(s.contains("38.00h"), "{s}");
+    }
+}

@@ -1,0 +1,161 @@
+//! Plugging a custom sequence generator into the pipeline.
+//!
+//! The paper's Related Work section claims that, unlike EvoPro or MProt-DPO,
+//! "the IMPRESS framework allows any sequence generation method to be
+//! plugged into the design pipeline". This example demonstrates the plug
+//! point by running the same four-cycle adaptive campaign with three
+//! Stage-1 generators:
+//!
+//! * the default ProteinMPNN surrogate (backbone-conditioned, scored),
+//! * EvoPro-style random mutagenesis (blind, unscored), and
+//! * a custom user-defined generator written right here (a conservative
+//!   "hydrophobic-core-preserving" mutator).
+//!
+//! Expected result: MPNN ≫ custom ≥ random, because informative proposals
+//! and informative scores both feed the adaptive selection.
+//!
+//! Run with: `cargo run --release --example custom_generator`
+
+use impress_core::generator::{MpnnGenerator, RandomMutagenesis, SequenceGenerator};
+use impress_core::{DesignPipeline, ProtocolConfig, TargetToolkit};
+use impress_pilot::backend::SimulatedBackend;
+use impress_pilot::PilotConfig;
+use impress_proteins::amino::ALL;
+use impress_proteins::datasets::named_pdz_domains;
+use impress_proteins::SequenceProfile;
+use impress_proteins::{MpnnConfig, ScoredSequence, Structure, SurrogateMpnn};
+use impress_sim::SimRng;
+use impress_workflow::{Coordinator, NoDecisions};
+use std::sync::Arc;
+
+/// A user-defined generator: mutates only non-hydrophobic positions
+/// (preserving whatever hydrophobic core the design has) and scores by a
+/// crude hydropathy heuristic instead of a learned likelihood.
+struct CorePreservingMutator {
+    rate: f64,
+}
+
+impl SequenceGenerator for CorePreservingMutator {
+    fn name(&self) -> &str {
+        "core-preserving-mutator"
+    }
+
+    fn generate(
+        &self,
+        structure: &Structure,
+        config: &MpnnConfig,
+        rng: &mut SimRng,
+    ) -> Vec<ScoredSequence> {
+        (0..config.num_sequences)
+            .map(|i| {
+                let mut prng = rng.fork_idx("core-preserving", i as u64);
+                let mut seq = structure.complex.receptor.sequence.clone();
+                for pos in 0..seq.len() {
+                    let frozen =
+                        config.fixed_positions.contains(&pos) || seq.at(pos).hydropathy() > 2.0; // the "core"
+                    if frozen || !prng.chance(self.rate) {
+                        continue;
+                    }
+                    seq.set(pos, *prng.choose(&ALL));
+                }
+                // Heuristic score: prefer designs whose surface is polar.
+                let polar_fraction = seq
+                    .residues()
+                    .iter()
+                    .filter(|aa| aa.hydropathy() < 0.0)
+                    .count() as f64
+                    / seq.len() as f64;
+                ScoredSequence {
+                    sequence: seq,
+                    log_likelihood: -2.0 + polar_fraction,
+                }
+            })
+            .collect()
+    }
+}
+
+fn run_with(generator: Arc<dyn SequenceGenerator>, seed: u64) -> (String, f64, f64) {
+    let target = named_pdz_domains(42).remove(2); // SCRIB
+    let name = generator.name().to_string();
+    let tk = TargetToolkit::with_generator(&target, 7, generator);
+    let backend = SimulatedBackend::new(PilotConfig::with_seed(seed));
+    let mut coordinator = Coordinator::new(backend, NoDecisions);
+    coordinator.add_pipeline(Box::new(DesignPipeline::root(
+        tk,
+        ProtocolConfig::imrp(seed),
+        0,
+    )));
+    coordinator.run();
+    let outcome = coordinator
+        .outcomes()
+        .first()
+        .map(|(_, o)| o.clone())
+        .expect("pipeline completed");
+    let final_plddt = outcome
+        .final_report()
+        .map(|r| r.plddt)
+        .unwrap_or(outcome.baseline_report.plddt);
+    // Oracle: the true quality actually achieved.
+    let truth = target.landscape.fitness(&outcome.final_receptor).quality;
+    (name, final_plddt, truth)
+}
+
+fn main() {
+    let target = named_pdz_domains(42).remove(2);
+    println!(
+        "target: {} ({} residues), same adaptive protocol, three generators\n",
+        target.name,
+        target.start.complex.receptor.len()
+    );
+    let mpnn = Arc::new(MpnnGenerator(SurrogateMpnn::new(target.landscape.clone())));
+    let generators: Vec<Arc<dyn SequenceGenerator>> = vec![
+        mpnn,
+        Arc::new(CorePreservingMutator { rate: 0.15 }),
+        Arc::new(RandomMutagenesis { rate: 0.15 }),
+    ];
+    println!(
+        "{:<26} {:>12} {:>16}",
+        "generator", "final pLDDT", "true quality"
+    );
+    for g in generators {
+        let (name, plddt, truth) = run_with(g, 11);
+        println!("{name:<26} {plddt:>12.2} {truth:>16.3}");
+    }
+    println!(
+        "\nThe ranking reflects how much structural information each \
+         generator exploits — the pipeline machinery is identical."
+    );
+
+    // Diversity check: profile one proposal batch per generator.
+    let target = named_pdz_domains(42).remove(2);
+    let mpnn = MpnnGenerator(SurrogateMpnn::new(target.landscape.clone()));
+    let random = RandomMutagenesis { rate: 0.15 };
+    println!("\nproposal-batch diversity (mean per-position entropy, bits):");
+    for (name, batch) in [
+        (
+            "ProteinMPNN",
+            mpnn.generate(
+                &target.start,
+                &MpnnConfig::default(),
+                &mut SimRng::from_seed(3),
+            ),
+        ),
+        (
+            "random-mutagenesis",
+            random.generate(
+                &target.start,
+                &MpnnConfig::default(),
+                &mut SimRng::from_seed(3),
+            ),
+        ),
+    ] {
+        let seqs: Vec<_> = batch.iter().map(|p| p.sequence.clone()).collect();
+        let profile = SequenceProfile::from_sequences(&seqs);
+        println!(
+            "  {name:<20} {:.3} bits ({} fully conserved positions of {})",
+            profile.mean_entropy(),
+            profile.conserved_positions().len(),
+            profile.len()
+        );
+    }
+}

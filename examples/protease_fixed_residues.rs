@@ -1,0 +1,78 @@
+//! The paper's future-work protocol (§V): protease redesign.
+//!
+//! "ProteinMPNN runs must fix the catalytic residues rather than design the
+//! entire protein. Furthermore, as AlphaFold has difficulty accurately
+//! placing the peptide in protease complexes, we will instead predict our
+//! designs in monomeric form."
+//!
+//! This example runs that exact configuration on fabricated protease
+//! targets: Stage 1 freezes the catalytic triad via
+//! `MpnnConfig::fixed_positions`, and Stage 4 uses AlphaFold's monomer
+//! prediction mode, so selection rides on pLDDT/pTM only (inter-chain pAE is
+//! an uninformative sentinel without an interface).
+//!
+//! Run with: `cargo run --release --example protease_fixed_residues`
+
+use impress_core::{DesignPipeline, ProtocolConfig, TargetToolkit};
+use impress_pilot::backend::SimulatedBackend;
+use impress_pilot::PilotConfig;
+use impress_proteins::alphafold::PredictionMode;
+use impress_proteins::datasets::protease_targets;
+use impress_workflow::{Coordinator, NoDecisions};
+
+fn main() {
+    let seed = 31;
+    let proteases = protease_targets(seed, 3);
+
+    for pt in &proteases {
+        let triad: Vec<String> = pt
+            .catalytic
+            .iter()
+            .map(|&p| {
+                format!(
+                    "{}{}",
+                    pt.target.start.complex.receptor.sequence.at(p).letter(),
+                    p + 1
+                )
+            })
+            .collect();
+        println!(
+            "\n=== {} ({} residues, substrate {}, catalytic triad {}) ===",
+            pt.target.name,
+            pt.target.start.complex.receptor.len(),
+            pt.target.start.complex.peptide.sequence,
+            triad.join("/")
+        );
+
+        // The §V configuration: fixed catalytic residues + monomer folding.
+        let mut config = ProtocolConfig::imrp(seed);
+        config.mpnn.fixed_positions = pt.catalytic.clone();
+        config.alphafold.mode = PredictionMode::Monomer;
+
+        let tk = TargetToolkit::for_target(&pt.target, seed);
+        let backend = SimulatedBackend::new(PilotConfig::with_seed(seed));
+        let mut coordinator = Coordinator::new(backend, NoDecisions);
+        coordinator.add_pipeline(Box::new(DesignPipeline::root(tk, config, 0)));
+        coordinator.run();
+
+        let (_, outcome) = &coordinator.outcomes()[0];
+        for rec in &outcome.iterations {
+            println!(
+                "  iteration {}: pLDDT {:.1}  pTM {:.3}  (ipAE {:.1} = monomer sentinel)",
+                rec.iteration, rec.report.plddt, rec.report.ptm, rec.report.inter_chain_pae
+            );
+        }
+
+        // Verify the triad survived four cycles of redesign.
+        let start = &pt.target.start.complex.receptor.sequence;
+        let designed = &outcome.final_receptor;
+        let intact = pt.catalytic.iter().all(|&p| start.at(p) == designed.at(p));
+        let mutations = start.hamming(designed);
+        println!(
+            "  final design: {mutations} mutations, catalytic triad intact: {}",
+            if intact { "yes ✓" } else { "NO — BUG" }
+        );
+        assert!(intact, "catalytic residues must never be redesigned");
+    }
+    println!("\nAll triads preserved; the generalized protocol is two config lines.");
+}

@@ -1,0 +1,24 @@
+//! # impress-repro
+//!
+//! Umbrella crate for the IMPRESS reproduction ("Adaptive Protein Design
+//! Protocols and Middleware", IPPS 2025): re-exports the workspace crates
+//! under one name so examples and downstream users can depend on a single
+//! package.
+//!
+//! Layering (bottom-up):
+//!
+//! * [`sim`] — deterministic discrete-event simulation substrate.
+//! * [`proteins`] — protein types, design landscapes, ProteinMPNN/AlphaFold
+//!   surrogates, datasets.
+//! * [`pilot`] — the pilot-job runtime (scheduler, backends, profiler).
+//! * [`workflow`] — pipeline abstraction + adaptive pipelines coordinator.
+//! * [`core`] — the IMPRESS protocol: IM-RP, CONT-V, experiments.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for paper-vs-measured numbers.
+
+pub use impress_core as core;
+pub use impress_pilot as pilot;
+pub use impress_proteins as proteins;
+pub use impress_sim as sim;
+pub use impress_workflow as workflow;

@@ -1,0 +1,159 @@
+//! End-to-end integration tests: the full stack (landscape → surrogates →
+//! pilot → coordinator → protocol) exercised the way the paper's experiments
+//! use it, with the claims of §III asserted as invariants.
+
+use impress_core::adaptive::AdaptivePolicy;
+use impress_core::experiment::{run_cont_v_experiment, run_imrp};
+use impress_core::{ProtocolConfig, Table1Row};
+use impress_proteins::datasets::named_pdz_domains;
+use impress_proteins::MetricKind;
+
+/// The paper's central scientific claim (Fig. 2): the adaptive protocol
+/// attains better medians than the control at every iteration, for every
+/// metric.
+#[test]
+fn imrp_dominates_cont_v_at_every_iteration() {
+    let seed = 2025;
+    let targets = named_pdz_domains(seed);
+    let cont = run_cont_v_experiment(&targets, ProtocolConfig::cont_v(seed));
+    let imrp = run_imrp(
+        &targets,
+        ProtocolConfig::imrp(seed),
+        AdaptivePolicy::default(),
+    );
+
+    for metric in MetricKind::ALL {
+        let c = cont.series(metric);
+        let i = imrp.series(metric);
+        for (pos, iter) in c.iterations.iter().enumerate() {
+            let Some(ipos) = i.iterations.iter().position(|x| x == iter) else {
+                continue;
+            };
+            let (cm, im) = (c.summaries[pos].median, i.summaries[ipos].median);
+            if metric.higher_is_better() {
+                assert!(
+                    im > cm,
+                    "{metric} iter {iter}: IM-RP median {im} must beat CONT-V {cm}"
+                );
+            } else {
+                assert!(
+                    im < cm,
+                    "{metric} iter {iter}: IM-RP median {im} must beat CONT-V {cm}"
+                );
+            }
+        }
+    }
+}
+
+/// The paper's consistency claim: "higher consistency in design quality, as
+/// indicated by the lower standard deviation in the pLDDT and pTM metrics."
+#[test]
+fn imrp_is_more_consistent_on_plddt_and_ptm() {
+    let seed = 2025;
+    let targets = named_pdz_domains(seed);
+    let cont = run_cont_v_experiment(&targets, ProtocolConfig::cont_v(seed));
+    let imrp = run_imrp(
+        &targets,
+        ProtocolConfig::imrp(seed),
+        AdaptivePolicy::default(),
+    );
+
+    for metric in [MetricKind::Plddt, MetricKind::Ptm] {
+        let c = cont.series(metric);
+        let i = imrp.series(metric);
+        // Compare mean σ over the common iterations.
+        let common = c.iterations.len().min(i.iterations.len());
+        let mean_sd = |s: &impress_core::IterationSeries, n: usize| {
+            s.summaries[..n].iter().map(|x| x.std_dev).sum::<f64>() / n as f64
+        };
+        let (csd, isd) = (mean_sd(&c, common), mean_sd(&i, common));
+        assert!(
+            isd < csd,
+            "{metric}: IM-RP mean σ {isd} must be below CONT-V {csd}"
+        );
+    }
+}
+
+/// Table I's computational claims, as ordering invariants.
+#[test]
+fn table1_computational_orderings_hold() {
+    let seed = 2025;
+    let targets = named_pdz_domains(seed);
+    let cont = run_cont_v_experiment(&targets, ProtocolConfig::cont_v(seed));
+    let imrp = run_imrp(
+        &targets,
+        ProtocolConfig::imrp(seed),
+        AdaptivePolicy::default(),
+    );
+
+    // Trajectories: CONT-V examines exactly 16; IM-RP more.
+    assert_eq!(cont.trajectories, 16);
+    assert!(imrp.trajectories > cont.trajectories);
+
+    // Utilization: IM-RP ≫ CONT-V on both device classes.
+    assert!(imrp.run.cpu_utilization > cont.run.cpu_utilization * 2.5);
+    assert!(imrp.run.gpu_slot_utilization > cont.run.gpu_hardware_utilization * 10.0);
+
+    // CONT-V bands from the paper: ~18.3% CPU, ~1% GPU.
+    assert!(
+        (0.12..0.30).contains(&cont.run.cpu_utilization),
+        "CONT-V CPU {}",
+        cont.run.cpu_utilization
+    );
+    assert!(
+        cont.run.gpu_hardware_utilization < 0.05,
+        "CONT-V GPU {}",
+        cont.run.gpu_hardware_utilization
+    );
+
+    // Makespan: IM-RP evaluates more and takes longer (Table I's Time column).
+    assert!(imrp.evaluations > cont.evaluations);
+    assert!(
+        imrp.run.makespan > cont.run.makespan,
+        "IM-RP {} vs CONT-V {}",
+        imrp.run.makespan,
+        cont.run.makespan
+    );
+
+    // Net deltas: IM-RP improves each metric at least as much.
+    let (c, i) = (
+        Table1Row::from_result(&cont, targets.len()),
+        Table1Row::from_result(&imrp, targets.len()),
+    );
+    assert!(i.ptm_delta > c.ptm_delta);
+    assert!(i.plddt_delta > c.plddt_delta);
+    assert!(i.pae_delta < c.pae_delta, "pAE is lower-is-better");
+}
+
+/// Whole-experiment determinism: identical seeds give identical science and
+/// identical schedules.
+#[test]
+fn experiments_are_bit_reproducible() {
+    let run = || {
+        let targets = named_pdz_domains(7);
+        let r = run_imrp(&targets, ProtocolConfig::imrp(7), AdaptivePolicy::default());
+        (
+            r.trajectories,
+            r.evaluations,
+            r.run.makespan,
+            r.outcomes
+                .iter()
+                .map(|o| o.final_receptor.to_letters())
+                .collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+/// Different seeds must give different runs (no accidental constant-folding
+/// of the stochastic machinery).
+#[test]
+fn different_seeds_differ() {
+    let targets = named_pdz_domains(7);
+    let a = run_imrp(&targets, ProtocolConfig::imrp(7), AdaptivePolicy::default());
+    let b = run_imrp(&targets, ProtocolConfig::imrp(8), AdaptivePolicy::default());
+    assert_ne!(
+        a.outcomes[0].final_receptor, b.outcomes[0].final_receptor,
+        "seeds must matter"
+    );
+}

@@ -1,0 +1,133 @@
+//! Failure injection: crashing tasks must degrade the run gracefully —
+//! lineage aborts, decision-engine restart, coordinator completes — never
+//! poison the middleware.
+
+use impress_core::adaptive::{AdaptivePolicy, ImpressDecision};
+use impress_core::generator::SequenceGenerator;
+use impress_core::{DesignPipeline, ProtocolConfig, TargetToolkit};
+use impress_pilot::backend::SimulatedBackend;
+use impress_pilot::PilotConfig;
+use impress_proteins::datasets::named_pdz_domains;
+use impress_proteins::{MpnnConfig, ScoredSequence, Structure, SurrogateMpnn};
+use impress_sim::SimRng;
+use impress_workflow::{Coordinator, NoDecisions};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// A generator that panics on its `fail_on`-th call, then behaves normally
+/// (simulating a transient crash — bad node, OOM kill).
+struct FlakyGenerator {
+    inner: SurrogateMpnn,
+    calls: AtomicU32,
+    fail_on: u32,
+}
+
+impl SequenceGenerator for FlakyGenerator {
+    fn name(&self) -> &str {
+        "flaky-mpnn"
+    }
+    fn generate(
+        &self,
+        structure: &Structure,
+        config: &MpnnConfig,
+        rng: &mut SimRng,
+    ) -> Vec<ScoredSequence> {
+        let call = self.calls.fetch_add(1, Ordering::SeqCst) + 1;
+        if call == self.fail_on {
+            panic!("injected generator crash on call {call}");
+        }
+        self.inner.sample(structure, config, rng)
+    }
+}
+
+fn flaky_toolkit(
+    target: &impress_proteins::datasets::DesignTarget,
+    fail_on: u32,
+) -> Arc<TargetToolkit> {
+    TargetToolkit::with_generator(
+        target,
+        7,
+        Arc::new(FlakyGenerator {
+            inner: SurrogateMpnn::new(target.landscape.clone()),
+            calls: AtomicU32::new(0),
+            fail_on,
+        }),
+    )
+}
+
+#[test]
+fn crashed_task_aborts_the_lineage_not_the_coordinator() {
+    let target = &named_pdz_domains(3)[0];
+    let tk = flaky_toolkit(target, 2); // crash in cycle 2
+    let backend = SimulatedBackend::new(PilotConfig::with_seed(3));
+    let mut c = Coordinator::new(backend, NoDecisions);
+    c.add_pipeline(Box::new(DesignPipeline::root(
+        tk,
+        ProtocolConfig::imrp(3),
+        0,
+    )));
+    let report = c.run();
+    assert_eq!(report.aborted_pipelines, 1);
+    assert!(c.outcomes().is_empty());
+    assert!(
+        c.aborts()[0].1.contains("injected generator crash"),
+        "{}",
+        c.aborts()[0].1
+    );
+}
+
+#[test]
+fn decision_engine_restarts_crashed_lineages() {
+    let targets = named_pdz_domains(5);
+    let target = &targets[0];
+    // Toolkit whose generator crashes exactly once (first call), so the
+    // restarted pipeline succeeds.
+    let tk = flaky_toolkit(target, 1);
+    let config = ProtocolConfig::imrp(5);
+    let decision = ImpressDecision::new(config.clone(), AdaptivePolicy::default(), [tk.clone()]);
+    let backend = SimulatedBackend::new(PilotConfig::with_seed(5));
+    let mut c = Coordinator::new(backend, decision);
+    c.add_pipeline(Box::new(DesignPipeline::root(tk, config, 0)));
+    let report = c.run();
+
+    assert_eq!(report.aborted_pipelines, 1, "the crash aborts the root");
+    assert!(
+        report.sub_pipelines >= 1,
+        "the engine must restart the target"
+    );
+    // The restart must have produced a real outcome for the same target.
+    let restarted: Vec<_> = c
+        .outcomes()
+        .iter()
+        .filter(|(_, o)| o.label.contains("restart"))
+        .collect();
+    assert!(!restarted.is_empty(), "no restart outcome found");
+    assert!(!restarted[0].1.iterations.is_empty());
+    assert_eq!(restarted[0].1.target, target.name);
+}
+
+#[test]
+fn unrelated_pipelines_survive_a_crash() {
+    let targets = named_pdz_domains(9);
+    let backend = SimulatedBackend::new(PilotConfig::with_seed(9));
+    let mut c = Coordinator::new(backend, NoDecisions);
+    // Pipeline 0 crashes; pipelines 1 and 2 are healthy.
+    c.add_pipeline(Box::new(DesignPipeline::root(
+        flaky_toolkit(&targets[0], 1),
+        ProtocolConfig::imrp(9),
+        0,
+    )));
+    for (i, target) in targets.iter().enumerate().skip(1).take(2) {
+        c.add_pipeline(Box::new(DesignPipeline::root(
+            TargetToolkit::for_target(target, 7),
+            ProtocolConfig::imrp(9),
+            i as u64,
+        )));
+    }
+    let report = c.run();
+    assert_eq!(report.aborted_pipelines, 1);
+    assert_eq!(c.outcomes().len(), 2, "healthy pipelines complete");
+    for (_, o) in c.outcomes() {
+        assert!(!o.iterations.is_empty());
+    }
+}
