@@ -1,15 +1,16 @@
 //! Ablation benches for the design choices DESIGN.md calls out.
 //!
-//! Each variant replays the full virtual-time experiment; Criterion measures
-//! replay cost while the scientific effect (final design quality) is printed
-//! once per variant, so `cargo bench` doubles as the ablation table:
+//! Each variant replays the full virtual-time experiment; the timing
+//! harness measures replay cost while the scientific effect (final design
+//! quality) is printed once per variant, so `cargo bench` doubles as the
+//! ablation table:
 //!
 //! 1. Stage-6 adaptive selection on/off,
 //! 2. retry budget 1 / 5 / 10,
 //! 3. full-MSA vs single-sequence mode (the EvoPro trade-off),
 //! 4. speculation width 1 / 2 / 4 (utilization optimization).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use impress_bench::timing::{black_box, Suite};
 use impress_core::adaptive::AdaptivePolicy;
 use impress_core::experiment::run_imrp;
 use impress_core::ProtocolConfig;
@@ -32,9 +33,7 @@ fn run_variant(mutate: impl Fn(&mut ProtocolConfig)) -> impress_core::Experiment
     run_imrp(&targets, config, AdaptivePolicy::default())
 }
 
-fn bench_adaptivity(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablations/adaptive_selection");
-    group.sample_size(10);
+fn bench_adaptivity(suite: &mut Suite) {
     for &adaptive in &[true, false] {
         let result = run_variant(|cfg| cfg.adaptive = adaptive);
         eprintln!(
@@ -43,20 +42,13 @@ fn bench_adaptivity(c: &mut Criterion) {
             result.evaluations,
             result.run.cpu_utilization * 100.0
         );
-        group.bench_with_input(
-            BenchmarkId::from_parameter(adaptive),
-            &adaptive,
-            |b, &adaptive| {
-                b.iter(|| black_box(run_variant(|cfg| cfg.adaptive = adaptive)));
-            },
-        );
+        suite.bench(&format!("adaptive_selection/{adaptive}"), || {
+            black_box(run_variant(|cfg| cfg.adaptive = adaptive))
+        });
     }
-    group.finish();
 }
 
-fn bench_retry_budget(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablations/retry_budget");
-    group.sample_size(10);
+fn bench_retry_budget(suite: &mut Suite) {
     for &budget in &[1u32, 5, 10] {
         let result = run_variant(|cfg| cfg.retry_budget = budget);
         eprintln!(
@@ -65,20 +57,13 @@ fn bench_retry_budget(c: &mut Criterion) {
             result.evaluations,
             result.outcomes.iter().filter(|o| o.terminated_early).count()
         );
-        group.bench_with_input(
-            BenchmarkId::from_parameter(budget),
-            &budget,
-            |b, &budget| {
-                b.iter(|| black_box(run_variant(|cfg| cfg.retry_budget = budget)));
-            },
-        );
+        suite.bench(&format!("retry_budget/{budget}"), || {
+            black_box(run_variant(|cfg| cfg.retry_budget = budget))
+        });
     }
-    group.finish();
 }
 
-fn bench_msa_mode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablations/msa_mode");
-    group.sample_size(10);
+fn bench_msa_mode(suite: &mut Suite) {
     for mode in [MsaMode::Full, MsaMode::SingleSequence] {
         let result = run_variant(|cfg| cfg.alphafold.msa_mode = mode);
         eprintln!(
@@ -86,20 +71,13 @@ fn bench_msa_mode(c: &mut Criterion) {
             final_quality(&result),
             result.run.makespan.as_hours_f64()
         );
-        group.bench_with_input(
-            BenchmarkId::new("mode", format!("{mode:?}")),
-            &mode,
-            |b, &mode| {
-                b.iter(|| black_box(run_variant(|cfg| cfg.alphafold.msa_mode = mode)));
-            },
-        );
+        suite.bench(&format!("msa_mode/{mode:?}"), || {
+            black_box(run_variant(|cfg| cfg.alphafold.msa_mode = mode))
+        });
     }
-    group.finish();
 }
 
-fn bench_speculation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablations/speculation_width");
-    group.sample_size(10);
+fn bench_speculation(suite: &mut Suite) {
     for &width in &[1u32, 2, 4] {
         let result = run_variant(|cfg| cfg.speculation = width);
         eprintln!(
@@ -109,18 +87,17 @@ fn bench_speculation(c: &mut Criterion) {
             result.run.makespan.as_hours_f64(),
             result.evaluations
         );
-        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &width| {
-            b.iter(|| black_box(run_variant(|cfg| cfg.speculation = width)));
+        suite.bench(&format!("speculation_width/{width}"), || {
+            black_box(run_variant(|cfg| cfg.speculation = width))
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_adaptivity,
-    bench_retry_budget,
-    bench_msa_mode,
-    bench_speculation
-);
-criterion_main!(benches);
+fn main() {
+    let mut suite = Suite::new("ablations");
+    bench_adaptivity(&mut suite);
+    bench_retry_budget(&mut suite);
+    bench_msa_mode(&mut suite);
+    bench_speculation(&mut suite);
+    suite.finish();
+}

@@ -4,7 +4,7 @@
 //! These isolate the middleware's own overhead from the workload — the
 //! pilot-runtime equivalent of a null-RPC benchmark.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use impress_bench::timing::{black_box, Suite};
 use impress_pilot::backend::SimulatedBackend;
 use impress_pilot::{Completion, PilotConfig, ResourceRequest, TaskDescription};
 use impress_sim::SimDuration;
@@ -48,39 +48,31 @@ fn backend() -> SimulatedBackend {
     })
 }
 
-fn bench_stage_round_trip(c: &mut Criterion) {
-    let mut group = c.benchmark_group("coordinator/stage_round_trips");
+fn bench_stage_round_trip(suite: &mut Suite) {
     for &stages in &[10u32, 100, 1000] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(stages),
-            &stages,
-            |b, &stages| {
-                b.iter(|| {
-                    let mut coord = Coordinator::new(backend(), NoDecisions);
-                    coord.add_pipeline(Box::new(NullPipeline { stages }));
-                    black_box(coord.run())
-                });
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_concurrent_pipelines(c: &mut Criterion) {
-    let mut group = c.benchmark_group("coordinator/concurrent_pipelines");
-    for &n in &[4usize, 32, 128] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut coord = Coordinator::new(backend(), NoDecisions);
-                for _ in 0..n {
-                    coord.add_pipeline(Box::new(NullPipeline { stages: 8 }));
-                }
-                black_box(coord.run())
-            });
+        suite.bench(&format!("stage_round_trips/{stages}"), || {
+            let mut coord = Coordinator::new(backend(), NoDecisions);
+            coord.add_pipeline(Box::new(NullPipeline { stages }));
+            black_box(coord.run())
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_stage_round_trip, bench_concurrent_pipelines);
-criterion_main!(benches);
+fn bench_concurrent_pipelines(suite: &mut Suite) {
+    for &n in &[4usize, 32, 128] {
+        suite.bench(&format!("concurrent_pipelines/{n}"), || {
+            let mut coord = Coordinator::new(backend(), NoDecisions);
+            for _ in 0..n {
+                coord.add_pipeline(Box::new(NullPipeline { stages: 8 }));
+            }
+            black_box(coord.run())
+        });
+    }
+}
+
+fn main() {
+    let mut suite = Suite::new("coordinator");
+    bench_stage_round_trip(&mut suite);
+    bench_concurrent_pipelines(&mut suite);
+    suite.finish();
+}

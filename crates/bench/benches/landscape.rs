@@ -5,7 +5,7 @@
 //! proposal; these numbers bound how large a cohort the reproduction can
 //! replay per host-second.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use impress_bench::timing::{black_box, Suite};
 use impress_proteins::amino::ALL;
 use impress_proteins::landscape::DesignLandscape;
 use impress_proteins::Sequence;
@@ -16,59 +16,46 @@ fn arb_receptor(l: &DesignLandscape, seed: u64) -> Sequence {
     l.random_receptor(&mut rng)
 }
 
-fn bench_fitness_vs_length(c: &mut Criterion) {
+fn bench_fitness_vs_length(suite: &mut Suite) {
     let peptide = Sequence::parse("EGYQDYEPEA").unwrap();
-    let mut group = c.benchmark_group("landscape/fitness_vs_length");
     for &len in &[40usize, 90, 200, 400] {
         let l = DesignLandscape::new(7, len, peptide.clone());
         let seq = arb_receptor(&l, 1);
-        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
-            b.iter(|| black_box(l.fitness(&seq)));
+        suite.bench(&format!("fitness_vs_length/{len}"), || {
+            black_box(l.fitness(&seq))
         });
     }
-    group.finish();
 }
 
-fn bench_local_score(c: &mut Criterion) {
+fn bench_local_score(suite: &mut Suite) {
     let peptide = Sequence::parse("EGYQDYEPEA").unwrap();
     let l = DesignLandscape::new(7, 90, peptide);
     let seq = arb_receptor(&l, 2);
-    c.bench_function("landscape/local_score_all_candidates", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for &aa in &ALL {
-                acc += l.local_score(&seq, 45, aa);
-            }
-            black_box(acc)
-        });
+    suite.bench("local_score_all_candidates", || {
+        let mut acc = 0.0;
+        for &aa in &ALL {
+            acc += l.local_score(&seq, 45, aa);
+        }
+        black_box(acc)
     });
 }
 
-fn bench_hill_climb(c: &mut Criterion) {
+fn bench_hill_climb(suite: &mut Suite) {
     let peptide = Sequence::parse("EPEA").unwrap();
     let l = DesignLandscape::new(7, 90, peptide);
-    let mut group = c.benchmark_group("landscape/hill_climb_sweeps");
-    group.sample_size(20);
     for &sweeps in &[1usize, 4] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(sweeps),
-            &sweeps,
-            |b, &sweeps| {
-                b.iter(|| {
-                    let mut rng = SimRng::from_seed(3);
-                    let start = l.random_receptor(&mut rng);
-                    black_box(l.hill_climb(&start, sweeps, &mut rng))
-                });
-            },
-        );
+        suite.bench(&format!("hill_climb_sweeps/{sweeps}"), || {
+            let mut rng = SimRng::from_seed(3);
+            let start = l.random_receptor(&mut rng);
+            black_box(l.hill_climb(&start, sweeps, &mut rng))
+        });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fitness_vs_length,
-    bench_local_score,
-    bench_hill_climb
-);
-criterion_main!(benches);
+fn main() {
+    let mut suite = Suite::new("landscape");
+    bench_fitness_vs_length(&mut suite);
+    bench_local_score(&mut suite);
+    bench_hill_climb(&mut suite);
+    suite.finish();
+}

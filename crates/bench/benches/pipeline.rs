@@ -4,51 +4,45 @@
 //! The measured quantity is *host* time to replay a 27–45 virtual-hour
 //! experiment — the speedup that makes the reproduction tractable.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use impress_bench::timing::{black_box, Suite};
 use impress_core::adaptive::AdaptivePolicy;
 use impress_core::experiment::{run_cont_v_experiment, run_imrp};
 use impress_core::ProtocolConfig;
 use impress_proteins::datasets::{mined_pdz_complexes, named_pdz_domains};
 
-fn bench_paper_arms(c: &mut Criterion) {
+fn bench_paper_arms(suite: &mut Suite) {
     let targets = named_pdz_domains(42);
-    let mut group = c.benchmark_group("pipeline/paper_arms");
-    group.sample_size(10);
-    group.bench_function("cont_v_4_domains", |b| {
-        b.iter(|| black_box(run_cont_v_experiment(&targets, ProtocolConfig::cont_v(1))));
+    suite.bench("paper_arms/cont_v_4_domains", || {
+        black_box(run_cont_v_experiment(&targets, ProtocolConfig::cont_v(1)))
     });
-    group.bench_function("imrp_4_domains", |b| {
-        b.iter(|| {
+    suite.bench("paper_arms/imrp_4_domains", || {
+        black_box(run_imrp(
+            &targets,
+            ProtocolConfig::imrp(1),
+            AdaptivePolicy::default(),
+        ))
+    });
+}
+
+fn bench_cohort_scaling(suite: &mut Suite) {
+    for &n in &[5usize, 10, 20] {
+        let targets = mined_pdz_complexes(42, n);
+        suite.bench(&format!("imrp_cohort_scaling/{n}"), || {
             black_box(run_imrp(
                 &targets,
                 ProtocolConfig::imrp(1),
-                AdaptivePolicy::default(),
+                AdaptivePolicy {
+                    sub_budget: n,
+                    ..AdaptivePolicy::default()
+                },
             ))
         });
-    });
-    group.finish();
-}
-
-fn bench_cohort_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline/imrp_cohort_scaling");
-    group.sample_size(10);
-    for &n in &[5usize, 10, 20] {
-        let targets = mined_pdz_complexes(42, n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                black_box(run_imrp(
-                    &targets,
-                    ProtocolConfig::imrp(1),
-                    AdaptivePolicy {
-                        sub_budget: n,
-                        ..AdaptivePolicy::default()
-                    },
-                ))
-            });
-        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_paper_arms, bench_cohort_scaling);
-criterion_main!(benches);
+fn main() {
+    let mut suite = Suite::new("pipeline");
+    bench_paper_arms(&mut suite);
+    bench_cohort_scaling(&mut suite);
+    suite.finish();
+}

@@ -5,7 +5,7 @@
 //! the paper's "continuous scheduling" only pays off if placement decisions
 //! are cheap relative to task granularity.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use impress_bench::timing::{black_box, Suite};
 use impress_pilot::backend::SimulatedBackend;
 use impress_pilot::{
     ExecutionBackend, NodeSpec, PilotConfig, PlacementPolicy, ResourceRequest, Scheduler,
@@ -26,63 +26,59 @@ fn task_stream(n: usize) -> Vec<ResourceRequest> {
         .collect()
 }
 
-fn bench_placement(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scheduler/place_release_cycle");
+fn bench_placement(suite: &mut Suite) {
     for &n in &[64usize, 256, 1024] {
         for policy in [PlacementPolicy::Fifo, PlacementPolicy::Backfill] {
-            group.bench_with_input(BenchmarkId::new(format!("{policy:?}"), n), &n, |b, &n| {
-                let stream = task_stream(n);
-                b.iter(|| {
-                    let mut s = Scheduler::new(NodeSpec::amarel(), policy);
-                    for (i, req) in stream.iter().enumerate() {
-                        s.enqueue(TaskId(i as u64), *req);
+            let stream = task_stream(n);
+            suite.bench(&format!("place_release_cycle/{policy:?}/{n}"), || {
+                let mut s = Scheduler::new(NodeSpec::amarel(), policy);
+                for (i, req) in stream.iter().enumerate() {
+                    s.enqueue(TaskId(i as u64), *req);
+                }
+                let mut running = Vec::new();
+                let mut done = 0usize;
+                while done < n {
+                    for pair in s.place_ready() {
+                        running.push(pair);
                     }
-                    let mut running = Vec::new();
-                    let mut done = 0usize;
-                    while done < n {
-                        for pair in s.place_ready() {
-                            running.push(pair);
-                        }
-                        if let Some((_, alloc)) = running.pop() {
-                            done += 1;
-                            s.release(&alloc);
-                        }
+                    if let Some((_, alloc)) = running.pop() {
+                        done += 1;
+                        s.release(&alloc);
                     }
-                    black_box(done)
-                });
+                }
+                black_box(done)
             });
         }
     }
-    group.finish();
 }
 
-fn bench_backend_event_rate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scheduler/simulated_backend_run");
+fn bench_backend_event_rate(suite: &mut Suite) {
     for &n in &[100usize, 500] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut backend = SimulatedBackend::new(PilotConfig {
-                    bootstrap: SimDuration::from_secs(10),
-                    exec_setup_per_task: SimDuration::from_secs(1),
-                    ..PilotConfig::default()
-                });
-                for (i, req) in task_stream(n).iter().enumerate() {
-                    backend.submit(TaskDescription::new(
-                        format!("t{i}"),
-                        *req,
-                        SimDuration::from_secs(60 + (i as u64 % 600)),
-                    ));
-                }
-                let mut completions = 0;
-                while backend.next_completion().is_some() {
-                    completions += 1;
-                }
-                black_box(completions)
+        suite.bench(&format!("simulated_backend_run/{n}"), || {
+            let mut backend = SimulatedBackend::new(PilotConfig {
+                bootstrap: SimDuration::from_secs(10),
+                exec_setup_per_task: SimDuration::from_secs(1),
+                ..PilotConfig::default()
             });
+            for (i, req) in task_stream(n).iter().enumerate() {
+                backend.submit(TaskDescription::new(
+                    format!("t{i}"),
+                    *req,
+                    SimDuration::from_secs(60 + (i as u64 % 600)),
+                ));
+            }
+            let mut completions = 0;
+            while backend.next_completion().is_some() {
+                completions += 1;
+            }
+            black_box(completions)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_placement, bench_backend_event_rate);
-criterion_main!(benches);
+fn main() {
+    let mut suite = Suite::new("scheduler");
+    bench_placement(&mut suite);
+    bench_backend_event_rate(&mut suite);
+    suite.finish();
+}

@@ -5,85 +5,73 @@
 //! must be orders of magnitude cheaper than the virtual durations they
 //! stand in for, or the DES replay advantage evaporates.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use impress_bench::timing::{black_box, Suite};
 use impress_core::TargetToolkit;
 use impress_proteins::datasets::named_pdz_domains;
 use impress_proteins::msa::MsaMode;
 use impress_proteins::{AlphaFoldConfig, MpnnConfig};
 use impress_sim::SimRng;
 
-fn bench_mpnn_sampling(c: &mut Criterion) {
+fn bench_mpnn_sampling(suite: &mut Suite) {
     let target = named_pdz_domains(42).remove(0);
     let tk = TargetToolkit::for_target(&target, 7);
-    let mut group = c.benchmark_group("surrogates/mpnn_sample");
     for &n in &[1usize, 10, 50] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let cfg = MpnnConfig {
-                num_sequences: n,
-                ..MpnnConfig::default()
-            };
-            let mut rng = SimRng::from_seed(1);
-            b.iter(|| black_box(tk.generator.generate(&tk.start, &cfg, &mut rng)));
+        let cfg = MpnnConfig {
+            num_sequences: n,
+            ..MpnnConfig::default()
+        };
+        let mut rng = SimRng::from_seed(1);
+        suite.bench(&format!("mpnn_sample/{n}"), || {
+            black_box(tk.generator.generate(&tk.start, &cfg, &mut rng))
         });
     }
-    group.finish();
 }
 
-fn bench_alphafold_predict(c: &mut Criterion) {
+fn bench_alphafold_predict(suite: &mut Suite) {
     let target = named_pdz_domains(42).remove(1);
     let tk = TargetToolkit::for_target(&target, 7);
     let msa = tk
         .alphafold
         .build_msa(&tk.start.complex.receptor.sequence, MsaMode::Full);
-    let mut group = c.benchmark_group("surrogates/af2_predict");
     for &models in &[1usize, 5] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(models),
-            &models,
-            |b, &models| {
-                let cfg = AlphaFoldConfig {
-                    num_models: models,
-                    ..AlphaFoldConfig::default()
-                };
-                let mut rng = SimRng::from_seed(2);
-                b.iter(|| {
-                    black_box(
-                        tk.alphafold
-                            .predict(&tk.start.complex, &msa, &cfg, 1, &mut rng),
-                    )
-                });
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_msa_search(c: &mut Criterion) {
-    let target = named_pdz_domains(42).remove(2);
-    let tk = TargetToolkit::for_target(&target, 7);
-    c.bench_function("surrogates/msa_search", |b| {
-        b.iter(|| {
+        let cfg = AlphaFoldConfig {
+            num_models: models,
+            ..AlphaFoldConfig::default()
+        };
+        let mut rng = SimRng::from_seed(2);
+        suite.bench(&format!("af2_predict/{models}"), || {
             black_box(
                 tk.alphafold
-                    .build_msa(&tk.start.complex.receptor.sequence, MsaMode::Full),
+                    .predict(&tk.start.complex, &msa, &cfg, 1, &mut rng),
             )
         });
+    }
+}
+
+fn bench_msa_search(suite: &mut Suite) {
+    let target = named_pdz_domains(42).remove(2);
+    let tk = TargetToolkit::for_target(&target, 7);
+    suite.bench("msa_search", || {
+        black_box(
+            tk.alphafold
+                .build_msa(&tk.start.complex.receptor.sequence, MsaMode::Full),
+        )
     });
 }
 
-fn bench_landscape_fitness(c: &mut Criterion) {
+fn bench_landscape_fitness(suite: &mut Suite) {
     let target = named_pdz_domains(42).remove(3);
     let seq = target.start.complex.receptor.sequence.clone();
-    c.bench_function("surrogates/landscape_fitness", |b| {
-        b.iter(|| black_box(target.landscape.fitness(&seq)));
+    suite.bench("landscape_fitness", || {
+        black_box(target.landscape.fitness(&seq))
     });
 }
 
-criterion_group!(
-    benches,
-    bench_mpnn_sampling,
-    bench_alphafold_predict,
-    bench_msa_search,
-    bench_landscape_fitness
-);
-criterion_main!(benches);
+fn main() {
+    let mut suite = Suite::new("surrogates");
+    bench_mpnn_sampling(&mut suite);
+    bench_alphafold_predict(&mut suite);
+    bench_msa_search(&mut suite);
+    bench_landscape_fitness(&mut suite);
+    suite.finish();
+}

@@ -82,12 +82,18 @@ fn main() {
         println!("  {:<6} {}", metric.label(), gaps.join("  "));
     }
 
-    let json = serde_json::json!({
-        "seed": seed,
-        "cont_v": MetricKind::ALL.map(|m| serde_json::to_value(exp.cont_v.series(m)).unwrap()),
-        "imrp": MetricKind::ALL.map(|m| serde_json::to_value(exp.imrp.series(m)).unwrap()),
-    });
-    std::fs::write("fig2.json", serde_json::to_string_pretty(&json).unwrap())
+    let json = impress_json::Json::object()
+        .field("seed", seed)
+        .field(
+            "cont_v",
+            impress_json::Json::array(MetricKind::ALL.map(|m| exp.cont_v.series(m))),
+        )
+        .field(
+            "imrp",
+            impress_json::Json::array(MetricKind::ALL.map(|m| exp.imrp.series(m))),
+        )
+        .build();
+    std::fs::write("fig2.json", impress_json::to_string_pretty(&json))
         .expect("write json sidecar");
     eprintln!("\nwrote fig2.json");
 }

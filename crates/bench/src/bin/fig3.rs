@@ -83,14 +83,17 @@ fn main() {
         }
     }
 
-    let json = serde_json::json!({
-        "seed": seed,
-        "complexes": n,
-        "trajectories": result.trajectories,
-        "sub_pipelines": result.run.sub_pipelines,
-        "series": MetricKind::ALL.map(|m| serde_json::to_value(result.series(m)).unwrap()),
-    });
-    std::fs::write("fig3.json", serde_json::to_string_pretty(&json).unwrap())
+    let json = impress_json::Json::object()
+        .field("seed", seed)
+        .field("complexes", n)
+        .field("trajectories", result.trajectories)
+        .field("sub_pipelines", result.run.sub_pipelines)
+        .field(
+            "series",
+            impress_json::Json::array(MetricKind::ALL.map(|m| result.series(m))),
+        )
+        .build();
+    std::fs::write("fig3.json", impress_json::to_string_pretty(&json))
         .expect("write json sidecar");
     eprintln!("\nwrote fig3.json");
 }

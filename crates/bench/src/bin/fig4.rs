@@ -33,16 +33,16 @@ fn main() {
         r.run.total_tasks, r.trajectories
     );
 
-    let json = serde_json::json!({
-        "seed": seed,
-        "bin_minutes": 10,
-        "cpu_series": r.cpu_series,
-        "gpu_hw_series": r.gpu_hw_series,
-        "avg_cpu": r.run.cpu_utilization,
-        "avg_gpu_hw": r.run.gpu_hardware_utilization,
-        "makespan_hours": r.run.makespan.as_hours_f64(),
-    });
-    std::fs::write("fig4.json", serde_json::to_string_pretty(&json).unwrap())
+    let json = impress_json::Json::object()
+        .field("seed", seed)
+        .field("bin_minutes", 10)
+        .field("cpu_series", &r.cpu_series)
+        .field("gpu_hw_series", &r.gpu_hw_series)
+        .field("avg_cpu", r.run.cpu_utilization)
+        .field("avg_gpu_hw", r.run.gpu_hardware_utilization)
+        .field("makespan_hours", r.run.makespan.as_hours_f64())
+        .build();
+    std::fs::write("fig4.json", impress_json::to_string_pretty(&json))
         .expect("write json sidecar");
     eprintln!("\nwrote fig4.json");
 }

@@ -86,18 +86,18 @@ task Gantt (first 24 tasks; ▒ queued, █ running):"
         println!("mean task queue wait: {}", timeline.mean_wait());
     }
 
-    let json = serde_json::json!({
-        "seed": seed,
-        "bin_minutes": 10,
-        "cpu_series": r.cpu_series,
-        "gpu_slot_series": r.gpu_slot_series,
-        "gpu_hw_series": r.gpu_hw_series,
-        "avg_cpu": r.run.cpu_utilization,
-        "avg_gpu_slot": r.run.gpu_slot_utilization,
-        "makespan_hours": r.run.makespan.as_hours_f64(),
-        "phases": p,
-    });
-    std::fs::write("fig5.json", serde_json::to_string_pretty(&json).unwrap())
+    let json = impress_json::Json::object()
+        .field("seed", seed)
+        .field("bin_minutes", 10)
+        .field("cpu_series", &r.cpu_series)
+        .field("gpu_slot_series", &r.gpu_slot_series)
+        .field("gpu_hw_series", &r.gpu_hw_series)
+        .field("avg_cpu", r.run.cpu_utilization)
+        .field("avg_gpu_slot", r.run.gpu_slot_utilization)
+        .field("makespan_hours", r.run.makespan.as_hours_f64())
+        .field("phases", p)
+        .build();
+    std::fs::write("fig5.json", impress_json::to_string_pretty(&json))
         .expect("write json sidecar");
     eprintln!("\nwrote fig5.json");
 }

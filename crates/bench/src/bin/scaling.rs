@@ -53,28 +53,29 @@ fn main() {
             result.run.cpu_utilization * 100.0,
             result.run.gpu_slot_utilization * 100.0
         );
-        rows.push(serde_json::json!({
-            "nodes": nodes,
-            "makespan_hours": h,
-            "speedup": speedup,
-            "efficiency": efficiency,
-            "cpu": result.run.cpu_utilization,
-            "gpu_slot": result.run.gpu_slot_utilization,
-            "trajectories": result.trajectories,
-        }));
+        rows.push(
+            impress_json::Json::object()
+                .field("nodes", nodes)
+                .field("makespan_hours", h)
+                .field("speedup", speedup)
+                .field("efficiency", efficiency)
+                .field("cpu", result.run.cpu_utilization)
+                .field("gpu_slot", result.run.gpu_slot_utilization)
+                .field("trajectories", result.trajectories)
+                .build(),
+        );
     }
     println!(
         "\nEfficiency falls off once per-node concurrency (pipelines / nodes) \
          drops below the ~5-lineage saturation point — the adaptive workload \
          scales out as long as the cohort keeps all nodes fed."
     );
-    std::fs::write(
-        "scaling.json",
-        serde_json::to_string_pretty(
-            &serde_json::json!({"seed": seed, "complexes": n, "rows": rows}),
-        )
-        .unwrap(),
-    )
-    .expect("write scaling.json");
+    let json = impress_json::Json::object()
+        .field("seed", seed)
+        .field("complexes", n)
+        .field("rows", impress_json::Json::array(rows))
+        .build();
+    std::fs::write("scaling.json", impress_json::to_string_pretty(&json))
+        .expect("write scaling.json");
     eprintln!("wrote scaling.json");
 }

@@ -37,17 +37,20 @@ fn main() {
     );
     println!("                 IM-RP  2 PL + 7 sub, 23 traj, 88% CPU, 61% GPU, 38.3 h, Δ(0.32, 7.7, -6.61)");
 
-    let json = serde_json::json!({
-        "seed": seed,
-        "cont_v": &cont,
-        "imrp": &imrp,
-        "improvement_pct": { "ptm": ptm, "plddt": plddt, "pae": pae },
-    });
+    let json = impress_json::Json::object()
+        .field("seed", seed)
+        .field("cont_v", &cont)
+        .field("imrp", &imrp)
+        .field(
+            "improvement_pct",
+            impress_json::Json::object()
+                .field("ptm", ptm)
+                .field("plddt", plddt)
+                .field("pae", pae)
+                .build(),
+        )
+        .build();
     let path = "table1.json";
-    std::fs::write(
-        path,
-        serde_json::to_string_pretty(&json).expect("serialize"),
-    )
-    .expect("write json sidecar");
+    std::fs::write(path, impress_json::to_string_pretty(&json)).expect("write json sidecar");
     eprintln!("\nwrote {path}");
 }

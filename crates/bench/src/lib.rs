@@ -1,7 +1,8 @@
 //! # impress-bench
 //!
 //! Harnesses that regenerate every table and figure of the IMPRESS paper's
-//! evaluation section, plus Criterion micro/meso benchmarks.
+//! evaluation section, plus micro/meso benchmarks on the in-repo `timing`
+//! harness.
 //!
 //! Binaries (each prints the paper artifact's rows/series and writes a JSON
 //! sidecar next to stdout output):
@@ -17,5 +18,7 @@
 //! Run e.g. `cargo run --release -p impress-bench --bin table1`.
 
 pub mod harness;
+pub mod timing;
 
 pub use harness::{paper_experiment, PaperExperiment};
+pub use timing::{black_box, BenchResult, Suite};

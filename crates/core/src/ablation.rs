@@ -10,15 +10,15 @@ use crate::adaptive::AdaptivePolicy;
 use crate::config::ProtocolConfig;
 use crate::experiment::{run_imrp, ExperimentResult};
 use impress_proteins::datasets::DesignTarget;
+use impress_json::json_struct;
 use impress_sim::Summary;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A labelled mutation of the base protocol configuration.
 pub type Variant<'a> = (&'a str, Box<dyn Fn(&mut ProtocolConfig)>);
 
 /// One ablation variant's outcome.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AblationRow {
     /// Variant label (e.g. `"retry_budget=5"`).
     pub variant: String,
@@ -36,6 +36,15 @@ pub struct AblationRow {
     /// Lineages that terminated early.
     pub early_terminations: usize,
 }
+json_struct!(AblationRow {
+    variant,
+    median_final_score,
+    evaluations,
+    makespan_hours,
+    cpu,
+    gpu_slot,
+    early_terminations
+});
 
 impl AblationRow {
     /// Summarize one experiment result under a label.

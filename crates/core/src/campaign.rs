@@ -76,10 +76,7 @@ pub fn export_campaign(
     }
 
     let results_json = dir.join("results.json");
-    std::fs::write(
-        &results_json,
-        serde_json::to_string_pretty(result).expect("results serialize"),
-    )?;
+    std::fs::write(&results_json, impress_json::to_string_pretty(result))?;
 
     let summary = dir.join("SUMMARY.txt");
     let mut text = format!(
@@ -123,7 +120,7 @@ pub fn export_campaign(
 /// Load a previously exported result bundle.
 pub fn load_results(path: impl AsRef<Path>) -> io::Result<ExperimentResult> {
     let text = std::fs::read_to_string(path)?;
-    serde_json::from_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    impress_json::from_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 #[cfg(test)]

@@ -2,15 +2,15 @@
 
 use impress_proteins::msa::MsaMode;
 use impress_proteins::{AlphaFoldConfig, MpnnConfig};
+use impress_json::json_struct;
 use impress_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Resource shapes and durations of the pipeline's tasks on the simulated
 /// node. Calibrated against the paper's testbed observations: MSA
 /// construction is the CPU-hours elephant; inference holds a GPU slot for
 /// ~12 min per candidate model of which roughly a third is actual kernel
 /// time; everything else is small.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Cores per ProteinMPNN task.
     pub mpnn_cores: u32,
@@ -32,6 +32,17 @@ pub struct CostModel {
     /// Duration of each small bookkeeping task (select / fasta / compare).
     pub small_task: SimDuration,
 }
+json_struct!(CostModel {
+    mpnn_cores,
+    mpnn_gpus,
+    mpnn_duration,
+    mpnn_gpu_busy,
+    msa_cores,
+    inference_cores,
+    inference_gpus,
+    inference_gpu_busy,
+    small_task
+});
 
 impl CostModel {
     /// The IM-RP cost model: MPNN on GPU, everything pilot-scheduled.
@@ -60,7 +71,7 @@ impl CostModel {
 }
 
 /// Full protocol configuration for one experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProtocolConfig {
     /// Design cycles per lineage (paper: `M = 4`).
     pub cycles: u32,
@@ -97,6 +108,18 @@ pub struct ProtocolConfig {
     /// Master seed; every stochastic choice forks deterministically from it.
     pub seed: u64,
 }
+json_struct!(ProtocolConfig {
+    cycles,
+    retry_budget,
+    mpnn,
+    alphafold,
+    adaptive,
+    adaptive_final_cycle,
+    speculation,
+    deprioritize_speculation,
+    cost,
+    seed
+});
 
 impl ProtocolConfig {
     /// The paper's IM-RP configuration.

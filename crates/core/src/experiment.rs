@@ -12,12 +12,12 @@ use impress_pilot::{PilotConfig, Session};
 use impress_proteins::datasets::DesignTarget;
 use impress_proteins::MetricKind;
 use impress_sim::SimDuration;
+use impress_json::json_struct;
 use impress_workflow::{Coordinator, RunReport};
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// The complete result of one experiment arm.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentResult {
     /// Arm label (`"IM-RP"` or `"CONT-V"`).
     pub label: String,
@@ -37,6 +37,16 @@ pub struct ExperimentResult {
     /// GPU hardware-busy fraction per bin.
     pub gpu_hw_series: Vec<f64>,
 }
+json_struct!(ExperimentResult {
+    label,
+    outcomes,
+    run,
+    trajectories,
+    evaluations,
+    cpu_series,
+    gpu_slot_series,
+    gpu_hw_series
+});
 
 /// Time-series bin width used for the utilization figures.
 pub const SERIES_BIN: SimDuration = SimDuration::from_mins(10);

@@ -12,12 +12,12 @@
 use crate::toolkit::TargetToolkit;
 use impress_proteins::msa::MsaMode;
 use impress_proteins::{AlphaFoldConfig, MpnnConfig, Sequence, Structure};
+use impress_json::json_struct;
 use impress_sim::SimRng;
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// GA configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GaConfig {
     /// Designs kept per generation.
     pub population: usize,
@@ -31,6 +31,13 @@ pub struct GaConfig {
     /// or the hidden oracle (`false`, upper bound for ablations).
     pub observed_selection: bool,
 }
+json_struct!(GaConfig {
+    population,
+    generations,
+    elite_fraction,
+    offspring_per_parent,
+    observed_selection
+});
 
 impl Default for GaConfig {
     fn default() -> Self {
@@ -45,7 +52,7 @@ impl Default for GaConfig {
 }
 
 /// One generation's statistics.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct GenerationStats {
     /// Generation index (0 = initial population).
     pub generation: u32,
@@ -54,15 +61,21 @@ pub struct GenerationStats {
     /// Mean true quality.
     pub mean_quality: f64,
 }
+json_struct!(GenerationStats {
+    generation,
+    best_quality,
+    mean_quality
+});
 
 /// Result of a GA run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GaTrace {
     /// Per-generation statistics, starting with the initial population.
     pub generations: Vec<GenerationStats>,
     /// The best final design.
     pub best: Sequence,
 }
+json_struct!(GaTrace { generations, best });
 
 /// Evolve designs for `tk`'s target.
 pub fn evolve(tk: &Arc<TargetToolkit>, config: &GaConfig, rng: &mut SimRng) -> GaTrace {

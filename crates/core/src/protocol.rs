@@ -17,12 +17,12 @@ use impress_pilot::Completion;
 use impress_proteins::msa::Msa;
 use impress_proteins::{ConfidenceReport, Prediction, ScoredSequence, Sequence, Structure};
 use impress_sim::SimRng;
+use impress_json::json_struct;
 use impress_workflow::{PipelineLogic, Step};
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// One accepted design iteration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IterationRecord {
     /// Global iteration number (1-based; sub-pipelines continue their
     /// parent's numbering).
@@ -39,9 +39,17 @@ pub struct IterationRecord {
     /// Rank (0-based) of the accepted candidate in the selection order.
     pub accepted_rank: u32,
 }
+json_struct!(IterationRecord {
+    iteration,
+    report,
+    true_quality,
+    bind_quality,
+    evaluations,
+    accepted_rank
+});
 
 /// Everything a finished lineage reports to the decision engine.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DesignOutcome {
     /// Target name.
     pub target: String,
@@ -64,6 +72,17 @@ pub struct DesignOutcome {
     /// Iteration number this lineage started at (1 for roots).
     pub start_iteration: u32,
 }
+json_struct!(DesignOutcome {
+    target,
+    label,
+    iterations,
+    final_receptor,
+    final_backbone_quality,
+    total_evaluations,
+    terminated_early,
+    baseline_report,
+    start_iteration
+});
 
 impl DesignOutcome {
     /// The last accepted report, if any iteration was accepted.

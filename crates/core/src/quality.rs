@@ -3,13 +3,13 @@
 
 use crate::protocol::DesignOutcome;
 use impress_proteins::MetricKind;
+use impress_json::json_struct;
 use impress_sim::Summary;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Per-iteration summaries of one metric across many lineages: the data
 /// behind one panel of Fig. 2 / Fig. 3 (bars = medians, error bars = σ/2).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IterationSeries {
     /// The metric summarized.
     pub metric: MetricKind,
@@ -18,6 +18,11 @@ pub struct IterationSeries {
     /// Summary of the metric across lineages at each iteration.
     pub summaries: Vec<Summary>,
 }
+json_struct!(IterationSeries {
+    metric,
+    iterations,
+    summaries
+});
 
 impl IterationSeries {
     /// Build the series for `metric` from outcomes. Iterations are grouped
@@ -57,7 +62,7 @@ impl IterationSeries {
 
 /// Net change per metric from the first to the last iteration (the Table I
 /// "Net Δ" columns), aggregated as the mean over targets.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct NetDeltas {
     /// Δ pTM (positive = improvement).
     pub ptm: f64,
@@ -66,6 +71,7 @@ pub struct NetDeltas {
     /// Δ inter-chain pAE (negative = improvement).
     pub pae: f64,
 }
+json_struct!(NetDeltas { ptm, plddt, pae });
 
 impl NetDeltas {
     /// Compute the deltas from outcomes, grouping lineages by target so a

@@ -2,12 +2,12 @@
 //! printable, so the bench harness and downstream tooling share one format.
 
 use crate::experiment::ExperimentResult;
+use impress_json::json_struct;
 use impress_sim::stats::relative_improvement_pct;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One row of Table I.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     /// Approach label (`CONT-V` / `IM-RP`).
     pub approach: String,
@@ -35,6 +35,19 @@ pub struct Table1Row {
     /// Net Δ inter-chain pAE over the run.
     pub pae_delta: f64,
 }
+json_struct!(Table1Row {
+    approach,
+    pipelines,
+    sub_pipelines,
+    structures_per_pipeline,
+    trajectories,
+    cpu_pct,
+    gpu_pct,
+    time_h,
+    ptm_delta,
+    plddt_delta,
+    pae_delta
+});
 
 impl Table1Row {
     /// Build a row from an experiment result. `structures` is the number of

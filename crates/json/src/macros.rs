@@ -1,0 +1,150 @@
+//! Declarative replacements for `#[derive(Serialize, Deserialize)]`.
+//!
+//! Each former derive site becomes a one-line macro invocation listing the
+//! fields (or variants) next to the type definition:
+//!
+//! ```
+//! use impress_json::{json_enum, json_struct};
+//!
+//! pub struct Summary { pub n: usize, pub mean: f64 }
+//! json_struct!(Summary { n, mean });
+//!
+//! pub struct Micros(u64);
+//! json_struct!(Micros(u64));
+//!
+//! pub enum Policy { Fifo, Backfill }
+//! json_enum!(Policy { Fifo, Backfill });
+//! ```
+//!
+//! The generated representation matches what serde's default derive produced
+//! for the same types, so artifacts written by pre-hermetic builds still
+//! parse: structs are objects keyed by field name (declaration order),
+//! newtype structs are transparent, and enums are externally tagged.
+
+/// Implement [`ToJson`](crate::ToJson) and [`FromJson`](crate::FromJson) for
+/// a struct with named fields, or transparently for a newtype struct.
+///
+/// Missing keys on input read as `null`, so `Option<T>` fields tolerate
+/// older artifacts that omitted them.
+#[macro_export]
+macro_rules! json_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Object(vec![
+                    $( (stringify!($field).to_string(), $crate::ToJson::to_json(&self.$field)) ),+
+                ])
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                Ok($ty {
+                    $( $field: $crate::from_field(v, stringify!($field))? ),+
+                })
+            }
+        }
+    };
+    ($ty:ident ( $inner:ty )) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::ToJson::to_json(&self.0)
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                Ok($ty(<$inner as $crate::FromJson>::from_json(v)?))
+            }
+        }
+    };
+}
+
+/// Implement [`ToJson`](crate::ToJson) and [`FromJson`](crate::FromJson) for
+/// an enum, using serde's externally-tagged representation.
+///
+/// Unit variants serialize as `"Name"`; newtype variants as
+/// `{"Name": value}`; tuple variants as `{"Name": [..]}`; struct variants as
+/// `{"Name": {..}}`. Variant shapes may be mixed freely in one invocation.
+#[macro_export]
+macro_rules! json_enum {
+    ($ty:ident { $( $var:ident $( ( $($tf:ident),+ ) )? $( { $($sf:ident),+ } )? ),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                match self {
+                    $( $crate::json_enum!(@pat $ty $var $(( $($tf),+ ))? $({ $($sf),+ })?) =>
+                        $crate::json_enum!(@to $var $(( $($tf),+ ))? $({ $($sf),+ })?), )+
+                }
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                $( $crate::json_enum!(@from $ty v $var $(( $($tf),+ ))? $({ $($sf),+ })?); )+
+                Err($crate::JsonError::msg(format!(
+                    concat!("no variant of ", stringify!($ty), " matches this {}"),
+                    v.type_name()
+                )))
+            }
+        }
+    };
+
+    (@pat $ty:ident $var:ident) => { $ty::$var };
+    (@pat $ty:ident $var:ident ( $($tf:ident),+ )) => { $ty::$var( $($tf),+ ) };
+    (@pat $ty:ident $var:ident { $($sf:ident),+ }) => { $ty::$var { $($sf),+ } };
+
+    (@to $var:ident) => { $crate::Json::Str(stringify!($var).to_string()) };
+    (@to $var:ident ( $single:ident )) => {
+        $crate::Json::Object(vec![(
+            stringify!($var).to_string(),
+            $crate::ToJson::to_json($single),
+        )])
+    };
+    (@to $var:ident ( $($tf:ident),+ )) => {
+        $crate::Json::Object(vec![(
+            stringify!($var).to_string(),
+            $crate::Json::Array(vec![ $( $crate::ToJson::to_json($tf) ),+ ]),
+        )])
+    };
+    (@to $var:ident { $($sf:ident),+ }) => {
+        $crate::Json::Object(vec![(
+            stringify!($var).to_string(),
+            $crate::Json::Object(vec![
+                $( (stringify!($sf).to_string(), $crate::ToJson::to_json($sf)) ),+
+            ]),
+        )])
+    };
+
+    (@from $ty:ident $v:ident $var:ident) => {
+        if $v.as_str() == Some(stringify!($var)) {
+            return Ok($ty::$var);
+        }
+    };
+    (@from $ty:ident $v:ident $var:ident ( $single:ident )) => {
+        if let Some(inner) = $v.get(stringify!($var)) {
+            return Ok($ty::$var($crate::FromJson::from_json(inner)
+                .map_err(|e| e.in_field(stringify!($var)))?));
+        }
+    };
+    (@from $ty:ident $v:ident $var:ident ( $($tf:ident),+ )) => {
+        if let Some(inner) = $v.get(stringify!($var)) {
+            let items = inner.as_array().ok_or_else(|| {
+                $crate::JsonError::msg(concat!(
+                    "expected array payload for tuple variant ",
+                    stringify!($var)
+                ))
+            })?;
+            let mut it = items.iter();
+            $( let $tf = $crate::FromJson::from_json(it.next().ok_or_else(|| {
+                $crate::JsonError::msg(concat!(
+                    "tuple variant ", stringify!($var), " payload too short"
+                ))
+            })?).map_err(|e| e.in_field(stringify!($var)))?; )+
+            return Ok($ty::$var( $($tf),+ ));
+        }
+    };
+    (@from $ty:ident $v:ident $var:ident { $($sf:ident),+ }) => {
+        if let Some(inner) = $v.get(stringify!($var)) {
+            return Ok($ty::$var {
+                $( $sf: $crate::from_field(inner, stringify!($sf))? ),+
+            });
+        }
+    };
+}

@@ -1,0 +1,130 @@
+//! Serialization: compact and pretty (2-space indent, `serde_json` style).
+
+use crate::value::{Json, Number};
+use crate::ToJson;
+
+/// Serialize compactly: `{"k":1,"v":[true,null]}`.
+pub fn to_string(value: &impl ToJson) -> String {
+    json_to_string(&value.to_json())
+}
+
+/// Serialize with 2-space indentation, matching the layout of the
+/// checked-in `fig*.json` / `table1.json` artifacts.
+pub fn to_string_pretty(value: &impl ToJson) -> String {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json(), Some(0));
+    out
+}
+
+pub(crate) fn json_to_string(value: &Json) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, None);
+    out
+}
+
+/// `indent = None` → compact; `Some(depth)` → pretty at that nesting depth.
+fn write_value(out: &mut String, value: &Json, indent: Option<usize>) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(n) => write_number(out, *n),
+        Json::Str(s) => write_escaped(out, s),
+        Json::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                open_line(out, indent);
+                write_value(out, item, indent.map(|d| d + 1));
+            }
+            close_line(out, indent);
+            out.push(']');
+        }
+        Json::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                open_line(out, indent);
+                write_escaped(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent.map(|d| d + 1));
+            }
+            close_line(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+fn open_line(out: &mut String, indent: Option<usize>) {
+    if let Some(depth) = indent {
+        out.push('\n');
+        for _ in 0..=depth {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn close_line(out: &mut String, indent: Option<usize>) {
+    if let Some(depth) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: Number) {
+    match n {
+        Number::U64(u) => out.push_str(&u.to_string()),
+        Number::I64(i) => out.push_str(&i.to_string()),
+        Number::F64(f) => {
+            if !f.is_finite() {
+                // serde_json's convention: non-finite floats become null.
+                out.push_str("null");
+                return;
+            }
+            // Rust's shortest round-trip formatting, with a `.0` re-attached
+            // for integral values so the token stays float-typed on re-parse.
+            let s = format!("{f}");
+            out.push_str(&s);
+            if !s.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

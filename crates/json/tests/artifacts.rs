@@ -1,0 +1,56 @@
+//! The parser must accept every JSON artifact checked into the repository
+//! (emitted by the fig*/table1/scaling bench binaries), and re-serializing
+//! the parsed tree must be a fixed point of parsing.
+
+use impress_json::{parse, to_string_pretty, Json};
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves")
+}
+
+const ARTIFACTS: &[&str] = &[
+    "fig2.json",
+    "fig3.json",
+    "fig4.json",
+    "fig5.json",
+    "table1.json",
+    "scaling.json",
+];
+
+#[test]
+fn checked_in_artifacts_parse_and_round_trip() {
+    for name in ARTIFACTS {
+        let path = repo_root().join(name);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let value = parse(&text).unwrap_or_else(|e| panic!("parse {name}: {e}"));
+        assert!(
+            matches!(value, Json::Object(_)),
+            "{name} should be a JSON object"
+        );
+        let rendered = to_string_pretty(&value);
+        let reparsed = parse(&rendered).unwrap_or_else(|e| panic!("reparse {name}: {e}"));
+        assert_eq!(reparsed, value, "{name} must round-trip through our writer");
+    }
+}
+
+#[test]
+fn artifacts_expose_expected_top_level_keys() {
+    let checks: &[(&str, &[&str])] = &[
+        ("fig2.json", &["seed", "cont_v", "imrp"]),
+        ("fig3.json", &["seed", "series"]),
+        ("table1.json", &["seed", "cont_v", "imrp", "improvement_pct"]),
+        ("scaling.json", &["seed", "rows"]),
+    ];
+    for (name, keys) in checks {
+        let text = std::fs::read_to_string(repo_root().join(name)).expect("artifact exists");
+        let value = parse(&text).expect("artifact parses");
+        for key in *keys {
+            assert!(value.get(key).is_some(), "{name} missing key {key}");
+        }
+    }
+}

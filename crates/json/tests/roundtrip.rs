@@ -1,0 +1,270 @@
+//! Round-trip and representation tests for the in-repo JSON stack.
+
+use impress_json::{
+    from_str, json_enum, json_struct, parse, to_string, to_string_pretty, Json, Number, ToJson,
+};
+
+/// Deterministic xorshift64* generator, local to this test so the json crate
+/// stays dependency-free (the workspace-wide `props!` harness lives in
+/// `impress-sim`, which depends on this crate).
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Build a random JSON tree of bounded depth.
+fn arb_json(rng: &mut XorShift, depth: usize) -> Json {
+    match if depth == 0 { rng.below(4) } else { rng.below(6) } {
+        0 => Json::Null,
+        1 => Json::Bool(rng.below(2) == 0),
+        2 => match rng.below(3) {
+            0 => Json::Num(Number::U64(rng.next())),
+            1 => Json::Num(Number::I64(-((rng.next() >> 1) as i64))),
+            _ => {
+                // A finite float built from a ratio, avoiding NaN/inf.
+                let num = (rng.next() % 2_000_000) as f64 - 1_000_000.0;
+                let den = (1 + rng.below(9999)) as f64;
+                Json::Num(Number::F64(num / den))
+            }
+        },
+        3 => {
+            let len = rng.below(12);
+            let s: String = (0..len)
+                .map(|_| {
+                    // Mix ASCII, escapes and multibyte characters.
+                    const POOL: &[char] = &['a', 'Z', '"', '\\', '\n', '\t', 'µ', '日', '𝄞', ' '];
+                    POOL[rng.below(POOL.len() as u64) as usize]
+                })
+                .collect();
+            Json::Str(s)
+        }
+        4 => {
+            let len = rng.below(5) as usize;
+            Json::Array((0..len).map(|_| arb_json(rng, depth - 1)).collect())
+        }
+        _ => {
+            let len = rng.below(5) as usize;
+            Json::Object(
+                (0..len)
+                    .map(|i| (format!("k{i}"), arb_json(rng, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+#[test]
+fn parse_after_serialize_is_identity_compact_and_pretty() {
+    let mut rng = XorShift(0x5EED_CAFE_F00D_1234);
+    for case in 0..500u32 {
+        let value = arb_json(&mut rng, 3);
+        let compact = to_string(&value);
+        let pretty = to_string_pretty(&value);
+        let back_compact = parse(&compact)
+            .unwrap_or_else(|e| panic!("case {case}: compact reparse failed: {e}\n{compact}"));
+        let back_pretty = parse(&pretty)
+            .unwrap_or_else(|e| panic!("case {case}: pretty reparse failed: {e}\n{pretty}"));
+        assert_eq!(back_compact, value, "case {case} compact:\n{compact}");
+        assert_eq!(back_pretty, value, "case {case} pretty:\n{pretty}");
+    }
+}
+
+#[test]
+fn numbers_keep_integer_precision() {
+    let v = Json::Num(Number::U64(u64::MAX));
+    let text = to_string(&v);
+    assert_eq!(text, u64::MAX.to_string());
+    assert_eq!(parse(&text).unwrap().as_u64(), Some(u64::MAX));
+
+    let neg = parse("-9223372036854775808").unwrap();
+    assert_eq!(neg, Json::Num(Number::I64(i64::MIN)));
+}
+
+#[test]
+fn floats_round_trip_shortest_repr() {
+    for f in [0.1, 1.0, -2.5, 18.725267822409716, 1e-12, 3.6e9] {
+        let text = to_string(&f);
+        let back: f64 = from_str(&text).expect("reparse");
+        assert_eq!(back, f, "{text}");
+    }
+    // Integral floats keep a float token so the round trip stays float-typed.
+    assert_eq!(to_string(&1.0f64), "1.0");
+    // Non-finite floats degrade to null, serde_json-style.
+    assert_eq!(to_string(&f64::NAN), "null");
+    assert_eq!(to_string(&f64::INFINITY), "null");
+}
+
+#[test]
+fn string_escapes_round_trip() {
+    let tricky = "quote\" slash\\ nl\n tab\t unicode µ日𝄞 ctl\u{01}";
+    let text = to_string(&tricky.to_string());
+    let back: String = from_str(&text).expect("reparse");
+    assert_eq!(back, tricky);
+    // Escaped surrogate pairs decode.
+    assert_eq!(
+        parse(r#""𝄞""#).unwrap().as_str(),
+        Some("\u{1D11E}")
+    );
+}
+
+#[test]
+fn parser_rejects_malformed_documents() {
+    for bad in [
+        "",
+        "{",
+        "[1,]",
+        "{\"a\":}",
+        "tru",
+        "\"unterminated",
+        "1 2",
+        "{\"a\" 1}",
+        "nul",
+        "[1 2]",
+        r#""\ud834""#,
+    ] {
+        assert!(parse(bad).is_err(), "accepted malformed input: {bad:?}");
+    }
+}
+
+#[test]
+fn object_builder_preserves_insertion_order() {
+    let v = Json::object()
+        .field("z", 1u32)
+        .field("a", "text")
+        .field("m", vec![1.5f64, 2.5])
+        .build();
+    assert_eq!(to_string(&v), r#"{"z":1,"a":"text","m":[1.5,2.5]}"#);
+}
+
+#[test]
+fn pretty_layout_matches_serde_json_style() {
+    let v = Json::object()
+        .field("n", 1u32)
+        .field("xs", vec![1u32, 2])
+        .field("empty", Json::Array(vec![]))
+        .build();
+    assert_eq!(
+        to_string_pretty(&v),
+        "{\n  \"n\": 1,\n  \"xs\": [\n    1,\n    2\n  ],\n  \"empty\": []\n}"
+    );
+}
+
+// --- macro-generated impls ------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+struct Inner {
+    label: String,
+    weight: f64,
+}
+json_struct!(Inner { label, weight });
+
+#[derive(Debug, Clone, PartialEq)]
+struct Outer {
+    id: u64,
+    inner: Inner,
+    tags: Vec<String>,
+    maybe: Option<u32>,
+}
+json_struct!(Outer {
+    id,
+    inner,
+    tags,
+    maybe
+});
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Micros(u64);
+json_struct!(Micros(u64));
+
+#[derive(Debug, Clone, PartialEq)]
+enum Shape {
+    Unit,
+    Newtype(u32),
+    Pair(u32, u32),
+    Fields { x: f64, y: f64 },
+}
+json_enum!(Shape {
+    Unit,
+    Newtype(a),
+    Pair(a, b),
+    Fields { x, y }
+});
+
+#[test]
+fn struct_macro_round_trips_nested_types() {
+    let outer = Outer {
+        id: 7,
+        inner: Inner {
+            label: "pdz".into(),
+            weight: 0.25,
+        },
+        tags: vec!["a".into(), "b".into()],
+        maybe: None,
+    };
+    let text = to_string_pretty(&outer);
+    let back: Outer = from_str(&text).expect("reparse");
+    assert_eq!(back, outer);
+    // None serializes as null, and a missing key also reads back as None.
+    assert!(text.contains("\"maybe\": null"));
+    let trimmed: Outer =
+        from_str(r#"{"id":7,"inner":{"label":"pdz","weight":0.25},"tags":["a","b"]}"#)
+            .expect("missing Option field defaults to None");
+    assert_eq!(trimmed, outer);
+}
+
+#[test]
+fn newtype_macro_is_transparent() {
+    let m = Micros(123_456);
+    assert_eq!(to_string(&m), "123456");
+    let back: Micros = from_str("123456").expect("reparse");
+    assert_eq!(back, m);
+}
+
+#[test]
+fn enum_macro_uses_serde_external_tagging() {
+    assert_eq!(to_string(&Shape::Unit), r#""Unit""#);
+    assert_eq!(to_string(&Shape::Newtype(3)), r#"{"Newtype":3}"#);
+    assert_eq!(to_string(&Shape::Pair(1, 2)), r#"{"Pair":[1,2]}"#);
+    assert_eq!(
+        to_string(&Shape::Fields { x: 1.5, y: -2.0 }),
+        r#"{"Fields":{"x":1.5,"y":-2.0}}"#
+    );
+    for shape in [
+        Shape::Unit,
+        Shape::Newtype(9),
+        Shape::Pair(4, 5),
+        Shape::Fields { x: 0.5, y: 0.0 },
+    ] {
+        let back: Shape = from_str(&to_string(&shape)).expect("reparse");
+        assert_eq!(back, shape);
+    }
+    assert!(from_str::<Shape>(r#""NoSuchVariant""#).is_err());
+}
+
+#[test]
+fn error_messages_name_the_failing_field() {
+    let err = from_str::<Outer>(r#"{"id":"not a number"}"#).unwrap_err();
+    assert!(err.to_string().contains("id"), "{err}");
+}
+
+#[test]
+fn to_json_reference_blanket_impl_works() {
+    let s = Inner {
+        label: "x".into(),
+        weight: 1.0,
+    };
+    let by_ref: Json = (&s).to_json();
+    assert_eq!(by_ref, s.to_json());
+}

@@ -12,23 +12,23 @@
 //! work closures back-to-back.
 //!
 //! Architecture: one scheduler thread owns the [`Scheduler`] and the
-//! [`Profiler`]; submissions and worker-done messages arrive on a channel;
-//! each placed task runs on its own spawned thread. Completion order is
-//! whatever real concurrency produces — determinism is the simulated
-//! backend's job.
+//! [`Profiler`]; submissions and worker-done messages arrive on a channel
+//! (the in-repo [`crate::sync`] Mutex+Condvar channel — no external
+//! dependency); each placed task runs on its own spawned thread. Completion
+//! order is whatever real concurrency produces — determinism is the
+//! simulated backend's job.
 
 use crate::backend::{Completion, ExecutionBackend, TaskError};
 use crate::pilot::{PhaseBreakdown, PilotConfig};
 use crate::profiler::{Profiler, UtilizationReport};
 use crate::resources::Allocation;
 use crate::scheduler::Scheduler;
+use crate::sync::{channel, Receiver, RecvTimeoutError, Sender};
 use crate::task::{TaskDescription, TaskId, TaskOutput, TaskWork};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use impress_sim::{SimDuration, SimTime};
-use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 enum Msg {
@@ -84,8 +84,8 @@ impl ThreadedBackend {
     /// Start with virtual durations dilated by `time_scale` into real
     /// sleeps (`0.0` = no sleeping).
     pub fn with_time_scale(config: PilotConfig, time_scale: f64) -> Self {
-        let (tx, rx) = unbounded::<Msg>();
-        let (completion_tx, completion_rx) = unbounded::<Completion>();
+        let (tx, rx) = channel::<Msg>();
+        let (completion_tx, completion_rx) = channel::<Completion>();
         let state = Arc::new(Mutex::new(SchedState {
             profiler: Profiler::new_cluster(config.node.cores, config.node.gpus, config.nodes),
             breakdown: PhaseBreakdown {
@@ -154,7 +154,7 @@ impl ThreadedBackend {
                             priority,
                             ..
                         } => {
-                            thread_state.lock().profiler.task_submitted(id, now(epoch));
+                            thread_state.lock().expect("state lock").profiler.task_submitted(id, now(epoch));
                             scheduler.enqueue_with_priority(id, request, priority);
                             waiting.insert(id.0, msg_keep(msg));
                         }
@@ -169,7 +169,7 @@ impl ThreadedBackend {
                         } => {
                             let finished = now(epoch);
                             {
-                                let mut st = thread_state.lock();
+                                let mut st = thread_state.lock().expect("state lock");
                                 st.profiler.task_finished(
                                     id,
                                     &name,
@@ -209,7 +209,7 @@ impl ThreadedBackend {
                             _ => unreachable!("waiting map only holds submits"),
                         };
                         let started = now(epoch);
-                        thread_state.lock().profiler.task_started(&alloc, started);
+                        thread_state.lock().expect("state lock").profiler.task_started(&alloc, started);
                         let done_tx = worker_tx.clone();
                         std::thread::Builder::new()
                             .name(format!("pilot-worker-{}", id.0))
@@ -328,11 +328,11 @@ impl ExecutionBackend for ThreadedBackend {
     }
 
     fn utilization(&self) -> UtilizationReport {
-        self.state.lock().profiler.report(self.now())
+        self.state.lock().expect("state lock").profiler.report(self.now())
     }
 
     fn phase_breakdown(&self) -> PhaseBreakdown {
-        self.state.lock().breakdown
+        self.state.lock().expect("state lock").breakdown
     }
 
     fn cancel(&mut self, id: TaskId) -> bool {

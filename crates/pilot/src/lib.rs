@@ -39,6 +39,7 @@ pub mod resources;
 pub mod scheduler;
 pub mod session;
 pub mod states;
+pub mod sync;
 pub mod task;
 pub mod timeline;
 

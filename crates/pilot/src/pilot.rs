@@ -9,11 +9,11 @@
 
 use crate::resources::NodeSpec;
 use crate::scheduler::PlacementPolicy;
+use impress_json::{json_enum, json_struct};
 use impress_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// A pilot lifecycle phase.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PilotPhase {
     /// Runtime startup: agent launch, resource acquisition.
     Bootstrap,
@@ -22,9 +22,14 @@ pub enum PilotPhase {
     /// Task execution on assigned resources.
     Running,
 }
+json_enum!(PilotPhase {
+    Bootstrap,
+    ExecSetup,
+    Running
+});
 
 /// Pilot configuration: node shape, placement policy, phase timing model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PilotConfig {
     /// The node shape the pilot holds.
     pub node: NodeSpec,
@@ -40,6 +45,14 @@ pub struct PilotConfig {
     /// Master seed for any stochastic timing jitter in the backends.
     pub seed: u64,
 }
+json_struct!(PilotConfig {
+    node,
+    nodes,
+    policy,
+    bootstrap,
+    exec_setup_per_task,
+    seed
+});
 
 impl Default for PilotConfig {
     fn default() -> Self {
@@ -72,7 +85,7 @@ impl PilotConfig {
 }
 
 /// Aggregate time spent in each pilot phase (the Fig. 5 breakdown).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PhaseBreakdown {
     /// One-off bootstrap time.
     pub bootstrap: SimDuration,
@@ -84,6 +97,12 @@ pub struct PhaseBreakdown {
     /// Number of tasks that reached execution.
     pub tasks_executed: usize,
 }
+json_struct!(PhaseBreakdown {
+    bootstrap,
+    exec_setup_total,
+    running_total,
+    tasks_executed
+});
 
 impl PhaseBreakdown {
     /// Record one executed task's setup and run times.

@@ -19,12 +19,12 @@
 
 use crate::resources::Allocation;
 use crate::task::TaskId;
+use impress_json::json_struct;
 use impress_sim::{SimDuration, SimTime, UtilizationTracker};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Per-task execution record.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TaskRecord {
     /// The task.
     pub id: u64,
@@ -43,6 +43,16 @@ pub struct TaskRecord {
     /// GPUs held.
     pub gpus: u32,
 }
+json_struct!(TaskRecord {
+    id,
+    name,
+    tag,
+    submitted,
+    started,
+    finished,
+    cores,
+    gpus
+});
 
 impl TaskRecord {
     /// Queue wait time (submission → slot grant).
@@ -57,7 +67,7 @@ impl TaskRecord {
 }
 
 /// Aggregate utilization numbers for one run.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct UtilizationReport {
     /// Mean CPU-core occupancy over the run, 0–1.
     pub cpu: f64,
@@ -70,6 +80,13 @@ pub struct UtilizationReport {
     /// Number of tasks completed.
     pub tasks: usize,
 }
+json_struct!(UtilizationReport {
+    cpu,
+    gpu_slot,
+    gpu_hardware,
+    makespan,
+    tasks
+});
 
 /// The profiler: device trackers plus per-task records. Multi-node pilots
 /// flatten devices into global indices (`node × per-node + local id`).

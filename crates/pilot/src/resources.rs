@@ -4,11 +4,11 @@
 //! Quadro M6000 GPUs, 128 GB RAM. [`NodeSpec::amarel`] reproduces it; other
 //! shapes are available for scaling studies.
 
-use serde::{Deserialize, Serialize};
+use impress_json::json_struct;
 use std::fmt;
 
 /// The shape of a compute node the pilot holds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NodeSpec {
     /// Number of CPU cores.
     pub cores: u32,
@@ -17,6 +17,7 @@ pub struct NodeSpec {
     /// RAM in gigabytes (bookkeeping only; tasks do not reserve memory).
     pub ram_gb: u32,
 }
+json_struct!(NodeSpec { cores, gpus, ram_gb });
 
 impl NodeSpec {
     /// The paper's Rutgers Amarel node: 28 cores, 4 × Quadro M6000, 128 GB.
@@ -52,13 +53,14 @@ impl fmt::Display for NodeSpec {
 /// A homogeneous multi-node allocation the pilot holds (the paper's future
 /// "scalable platform": one pilot spanning several nodes). Tasks never span
 /// nodes — like RP, placement is per-node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClusterSpec {
     /// Shape of each node.
     pub node: NodeSpec,
     /// Number of identical nodes.
     pub count: u32,
 }
+json_struct!(ClusterSpec { node, count });
 
 impl ClusterSpec {
     /// A single-node cluster (the paper's testbed).
@@ -90,13 +92,14 @@ impl fmt::Display for ClusterSpec {
 }
 
 /// Resources one task asks for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ResourceRequest {
     /// CPU cores required.
     pub cores: u32,
     /// GPUs required.
     pub gpus: u32,
 }
+json_struct!(ResourceRequest { cores, gpus });
 
 impl ResourceRequest {
     /// A CPU-only request.
@@ -128,7 +131,7 @@ impl fmt::Display for ResourceRequest {
 /// Concrete slots granted to a task: a node plus which of its cores and
 /// GPUs. Device identity matters for per-device utilization traces
 /// (Figs. 4–5).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Allocation {
     /// Node index within the pilot's cluster (0 on a single-node pilot).
     pub node: u32,
@@ -137,6 +140,11 @@ pub struct Allocation {
     /// GPU ids granted (indices into the node's GPUs).
     pub gpu_ids: Vec<u32>,
 }
+json_struct!(Allocation {
+    node,
+    core_ids,
+    gpu_ids
+});
 
 impl Allocation {
     /// Whether this allocation satisfies `request`.

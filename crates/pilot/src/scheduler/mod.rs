@@ -22,17 +22,18 @@ pub use pool::SlotPool;
 
 use crate::resources::{Allocation, ClusterSpec, NodeSpec, ResourceRequest};
 use crate::task::TaskId;
-use serde::{Deserialize, Serialize};
+use impress_json::json_enum;
 use std::collections::VecDeque;
 
 /// Which waiting task may start when slots are free.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlacementPolicy {
     /// Strict arrival order; the queue head blocks.
     Fifo,
     /// Continuous scheduling: any fitting task may start (default).
     Backfill,
 }
+json_enum!(PlacementPolicy { Fifo, Backfill });
 
 /// The pilot agent's scheduler.
 #[derive(Debug)]

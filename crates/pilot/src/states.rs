@@ -8,11 +8,11 @@
 //! an illegal transition is a runtime-bug panic, never silent state
 //! corruption.
 
-use serde::{Deserialize, Serialize};
+use impress_json::{json_enum, json_struct};
 use std::fmt;
 
 /// Lifecycle state of a task.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TaskState {
     /// Created, not yet submitted to the scheduler.
     New,
@@ -29,6 +29,15 @@ pub enum TaskState {
     /// Cancelled before completion.
     Canceled,
 }
+json_enum!(TaskState {
+    New,
+    Scheduling,
+    ExecSetup,
+    Executing,
+    Done,
+    Failed,
+    Canceled
+});
 
 impl TaskState {
     /// Whether the state is terminal.
@@ -82,10 +91,11 @@ impl fmt::Display for TaskState {
 }
 
 /// A state cell that enforces the transition table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StateCell {
     state: TaskState,
 }
+json_struct!(StateCell { state });
 
 impl Default for StateCell {
     fn default() -> Self {

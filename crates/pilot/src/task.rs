@@ -12,14 +12,15 @@
 //! same slots.
 
 use crate::resources::ResourceRequest;
+use impress_json::{json_enum, json_struct};
 use impress_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 use std::any::Any;
 use std::fmt;
 
 /// Unique task identifier within a session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TaskId(pub u64);
+json_struct!(TaskId(u64));
 
 impl fmt::Display for TaskId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -32,7 +33,7 @@ impl fmt::Display for TaskId {
 /// determines the extra launch overhead the agent pays on top of the
 /// per-task exec setup (environment activation, rank wire-up, model
 /// loading).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum TaskKind {
     /// Single-process executable (scripts, bookkeeping).
     #[default]
@@ -44,6 +45,12 @@ pub enum TaskKind {
     /// ML inference/training: pays model-load time at launch.
     Ml,
 }
+json_enum!(TaskKind {
+    Serial,
+    OpenMp,
+    Mpi,
+    Ml
+});
 
 impl TaskKind {
     /// Additional launch overhead beyond the generic exec setup.

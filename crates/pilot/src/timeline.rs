@@ -7,11 +7,11 @@
 //! serializable rows for external plotting.
 
 use crate::profiler::TaskRecord;
+use impress_json::json_struct;
 use impress_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// One Gantt row: a task's placement in time and on devices.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GanttRow {
     /// Task id.
     pub id: u64,
@@ -30,13 +30,24 @@ pub struct GanttRow {
     /// GPUs held.
     pub gpus: u32,
 }
+json_struct!(GanttRow {
+    id,
+    name,
+    tag,
+    wait,
+    start,
+    end,
+    cores,
+    gpus
+});
 
 /// A run's Gantt chart.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Timeline {
     rows: Vec<GanttRow>,
     end: SimTime,
 }
+json_struct!(Timeline { rows, end });
 
 impl Timeline {
     /// Build from completed-task records (start-time order).

@@ -1,13 +1,13 @@
 //! Property-based tests for the pilot runtime: no oversubscription, slot
-//! conservation, and full completion under arbitrary task streams.
+//! conservation, and full completion under arbitrary task streams. Runs on
+//! the in-repo `props!` harness.
 
 use impress_pilot::backend::SimulatedBackend;
 use impress_pilot::{
     ExecutionBackend, NodeSpec, PilotConfig, PlacementPolicy, ResourceRequest, Scheduler,
     TaskDescription, TaskId,
 };
-use impress_sim::SimDuration;
-use proptest::prelude::*;
+use impress_sim::{props, SimDuration, SimRng};
 
 #[derive(Debug, Clone)]
 struct TaskSpec {
@@ -16,29 +16,28 @@ struct TaskSpec {
     secs: u64,
 }
 
-fn arb_tasks(max_cores: u32, max_gpus: u32) -> impl Strategy<Value = Vec<TaskSpec>> {
-    prop::collection::vec(
-        (1..=max_cores, 0..=max_gpus, 1u64..500).prop_map(|(cores, gpus, secs)| TaskSpec {
-            cores,
-            gpus,
-            secs,
-        }),
-        1..60,
-    )
+fn arb_tasks(rng: &mut SimRng, max_cores: u32, max_gpus: u32) -> Vec<TaskSpec> {
+    let len = 1 + rng.below(59);
+    (0..len)
+        .map(|_| TaskSpec {
+            cores: 1 + rng.below(max_cores as usize) as u32,
+            gpus: rng.below(max_gpus as usize + 1) as u32,
+            secs: 1 + rng.below(499) as u64,
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
+props! {
     /// The scheduler never grants more devices than exist, never grants the
     /// same device twice concurrently, and eventually places every task.
-    #[test]
-    fn scheduler_conserves_devices(
-        tasks in arb_tasks(8, 2),
-        policy_fifo in any::<bool>(),
-    ) {
+    fn scheduler_conserves_devices(rng, cases = 64) {
+        let tasks = arb_tasks(rng, 8, 2);
+        let policy = if rng.chance(0.5) {
+            PlacementPolicy::Fifo
+        } else {
+            PlacementPolicy::Backfill
+        };
         let node = NodeSpec::new(8, 2, 64);
-        let policy = if policy_fifo { PlacementPolicy::Fifo } else { PlacementPolicy::Backfill };
         let mut s = Scheduler::new(node, policy);
         for (i, t) in tasks.iter().enumerate() {
             s.enqueue(TaskId(i as u64), ResourceRequest::with_gpus(t.cores, t.gpus));
@@ -53,34 +52,34 @@ proptest! {
                 // Device conservation: no overlap with running allocations.
                 for (_, other) in &running {
                     for c in &alloc.core_ids {
-                        prop_assert!(!other.core_ids.contains(c), "core {c} double-granted");
+                        assert!(!other.core_ids.contains(c), "core {c} double-granted");
                     }
                     for g in &alloc.gpu_ids {
-                        prop_assert!(!other.gpu_ids.contains(g), "gpu {g} double-granted");
+                        assert!(!other.gpu_ids.contains(g), "gpu {g} double-granted");
                     }
                 }
                 running.push((*id, alloc.clone()));
             }
             let used_cores: usize = running.iter().map(|(_, a)| a.core_ids.len()).sum();
             let used_gpus: usize = running.iter().map(|(_, a)| a.gpu_ids.len()).sum();
-            prop_assert!(used_cores <= 8, "cores oversubscribed: {used_cores}");
-            prop_assert!(used_gpus <= 2, "gpus oversubscribed: {used_gpus}");
+            assert!(used_cores <= 8, "cores oversubscribed: {used_cores}");
+            assert!(used_gpus <= 2, "gpus oversubscribed: {used_gpus}");
             if running.is_empty() {
                 break;
             }
             let (_, alloc) = running.remove(0);
             s.release(&alloc);
         }
-        prop_assert_eq!(placed_total, tasks.len(), "every task must eventually place");
-        prop_assert_eq!(s.queue_len(), 0);
-        prop_assert_eq!(s.cores_free(), 8);
-        prop_assert_eq!(s.gpus_free(), 2);
+        assert_eq!(placed_total, tasks.len(), "every task must eventually place");
+        assert_eq!(s.queue_len(), 0);
+        assert_eq!(s.cores_free(), 8);
+        assert_eq!(s.gpus_free(), 2);
     }
 
     /// Every submitted task completes exactly once on the simulated backend,
     /// and per-device busy time never exceeds the makespan.
-    #[test]
-    fn simulated_backend_completes_everything(tasks in arb_tasks(6, 2)) {
+    fn simulated_backend_completes_everything(rng, cases = 64) {
+        let tasks = arb_tasks(rng, 6, 2);
         let mut backend = SimulatedBackend::new(PilotConfig {
             node: NodeSpec::new(6, 2, 64),
             bootstrap: SimDuration::from_secs(5),
@@ -97,21 +96,21 @@ proptest! {
         }
         let mut seen = std::collections::HashSet::new();
         while let Some(c) = backend.next_completion() {
-            prop_assert!(seen.insert(c.task), "duplicate completion for {}", c.task);
-            prop_assert!(c.finished >= c.started);
+            assert!(seen.insert(c.task), "duplicate completion for {}", c.task);
+            assert!(c.finished >= c.started);
         }
-        prop_assert_eq!(seen.len(), n);
-        prop_assert_eq!(backend.in_flight(), 0);
+        assert_eq!(seen.len(), n);
+        assert_eq!(backend.in_flight(), 0);
         let report = backend.utilization();
-        prop_assert!(report.cpu <= 1.0 + 1e-9);
-        prop_assert!(report.gpu_slot <= 1.0 + 1e-9);
-        prop_assert!(report.gpu_hardware <= report.gpu_slot + 1e-9);
+        assert!(report.cpu <= 1.0 + 1e-9);
+        assert!(report.gpu_slot <= 1.0 + 1e-9);
+        assert!(report.gpu_hardware <= report.gpu_slot + 1e-9);
     }
 
     /// Makespan lower bounds: no schedule beats the critical-path and
     /// total-work bounds.
-    #[test]
-    fn makespan_respects_work_bounds(tasks in arb_tasks(4, 1)) {
+    fn makespan_respects_work_bounds(rng, cases = 64) {
+        let tasks = arb_tasks(rng, 4, 1);
         let cores = 4u64;
         let mut backend = SimulatedBackend::new(PilotConfig {
             node: NodeSpec::new(cores as u32, 1, 64),
@@ -130,8 +129,8 @@ proptest! {
         let makespan = backend.now().as_secs_f64();
         let longest = tasks.iter().map(|t| t.secs).max().unwrap() as f64;
         let core_work: u64 = tasks.iter().map(|t| t.secs * t.cores as u64).sum();
-        prop_assert!(makespan + 1e-6 >= longest, "makespan {makespan} < longest task {longest}");
-        prop_assert!(
+        assert!(makespan + 1e-6 >= longest, "makespan {makespan} < longest task {longest}");
+        assert!(
             makespan + 1e-6 >= core_work as f64 / cores as f64,
             "makespan {makespan} beats total-work bound"
         );

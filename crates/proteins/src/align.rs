@@ -8,10 +8,10 @@
 
 use crate::amino::AminoAcid;
 use crate::sequence::Sequence;
-use serde::{Deserialize, Serialize};
+use impress_json::{json_enum, json_struct};
 
 /// Scoring scheme for alignment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AlignScoring {
     /// Score for an identical pair.
     pub match_score: f64,
@@ -20,6 +20,11 @@ pub struct AlignScoring {
     /// Gap penalty (per gap position, linear).
     pub gap: f64,
 }
+json_struct!(AlignScoring {
+    match_score,
+    similar_score,
+    gap
+});
 
 impl Default for AlignScoring {
     fn default() -> Self {
@@ -53,7 +58,7 @@ impl AlignScoring {
 }
 
 /// One aligned column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Column {
     /// Residues aligned (may be identical or substituted).
     Pair(AminoAcid, AminoAcid),
@@ -62,15 +67,23 @@ pub enum Column {
     /// Gap in the first sequence.
     Insert(AminoAcid),
 }
+// The tuple-variant idents are field binders for the generated match arms,
+// not type names.
+json_enum!(Column {
+    Pair(a, b),
+    Delete(a),
+    Insert(a)
+});
 
 /// A global alignment of two sequences.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Alignment {
     /// Aligned columns, N-terminal first.
     pub columns: Vec<Column>,
     /// Total alignment score.
     pub score: f64,
 }
+json_struct!(Alignment { columns, score });
 
 impl Alignment {
     /// Fraction of aligned (non-gap) columns that are identical.

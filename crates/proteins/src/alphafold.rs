@@ -23,8 +23,8 @@ use crate::metrics::ConfidenceReport;
 use crate::msa::{Msa, MsaMode, SyntheticMsaDatabase};
 use crate::sequence::Sequence;
 use crate::structure::{Complex, Structure};
+use impress_json::{json_enum, json_struct};
 use impress_sim::{SimDuration, SimRng};
-use serde::{Deserialize, Serialize};
 
 /// Metric calibration constants: observed metric = intercept + slope × q.
 pub mod calibration {
@@ -70,7 +70,7 @@ pub mod calibration {
 /// alone. The paper's protease follow-up (§V) predicts designs "in
 /// monomeric form" because AlphaFold struggles to place the peptide in
 /// protease complexes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PredictionMode {
     /// Fold the two-chain complex; all three metrics are meaningful.
     Multimer,
@@ -79,9 +79,10 @@ pub enum PredictionMode {
     /// [`calibration::MONOMER_PAE`] sentinel.
     Monomer,
 }
+json_enum!(PredictionMode { Multimer, Monomer });
 
 /// Prediction configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AlphaFoldConfig {
     /// Number of candidate models per prediction (AF2 default: 5). The
     /// non-adaptive control runs 1 — it picks randomly and never ranks.
@@ -91,6 +92,11 @@ pub struct AlphaFoldConfig {
     /// Complex or monomer folding.
     pub mode: PredictionMode,
 }
+json_struct!(AlphaFoldConfig {
+    num_models,
+    msa_mode,
+    mode
+});
 
 impl Default for AlphaFoldConfig {
     fn default() -> Self {
@@ -103,16 +109,17 @@ impl Default for AlphaFoldConfig {
 }
 
 /// One candidate model's confidence report.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CandidateModel {
     /// Index within the prediction (0-based, generation order).
     pub model_id: usize,
     /// Confidence metrics for this model.
     pub report: ConfidenceReport,
 }
+json_struct!(CandidateModel { model_id, report });
 
 /// The output of one AlphaFold prediction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Prediction {
     /// The best model (highest pTM), as a structure usable downstream.
     pub structure: Structure,
@@ -123,6 +130,12 @@ pub struct Prediction {
     /// MSA depth the prediction used (0 in single-sequence mode).
     pub msa_depth: usize,
 }
+json_struct!(Prediction {
+    structure,
+    report,
+    candidates,
+    msa_depth
+});
 
 /// The AlphaFold surrogate for one design target.
 #[derive(Debug, Clone)]

@@ -6,11 +6,11 @@
 //! so that "good" designs correspond to chemically plausible interfaces
 //! (hydrophobic packing, salt bridges) rather than arbitrary lookup noise.
 
-use serde::{Deserialize, Serialize};
+use impress_json::json_enum;
 use std::fmt;
 
 /// One of the twenty standard amino acids.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)]
 pub enum AminoAcid {
     Ala,
@@ -34,6 +34,28 @@ pub enum AminoAcid {
     Tyr,
     Val,
 }
+json_enum!(AminoAcid {
+    Ala,
+    Arg,
+    Asn,
+    Asp,
+    Cys,
+    Gln,
+    Glu,
+    Gly,
+    His,
+    Ile,
+    Leu,
+    Lys,
+    Met,
+    Phe,
+    Pro,
+    Ser,
+    Thr,
+    Trp,
+    Tyr,
+    Val
+});
 
 /// Error returned when parsing an unknown residue letter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -24,8 +24,8 @@ pub use nk::NkLandscape;
 
 use crate::amino::{AminoAcid, ALL};
 use crate::sequence::Sequence;
+use impress_json::json_struct;
 use impress_sim::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// Weight of the fold component in total fitness (binding gets the rest).
 pub const FOLD_WEIGHT: f64 = 0.55;
@@ -49,7 +49,7 @@ pub const FOLD_LO: f64 = 0.50;
 pub const FOLD_HI: f64 = 0.84;
 
 /// Ground-truth fitness of one design.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fitness {
     /// Raw NK fold fitness in `[0, 1)`.
     pub raw_fold: f64,
@@ -64,6 +64,13 @@ pub struct Fitness {
     /// prediction observes).
     pub fold_quality: f64,
 }
+json_struct!(Fitness {
+    raw_fold,
+    raw_bind,
+    quality,
+    bind_quality,
+    fold_quality
+});
 
 /// The complete hidden landscape for one design target.
 #[derive(Debug, Clone)]

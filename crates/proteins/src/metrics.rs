@@ -5,11 +5,11 @@
 //! metric's range and polarity (pAE is *lower-is-better*), so comparison
 //! logic in the protocol cannot silently get a sign wrong.
 
-use serde::{Deserialize, Serialize};
+use impress_json::{json_enum, json_struct};
 use std::fmt;
 
 /// Which confidence metric.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MetricKind {
     /// Predicted local distance difference test, 0–100, higher is better.
     Plddt,
@@ -18,6 +18,11 @@ pub enum MetricKind {
     /// Inter-chain predicted aligned error in Å, lower is better.
     InterChainPae,
 }
+json_enum!(MetricKind {
+    Plddt,
+    Ptm,
+    InterChainPae
+});
 
 impl MetricKind {
     /// All three metrics, in the paper's reporting order.
@@ -49,7 +54,7 @@ impl fmt::Display for MetricKind {
 }
 
 /// The confidence report AlphaFold attaches to one predicted model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConfidenceReport {
     /// Mean predicted lDDT over all residues (0–100).
     pub plddt: f64,
@@ -58,6 +63,11 @@ pub struct ConfidenceReport {
     /// Mean inter-chain predicted aligned error (Å, lower is better).
     pub inter_chain_pae: f64,
 }
+json_struct!(ConfidenceReport {
+    plddt,
+    ptm,
+    inter_chain_pae
+});
 
 impl ConfidenceReport {
     /// Construct a report, clamping each metric into its physical range.

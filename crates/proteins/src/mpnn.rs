@@ -21,12 +21,12 @@ use crate::amino::ALL;
 use crate::landscape::DesignLandscape;
 use crate::sequence::Sequence;
 use crate::structure::Structure;
+use impress_json::json_struct;
 use impress_sim::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// Sampling configuration (mirrors the user-definable settings the paper
 /// mentions for Stage 1: number of sequences, chains/positions to design).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MpnnConfig {
     /// Number of sequences to generate per call (paper: 10).
     pub num_sequences: usize,
@@ -38,6 +38,12 @@ pub struct MpnnConfig {
     /// Per-position mutation probability at temperature 1.0.
     pub mutation_rate: f64,
 }
+json_struct!(MpnnConfig {
+    num_sequences,
+    temperature,
+    fixed_positions,
+    mutation_rate
+});
 
 impl Default for MpnnConfig {
     fn default() -> Self {
@@ -51,7 +57,7 @@ impl Default for MpnnConfig {
 }
 
 /// A generated sequence with its log-likelihood score.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScoredSequence {
     /// The proposed receptor sequence.
     pub sequence: Sequence,
@@ -59,6 +65,10 @@ pub struct ScoredSequence {
     /// typical range ≈ −2.5 … −0.5).
     pub log_likelihood: f64,
 }
+json_struct!(ScoredSequence {
+    sequence,
+    log_likelihood
+});
 
 /// Sort scored sequences by descending log-likelihood (Stage 2's selection
 /// order), stably so equal scores keep generation order.

@@ -14,11 +14,11 @@
 //!    the search entirely but pays with much noisier confidence estimates.
 
 use crate::sequence::Sequence;
+use impress_json::{json_enum, json_struct};
 use impress_sim::{SimDuration, SimRng};
-use serde::{Deserialize, Serialize};
 
 /// How AlphaFold sources evolutionary information for a prediction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MsaMode {
     /// Full database search (the paper's configuration).
     Full,
@@ -26,9 +26,10 @@ pub enum MsaMode {
     /// (EvoPro's speed/accuracy trade-off discussed in Related Work).
     SingleSequence,
 }
+json_enum!(MsaMode { Full, SingleSequence });
 
 /// Result of an MSA database search.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Msa {
     /// Number of homologs found (0 in single-sequence mode).
     pub depth: usize,
@@ -37,6 +38,7 @@ pub struct Msa {
     /// with no alignment at all.
     pub noise_factor: f64,
 }
+json_struct!(Msa { depth, noise_factor });
 
 impl Msa {
     /// Noise multiplier when no evolutionary information is available.

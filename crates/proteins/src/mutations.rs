@@ -4,11 +4,11 @@
 
 use crate::amino::AminoAcid;
 use crate::sequence::Sequence;
-use serde::{Deserialize, Serialize};
+use impress_json::json_struct;
 use std::fmt;
 
 /// One point mutation in standard notation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Mutation {
     /// Wild-type residue.
     pub from: AminoAcid,
@@ -17,6 +17,7 @@ pub struct Mutation {
     /// Designed residue.
     pub to: AminoAcid,
 }
+json_struct!(Mutation { from, position, to });
 
 impl fmt::Display for Mutation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

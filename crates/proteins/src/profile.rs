@@ -8,16 +8,17 @@
 
 use crate::amino::AminoAcid;
 use crate::sequence::Sequence;
-use serde::{Deserialize, Serialize};
+use impress_json::json_struct;
 
 /// A position frequency matrix over aligned, equal-length sequences.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SequenceProfile {
     /// `counts[pos][aa_index]`.
     counts: Vec<[u32; 20]>,
     /// Number of sequences profiled.
     n: u32,
 }
+json_struct!(SequenceProfile { counts, n });
 
 impl SequenceProfile {
     /// Build a profile from equal-length sequences. Panics on empty input

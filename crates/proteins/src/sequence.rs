@@ -7,12 +7,13 @@
 //! where catalytic residues must not change.
 
 use crate::amino::{AminoAcid, UnknownResidue};
-use serde::{Deserialize, Serialize};
+use impress_json::json_struct;
 use std::fmt;
 
 /// Identifier of a chain within a complex (e.g. `'A'`, `'B'`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ChainId(pub char);
+json_struct!(ChainId(char));
 
 impl fmt::Display for ChainId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -21,10 +22,11 @@ impl fmt::Display for ChainId {
 }
 
 /// An ordered run of amino-acid residues.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Sequence {
     residues: Vec<AminoAcid>,
 }
+json_struct!(Sequence { residues });
 
 impl Sequence {
     /// A sequence from residues.
@@ -121,7 +123,7 @@ impl fmt::Display for Sequence {
 }
 
 /// A named chain: a sequence plus its identifier and designability flag.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Chain {
     /// Chain identifier within the complex.
     pub id: ChainId,
@@ -131,6 +133,11 @@ pub struct Chain {
     /// fixed; the receptor is designable).
     pub designable: bool,
 }
+json_struct!(Chain {
+    id,
+    sequence,
+    designable
+});
 
 impl Chain {
     /// A designable chain.

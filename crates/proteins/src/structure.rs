@@ -13,10 +13,10 @@
 //! refinement climb).
 
 use crate::sequence::{Chain, ChainId, Sequence};
-use serde::{Deserialize, Serialize};
+use impress_json::json_struct;
 
 /// A Cα position in ångströms.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CaAtom {
     /// x coordinate.
     pub x: f64,
@@ -25,9 +25,10 @@ pub struct CaAtom {
     /// z coordinate.
     pub z: f64,
 }
+json_struct!(CaAtom { x, y, z });
 
 /// The designable system: receptor + fixed peptide.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Complex {
     /// Human-readable target name (e.g. `"NHERF3"` or a synthetic PDB id).
     pub name: String,
@@ -36,6 +37,11 @@ pub struct Complex {
     /// The fixed target peptide chain.
     pub peptide: Chain,
 }
+json_struct!(Complex {
+    name,
+    receptor,
+    peptide
+});
 
 impl Complex {
     /// Build a complex from a designable receptor and fixed peptide.
@@ -89,7 +95,7 @@ impl Complex {
 }
 
 /// One structural model of a complex.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Structure {
     /// The modelled complex (sequences as folded).
     pub complex: Complex,
@@ -98,6 +104,11 @@ pub struct Structure {
     /// Design cycle that produced this model (0 = starting structure).
     pub iteration: u32,
 }
+json_struct!(Structure {
+    complex,
+    backbone_quality,
+    iteration
+});
 
 impl Structure {
     /// A starting structure for a complex, with the given initial backbone

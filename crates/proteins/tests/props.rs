@@ -1,4 +1,5 @@
-//! Property-based tests for the protein substrate.
+//! Property-based tests for the protein substrate, on the in-repo
+//! [`props!`](impress_sim::props) harness.
 
 use impress_proteins::amino::{AminoAcid, ALL};
 use impress_proteins::fasta::{parse_fasta, write_fasta, FastaRecord};
@@ -8,65 +9,70 @@ use impress_proteins::pdb::{parse_pdb, write_pdb};
 use impress_proteins::profile::SequenceProfile;
 use impress_proteins::sequence::{Chain, Sequence};
 use impress_proteins::structure::{Complex, Structure};
-use impress_sim::SimRng;
-use proptest::prelude::*;
+use impress_sim::{prop_assume, props, SimRng};
 
-fn arb_sequence(len: std::ops::Range<usize>) -> impl Strategy<Value = Sequence> {
-    prop::collection::vec(0usize..20, len)
-        .prop_map(|idx| Sequence::new(idx.into_iter().map(AminoAcid::from_index).collect()))
+/// A random sequence with length in `[min_len, max_len]`.
+fn arb_sequence(rng: &mut SimRng, min_len: usize, max_len: usize) -> Sequence {
+    let len = min_len + rng.below(max_len - min_len + 1);
+    Sequence::new(
+        (0..len)
+            .map(|_| AminoAcid::from_index(rng.below(20)))
+            .collect(),
+    )
 }
 
-proptest! {
+/// Up to `max_subs` random (position, residue) substitutions applied to `a`.
+fn substituted(rng: &mut SimRng, a: &Sequence, max_subs: usize) -> Sequence {
+    let mut b = a.clone();
+    for _ in 0..rng.below(max_subs + 1) {
+        let pos = rng.below(a.len());
+        b.set(pos, AminoAcid::from_index(rng.below(20)));
+    }
+    b
+}
+
+props! {
     /// Sequence ⇄ letters round trip for arbitrary sequences.
-    #[test]
-    fn sequence_letters_round_trip(seq in arb_sequence(1..200)) {
+    fn sequence_letters_round_trip(rng) {
+        let seq = arb_sequence(rng, 1, 199);
         let letters = seq.to_letters();
-        prop_assert_eq!(Sequence::parse(&letters).unwrap(), seq);
+        assert_eq!(Sequence::parse(&letters).unwrap(), seq);
     }
 
     /// Hamming distance is a metric: identity, symmetry, triangle inequality.
-    #[test]
-    fn hamming_is_a_metric(
-        a in arb_sequence(10..60),
-        subs1 in prop::collection::vec((0usize..10, 0usize..20), 0..10),
-        subs2 in prop::collection::vec((0usize..10, 0usize..20), 0..10),
-    ) {
-        let mut b = a.clone();
-        for (pos, aa) in subs1 {
-            b.set(pos % a.len(), AminoAcid::from_index(aa));
-        }
-        let mut c = a.clone();
-        for (pos, aa) in subs2 {
-            c.set(pos % a.len(), AminoAcid::from_index(aa));
-        }
-        prop_assert_eq!(a.hamming(&a), 0);
-        prop_assert_eq!(a.hamming(&b), b.hamming(&a));
-        prop_assert!(a.hamming(&c) <= a.hamming(&b) + b.hamming(&c));
+    fn hamming_is_a_metric(rng) {
+        let a = arb_sequence(rng, 10, 59);
+        let b = substituted(rng, &a, 9);
+        let c = substituted(rng, &a, 9);
+        assert_eq!(a.hamming(&a), 0);
+        assert_eq!(a.hamming(&b), b.hamming(&a));
+        assert!(a.hamming(&c) <= a.hamming(&b) + b.hamming(&c));
     }
 
     /// FASTA round trip for arbitrary multi-record, multi-chain content.
-    #[test]
-    fn fasta_round_trips(
-        records in prop::collection::vec(
-            (prop::collection::vec(arb_sequence(1..80), 1..3), 0usize..1000),
-            1..5,
-        )
-    ) {
-        let records: Vec<FastaRecord> = records
-            .into_iter()
-            .enumerate()
-            .map(|(i, (chains, tag))| FastaRecord {
-                header: format!("design_{i} tag={tag}"),
-                chains,
+    fn fasta_round_trips(rng) {
+        let n_records = 1 + rng.below(4);
+        let records: Vec<FastaRecord> = (0..n_records)
+            .map(|i| {
+                let n_chains = 1 + rng.below(2);
+                let chains = (0..n_chains)
+                    .map(|_| arb_sequence(rng, 1, 79))
+                    .collect();
+                let tag = rng.below(1000);
+                FastaRecord {
+                    header: format!("design_{i} tag={tag}"),
+                    chains,
+                }
             })
             .collect();
         let text = write_fasta(&records);
-        prop_assert_eq!(parse_fasta(&text).unwrap(), records);
+        assert_eq!(parse_fasta(&text).unwrap(), records);
     }
 
     /// PDB round trip preserves chains, sequences and atom counts.
-    #[test]
-    fn pdb_round_trips(receptor in arb_sequence(8..60), peptide in arb_sequence(2..12)) {
+    fn pdb_round_trips(rng) {
+        let receptor = arb_sequence(rng, 8, 59);
+        let peptide = arb_sequence(rng, 2, 11);
         let complex = Complex::new(
             "PROP",
             Chain::designable('A', receptor.clone()),
@@ -74,113 +80,93 @@ proptest! {
         );
         let structure = Structure::starting(complex, 0.5);
         let parsed = parse_pdb(&write_pdb(&structure)).unwrap();
-        prop_assert_eq!(parsed.len(), 2);
-        prop_assert_eq!(&parsed[0].sequence, &receptor);
-        prop_assert_eq!(&parsed[1].sequence, &peptide);
-        prop_assert_eq!(parsed[0].atoms.len(), receptor.len());
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(&parsed[0].sequence, &receptor);
+        assert_eq!(&parsed[1].sequence, &peptide);
+        assert_eq!(parsed[0].atoms.len(), receptor.len());
     }
 
     /// Landscape fitness is a pure function with all outputs in range.
-    #[test]
-    fn landscape_fitness_pure_and_bounded(
-        seed in any::<u64>(),
-        seq in arb_sequence(20..21),
-    ) {
+    fn landscape_fitness_pure_and_bounded(rng) {
+        let seed = rng.next_u64();
+        let seq = arb_sequence(rng, 20, 20);
         let l = DesignLandscape::new(seed, 20, Sequence::parse("EPEA").unwrap());
         let f1 = l.fitness(&seq);
         let f2 = l.fitness(&seq);
-        prop_assert_eq!(f1, f2);
-        prop_assert!((0.0..1.0).contains(&f1.raw_fold));
-        prop_assert!((0.0..=1.0).contains(&f1.raw_bind));
-        prop_assert!((0.0..=1.0).contains(&f1.quality));
-        prop_assert!((0.0..=1.0).contains(&f1.bind_quality));
-        prop_assert!((0.0..=1.0).contains(&f1.fold_quality));
+        assert_eq!(f1, f2);
+        assert!((0.0..1.0).contains(&f1.raw_fold));
+        assert!((0.0..=1.0).contains(&f1.raw_bind));
+        assert!((0.0..=1.0).contains(&f1.quality));
+        assert!((0.0..=1.0).contains(&f1.bind_quality));
+        assert!((0.0..=1.0).contains(&f1.fold_quality));
     }
 
     /// Mutating outside the groove never changes binding fitness.
-    #[test]
-    fn non_groove_mutations_preserve_binding(seed in any::<u64>(), pos in 0usize..40, aa in 0usize..20) {
+    fn non_groove_mutations_preserve_binding(rng) {
+        let seed = rng.next_u64();
+        let pos = rng.below(40);
+        let aa = rng.below(20);
         let l = DesignLandscape::new(seed, 40, Sequence::parse("EPEA").unwrap());
-        let mut rng = SimRng::from_seed(seed ^ 1);
-        let seq = l.random_receptor(&mut rng);
+        let mut seq_rng = SimRng::from_seed(seed ^ 1);
+        let seq = l.random_receptor(&mut seq_rng);
         let groove = l.groove_positions();
         prop_assume!(!groove.contains(&pos));
         let mutated = seq.with_substitution(pos, AminoAcid::from_index(aa));
-        prop_assert_eq!(l.fitness(&seq).raw_bind, l.fitness(&mutated).raw_bind);
+        assert_eq!(l.fitness(&seq).raw_bind, l.fitness(&mutated).raw_bind);
     }
 
     /// `diff` followed by `apply_all` reconstructs the target sequence, for
     /// arbitrary pairs of equal-length sequences.
-    #[test]
-    fn mutation_diff_apply_round_trips(
-        a in arb_sequence(5..60),
-        subs in prop::collection::vec((0usize..60, 0usize..20), 0..20),
-    ) {
-        let mut b = a.clone();
-        for (pos, aa) in subs {
-            b.set(pos % a.len(), AminoAcid::from_index(aa));
-        }
+    fn mutation_diff_apply_round_trips(rng) {
+        let a = arb_sequence(rng, 5, 59);
+        let b = substituted(rng, &a, 19);
         let muts = diff(&a, &b);
-        prop_assert_eq!(muts.len(), a.hamming(&b));
-        prop_assert_eq!(apply_all(&a, &muts).unwrap(), b);
+        assert_eq!(muts.len(), a.hamming(&b));
+        assert_eq!(apply_all(&a, &muts).unwrap(), b);
         // Notation round trip for every mutation.
         for m in &muts {
             let parsed = impress_proteins::mutations::Mutation::parse(&m.to_string()).unwrap();
-            prop_assert_eq!(parsed, *m);
+            assert_eq!(parsed, *m);
         }
     }
 
     /// Profile invariants: frequencies sum to 1 per position, consensus
     /// frequency is maximal, entropy within [0, log2 20].
-    #[test]
-    fn profile_invariants(
-        seqs in prop::collection::vec(
-            prop::collection::vec(0usize..20, 12),
-            1..12,
-        )
-    ) {
-        let seqs: Vec<_> = seqs
-            .into_iter()
-            .map(|idx| {
-                impress_proteins::Sequence::new(
-                    idx.into_iter().map(AminoAcid::from_index).collect(),
-                )
-            })
+    fn profile_invariants(rng) {
+        let n_seqs = 1 + rng.below(11);
+        let seqs: Vec<Sequence> = (0..n_seqs)
+            .map(|_| arb_sequence(rng, 12, 12))
             .collect();
         let p = SequenceProfile::from_sequences(&seqs);
         for pos in 0..p.len() {
             let total: f64 = ALL.iter().map(|&aa| p.frequency(pos, aa)).sum();
-            prop_assert!((total - 1.0).abs() < 1e-9);
+            assert!((total - 1.0).abs() < 1e-9);
             let cons = p.consensus_at(pos);
             for &aa in &ALL {
-                prop_assert!(p.frequency(pos, cons) >= p.frequency(pos, aa) - 1e-12);
+                assert!(p.frequency(pos, cons) >= p.frequency(pos, aa) - 1e-12);
             }
             let e = p.entropy(pos);
-            prop_assert!((0.0..=20.0f64.log2() + 1e-9).contains(&e));
+            assert!((0.0..=20.0f64.log2() + 1e-9).contains(&e));
         }
     }
 
     /// Global alignment of equal-length sequences never scores below the
     /// gapless diagonal (the aligner may only improve on it).
-    #[test]
-    fn alignment_score_at_least_diagonal(a in arb_sequence(4..40), subs in prop::collection::vec((0usize..40, 0usize..20), 0..12)) {
+    fn alignment_score_at_least_diagonal(rng) {
         use impress_proteins::align::{global_align, AlignScoring};
-        let mut b = a.clone();
-        for (pos, aa) in subs {
-            b.set(pos % a.len(), AminoAcid::from_index(aa));
-        }
+        let a = arb_sequence(rng, 4, 39);
+        let b = substituted(rng, &a, 11);
         let scoring = AlignScoring::default();
         let diagonal: f64 = (0..a.len()).map(|i| scoring.pair(a.at(i), b.at(i))).sum();
         let alignment = global_align(&a, &b, &scoring);
-        prop_assert!(alignment.score >= diagonal - 1e-9);
+        assert!(alignment.score >= diagonal - 1e-9);
     }
 
     /// All 20 amino acids parse from both their own letter and lowercase.
-    #[test]
-    fn amino_parse_total(idx in 0usize..20) {
-        let aa = ALL[idx];
-        prop_assert_eq!(AminoAcid::from_letter(aa.letter()).unwrap(), aa);
-        prop_assert_eq!(
+    fn amino_parse_total(rng) {
+        let aa = ALL[rng.below(20)];
+        assert_eq!(AminoAcid::from_letter(aa.letter()).unwrap(), aa);
+        assert_eq!(
             AminoAcid::from_letter(aa.letter().to_ascii_lowercase()).unwrap(),
             aa
         );

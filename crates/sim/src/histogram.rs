@@ -1,17 +1,23 @@
 //! Fixed-bin histograms for run statistics (task waits, turnarounds,
 //! per-iteration metric distributions).
 
-use serde::{Deserialize, Serialize};
+use impress_json::json_struct;
 
 /// A histogram over `[lo, hi)` with uniform bins; values outside the range
 /// land in saturating edge bins so nothing is silently dropped.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
     counts: Vec<u64>,
     total: u64,
 }
+json_struct!(Histogram {
+    lo,
+    hi,
+    counts,
+    total
+});
 
 impl Histogram {
     /// A histogram over `[lo, hi)` with `bins` uniform bins.

@@ -31,6 +31,7 @@
 pub mod engine;
 pub mod event;
 pub mod histogram;
+pub mod props;
 pub mod resource;
 pub mod rng;
 pub mod stats;

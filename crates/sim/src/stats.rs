@@ -4,10 +4,10 @@
 //! (Figs. 2 and 3) and net-Δ percentages (Table I). This module provides
 //! exactly those aggregations, with well-defined behaviour on empty input.
 
-use serde::{Deserialize, Serialize};
+use impress_json::json_struct;
 
 /// Summary of a sample: count, mean, median, standard deviation, extremes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Number of observations.
     pub n: usize,
@@ -22,6 +22,14 @@ pub struct Summary {
     /// Maximum (0 for empty input).
     pub max: f64,
 }
+json_struct!(Summary {
+    n,
+    mean,
+    median,
+    std_dev,
+    min,
+    max
+});
 
 impl Summary {
     /// Summarize a sample. NaNs are filtered out rather than poisoning the

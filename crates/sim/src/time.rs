@@ -4,21 +4,19 @@
 //! Integer arithmetic keeps event ordering exact: two events scheduled at the
 //! same instant are broken by insertion order, never by floating-point noise.
 
-use serde::{Deserialize, Serialize};
+use impress_json::json_struct;
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A point in virtual time, in microseconds since simulation start.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
+json_struct!(SimTime(u64));
 
 /// A span of virtual time, in microseconds.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
+json_struct!(SimDuration(u64));
 
 impl SimTime {
     /// The simulation epoch (t = 0).

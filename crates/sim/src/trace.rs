@@ -7,16 +7,17 @@
 //! for plotting.
 
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
+use impress_json::json_struct;
 
 /// One busy interval on a device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BusyInterval {
     /// Interval start (inclusive).
     pub start: SimTime,
     /// Interval end (exclusive).
     pub end: SimTime,
 }
+json_struct!(BusyInterval { start, end });
 
 impl BusyInterval {
     /// Length of the interval.
@@ -33,11 +34,12 @@ impl BusyInterval {
 }
 
 /// Busy-interval record for a single device.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct IntervalTrace {
     intervals: Vec<BusyInterval>,
     open: Option<SimTime>,
 }
+json_struct!(IntervalTrace { intervals, open });
 
 impl IntervalTrace {
     /// An empty trace.
@@ -101,20 +103,22 @@ impl IntervalTrace {
 }
 
 /// A utilization time series: one value per fixed-width bin.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct UtilizationSeries {
     /// Bin width.
     pub bin: SimDuration,
     /// Mean utilization (0–1) of the device group in each bin.
     pub values: Vec<f64>,
 }
+json_struct!(UtilizationSeries { bin, values });
 
 /// Aggregates utilization over a named group of devices (e.g. "cpu" × 28,
 /// "gpu" × 4).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct UtilizationTracker {
     devices: Vec<IntervalTrace>,
 }
+json_struct!(UtilizationTracker { devices });
 
 impl UtilizationTracker {
     /// Tracker for `n` devices, all initially idle.

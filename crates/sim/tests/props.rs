@@ -1,15 +1,21 @@
-//! Property-based tests for the simulation substrate.
+//! Property-based tests for the simulation substrate, on the in-repo
+//! `props!` harness (see `impress_sim::props`).
 
 use impress_sim::event::EventQueue;
 use impress_sim::stats::{net_delta, quantile};
-use impress_sim::{SimDuration, SimRng, SimTime, Summary};
-use proptest::prelude::*;
+use impress_sim::{prop_assume, props, SimDuration, SimRng, SimTime, Summary};
 
-proptest! {
+fn vec_of(rng: &mut SimRng, min_len: usize, max_len: usize, f: impl Fn(&mut SimRng) -> f64) -> Vec<f64> {
+    let len = min_len + rng.below(max_len - min_len);
+    (0..len).map(|_| f(rng)).collect()
+}
+
+props! {
     /// The event queue is a stable priority queue: pops come out sorted by
     /// time, and equal times preserve insertion order.
-    #[test]
-    fn event_queue_pops_sorted_and_stable(times in prop::collection::vec(0u64..1000, 1..200)) {
+    fn event_queue_pops_sorted_and_stable(rng) {
+        let len = 1 + rng.below(199);
+        let times: Vec<u64> = (0..len).map(|_| rng.below(1000) as u64).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_micros(t), i);
@@ -18,21 +24,20 @@ proptest! {
         while let Some(ev) = q.pop() {
             popped.push((ev.at.as_micros(), ev.payload));
         }
-        prop_assert_eq!(popped.len(), times.len());
+        assert_eq!(popped.len(), times.len());
         for w in popped.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0, "times out of order");
+            assert!(w[0].0 <= w[1].0, "times out of order");
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "FIFO violated at equal times");
+                assert!(w[0].1 < w[1].1, "FIFO violated at equal times");
             }
         }
     }
 
     /// Cancelling an arbitrary subset removes exactly that subset.
-    #[test]
-    fn cancellation_removes_exactly_the_cancelled(
-        times in prop::collection::vec(0u64..100, 1..100),
-        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
-    ) {
+    fn cancellation_removes_exactly_the_cancelled(rng) {
+        let len = 1 + rng.below(99);
+        let times: Vec<u64> = (0..len).map(|_| rng.below(100) as u64).collect();
+        let cancel_mask: Vec<bool> = (0..len).map(|_| rng.chance(0.5)).collect();
         let mut q = EventQueue::new();
         let ids: Vec<_> = times
             .iter()
@@ -41,7 +46,7 @@ proptest! {
             .collect();
         let mut expected: Vec<usize> = Vec::new();
         for (i, id) in ids.iter().enumerate() {
-            if cancel_mask.get(i).copied().unwrap_or(false) {
+            if cancel_mask[i] {
                 q.cancel(*id);
             } else {
                 expected.push(i);
@@ -53,50 +58,52 @@ proptest! {
         }
         popped.sort_unstable();
         expected.sort_unstable();
-        prop_assert_eq!(popped, expected);
+        assert_eq!(popped, expected);
     }
 
     /// Summary invariants: min ≤ median ≤ max, min ≤ mean ≤ max, σ ≥ 0, and
     /// the count matches after NaN filtering.
-    #[test]
-    fn summary_invariants(values in prop::collection::vec(-1e6f64..1e6, 0..300)) {
+    fn summary_invariants(rng) {
+        let values = vec_of(rng, 0, 300, |r| r.uniform_range(-1e6, 1e6));
         let s = Summary::of(&values);
-        prop_assert_eq!(s.n, values.len());
+        assert_eq!(s.n, values.len());
         if s.n > 0 {
-            prop_assert!(s.min <= s.median + 1e-9);
-            prop_assert!(s.median <= s.max + 1e-9);
-            prop_assert!(s.min <= s.mean + 1e-9);
-            prop_assert!(s.mean <= s.max + 1e-9);
-            prop_assert!(s.std_dev >= 0.0);
+            assert!(s.min <= s.median + 1e-9);
+            assert!(s.median <= s.max + 1e-9);
+            assert!(s.min <= s.mean + 1e-9);
+            assert!(s.mean <= s.max + 1e-9);
+            assert!(s.std_dev >= 0.0);
         }
     }
 
     /// Quantiles are monotone in q and bounded by the extremes.
-    #[test]
-    fn quantiles_are_monotone(values in prop::collection::vec(-1e3f64..1e3, 1..100)) {
+    fn quantiles_are_monotone(rng) {
+        let values = vec_of(rng, 1, 100, |r| r.uniform_range(-1e3, 1e3));
         let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
         let results: Vec<f64> = qs.iter().map(|&q| quantile(&values, q)).collect();
         for w in results.windows(2) {
-            prop_assert!(w[0] <= w[1] + 1e-9);
+            assert!(w[0] <= w[1] + 1e-9);
         }
         let s = Summary::of(&values);
-        prop_assert!((results[0] - s.min).abs() < 1e-9);
-        prop_assert!((results[6] - s.max).abs() < 1e-9);
+        assert!((results[0] - s.min).abs() < 1e-9);
+        assert!((results[6] - s.max).abs() < 1e-9);
     }
 
     /// net_delta is antisymmetric under series reversal.
-    #[test]
-    fn net_delta_antisymmetry(values in prop::collection::vec(-1e3f64..1e3, 2..50)) {
+    fn net_delta_antisymmetry(rng) {
+        let values = vec_of(rng, 2, 50, |r| r.uniform_range(-1e3, 1e3));
         let fwd = net_delta(&values);
         let mut rev = values.clone();
         rev.reverse();
-        prop_assert!((fwd + net_delta(&rev)).abs() < 1e-9);
+        assert!((fwd + net_delta(&rev)).abs() < 1e-9);
     }
 
     /// Forked RNG streams with different labels are uncorrelated (no equal
     /// first draws across a sample of labels), and same labels identical.
-    #[test]
-    fn rng_fork_label_independence(seed in any::<u64>(), a in 0u64..5000, b in 0u64..5000) {
+    fn rng_fork_label_independence(rng) {
+        let seed = rng.next_u64();
+        let a = rng.below(5000) as u64;
+        let b = rng.below(5000) as u64;
         prop_assume!(a != b);
         let root = SimRng::from_seed(seed);
         let mut fa = root.fork_idx("stream", a);
@@ -105,18 +112,48 @@ proptest! {
         let xa: Vec<f64> = (0..4).map(|_| fa.uniform()).collect();
         let xb: Vec<f64> = (0..4).map(|_| fb.uniform()).collect();
         let xa2: Vec<f64> = (0..4).map(|_| fa2.uniform()).collect();
-        prop_assert_eq!(&xa, &xa2, "same label must replay");
-        prop_assert_ne!(&xa, &xb, "different labels must diverge");
+        assert_eq!(&xa, &xa2, "same label must replay");
+        assert_ne!(&xa, &xb, "different labels must diverge");
+    }
+
+    /// `fork` on a string label and `fork_idx` with an index are distinct
+    /// derivations: an index stream never collides with its own textual
+    /// spelling (the hash covers raw index bytes, not decimal digits).
+    fn fork_idx_diverges_from_textual_label(rng) {
+        let seed = rng.next_u64();
+        let idx = rng.below(100) as u64;
+        let root = SimRng::from_seed(seed);
+        let mut by_idx = root.fork_idx("s", idx);
+        let mut by_text = root.fork(&format!("s/{idx}"));
+        let a: Vec<u64> = (0..4).map(|_| by_idx.next_u64()).collect();
+        let b: Vec<u64> = (0..4).map(|_| by_text.next_u64()).collect();
+        assert_ne!(a, b, "index and text derivations must be independent");
     }
 
     /// Duration arithmetic: saturating and order-preserving.
-    #[test]
-    fn duration_arithmetic_props(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+    fn duration_arithmetic_props(rng) {
+        let a = rng.next_u64() % (u64::MAX / 4);
+        let b = rng.next_u64() % (u64::MAX / 4);
         let da = SimDuration::from_micros(a);
         let db = SimDuration::from_micros(b);
-        prop_assert_eq!((da + db).as_micros(), a + b);
-        prop_assert_eq!((da - db).as_micros(), a.saturating_sub(b));
+        assert_eq!((da + db).as_micros(), a + b);
+        assert_eq!((da - db).as_micros(), a.saturating_sub(b));
         let t = SimTime::from_micros(a);
-        prop_assert_eq!((t + db) - t, db);
+        assert_eq!((t + db) - t, db);
+    }
+
+    /// JSON serialization of sim types is self-inverse.
+    fn sim_types_round_trip_json(rng) {
+        let t = SimTime::from_micros(rng.next_u64());
+        let d = SimDuration::from_micros(rng.next_u64());
+        let t2: SimTime =
+            impress_json::from_str(&impress_json::to_string(&t)).expect("SimTime");
+        let d2: SimDuration =
+            impress_json::from_str(&impress_json::to_string(&d)).expect("SimDuration");
+        assert_eq!(t, t2);
+        assert_eq!(d, d2);
+        let s = Summary::of(&vec_of(rng, 1, 40, |r| r.uniform_range(-10.0, 10.0)));
+        let s2: Summary = impress_json::from_str(&impress_json::to_string(&s)).expect("Summary");
+        assert_eq!(s, s2);
     }
 }

@@ -7,11 +7,11 @@
 //! material for makespan attribution and for debugging adaptive policies.
 
 use crate::pipeline::PipelineId;
+use impress_json::{json_enum, json_struct};
 use impress_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// One coordinator event.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum EventKind {
     /// Pipeline registered (root or sub).
     Registered {
@@ -38,9 +38,16 @@ pub enum EventKind {
         reason: String,
     },
 }
+json_enum!(EventKind {
+    Registered { parent },
+    StageSubmitted { stage, n_tasks },
+    StageCompleted { stage },
+    Completed,
+    Aborted { reason }
+});
 
 /// A timestamped event.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Event {
     /// When it happened (backend time).
     pub at: SimTime,
@@ -49,12 +56,14 @@ pub struct Event {
     /// What happened.
     pub kind: EventKind,
 }
+json_struct!(Event { at, pipeline, kind });
 
 /// Append-only event log.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct EventLog {
     events: Vec<Event>,
 }
+json_struct!(EventLog { events });
 
 impl EventLog {
     /// An empty log.

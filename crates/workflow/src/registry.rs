@@ -6,12 +6,12 @@
 //! distinction behind Table I's `# PL` and `# Sub-PL` columns.
 
 use crate::pipeline::{PipelineId, PipelineState};
+use impress_json::json_struct;
 use impress_sim::SimTime;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One pipeline's ledger entry.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PipelineEntry {
     /// The pipeline.
     pub id: PipelineId,
@@ -30,6 +30,16 @@ pub struct PipelineEntry {
     /// When it reached a terminal state (if it has).
     pub finished_at: Option<SimTime>,
 }
+json_struct!(PipelineEntry {
+    id,
+    name,
+    parent,
+    state,
+    tasks_submitted,
+    stages_completed,
+    created_at,
+    finished_at
+});
 
 /// The coordinator's pipeline ledger.
 #[derive(Debug, Default)]

@@ -2,12 +2,12 @@
 
 use crate::registry::Registry;
 use impress_pilot::{PhaseBreakdown, UtilizationReport};
+use impress_json::json_struct;
 use impress_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Aggregate outcome of one coordinator run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Root pipelines submitted (Table I `# PL`).
     pub root_pipelines: usize,
@@ -28,6 +28,17 @@ pub struct RunReport {
     /// Pilot phase breakdown (Fig. 5 annotations).
     pub phases: PhaseBreakdown,
 }
+json_struct!(RunReport {
+    root_pipelines,
+    sub_pipelines,
+    aborted_pipelines,
+    total_tasks,
+    makespan,
+    cpu_utilization,
+    gpu_slot_utilization,
+    gpu_hardware_utilization,
+    phases
+});
 
 impl RunReport {
     /// Assemble a report from the coordinator's ledgers.

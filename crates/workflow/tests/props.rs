@@ -1,13 +1,12 @@
 //! Property tests for the workflow layer: stage buffers under arbitrary
 //! completion orders, registry accounting, and coordinator runs over
-//! arbitrary pipeline shapes.
+//! arbitrary pipeline shapes. Runs on the in-repo `props!` harness.
 
 use impress_pilot::backend::SimulatedBackend;
 use impress_pilot::{Completion, PilotConfig, ResourceRequest, TaskDescription, TaskId};
-use impress_sim::{SimDuration, SimTime};
+use impress_sim::{props, SimDuration, SimTime};
 use impress_workflow::stage::StageBuffer;
 use impress_workflow::{Coordinator, NoDecisions, PipelineLogic, Registry, Step};
-use proptest::prelude::*;
 
 fn completion(id: u64) -> Completion {
     Completion {
@@ -20,37 +19,38 @@ fn completion(id: u64) -> Completion {
     }
 }
 
-proptest! {
+props! {
     /// Whatever order completions arrive in, the buffer releases exactly
     /// once, with the batch in submission order.
-    #[test]
-    fn stage_buffer_orders_any_arrival(n in 1usize..40, seed in any::<u64>()) {
+    fn stage_buffer_orders_any_arrival(rng) {
+        let n = 1 + rng.below(39);
         let ids: Vec<TaskId> = (0..n as u64).map(TaskId).collect();
         let mut buffer = StageBuffer::new(ids.clone());
         let mut order: Vec<u64> = (0..n as u64).collect();
-        // Deterministic shuffle from the seed.
-        let mut rng = impress_sim::SimRng::from_seed(seed);
         rng.shuffle(&mut order);
         let mut released = None;
         for (i, id) in order.iter().enumerate() {
             let out = buffer.record(completion(*id));
             if i + 1 < n {
-                prop_assert!(out.is_none(), "released early");
+                assert!(out.is_none(), "released early");
             } else {
                 released = out;
             }
         }
         let batch = released.expect("released at the last completion");
         let got: Vec<u64> = batch.iter().map(|c| c.task.0).collect();
-        prop_assert_eq!(got, (0..n as u64).collect::<Vec<_>>());
+        assert_eq!(got, (0..n as u64).collect::<Vec<_>>());
     }
 
     /// Registry counters are consistent under arbitrary interleavings of
     /// registrations, stages and finishes.
-    #[test]
-    fn registry_accounting_is_consistent(
-        script in prop::collection::vec((0u8..3, 0usize..8), 1..60)
-    ) {
+    fn registry_accounting_is_consistent(rng) {
+        let script: Vec<(u8, usize)> = {
+            let len = 1 + rng.below(59);
+            (0..len)
+                .map(|_| (rng.below(3) as u8, rng.below(8)))
+                .collect()
+        };
         let mut reg = Registry::new();
         let mut live: Vec<impress_workflow::PipelineId> = Vec::new();
         let mut total_tasks = 0usize;
@@ -85,22 +85,26 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(reg.root_count(), roots);
-        prop_assert_eq!(reg.sub_count(), subs);
-        prop_assert_eq!(reg.total_tasks(), total_tasks);
-        prop_assert_eq!(reg.live_count(), live.len());
+        assert_eq!(reg.root_count(), roots);
+        assert_eq!(reg.sub_count(), subs);
+        assert_eq!(reg.total_tasks(), total_tasks);
+        assert_eq!(reg.live_count(), live.len());
     }
 
     /// A coordinator over arbitrary pipeline shapes (stage counts, fan-outs)
     /// always terminates with every pipeline completed and the task ledger
     /// matching the shapes.
-    #[test]
-    fn coordinator_terminates_for_arbitrary_shapes(
-        shapes in prop::collection::vec(
-            prop::collection::vec(1usize..4, 1..5),
-            1..6,
-        )
-    ) {
+    fn coordinator_terminates_for_arbitrary_shapes(rng) {
+        let shapes: Vec<Vec<usize>> = {
+            let n_pipelines = 1 + rng.below(5);
+            (0..n_pipelines)
+                .map(|_| {
+                    let n_stages = 1 + rng.below(4);
+                    (0..n_stages).map(|_| 1 + rng.below(3)).collect()
+                })
+                .collect()
+        };
+
         struct Shaped {
             stages: Vec<usize>,
             cursor: usize,
@@ -152,13 +156,12 @@ proptest! {
             }));
         }
         let report = coord.run();
-        prop_assert_eq!(coord.outcomes().len(), shapes.len());
-        prop_assert_eq!(report.total_tasks, expected_tasks);
-        prop_assert_eq!(report.root_pipelines, shapes.len());
+        assert_eq!(coord.outcomes().len(), shapes.len());
+        assert_eq!(report.total_tasks, expected_tasks);
+        assert_eq!(report.root_pipelines, shapes.len());
         // Every outcome reports its own stage count.
-        for (i, (_, stages_done)) in coord.outcomes().iter().enumerate() {
-            let _ = i;
-            prop_assert!(*stages_done <= 5);
+        for (_, stages_done) in coord.outcomes() {
+            assert!(*stages_done <= 5);
         }
     }
 }

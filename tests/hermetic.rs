@@ -1,0 +1,150 @@
+//! Hermetic-build guard: the workspace must never regain a crates.io
+//! dependency. Every entry in every dependency table — root
+//! `[workspace.dependencies]` and each member's `[dependencies]` /
+//! `[dev-dependencies]` / `[build-dependencies]` — must be either a `path`
+//! dependency or `workspace = true` (which resolves to one).
+//!
+//! This is the policy the root `Cargo.toml` comment points at. If this test
+//! fails, someone reintroduced a registry dependency and tier-1 verify will
+//! break on any machine without network access to a package index.
+
+use std::path::{Path, PathBuf};
+
+/// All manifests in the workspace: the root plus every `crates/*` member.
+fn workspace_manifests() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut manifests = vec![root.join("Cargo.toml")];
+    let crates = std::fs::read_dir(root.join("crates")).expect("crates/ dir");
+    for entry in crates {
+        let manifest = entry.expect("dir entry").path().join("Cargo.toml");
+        if manifest.is_file() {
+            manifests.push(manifest);
+        }
+    }
+    assert!(
+        manifests.len() >= 2,
+        "expected root + member manifests, found {manifests:?}"
+    );
+    manifests
+}
+
+/// True for section headers that declare dependencies, e.g.
+/// `[dependencies]`, `[dev-dependencies]`, `[workspace.dependencies]`,
+/// `[target.'cfg(unix)'.dependencies]`, or a single-dependency table like
+/// `[dependencies.foo]`.
+fn is_dependency_section(header: &str) -> bool {
+    header.split('.').any(|part| {
+        part == "dependencies" || part == "dev-dependencies" || part == "build-dependencies"
+    })
+}
+
+/// A dependency entry is hermetic if it resolves via a path: either an
+/// inline table containing `path = ...`, or the workspace-inherited forms
+/// `foo = { workspace = true }` / `foo.workspace = true` (the root
+/// `[workspace.dependencies]` is itself checked to be all-path).
+fn entry_is_hermetic(name: &str, spec: &str) -> bool {
+    name.ends_with(".workspace") || spec.contains("path") || spec.contains("workspace")
+}
+
+#[test]
+fn no_registry_dependencies_anywhere() {
+    let mut violations = Vec::new();
+
+    for manifest in workspace_manifests() {
+        let text = std::fs::read_to_string(&manifest)
+            .unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
+        let mut in_dep_section = false;
+        // Header of a `[dependencies.foo]`-style table currently being
+        // scanned, with a flag for whether a `path` key was seen.
+        let mut dep_table: Option<(String, bool)> = None;
+
+        for raw in text.lines() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') {
+                if let Some((header, saw_path)) = dep_table.take() {
+                    if !saw_path {
+                        violations.push(format!("{}: [{header}] has no path", manifest.display()));
+                    }
+                }
+                let header = line.trim_matches(|c| c == '[' || c == ']');
+                let is_dep = is_dependency_section(header);
+                // `[dependencies.foo]` opens a per-dependency table whose
+                // keys we must scan for `path`.
+                let per_dep = is_dep
+                    && header
+                        .rsplit('.')
+                        .next()
+                        .map(|last| !last.ends_with("dependencies"))
+                        .unwrap_or(false);
+                if per_dep {
+                    dep_table = Some((header.to_string(), false));
+                    in_dep_section = false;
+                } else {
+                    in_dep_section = is_dep;
+                }
+                continue;
+            }
+            if let Some((_, saw_path)) = dep_table.as_mut() {
+                if line.starts_with("path") {
+                    *saw_path = true;
+                }
+                continue;
+            }
+            if !in_dep_section {
+                continue;
+            }
+            let Some((name, spec)) = line.split_once('=') else {
+                continue;
+            };
+            if !entry_is_hermetic(name.trim(), spec) {
+                violations.push(format!(
+                    "{}: `{}` is not a path/workspace dependency: {}",
+                    manifest.display(),
+                    name.trim(),
+                    spec.trim()
+                ));
+            }
+        }
+        if let Some((header, saw_path)) = dep_table {
+            if !saw_path {
+                violations.push(format!("{}: [{header}] has no path", manifest.display()));
+            }
+        }
+    }
+
+    assert!(
+        violations.is_empty(),
+        "registry dependencies reintroduced — the workspace must stay hermetic \
+         (path-only deps):\n{}",
+        violations.join("\n")
+    );
+}
+
+/// The root `[workspace.dependencies]` entries themselves must all be
+/// `path` specs, since member `workspace = true` entries resolve to them.
+#[test]
+fn workspace_dependency_table_is_all_paths() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("Cargo.toml");
+    let text = std::fs::read_to_string(&root).expect("read root Cargo.toml");
+    let mut in_table = false;
+    let mut entries = 0usize;
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.starts_with('[') {
+            in_table = line == "[workspace.dependencies]";
+            continue;
+        }
+        if !in_table || line.is_empty() {
+            continue;
+        }
+        entries += 1;
+        assert!(
+            line.contains("path ="),
+            "non-path entry in [workspace.dependencies]: {line}"
+        );
+    }
+    assert!(entries > 0, "expected a populated [workspace.dependencies]");
+}

@@ -1,69 +1,50 @@
 //! Protocol-level property tests: invariants of the adaptive pipeline under
-//! arbitrary (but valid) configurations.
+//! arbitrary (but valid) configurations, on the in-repo
+//! [`props!`](impress_sim::props) harness.
 
 use impress_core::adaptive::AdaptivePolicy;
 use impress_core::experiment::{run_cont_v_experiment, run_imrp};
 use impress_core::ProtocolConfig;
 use impress_proteins::datasets::named_pdz_domains;
-use proptest::prelude::*;
+use impress_sim::{props, SimRng};
 
-fn arb_config(seed: u64) -> impl Strategy<Value = ProtocolConfig> {
-    (
-        1u32..=4,      // cycles
-        1u32..=10,     // retry budget
-        1u32..=4,      // speculation
-        1usize..=12,   // num sequences
-        0.5f64..2.0,   // temperature
-        any::<bool>(), // adaptive_final_cycle
-    )
-        .prop_map(
-            move |(
-                cycles,
-                retry_budget,
-                speculation,
-                num_sequences,
-                temperature,
-                final_adaptive,
-            )| {
-                let mut c = ProtocolConfig::imrp(seed);
-                c.cycles = cycles;
-                c.retry_budget = retry_budget;
-                c.speculation = speculation;
-                c.mpnn.num_sequences = num_sequences;
-                c.mpnn.temperature = temperature;
-                c.adaptive_final_cycle = final_adaptive;
-                c
-            },
-        )
+fn arb_config(rng: &mut SimRng, seed: u64) -> ProtocolConfig {
+    let mut c = ProtocolConfig::imrp(seed);
+    c.cycles = 1 + rng.below(4) as u32;
+    c.retry_budget = 1 + rng.below(10) as u32;
+    c.speculation = 1 + rng.below(4) as u32;
+    c.mpnn.num_sequences = 1 + rng.below(12);
+    c.mpnn.temperature = rng.uniform_range(0.5, 2.0);
+    c.adaptive_final_cycle = rng.chance(0.5);
+    c
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
+props! {
     /// Whatever the configuration, a lineage's outcome satisfies the
     /// protocol's structural invariants.
-    #[test]
-    fn outcome_invariants_hold(config in arb_config(77), target_idx in 0usize..4) {
+    fn outcome_invariants_hold(rng, cases = 12) {
+        let config = arb_config(rng, 77);
+        let target_idx = rng.below(4);
         let targets = named_pdz_domains(77);
         let target = &targets[target_idx..=target_idx];
         let result = run_imrp(target, config.clone(), AdaptivePolicy {
             sub_budget: 0,
             ..AdaptivePolicy::default()
         });
-        prop_assert_eq!(result.outcomes.len(), 1);
+        assert_eq!(result.outcomes.len(), 1);
         let o = &result.outcomes[0];
 
         // At most `cycles` accepted iterations, numbered 1..=k contiguously.
-        prop_assert!(o.iterations.len() <= config.cycles as usize);
+        assert!(o.iterations.len() <= config.cycles as usize);
         for (i, rec) in o.iterations.iter().enumerate() {
-            prop_assert_eq!(rec.iteration, i as u32 + 1);
+            assert_eq!(rec.iteration, i as u32 + 1);
             // The accepted candidate's rank is within the candidate pool.
-            prop_assert!((rec.accepted_rank as usize) < config.mpnn.num_sequences);
-            prop_assert!(rec.evaluations >= 1);
+            assert!((rec.accepted_rank as usize) < config.mpnn.num_sequences);
+            assert!(rec.evaluations >= 1);
             // Metrics in physical ranges.
-            prop_assert!((0.0..=100.0).contains(&rec.report.plddt));
-            prop_assert!((0.0..=1.0).contains(&rec.report.ptm));
-            prop_assert!((0.0..=35.0).contains(&rec.report.inter_chain_pae));
+            assert!((0.0..=100.0).contains(&rec.report.plddt));
+            assert!((0.0..=1.0).contains(&rec.report.ptm));
+            assert!((0.0..=35.0).contains(&rec.report.inter_chain_pae));
         }
 
         // Executed evaluations at least cover accepted iterations, and are
@@ -72,8 +53,8 @@ proptest! {
         let ceiling = config.cycles
             * (config.retry_budget.min(config.mpnn.num_sequences as u32)
                 + config.speculation.saturating_sub(1));
-        prop_assert!(o.total_evaluations >= o.iterations.len() as u32);
-        prop_assert!(
+        assert!(o.total_evaluations >= o.iterations.len() as u32);
+        assert!(
             o.total_evaluations <= ceiling,
             "evaluations {} > ceiling {}",
             o.total_evaluations,
@@ -82,11 +63,11 @@ proptest! {
 
         // Early termination implies fewer accepted iterations than cycles.
         if o.terminated_early {
-            prop_assert!(o.iterations.len() < config.cycles as usize);
+            assert!(o.iterations.len() < config.cycles as usize);
         }
 
         // The final receptor has the right length.
-        prop_assert_eq!(
+        assert_eq!(
             o.final_receptor.len(),
             targets[target_idx].start.complex.receptor.len()
         );
@@ -94,25 +75,25 @@ proptest! {
 
     /// The non-adaptive control accepts every cycle exactly once, whatever
     /// the sampling configuration.
-    #[test]
-    fn cont_v_always_accepts(num_sequences in 1usize..=12, temperature in 0.5f64..2.0) {
+    fn cont_v_always_accepts(rng, cases = 12) {
+        let num_sequences = 1 + rng.below(12);
+        let temperature = rng.uniform_range(0.5, 2.0);
         let targets: Vec<_> = named_pdz_domains(7).into_iter().take(1).collect();
         let mut config = ProtocolConfig::cont_v(7);
         config.mpnn.num_sequences = num_sequences;
         config.mpnn.temperature = temperature;
         let result = run_cont_v_experiment(&targets, config.clone());
         let o = &result.outcomes[0];
-        prop_assert_eq!(o.iterations.len(), config.cycles as usize);
-        prop_assert_eq!(o.total_evaluations, config.cycles);
-        prop_assert!(!o.terminated_early);
+        assert_eq!(o.iterations.len(), config.cycles as usize);
+        assert_eq!(o.total_evaluations, config.cycles);
+        assert!(!o.terminated_early);
     }
 
     /// Fixed positions survive any configuration.
-    #[test]
-    fn fixed_positions_always_respected(config in arb_config(31)) {
+    fn fixed_positions_always_respected(rng, cases = 12) {
+        let mut config = arb_config(rng, 31);
         let targets: Vec<_> = named_pdz_domains(31).into_iter().take(1).collect();
         let fixed = vec![0usize, 10, 20, 40];
-        let mut config = config;
         config.mpnn.fixed_positions = fixed.clone();
         let result = run_imrp(&targets, config, AdaptivePolicy {
             sub_budget: 0,
@@ -121,7 +102,7 @@ proptest! {
         let start = &targets[0].start.complex.receptor.sequence;
         let end = &result.outcomes[0].final_receptor;
         for &p in &fixed {
-            prop_assert_eq!(start.at(p), end.at(p), "fixed position {} mutated", p);
+            assert_eq!(start.at(p), end.at(p), "fixed position {} mutated", p);
         }
     }
 }
