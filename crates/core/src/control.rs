@@ -17,22 +17,24 @@ use crate::stages::{
     stage1_mpnn, stage2_3_select, stage4_inference, stage4_msa, stage5_6_assess, SelectOutput,
 };
 use crate::toolkit::TargetToolkit;
-use impress_pilot::{ExecutionBackend, Session, TaskDescription};
+use impress_pilot::{ExecutionBackend, Session, TaskDescription, TaskError};
 use impress_proteins::msa::Msa;
 use impress_proteins::{Prediction, ScoredSequence};
 use impress_sim::SimRng;
 use std::sync::Arc;
 
-/// Run one task and wait for it — the sequential execution model.
+/// Run one task and wait for it — the sequential execution model. A task
+/// that fails terminally (retry budget exhausted under fault injection)
+/// surfaces as `Err` instead of panicking, so the lineage can abort cleanly.
 fn run_blocking<B: ExecutionBackend, T: 'static>(
     session: &mut Session<B>,
     desc: TaskDescription,
-) -> T {
+) -> Result<T, TaskError> {
     let id = session.submit(desc);
     loop {
         let c = session.wait_next().expect("submitted task must complete");
         if c.task == id {
-            return c.output::<T>();
+            return c.try_output::<T>();
         }
     }
 }
@@ -67,9 +69,24 @@ fn run_lineage<B: ExecutionBackend>(
     let mut current = tk.start.clone();
     let baseline_report = tk.baseline_report();
     let mut records = Vec::new();
-    for cycle in 1..=config.cycles {
+    let mut aborted = false;
+    'cycles: for cycle in 1..=config.cycles {
+        // A vanilla sequential script dies with its first unrecoverable
+        // task: record the lineage as terminated early and keep whatever
+        // cycles already finished.
+        macro_rules! try_stage {
+            ($expr:expr) => {
+                match $expr {
+                    Ok(v) => v,
+                    Err(_) => {
+                        aborted = true;
+                        break 'cycles;
+                    }
+                }
+            };
+        }
         // Stage 1: generate.
-        let proposals: Vec<ScoredSequence> = run_blocking(
+        let proposals: Vec<ScoredSequence> = try_stage!(run_blocking(
             session,
             stage1_mpnn(
                 tk,
@@ -78,9 +95,9 @@ fn run_lineage<B: ExecutionBackend>(
                 &config.cost,
                 rng.fork_idx("mpnn", cycle as u64),
             ),
-        );
+        ));
         // Stages 2+3: random (unranked) choice, compiled to FASTA.
-        let selected: SelectOutput = run_blocking(
+        let selected: SelectOutput = try_stage!(run_blocking(
             session,
             stage2_3_select(
                 tk,
@@ -89,10 +106,10 @@ fn run_lineage<B: ExecutionBackend>(
                 &config.cost,
                 rng.fork_idx("select", cycle as u64),
             ),
-        );
+        ));
         let candidate = selected.ordered[0].sequence.clone();
         // Stage 4: MSA then inference.
-        let msa: Msa = run_blocking(
+        let msa: Msa = try_stage!(run_blocking(
             session,
             stage4_msa(
                 tk,
@@ -101,8 +118,8 @@ fn run_lineage<B: ExecutionBackend>(
                 &config.cost,
                 rng.fork_idx("msa", cycle as u64),
             ),
-        );
-        let prediction: Prediction = run_blocking(
+        ));
+        let prediction: Prediction = try_stage!(run_blocking(
             session,
             stage4_inference(
                 tk,
@@ -113,10 +130,10 @@ fn run_lineage<B: ExecutionBackend>(
                 &config.cost,
                 rng.fork_idx("fold", cycle as u64),
             ),
-        );
+        ));
         // Stages 5+6: metrics gathered; no comparison, no pruning.
         let prediction: Prediction =
-            run_blocking(session, stage5_6_assess(prediction, &config.cost));
+            try_stage!(run_blocking(session, stage5_6_assess(prediction, &config.cost)));
         let truth = tk
             .landscape
             .fitness(&prediction.structure.complex.receptor.sequence);
@@ -130,14 +147,15 @@ fn run_lineage<B: ExecutionBackend>(
         });
         current = prediction.structure;
     }
+    let completed = records.len() as u32;
     DesignOutcome {
         target: tk.name.clone(),
         label: format!("{}/cont-v", tk.name),
         iterations: records,
         final_receptor: current.complex.receptor.sequence.clone(),
         final_backbone_quality: current.backbone_quality,
-        total_evaluations: config.cycles,
-        terminated_early: false,
+        total_evaluations: completed,
+        terminated_early: aborted,
         baseline_report,
         start_iteration: 1,
     }

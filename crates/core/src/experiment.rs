@@ -8,7 +8,7 @@ use crate::protocol::{DesignOutcome, DesignPipeline};
 use crate::quality::{IterationSeries, NetDeltas};
 use crate::toolkit::TargetToolkit;
 use impress_pilot::backend::SimulatedBackend;
-use impress_pilot::{PilotConfig, Session};
+use impress_pilot::{FaultConfig, FaultPlan, PilotConfig, RetryPolicy, Session};
 use impress_proteins::datasets::DesignTarget;
 use impress_proteins::MetricKind;
 use impress_sim::SimDuration;
@@ -92,6 +92,37 @@ pub fn run_imrp_on(
     policy: AdaptivePolicy,
     pilot: PilotConfig,
 ) -> ExperimentResult {
+    run_imrp_with_backend(targets, config, policy, SimulatedBackend::new(pilot))
+}
+
+/// Run IM-RP under an injected fault environment: the same protocol, but
+/// the pilot realizes the given fault plan (transient failures, hangs,
+/// node crash/recover windows) and retry policy. With
+/// [`FaultConfig::none`] and [`RetryPolicy::none`] this is bit-identical
+/// to [`run_imrp_on`].
+pub fn run_imrp_resilient(
+    targets: &[DesignTarget],
+    config: ProtocolConfig,
+    policy: AdaptivePolicy,
+    pilot: PilotConfig,
+    faults: FaultConfig,
+    retry: RetryPolicy,
+) -> ExperimentResult {
+    let plan = FaultPlan::new(faults, pilot.seed);
+    run_imrp_with_backend(
+        targets,
+        config,
+        policy,
+        SimulatedBackend::with_faults(pilot, plan, retry),
+    )
+}
+
+fn run_imrp_with_backend(
+    targets: &[DesignTarget],
+    config: ProtocolConfig,
+    policy: AdaptivePolicy,
+    backend: SimulatedBackend,
+) -> ExperimentResult {
     // `config.adaptive == false` is allowed here: it gives the
     // concurrent-but-non-selective ablation variant (pipelines still run
     // under the coordinator, but Stage 6 accepts unconditionally). The
@@ -99,7 +130,6 @@ pub fn run_imrp_on(
     // `run_cont_v_experiment` for that arm.
     let tks = toolkits(targets, config.seed);
     let decision = ImpressDecision::new(config.clone(), policy, tks.clone());
-    let backend = SimulatedBackend::new(pilot);
     let mut coordinator = Coordinator::new(backend, decision);
     for (i, tk) in tks.iter().enumerate() {
         coordinator.add_pipeline(Box::new(DesignPipeline::root(
@@ -130,9 +160,33 @@ pub fn run_imrp_on(
 
 /// Run the sequential CONT-V arm on its own simulated node.
 pub fn run_cont_v_experiment(targets: &[DesignTarget], config: ProtocolConfig) -> ExperimentResult {
+    let backend = SimulatedBackend::new(PilotConfig::with_seed(config.seed));
+    run_cont_v_with_backend(targets, config, backend)
+}
+
+/// Run CONT-V under an injected fault environment. A lineage whose task
+/// exhausts the retry budget terminates early (a vanilla sequential script
+/// dies with its first unrecoverable task) and is counted as aborted.
+pub fn run_cont_v_resilient(
+    targets: &[DesignTarget],
+    config: ProtocolConfig,
+    pilot: PilotConfig,
+    faults: FaultConfig,
+    retry: RetryPolicy,
+) -> ExperimentResult {
+    let plan = FaultPlan::new(faults, pilot.seed);
+    let backend = SimulatedBackend::with_faults(pilot, plan, retry);
+    run_cont_v_with_backend(targets, config, backend)
+}
+
+fn run_cont_v_with_backend(
+    targets: &[DesignTarget],
+    config: ProtocolConfig,
+    backend: SimulatedBackend,
+) -> ExperimentResult {
     assert!(!config.adaptive, "CONT-V is the non-adaptive arm");
     let tks = toolkits(targets, config.seed);
-    let mut session = Session::new(SimulatedBackend::new(PilotConfig::with_seed(config.seed)));
+    let mut session = Session::new(backend);
     let outcomes = run_cont_v(&mut session, &tks, &config);
     let backend = session.backend();
     let cpu_series = backend.cpu_series(SERIES_BIN);
@@ -145,12 +199,13 @@ pub fn run_cont_v_experiment(targets: &[DesignTarget], config: ProtocolConfig) -
         r.note_stage_submitted(id, session.utilization().tasks);
         r
     };
+    let aborted = outcomes.iter().filter(|o| o.terminated_early).count();
     let run = RunReport::build(
         &registry,
         session.utilization(),
         session.phase_breakdown(),
         session.now(),
-        0,
+        aborted,
     );
     package(
         "CONT-V",

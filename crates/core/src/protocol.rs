@@ -397,11 +397,9 @@ impl PipelineLogic<DesignOutcome> for DesignPipeline {
         // Fail-safe: a crashed task (e.g. a generator bug, an OOM-killed
         // model) aborts the lineage instead of poisoning the coordinator;
         // the decision engine can then re-process the target.
-        if let Some(failed) = completions.iter().find(|c| c.result.is_err()) {
-            let reason = match &failed.result {
-                Err(e) => format!("task {} ({}) failed: {e}", failed.task, failed.name),
-                Ok(_) => unreachable!("find() matched an Err"),
-            };
+        if let Some(failed) = completions.iter().find(|c| c.failure().is_some()) {
+            let e = failed.failure().expect("find() matched a failure");
+            let reason = format!("task {} ({}) failed: {e}", failed.task, failed.name);
             return Step::Abort(reason);
         }
         match std::mem::replace(&mut self.phase, Phase::Mpnn) {

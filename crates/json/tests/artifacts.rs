@@ -1,5 +1,6 @@
 //! The parser must accept every JSON artifact checked into the repository
-//! (emitted by the fig*/table1/scaling bench binaries), and re-serializing
+//! (emitted by the fig*/table1/scaling/resilience bench binaries), and
+//! re-serializing
 //! the parsed tree must be a fixed point of parsing.
 
 use impress_json::{parse, to_string_pretty, Json};
@@ -19,6 +20,7 @@ const ARTIFACTS: &[&str] = &[
     "fig5.json",
     "table1.json",
     "scaling.json",
+    "resilience.json",
 ];
 
 #[test]
@@ -45,6 +47,7 @@ fn artifacts_expose_expected_top_level_keys() {
         ("fig3.json", &["seed", "series"]),
         ("table1.json", &["seed", "cont_v", "imrp", "improvement_pct"]),
         ("scaling.json", &["seed", "rows"]),
+        ("resilience.json", &["seed", "task_failure_rate", "rows"]),
     ];
     for (name, keys) in checks {
         let text = std::fs::read_to_string(repo_root().join(name)).expect("artifact exists");

@@ -24,7 +24,7 @@ pub use threaded::ThreadedBackend;
 use crate::pilot::PhaseBreakdown;
 use crate::profiler::UtilizationReport;
 use crate::task::{TaskDescription, TaskId, TaskOutput};
-use impress_sim::SimTime;
+use impress_sim::{SimDuration, SimTime};
 use std::fmt;
 
 /// Why a task did not complete successfully.
@@ -34,6 +34,32 @@ pub enum TaskError {
     WorkPanicked(String),
     /// The task was cancelled before completion.
     Canceled,
+    /// The task exceeded its walltime limit and was killed.
+    TimedOut {
+        /// The limit that was exceeded.
+        limit: SimDuration,
+    },
+    /// An injected transient fault (models OOM kills, flaky filesystems).
+    Injected,
+    /// The node hosting the task crashed; delivered only when the retry
+    /// budget is exhausted — crashes inside the budget requeue silently.
+    NodeCrashed {
+        /// The node that crashed.
+        node: u32,
+    },
+}
+
+impl TaskError {
+    /// Whether the pilot may transparently resubmit an attempt that failed
+    /// this way: only failures striking *before* the work closure ran are
+    /// retryable. A panicked closure is consumed and a deterministic panic
+    /// would recur; a cancellation is a caller decision, not a fault.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            TaskError::TimedOut { .. } | TaskError::Injected | TaskError::NodeCrashed { .. }
+        )
+    }
 }
 
 impl fmt::Display for TaskError {
@@ -41,6 +67,13 @@ impl fmt::Display for TaskError {
         match self {
             TaskError::WorkPanicked(msg) => write!(f, "task work panicked: {msg}"),
             TaskError::Canceled => write!(f, "task canceled"),
+            TaskError::TimedOut { limit } => {
+                write!(f, "task exceeded its walltime limit of {limit}")
+            }
+            TaskError::Injected => write!(f, "task hit an injected transient fault"),
+            TaskError::NodeCrashed { node } => {
+                write!(f, "node {node} crashed while hosting the task")
+            }
         }
     }
 }
@@ -62,6 +95,9 @@ pub struct Completion {
     pub started: SimTime,
     /// When slots were released.
     pub finished: SimTime,
+    /// How many failed attempts preceded this terminal result (0 = the
+    /// first attempt concluded the task; fault-free runs always report 0).
+    pub attempts: u32,
 }
 
 impl Completion {
@@ -90,6 +126,36 @@ impl Completion {
             Ok(None) => panic!("{}: task had no work output", self.task),
             Err(e) => panic!("{}: task failed: {e}", self.task),
         }
+    }
+
+    /// Downcast the work output, surfacing task failure as an `Err` instead
+    /// of a panic — the accessor for layers with retry/abort logic of their
+    /// own. A *successful* completion with missing or mistyped output still
+    /// panics: that is a stage-plumbing bug, not a runtime fault.
+    pub fn try_output<T: 'static>(self) -> Result<T, TaskError> {
+        match self.result {
+            Ok(Some(out)) => Ok(*out
+                .downcast::<T>()
+                .unwrap_or_else(|_| panic!("{}: output has unexpected type", self.task))),
+            Ok(None) => panic!("{}: task had no work output", self.task),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Borrowing variant of [`Completion::try_output`].
+    pub fn try_peek<T: 'static>(&self) -> Result<&T, &TaskError> {
+        match &self.result {
+            Ok(Some(out)) => Ok(out
+                .downcast_ref::<T>()
+                .unwrap_or_else(|| panic!("{}: output has unexpected type", self.task))),
+            Ok(None) => panic!("{}: task had no work output", self.task),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The failure reason, if the task failed.
+    pub fn failure(&self) -> Option<&TaskError> {
+        self.result.as_ref().err()
     }
 }
 
@@ -126,13 +192,13 @@ pub trait ExecutionBackend {
     /// Pilot phase breakdown so far.
     fn phase_breakdown(&self) -> PhaseBreakdown;
 
-    /// Best-effort cancellation of a *queued* task (running tasks always
-    /// finish — tasks here are opaque closures that cannot be interrupted
-    /// safely). On success a completion with
-    /// [`TaskError::Canceled`] is delivered through the normal stream.
-    /// Returns `false` if the task already started, finished, or is
-    /// unknown; the threaded backend processes the request asynchronously
-    /// and may return `true` for a task that wins the race and runs anyway.
+    /// Best-effort cancellation of a task that has not *committed* to
+    /// running its work. On success a completion with
+    /// [`TaskError::Canceled`] is delivered through the normal stream, and
+    /// a `true` acknowledgement guarantees the task's work closure will
+    /// never produce an `Ok` completion. Returns `false` if the task
+    /// already committed, finished, is unknown, or (best-effort) is
+    /// waiting out a retry backoff.
     fn cancel(&mut self, _id: TaskId) -> bool {
         false
     }
@@ -175,6 +241,7 @@ mod tests {
             result: Ok(Some(Box::new(7u32))),
             started: SimTime::ZERO,
             finished: SimTime::ZERO,
+            attempts: 0,
         };
         assert_eq!(c.output::<u32>(), 7);
     }
@@ -189,6 +256,7 @@ mod tests {
             result: Ok(Some(Box::new(7u32))),
             started: SimTime::ZERO,
             finished: SimTime::ZERO,
+            attempts: 0,
         };
         let _ = c.output::<String>();
     }
@@ -202,6 +270,7 @@ mod tests {
             result: Ok(Some(Box::new(vec![1u8, 2, 3]))),
             started: SimTime::ZERO,
             finished: SimTime::ZERO,
+            attempts: 0,
         };
         assert_eq!(c.peek::<Vec<u8>>().len(), 3);
         assert_eq!(c.peek::<Vec<u8>>()[0], 1, "still available");
@@ -215,5 +284,72 @@ mod tests {
             "task work panicked: boom"
         );
         assert_eq!(TaskError::Canceled.to_string(), "task canceled");
+        assert_eq!(
+            TaskError::TimedOut {
+                limit: SimDuration::from_secs(90)
+            }
+            .to_string(),
+            "task exceeded its walltime limit of 1.50m"
+        );
+        assert_eq!(
+            TaskError::NodeCrashed { node: 3 }.to_string(),
+            "node 3 crashed while hosting the task"
+        );
+    }
+
+    #[test]
+    fn only_pre_work_failures_are_retryable() {
+        assert!(TaskError::Injected.is_retryable());
+        assert!(TaskError::TimedOut {
+            limit: SimDuration::ZERO
+        }
+        .is_retryable());
+        assert!(TaskError::NodeCrashed { node: 0 }.is_retryable());
+        assert!(!TaskError::WorkPanicked("boom".into()).is_retryable());
+        assert!(!TaskError::Canceled.is_retryable());
+    }
+
+    #[test]
+    fn try_output_surfaces_failure_without_panicking() {
+        let ok = Completion {
+            task: TaskId(1),
+            name: "t".into(),
+            tag: String::new(),
+            result: Ok(Some(Box::new(11u32))),
+            started: SimTime::ZERO,
+            finished: SimTime::ZERO,
+            attempts: 2,
+        };
+        assert_eq!(ok.try_peek::<u32>(), Ok(&11));
+        assert!(ok.failure().is_none());
+        assert_eq!(ok.try_output::<u32>(), Ok(11));
+
+        let failed = Completion {
+            task: TaskId(2),
+            name: "t".into(),
+            tag: String::new(),
+            result: Err(TaskError::Injected),
+            started: SimTime::ZERO,
+            finished: SimTime::ZERO,
+            attempts: 0,
+        };
+        assert_eq!(failed.try_peek::<u32>(), Err(&TaskError::Injected));
+        assert_eq!(failed.failure(), Some(&TaskError::Injected));
+        assert_eq!(failed.try_output::<u32>(), Err(TaskError::Injected));
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected type")]
+    fn try_output_still_panics_on_plumbing_bugs() {
+        let c = Completion {
+            task: TaskId(1),
+            name: "t".into(),
+            tag: String::new(),
+            result: Ok(Some(Box::new(7u32))),
+            started: SimTime::ZERO,
+            finished: SimTime::ZERO,
+            attempts: 0,
+        };
+        let _ = c.try_output::<String>();
     }
 }

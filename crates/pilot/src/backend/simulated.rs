@@ -5,15 +5,26 @@
 //! events; work closures execute at their task's completion instant. The
 //! whole 27-hour CONT-V run replays in milliseconds, bit-identically for a
 //! given seed.
+//!
+//! Fault injection ([`SimulatedBackend::with_faults`]) weaves a
+//! [`FaultPlan`] into the same event stream: injected transient failures
+//! and walltime expiries end an attempt's occupancy early (or late, for
+//! hangs) without running its work, node crash/recover windows become
+//! engine events that drain/re-admit scheduler nodes and requeue resident
+//! tasks, and a [`RetryPolicy`] resubmits faulted attempts after a
+//! (virtual-time) backoff. A [`FaultPlan::none`] plan schedules no extra
+//! events and draws no randomness — the zero-fault backend is
+//! event-for-event identical to one built with [`SimulatedBackend::new`].
 
 use crate::backend::{Completion, ExecutionBackend, TaskError};
+use crate::fault::{AttemptFault, FaultPlan, RetryPolicy};
 use crate::pilot::{PhaseBreakdown, PilotConfig};
 use crate::profiler::{Profiler, UtilizationReport};
-use crate::resources::Allocation;
+use crate::resources::{Allocation, ResourceRequest};
 use crate::scheduler::Scheduler;
-use crate::states::StateCell;
+use crate::states::{StateCell, TaskState};
 use crate::task::{TaskDescription, TaskId, TaskWork};
-use impress_sim::{Engine, SimDuration, SimTime};
+use impress_sim::{Engine, ProcessHandle, SimDuration, SimRng, SimTime};
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -22,11 +33,22 @@ use std::rc::Rc;
 struct PendingTask {
     name: String,
     tag: String,
+    request: ResourceRequest,
+    priority: i32,
     duration: SimDuration,
     gpu_busy_fraction: f64,
     kind: crate::task::TaskKind,
+    walltime: Option<SimDuration>,
+    attempts: u32,
     work: Option<TaskWork>,
     state: StateCell,
+}
+
+/// A placed attempt: enough to evict it when its node crashes.
+struct RunningAttempt {
+    handle: ProcessHandle,
+    alloc: Allocation,
+    started: SimTime,
 }
 
 struct Shared {
@@ -34,10 +56,14 @@ struct Shared {
     profiler: Profiler,
     breakdown: PhaseBreakdown,
     pending: HashMap<u64, PendingTask>,
+    running: HashMap<u64, RunningAttempt>,
     completions: VecDeque<Completion>,
     in_flight: usize,
     exec_setup: SimDuration,
     bootstrapped: bool,
+    faults: FaultPlan,
+    retry: RetryPolicy,
+    backoff_rng: SimRng,
 }
 
 impl Shared {
@@ -50,15 +76,15 @@ impl Shared {
         setup: SimDuration,
     ) {
         let mut task = self.pending.remove(&id.0).expect("task record exists");
-        task.state.advance(crate::states::TaskState::Executing);
+        task.state.advance(TaskState::Executing);
         let result = match task.work.take() {
             Some(work) => match catch_unwind(AssertUnwindSafe(work)) {
                 Ok(out) => {
-                    task.state.advance(crate::states::TaskState::Done);
+                    task.state.advance(TaskState::Done);
                     Ok(Some(out))
                 }
                 Err(payload) => {
-                    task.state.advance(crate::states::TaskState::Failed);
+                    task.state.advance(TaskState::Failed);
                     let msg = payload
                         .downcast_ref::<&str>()
                         .map(|s| s.to_string())
@@ -68,7 +94,7 @@ impl Shared {
                 }
             },
             None => {
-                task.state.advance(crate::states::TaskState::Done);
+                task.state.advance(TaskState::Done);
                 Ok(None)
             }
         };
@@ -92,6 +118,7 @@ impl Shared {
             result,
             started,
             finished: now,
+            attempts: task.attempts,
         });
     }
 }
@@ -108,6 +135,14 @@ impl SimulatedBackend {
     /// Start a pilot on a simulated node. Bootstrap begins at `t = 0`; no
     /// task can start before `config.bootstrap` has elapsed.
     pub fn new(config: PilotConfig) -> Self {
+        Self::with_faults(config, FaultPlan::none(), RetryPolicy::none())
+    }
+
+    /// Start a pilot under an injected fault environment. With
+    /// [`FaultPlan::none`] and [`RetryPolicy::none`] this is exactly
+    /// [`SimulatedBackend::new`]: no extra events, no extra randomness.
+    pub fn with_faults(config: PilotConfig, faults: FaultPlan, retry: RetryPolicy) -> Self {
+        let backoff_rng = SimRng::from_seed(config.seed).fork("retry-backoff");
         let shared = Rc::new(RefCell::new(Shared {
             scheduler: Scheduler::new_cluster(config.cluster(), config.policy),
             profiler: Profiler::new_cluster(config.node.cores, config.node.gpus, config.nodes),
@@ -116,10 +151,14 @@ impl SimulatedBackend {
                 ..Default::default()
             },
             pending: HashMap::new(),
+            running: HashMap::new(),
             completions: VecDeque::new(),
             in_flight: 0,
             exec_setup: config.exec_setup_per_task,
             bootstrapped: false,
+            faults,
+            retry,
+            backoff_rng,
         }));
         let mut engine = Engine::new();
         // Bootstrap completion event: mark ready and place anything queued.
@@ -128,6 +167,17 @@ impl SimulatedBackend {
             s.borrow_mut().bootstrapped = true;
             Self::place_ready(&s, eng);
         });
+        // Realize the node crash/recover schedule as engine events. The
+        // fault-free plan yields no windows, so this adds nothing.
+        for node in 0..config.nodes {
+            let windows = shared.borrow().faults.crash_windows(node);
+            for (crash_at, recover_at) in windows {
+                let s = shared.clone();
+                engine.schedule_at(crash_at, move |eng| Self::node_crash(&s, eng, node));
+                let s = shared.clone();
+                engine.schedule_at(recover_at, move |eng| Self::node_recover(&s, eng, node));
+            }
+        }
         SimulatedBackend {
             engine,
             shared,
@@ -142,7 +192,9 @@ impl SimulatedBackend {
     }
 
     /// Place every task the scheduler allows, wiring up setup + completion
-    /// events for each placement.
+    /// events for each placement. The fault plan decides each attempt's
+    /// outcome *at placement*: the single scheduled event either finishes
+    /// the task (running its work) or ends a doomed attempt early/late.
     fn place_ready(shared: &Rc<RefCell<Shared>>, engine: &mut Engine) {
         let placements = {
             let mut sh = shared.borrow_mut();
@@ -153,23 +205,158 @@ impl SimulatedBackend {
         };
         for (id, alloc) in placements {
             let now = engine.now();
-            let (duration, setup) = {
+            let (outcome, span, setup) = {
                 let mut sh = shared.borrow_mut();
                 let base_setup = sh.exec_setup;
+                let attempts = sh
+                    .pending
+                    .get(&id.0)
+                    .map(|t| t.attempts)
+                    .expect("placed task exists");
+                let fault = sh.faults.attempt_fault(id.0, attempts);
+                let hang_factor = sh.faults.config().hang_factor;
                 let task = sh.pending.get_mut(&id.0).expect("placed task exists");
-                task.state.advance(crate::states::TaskState::ExecSetup);
-                let d = task.duration;
+                task.state.advance(TaskState::ExecSetup);
                 let setup = base_setup.saturating_add(task.kind.launch_overhead());
+                let mut run = task.duration;
+                if fault == AttemptFault::Hang {
+                    run = run.mul_f64(hang_factor);
+                }
+                let total = setup.saturating_add(run);
+                // Walltime counts from slot grant and wins over other faults.
+                let (outcome, span) = match task.walltime {
+                    Some(limit) if limit < total => (Err(TaskError::TimedOut { limit }), limit),
+                    _ => match fault {
+                        AttemptFault::Transient => (Err(TaskError::Injected), total),
+                        _ => (Ok(()), total),
+                    },
+                };
                 sh.profiler.task_started(&alloc, now);
-                (d, setup)
+                (outcome, span, setup)
             };
             let s = shared.clone();
-            engine.schedule_in(setup.saturating_add(duration), move |eng| {
-                s.borrow_mut()
-                    .finish_task(id, &alloc, now, eng.now(), setup);
+            let event_alloc = alloc.clone();
+            let handle = engine.schedule_in(span, move |eng| {
+                let at = eng.now();
+                s.borrow_mut().running.remove(&id.0);
+                match outcome {
+                    Ok(()) => {
+                        s.borrow_mut().finish_task(id, &event_alloc, now, at, setup);
+                    }
+                    Err(err) => {
+                        {
+                            let mut sh = s.borrow_mut();
+                            sh.profiler.attempt_wasted(&event_alloc, now, at);
+                            sh.scheduler.release(&event_alloc);
+                        }
+                        Self::fail_attempt(&s, eng, id, err, now);
+                    }
+                }
                 Self::place_ready(&s, eng);
             });
+            shared.borrow_mut().running.insert(
+                id.0,
+                RunningAttempt {
+                    handle,
+                    alloc,
+                    started: now,
+                },
+            );
         }
+    }
+
+    /// End a failed attempt: retry within budget (after backoff, via the
+    /// requeue transition), or surface the error as a terminal completion.
+    /// The attempt's slots must already be released/forfeited and its waste
+    /// booked by the caller.
+    fn fail_attempt(
+        shared: &Rc<RefCell<Shared>>,
+        engine: &mut Engine,
+        id: TaskId,
+        err: TaskError,
+        started: SimTime,
+    ) {
+        let now = engine.now();
+        let mut sh = shared.borrow_mut();
+        let retry = sh.retry;
+        let task = sh.pending.get_mut(&id.0).expect("failed task has a record");
+        task.state.advance(TaskState::Executing);
+        if task.attempts < retry.max_retries {
+            task.attempts += 1;
+            let attempt = task.attempts;
+            task.state.advance(TaskState::Scheduling);
+            let request = task.request;
+            let priority = task.priority;
+            sh.profiler.note_retry();
+            let delay = retry.backoff(attempt, &mut sh.backoff_rng);
+            drop(sh);
+            let s = shared.clone();
+            engine.schedule_in(delay, move |eng| {
+                s.borrow_mut()
+                    .scheduler
+                    .enqueue_with_priority(id, request, priority);
+                Self::place_ready(&s, eng);
+            });
+        } else {
+            let mut task = sh.pending.remove(&id.0).expect("failed task has a record");
+            task.state.advance(TaskState::Failed);
+            sh.in_flight -= 1;
+            sh.completions.push_back(Completion {
+                task: id,
+                name: task.name,
+                tag: task.tag,
+                result: Err(err),
+                started,
+                finished: now,
+                attempts: task.attempts,
+            });
+        }
+    }
+
+    /// A node crash event: drain the node and evict its resident attempts.
+    /// Victims forfeit their allocations (the drained pool is rebuilt, so
+    /// nothing is released) and consume a retry attempt each.
+    fn node_crash(shared: &Rc<RefCell<Shared>>, engine: &mut Engine, node: u32) {
+        let victims: Vec<(u64, RunningAttempt)> = {
+            let mut sh = shared.borrow_mut();
+            // Sort victim ids: HashMap iteration order must not leak into
+            // the deterministic event stream.
+            let mut ids: Vec<u64> = sh
+                .running
+                .iter()
+                .filter(|(_, r)| r.alloc.node == node)
+                .map(|(&i, _)| i)
+                .collect();
+            ids.sort_unstable();
+            sh.scheduler.drain_node(node);
+            ids.into_iter()
+                .map(|i| {
+                    let r = sh.running.remove(&i).expect("victim is running");
+                    (i, r)
+                })
+                .collect()
+        };
+        let now = engine.now();
+        for (id, attempt) in victims {
+            engine.cancel(attempt.handle);
+            shared
+                .borrow_mut()
+                .profiler
+                .attempt_wasted(&attempt.alloc, attempt.started, now);
+            Self::fail_attempt(
+                shared,
+                engine,
+                TaskId(id),
+                TaskError::NodeCrashed { node },
+                attempt.started,
+            );
+        }
+    }
+
+    /// A node recover event: re-admit the node and place waiting tasks.
+    fn node_recover(shared: &Rc<RefCell<Shared>>, engine: &mut Engine, node: u32) {
+        shared.borrow_mut().scheduler.recover_node(node);
+        Self::place_ready(shared, engine);
     }
 
     /// Binned CPU-occupancy series up to the current time (Fig. 4/5 data).
@@ -209,15 +396,19 @@ impl ExecutionBackend for SimulatedBackend {
                 desc.request
             );
             let mut state = StateCell::new();
-            state.advance(crate::states::TaskState::Scheduling);
+            state.advance(TaskState::Scheduling);
             sh.pending.insert(
                 id.0,
                 PendingTask {
                     name: desc.name,
                     tag: desc.tag,
+                    request: desc.request,
+                    priority: desc.priority,
                     duration: desc.duration,
                     gpu_busy_fraction: desc.gpu_busy_fraction,
                     kind: desc.kind,
+                    walltime: desc.walltime,
+                    attempts: 0,
                     work: desc.work,
                     state,
                 },
@@ -239,6 +430,13 @@ impl ExecutionBackend for SimulatedBackend {
         loop {
             if let Some(c) = self.shared.borrow_mut().completions.pop_front() {
                 return Some(c);
+            }
+            // Nothing in flight ⇒ no completion can materialize. Do not
+            // drain the remaining event queue: under fault injection it
+            // holds far-future crash/recover events whose processing would
+            // pointlessly advance virtual time past the workload's end.
+            if self.shared.borrow().in_flight == 0 {
+                return None;
             }
             if !self.engine.step() {
                 return None;
@@ -265,11 +463,15 @@ impl ExecutionBackend for SimulatedBackend {
     fn cancel(&mut self, id: TaskId) -> bool {
         let mut sh = self.shared.borrow_mut();
         if !sh.scheduler.cancel_queued(id) {
-            return false; // already placed, finished, or unknown
+            // Already placed, finished, unknown — or requeued but waiting
+            // out a retry backoff (best-effort: such a task re-enters the
+            // queue when its backoff fires).
+            return false;
         }
         let mut task = sh.pending.remove(&id.0).expect("queued task has a record");
-        task.state.advance(crate::states::TaskState::Canceled);
+        task.state.advance(TaskState::Canceled);
         sh.in_flight -= 1;
+        let attempts = task.attempts;
         sh.completions.push_back(Completion {
             task: id,
             name: task.name,
@@ -277,6 +479,7 @@ impl ExecutionBackend for SimulatedBackend {
             result: Err(TaskError::Canceled),
             started: self.engine.now(),
             finished: self.engine.now(),
+            attempts,
         });
         true
     }
@@ -474,5 +677,239 @@ mod tests {
             log
         };
         assert_eq!(run(), run());
+    }
+
+    use crate::fault::{FaultConfig, ScriptedCrash};
+
+    fn no_backoff(retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries: retries,
+            ..RetryPolicy::none()
+        }
+    }
+
+    #[test]
+    fn explicit_none_plan_matches_the_plain_constructor() {
+        let run = |mut b: SimulatedBackend| -> (Vec<(u64, u64, bool)>, u64, f64) {
+            for i in 0..6 {
+                b.submit(task(&format!("t{i}"), 1 + (i % 2), i % 2, 40 + i as u64));
+            }
+            let mut log = Vec::new();
+            while let Some(c) = b.next_completion() {
+                log.push((c.task.0, c.finished.as_micros(), c.result.is_ok()));
+                assert_eq!(c.attempts, 0, "fault-free runs never retry");
+            }
+            (log, b.now().as_micros(), b.utilization().cpu)
+        };
+        let plain = run(SimulatedBackend::new(config(3, 1)));
+        let faulted = run(SimulatedBackend::with_faults(
+            config(3, 1),
+            FaultPlan::none(),
+            RetryPolicy::none(),
+        ));
+        assert_eq!(plain, faulted, "zero-fault plan must be a true no-op");
+    }
+
+    #[test]
+    fn transient_fault_with_zero_budget_surfaces_injected_error() {
+        let plan = FaultPlan::new(
+            FaultConfig {
+                task_failure_rate: 1.0,
+                ..FaultConfig::none()
+            },
+            1,
+        );
+        let mut b = SimulatedBackend::with_faults(config(2, 0), plan, RetryPolicy::none());
+        b.submit(task("doomed", 1, 0, 50).with_work(|| 1u32));
+        let c = b.next_completion().unwrap();
+        assert_eq!(c.result.unwrap_err(), TaskError::Injected);
+        assert_eq!(c.attempts, 0);
+        let r = b.utilization();
+        assert_eq!(r.retries, 0);
+        assert!(r.wasted_core_seconds > 0.0, "the doomed attempt held a core");
+        assert_eq!(r.tasks, 0, "no useful execution happened");
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_caps_attempts() {
+        let plan = FaultPlan::new(
+            FaultConfig {
+                task_failure_rate: 1.0,
+                ..FaultConfig::none()
+            },
+            1,
+        );
+        let mut b = SimulatedBackend::with_faults(config(2, 0), plan, no_backoff(3));
+        b.submit(task("doomed", 1, 0, 50));
+        let c = b.next_completion().unwrap();
+        assert_eq!(c.attempts, 3, "budget fully spent");
+        assert_eq!(c.result.unwrap_err(), TaskError::Injected);
+        assert_eq!(b.utilization().retries, 3);
+        assert_eq!(b.in_flight(), 0);
+    }
+
+    #[test]
+    fn retries_eventually_succeed_under_partial_fault_rates() {
+        let plan = FaultPlan::new(
+            FaultConfig {
+                task_failure_rate: 0.5,
+                ..FaultConfig::none()
+            },
+            11,
+        );
+        let mut b = SimulatedBackend::with_faults(config(4, 0), plan, no_backoff(8));
+        for i in 0..12 {
+            b.submit(task(&format!("t{i}"), 1, 0, 30).with_work(move || i as u32));
+        }
+        let mut oks = 0;
+        let mut retried = 0;
+        while let Some(c) = b.next_completion() {
+            if c.result.is_ok() {
+                oks += 1;
+            }
+            assert!(c.attempts <= 8, "attempts never exceed the budget");
+            if c.attempts > 0 {
+                retried += 1;
+            }
+        }
+        assert_eq!(oks, 12, "8 retries at p=0.5 lose less than 1 in 256 tasks");
+        assert!(retried > 0, "at p=0.5 some task must have retried");
+        let r = b.utilization();
+        assert!(r.retries > 0);
+        assert!(r.wasted_core_seconds > 0.0);
+    }
+
+    #[test]
+    fn walltime_limit_times_out_long_tasks() {
+        let mut b = SimulatedBackend::new(config(2, 0));
+        b.submit(
+            task("straggler", 1, 0, 1000)
+                .with_walltime(SimDuration::from_secs(50))
+                .with_work(|| 1u32),
+        );
+        let c = b.next_completion().unwrap();
+        assert_eq!(
+            c.result.unwrap_err(),
+            TaskError::TimedOut {
+                limit: SimDuration::from_secs(50)
+            }
+        );
+        // The attempt occupied its slots for exactly the limit.
+        assert_eq!(c.finished.since(c.started), SimDuration::from_secs(50));
+    }
+
+    #[test]
+    fn hang_faults_dilate_runtimes_into_walltime_kills() {
+        let plan = FaultPlan::new(
+            FaultConfig {
+                task_hang_rate: 1.0,
+                hang_factor: 8.0,
+                ..FaultConfig::none()
+            },
+            2,
+        );
+        // Base run (10 + 100 s) fits the 200 s walltime; the ×8 hang does not.
+        let mut b = SimulatedBackend::with_faults(config(2, 0), plan, RetryPolicy::none());
+        b.submit(task("hung", 1, 0, 100).with_walltime(SimDuration::from_secs(200)));
+        let c = b.next_completion().unwrap();
+        assert!(matches!(c.result, Err(TaskError::TimedOut { .. })));
+        assert_eq!(c.finished.since(c.started), SimDuration::from_secs(200));
+    }
+
+    #[test]
+    fn scripted_node_crash_requeues_residents_and_completes_the_run() {
+        let plan = FaultPlan::new(
+            FaultConfig {
+                scripted_crashes: vec![ScriptedCrash {
+                    node: 0,
+                    at: SimTime::from_micros(500_000_000),
+                    outage: SimDuration::from_secs(300),
+                }],
+                ..FaultConfig::none()
+            },
+            0,
+        );
+        let mut b = SimulatedBackend::with_faults(
+            PilotConfig {
+                nodes: 2,
+                ..config(4, 0)
+            },
+            plan,
+            no_backoff(3),
+        );
+        for i in 0..4 {
+            b.submit(task(&format!("t{i}"), 4, 0, 1000).with_work(move || i as u32));
+        }
+        let mut completions = Vec::new();
+        while let Some(c) = b.next_completion() {
+            completions.push(c);
+        }
+        assert_eq!(completions.len(), 4);
+        assert!(completions.iter().all(|c| c.result.is_ok()), "no lineage lost");
+        let evicted: Vec<_> = completions.iter().filter(|c| c.attempts > 0).collect();
+        assert_eq!(evicted.len(), 1, "exactly the node-0 resident was evicted");
+        let r = b.utilization();
+        assert_eq!(r.retries, 1);
+        // The victim started at t=100 (bootstrap) and was evicted at t=500,
+        // holding 4 cores: 1600 wasted core-seconds.
+        assert!((r.wasted_core_seconds - 1600.0).abs() < 1e-6, "{}", r.wasted_core_seconds);
+        assert_eq!(b.in_flight(), 0);
+    }
+
+    #[test]
+    fn node_crash_beyond_the_budget_reports_node_crashed() {
+        let plan = FaultPlan::new(
+            FaultConfig {
+                scripted_crashes: vec![ScriptedCrash {
+                    node: 0,
+                    at: SimTime::from_micros(500_000_000),
+                    outage: SimDuration::from_secs(60),
+                }],
+                ..FaultConfig::none()
+            },
+            0,
+        );
+        let mut b = SimulatedBackend::with_faults(config(4, 0), plan, RetryPolicy::none());
+        b.submit(task("victim", 4, 0, 1000));
+        let c = b.next_completion().unwrap();
+        assert_eq!(c.result.unwrap_err(), TaskError::NodeCrashed { node: 0 });
+        assert_eq!(c.attempts, 0);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<(u64, u64, bool, u32)> {
+            let plan = FaultPlan::new(
+                FaultConfig {
+                    task_failure_rate: 0.3,
+                    task_hang_rate: 0.1,
+                    node_mtbf: Some(SimDuration::from_secs(2000)),
+                    node_outage: SimDuration::from_secs(120),
+                    ..FaultConfig::none()
+                },
+                seed,
+            );
+            let mut b = SimulatedBackend::with_faults(
+                PilotConfig {
+                    nodes: 2,
+                    ..config(3, 1)
+                },
+                plan,
+                RetryPolicy::retries(4),
+            );
+            for i in 0..10 {
+                b.submit(
+                    task(&format!("t{i}"), 1 + (i % 2), i % 2, 200 + 10 * i as u64)
+                        .with_walltime(SimDuration::from_secs(4000)),
+                );
+            }
+            let mut log = Vec::new();
+            while let Some(c) = b.next_completion() {
+                log.push((c.task.0, c.finished.as_micros(), c.result.is_ok(), c.attempts));
+            }
+            log
+        };
+        assert_eq!(run(5), run(5), "same seed, same fault history");
+        assert_ne!(run(5), run(6), "different seeds diverge");
     }
 }

@@ -12,49 +12,156 @@
 //! work closures back-to-back.
 //!
 //! Architecture: one scheduler thread owns the [`Scheduler`] and the
-//! [`Profiler`]; submissions and worker-done messages arrive on a channel
+//! [`Profiler`]; submissions and worker messages arrive on a channel
 //! (the in-repo [`crate::sync`] Mutex+Condvar channel — no external
 //! dependency); each placed task runs on its own spawned thread. Completion
 //! order is whatever real concurrency produces — determinism is the
 //! simulated backend's job.
+//!
+//! Fault injection ([`ThreadedBackend::with_faults`]) mirrors the simulated
+//! backend: *which* attempts fault is decided by the same seeded
+//! [`FaultPlan`] (so the two backends agree on the fault sequence), and the
+//! worker thread realizes the outcome — an injected transient failure or
+//! walltime expiry ends the attempt without running its work, and the
+//! scheduler thread applies the [`RetryPolicy`] before surfacing an error.
+//! Node crash/recover windows become scheduler-thread timers that drain the
+//! node and preempt resident workers mid-sleep; since a zero time scale has
+//! no sleeps to preempt, node-fault injection requires `time_scale > 0`.
+//!
+//! Cancellation is race-free: a per-task cancel-requested flag is checked
+//! under one lock both by [`ExecutionBackend::cancel`] and by the worker at
+//! its *commit point* (after its sleep, before running its work). A cancel
+//! acknowledged with `true` therefore never yields an `Ok` completion.
 
 use crate::backend::{Completion, ExecutionBackend, TaskError};
+use crate::fault::{AttemptFault, FaultPlan, RetryPolicy};
 use crate::pilot::{PhaseBreakdown, PilotConfig};
 use crate::profiler::{Profiler, UtilizationReport};
-use crate::resources::Allocation;
+use crate::resources::{Allocation, ResourceRequest};
 use crate::scheduler::Scheduler;
 use crate::sync::{channel, Receiver, RecvTimeoutError, Sender};
 use crate::task::{TaskDescription, TaskId, TaskOutput, TaskWork};
-use impress_sim::{SimDuration, SimTime};
+use impress_sim::{SimDuration, SimRng, SimTime};
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Everything the scheduler keeps per submitted-but-unfinished task; travels
+/// back to the scheduler when an attempt fails so it can be resubmitted.
+struct TaskSpec {
+    name: String,
+    tag: String,
+    request: ResourceRequest,
+    priority: i32,
+    duration: SimDuration,
+    gpu_busy_fraction: f64,
+    walltime: Option<SimDuration>,
+    attempts: u32,
+    work: Option<TaskWork>,
+}
 
 enum Msg {
     Submit {
         id: TaskId,
-        name: String,
-        tag: String,
-        request: crate::resources::ResourceRequest,
-        priority: i32,
-        duration: SimDuration,
-        gpu_busy_fraction: f64,
-        work: Option<TaskWork>,
+        spec: TaskSpec,
     },
+    /// The worker committed and produced a terminal result.
     WorkerDone {
         id: TaskId,
         alloc: Allocation,
         started: SimTime,
+        incarnation: u64,
         name: String,
         tag: String,
         gpu_busy_fraction: f64,
+        attempts: u32,
         result: Result<Option<TaskOutput>, TaskError>,
+    },
+    /// The attempt ended before its work ran (injected fault, walltime
+    /// expiry, or node-crash preemption): the spec comes back for retry.
+    AttemptFailed {
+        id: TaskId,
+        alloc: Allocation,
+        started: SimTime,
+        incarnation: u64,
+        spec: TaskSpec,
+        err: TaskError,
+    },
+    /// The worker observed the cancel-requested flag and backed out.
+    WorkerCanceled {
+        id: TaskId,
+        alloc: Allocation,
+        started: SimTime,
+        incarnation: u64,
+        name: String,
+        tag: String,
+        attempts: u32,
     },
     Cancel {
         id: TaskId,
     },
     Shutdown,
+}
+
+/// Scheduler-thread timers: retry backoffs and the node fault schedule.
+enum Timer {
+    Retry { id: TaskId, spec: TaskSpec },
+    Crash(u32),
+    Recover(u32),
+}
+
+/// Cancellation handshake state, shared between the client thread (cancel),
+/// the scheduler thread (terminal bookkeeping) and workers (commit point).
+#[derive(Default)]
+struct TaskStatus {
+    cancel_requested: bool,
+    committed: bool,
+    terminal: bool,
+}
+
+type StatusMap = Arc<Mutex<HashMap<u64, TaskStatus>>>;
+
+/// An interruptible sleep: a crashed node (or a cancel) preempts resident
+/// workers mid-sleep instead of letting them run to completion.
+struct SleepToken {
+    preempted: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl SleepToken {
+    fn new() -> Self {
+        SleepToken {
+            preempted: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn preempt(&self) {
+        *self.preempted.lock().expect("sleep token lock") = true;
+        self.cv.notify_all();
+    }
+
+    /// Sleep up to `dur`; returns `false` if preempted first.
+    fn sleep(&self, dur: Duration) -> bool {
+        let deadline = Instant::now() + dur;
+        let mut flag = self.preempted.lock().expect("sleep token lock");
+        loop {
+            if *flag {
+                return false;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return true;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(flag, deadline - now)
+                .expect("sleep token lock");
+            flag = guard;
+        }
+    }
 }
 
 struct SchedState {
@@ -67,6 +174,7 @@ pub struct ThreadedBackend {
     tx: Sender<Msg>,
     completion_rx: Receiver<Completion>,
     state: Arc<Mutex<SchedState>>,
+    statuses: StatusMap,
     unfinished: Arc<AtomicUsize>,
     epoch: Instant,
     next_id: u64,
@@ -84,6 +192,20 @@ impl ThreadedBackend {
     /// Start with virtual durations dilated by `time_scale` into real
     /// sleeps (`0.0` = no sleeping).
     pub fn with_time_scale(config: PilotConfig, time_scale: f64) -> Self {
+        Self::with_faults(config, time_scale, FaultPlan::none(), RetryPolicy::none())
+    }
+
+    /// Start under an injected fault environment. Task-level faults
+    /// (transients, hangs, walltime expiries) work at any time scale; the
+    /// node crash/recover schedule needs `time_scale > 0` — with no real
+    /// sleeps there is no execution window for a crash to interrupt, so it
+    /// is skipped entirely at scale `0`.
+    pub fn with_faults(
+        config: PilotConfig,
+        time_scale: f64,
+        faults: FaultPlan,
+        retry: RetryPolicy,
+    ) -> Self {
         let (tx, rx) = channel::<Msg>();
         let (completion_tx, completion_rx) = channel::<Completion>();
         let state = Arc::new(Mutex::new(SchedState {
@@ -97,10 +219,12 @@ impl ThreadedBackend {
                 ..Default::default()
             },
         }));
+        let statuses: StatusMap = Arc::new(Mutex::new(HashMap::new()));
         let unfinished = Arc::new(AtomicUsize::new(0));
         let epoch = Instant::now();
 
         let thread_state = state.clone();
+        let thread_statuses = statuses.clone();
         let thread_unfinished = unfinished.clone();
         let worker_tx = tx.clone();
         let node = config.node;
@@ -116,57 +240,185 @@ impl ThreadedBackend {
                     crate::resources::ClusterSpec::homogeneous(node, config.nodes),
                     config.policy,
                 );
-                let mut waiting: std::collections::HashMap<u64, Msg> =
-                    std::collections::HashMap::new();
+                let mut backoff_rng = SimRng::from_seed(config.seed).fork("retry-backoff");
+                let mut waiting: HashMap<u64, TaskSpec> = HashMap::new();
+                // id → (node, incarnation at placement, sleep token).
+                let mut running: HashMap<u64, (u32, u64, Arc<SleepToken>)> = HashMap::new();
+                // Bumped on each crash: a worker message whose incarnation is
+                // stale must not release into the rebuilt pool.
+                let mut node_incarnation: Vec<u64> = vec![0; config.nodes as usize];
+                let mut timers: Vec<(Instant, Timer)> = Vec::new();
+                if time_scale > 0.0 {
+                    for n in 0..config.nodes {
+                        for (crash_at, recover_at) in faults.crash_windows(n) {
+                            let scale = |t: SimTime| {
+                                epoch + Duration::from_secs_f64(t.as_secs_f64() * time_scale)
+                            };
+                            timers.push((scale(crash_at), Timer::Crash(n)));
+                            timers.push((scale(recover_at), Timer::Recover(n)));
+                        }
+                    }
+                }
                 let now = |epoch: Instant| -> SimTime {
                     SimTime::from_micros(epoch.elapsed().as_micros() as u64)
                 };
+                let deliver = |c: Completion| {
+                    if let Some(s) = thread_statuses.lock().expect("status lock").get_mut(&c.task.0)
+                    {
+                        s.terminal = true;
+                    }
+                    let _ = completion_tx.send(c);
+                    thread_unfinished.fetch_sub(1, Ordering::SeqCst);
+                };
+                let cancel_requested = |id: TaskId| {
+                    thread_statuses
+                        .lock()
+                        .expect("status lock")
+                        .get(&id.0)
+                        .is_some_and(|s| s.cancel_requested)
+                };
                 loop {
-                    let msg = match rx.recv() {
-                        Ok(m) => m,
-                        Err(_) => break,
+                    // Fire due timers, earliest first.
+                    loop {
+                        let due = timers
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, (t, _))| *t <= Instant::now())
+                            .min_by_key(|(_, (t, _))| *t)
+                            .map(|(i, _)| i);
+                        let Some(i) = due else { break };
+                        match timers.remove(i).1 {
+                            Timer::Crash(n) => {
+                                node_incarnation[n as usize] += 1;
+                                scheduler.drain_node(n);
+                                for (_, (_, _, token)) in
+                                    running.iter().filter(|(_, (nd, _, _))| *nd == n)
+                                {
+                                    token.preempt();
+                                }
+                            }
+                            Timer::Recover(n) => scheduler.recover_node(n),
+                            Timer::Retry { id, spec } => {
+                                if cancel_requested(id) {
+                                    let at = now(epoch);
+                                    deliver(Completion {
+                                        task: id,
+                                        name: spec.name,
+                                        tag: spec.tag,
+                                        result: Err(TaskError::Canceled),
+                                        started: at,
+                                        finished: at,
+                                        attempts: spec.attempts,
+                                    });
+                                } else {
+                                    scheduler.enqueue_with_priority(id, spec.request, spec.priority);
+                                    waiting.insert(id.0, spec);
+                                }
+                            }
+                        }
+                    }
+                    // Place everything that fits now — BEFORE blocking on the
+                    // channel, so work unlocked by a timer (a retry backoff
+                    // expiring, a node recovering) is scheduled even though no
+                    // message will arrive to wake us.
+                    for (id, alloc) in scheduler.place_ready() {
+                        let spec = waiting.remove(&id.0).expect("placed task was submitted");
+                        let fault = faults.attempt_fault(id.0, spec.attempts);
+                        let hang_factor = faults.config().hang_factor;
+                        let started = now(epoch);
+                        thread_state
+                            .lock()
+                            .expect("state lock")
+                            .profiler
+                            .task_started(&alloc, started);
+                        let incarnation = node_incarnation[alloc.node as usize];
+                        let token = Arc::new(SleepToken::new());
+                        running.insert(id.0, (alloc.node, incarnation, token.clone()));
+                        let done_tx = worker_tx.clone();
+                        let statuses = thread_statuses.clone();
+                        std::thread::Builder::new()
+                            .name(format!("pilot-worker-{}", id.0))
+                            .spawn(move || {
+                                run_attempt(
+                                    id,
+                                    alloc,
+                                    started,
+                                    incarnation,
+                                    spec,
+                                    fault,
+                                    hang_factor,
+                                    time_scale,
+                                    &token,
+                                    &statuses,
+                                    &done_tx,
+                                );
+                            })
+                            .expect("spawn worker thread");
+                    }
+                    // Wait for the next message, but never past the next timer.
+                    let msg = if timers.is_empty() {
+                        match rx.recv() {
+                            Ok(m) => Some(m),
+                            Err(_) => break,
+                        }
+                    } else {
+                        let next = timers.iter().map(|(t, _)| *t).min().expect("non-empty");
+                        let wait = next
+                            .saturating_duration_since(Instant::now())
+                            .min(Duration::from_millis(100))
+                            .max(Duration::from_millis(1));
+                        match rx.recv_timeout(wait) {
+                            Ok(m) => Some(m),
+                            Err(RecvTimeoutError::Timeout) => None,
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        }
                     };
                     match msg {
-                        Msg::Shutdown => break,
-                        Msg::Cancel { id } => {
-                            // Only effective while the task is still queued.
+                        None => {}
+                        Some(Msg::Shutdown) => break,
+                        Some(Msg::Cancel { id }) => {
                             if scheduler.cancel_queued(id) {
-                                let msg = waiting.remove(&id.0).expect("queued task waits");
-                                let (name, tag) = match msg {
-                                    Msg::Submit { name, tag, .. } => (name, tag),
-                                    _ => unreachable!("waiting map only holds submits"),
-                                };
+                                let spec = waiting.remove(&id.0).expect("queued task waits");
                                 let at = now(epoch);
-                                let _ = completion_tx.send(Completion {
+                                deliver(Completion {
                                     task: id,
-                                    name,
-                                    tag,
+                                    name: spec.name,
+                                    tag: spec.tag,
                                     result: Err(TaskError::Canceled),
                                     started: at,
                                     finished: at,
+                                    attempts: spec.attempts,
                                 });
-                                thread_unfinished.fetch_sub(1, Ordering::SeqCst);
+                            } else if let Some((_, _, token)) = running.get(&id.0) {
+                                // Wake the worker early; its commit check
+                                // sees the flag and backs out.
+                                token.preempt();
                             }
+                            // Otherwise the task is in a retry backoff (the
+                            // timer checks the flag) or already racing to a
+                            // terminal state the flag can still veto.
                         }
-                        Msg::Submit {
-                            id,
-                            request,
-                            priority,
-                            ..
-                        } => {
-                            thread_state.lock().expect("state lock").profiler.task_submitted(id, now(epoch));
-                            scheduler.enqueue_with_priority(id, request, priority);
-                            waiting.insert(id.0, msg_keep(msg));
+                        Some(Msg::Submit { id, spec }) => {
+                            thread_state
+                                .lock()
+                                .expect("state lock")
+                                .profiler
+                                .task_submitted(id, now(epoch));
+                            scheduler.enqueue_with_priority(id, spec.request, spec.priority);
+                            waiting.insert(id.0, spec);
                         }
-                        Msg::WorkerDone {
+                        Some(Msg::WorkerDone {
                             id,
                             alloc,
                             started,
+                            incarnation,
                             name,
                             tag,
                             gpu_busy_fraction,
+                            attempts,
                             result,
-                        } => {
+                        }) => {
+                            running.remove(&id.0);
                             let finished = now(epoch);
                             {
                                 let mut st = thread_state.lock().expect("state lock");
@@ -182,72 +434,102 @@ impl ThreadedBackend {
                                 st.breakdown
                                     .record_task(SimDuration::ZERO, finished.since(started));
                             }
-                            scheduler.release(&alloc);
-                            let _ = completion_tx.send(Completion {
+                            // A committed task outruns its node's crash: the
+                            // result stands, but the drained pool must not
+                            // see a release.
+                            if incarnation == node_incarnation[alloc.node as usize] {
+                                scheduler.release(&alloc);
+                            }
+                            deliver(Completion {
                                 task: id,
                                 name,
                                 tag,
                                 result,
                                 started,
                                 finished,
+                                attempts,
                             });
-                            thread_unfinished.fetch_sub(1, Ordering::SeqCst);
                         }
-                    }
-                    // Place everything that fits now.
-                    for (id, alloc) in scheduler.place_ready() {
-                        let msg = waiting.remove(&id.0).expect("placed task was submitted");
-                        let (name, tag, duration, gpu_busy_fraction, work) = match msg {
-                            Msg::Submit {
+                        Some(Msg::WorkerCanceled {
+                            id,
+                            alloc,
+                            started,
+                            incarnation,
+                            name,
+                            tag,
+                            attempts,
+                        }) => {
+                            running.remove(&id.0);
+                            let at = now(epoch);
+                            thread_state
+                                .lock()
+                                .expect("state lock")
+                                .profiler
+                                .attempt_wasted(&alloc, started, at);
+                            if incarnation == node_incarnation[alloc.node as usize] {
+                                scheduler.release(&alloc);
+                            }
+                            deliver(Completion {
+                                task: id,
                                 name,
                                 tag,
-                                duration,
-                                gpu_busy_fraction,
-                                work,
-                                ..
-                            } => (name, tag, duration, gpu_busy_fraction, work),
-                            _ => unreachable!("waiting map only holds submits"),
-                        };
-                        let started = now(epoch);
-                        thread_state.lock().expect("state lock").profiler.task_started(&alloc, started);
-                        let done_tx = worker_tx.clone();
-                        std::thread::Builder::new()
-                            .name(format!("pilot-worker-{}", id.0))
-                            .spawn(move || {
-                                if time_scale > 0.0 {
-                                    std::thread::sleep(Duration::from_secs_f64(
-                                        duration.as_secs_f64() * time_scale,
-                                    ));
-                                }
-                                let result = match work {
-                                    Some(w) => match catch_unwind(AssertUnwindSafe(w)) {
-                                        Ok(out) => Ok(Some(out)),
-                                        Err(payload) => {
-                                            let msg = payload
-                                                .downcast_ref::<&str>()
-                                                .map(|s| s.to_string())
-                                                .or_else(|| {
-                                                    payload.downcast_ref::<String>().cloned()
-                                                })
-                                                .unwrap_or_else(|| {
-                                                    "<non-string panic>".to_string()
-                                                });
-                                            Err(TaskError::WorkPanicked(msg))
-                                        }
-                                    },
-                                    None => Ok(None),
-                                };
-                                let _ = done_tx.send(Msg::WorkerDone {
-                                    id,
-                                    alloc,
+                                result: Err(TaskError::Canceled),
+                                started,
+                                finished: at,
+                                attempts,
+                            });
+                        }
+                        Some(Msg::AttemptFailed {
+                            id,
+                            alloc,
+                            started,
+                            incarnation,
+                            mut spec,
+                            err,
+                        }) => {
+                            running.remove(&id.0);
+                            let at = now(epoch);
+                            thread_state
+                                .lock()
+                                .expect("state lock")
+                                .profiler
+                                .attempt_wasted(&alloc, started, at);
+                            if incarnation == node_incarnation[alloc.node as usize] {
+                                scheduler.release(&alloc);
+                            }
+                            if cancel_requested(id) {
+                                deliver(Completion {
+                                    task: id,
+                                    name: spec.name,
+                                    tag: spec.tag,
+                                    result: Err(TaskError::Canceled),
                                     started,
-                                    name,
-                                    tag,
-                                    gpu_busy_fraction,
-                                    result,
+                                    finished: at,
+                                    attempts: spec.attempts,
                                 });
-                            })
-                            .expect("spawn worker thread");
+                            } else if spec.attempts < retry.max_retries {
+                                spec.attempts += 1;
+                                thread_state
+                                    .lock()
+                                    .expect("state lock")
+                                    .profiler
+                                    .note_retry();
+                                let delay = retry.backoff(spec.attempts, &mut backoff_rng);
+                                let fire_at = Instant::now()
+                                    + Duration::from_secs_f64(delay.as_secs_f64() * time_scale);
+                                timers.push((fire_at, Timer::Retry { id, spec }));
+                            } else {
+                                deliver(Completion {
+                                    task: id,
+                                    name: spec.name,
+                                    tag: spec.tag,
+                                    result: Err(err),
+                                    started,
+                                    finished: at,
+                                    attempts: spec.attempts,
+                                });
+                            }
+                        }
                     }
                 }
             })
@@ -257,6 +539,7 @@ impl ThreadedBackend {
             tx,
             completion_rx,
             state,
+            statuses,
             unfinished,
             epoch,
             next_id: 0,
@@ -271,10 +554,139 @@ impl ThreadedBackend {
     }
 }
 
-/// Helper to move a `Submit` back into storage (identity; avoids a partial
-/// destructure in the match arm above).
-fn msg_keep(msg: Msg) -> Msg {
-    msg
+/// One placed attempt, on its own worker thread: sleep out the (scaled)
+/// duration, realize the fault plan's verdict, then — only past the commit
+/// point — run the work closure.
+#[allow(clippy::too_many_arguments)]
+fn run_attempt(
+    id: TaskId,
+    alloc: Allocation,
+    started: SimTime,
+    incarnation: u64,
+    mut spec: TaskSpec,
+    fault: AttemptFault,
+    hang_factor: f64,
+    time_scale: f64,
+    token: &SleepToken,
+    statuses: &StatusMap,
+    done_tx: &Sender<Msg>,
+) {
+    let mut run = spec.duration;
+    if fault == AttemptFault::Hang {
+        run = run.mul_f64(hang_factor);
+    }
+    let timed_out = spec.walltime.is_some_and(|limit| limit < run);
+    let span = match spec.walltime {
+        Some(limit) if timed_out => limit,
+        _ => run,
+    };
+    let preempted = if time_scale > 0.0 {
+        !token.sleep(Duration::from_secs_f64(span.as_secs_f64() * time_scale))
+    } else {
+        false
+    };
+    if preempted {
+        let canceled = statuses
+            .lock()
+            .expect("status lock")
+            .get(&id.0)
+            .is_some_and(|s| s.cancel_requested);
+        let msg = if canceled {
+            Msg::WorkerCanceled {
+                id,
+                alloc,
+                started,
+                incarnation,
+                name: spec.name,
+                tag: spec.tag,
+                attempts: spec.attempts,
+            }
+        } else {
+            let node = alloc.node;
+            Msg::AttemptFailed {
+                id,
+                alloc,
+                started,
+                incarnation,
+                spec,
+                err: TaskError::NodeCrashed { node },
+            }
+        };
+        let _ = done_tx.send(msg);
+        return;
+    }
+    if timed_out {
+        let limit = spec.walltime.expect("timed_out implies a limit");
+        let _ = done_tx.send(Msg::AttemptFailed {
+            id,
+            alloc,
+            started,
+            incarnation,
+            spec,
+            err: TaskError::TimedOut { limit },
+        });
+        return;
+    }
+    if fault == AttemptFault::Transient {
+        let _ = done_tx.send(Msg::AttemptFailed {
+            id,
+            alloc,
+            started,
+            incarnation,
+            spec,
+            err: TaskError::Injected,
+        });
+        return;
+    }
+    // Commit point: past this, the attempt WILL deliver its result, so a
+    // concurrent cancel() can no longer be acknowledged with `true`.
+    let committed = {
+        let mut st = statuses.lock().expect("status lock");
+        let s = st.entry(id.0).or_default();
+        if s.cancel_requested {
+            false
+        } else {
+            s.committed = true;
+            true
+        }
+    };
+    if !committed {
+        let _ = done_tx.send(Msg::WorkerCanceled {
+            id,
+            alloc,
+            started,
+            incarnation,
+            name: spec.name,
+            tag: spec.tag,
+            attempts: spec.attempts,
+        });
+        return;
+    }
+    let result = match spec.work.take() {
+        Some(w) => match catch_unwind(AssertUnwindSafe(w)) {
+            Ok(out) => Ok(Some(out)),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic>".to_string());
+                Err(TaskError::WorkPanicked(msg))
+            }
+        },
+        None => Ok(None),
+    };
+    let _ = done_tx.send(Msg::WorkerDone {
+        id,
+        alloc,
+        started,
+        incarnation,
+        name: spec.name,
+        tag: spec.tag,
+        gpu_busy_fraction: spec.gpu_busy_fraction,
+        attempts: spec.attempts,
+        result,
+    });
 }
 
 impl ExecutionBackend for ThreadedBackend {
@@ -287,17 +699,25 @@ impl ExecutionBackend for ThreadedBackend {
         );
         let id = TaskId(self.next_id);
         self.next_id += 1;
+        self.statuses
+            .lock()
+            .expect("status lock")
+            .insert(id.0, TaskStatus::default());
         self.unfinished.fetch_add(1, Ordering::SeqCst);
         self.tx
             .send(Msg::Submit {
                 id,
-                name: desc.name,
-                tag: desc.tag,
-                request: desc.request,
-                priority: desc.priority,
-                duration: desc.duration,
-                gpu_busy_fraction: desc.gpu_busy_fraction,
-                work: desc.work,
+                spec: TaskSpec {
+                    name: desc.name,
+                    tag: desc.tag,
+                    request: desc.request,
+                    priority: desc.priority,
+                    duration: desc.duration,
+                    gpu_busy_fraction: desc.gpu_busy_fraction,
+                    walltime: desc.walltime,
+                    attempts: 0,
+                    work: desc.work,
+                },
             })
             .expect("scheduler thread alive");
         id
@@ -336,8 +756,18 @@ impl ExecutionBackend for ThreadedBackend {
     }
 
     fn cancel(&mut self, id: TaskId) -> bool {
-        // Best effort: the scheduler thread applies the cancel if the task
-        // is still queued when the message arrives.
+        // Set the cancel-requested flag under the same lock the worker's
+        // commit point takes: once this returns `true`, no worker can
+        // commit, so an `Ok` completion is impossible.
+        {
+            let mut st = self.statuses.lock().expect("status lock");
+            match st.get_mut(&id.0) {
+                Some(s) if !s.terminal && !s.committed && !s.cancel_requested => {
+                    s.cancel_requested = true;
+                }
+                _ => return false,
+            }
+        }
         self.tx.send(Msg::Cancel { id }).is_ok()
     }
 }
@@ -354,6 +784,7 @@ impl Drop for ThreadedBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultConfig, ScriptedCrash};
     use crate::resources::{NodeSpec, ResourceRequest};
     use crate::scheduler::PlacementPolicy;
 
@@ -374,6 +805,13 @@ mod tests {
             ResourceRequest::cores(cores),
             SimDuration::from_secs(1),
         )
+    }
+
+    fn no_backoff(retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries: retries,
+            ..RetryPolicy::none()
+        }
     }
 
     #[test]
@@ -514,5 +952,156 @@ mod tests {
         let r = b.utilization();
         assert_eq!(r.tasks, 1);
         assert!(r.cpu > 0.0, "some busy time must be recorded");
+    }
+
+    #[test]
+    fn acknowledged_cancel_never_yields_an_ok_completion() {
+        // Hammer the former race: submit + immediate cancel, many rounds.
+        // Whenever cancel() acknowledges with `true`, the task's completion
+        // must NOT be Ok — the commit-point flag makes this a guarantee.
+        for round in 0..60u64 {
+            let mut b = ThreadedBackend::new(config(1, 0));
+            let id = b.submit(task("racy", 1).with_work(move || round));
+            let acknowledged = b.cancel(id);
+            let c = b.next_completion().unwrap();
+            assert_eq!(c.task, id);
+            if acknowledged {
+                assert!(
+                    matches!(c.result, Err(TaskError::Canceled)),
+                    "round {round}: acknowledged cancel produced {:?}",
+                    c.result
+                );
+            }
+            assert!(b.next_completion().is_none());
+            assert_eq!(b.in_flight(), 0);
+        }
+    }
+
+    #[test]
+    fn cancel_after_completion_is_refused() {
+        let mut b = ThreadedBackend::new(config(1, 0));
+        let id = b.submit(task("t", 1).with_work(|| 1u32));
+        let c = b.next_completion().unwrap();
+        assert!(c.result.is_ok());
+        assert!(!b.cancel(id), "terminal task cannot be cancelled");
+        assert!(!b.cancel(TaskId(999)), "unknown task cannot be cancelled");
+    }
+
+    #[test]
+    fn injected_transient_faults_exhaust_the_budget() {
+        let plan = FaultPlan::new(
+            FaultConfig {
+                task_failure_rate: 1.0,
+                ..FaultConfig::none()
+            },
+            1,
+        );
+        let mut b = ThreadedBackend::with_faults(config(2, 0), 0.0, plan, no_backoff(2));
+        b.submit(task("doomed", 1).with_work(|| 1u32));
+        let c = b.next_completion().unwrap();
+        assert_eq!(c.attempts, 2);
+        assert!(matches!(c.result, Err(TaskError::Injected)));
+        let r = b.utilization();
+        assert_eq!(r.retries, 2);
+        assert_eq!(r.tasks, 0, "no useful execution");
+        assert_eq!(b.in_flight(), 0);
+    }
+
+    #[test]
+    fn retries_recover_partial_fault_rates() {
+        let plan = FaultPlan::new(
+            FaultConfig {
+                task_failure_rate: 0.5,
+                ..FaultConfig::none()
+            },
+            11,
+        );
+        let mut b = ThreadedBackend::with_faults(config(4, 0), 0.0, plan, no_backoff(8));
+        for i in 0..12u64 {
+            b.submit(task(&format!("t{i}"), 1).with_work(move || i));
+        }
+        let mut oks = 0;
+        let mut retried = 0;
+        while let Some(c) = b.next_completion() {
+            assert!(c.attempts <= 8);
+            if c.attempts > 0 {
+                retried += 1;
+            }
+            if c.result.is_ok() {
+                oks += 1;
+            }
+        }
+        assert_eq!(oks, 12);
+        assert!(retried > 0);
+    }
+
+    #[test]
+    fn walltime_expiry_times_out_without_running_work() {
+        let mut b = ThreadedBackend::new(config(2, 0));
+        b.submit(
+            TaskDescription::new(
+                "straggler",
+                ResourceRequest::cores(1),
+                SimDuration::from_secs(100),
+            )
+            .with_walltime(SimDuration::from_secs(50))
+            .with_work(|| panic!("work must not run on a timed-out attempt")),
+        );
+        let c = b.next_completion().unwrap();
+        assert_eq!(
+            c.result.unwrap_err(),
+            TaskError::TimedOut {
+                limit: SimDuration::from_secs(50)
+            }
+        );
+    }
+
+    #[test]
+    fn scripted_node_crash_requeues_and_completes() {
+        // 2 nodes × 4 cores at 1% time scale. Node 0 crashes 30 (virtual)
+        // seconds in — mid-sleep of its resident task — and recovers after
+        // 40 s; the evicted task retries and the whole workload completes.
+        let plan = FaultPlan::new(
+            FaultConfig {
+                scripted_crashes: vec![ScriptedCrash {
+                    node: 0,
+                    at: SimTime::from_micros(30_000_000),
+                    outage: SimDuration::from_secs(40),
+                }],
+                ..FaultConfig::none()
+            },
+            0,
+        );
+        let cfg = PilotConfig {
+            nodes: 2,
+            bootstrap: SimDuration::from_secs(1),
+            ..config(4, 0)
+        };
+        let mut b = ThreadedBackend::with_faults(cfg, 0.01, plan, no_backoff(3));
+        for i in 0..2u64 {
+            b.submit(
+                TaskDescription::new(
+                    format!("t{i}"),
+                    ResourceRequest::cores(4),
+                    SimDuration::from_secs(100),
+                )
+                .with_work(move || i),
+            );
+        }
+        let mut completions = Vec::new();
+        while let Some(c) = b.next_completion() {
+            completions.push(c);
+        }
+        assert_eq!(completions.len(), 2);
+        assert!(
+            completions.iter().all(|c| c.result.is_ok()),
+            "requeued task must finish: {completions:?}"
+        );
+        let evicted = completions.iter().filter(|c| c.attempts > 0).count();
+        assert_eq!(evicted, 1, "exactly the node-0 resident was evicted");
+        let r = b.utilization();
+        assert_eq!(r.retries, 1);
+        assert!(r.wasted_core_seconds > 0.0);
+        assert_eq!(b.in_flight(), 0);
     }
 }

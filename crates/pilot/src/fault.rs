@@ -1,0 +1,417 @@
+//! Deterministic fault injection and retry policy.
+//!
+//! Long campaigns on real clusters face three failure classes the paper's
+//! Amarel runs had to survive: transient task failures (OOM kills, flaky
+//! filesystems), task hangs (stragglers), and node crash/recover cycles
+//! (drains, hardware faults). This module models all three behind a
+//! [`FaultPlan`] that both backends consult, plus a [`RetryPolicy`] the
+//! pilot applies transparently before surfacing a failure to the workflow
+//! layer.
+//!
+//! Determinism: every decision is drawn from a labelled [`SimRng`] fork
+//! keyed on stable identities — `(task id, attempt)` for per-attempt faults,
+//! node index for crash schedules — never on the order in which the backend
+//! happens to ask. Forking is position-independent, so the same plan with
+//! the same seed produces the same fault sequence on both backends and
+//! across runs. A [`FaultPlan::none`] plan draws no randomness at all and is
+//! a strict no-op: backends constructed with it behave byte-identically to
+//! backends without fault support.
+
+use impress_sim::{SimDuration, SimRng, SimTime};
+
+/// The fault class an attempt draws from the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptFault {
+    /// No injected fault: the attempt runs normally.
+    None,
+    /// Transient failure: the attempt occupies its slots for the full
+    /// declared duration and then fails (OOM kill at the end of a long
+    /// computation — the expensive kind).
+    Transient,
+    /// Hang: the attempt runs [`FaultConfig::hang_factor`] × its declared
+    /// duration. With a walltime limit set, this surfaces as
+    /// [`crate::backend::TaskError::TimedOut`]; without one it is a
+    /// straggler that still terminates.
+    Hang,
+}
+
+/// A scripted node outage, for tests and reproducible scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScriptedCrash {
+    /// Which node crashes.
+    pub node: u32,
+    /// When it crashes (virtual time).
+    pub at: SimTime,
+    /// How long it stays down before recovering.
+    pub outage: SimDuration,
+}
+
+/// Configuration of the injected fault environment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Per-attempt probability of a transient failure.
+    pub task_failure_rate: f64,
+    /// Per-attempt probability of a hang.
+    pub task_hang_rate: f64,
+    /// Duration multiplier applied to hung attempts.
+    pub hang_factor: f64,
+    /// Mean time between node failures (exponential inter-crash gaps).
+    /// `None` disables stochastic node crashes.
+    pub node_mtbf: Option<SimDuration>,
+    /// Downtime of a crashed node before it recovers.
+    pub node_outage: SimDuration,
+    /// Upper bound on stochastic crashes sampled per node (keeps the crash
+    /// schedule finite and rules out requeue livelock).
+    pub max_crashes_per_node: u32,
+    /// Explicit outages injected in addition to the stochastic schedule.
+    pub scripted_crashes: Vec<ScriptedCrash>,
+}
+
+impl FaultConfig {
+    /// The fault-free environment (the default for both backends).
+    pub fn none() -> Self {
+        FaultConfig {
+            task_failure_rate: 0.0,
+            task_hang_rate: 0.0,
+            hang_factor: 8.0,
+            node_mtbf: None,
+            node_outage: SimDuration::from_mins(10),
+            max_crashes_per_node: 8,
+            scripted_crashes: Vec::new(),
+        }
+    }
+
+    /// Whether this configuration injects nothing.
+    pub fn is_none(&self) -> bool {
+        self.task_failure_rate <= 0.0
+            && self.task_hang_rate <= 0.0
+            && self.node_mtbf.is_none()
+            && self.scripted_crashes.is_empty()
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// A deterministic, seeded realization of a [`FaultConfig`].
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    rng: SimRng,
+}
+
+impl FaultPlan {
+    /// Realize `config` under `seed`.
+    pub fn new(config: FaultConfig, seed: u64) -> Self {
+        FaultPlan {
+            config,
+            rng: SimRng::from_seed(seed).fork("fault-plan"),
+        }
+    }
+
+    /// The fault-free plan: injects nothing, draws no randomness.
+    pub fn none() -> Self {
+        Self::new(FaultConfig::none(), 0)
+    }
+
+    /// Whether this plan injects nothing.
+    pub fn is_none(&self) -> bool {
+        self.config.is_none()
+    }
+
+    /// The configuration this plan realizes.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// The fault drawn by attempt `attempt` (0-based) of task `task`.
+    /// Deterministic in `(task, attempt)`; independent of call order.
+    pub fn attempt_fault(&self, task: u64, attempt: u32) -> AttemptFault {
+        let c = &self.config;
+        if c.task_failure_rate <= 0.0 && c.task_hang_rate <= 0.0 {
+            return AttemptFault::None;
+        }
+        let mut rng = self
+            .rng
+            .fork_idx("attempt", task.wrapping_mul(0x1_0000).wrapping_add(attempt as u64));
+        let u = rng.uniform();
+        if u < c.task_failure_rate {
+            AttemptFault::Transient
+        } else if u < c.task_failure_rate + c.task_hang_rate {
+            AttemptFault::Hang
+        } else {
+            AttemptFault::None
+        }
+    }
+
+    /// The `(crash, recover)` windows for `node`, sorted and merged so they
+    /// never overlap: scripted outages plus up to
+    /// [`FaultConfig::max_crashes_per_node`] stochastic ones with
+    /// exponential inter-crash gaps of mean [`FaultConfig::node_mtbf`].
+    pub fn crash_windows(&self, node: u32) -> Vec<(SimTime, SimTime)> {
+        let mut windows: Vec<(SimTime, SimTime)> = self
+            .config
+            .scripted_crashes
+            .iter()
+            .filter(|s| s.node == node)
+            .map(|s| (s.at, s.at + s.outage))
+            .collect();
+        if let Some(mtbf) = self.config.node_mtbf {
+            let mut rng = self.rng.fork_idx("node-crash", node as u64);
+            let mut t = SimTime::ZERO;
+            for _ in 0..self.config.max_crashes_per_node {
+                // Inverse-CDF exponential draw; uniform() < 1 keeps ln finite.
+                let gap = mtbf.mul_f64(-(1.0 - rng.uniform()).ln());
+                t = t + gap;
+                let end = t + self.config.node_outage;
+                windows.push((t, end));
+                t = end;
+            }
+        }
+        windows.sort();
+        let mut merged: Vec<(SimTime, SimTime)> = Vec::with_capacity(windows.len());
+        for (start, end) in windows {
+            match merged.last_mut() {
+                Some((_, prev_end)) if start <= *prev_end => {
+                    *prev_end = (*prev_end).max(end);
+                }
+                _ => merged.push((start, end)),
+            }
+        }
+        merged
+    }
+}
+
+/// How the pilot resubmits attempts that fail before their work ran:
+/// injected transient faults, walltime expiries, and node-crash preemptions.
+/// (A work closure that panicked is never retried — the closure is consumed
+/// by running it, and a deterministic panic would recur anyway.)
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Resubmission budget per task: total attempts = `1 + max_retries`.
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub backoff_base: SimDuration,
+    /// Exponential growth factor per additional retry.
+    pub backoff_multiplier: f64,
+    /// Backoff ceiling (`ZERO` = uncapped).
+    pub backoff_cap: SimDuration,
+    /// Multiplicative jitter half-width as a fraction of the delay
+    /// (`0.25` → delay scaled by a uniform factor in `[0.875, 1.125]`).
+    pub jitter: f64,
+}
+
+impl RetryPolicy {
+    /// No retries: every failed attempt surfaces immediately.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            backoff_base: SimDuration::ZERO,
+            backoff_multiplier: 2.0,
+            backoff_cap: SimDuration::ZERO,
+            jitter: 0.0,
+        }
+    }
+
+    /// A sensible default budget: `n` retries, 30 s base backoff doubling
+    /// to a 30 min cap, ±12.5 % jitter.
+    pub fn retries(n: u32) -> Self {
+        RetryPolicy {
+            max_retries: n,
+            backoff_base: SimDuration::from_secs(30),
+            backoff_multiplier: 2.0,
+            backoff_cap: SimDuration::from_mins(30),
+            jitter: 0.25,
+        }
+    }
+
+    /// The delay before resubmitting attempt `attempt` (1-based: the first
+    /// retry is attempt 1). Draws jitter from `rng` only when both the base
+    /// delay and the jitter are non-zero.
+    pub fn backoff(&self, attempt: u32, rng: &mut SimRng) -> SimDuration {
+        if self.backoff_base == SimDuration::ZERO {
+            return SimDuration::ZERO;
+        }
+        let exp = self
+            .backoff_multiplier
+            .powi(attempt.saturating_sub(1).min(63) as i32);
+        let mut delay = self.backoff_base.mul_f64(exp);
+        if self.backoff_cap > SimDuration::ZERO && delay > self.backoff_cap {
+            delay = self.backoff_cap;
+        }
+        if self.jitter > 0.0 {
+            delay = delay.mul_f64(1.0 + self.jitter * (rng.uniform() - 0.5));
+        }
+        delay
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_is_inert() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_none());
+        for t in 0..100u64 {
+            assert_eq!(plan.attempt_fault(t, 0), AttemptFault::None);
+        }
+        assert!(plan.crash_windows(0).is_empty());
+    }
+
+    #[test]
+    fn attempt_faults_are_deterministic_and_attempt_sensitive() {
+        let cfg = FaultConfig {
+            task_failure_rate: 0.3,
+            task_hang_rate: 0.2,
+            ..FaultConfig::none()
+        };
+        let a = FaultPlan::new(cfg.clone(), 42);
+        let b = FaultPlan::new(cfg, 42);
+        let mut differs_by_attempt = false;
+        for t in 0..200u64 {
+            assert_eq!(a.attempt_fault(t, 0), b.attempt_fault(t, 0));
+            assert_eq!(a.attempt_fault(t, 1), b.attempt_fault(t, 1));
+            if a.attempt_fault(t, 0) != a.attempt_fault(t, 1) {
+                differs_by_attempt = true;
+            }
+        }
+        assert!(differs_by_attempt, "retries must draw fresh faults");
+    }
+
+    #[test]
+    fn fault_rates_are_roughly_honored() {
+        let plan = FaultPlan::new(
+            FaultConfig {
+                task_failure_rate: 0.25,
+                ..FaultConfig::none()
+            },
+            7,
+        );
+        let fails = (0..2000u64)
+            .filter(|&t| plan.attempt_fault(t, 0) == AttemptFault::Transient)
+            .count();
+        assert!((400..600).contains(&fails), "~25% expected, got {fails}/2000");
+    }
+
+    #[test]
+    fn crash_windows_are_sorted_disjoint_and_bounded() {
+        let plan = FaultPlan::new(
+            FaultConfig {
+                node_mtbf: Some(SimDuration::from_hours(4)),
+                node_outage: SimDuration::from_mins(15),
+                max_crashes_per_node: 5,
+                ..FaultConfig::none()
+            },
+            3,
+        );
+        let w = plan.crash_windows(0);
+        assert!(!w.is_empty() && w.len() <= 5);
+        for pair in w.windows(2) {
+            assert!(pair[0].1 < pair[1].0, "windows must not overlap");
+        }
+        assert_ne!(plan.crash_windows(0), plan.crash_windows(1), "per-node schedules");
+        assert_eq!(w, plan.crash_windows(0), "deterministic");
+    }
+
+    #[test]
+    fn scripted_crashes_merge_with_stochastic_ones() {
+        let plan = FaultPlan::new(
+            FaultConfig {
+                scripted_crashes: vec![
+                    ScriptedCrash {
+                        node: 0,
+                        at: SimTime::from_micros(5_000_000),
+                        outage: SimDuration::from_secs(10),
+                    },
+                    ScriptedCrash {
+                        node: 0,
+                        at: SimTime::from_micros(20_000_000),
+                        outage: SimDuration::from_secs(10),
+                    },
+                    ScriptedCrash {
+                        node: 1,
+                        at: SimTime::from_micros(1_000_000),
+                        outage: SimDuration::from_secs(1),
+                    },
+                ],
+                ..FaultConfig::none()
+            },
+            0,
+        );
+        assert_eq!(plan.crash_windows(0).len(), 2);
+        assert_eq!(plan.crash_windows(1).len(), 1);
+        assert!(plan.crash_windows(2).is_empty());
+    }
+
+    #[test]
+    fn overlapping_windows_are_merged() {
+        let plan = FaultPlan::new(
+            FaultConfig {
+                scripted_crashes: vec![
+                    ScriptedCrash {
+                        node: 0,
+                        at: SimTime::from_micros(1_000_000),
+                        outage: SimDuration::from_secs(10),
+                    },
+                    ScriptedCrash {
+                        node: 0,
+                        at: SimTime::from_micros(5_000_000),
+                        outage: SimDuration::from_secs(10),
+                    },
+                ],
+                ..FaultConfig::none()
+            },
+            0,
+        );
+        let w = plan.crash_windows(0);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].0, SimTime::from_micros(1_000_000));
+        assert_eq!(w[0].1, SimTime::from_micros(15_000_000));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_to_the_cap() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::retries(10)
+        };
+        let mut rng = SimRng::from_seed(0);
+        let d1 = p.backoff(1, &mut rng);
+        let d2 = p.backoff(2, &mut rng);
+        let d3 = p.backoff(3, &mut rng);
+        assert_eq!(d1, SimDuration::from_secs(30));
+        assert_eq!(d2, SimDuration::from_secs(60));
+        assert_eq!(d3, SimDuration::from_secs(120));
+        assert_eq!(p.backoff(40, &mut rng), SimDuration::from_mins(30), "capped");
+    }
+
+    #[test]
+    fn none_policy_never_delays_or_draws() {
+        let p = RetryPolicy::none();
+        let mut rng = SimRng::from_seed(1);
+        let before = rng.clone().next_u64();
+        assert_eq!(p.backoff(1, &mut rng), SimDuration::ZERO);
+        assert_eq!(rng.next_u64(), before, "no randomness consumed");
+    }
+
+    #[test]
+    fn jitter_stays_within_the_advertised_band() {
+        let p = RetryPolicy::retries(3);
+        let mut rng = SimRng::from_seed(9);
+        for _ in 0..100 {
+            let d = p.backoff(1, &mut rng).as_secs_f64();
+            assert!((30.0 * 0.875..=30.0 * 1.125).contains(&d), "{d}");
+        }
+    }
+}

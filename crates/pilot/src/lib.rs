@@ -21,6 +21,9 @@
 //!   time on the `impress-sim` engine (used for every paper figure), and
 //!   [`backend::ThreadedBackend`] executes task closures on real threads
 //!   with the same slot semantics.
+//! * [`fault`] — deterministic fault injection ([`FaultPlan`]: transient
+//!   task failures, hangs, node crash/recover schedules) and the
+//!   [`RetryPolicy`] with which the pilot resubmits faulted attempts.
 //! * [`pilot`] — pilot lifecycle phases (Bootstrap → Exec setup → Running,
 //!   the Fig. 5 breakdown) and their timing configuration.
 //! * [`profiler`] — per-device utilization accounting, distinguishing *slot
@@ -33,6 +36,7 @@
 #![deny(unsafe_code)]
 
 pub mod backend;
+pub mod fault;
 pub mod pilot;
 pub mod profiler;
 pub mod resources;
@@ -44,6 +48,7 @@ pub mod task;
 pub mod timeline;
 
 pub use backend::{Completion, ExecutionBackend, TaskError};
+pub use fault::{AttemptFault, FaultConfig, FaultPlan, RetryPolicy, ScriptedCrash};
 pub use pilot::{PhaseBreakdown, PilotConfig, PilotPhase};
 pub use profiler::{Profiler, UtilizationReport};
 pub use resources::{Allocation, ClusterSpec, NodeSpec, ResourceRequest};

@@ -79,13 +79,26 @@ pub struct UtilizationReport {
     pub makespan: SimDuration,
     /// Number of tasks completed.
     pub tasks: usize,
+    /// Attempts the pilot resubmitted after a retryable fault.
+    pub retries: usize,
+    /// Core-seconds burnt by attempts that did not complete (faulted,
+    /// timed out, or were evicted by a node crash). The occupancy means
+    /// above include these seconds — the slots really were held — so this
+    /// field is what separates useful from lost work. Always 0 in
+    /// fault-free runs.
+    pub wasted_core_seconds: f64,
+    /// GPU-slot-seconds burnt by attempts that did not complete.
+    pub wasted_gpu_seconds: f64,
 }
 json_struct!(UtilizationReport {
     cpu,
     gpu_slot,
     gpu_hardware,
     makespan,
-    tasks
+    tasks,
+    retries,
+    wasted_core_seconds,
+    wasted_gpu_seconds
 });
 
 /// The profiler: device trackers plus per-task records. Multi-node pilots
@@ -99,6 +112,9 @@ pub struct Profiler {
     gpus_per_node: u32,
     submitted: HashMap<u64, SimTime>,
     records: Vec<TaskRecord>,
+    retries: usize,
+    wasted_core_seconds: f64,
+    wasted_gpu_seconds: f64,
 }
 
 impl Profiler {
@@ -117,6 +133,9 @@ impl Profiler {
             gpus_per_node: gpus,
             submitted: HashMap::new(),
             records: Vec::new(),
+            retries: 0,
+            wasted_core_seconds: 0.0,
+            wasted_gpu_seconds: 0.0,
         }
     }
 
@@ -186,6 +205,28 @@ impl Profiler {
         });
     }
 
+    /// Note that an attempt ended *without* completing its task: close its
+    /// slot-occupancy intervals and book the span as wasted work. No
+    /// [`TaskRecord`] is created (records are useful executions) and no
+    /// hardware-busy GPU time is booked — a killed attempt never reached
+    /// its inference kernels.
+    pub fn attempt_wasted(&mut self, alloc: &Allocation, started: SimTime, at: SimTime) {
+        for &c in &alloc.core_ids {
+            self.cpu.end(self.core_index(alloc.node, c), at);
+        }
+        for &g in &alloc.gpu_ids {
+            self.gpu_slot.end(self.gpu_index(alloc.node, g), at);
+        }
+        let span = at.since(started).as_secs_f64();
+        self.wasted_core_seconds += span * alloc.core_ids.len() as f64;
+        self.wasted_gpu_seconds += span * alloc.gpu_ids.len() as f64;
+    }
+
+    /// Note a transparent resubmission.
+    pub fn note_retry(&mut self) {
+        self.retries += 1;
+    }
+
     /// All completed-task records, in completion order.
     pub fn records(&self) -> &[TaskRecord] {
         &self.records
@@ -199,6 +240,9 @@ impl Profiler {
             gpu_hardware: self.gpu_hw.mean_utilization(SimTime::ZERO, end),
             makespan: end.since(SimTime::ZERO),
             tasks: self.records.len(),
+            retries: self.retries,
+            wasted_core_seconds: self.wasted_core_seconds,
+            wasted_gpu_seconds: self.wasted_gpu_seconds,
         }
     }
 
@@ -297,6 +341,38 @@ mod tests {
         assert_eq!(series.len(), 2);
         assert!((series[0] - 1.0).abs() < 1e-9);
         assert!(series[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn wasted_attempts_book_lost_seconds_without_records() {
+        let mut p = Profiler::new(4, 2);
+        let a = alloc(&[0, 1], &[0]);
+        p.task_submitted(TaskId(1), t(0));
+        p.task_started(&a, t(0));
+        p.attempt_wasted(&a, t(0), t(10));
+        p.note_retry();
+        // The retry occupies the same slots again and succeeds.
+        p.task_started(&a, t(10));
+        p.task_finished(TaskId(1), "x", "", &a, t(10), t(20), 1.0);
+        let r = p.report(t(20));
+        assert_eq!(r.retries, 1);
+        assert!((r.wasted_core_seconds - 20.0).abs() < 1e-9, "2 cores × 10 s");
+        assert!((r.wasted_gpu_seconds - 10.0).abs() < 1e-9, "1 GPU × 10 s");
+        assert_eq!(r.tasks, 1, "wasted attempts create no task records");
+        // Occupancy still reflects the held slots: 2/4 cores for the whole run.
+        assert!((r.cpu - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_free_reports_have_zero_waste() {
+        let mut p = Profiler::new(1, 0);
+        let a = alloc(&[0], &[]);
+        p.task_started(&a, t(0));
+        p.task_finished(TaskId(1), "a", "", &a, t(0), t(4), 1.0);
+        let r = p.report(t(4));
+        assert_eq!(r.retries, 0);
+        assert_eq!(r.wasted_core_seconds, 0.0);
+        assert_eq!(r.wasted_gpu_seconds, 0.0);
     }
 
     #[test]

@@ -39,6 +39,8 @@ json_enum!(PlacementPolicy { Fifo, Backfill });
 #[derive(Debug)]
 pub struct Scheduler {
     pools: Vec<SlotPool>,
+    /// `down[i]` — node `i` is drained (crashed) and takes no placements.
+    down: Vec<bool>,
     queue: VecDeque<(TaskId, ResourceRequest, i32)>,
     policy: PlacementPolicy,
     cluster: ClusterSpec,
@@ -57,6 +59,7 @@ impl Scheduler {
             pools: (0..cluster.count)
                 .map(|_| SlotPool::new(&cluster.node))
                 .collect(),
+            down: vec![false; cluster.count as usize],
             queue: VecDeque::new(),
             policy,
             cluster,
@@ -73,15 +76,41 @@ impl Scheduler {
         &self.cluster
     }
 
-    /// First-fit placement across the cluster's nodes.
+    /// First-fit placement across the cluster's *up* nodes.
     fn try_alloc(&mut self, req: &ResourceRequest) -> Option<Allocation> {
         for (idx, pool) in self.pools.iter_mut().enumerate() {
+            if self.down[idx] {
+                continue;
+            }
             if let Some(mut alloc) = pool.try_alloc(req) {
                 alloc.node = idx as u32;
                 return Some(alloc);
             }
         }
         None
+    }
+
+    /// Drain a crashed node: its pool is rebuilt empty-of-grants and it takes
+    /// no placements until [`Scheduler::recover_node`]. The caller is
+    /// responsible for requeueing tasks that were resident on it (their
+    /// allocations are implicitly forfeited — do *not* release them).
+    pub fn drain_node(&mut self, node: u32) {
+        let idx = node as usize;
+        assert!(!self.down[idx], "node {node} drained twice");
+        self.down[idx] = true;
+        self.pools[idx] = SlotPool::new(&self.cluster.node);
+    }
+
+    /// Re-admit a recovered node to placement with all slots free.
+    pub fn recover_node(&mut self, node: u32) {
+        let idx = node as usize;
+        assert!(self.down[idx], "node {node} recovered while up");
+        self.down[idx] = false;
+    }
+
+    /// Whether `node` is currently accepting placements.
+    pub fn node_is_up(&self, node: u32) -> bool {
+        !self.down[node as usize]
     }
 
     /// The active placement policy.
@@ -149,8 +178,15 @@ impl Scheduler {
     }
 
     /// Return an allocation's slots to its node's pool. The caller should
-    /// follow with [`Scheduler::place_ready`].
+    /// follow with [`Scheduler::place_ready`]. Panics if the node is
+    /// drained: allocations on a crashed node are forfeited, and releasing
+    /// one is a backend bookkeeping bug.
     pub fn release(&mut self, alloc: &Allocation) {
+        assert!(
+            !self.down[alloc.node as usize],
+            "release of an allocation on drained node {}",
+            alloc.node
+        );
         self.pools[alloc.node as usize].release(alloc);
     }
 
@@ -169,14 +205,24 @@ impl Scheduler {
         self.queue.len()
     }
 
-    /// Free cores right now, across all nodes.
+    /// Free cores right now, across all *up* nodes.
     pub fn cores_free(&self) -> u32 {
-        self.pools.iter().map(|p| p.cores_free()).sum()
+        self.pools
+            .iter()
+            .zip(&self.down)
+            .filter(|(_, d)| !**d)
+            .map(|(p, _)| p.cores_free())
+            .sum()
     }
 
-    /// Free GPUs right now, across all nodes.
+    /// Free GPUs right now, across all *up* nodes.
     pub fn gpus_free(&self) -> u32 {
-        self.pools.iter().map(|p| p.gpus_free()).sum()
+        self.pools
+            .iter()
+            .zip(&self.down)
+            .filter(|(_, d)| !**d)
+            .map(|(p, _)| p.gpus_free())
+            .sum()
     }
 }
 
@@ -342,6 +388,56 @@ mod tests {
         assert_eq!(s.cores_free(), 4);
         let placed2 = s.place_ready();
         assert_eq!(placed2[0].1.node, 1);
+    }
+
+    #[test]
+    fn drained_nodes_take_no_placements_until_recovered() {
+        let cluster = ClusterSpec::homogeneous(NodeSpec::new(4, 0, 1), 2);
+        let mut s = Scheduler::new_cluster(cluster, PlacementPolicy::Backfill);
+        s.drain_node(0);
+        assert!(!s.node_is_up(0));
+        assert_eq!(s.cores_free(), 4, "down node's slots are not capacity");
+        s.enqueue(TaskId(0), req(4, 0));
+        s.enqueue(TaskId(1), req(4, 0));
+        let placed = s.place_ready();
+        assert_eq!(ids(&placed), vec![0], "only node 1 can place");
+        assert_eq!(placed[0].1.node, 1);
+        s.recover_node(0);
+        let placed2 = s.place_ready();
+        assert_eq!(ids(&placed2), vec![1]);
+        assert_eq!(placed2[0].1.node, 0, "recovered node is first-fit again");
+    }
+
+    #[test]
+    fn drain_forfeits_resident_allocations() {
+        let cluster = ClusterSpec::homogeneous(NodeSpec::new(4, 1, 1), 2);
+        let mut s = Scheduler::new_cluster(cluster, PlacementPolicy::Backfill);
+        s.enqueue(TaskId(0), req(4, 1));
+        let placed = s.place_ready();
+        assert_eq!(placed[0].1.node, 0);
+        s.drain_node(0);
+        s.recover_node(0);
+        // The pool was rebuilt: all slots free again, no double-release trap.
+        assert_eq!(s.cores_free(), 8);
+        assert_eq!(s.gpus_free(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "release of an allocation on drained node")]
+    fn releasing_onto_a_drained_node_panics() {
+        let mut s = Scheduler::new(NodeSpec::new(4, 0, 1), PlacementPolicy::Backfill);
+        s.enqueue(TaskId(0), req(2, 0));
+        let placed = s.place_ready();
+        s.drain_node(0);
+        s.release(&placed[0].1);
+    }
+
+    #[test]
+    #[should_panic(expected = "drained twice")]
+    fn double_drain_panics() {
+        let mut s = Scheduler::new(NodeSpec::new(4, 0, 1), PlacementPolicy::Backfill);
+        s.drain_node(0);
+        s.drain_node(0);
     }
 
     #[test]

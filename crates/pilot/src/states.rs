@@ -62,6 +62,9 @@ impl TaskState {
                 | (Executing, Done)
                 | (Executing, Failed)
                 | (Executing, Canceled)
+                // Requeue: a node crash or injected fault evicts a resident
+                // task back to the scheduler queue for another attempt.
+                | (Executing, Scheduling)
         )
     }
 
@@ -182,6 +185,26 @@ mod tests {
         for t in [New, Scheduling, ExecSetup] {
             assert!(!t.can_transition_to(Failed));
         }
+    }
+
+    #[test]
+    fn requeue_loops_through_scheduling() {
+        use TaskState::*;
+        // A crashed-node eviction sends Executing back to Scheduling, and the
+        // requeued task can run the normal path again — possibly several times.
+        let mut cell = StateCell::new();
+        cell.advance(Scheduling);
+        for _ in 0..3 {
+            cell.advance(ExecSetup);
+            cell.advance(Executing);
+            cell.advance(Scheduling);
+        }
+        cell.advance(ExecSetup);
+        cell.advance(Executing);
+        cell.advance(Done);
+        // Requeue is only legal from Executing: ExecSetup has not occupied a
+        // node yet, so it has nothing to requeue.
+        assert!(!ExecSetup.can_transition_to(Scheduling));
     }
 
     #[test]

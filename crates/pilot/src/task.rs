@@ -92,6 +92,10 @@ pub struct TaskDescription {
     pub priority: i32,
     /// Executable kind; adds [`TaskKind::launch_overhead`] to exec setup.
     pub kind: TaskKind,
+    /// Walltime limit: an attempt still running this long after its slots
+    /// were granted is killed with [`crate::backend::TaskError::TimedOut`]
+    /// (and retried if the pilot's retry budget allows). `None` = unlimited.
+    pub walltime: Option<SimDuration>,
     /// The computation to run, if any. `None` models a pure time cost.
     pub work: Option<TaskWork>,
 }
@@ -121,6 +125,7 @@ impl TaskDescription {
             gpu_busy_fraction: 1.0,
             priority: 0,
             kind: TaskKind::Serial,
+            walltime: None,
             work: None,
         }
     }
@@ -156,6 +161,12 @@ impl TaskDescription {
     /// Set the executable kind (default [`TaskKind::Serial`]).
     pub fn with_kind(mut self, kind: TaskKind) -> Self {
         self.kind = kind;
+        self
+    }
+
+    /// Set a walltime limit (default: unlimited).
+    pub fn with_walltime(mut self, limit: SimDuration) -> Self {
+        self.walltime = Some(limit);
         self
     }
 }
@@ -200,6 +211,14 @@ mod tests {
         let d = TaskDescription::new("t", ResourceRequest::cores(1), SimDuration::from_secs(1))
             .with_kind(TaskKind::Ml);
         assert_eq!(d.kind, TaskKind::Ml);
+    }
+
+    #[test]
+    fn walltime_defaults_to_unlimited() {
+        let d = TaskDescription::new("t", ResourceRequest::cores(1), SimDuration::from_secs(1));
+        assert!(d.walltime.is_none());
+        let d = d.with_walltime(SimDuration::from_mins(5));
+        assert_eq!(d.walltime, Some(SimDuration::from_mins(5)));
     }
 
     #[test]

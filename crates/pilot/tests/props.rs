@@ -4,10 +4,10 @@
 
 use impress_pilot::backend::SimulatedBackend;
 use impress_pilot::{
-    ExecutionBackend, NodeSpec, PilotConfig, PlacementPolicy, ResourceRequest, Scheduler,
-    TaskDescription, TaskId,
+    ExecutionBackend, FaultConfig, FaultPlan, NodeSpec, PilotConfig, PlacementPolicy,
+    ResourceRequest, RetryPolicy, Scheduler, ScriptedCrash, TaskDescription, TaskId,
 };
-use impress_sim::{props, SimDuration, SimRng};
+use impress_sim::{props, SimDuration, SimRng, SimTime};
 
 #[derive(Debug, Clone)]
 struct TaskSpec {
@@ -134,5 +134,140 @@ props! {
             makespan + 1e-6 >= core_work as f64 / cores as f64,
             "makespan {makespan} beats total-work bound"
         );
+    }
+
+    /// Under arbitrary injected faults (transient failures, hangs, node
+    /// crashes, walltime limits) and an arbitrary retry budget, every
+    /// submission still reaches exactly one terminal completion, no attempt
+    /// count ever exceeds the budget, and the backend drains clean.
+    fn faulted_backend_always_terminates_within_budget(rng, cases = 48) {
+        let tasks = arb_tasks(rng, 6, 2);
+        let budget = rng.below(4) as u32;
+        let faults = FaultConfig {
+            task_failure_rate: rng.uniform() * 0.6,
+            task_hang_rate: rng.uniform() * 0.3,
+            node_mtbf: if rng.chance(0.5) {
+                Some(SimDuration::from_secs(300 + rng.below(1500) as u64))
+            } else {
+                None
+            },
+            node_outage: SimDuration::from_secs(30 + rng.below(300) as u64),
+            ..FaultConfig::none()
+        };
+        let seed = rng.next_u64();
+        let config = PilotConfig {
+            node: NodeSpec::new(6, 2, 64),
+            nodes: 2,
+            bootstrap: SimDuration::from_secs(5),
+            exec_setup_per_task: SimDuration::from_secs(1),
+            seed,
+            ..PilotConfig::default()
+        };
+        let plan = FaultPlan::new(faults, seed);
+        let mut backend =
+            SimulatedBackend::with_faults(config, plan, RetryPolicy::retries(budget));
+        let n = tasks.len();
+        for (i, t) in tasks.iter().enumerate() {
+            let mut desc = TaskDescription::new(
+                format!("t{i}"),
+                ResourceRequest::with_gpus(t.cores, t.gpus),
+                SimDuration::from_secs(t.secs),
+            );
+            // A third of the tasks get a walltime tight enough that a hang
+            // (×hang_factor dilation) blows it, exercising the timeout path.
+            if i % 3 == 0 {
+                desc = desc.with_walltime(SimDuration::from_secs(t.secs * 2 + 10));
+            }
+            backend.submit(desc);
+        }
+        let mut seen = std::collections::HashSet::new();
+        while let Some(c) = backend.next_completion() {
+            assert!(seen.insert(c.task), "duplicate completion for {}", c.task);
+            assert!(
+                c.attempts <= budget,
+                "task {} used {} retries, budget {budget}",
+                c.task,
+                c.attempts
+            );
+            assert!(c.finished >= c.started);
+        }
+        assert_eq!(seen.len(), n, "every submission must terminate");
+        assert_eq!(backend.in_flight(), 0);
+        let report = backend.utilization();
+        assert!(report.cpu <= 1.0 + 1e-9, "cpu occupancy {} > 1", report.cpu);
+        assert!(report.gpu_slot <= 1.0 + 1e-9);
+        assert!(report.retries <= n * budget as usize);
+        assert!(report.wasted_core_seconds >= 0.0);
+        assert!(report.wasted_gpu_seconds >= 0.0);
+    }
+
+    /// Requeued tasks never double-occupy slots: across arbitrary scripted
+    /// node crashes the scheduler's pool stays conserved (its internal
+    /// asserts fire on any double grant), utilization — which counts wasted
+    /// attempts as busy time — never exceeds 1.0, and crash windows are
+    /// well-formed (ordered, disjoint, positive-length).
+    fn crash_requeue_preserves_slot_conservation(rng, cases = 48) {
+        let tasks = arb_tasks(rng, 4, 1);
+        let nodes = 2 + rng.below(2) as u32;
+        let seed = rng.next_u64();
+        // 1–3 scripted crashes per run, anywhere in the first simulated hour.
+        let scripted = (0..1 + rng.below(3))
+            .map(|_| ScriptedCrash {
+                node: rng.below(nodes as usize) as u32,
+                at: SimTime::ZERO + SimDuration::from_secs(10 + rng.below(3600) as u64),
+                outage: SimDuration::from_secs(20 + rng.below(600) as u64),
+            })
+            .collect();
+        let faults = FaultConfig {
+            scripted_crashes: scripted,
+            ..FaultConfig::none()
+        };
+        let plan = FaultPlan::new(faults.clone(), seed);
+        for node in 0..nodes {
+            let windows = plan.crash_windows(node);
+            let mut last_end = SimTime::ZERO;
+            for (start, end) in &windows {
+                assert!(start < end, "empty crash window");
+                assert!(
+                    *start >= last_end,
+                    "crash windows overlap after merging"
+                );
+                last_end = *end;
+            }
+        }
+        let config = PilotConfig {
+            node: NodeSpec::new(4, 1, 64),
+            nodes,
+            bootstrap: SimDuration::from_secs(5),
+            exec_setup_per_task: SimDuration::from_secs(1),
+            seed,
+            ..PilotConfig::default()
+        };
+        let mut backend = SimulatedBackend::with_faults(
+            config,
+            FaultPlan::new(faults, seed),
+            RetryPolicy::retries(6),
+        );
+        let n = tasks.len();
+        for (i, t) in tasks.iter().enumerate() {
+            backend.submit(TaskDescription::new(
+                format!("t{i}"),
+                ResourceRequest::with_gpus(t.cores, t.gpus),
+                SimDuration::from_secs(t.secs),
+            ));
+        }
+        let mut seen = std::collections::HashSet::new();
+        while let Some(c) = backend.next_completion() {
+            assert!(seen.insert(c.task), "duplicate completion for {}", c.task);
+        }
+        assert_eq!(seen.len(), n);
+        assert_eq!(backend.in_flight(), 0);
+        let report = backend.utilization();
+        assert!(
+            report.cpu <= 1.0 + 1e-9,
+            "requeue double-occupied cores: occupancy {}",
+            report.cpu
+        );
+        assert!(report.gpu_slot <= 1.0 + 1e-9);
     }
 }

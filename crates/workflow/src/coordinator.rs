@@ -171,6 +171,16 @@ impl<O, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D> {
             .get(&completion.task)
             .unwrap_or_else(|| panic!("{}: completion has no route", completion.task));
         self.routes.remove(&completion.task);
+        if completion.attempts > 0 {
+            self.events.push(
+                self.session.now(),
+                id,
+                EventKind::TaskRetried {
+                    task: completion.task.0,
+                    attempts: completion.attempts,
+                },
+            );
+        }
         let buffer = self
             .buffers
             .get_mut(&id.0)

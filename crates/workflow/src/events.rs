@@ -37,13 +37,23 @@ pub enum EventKind {
         /// The abort reason.
         reason: String,
     },
+    /// A task reached a terminal state only after the pilot resubmitted it
+    /// (fault injection / retry-on-failure). Recorded when the completion
+    /// arrives, with the total number of failed attempts that preceded it.
+    TaskRetried {
+        /// The backend task id.
+        task: u64,
+        /// Failed attempts before the terminal result.
+        attempts: u32,
+    },
 }
 json_enum!(EventKind {
     Registered { parent },
     StageSubmitted { stage, n_tasks },
     StageCompleted { stage },
     Completed,
-    Aborted { reason }
+    Aborted { reason },
+    TaskRetried { task, attempts }
 });
 
 /// A timestamped event.

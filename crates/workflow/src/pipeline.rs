@@ -120,6 +120,7 @@ mod tests {
             result: Ok(None),
             started: impress_sim::SimTime::ZERO,
             finished: impress_sim::SimTime::ZERO,
+            attempts: 0,
         };
         match p.stage_done(vec![fake("s1")]) {
             Step::Submit(tasks) => assert_eq!(tasks[0].name, "s2"),

@@ -25,6 +25,12 @@ pub struct RunReport {
     pub gpu_slot_utilization: f64,
     /// Mean GPU hardware-busy fraction, 0–1 (`nvidia-smi` semantics).
     pub gpu_hardware_utilization: f64,
+    /// Task attempts the pilot resubmitted after a fault (0 on a clean run).
+    pub task_retries: usize,
+    /// Core-seconds spent on attempts that ultimately failed.
+    pub wasted_core_seconds: f64,
+    /// GPU-slot-seconds spent on attempts that ultimately failed.
+    pub wasted_gpu_seconds: f64,
     /// Pilot phase breakdown (Fig. 5 annotations).
     pub phases: PhaseBreakdown,
 }
@@ -37,6 +43,9 @@ json_struct!(RunReport {
     cpu_utilization,
     gpu_slot_utilization,
     gpu_hardware_utilization,
+    task_retries,
+    wasted_core_seconds,
+    wasted_gpu_seconds,
     phases
 });
 
@@ -58,6 +67,9 @@ impl RunReport {
             cpu_utilization: utilization.cpu,
             gpu_slot_utilization: utilization.gpu_slot,
             gpu_hardware_utilization: utilization.gpu_hardware,
+            task_retries: utilization.retries,
+            wasted_core_seconds: utilization.wasted_core_seconds,
+            wasted_gpu_seconds: utilization.wasted_gpu_seconds,
             phases,
         }
     }
@@ -78,6 +90,16 @@ impl fmt::Display for RunReport {
             self.gpu_slot_utilization * 100.0,
             self.gpu_hardware_utilization * 100.0
         )?;
+        // Only faulted runs print the resilience line, so clean-run report
+        // text (PAPER_REPORT.md) is unchanged.
+        if self.task_retries > 0 || self.wasted_core_seconds > 0.0 || self.wasted_gpu_seconds > 0.0
+        {
+            writeln!(
+                f,
+                "faults: {} retries | wasted {:.0} core-s / {:.0} GPU-s",
+                self.task_retries, self.wasted_core_seconds, self.wasted_gpu_seconds
+            )?;
+        }
         write!(
             f,
             "phases: bootstrap {} | exec setup {} | running {}",
@@ -104,6 +126,9 @@ mod tests {
                 gpu_hardware: 0.1,
                 makespan: SimDuration::from_secs(10),
                 tasks: 5,
+                retries: 0,
+                wasted_core_seconds: 0.0,
+                wasted_gpu_seconds: 0.0,
             },
             PhaseBreakdown::default(),
             SimTime::from_micros(10_000_000),
@@ -114,6 +139,7 @@ mod tests {
         assert_eq!(report.total_tasks, 5);
         assert_eq!(report.aborted_pipelines, 1);
         assert_eq!(report.makespan, SimDuration::from_secs(10));
+        assert_eq!(report.task_retries, 0);
     }
 
     #[test]
@@ -127,6 +153,9 @@ mod tests {
                 gpu_hardware: 0.2,
                 makespan: SimDuration::from_hours(38),
                 tasks: 0,
+                retries: 0,
+                wasted_core_seconds: 0.0,
+                wasted_gpu_seconds: 0.0,
             },
             PhaseBreakdown::default(),
             SimTime::ZERO + SimDuration::from_hours(38),
@@ -136,5 +165,30 @@ mod tests {
         assert!(s.contains("CPU 88.3%"), "{s}");
         assert!(s.contains("GPU 61.0% (slot)"), "{s}");
         assert!(s.contains("38.00h"), "{s}");
+        assert!(!s.contains("faults:"), "clean runs omit the fault line: {s}");
+    }
+
+    #[test]
+    fn faulted_runs_add_a_resilience_line() {
+        let reg = Registry::new();
+        let report = RunReport::build(
+            &reg,
+            UtilizationReport {
+                cpu: 0.5,
+                gpu_slot: 0.5,
+                gpu_hardware: 0.3,
+                makespan: SimDuration::from_hours(1),
+                tasks: 10,
+                retries: 3,
+                wasted_core_seconds: 120.0,
+                wasted_gpu_seconds: 60.0,
+            },
+            PhaseBreakdown::default(),
+            SimTime::ZERO + SimDuration::from_hours(1),
+            0,
+        );
+        let s = report.to_string();
+        assert!(s.contains("faults: 3 retries"), "{s}");
+        assert!(s.contains("wasted 120 core-s / 60 GPU-s"), "{s}");
     }
 }

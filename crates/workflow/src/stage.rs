@@ -106,6 +106,7 @@ mod tests {
             result: Ok(None),
             started: SimTime::ZERO,
             finished: SimTime::ZERO,
+            attempts: 0,
         }
     }
 

@@ -16,6 +16,7 @@ fn completion(id: u64) -> Completion {
         result: Ok(None),
         started: SimTime::ZERO,
         finished: SimTime::ZERO,
+        attempts: 0,
     }
 }
 

@@ -1,15 +1,19 @@
 //! Failure injection: crashing tasks must degrade the run gracefully —
 //! lineage aborts, decision-engine restart, coordinator completes — never
 //! poison the middleware.
+//!
+//! Every scenario runs on BOTH backends: the deterministic simulated pilot
+//! and the real-thread pilot (whose completions arrive in whatever order
+//! true concurrency produces).
 
 use impress_core::adaptive::{AdaptivePolicy, ImpressDecision};
 use impress_core::generator::SequenceGenerator;
 use impress_core::{DesignPipeline, ProtocolConfig, TargetToolkit};
-use impress_pilot::backend::SimulatedBackend;
-use impress_pilot::PilotConfig;
+use impress_pilot::backend::{SimulatedBackend, ThreadedBackend};
+use impress_pilot::{ExecutionBackend, FaultConfig, FaultPlan, PilotConfig, RetryPolicy, ScriptedCrash};
 use impress_proteins::datasets::named_pdz_domains;
 use impress_proteins::{MpnnConfig, ScoredSequence, Structure, SurrogateMpnn};
-use impress_sim::SimRng;
+use impress_sim::{SimDuration, SimRng, SimTime};
 use impress_workflow::{Coordinator, NoDecisions};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
@@ -55,11 +59,9 @@ fn flaky_toolkit(
     )
 }
 
-#[test]
-fn crashed_task_aborts_the_lineage_not_the_coordinator() {
+fn scenario_crashed_task_aborts<B: ExecutionBackend>(backend: B) {
     let target = &named_pdz_domains(3)[0];
     let tk = flaky_toolkit(target, 2); // crash in cycle 2
-    let backend = SimulatedBackend::new(PilotConfig::with_seed(3));
     let mut c = Coordinator::new(backend, NoDecisions);
     c.add_pipeline(Box::new(DesignPipeline::root(
         tk,
@@ -77,7 +79,16 @@ fn crashed_task_aborts_the_lineage_not_the_coordinator() {
 }
 
 #[test]
-fn decision_engine_restarts_crashed_lineages() {
+fn crashed_task_aborts_the_lineage_not_the_coordinator() {
+    scenario_crashed_task_aborts(SimulatedBackend::new(PilotConfig::with_seed(3)));
+}
+
+#[test]
+fn crashed_task_aborts_the_lineage_not_the_coordinator_threaded() {
+    scenario_crashed_task_aborts(ThreadedBackend::new(PilotConfig::with_seed(3)));
+}
+
+fn scenario_decision_engine_restarts<B: ExecutionBackend>(backend: B) {
     let targets = named_pdz_domains(5);
     let target = &targets[0];
     // Toolkit whose generator crashes exactly once (first call), so the
@@ -85,7 +96,6 @@ fn decision_engine_restarts_crashed_lineages() {
     let tk = flaky_toolkit(target, 1);
     let config = ProtocolConfig::imrp(5);
     let decision = ImpressDecision::new(config.clone(), AdaptivePolicy::default(), [tk.clone()]);
-    let backend = SimulatedBackend::new(PilotConfig::with_seed(5));
     let mut c = Coordinator::new(backend, decision);
     c.add_pipeline(Box::new(DesignPipeline::root(tk, config, 0)));
     let report = c.run();
@@ -107,9 +117,17 @@ fn decision_engine_restarts_crashed_lineages() {
 }
 
 #[test]
-fn unrelated_pipelines_survive_a_crash() {
+fn decision_engine_restarts_crashed_lineages() {
+    scenario_decision_engine_restarts(SimulatedBackend::new(PilotConfig::with_seed(5)));
+}
+
+#[test]
+fn decision_engine_restarts_crashed_lineages_threaded() {
+    scenario_decision_engine_restarts(ThreadedBackend::new(PilotConfig::with_seed(5)));
+}
+
+fn scenario_unrelated_pipelines_survive<B: ExecutionBackend>(backend: B) {
     let targets = named_pdz_domains(9);
-    let backend = SimulatedBackend::new(PilotConfig::with_seed(9));
     let mut c = Coordinator::new(backend, NoDecisions);
     // Pipeline 0 crashes; pipelines 1 and 2 are healthy.
     c.add_pipeline(Box::new(DesignPipeline::root(
@@ -130,4 +148,102 @@ fn unrelated_pipelines_survive_a_crash() {
     for (_, o) in c.outcomes() {
         assert!(!o.iterations.is_empty());
     }
+}
+
+#[test]
+fn unrelated_pipelines_survive_a_crash() {
+    scenario_unrelated_pipelines_survive(SimulatedBackend::new(PilotConfig::with_seed(9)));
+}
+
+#[test]
+fn unrelated_pipelines_survive_a_crash_threaded() {
+    scenario_unrelated_pipelines_survive(ThreadedBackend::new(PilotConfig::with_seed(9)));
+}
+
+/// The tentpole acceptance scenario: a node crash mid-campaign must not
+/// lose the run — evicted residents are requeued by the retry machinery and
+/// every pipeline completes. Runs on both backends.
+fn scenario_node_crash_mid_campaign<B: ExecutionBackend>(backend: B) {
+    let targets = named_pdz_domains(13);
+    let mut c = Coordinator::new(backend, NoDecisions);
+    for (i, target) in targets.iter().enumerate().take(2) {
+        c.add_pipeline(Box::new(DesignPipeline::root(
+            TargetToolkit::for_target(target, 7),
+            ProtocolConfig::imrp(13),
+            i as u64,
+        )));
+    }
+    let report = c.run();
+    assert_eq!(report.aborted_pipelines, 0, "retries must absorb the crash");
+    assert_eq!(c.outcomes().len(), 2, "both pipelines complete");
+    for (_, o) in c.outcomes() {
+        assert!(!o.iterations.is_empty());
+    }
+    assert!(
+        report.task_retries >= 1,
+        "the crash must actually have evicted at least one task"
+    );
+    assert!(report.wasted_core_seconds > 0.0);
+}
+
+fn retry_no_backoff(max_retries: u32) -> RetryPolicy {
+    RetryPolicy {
+        max_retries,
+        ..RetryPolicy::none()
+    }
+}
+
+#[test]
+fn node_crash_mid_campaign_is_absorbed_simulated() {
+    let pilot = PilotConfig::with_seed(13);
+    let plan = FaultPlan::new(
+        FaultConfig {
+            // One crash three virtual hours in, while MSA/AF2 work is dense.
+            scripted_crashes: vec![ScriptedCrash {
+                node: 0,
+                at: SimTime::ZERO + SimDuration::from_hours(3),
+                outage: SimDuration::from_mins(20),
+            }],
+            ..FaultConfig::none()
+        },
+        13,
+    );
+    scenario_node_crash_mid_campaign(SimulatedBackend::with_faults(
+        pilot,
+        plan,
+        retry_no_backoff(3),
+    ));
+}
+
+#[test]
+fn node_crash_mid_campaign_is_absorbed_threaded() {
+    let pilot = PilotConfig::with_seed(13);
+    // The virtual campaign runs tens of hours; at 1e-5 scale that is a
+    // couple of real seconds. Real concurrency makes the exact crash
+    // instants nondeterministic, so script a few crash windows across the
+    // busy phase — any one of them evicting a mid-sleep worker satisfies
+    // the retry assertions. The windows are spaced farther apart than any
+    // single task runs, so no task can be mowed down by every crash and
+    // exhaust its budget.
+    let crashes = [3u64, 10, 17]
+        .iter()
+        .map(|h| ScriptedCrash {
+            node: 0,
+            at: SimTime::ZERO + SimDuration::from_hours(*h),
+            outage: SimDuration::from_mins(10),
+        })
+        .collect();
+    let plan = FaultPlan::new(
+        FaultConfig {
+            scripted_crashes: crashes,
+            ..FaultConfig::none()
+        },
+        13,
+    );
+    scenario_node_crash_mid_campaign(ThreadedBackend::with_faults(
+        pilot,
+        1e-5,
+        plan,
+        retry_no_backoff(5),
+    ));
 }

@@ -123,6 +123,49 @@ fn no_registry_dependencies_anywhere() {
     );
 }
 
+/// Every bench-suite source file must be declared in the bench crate's
+/// manifest. `cargo build`/`cargo test` silently skip an undeclared
+/// `src/bin/*.rs` or `benches/*.rs` (the crate has `harness = false`
+/// benches, so auto-discovery is off), which would let a broken study
+/// binary rot unnoticed until someone tries to regenerate an artifact.
+/// Tier-1 verify compiles the suites (`cargo build --benches`); this
+/// guard makes sure there is nothing the compile pass cannot see.
+#[test]
+fn every_bench_suite_is_declared_in_the_manifest() {
+    let bench_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/bench");
+    let manifest = std::fs::read_to_string(bench_dir.join("Cargo.toml"))
+        .expect("read crates/bench/Cargo.toml");
+
+    let stems = |dir: &Path| -> Vec<String> {
+        let mut out: Vec<String> = std::fs::read_dir(dir)
+            .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+            .map(|entry| entry.expect("dir entry").path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "rs"))
+            .map(|p| p.file_stem().unwrap().to_string_lossy().into_owned())
+            .collect();
+        out.sort();
+        out
+    };
+
+    let mut missing = Vec::new();
+    for stem in stems(&bench_dir.join("src/bin")) {
+        // `[[bin]]` entries name the target and point at the source path.
+        if !manifest.contains(&format!("path = \"src/bin/{stem}.rs\"")) {
+            missing.push(format!("src/bin/{stem}.rs has no [[bin]] entry"));
+        }
+    }
+    for stem in stems(&bench_dir.join("benches")) {
+        if !manifest.contains(&format!("name = \"{stem}\"")) {
+            missing.push(format!("benches/{stem}.rs has no [[bench]] entry"));
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "undeclared bench-crate targets (cargo will silently skip them):\n{}",
+        missing.join("\n")
+    );
+}
+
 /// The root `[workspace.dependencies]` entries themselves must all be
 /// `path` specs, since member `workspace = true` entries resolve to them.
 #[test]
