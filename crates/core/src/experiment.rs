@@ -11,8 +11,9 @@ use impress_pilot::backend::SimulatedBackend;
 use impress_pilot::{FaultConfig, FaultPlan, PilotConfig, RetryPolicy, Session};
 use impress_proteins::datasets::DesignTarget;
 use impress_proteins::MetricKind;
-use impress_sim::SimDuration;
 use impress_json::json_struct;
+use impress_sim::{SimDuration, SimTime};
+use impress_workflow::journal::{Journal, JournalError, JournalStore, ReplayPlan};
 use impress_workflow::{Coordinator, RunReport};
 use std::sync::Arc;
 
@@ -63,9 +64,12 @@ impl ExperimentResult {
     }
 }
 
-fn toolkits(targets: &[DesignTarget], seed: u64) -> Vec<Arc<TargetToolkit>> {
-    // One shared MSA-database identity per experiment, like one filesystem
-    // copy of the genetic databases on the real cluster.
+/// Toolkits for each target, sharing one MSA-database identity per
+/// experiment — like one filesystem copy of the genetic databases on the
+/// real cluster. Public so integration tests can drive the coordinator
+/// directly (e.g. over the threaded backend) with the exact toolkit set
+/// the experiment drivers use.
+pub fn toolkits(targets: &[DesignTarget], seed: u64) -> Vec<Arc<TargetToolkit>> {
     targets
         .iter()
         .map(|t| TargetToolkit::for_target(t, seed ^ 0xdb))
@@ -117,6 +121,48 @@ pub fn run_imrp_resilient(
     )
 }
 
+/// The IM-RP coordinator type the experiment drivers build.
+type ImrpCoordinator = Coordinator<DesignOutcome, SimulatedBackend, ImpressDecision>;
+
+fn add_imrp_roots(
+    coordinator: &mut ImrpCoordinator,
+    tks: &[Arc<TargetToolkit>],
+    config: &ProtocolConfig,
+) {
+    for (i, tk) in tks.iter().enumerate() {
+        coordinator.add_pipeline(Box::new(DesignPipeline::root(
+            tk.clone(),
+            config.clone(),
+            i as u64,
+        )));
+    }
+}
+
+/// Drive the coordinator to completion and package the result — the shared
+/// tail of the plain, journaled, and resumed IM-RP drivers, so all three
+/// produce byte-identical artifacts by construction.
+fn finish_imrp(mut coordinator: ImrpCoordinator) -> (ExperimentResult, ImrpCoordinator) {
+    let run = coordinator.run();
+    let backend = coordinator.session().backend();
+    let cpu_series = backend.cpu_series(SERIES_BIN);
+    let gpu_slot_series = backend.gpu_slot_series(SERIES_BIN);
+    let gpu_hw_series = backend.gpu_hw_series(SERIES_BIN);
+    let outcomes: Vec<DesignOutcome> = coordinator
+        .outcomes()
+        .iter()
+        .map(|(_, o)| o.clone())
+        .collect();
+    let result = package(
+        "IM-RP",
+        outcomes,
+        run,
+        cpu_series,
+        gpu_slot_series,
+        gpu_hw_series,
+    );
+    (result, coordinator)
+}
+
 fn run_imrp_with_backend(
     targets: &[DesignTarget],
     config: ProtocolConfig,
@@ -131,31 +177,95 @@ fn run_imrp_with_backend(
     let tks = toolkits(targets, config.seed);
     let decision = ImpressDecision::new(config.clone(), policy, tks.clone());
     let mut coordinator = Coordinator::new(backend, decision);
-    for (i, tk) in tks.iter().enumerate() {
-        coordinator.add_pipeline(Box::new(DesignPipeline::root(
-            tk.clone(),
-            config.clone(),
-            i as u64,
+    add_imrp_roots(&mut coordinator, &tks, &config);
+    finish_imrp(coordinator).0
+}
+
+/// The campaign label journaled IM-RP runs stamp into the journal header;
+/// [`resume_imrp`] refuses a plan with any other label.
+pub const IMRP_JOURNAL_LABEL: &str = "IM-RP";
+
+/// A write-ahead journal on `store` stamped with the campaign identity
+/// (label + protocol seed) that [`resume_imrp`] validates.
+pub fn imrp_journal(
+    store: Box<dyn JournalStore>,
+    config: &ProtocolConfig,
+) -> Result<Journal, JournalError> {
+    Journal::new(store, IMRP_JOURNAL_LABEL, config.seed)
+}
+
+/// What a journaled IM-RP run produced: the packaged result (identical to
+/// an unjournaled run) plus the crash-consistency facts the recovery study
+/// reports.
+pub struct JournaledRun {
+    /// The experiment result.
+    pub result: ExperimentResult,
+    /// Whether the walltime deadline forced a graceful drain before the
+    /// campaign finished.
+    pub drained: bool,
+    /// Journal records appended (excluding Begin/Snapshot frames).
+    pub records: u64,
+    /// Snapshot compactions performed.
+    pub snapshots: u64,
+}
+
+/// Run IM-RP with a write-ahead journal, and optionally an allocation
+/// walltime deadline after which the pilot stops launching tasks that
+/// cannot finish, drains in-flight work, and leaves the journal as the
+/// checkpoint ([`JournaledRun::drained`] reports this). Without a deadline
+/// the run is byte-identical to [`run_imrp_on`].
+pub fn run_imrp_journaled(
+    targets: &[DesignTarget],
+    config: ProtocolConfig,
+    policy: AdaptivePolicy,
+    pilot: PilotConfig,
+    journal: Journal,
+    deadline: Option<SimTime>,
+) -> JournaledRun {
+    let mut backend = SimulatedBackend::new(pilot);
+    if let Some(d) = deadline {
+        backend = backend.with_deadline(d);
+    }
+    let tks = toolkits(targets, config.seed);
+    let decision = ImpressDecision::new(config.clone(), policy, tks.clone());
+    let mut coordinator = Coordinator::new(backend, decision).with_journal(journal);
+    add_imrp_roots(&mut coordinator, &tks, &config);
+    let (result, coordinator) = finish_imrp(coordinator);
+    let journal = coordinator.journal().expect("journal installed");
+    JournaledRun {
+        result,
+        drained: coordinator.drained(),
+        records: journal.records_written(),
+        snapshots: journal.snapshots_taken(),
+    }
+}
+
+/// Resume an interrupted IM-RP campaign from a replayed journal
+/// ([`impress_workflow::journal::load_plan`]) and drive it to completion.
+///
+/// The resumed run re-simulates from `t = 0` on a fresh pilot: journaled
+/// terminal pipelines replay as work-free ghosts, everything else re-runs
+/// for real, and the result is byte-identical to an uninterrupted run. The
+/// plan's campaign identity must match `config` — a journal from a
+/// different campaign (or a corrupt one) is a typed error, not a panic.
+pub fn resume_imrp(
+    targets: &[DesignTarget],
+    config: ProtocolConfig,
+    policy: AdaptivePolicy,
+    pilot: PilotConfig,
+    plan: &ReplayPlan,
+) -> Result<ExperimentResult, JournalError> {
+    if plan.label != IMRP_JOURNAL_LABEL || plan.seed != config.seed {
+        return Err(JournalError::Corrupt(format!(
+            "journal is for campaign {:?} (seed {}), not {IMRP_JOURNAL_LABEL:?} (seed {})",
+            plan.label, plan.seed, config.seed
         )));
     }
-    let run = coordinator.run();
-    let backend = coordinator.session().backend();
-    let cpu_series = backend.cpu_series(SERIES_BIN);
-    let gpu_slot_series = backend.gpu_slot_series(SERIES_BIN);
-    let gpu_hw_series = backend.gpu_hw_series(SERIES_BIN);
-    let outcomes: Vec<DesignOutcome> = coordinator
-        .outcomes()
-        .iter()
-        .map(|(_, o)| o.clone())
-        .collect();
-    package(
-        "IM-RP",
-        outcomes,
-        run,
-        cpu_series,
-        gpu_slot_series,
-        gpu_hw_series,
-    )
+    let tks = toolkits(targets, config.seed);
+    let decision = ImpressDecision::new(config.clone(), policy, tks.clone());
+    let mut coordinator = Coordinator::resume(SimulatedBackend::new(pilot), decision, plan)?;
+    add_imrp_roots(&mut coordinator, &tks, &config);
+    Ok(finish_imrp(coordinator).0)
 }
 
 /// Run the sequential CONT-V arm on its own simulated node.
@@ -297,6 +407,60 @@ mod tests {
             imrp.run.gpu_slot_utilization,
             cont.run.gpu_hardware_utilization
         );
+    }
+
+    #[test]
+    fn journaled_run_is_byte_identical_to_plain_and_resume_replays_it() {
+        use impress_workflow::journal::{load_plan, MemoryJournal};
+        let targets = small_targets();
+        let config = ProtocolConfig::imrp(1);
+        let policy = AdaptivePolicy {
+            sub_budget: 2,
+            ..AdaptivePolicy::default()
+        };
+        let pilot = PilotConfig::with_seed(config.seed);
+        let plain = run_imrp_on(&targets, config.clone(), policy.clone(), pilot.clone());
+        let store = MemoryJournal::new();
+        let journaled = run_imrp_journaled(
+            &targets,
+            config.clone(),
+            policy.clone(),
+            pilot.clone(),
+            imrp_journal(Box::new(store.clone()), &config).unwrap(),
+            None,
+        );
+        assert!(!journaled.drained);
+        assert!(journaled.records > 0);
+        assert_eq!(
+            impress_json::to_string(&plain),
+            impress_json::to_string(&journaled.result),
+            "journaling must not perturb the run"
+        );
+        // Resume from the completed journal: all ghosts, zero real work,
+        // byte-identical artifacts.
+        let plan = load_plan(&store).unwrap().plan;
+        assert_eq!(plan.live_pipelines(), 0);
+        let resumed = resume_imrp(&targets, config, policy, pilot, &plan).unwrap();
+        assert_eq!(
+            impress_json::to_string(&plain),
+            impress_json::to_string(&resumed)
+        );
+    }
+
+    #[test]
+    fn resume_rejects_a_foreign_campaign_journal() {
+        let targets = small_targets();
+        let config = ProtocolConfig::imrp(1);
+        let plan = ReplayPlan::new("CONT-V", config.seed);
+        let err = resume_imrp(
+            &targets,
+            config.clone(),
+            AdaptivePolicy::default(),
+            PilotConfig::with_seed(config.seed),
+            &plan,
+        )
+        .unwrap_err();
+        assert!(matches!(err, JournalError::Corrupt(_)), "{err}");
     }
 
     #[test]

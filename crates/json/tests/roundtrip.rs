@@ -106,6 +106,43 @@ fn floats_round_trip_shortest_repr() {
     assert_eq!(to_string(&f64::INFINITY), "null");
 }
 
+/// The journal's resume-parity invariant leans on this: every finite f64
+/// must survive serialize → parse → serialize *bit*-exactly (not just
+/// approximately), including subnormals, extremes, and negative zero's
+/// sign bit — and the text itself must be a fixed point.
+#[test]
+fn floats_round_trip_bit_exactly() {
+    let mut rng = XorShift(0x5eed_f00d);
+    let mut cases = vec![
+        f64::MIN,
+        f64::MAX,
+        f64::MIN_POSITIVE,          // smallest normal
+        f64::MIN_POSITIVE / 1e10,   // subnormal
+        5e-324,                     // smallest subnormal
+        -0.0,
+        0.1 + 0.2,                  // classic non-representable sum
+        1.0 / 3.0,
+        std::f64::consts::PI,
+        2f64.powi(53) - 1.0,        // largest exact integer
+        2f64.powi(53) + 2.0,
+        6.02214076e23,
+        1.616255e-35,
+    ];
+    for _ in 0..500 {
+        let bits = rng.next();
+        let f = f64::from_bits(bits);
+        if f.is_finite() {
+            cases.push(f);
+        }
+    }
+    for f in cases {
+        let text = to_string(&f);
+        let back: f64 = from_str(&text).expect(&text);
+        assert_eq!(back.to_bits(), f.to_bits(), "{f:?} via {text:?}");
+        assert_eq!(to_string(&back), text, "serialization must be a fixed point");
+    }
+}
+
 #[test]
 fn string_escapes_round_trip() {
     let tricky = "quote\" slash\\ nl\n tab\t unicode µ日𝄞 ctl\u{01}";

@@ -202,6 +202,16 @@ pub trait ExecutionBackend {
     fn cancel(&mut self, _id: TaskId) -> bool {
         false
     }
+
+    /// Tasks the backend is holding back because its walltime deadline
+    /// leaves too little allocation for their modeled duration. Held tasks
+    /// count as [`in_flight`](Self::in_flight) but will never launch;
+    /// [`next_completion`](Self::next_completion) returns `None` once only
+    /// held tasks remain, signalling a graceful drain. Backends without a
+    /// deadline hold nothing.
+    fn held_tasks(&self) -> usize {
+        0
+    }
 }
 
 impl ExecutionBackend for Box<dyn ExecutionBackend> {
@@ -225,6 +235,9 @@ impl ExecutionBackend for Box<dyn ExecutionBackend> {
     }
     fn cancel(&mut self, id: TaskId) -> bool {
         (**self).cancel(id)
+    }
+    fn held_tasks(&self) -> usize {
+        (**self).held_tasks()
     }
 }
 

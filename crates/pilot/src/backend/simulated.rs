@@ -64,6 +64,12 @@ struct Shared {
     faults: FaultPlan,
     retry: RetryPolicy,
     backoff_rng: SimRng,
+    /// Allocation walltime: placements whose modeled span would overrun it
+    /// are held instead of launched (graceful drain).
+    deadline: Option<SimTime>,
+    /// Tasks held by the deadline, in hold order. They stay `pending` and
+    /// in flight but will never launch.
+    held: Vec<u64>,
 }
 
 impl Shared {
@@ -159,6 +165,8 @@ impl SimulatedBackend {
             faults,
             retry,
             backoff_rng,
+            deadline: None,
+            held: Vec::new(),
         }));
         let mut engine = Engine::new();
         // Bootstrap completion event: mark ready and place anything queued.
@@ -191,6 +199,18 @@ impl SimulatedBackend {
         &self.config
     }
 
+    /// Set an allocation walltime deadline (virtual time). Once a task's
+    /// modeled span (exec setup + run time) would cross it, the task is held
+    /// instead of launched: its slots are released, it stays in flight, and
+    /// the session drains in-flight work then reports the hold via
+    /// [`ExecutionBackend::held_tasks`] — mirroring a pilot refusing to
+    /// start work its allocation cannot finish. Without a deadline the
+    /// backend's behavior is completely unchanged.
+    pub fn with_deadline(self, deadline: SimTime) -> Self {
+        self.shared.borrow_mut().deadline = Some(deadline);
+        self
+    }
+
     /// Place every task the scheduler allows, wiring up setup + completion
     /// events for each placement. The fault plan decides each attempt's
     /// outcome *at placement*: the single scheduled event either finishes
@@ -215,22 +235,40 @@ impl SimulatedBackend {
                     .expect("placed task exists");
                 let fault = sh.faults.attempt_fault(id.0, attempts);
                 let hang_factor = sh.faults.config().hang_factor;
-                let task = sh.pending.get_mut(&id.0).expect("placed task exists");
-                task.state.advance(TaskState::ExecSetup);
-                let setup = base_setup.saturating_add(task.kind.launch_overhead());
-                let mut run = task.duration;
+                // The span is modeled before any state is mutated, so a
+                // deadline hold leaves the task untouched.
+                let (kind, duration, task_walltime) = {
+                    let task = sh.pending.get(&id.0).expect("placed task exists");
+                    (task.kind, task.duration, task.walltime)
+                };
+                let setup = base_setup.saturating_add(kind.launch_overhead());
+                let mut run = duration;
                 if fault == AttemptFault::Hang {
                     run = run.mul_f64(hang_factor);
                 }
                 let total = setup.saturating_add(run);
                 // Walltime counts from slot grant and wins over other faults.
-                let (outcome, span) = match task.walltime {
+                let (outcome, span) = match task_walltime {
                     Some(limit) if limit < total => (Err(TaskError::TimedOut { limit }), limit),
                     _ => match fault {
                         AttemptFault::Transient => (Err(TaskError::Injected), total),
                         _ => (Ok(()), total),
                     },
                 };
+                // Walltime-aware drain: an attempt that cannot finish inside
+                // the allocation deadline is held, not launched. Its slots go
+                // back to the pool (in-flight peers may still use them) and it
+                // stays pending — held, never re-placed, never completed.
+                if sh.deadline.is_some_and(|d| now + span > d) {
+                    sh.scheduler.release(&alloc);
+                    sh.held.push(id.0);
+                    continue;
+                }
+                sh.pending
+                    .get_mut(&id.0)
+                    .expect("placed task exists")
+                    .state
+                    .advance(TaskState::ExecSetup);
                 sh.profiler.task_started(&alloc, now);
                 (outcome, span, setup)
             };
@@ -458,6 +496,10 @@ impl ExecutionBackend for SimulatedBackend {
 
     fn phase_breakdown(&self) -> PhaseBreakdown {
         self.shared.borrow().breakdown
+    }
+
+    fn held_tasks(&self) -> usize {
+        self.shared.borrow().held.len()
     }
 
     fn cancel(&mut self, id: TaskId) -> bool {
@@ -911,5 +953,38 @@ mod tests {
         };
         assert_eq!(run(5), run(5), "same seed, same fault history");
         assert_ne!(run(5), run(6), "different seeds diverge");
+    }
+
+    #[test]
+    fn deadline_holds_overrunning_tasks_and_drains_in_flight_work() {
+        // Bootstrap 100s + setup 10s; node has 2 cores. Two 50s tasks fit a
+        // 300s allocation; the third is submitted too late to finish.
+        let mut b = SimulatedBackend::new(config(2, 0))
+            .with_deadline(SimTime::from_micros(300 * 1_000_000));
+        b.submit(task("fits-a", 1, 0, 50));
+        b.submit(task("fits-b", 1, 0, 50));
+        b.submit(task("too-big", 2, 0, 100_000));
+        let mut finished = Vec::new();
+        while let Some(c) = b.next_completion() {
+            assert!(c.result.is_ok());
+            finished.push(c.name);
+        }
+        // In-flight work drained; the overrunning task was held, not run.
+        assert_eq!(finished, vec!["fits-a".to_string(), "fits-b".into()]);
+        assert_eq!(b.held_tasks(), 1);
+        assert_eq!(b.in_flight(), 1, "held tasks stay in flight");
+        assert!(
+            b.now() <= SimTime::from_micros(300 * 1_000_000),
+            "nothing may run past the deadline: now = {}",
+            b.now()
+        );
+    }
+
+    #[test]
+    fn without_a_deadline_nothing_is_held() {
+        let mut b = SimulatedBackend::new(config(2, 0));
+        b.submit(task("t", 2, 0, 100_000));
+        assert!(b.next_completion().is_some());
+        assert_eq!(b.held_tasks(), 0);
     }
 }

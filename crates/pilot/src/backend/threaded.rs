@@ -44,7 +44,7 @@ use crate::task::{TaskDescription, TaskId, TaskOutput, TaskWork};
 use impress_sim::{SimDuration, SimRng, SimTime};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -176,6 +176,17 @@ pub struct ThreadedBackend {
     state: Arc<Mutex<SchedState>>,
     statuses: StatusMap,
     unfinished: Arc<AtomicUsize>,
+    /// Like `unfinished`, but decremented *before* a completion is made
+    /// visible on the channel (where `unfinished` is decremented after).
+    /// Backs `in_flight()`: once a consumer has popped the final
+    /// completion, this already reads zero — while `unfinished` keeps the
+    /// opposite ordering so `next_completion` can never return `None`
+    /// with a completion still in transit.
+    inflight: Arc<AtomicUsize>,
+    /// Allocation deadline in backend-time micros; `u64::MAX` = none.
+    deadline_micros: Arc<AtomicU64>,
+    /// Tasks held back by the deadline (they will never launch).
+    held: Arc<AtomicUsize>,
     epoch: Instant,
     next_id: u64,
     scheduler_thread: Option<std::thread::JoinHandle<()>>,
@@ -221,11 +232,17 @@ impl ThreadedBackend {
         }));
         let statuses: StatusMap = Arc::new(Mutex::new(HashMap::new()));
         let unfinished = Arc::new(AtomicUsize::new(0));
+        let inflight = Arc::new(AtomicUsize::new(0));
+        let deadline_micros = Arc::new(AtomicU64::new(u64::MAX));
+        let held = Arc::new(AtomicUsize::new(0));
         let epoch = Instant::now();
 
         let thread_state = state.clone();
         let thread_statuses = statuses.clone();
         let thread_unfinished = unfinished.clone();
+        let thread_inflight = inflight.clone();
+        let thread_deadline = deadline_micros.clone();
+        let thread_held = held.clone();
         let worker_tx = tx.clone();
         let node = config.node;
         let scheduler_thread = std::thread::Builder::new()
@@ -242,8 +259,11 @@ impl ThreadedBackend {
                 );
                 let mut backoff_rng = SimRng::from_seed(config.seed).fork("retry-backoff");
                 let mut waiting: HashMap<u64, TaskSpec> = HashMap::new();
-                // id → (node, incarnation at placement, sleep token).
-                let mut running: HashMap<u64, (u32, u64, Arc<SleepToken>)> = HashMap::new();
+                // id → (allocation, start time, incarnation at placement,
+                // sleep token). The allocation and start time let a crash
+                // close the victims' profiler intervals synchronously.
+                let mut running: HashMap<u64, (Allocation, SimTime, u64, Arc<SleepToken>)> =
+                    HashMap::new();
                 // Bumped on each crash: a worker message whose incarnation is
                 // stale must not release into the rebuilt pool.
                 let mut node_incarnation: Vec<u64> = vec![0; config.nodes as usize];
@@ -267,6 +287,11 @@ impl ThreadedBackend {
                     {
                         s.terminal = true;
                     }
+                    // `inflight` drops before the send so a consumer that
+                    // popped this completion observes the decrement;
+                    // `unfinished` drops after so the drain check in
+                    // `next_completion` cannot miss an in-transit one.
+                    thread_inflight.fetch_sub(1, Ordering::SeqCst);
                     let _ = completion_tx.send(c);
                     thread_unfinished.fetch_sub(1, Ordering::SeqCst);
                 };
@@ -289,11 +314,25 @@ impl ThreadedBackend {
                         let Some(i) = due else { break };
                         match timers.remove(i).1 {
                             Timer::Crash(n) => {
+                                let live = node_incarnation[n as usize];
                                 node_incarnation[n as usize] += 1;
                                 scheduler.drain_node(n);
-                                for (_, (_, _, token)) in
-                                    running.iter().filter(|(_, (nd, _, _))| *nd == n)
+                                // Close the victims' device intervals *now*:
+                                // their slots may be re-allocated after
+                                // recovery before the preempted workers'
+                                // messages arrive, and the profiler rejects
+                                // overlapping busy intervals. The message
+                                // handlers skip the close for stale
+                                // incarnations (it happened here). Tasks
+                                // already stale from an earlier crash were
+                                // closed by that crash.
+                                let at = now(epoch);
+                                let mut st = thread_state.lock().expect("state lock");
+                                for (_, (alloc, started, _, token)) in running
+                                    .iter()
+                                    .filter(|(_, (a, _, inc, _))| a.node == n && *inc == live)
                                 {
+                                    st.profiler.attempt_wasted(alloc, *started, at);
                                     token.preempt();
                                 }
                             }
@@ -323,6 +362,28 @@ impl ThreadedBackend {
                     // message will arrive to wake us.
                     for (id, alloc) in scheduler.place_ready() {
                         let spec = waiting.remove(&id.0).expect("placed task was submitted");
+                        // Walltime-aware drain: hold any attempt whose scaled
+                        // span would cross the allocation deadline. Its slots
+                        // return to the pool, it never launches, and the held
+                        // count lets next_completion report the drain. The
+                        // spec is dropped — a resume re-submits from the
+                        // journal, not from this process's memory.
+                        let deadline = thread_deadline.load(Ordering::SeqCst);
+                        if deadline != u64::MAX {
+                            let at = now(epoch).as_micros();
+                            let span_micros = if time_scale > 0.0 {
+                                (spec.duration.as_secs_f64() * time_scale * 1e6) as u64
+                            } else {
+                                // No sleeps: tasks are instant, so only an
+                                // already-expired allocation holds them.
+                                0
+                            };
+                            if at.saturating_add(span_micros) > deadline {
+                                scheduler.release(&alloc);
+                                thread_held.fetch_add(1, Ordering::SeqCst);
+                                continue;
+                            }
+                        }
                         let fault = faults.attempt_fault(id.0, spec.attempts);
                         let hang_factor = faults.config().hang_factor;
                         let started = now(epoch);
@@ -333,7 +394,7 @@ impl ThreadedBackend {
                             .task_started(&alloc, started);
                         let incarnation = node_incarnation[alloc.node as usize];
                         let token = Arc::new(SleepToken::new());
-                        running.insert(id.0, (alloc.node, incarnation, token.clone()));
+                        running.insert(id.0, (alloc.clone(), started, incarnation, token.clone()));
                         let done_tx = worker_tx.clone();
                         let statuses = thread_statuses.clone();
                         std::thread::Builder::new()
@@ -389,7 +450,7 @@ impl ThreadedBackend {
                                     finished: at,
                                     attempts: spec.attempts,
                                 });
-                            } else if let Some((_, _, token)) = running.get(&id.0) {
+                            } else if let Some((_, _, _, token)) = running.get(&id.0) {
                                 // Wake the worker early; its commit check
                                 // sees the flag and backs out.
                                 token.preempt();
@@ -420,24 +481,28 @@ impl ThreadedBackend {
                         }) => {
                             running.remove(&id.0);
                             let finished = now(epoch);
+                            // A committed task outruns its node's crash: the
+                            // result stands, but the drained pool must not
+                            // see a release, and the crash already closed
+                            // the device intervals (as wasted).
+                            let fresh = incarnation == node_incarnation[alloc.node as usize];
                             {
                                 let mut st = thread_state.lock().expect("state lock");
-                                st.profiler.task_finished(
-                                    id,
-                                    &name,
-                                    &tag,
-                                    &alloc,
-                                    started,
-                                    finished,
-                                    gpu_busy_fraction,
-                                );
+                                if fresh {
+                                    st.profiler.task_finished(
+                                        id,
+                                        &name,
+                                        &tag,
+                                        &alloc,
+                                        started,
+                                        finished,
+                                        gpu_busy_fraction,
+                                    );
+                                }
                                 st.breakdown
                                     .record_task(SimDuration::ZERO, finished.since(started));
                             }
-                            // A committed task outruns its node's crash: the
-                            // result stands, but the drained pool must not
-                            // see a release.
-                            if incarnation == node_incarnation[alloc.node as usize] {
+                            if fresh {
                                 scheduler.release(&alloc);
                             }
                             deliver(Completion {
@@ -461,12 +526,12 @@ impl ThreadedBackend {
                         }) => {
                             running.remove(&id.0);
                             let at = now(epoch);
-                            thread_state
-                                .lock()
-                                .expect("state lock")
-                                .profiler
-                                .attempt_wasted(&alloc, started, at);
                             if incarnation == node_incarnation[alloc.node as usize] {
+                                thread_state
+                                    .lock()
+                                    .expect("state lock")
+                                    .profiler
+                                    .attempt_wasted(&alloc, started, at);
                                 scheduler.release(&alloc);
                             }
                             deliver(Completion {
@@ -489,12 +554,15 @@ impl ThreadedBackend {
                         }) => {
                             running.remove(&id.0);
                             let at = now(epoch);
-                            thread_state
-                                .lock()
-                                .expect("state lock")
-                                .profiler
-                                .attempt_wasted(&alloc, started, at);
+                            // Stale incarnation: the crash that evicted this
+                            // attempt already closed its intervals and the
+                            // drained pool must not see a release.
                             if incarnation == node_incarnation[alloc.node as usize] {
+                                thread_state
+                                    .lock()
+                                    .expect("state lock")
+                                    .profiler
+                                    .attempt_wasted(&alloc, started, at);
                                 scheduler.release(&alloc);
                             }
                             if cancel_requested(id) {
@@ -541,6 +609,9 @@ impl ThreadedBackend {
             state,
             statuses,
             unfinished,
+            inflight,
+            deadline_micros,
+            held,
             epoch,
             next_id: 0,
             scheduler_thread: Some(scheduler_thread),
@@ -551,6 +622,19 @@ impl ThreadedBackend {
     /// The node this backend schedules over.
     pub fn node(&self) -> &crate::resources::NodeSpec {
         &self.node
+    }
+
+    /// Set an allocation walltime deadline (backend time, i.e. elapsed time
+    /// since the pilot started). Placements whose scaled duration would
+    /// cross it are held instead of launched: the session finishes in-flight
+    /// work, then [`ExecutionBackend::next_completion`] returns `None` with
+    /// [`ExecutionBackend::held_tasks`] `> 0` — the graceful-drain signal.
+    /// At time scale `0` tasks run instantly, so only placements attempted
+    /// after the deadline has already passed are held.
+    pub fn with_deadline(self, deadline: SimTime) -> Self {
+        self.deadline_micros
+            .store(deadline.as_micros(), Ordering::SeqCst);
+        self
     }
 }
 
@@ -704,6 +788,7 @@ impl ExecutionBackend for ThreadedBackend {
             .expect("status lock")
             .insert(id.0, TaskStatus::default());
         self.unfinished.fetch_add(1, Ordering::SeqCst);
+        self.inflight.fetch_add(1, Ordering::SeqCst);
         self.tx
             .send(Msg::Submit {
                 id,
@@ -728,7 +813,9 @@ impl ExecutionBackend for ThreadedBackend {
             if let Ok(c) = self.completion_rx.try_recv() {
                 return Some(c);
             }
-            if self.unfinished.load(Ordering::SeqCst) == 0 {
+            // Held tasks will never complete: once they are all that
+            // remains, the drain is finished.
+            if self.unfinished.load(Ordering::SeqCst) <= self.held.load(Ordering::SeqCst) {
                 return None;
             }
             match self.completion_rx.recv_timeout(Duration::from_millis(50)) {
@@ -744,7 +831,7 @@ impl ExecutionBackend for ThreadedBackend {
     }
 
     fn in_flight(&self) -> usize {
-        self.unfinished.load(Ordering::SeqCst)
+        self.inflight.load(Ordering::SeqCst)
     }
 
     fn utilization(&self) -> UtilizationReport {
@@ -753,6 +840,10 @@ impl ExecutionBackend for ThreadedBackend {
 
     fn phase_breakdown(&self) -> PhaseBreakdown {
         self.state.lock().expect("state lock").breakdown
+    }
+
+    fn held_tasks(&self) -> usize {
+        self.held.load(Ordering::SeqCst)
     }
 
     fn cancel(&mut self, id: TaskId) -> bool {
@@ -912,6 +1003,43 @@ mod tests {
         let elapsed = t0.elapsed();
         assert!(elapsed >= Duration::from_millis(120), "{elapsed:?}");
         assert!(elapsed < Duration::from_millis(600), "{elapsed:?}");
+    }
+
+    #[test]
+    fn deadline_holds_overrunning_tasks_and_drains() {
+        // At 1% time scale: bootstrap 1s → 10ms, short tasks 3s → 30ms, the
+        // long task 100s → 1s. With a 200ms allocation the long task can
+        // never fit, while both short ones finish with ample margin.
+        let cfg = PilotConfig {
+            bootstrap: SimDuration::from_secs(1),
+            ..config(1, 0)
+        };
+        let mut b = ThreadedBackend::with_time_scale(cfg, 0.01)
+            .with_deadline(SimTime::from_micros(200_000));
+        b.submit(task("short-a", 1).with_work(|| 1u64));
+        b.submit(task("short-b", 1).with_work(|| 2u64));
+        b.submit(
+            TaskDescription::new("long", ResourceRequest::cores(1), SimDuration::from_secs(100))
+                .with_work(|| 3u64),
+        );
+        let mut done = Vec::new();
+        while let Some(c) = b.next_completion() {
+            assert!(c.result.is_ok());
+            done.push(c.name);
+        }
+        done.sort();
+        assert_eq!(done, vec!["short-a".to_string(), "short-b".into()]);
+        assert_eq!(b.held_tasks(), 1);
+        assert_eq!(b.in_flight(), 1, "held tasks stay in flight");
+    }
+
+    #[test]
+    fn expired_deadline_at_zero_time_scale_holds_everything() {
+        let mut b = ThreadedBackend::new(config(2, 0)).with_deadline(SimTime::ZERO);
+        b.submit(task("a", 1).with_work(|| 1u64));
+        b.submit(task("b", 1).with_work(|| 2u64));
+        assert!(b.next_completion().is_none());
+        assert_eq!(b.held_tasks(), 2);
     }
 
     #[test]

@@ -55,5 +55,5 @@ pub use resources::{Allocation, ClusterSpec, NodeSpec, ResourceRequest};
 pub use scheduler::{PlacementPolicy, Scheduler};
 pub use session::Session;
 pub use states::TaskState;
-pub use task::{TaskDescription, TaskId, TaskWork};
+pub use task::{TaskDescription, TaskId, TaskKind, TaskWork};
 pub use timeline::{GanttRow, Timeline};

@@ -74,10 +74,21 @@ impl<B: ExecutionBackend> Session<B> {
             .collect();
         let mut by_id: HashMap<TaskId, T> = HashMap::new();
         while by_id.len() < ids.len() {
-            let c = self
-                .backend
-                .next_completion()
-                .expect("batch tasks must all complete");
+            let Some(c) = self.backend.next_completion() else {
+                // Reachable when a walltime deadline holds part of the
+                // batch: the backend drains what it can and then reports
+                // no further completions. The blocking batch API cannot
+                // return partial results, so name the cause instead of
+                // claiming an impossibility.
+                panic!(
+                    "batch stalled with {} of {} tasks unfinished ({} held by the \
+                     walltime deadline); execute_batch cannot run under a draining \
+                     allocation — drive the coordinator instead",
+                    ids.len() - by_id.len(),
+                    ids.len(),
+                    self.backend.held_tasks()
+                );
+            };
             if ids.contains(&c.task) {
                 let id = c.task;
                 by_id.insert(id, c.output::<T>());
@@ -96,6 +107,13 @@ impl<B: ExecutionBackend> Session<B> {
     /// Tasks submitted but not yet completed.
     pub fn in_flight(&self) -> usize {
         self.backend.in_flight()
+    }
+
+    /// Tasks held back by the backend's walltime deadline (they will never
+    /// launch; a graceful drain is in progress). See
+    /// [`ExecutionBackend::held_tasks`].
+    pub fn held_tasks(&self) -> usize {
+        self.backend.held_tasks()
     }
 
     /// Utilization report up to the current time.

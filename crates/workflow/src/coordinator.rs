@@ -13,13 +13,17 @@
 
 use crate::decision::{DecisionEngine, Spawn};
 use crate::events::{EventKind, EventLog};
-use crate::pipeline::{BoxedPipeline, PipelineId, PipelineState};
+use crate::journal::{
+    Journal, JournalError, JournalRecord, PipelineScript, ReplayPlan, TaskMeta, TerminalRecord,
+};
+use crate::pipeline::{BoxedPipeline, PipelineId, PipelineLogic, PipelineState};
 use crate::registry::Registry;
 use crate::report::RunReport;
 use crate::stage::{StageBuffer, Step};
+use impress_json::{FromJson, Json, JsonError, ToJson};
 use impress_pilot::{Completion, ExecutionBackend, Session, TaskId};
 use impress_sim::SimTime;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// A read-only snapshot handed to the decision engine.
 pub struct CoordinatorView<'a> {
@@ -29,6 +33,75 @@ pub struct CoordinatorView<'a> {
     pub registry: &'a Registry,
     /// Utilization so far.
     pub utilization: impress_pilot::UtilizationReport,
+}
+
+/// The write-ahead journal plus the outcome encoder the coordinator needs
+/// to serialize `Completed` records. Captured as a plain fn pointer so the
+/// coordinator itself stays unbounded in `O`.
+struct JournalWriter<O> {
+    journal: Journal,
+    encode: fn(&O) -> Json,
+}
+
+impl<O> JournalWriter<O> {
+    /// Durability is the whole point: if the journal cannot be written, the
+    /// coordinator fail-stops rather than silently running unjournaled.
+    fn append(&mut self, rec: &JournalRecord) {
+        if let Err(e) = self.journal.record(rec) {
+            panic!("write-ahead journal append failed; refusing to run without durability: {e}");
+        }
+    }
+}
+
+/// Resume state: the journaled scripts of pipelines that reached a terminal
+/// state before the kill, plus the outcome decoder for their `Completed`
+/// records. Pipelines registered during a resumed run are swapped for
+/// [`GhostPipeline`]s when a matching terminal script exists.
+struct ReplayState<O> {
+    scripts: HashMap<u64, PipelineScript>,
+    decode: fn(&Json) -> Result<O, JsonError>,
+}
+
+/// A work-free replay of a journaled terminal pipeline. It resubmits the
+/// exact task metadata the original submitted — so the backend sees the
+/// identical load and evolves the identical virtual timeline — but every
+/// task carries no work closure, and the terminal step injects the
+/// journaled outcome instead of recomputing it.
+struct GhostPipeline<O> {
+    name: String,
+    stages: VecDeque<Vec<TaskMeta>>,
+    terminal: TerminalRecord,
+    decode: fn(&Json) -> Result<O, JsonError>,
+}
+
+impl<O> GhostPipeline<O> {
+    fn next(&mut self) -> Step<O> {
+        if let Some(stage) = self.stages.pop_front() {
+            return Step::Submit(stage.iter().map(TaskMeta::to_description).collect());
+        }
+        match &self.terminal {
+            // `resume` pre-validates that every journaled outcome decodes,
+            // so the Err arm is unreachable in practice; it degrades to an
+            // abort rather than panicking if a plan is mutated after that.
+            TerminalRecord::Completed(json) => match (self.decode)(json) {
+                Ok(outcome) => Step::Complete(outcome),
+                Err(e) => Step::Abort(format!("journaled outcome failed to decode: {e}")),
+            },
+            TerminalRecord::Aborted(reason) => Step::Abort(reason.clone()),
+        }
+    }
+}
+
+impl<O> PipelineLogic<O> for GhostPipeline<O> {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+    fn begin(&mut self) -> Step<O> {
+        self.next()
+    }
+    fn stage_done(&mut self, _completions: Vec<Completion>) -> Step<O> {
+        self.next()
+    }
 }
 
 /// The pipelines coordinator. `O` is the pipeline outcome type.
@@ -43,9 +116,12 @@ pub struct Coordinator<O, B: ExecutionBackend, D: DecisionEngine<O>> {
     outcomes: Vec<(PipelineId, O)>,
     aborts: Vec<(PipelineId, String)>,
     events: EventLog,
+    journal: Option<JournalWriter<O>>,
+    replay: Option<ReplayState<O>>,
+    drained: bool,
 }
 
-impl<O, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D> {
+impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D> {
     /// A coordinator over a fresh session on `backend`, advised by
     /// `decision`.
     pub fn new(backend: B, decision: D) -> Self {
@@ -60,6 +136,9 @@ impl<O, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D> {
             outcomes: Vec::new(),
             aborts: Vec::new(),
             events: EventLog::new(),
+            journal: None,
+            replay: None,
+            drained: false,
         }
     }
 
@@ -70,14 +149,53 @@ impl<O, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D> {
     }
 
     fn add(&mut self, parent: Option<PipelineId>, pipeline: BoxedPipeline<O>) -> PipelineId {
-        let id = self
+        // Write-ahead: the id the registry will assign is known in advance,
+        // so the Registered record lands before the registration applies.
+        let id = PipelineId(self.registry.peek_next_id());
+        let name = pipeline.name();
+        self.journal_append(|| JournalRecord::Registered {
+            pipeline: id.0,
+            parent: parent.map(|p| p.0),
+            name: name.clone(),
+        });
+        // Resume: a pipeline that already reached a terminal state in the
+        // journal replays as a work-free ghost. Live-at-kill pipelines (no
+        // terminal record) re-run for real. A name mismatch means the plan
+        // does not describe this pipeline — run it for real.
+        let pipeline = match self.replay.as_ref().and_then(|rs| {
+            let script = rs.scripts.get(&id.0)?;
+            if script.name != name {
+                debug_assert!(false, "{id}: plan names {:?}, run names {name:?}", script.name);
+                return None;
+            }
+            let terminal = script.terminal.clone()?;
+            Some(Box::new(GhostPipeline {
+                name: script.name.clone(),
+                stages: script.stages.iter().cloned().collect(),
+                terminal,
+                decode: rs.decode,
+            }) as BoxedPipeline<O>)
+        }) {
+            Some(ghost) => ghost,
+            None => pipeline,
+        };
+        let assigned = self
             .registry
             .register(pipeline.name(), parent, self.session.now());
+        debug_assert_eq!(assigned, id, "peeked id diverged from assigned id");
         self.events
             .push(self.session.now(), id, EventKind::Registered { parent });
         self.live.insert(id.0, pipeline);
         self.to_start.push(id);
         id
+    }
+
+    /// Append a journal record, building it lazily so unjournaled runs pay
+    /// nothing for the hook.
+    fn journal_append(&mut self, make: impl FnOnce() -> JournalRecord) {
+        if let Some(writer) = &mut self.journal {
+            writer.append(&make());
+        }
     }
 
     fn start_pending(&mut self) {
@@ -95,11 +213,17 @@ impl<O, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D> {
         match step {
             Step::Submit(tasks) => {
                 assert!(!tasks.is_empty(), "{id}: empty stage submission");
+                let stage = self.registry.get(id).stages_completed;
+                self.journal_append(|| JournalRecord::StageSubmitted {
+                    pipeline: id.0,
+                    stage,
+                    tasks: tasks.iter().map(TaskMeta::of).collect(),
+                });
                 self.events.push(
                     self.session.now(),
                     id,
                     EventKind::StageSubmitted {
-                        stage: self.registry.get(id).stages_completed,
+                        stage,
                         n_tasks: tasks.len(),
                     },
                 );
@@ -117,6 +241,13 @@ impl<O, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D> {
                 );
             }
             Step::Complete(outcome) => {
+                if let Some(writer) = &mut self.journal {
+                    let rec = JournalRecord::Completed {
+                        pipeline: id.0,
+                        outcome: (writer.encode)(&outcome),
+                    };
+                    writer.append(&rec);
+                }
                 self.events
                     .push(self.session.now(), id, EventKind::Completed);
                 self.registry
@@ -135,6 +266,10 @@ impl<O, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D> {
                 self.apply_spawns(spawns);
             }
             Step::Abort(reason) => {
+                self.journal_append(|| JournalRecord::Aborted {
+                    pipeline: id.0,
+                    reason: reason.clone(),
+                });
                 self.events.push(
                     self.session.now(),
                     id,
@@ -187,13 +322,13 @@ impl<O, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D> {
             .unwrap_or_else(|| panic!("{id}: completion but no in-flight stage"));
         if let Some(batch) = buffer.record(completion) {
             self.buffers.remove(&id.0);
-            self.events.push(
-                self.session.now(),
-                id,
-                EventKind::StageCompleted {
-                    stage: self.registry.get(id).stages_completed,
-                },
-            );
+            let stage = self.registry.get(id).stages_completed;
+            self.journal_append(|| JournalRecord::StageCompleted {
+                pipeline: id.0,
+                stage,
+            });
+            self.events
+                .push(self.session.now(), id, EventKind::StageCompleted { stage });
             self.registry.note_stage_completed(id);
             let step = self
                 .live
@@ -212,6 +347,14 @@ impl<O, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D> {
             match self.session.wait_next() {
                 Some(c) => self.route(c),
                 None => {
+                    // A walltime deadline made the backend hold tasks it
+                    // could not finish in time: the session has drained its
+                    // in-flight work and will launch nothing further. Stop
+                    // here — the journal holds everything a resume needs.
+                    if self.session.held_tasks() > 0 {
+                        self.drained = true;
+                        break;
+                    }
                     // Workload drained. Give the engine a chance to start
                     // another round; otherwise we are done.
                     let spawns = {
@@ -268,6 +411,18 @@ impl<O, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D> {
         &self.events
     }
 
+    /// Whether [`run`](Self::run) stopped because the backend's walltime
+    /// deadline forced a graceful drain (tasks held, work checkpointed)
+    /// rather than because the campaign finished.
+    pub fn drained(&self) -> bool {
+        self.drained
+    }
+
+    /// The write-ahead journal, if one is installed.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref().map(|w| &w.journal)
+    }
+
     /// The underlying session (for backend-specific inspection).
     pub fn session(&self) -> &Session<B> {
         &self.session
@@ -276,6 +431,60 @@ impl<O, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D> {
     /// Consume the coordinator, returning outcomes and the session.
     pub fn into_parts(self) -> CoordinatorParts<O, B> {
         (self.outcomes, self.aborts, self.session)
+    }
+}
+
+impl<O: ToJson, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D> {
+    /// Install a write-ahead journal: every state transition is appended
+    /// (and durably stored) *before* it is applied, so a crash at any
+    /// instant leaves a journal describing a consistent prefix of the run.
+    pub fn with_journal(mut self, journal: Journal) -> Self {
+        self.journal = Some(JournalWriter {
+            journal,
+            encode: |outcome| outcome.to_json(),
+        });
+        self
+    }
+}
+
+impl<O: FromJson + 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D> {
+    /// A coordinator that resumes an interrupted campaign from a replayed
+    /// journal ([`crate::journal::load_plan`]).
+    ///
+    /// Resume is a deterministic re-simulation on a fresh backend: the
+    /// caller re-adds the same root pipelines in the same order, and the
+    /// coordinator swaps any pipeline whose journaled script reached a
+    /// terminal state for a work-free ghost that replays the recorded task
+    /// metadata and injects the recorded outcome. Pipelines live at the
+    /// kill re-run for real; sub-pipelines re-spawn through the (seeded,
+    /// deterministic) decision engine fed the identical outcome sequence.
+    /// The resumed run therefore regenerates every artifact byte-for-byte.
+    ///
+    /// Fails with [`JournalError::Corrupt`] if any journaled outcome does
+    /// not decode as `O` — a corrupt checkpoint is a diagnostic, never a
+    /// panic.
+    pub fn resume(backend: B, decision: D, plan: &ReplayPlan) -> Result<Self, JournalError> {
+        for script in &plan.pipelines {
+            if let Some(TerminalRecord::Completed(json)) = &script.terminal {
+                O::from_json(json).map_err(|e| {
+                    JournalError::Corrupt(format!(
+                        "pipeline {} ({}): journaled outcome does not decode: {e}",
+                        script.id, script.name
+                    ))
+                })?;
+            }
+        }
+        let mut coordinator = Coordinator::new(backend, decision);
+        coordinator.replay = Some(ReplayState {
+            scripts: plan
+                .pipelines
+                .iter()
+                .filter(|s| s.terminal.is_some())
+                .map(|s| (s.id, s.clone()))
+                .collect(),
+            decode: |json| O::from_json(json),
+        });
+        Ok(coordinator)
     }
 }
 
@@ -546,5 +755,153 @@ mod tests {
         let report = c.run();
         assert_eq!(c.outcomes().len(), 3); // initial + 2 idle rounds
         assert_eq!(report.root_pipelines, 3);
+    }
+
+    use crate::journal::{load_plan, Journal, MemoryJournal, TerminalRecord};
+
+    /// A journaled campaign: two Counter roots and an Aborter, with a
+    /// decision engine spawning subs — enough shape to exercise every
+    /// record type.
+    fn run_campaign(
+        journal: Option<Journal>,
+        plan: Option<&ReplayPlan>,
+    ) -> Coordinator<u64, SimulatedBackend, SpawnOnce> {
+        let mut c = match plan {
+            Some(p) => Coordinator::resume(backend(), SpawnOnce { spawned: 0 }, p).unwrap(),
+            None => Coordinator::new(backend(), SpawnOnce { spawned: 0 }),
+        };
+        if let Some(j) = journal {
+            c = c.with_journal(j);
+        }
+        for i in 0..2 {
+            c.add_pipeline(Box::new(Counter {
+                label: format!("root{i}"),
+                stages: 2,
+                acc: 0,
+            }));
+        }
+        c.add_pipeline(Box::new(Aborter));
+        c.run();
+        c
+    }
+
+    #[test]
+    fn journal_records_the_full_campaign() {
+        let store = MemoryJournal::new();
+        let journal = Journal::new(Box::new(store.clone()), "camp", 7).unwrap();
+        let c = run_campaign(Some(journal), None);
+        let loaded = load_plan(&store).unwrap();
+        assert_eq!(loaded.dropped, 0);
+        assert_eq!(loaded.plan.label, "camp");
+        // 2 roots + aborter + 2 spawned subs, all terminal.
+        assert_eq!(loaded.plan.pipelines.len(), 5);
+        assert_eq!(loaded.plan.live_pipelines(), 0);
+        let completed = loaded
+            .plan
+            .pipelines
+            .iter()
+            .filter(|s| matches!(s.terminal, Some(TerminalRecord::Completed(_))))
+            .count();
+        assert_eq!(completed, c.outcomes().len());
+        // The journal's in-memory plan agrees with what the store replays.
+        assert_eq!(*c.journal().unwrap().plan(), loaded.plan);
+    }
+
+    #[test]
+    fn resume_from_a_complete_journal_replays_byte_identically_without_work() {
+        let store = MemoryJournal::new();
+        let journal = Journal::new(Box::new(store.clone()), "camp", 7).unwrap();
+        let live = run_campaign(Some(journal), None);
+        let plan = load_plan(&store).unwrap().plan;
+        let resumed = run_campaign(None, Some(&plan));
+        assert_eq!(live.outcomes(), resumed.outcomes());
+        assert_eq!(live.aborts(), resumed.aborts());
+        assert_eq!(live.events().events(), resumed.events().events());
+        assert_eq!(
+            impress_json::to_string(&live.report()),
+            impress_json::to_string(&resumed.report()),
+            "ghost replay must evolve the identical virtual timeline"
+        );
+    }
+
+    #[test]
+    fn resume_after_a_mid_run_kill_completes_the_campaign_identically() {
+        let reference = run_campaign(None, None);
+        // Kill after the 8th journal append — mid-campaign, with pipelines
+        // both terminal and live at the point of death.
+        let store = MemoryJournal::new();
+        let journal = Journal::new(Box::new(store.clone()), "camp", 7)
+            .unwrap()
+            .with_kill_after(8);
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_campaign(Some(journal), None);
+        }));
+        assert!(died.is_err(), "kill switch must fire");
+        let loaded = load_plan(&store).unwrap();
+        assert!(loaded.plan.live_pipelines() > 0 || loaded.plan.pipelines.len() < 5);
+        let resumed = run_campaign(None, Some(&loaded.plan));
+        assert_eq!(reference.outcomes(), resumed.outcomes());
+        assert_eq!(reference.aborts(), resumed.aborts());
+        assert_eq!(
+            impress_json::to_string(&reference.report()),
+            impress_json::to_string(&resumed.report())
+        );
+    }
+
+    #[test]
+    fn resume_rejects_an_undecodable_outcome_with_a_diagnostic() {
+        let plan = ReplayPlan {
+            label: "x".into(),
+            seed: 0,
+            pipelines: vec![crate::journal::PipelineScript {
+                id: 0,
+                name: "p".into(),
+                parent: None,
+                stages: Vec::new(),
+                stages_completed: 0,
+                terminal: Some(TerminalRecord::Completed("not a u64".to_json())),
+            }],
+        };
+        let err = match Coordinator::<u64, _, _>::resume(backend(), NoDecisions, &plan) {
+            Ok(_) => panic!("undecodable outcome must be rejected"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, JournalError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn deadline_drain_checkpoints_and_resume_finishes_the_campaign() {
+        let reference = run_campaign(None, None);
+        // 20s in: bootstrap (10s) + the first 6s stage wave fits, but the
+        // second wave (finishing at 22s) and everything after it does not.
+        let deadline = SimTime::from_micros(20 * 1_000_000);
+        let store = MemoryJournal::new();
+        let drained = {
+            let mut c = Coordinator::new(backend().with_deadline(deadline), SpawnOnce {
+                spawned: 0,
+            })
+            .with_journal(Journal::new(Box::new(store.clone()), "camp", 7).unwrap());
+            for i in 0..2 {
+                c.add_pipeline(Box::new(Counter {
+                    label: format!("root{i}"),
+                    stages: 2,
+                    acc: 0,
+                }));
+            }
+            c.add_pipeline(Box::new(Aborter));
+            c.run();
+            c
+        };
+        assert!(drained.drained(), "deadline must force a drain");
+        assert!(drained.session().held_tasks() > 0);
+        assert!(drained.outcomes().len() < reference.outcomes().len());
+        // Resume on a fresh, deadline-free backend.
+        let plan = load_plan(&store).unwrap().plan;
+        let resumed = run_campaign(None, Some(&plan));
+        assert_eq!(reference.outcomes(), resumed.outcomes());
+        assert_eq!(
+            impress_json::to_string(&reference.report()),
+            impress_json::to_string(&resumed.report())
+        );
     }
 }

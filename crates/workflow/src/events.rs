@@ -56,9 +56,14 @@ json_enum!(EventKind {
     TaskRetried { task, attempts }
 });
 
-/// A timestamped event.
+/// A timestamped, sequenced event.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Event {
+    /// Monotonic sequence number, assigned at append time. Virtual
+    /// timestamps tie whenever several completions land in one coordinator
+    /// step; `seq` breaks the tie, so sorting by `(at, seq)` always
+    /// reproduces append order exactly.
+    pub seq: u64,
     /// When it happened (backend time).
     pub at: SimTime,
     /// Which pipeline.
@@ -66,14 +71,24 @@ pub struct Event {
     /// What happened.
     pub kind: EventKind,
 }
-json_struct!(Event { at, pipeline, kind });
+json_struct!(Event {
+    seq,
+    at,
+    pipeline,
+    kind
+});
 
 /// Append-only event log.
+///
+/// Ordering guarantee: every appended event receives the next sequence
+/// number, and [`events`](Self::events) returns them in append order —
+/// which is also `(at, seq)` order, since timestamps never decrease.
 #[derive(Debug, Clone, Default)]
 pub struct EventLog {
     events: Vec<Event>,
+    next_seq: u64,
 }
-json_struct!(EventLog { events });
+json_struct!(EventLog { events, next_seq });
 
 impl EventLog {
     /// An empty log.
@@ -81,12 +96,19 @@ impl EventLog {
         Self::default()
     }
 
-    /// Append an event.
+    /// Append an event, assigning it the next sequence number.
     pub fn push(&mut self, at: SimTime, pipeline: PipelineId, kind: EventKind) {
-        self.events.push(Event { at, pipeline, kind });
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(Event {
+            seq,
+            at,
+            pipeline,
+            kind,
+        });
     }
 
-    /// All events, in record order (monotone in time).
+    /// All events, in append order (monotone in `(at, seq)`).
     pub fn events(&self) -> &[Event] {
         &self.events
     }
@@ -175,5 +197,32 @@ mod tests {
             },
         );
         assert_eq!(log.pipeline_span(p), Some((t(0), t(7))));
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotonic_and_break_timestamp_ties() {
+        let mut log = EventLog::new();
+        let p = PipelineId(0);
+        // Three events at the same virtual instant — the common case when
+        // multiple completions land in one coordinator step.
+        log.push(t(5), p, EventKind::StageCompleted { stage: 0 });
+        log.push(
+            t(5),
+            p,
+            EventKind::StageSubmitted {
+                stage: 1,
+                n_tasks: 2,
+            },
+        );
+        log.push(t(5), p, EventKind::Completed);
+        let seqs: Vec<u64> = log.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        // A stable sort by (at, seq) reproduces append order exactly.
+        let mut sorted: Vec<&Event> = log.events().iter().collect();
+        sorted.sort_by_key(|e| (e.at, e.seq));
+        assert!(sorted
+            .iter()
+            .zip(log.events())
+            .all(|(a, b)| a.seq == b.seq && a.kind == b.kind));
     }
 }

@@ -1,0 +1,1054 @@
+//! Crash-consistent write-ahead journal for the coordinator.
+//!
+//! Real campaigns die with their pilot allocation: the walltime expires and
+//! every in-flight lineage is lost (§IV runs for 27–38 hours inside one
+//! allocation). This module gives the coordinator durable state. Every
+//! state transition is appended to a [`Journal`] as a sequenced,
+//! CRC-framed, self-describing record *before* it is applied — so whatever
+//! instant the process dies at, the journal describes a consistent prefix
+//! of the run.
+//!
+//! # Record framing
+//!
+//! One JSON line per record: `{"seq":N,"crc":C,"rec":{...}}` where `seq`
+//! is strictly increasing and `crc` is the FNV-1a 64 hash of the compact
+//! serialization of `rec`. The loader ([`load_plan`]) drops the tail at
+//! the first malformed line, CRC mismatch, non-increasing sequence number,
+//! or structurally inconsistent record — a torn write costs recomputation,
+//! never correctness.
+//!
+//! # Snapshots and compaction
+//!
+//! The journal maintains a running [`ReplayPlan`] — the derived state a
+//! resume needs — and every `snapshot_interval` records rewrites the store
+//! to `[Begin, Snapshot(plan)]`, bounding both journal size and replay
+//! (load) cost. Sequence numbers keep increasing across compaction.
+//!
+//! # Resume model
+//!
+//! Resume is a deterministic *re-simulation* from `t = 0` on a fresh
+//! backend. Pipelines that reached a terminal state in the journal are
+//! replayed as "ghosts": their journaled per-stage task descriptions are
+//! resubmitted (so the backend sees the identical load and evolves the
+//! identical virtual timeline) but *without their work closures* — the
+//! expensive computation is skipped and the journaled outcome is injected.
+//! Pipelines that were live at the kill re-run for real, fed by the same
+//! deterministic decision sequence. Because backend timing depends only on
+//! task metadata, never on work outputs, an interrupted-then-resumed run
+//! regenerates every artifact byte-identically to an uninterrupted one.
+
+use impress_json::{from_field, json_enum, json_struct, FromJson, Json, ToJson};
+use impress_pilot::{ResourceRequest, TaskDescription, TaskKind};
+use impress_sim::SimDuration;
+use std::fmt;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// Journal format version. Bumped on any incompatible change to the record
+/// set or framing; [`load_plan`] refuses to replay a journal written by a
+/// different version.
+pub const JOURNAL_FORMAT_VERSION: u32 = 1;
+
+/// Scheduling-relevant task metadata — everything the backend's timing
+/// depends on. The work closure is deliberately absent (ghost replays skip
+/// it) and the tag is re-applied by the coordinator at submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskMeta {
+    /// Task name.
+    pub name: String,
+    /// Slots required.
+    pub request: ResourceRequest,
+    /// Virtual duration.
+    pub duration: SimDuration,
+    /// GPU hardware-busy fraction.
+    pub gpu_busy_fraction: f64,
+    /// Scheduling priority.
+    pub priority: i32,
+    /// Executable kind (launch overhead).
+    pub kind: TaskKind,
+    /// Walltime limit, if any.
+    pub walltime: Option<SimDuration>,
+}
+json_struct!(TaskMeta {
+    name,
+    request,
+    duration,
+    gpu_busy_fraction,
+    priority,
+    kind,
+    walltime
+});
+
+impl TaskMeta {
+    /// Capture a description's scheduling metadata.
+    pub fn of(desc: &TaskDescription) -> Self {
+        TaskMeta {
+            name: desc.name.clone(),
+            request: desc.request,
+            duration: desc.duration,
+            gpu_busy_fraction: desc.gpu_busy_fraction,
+            priority: desc.priority,
+            kind: desc.kind,
+            walltime: desc.walltime,
+        }
+    }
+
+    /// Rebuild a (work-free) description for ghost replay.
+    pub fn to_description(&self) -> TaskDescription {
+        let mut d = TaskDescription::new(self.name.clone(), self.request, self.duration)
+            .with_gpu_busy_fraction(self.gpu_busy_fraction)
+            .with_priority(self.priority)
+            .with_kind(self.kind);
+        if let Some(limit) = self.walltime {
+            d = d.with_walltime(limit);
+        }
+        d
+    }
+}
+
+/// How a journaled pipeline ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TerminalRecord {
+    /// Completed with this serialized outcome.
+    Completed(Json),
+    /// Aborted with this reason.
+    Aborted(String),
+}
+json_enum!(TerminalRecord {
+    Completed(outcome),
+    Aborted(reason)
+});
+
+/// One pipeline's journaled history: identity, the stages it submitted (in
+/// order, with full task metadata), and how it ended (if it did).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineScript {
+    /// The pipeline id the live run assigned.
+    pub id: u64,
+    /// Its display name.
+    pub name: String,
+    /// Parent pipeline id, for sub-pipelines.
+    pub parent: Option<u64>,
+    /// Submitted stages, each a list of task metas in submission order.
+    pub stages: Vec<Vec<TaskMeta>>,
+    /// Stages confirmed completed (≤ `stages.len()`).
+    pub stages_completed: usize,
+    /// Terminal state, if the pipeline reached one before the kill.
+    pub terminal: Option<TerminalRecord>,
+}
+json_struct!(PipelineScript {
+    id,
+    name,
+    parent,
+    stages,
+    stages_completed,
+    terminal
+});
+
+/// The derived state a resume needs: every pipeline the journaled run
+/// registered, with its stage history and terminal record. This is also the
+/// snapshot payload — the journal keeps a live copy and serializes it at
+/// each compaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayPlan {
+    /// Campaign label (validated on resume).
+    pub label: String,
+    /// Campaign seed (validated on resume).
+    pub seed: u64,
+    /// Journaled pipelines in registration order.
+    pub pipelines: Vec<PipelineScript>,
+}
+json_struct!(ReplayPlan { label, seed, pipelines });
+
+impl ReplayPlan {
+    /// An empty plan for a fresh campaign.
+    pub fn new(label: impl Into<String>, seed: u64) -> Self {
+        ReplayPlan {
+            label: label.into(),
+            seed,
+            pipelines: Vec::new(),
+        }
+    }
+
+    fn script_mut(&mut self, id: u64) -> Result<&mut PipelineScript, JournalError> {
+        self.pipelines
+            .iter_mut()
+            .find(|s| s.id == id)
+            .ok_or_else(|| {
+                JournalError::Corrupt(format!("record references unregistered pipeline {id}"))
+            })
+    }
+
+    /// Fold one record into the plan, validating structural consistency.
+    /// The writer uses this to keep its snapshot state current; the loader
+    /// uses the same path, so snapshots and raw replay can never diverge.
+    pub fn apply(&mut self, rec: &JournalRecord) -> Result<(), JournalError> {
+        match rec {
+            JournalRecord::Begin { .. } | JournalRecord::Snapshot { .. } => Err(
+                JournalError::Corrupt("Begin/Snapshot records cannot appear mid-stream".into()),
+            ),
+            JournalRecord::Registered {
+                pipeline,
+                parent,
+                name,
+            } => {
+                if self.pipelines.iter().any(|s| s.id == *pipeline) {
+                    return Err(JournalError::Corrupt(format!(
+                        "pipeline {pipeline} registered twice"
+                    )));
+                }
+                self.pipelines.push(PipelineScript {
+                    id: *pipeline,
+                    name: name.clone(),
+                    parent: *parent,
+                    stages: Vec::new(),
+                    stages_completed: 0,
+                    terminal: None,
+                });
+                Ok(())
+            }
+            JournalRecord::StageSubmitted {
+                pipeline,
+                stage,
+                tasks,
+            } => {
+                let s = self.script_mut(*pipeline)?;
+                if s.terminal.is_some() || *stage != s.stages.len() {
+                    return Err(JournalError::Corrupt(format!(
+                        "pipeline {pipeline}: stage {stage} submission out of order"
+                    )));
+                }
+                s.stages.push(tasks.clone());
+                Ok(())
+            }
+            JournalRecord::StageCompleted { pipeline, stage } => {
+                let s = self.script_mut(*pipeline)?;
+                if s.terminal.is_some() || *stage != s.stages_completed || *stage >= s.stages.len()
+                {
+                    return Err(JournalError::Corrupt(format!(
+                        "pipeline {pipeline}: stage {stage} completion out of order"
+                    )));
+                }
+                s.stages_completed += 1;
+                Ok(())
+            }
+            JournalRecord::Completed { pipeline, outcome } => {
+                let s = self.script_mut(*pipeline)?;
+                if s.terminal.is_some() {
+                    return Err(JournalError::Corrupt(format!(
+                        "pipeline {pipeline} finished twice"
+                    )));
+                }
+                s.terminal = Some(TerminalRecord::Completed(outcome.clone()));
+                Ok(())
+            }
+            JournalRecord::Aborted { pipeline, reason } => {
+                let s = self.script_mut(*pipeline)?;
+                if s.terminal.is_some() {
+                    return Err(JournalError::Corrupt(format!(
+                        "pipeline {pipeline} finished twice"
+                    )));
+                }
+                s.terminal = Some(TerminalRecord::Aborted(reason.clone()));
+                Ok(())
+            }
+        }
+    }
+
+    /// Tasks in terminal pipelines — re-submitted on resume as work-free
+    /// ghosts (occupying virtual time but skipping their computation).
+    pub fn ghost_tasks(&self) -> usize {
+        self.pipelines
+            .iter()
+            .filter(|s| s.terminal.is_some())
+            .map(|s| s.stages.iter().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Pipelines that were live (non-terminal) when the journal ends.
+    pub fn live_pipelines(&self) -> usize {
+        self.pipelines
+            .iter()
+            .filter(|s| s.terminal.is_none())
+            .count()
+    }
+}
+
+/// One write-ahead record. Every coordinator state transition appends its
+/// record *before* the transition is applied.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalRecord {
+    /// Journal header: format version and campaign identity.
+    Begin {
+        /// [`JOURNAL_FORMAT_VERSION`] at write time.
+        version: u32,
+        /// Campaign label.
+        label: String,
+        /// Campaign seed.
+        seed: u64,
+    },
+    /// A pipeline was registered (root or sub).
+    Registered {
+        /// The id the registry will assign.
+        pipeline: u64,
+        /// Parent pipeline, for sub-pipelines.
+        parent: Option<u64>,
+        /// Display name.
+        name: String,
+    },
+    /// A stage's tasks are about to be submitted.
+    StageSubmitted {
+        /// The pipeline.
+        pipeline: u64,
+        /// Stage ordinal (0-based).
+        stage: usize,
+        /// Full scheduling metadata of every task in the stage.
+        tasks: Vec<TaskMeta>,
+    },
+    /// A stage's tasks all completed.
+    StageCompleted {
+        /// The pipeline.
+        pipeline: u64,
+        /// Stage ordinal (0-based).
+        stage: usize,
+    },
+    /// A pipeline completed; `outcome` is its serialized outcome value.
+    Completed {
+        /// The pipeline.
+        pipeline: u64,
+        /// Serialized outcome (decoded on resume).
+        outcome: Json,
+    },
+    /// A pipeline aborted.
+    Aborted {
+        /// The pipeline.
+        pipeline: u64,
+        /// The abort reason.
+        reason: String,
+    },
+    /// A compacted snapshot of the full replay plan so far.
+    Snapshot {
+        /// The plan at snapshot time.
+        plan: ReplayPlan,
+    },
+}
+json_enum!(JournalRecord {
+    Begin { version, label, seed },
+    Registered { pipeline, parent, name },
+    StageSubmitted { pipeline, stage, tasks },
+    StageCompleted { pipeline, stage },
+    Completed { pipeline, outcome },
+    Aborted { pipeline, reason },
+    Snapshot { plan }
+});
+
+/// Why a journal could not be written or replayed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalError {
+    /// The underlying store failed.
+    Io(String),
+    /// The journal was written by an incompatible format version.
+    Version {
+        /// Version found in the Begin record.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+    /// The journal head or a record is structurally invalid.
+    Corrupt(String),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(msg) => write!(f, "journal store error: {msg}"),
+            JournalError::Version { found, expected } => write!(
+                f,
+                "journal format version {found} is not replayable by this build (expected {expected})"
+            ),
+            JournalError::Corrupt(msg) => write!(f, "corrupt journal: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<impress_json::JsonError> for JournalError {
+    fn from(e: impress_json::JsonError) -> Self {
+        JournalError::Corrupt(e.to_string())
+    }
+}
+
+/// A durable line store for journal records.
+///
+/// `append` must be atomic at line granularity *at most* — the whole torn-
+/// write machinery exists because it usually is not. `rewrite` (compaction)
+/// should replace the content as atomically as the medium allows.
+pub trait JournalStore {
+    /// Append one framed line.
+    fn append(&self, line: &str) -> Result<(), JournalError>;
+    /// All lines currently stored, in order.
+    fn lines(&self) -> Result<Vec<String>, JournalError>;
+    /// Atomically replace the content with `lines` (compaction).
+    fn rewrite(&self, lines: &[String]) -> Result<(), JournalError>;
+}
+
+/// An in-memory store. Clones share the same backing buffer, so a handle
+/// held outside a coordinator survives the coordinator's death — which is
+/// exactly what the kill-and-resume tests need.
+#[derive(Clone, Default)]
+pub struct MemoryJournal {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl MemoryJournal {
+    /// An empty shared store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored lines.
+    pub fn line_count(&self) -> usize {
+        self.lines.lock().expect("journal buffer lock").len()
+    }
+
+    /// Total stored bytes (excluding line terminators).
+    pub fn bytes(&self) -> usize {
+        self.lines
+            .lock()
+            .expect("journal buffer lock")
+            .iter()
+            .map(String::len)
+            .sum()
+    }
+
+    /// Mutate the raw lines — the test hook for simulating torn writes and
+    /// corruption (truncate a line, flip bytes, drop a suffix).
+    pub fn tamper(&self, f: impl FnOnce(&mut Vec<String>)) {
+        f(&mut self.lines.lock().expect("journal buffer lock"));
+    }
+}
+
+impl JournalStore for MemoryJournal {
+    fn append(&self, line: &str) -> Result<(), JournalError> {
+        self.lines
+            .lock()
+            .expect("journal buffer lock")
+            .push(line.to_string());
+        Ok(())
+    }
+
+    fn lines(&self) -> Result<Vec<String>, JournalError> {
+        Ok(self.lines.lock().expect("journal buffer lock").clone())
+    }
+
+    fn rewrite(&self, lines: &[String]) -> Result<(), JournalError> {
+        *self.lines.lock().expect("journal buffer lock") = lines.to_vec();
+        Ok(())
+    }
+}
+
+/// A file-backed store: newline-delimited records, appended with a flush
+/// per record; compaction writes a sibling temp file and renames it over
+/// the journal (atomic on POSIX filesystems).
+pub struct FileJournal {
+    path: PathBuf,
+}
+
+impl FileJournal {
+    /// A store at `path`. The file is created on first write.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        FileJournal { path: path.into() }
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+fn io_err(e: std::io::Error) -> JournalError {
+    JournalError::Io(e.to_string())
+}
+
+impl JournalStore for FileJournal {
+    fn append(&self, line: &str) -> Result<(), JournalError> {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+            .map_err(io_err)?;
+        writeln!(f, "{line}").map_err(io_err)?;
+        f.flush().map_err(io_err)
+    }
+
+    fn lines(&self) -> Result<Vec<String>, JournalError> {
+        match std::fs::read_to_string(&self.path) {
+            Ok(text) => Ok(text.lines().map(str::to_string).collect()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+            Err(e) => Err(io_err(e)),
+        }
+    }
+
+    fn rewrite(&self, lines: &[String]) -> Result<(), JournalError> {
+        let tmp = self.path.with_extension("journal.tmp");
+        let mut body = lines.join("\n");
+        if !body.is_empty() {
+            body.push('\n');
+        }
+        std::fs::write(&tmp, body).map_err(io_err)?;
+        std::fs::rename(&tmp, &self.path).map_err(io_err)
+    }
+}
+
+/// FNV-1a 64-bit hash — the record checksum.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn frame(seq: u64, rec: &JournalRecord) -> String {
+    let rec_json = rec.to_json();
+    let crc = fnv1a(impress_json::to_string(&rec_json).as_bytes());
+    impress_json::to_string(
+        &Json::object()
+            .field("seq", seq)
+            .field("crc", crc)
+            .field("rec", rec_json)
+            .build(),
+    )
+}
+
+fn parse_frame(line: &str) -> Result<(u64, JournalRecord), JournalError> {
+    let v = impress_json::parse(line)?;
+    let seq: u64 = from_field(&v, "seq")?;
+    let crc: u64 = from_field(&v, "crc")?;
+    let rec = v
+        .get("rec")
+        .ok_or_else(|| JournalError::Corrupt("frame has no rec field".into()))?;
+    let computed = fnv1a(impress_json::to_string(rec).as_bytes());
+    if computed != crc {
+        return Err(JournalError::Corrupt(format!(
+            "crc mismatch at seq {seq}: stored {crc:#x}, computed {computed:#x}"
+        )));
+    }
+    Ok((seq, JournalRecord::from_json(rec)?))
+}
+
+/// The write-ahead journal a coordinator appends to.
+pub struct Journal {
+    store: Box<dyn JournalStore>,
+    seq: u64,
+    appended: u64,
+    snapshots: u64,
+    since_snapshot: usize,
+    snapshot_interval: Option<usize>,
+    kill_after: Option<u64>,
+    plan: ReplayPlan,
+}
+
+impl Journal {
+    /// Start a fresh journal on `store` for the campaign identified by
+    /// `label` + `seed`, resetting any previous content and writing the
+    /// `Begin` header.
+    pub fn new(
+        store: Box<dyn JournalStore>,
+        label: impl Into<String>,
+        seed: u64,
+    ) -> Result<Self, JournalError> {
+        let label = label.into();
+        let begin = JournalRecord::Begin {
+            version: JOURNAL_FORMAT_VERSION,
+            label: label.clone(),
+            seed,
+        };
+        store.rewrite(&[frame(0, &begin)])?;
+        Ok(Journal {
+            store,
+            seq: 1,
+            appended: 0,
+            snapshots: 0,
+            since_snapshot: 0,
+            snapshot_interval: None,
+            kill_after: None,
+            plan: ReplayPlan::new(label, seed),
+        })
+    }
+
+    /// Compact to a snapshot every `interval` records (default: never).
+    pub fn with_snapshot_interval(mut self, interval: usize) -> Self {
+        assert!(interval > 0, "snapshot interval must be positive");
+        self.snapshot_interval = Some(interval);
+        self
+    }
+
+    /// Test hook: panic right after the `n`-th record is durably appended —
+    /// simulating a crash *between* the journal write and the state
+    /// transition it describes (the write-ahead window).
+    pub fn with_kill_after(mut self, n: u64) -> Self {
+        self.kill_after = Some(n);
+        self
+    }
+
+    /// Append one record (write-ahead: call *before* applying the
+    /// transition). Triggers compaction when the snapshot interval elapses.
+    pub fn record(&mut self, rec: &JournalRecord) -> Result<(), JournalError> {
+        self.store.append(&frame(self.seq, rec))?;
+        self.seq += 1;
+        self.appended += 1;
+        if self.kill_after.is_some_and(|n| self.appended >= n) {
+            panic!(
+                "journal kill switch: simulated crash after record {}",
+                self.appended
+            );
+        }
+        self.plan.apply(rec)?;
+        self.since_snapshot += 1;
+        if self
+            .snapshot_interval
+            .is_some_and(|interval| self.since_snapshot >= interval)
+        {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Rewrite the store as `[Begin, Snapshot(plan)]`.
+    fn compact(&mut self) -> Result<(), JournalError> {
+        let begin = JournalRecord::Begin {
+            version: JOURNAL_FORMAT_VERSION,
+            label: self.plan.label.clone(),
+            seed: self.plan.seed,
+        };
+        let snap = JournalRecord::Snapshot {
+            plan: self.plan.clone(),
+        };
+        self.store
+            .rewrite(&[frame(self.seq, &begin), frame(self.seq + 1, &snap)])?;
+        self.seq += 2;
+        self.since_snapshot = 0;
+        self.snapshots += 1;
+        Ok(())
+    }
+
+    /// Records appended so far (excluding Begin/Snapshot frames).
+    pub fn records_written(&self) -> u64 {
+        self.appended
+    }
+
+    /// Compactions performed so far.
+    pub fn snapshots_taken(&self) -> u64 {
+        self.snapshots
+    }
+
+    /// The current derived replay plan (what a resume from this instant
+    /// would see).
+    pub fn plan(&self) -> &ReplayPlan {
+        &self.plan
+    }
+}
+
+/// What [`load_plan`] recovered from a (possibly torn) journal.
+#[derive(Debug)]
+pub struct LoadedJournal {
+    /// The replay plan reconstructed from the valid prefix.
+    pub plan: ReplayPlan,
+    /// Valid records replayed (including the Begin/Snapshot head).
+    pub records: usize,
+    /// Trailing lines dropped as torn/corrupt.
+    pub dropped: usize,
+}
+
+/// Replay a journal store into a [`ReplayPlan`].
+///
+/// The head must be a valid `Begin` record with a compatible format version
+/// — without it the journal cannot even be identified, so corruption there
+/// is a hard [`JournalError`]. Everything after the head is salvaged
+/// best-effort: the tail is dropped at the first malformed, mis-checksummed,
+/// out-of-sequence, or structurally inconsistent line. Dropping the tail
+/// trades cached state for recomputation; it never produces a wrong plan.
+pub fn load_plan(store: &dyn JournalStore) -> Result<LoadedJournal, JournalError> {
+    let lines = store.lines()?;
+    let mut it = lines.iter();
+    let head = it
+        .next()
+        .ok_or_else(|| JournalError::Corrupt("journal is empty".into()))?;
+    let (mut prev_seq, begin) = parse_frame(head)?;
+    let JournalRecord::Begin {
+        version,
+        label,
+        seed,
+    } = begin
+    else {
+        return Err(JournalError::Corrupt(
+            "journal does not start with a Begin record".into(),
+        ));
+    };
+    if version != JOURNAL_FORMAT_VERSION {
+        return Err(JournalError::Version {
+            found: version,
+            expected: JOURNAL_FORMAT_VERSION,
+        });
+    }
+    let mut plan = ReplayPlan::new(label, seed);
+    let mut records = 1usize;
+    let mut dropped = 0usize;
+    let mut remaining = lines.len() - 1;
+    for line in it {
+        let keep = parse_frame(line).and_then(|(seq, rec)| {
+            if seq <= prev_seq {
+                return Err(JournalError::Corrupt(format!(
+                    "sequence regressed: {prev_seq} then {seq}"
+                )));
+            }
+            match rec {
+                // A Snapshot directly after the head replaces the plan
+                // wholesale (compacted journal). Anywhere else it is torn.
+                JournalRecord::Snapshot { plan: snap } if records == 1 => {
+                    if snap.label != plan.label || snap.seed != plan.seed {
+                        return Err(JournalError::Corrupt(
+                            "snapshot identity does not match the Begin record".into(),
+                        ));
+                    }
+                    plan = snap;
+                    Ok(seq)
+                }
+                rec => plan.apply(&rec).map(|()| seq),
+            }
+        });
+        match keep {
+            Ok(seq) => {
+                prev_seq = seq;
+                records += 1;
+                remaining -= 1;
+            }
+            Err(_) => {
+                // Torn tail: everything from here on is untrusted.
+                dropped = remaining;
+                break;
+            }
+        }
+    }
+    Ok(LoadedJournal {
+        plan,
+        records,
+        dropped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impress_sim::SimTime;
+
+    fn meta(name: &str, secs: u64) -> TaskMeta {
+        TaskMeta {
+            name: name.into(),
+            request: ResourceRequest::with_gpus(2, 1),
+            duration: SimDuration::from_secs(secs),
+            gpu_busy_fraction: 0.33,
+            priority: 5,
+            kind: TaskKind::Ml,
+            walltime: Some(SimDuration::from_hours(2)),
+        }
+    }
+
+    fn sample_records() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord::Begin {
+                version: JOURNAL_FORMAT_VERSION,
+                label: "t".into(),
+                seed: 9,
+            },
+            JournalRecord::Registered {
+                pipeline: 0,
+                parent: None,
+                name: "root".into(),
+            },
+            JournalRecord::Registered {
+                pipeline: 1,
+                parent: Some(0),
+                name: "sub".into(),
+            },
+            JournalRecord::StageSubmitted {
+                pipeline: 0,
+                stage: 0,
+                tasks: vec![meta("a", 10), meta("b", 20)],
+            },
+            JournalRecord::StageCompleted {
+                pipeline: 0,
+                stage: 0,
+            },
+            JournalRecord::Completed {
+                pipeline: 0,
+                outcome: Json::object().field("score", 0.1875).build(),
+            },
+            JournalRecord::Aborted {
+                pipeline: 1,
+                reason: "quality floor".into(),
+            },
+            JournalRecord::Snapshot {
+                plan: ReplayPlan::new("t", 9),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_record_type_round_trips_through_json() {
+        for rec in sample_records() {
+            let json = rec.to_json();
+            let text = impress_json::to_string(&json);
+            let back = JournalRecord::from_json(&impress_json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, rec, "round trip failed for {text}");
+        }
+    }
+
+    #[test]
+    fn task_meta_round_trips_and_rebuilds_descriptions() {
+        let m = meta("af2", 3600);
+        let back = TaskMeta::from_json(&impress_json::parse(&impress_json::to_string(&m)).unwrap())
+            .unwrap();
+        assert_eq!(back, m);
+        let d = back.to_description();
+        assert_eq!(TaskMeta::of(&d), m);
+        assert!(d.work.is_none(), "ghost tasks carry no work");
+    }
+
+    #[test]
+    fn frames_detect_bit_rot() {
+        let rec = JournalRecord::StageCompleted {
+            pipeline: 3,
+            stage: 1,
+        };
+        let line = frame(7, &rec);
+        assert_eq!(parse_frame(&line).unwrap(), (7, rec));
+        let flipped = line.replace("\"stage\":1", "\"stage\":2");
+        assert!(matches!(
+            parse_frame(&flipped),
+            Err(JournalError::Corrupt(_))
+        ));
+        assert!(parse_frame(&line[..line.len() - 4]).is_err(), "truncation");
+    }
+
+    fn journaled(records: &[JournalRecord], interval: Option<usize>) -> MemoryJournal {
+        let store = MemoryJournal::new();
+        let mut j = Journal::new(Box::new(store.clone()), "t", 9).unwrap();
+        if let Some(i) = interval {
+            j = j.with_snapshot_interval(i);
+        }
+        for rec in records {
+            j.record(rec).unwrap();
+        }
+        store
+    }
+
+    /// The mid-stream records of [`sample_records`] (no Begin/Snapshot).
+    fn body() -> Vec<JournalRecord> {
+        sample_records()[1..7].to_vec()
+    }
+
+    #[test]
+    fn load_replays_what_was_recorded() {
+        let store = journaled(&body(), None);
+        let loaded = load_plan(&store).unwrap();
+        assert_eq!(loaded.dropped, 0);
+        assert_eq!(loaded.records, 7);
+        assert_eq!(loaded.plan.label, "t");
+        assert_eq!(loaded.plan.seed, 9);
+        assert_eq!(loaded.plan.pipelines.len(), 2);
+        let root = &loaded.plan.pipelines[0];
+        assert_eq!(root.stages.len(), 1);
+        assert_eq!(root.stages_completed, 1);
+        assert!(matches!(root.terminal, Some(TerminalRecord::Completed(_))));
+        assert!(matches!(
+            loaded.plan.pipelines[1].terminal,
+            Some(TerminalRecord::Aborted(_))
+        ));
+        assert_eq!(loaded.plan.ghost_tasks(), 2);
+        assert_eq!(loaded.plan.live_pipelines(), 0);
+    }
+
+    #[test]
+    fn compaction_preserves_the_plan_and_shrinks_the_store() {
+        let plain = journaled(&body(), None);
+        let compacted = journaled(&body(), Some(2));
+        assert!(compacted.line_count() < plain.line_count());
+        assert_eq!(
+            load_plan(&compacted).unwrap().plan,
+            load_plan(&plain).unwrap().plan,
+            "compaction must not change the recovered plan"
+        );
+    }
+
+    #[test]
+    fn appends_after_compaction_keep_sequencing_valid() {
+        let store = MemoryJournal::new();
+        let mut j = Journal::new(Box::new(store.clone()), "t", 9)
+            .unwrap()
+            .with_snapshot_interval(3);
+        for rec in body() {
+            j.record(&rec).unwrap();
+        }
+        assert!(j.snapshots_taken() >= 1);
+        let loaded = load_plan(&store).unwrap();
+        assert_eq!(loaded.dropped, 0);
+        assert_eq!(loaded.plan, *j.plan());
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_fatal() {
+        let store = journaled(&body(), None);
+        // Tear the last line mid-write.
+        store.tamper(|lines| {
+            let last = lines.last_mut().unwrap();
+            last.truncate(last.len() / 2);
+        });
+        let loaded = load_plan(&store).unwrap();
+        assert_eq!(loaded.dropped, 1);
+        // The aborted sub-pipeline's terminal record was in the torn line.
+        assert!(loaded.plan.pipelines[1].terminal.is_none());
+        assert_eq!(loaded.plan.live_pipelines(), 1);
+    }
+
+    #[test]
+    fn everything_after_a_torn_line_is_untrusted() {
+        let store = journaled(&body(), None);
+        store.tamper(|lines| {
+            let mid = lines.len() / 2;
+            lines[mid].truncate(3);
+        });
+        let loaded = load_plan(&store).unwrap();
+        assert!(loaded.dropped >= 3, "torn line plus everything after it");
+    }
+
+    #[test]
+    fn torn_snapshot_degrades_to_an_empty_plan() {
+        let store = journaled(&body(), Some(100));
+        // Compact manually by recording enough, then tear the snapshot line
+        // of a freshly compacted journal.
+        let compacted = journaled(&body(), Some(2));
+        let _ = store;
+        compacted.tamper(|lines| {
+            // After compaction the store is [Begin, Snapshot, tail…]; tear
+            // the Snapshot line itself (a torn rewrite).
+            let keep = lines[1].len() / 3;
+            lines[1].truncate(keep);
+            lines.truncate(2);
+        });
+        let loaded = load_plan(&compacted).unwrap();
+        assert_eq!(loaded.dropped, 1);
+        assert!(
+            loaded.plan.pipelines.is_empty(),
+            "a torn snapshot means a full (still byte-identical) re-run"
+        );
+    }
+
+    #[test]
+    fn corrupt_head_is_a_typed_error_never_a_panic() {
+        let empty = MemoryJournal::new();
+        assert!(matches!(
+            load_plan(&empty),
+            Err(JournalError::Corrupt(_))
+        ));
+        let garbage = MemoryJournal::new();
+        garbage.append("not json at all").unwrap();
+        assert!(load_plan(&garbage).is_err());
+        let wrong_head = journaled(&body(), None);
+        wrong_head.tamper(|lines| {
+            lines.remove(0);
+        });
+        assert!(matches!(
+            load_plan(&wrong_head),
+            Err(JournalError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn version_mismatch_is_reported() {
+        let store = MemoryJournal::new();
+        store
+            .append(&frame(
+                0,
+                &JournalRecord::Begin {
+                    version: JOURNAL_FORMAT_VERSION + 1,
+                    label: "t".into(),
+                    seed: 0,
+                },
+            ))
+            .unwrap();
+        assert_eq!(
+            load_plan(&store).unwrap_err(),
+            JournalError::Version {
+                found: JOURNAL_FORMAT_VERSION + 1,
+                expected: JOURNAL_FORMAT_VERSION
+            }
+        );
+    }
+
+    #[test]
+    fn kill_switch_panics_after_the_nth_append() {
+        let store = MemoryJournal::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut j = Journal::new(Box::new(store.clone()), "t", 9)
+                .unwrap()
+                .with_kill_after(2);
+            for rec in body() {
+                j.record(&rec).unwrap();
+            }
+        }));
+        assert!(result.is_err(), "kill switch must fire");
+        // Begin + exactly 2 appended records survive (write-ahead: the
+        // record is durable even though its transition never applied).
+        assert_eq!(store.line_count(), 3);
+        assert!(load_plan(&store).is_ok());
+    }
+
+    #[test]
+    fn file_store_appends_compacts_and_reloads() {
+        let dir = std::env::temp_dir().join(format!(
+            "impress-journal-test-{}-{:?}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.journal");
+        {
+            let mut j =
+                Journal::new(Box::new(FileJournal::new(&path)), "file-test", 4).unwrap();
+            for rec in body() {
+                j.record(&rec).unwrap();
+            }
+        }
+        let reloaded = load_plan(&FileJournal::new(&path)).unwrap();
+        assert_eq!(reloaded.plan.pipelines.len(), 2);
+        assert_eq!(reloaded.dropped, 0);
+        // Compaction path: rewrite through the same store.
+        {
+            let mut j = Journal::new(Box::new(FileJournal::new(&path)), "file-test", 4)
+                .unwrap()
+                .with_snapshot_interval(2);
+            for rec in body() {
+                j.record(&rec).unwrap();
+            }
+            assert!(j.snapshots_taken() >= 1);
+        }
+        let compacted = load_plan(&FileJournal::new(&path)).unwrap();
+        assert_eq!(compacted.plan, reloaded.plan);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_reads_as_empty() {
+        let store = FileJournal::new("/nonexistent-dir-hopefully/x.journal");
+        assert_eq!(store.lines().unwrap().len(), 0);
+        let _ = SimTime::ZERO; // keep the import exercised under cfg(test)
+    }
+}

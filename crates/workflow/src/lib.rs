@@ -29,7 +29,11 @@
 //!   level-synchronized dependency DAGs) for users who don't need a custom
 //!   state machine.
 //! * [`events`] — the structured event log of everything the coordinator
-//!   did, with virtual timestamps.
+//!   did, with virtual timestamps and monotonic sequence numbers.
+//! * [`journal`] — the crash-consistency layer: a write-ahead journal of
+//!   coordinator state transitions with snapshot compaction, and the replay
+//!   plan [`Coordinator::resume`] uses to reconstruct an interrupted
+//!   campaign byte-identically.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -38,6 +42,7 @@ pub mod coordinator;
 pub mod dag;
 pub mod decision;
 pub mod events;
+pub mod journal;
 pub mod linear;
 pub mod pipeline;
 pub mod registry;
@@ -48,6 +53,10 @@ pub use coordinator::{Coordinator, CoordinatorView};
 pub use dag::{DagBuilder, DagPipeline};
 pub use decision::{DecisionEngine, NoDecisions};
 pub use events::{Event, EventKind, EventLog};
+pub use journal::{
+    load_plan, FileJournal, Journal, JournalError, JournalRecord, JournalStore, LoadedJournal,
+    MemoryJournal, ReplayPlan, TaskMeta, JOURNAL_FORMAT_VERSION,
+};
 pub use linear::LinearPipeline;
 pub use pipeline::{BoxedPipeline, PipelineId, PipelineLogic, PipelineState};
 pub use registry::Registry;

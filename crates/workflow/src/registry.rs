@@ -55,6 +55,13 @@ impl Registry {
         Self::default()
     }
 
+    /// The id the next [`register`](Self::register) call will assign.
+    /// The journal writes its `Registered` record *before* registration, so
+    /// it needs the id ahead of time.
+    pub fn peek_next_id(&self) -> u64 {
+        self.next_id
+    }
+
     /// Register a new pipeline, returning its id.
     pub fn register(
         &mut self,

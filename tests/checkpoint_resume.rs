@@ -1,0 +1,306 @@
+//! Crash-consistency end to end: a journaled IM-RP campaign killed at
+//! adversarial points — including mid-snapshot torn writes — must resume
+//! from the surviving journal and regenerate the uninterrupted run's
+//! artifacts byte for byte; a walltime-drained campaign must do the same.
+//! The simulated backend gets full byte parity; the threaded backend
+//! (nondeterministic completion order by construction) gets
+//! drain-checkpoint-resume with outcome-cohort parity.
+
+use impress_core::adaptive::AdaptivePolicy;
+use impress_core::experiment::{run_imrp_on, JournaledRun};
+use impress_core::{
+    imrp_journal, resume_imrp, run_imrp_journaled, DesignPipeline, ProtocolConfig, TargetToolkit,
+};
+use impress_pilot::backend::ThreadedBackend;
+use impress_pilot::PilotConfig;
+use impress_proteins::datasets::named_pdz_domains;
+use impress_sim::{props, SimDuration, SimTime};
+use impress_workflow::journal::{load_plan, Journal, JournalError, MemoryJournal};
+use impress_workflow::{Coordinator, NoDecisions};
+
+const SEED: u64 = 11;
+
+fn targets() -> Vec<impress_proteins::datasets::DesignTarget> {
+    named_pdz_domains(SEED).into_iter().take(2).collect()
+}
+
+fn policy() -> AdaptivePolicy {
+    AdaptivePolicy {
+        sub_budget: 2,
+        ..AdaptivePolicy::default()
+    }
+}
+
+/// A journaled run killed after `kill_after` records; returns the
+/// surviving store. The kill switch panics from inside the coordinator,
+/// which is exactly how a preempted allocation looks to the journal.
+fn killed_run(kill_after: u64, snapshot_interval: Option<usize>) -> MemoryJournal {
+    let targets = targets();
+    let config = ProtocolConfig::imrp(SEED);
+    let store = MemoryJournal::new();
+    let mut journal = imrp_journal(Box::new(store.clone()), &config)
+        .expect("journal")
+        .with_kill_after(kill_after);
+    if let Some(i) = snapshot_interval {
+        journal = journal.with_snapshot_interval(i);
+    }
+    let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_imrp_journaled(
+            &targets,
+            config.clone(),
+            policy(),
+            PilotConfig::with_seed(SEED),
+            journal,
+            None,
+        )
+    }));
+    assert!(crashed.is_err(), "kill switch must fire");
+    store
+}
+
+fn resume_from(store: &MemoryJournal) -> (String, usize) {
+    let loaded = load_plan(store).expect("surviving journal must load");
+    let resumed = resume_imrp(
+        &targets(),
+        ProtocolConfig::imrp(SEED),
+        policy(),
+        PilotConfig::with_seed(SEED),
+        &loaded.plan,
+    )
+    .expect("resume");
+    (impress_json::to_string(&resumed), loaded.dropped)
+}
+
+fn baseline_json() -> String {
+    let r = run_imrp_on(
+        &targets(),
+        ProtocolConfig::imrp(SEED),
+        policy(),
+        PilotConfig::with_seed(SEED),
+    );
+    impress_json::to_string(&r)
+}
+
+/// Three adversarial kill points — just after campaign registration,
+/// mid-campaign, and a handful of records before the natural end — all
+/// resume to the uninterrupted run's bytes.
+#[test]
+fn kill_and_resume_is_byte_identical_at_adversarial_kill_points() {
+    let baseline = baseline_json();
+    // Record the campaign's natural journal length first.
+    let store = MemoryJournal::new();
+    let config = ProtocolConfig::imrp(SEED);
+    let full = run_imrp_journaled(
+        &targets(),
+        config.clone(),
+        policy(),
+        PilotConfig::with_seed(SEED),
+        imrp_journal(Box::new(store.clone()), &config).expect("journal"),
+        None,
+    );
+    assert_eq!(baseline, impress_json::to_string(&full.result));
+    let total = full.records;
+    assert!(total > 20, "campaign too small to be adversarial: {total}");
+
+    for kill_after in [6, total / 2, total - 3] {
+        let store = killed_run(kill_after, None);
+        let (resumed, dropped) = resume_from(&store);
+        assert_eq!(dropped, 0, "clean kill leaves no torn tail");
+        assert_eq!(baseline, resumed, "kill at record {kill_after}");
+    }
+}
+
+/// A torn final write — the allocation died mid-`write(2)` — is detected
+/// by the frame checksum, dropped, and the resume still converges.
+#[test]
+fn torn_tail_write_is_dropped_and_resume_still_matches() {
+    let baseline = baseline_json();
+    let store = killed_run(40, None);
+    store.tamper(|lines| {
+        let last = lines.len() - 1;
+        let keep = lines[last].len() / 2;
+        lines[last].truncate(keep);
+    });
+    let (resumed, dropped) = resume_from(&store);
+    assert_eq!(dropped, 1, "exactly the torn line is distrusted");
+    assert_eq!(baseline, resumed);
+}
+
+/// A crash in the middle of snapshot compaction tears the snapshot line
+/// itself. The loader must refuse the snapshot *and everything after it*
+/// (later records assume the snapshot's state), falling back to a full
+/// re-run — which still reproduces the baseline bytes.
+#[test]
+fn torn_snapshot_write_forces_full_rerun_with_parity() {
+    let baseline = baseline_json();
+    let store = killed_run(40, Some(8));
+    store.tamper(|lines| {
+        assert!(lines.len() >= 3, "expected [Begin, Snapshot, records…]");
+        let keep = lines[1].len() / 2;
+        lines[1].truncate(keep);
+    });
+    let loaded = load_plan(&store).expect("head is intact, load must succeed");
+    assert!(loaded.dropped >= 1);
+    assert_eq!(
+        loaded.plan.pipelines.len(),
+        0,
+        "a torn snapshot leaves nothing trustworthy to replay"
+    );
+    let resumed = resume_imrp(
+        &targets(),
+        ProtocolConfig::imrp(SEED),
+        policy(),
+        PilotConfig::with_seed(SEED),
+        &loaded.plan,
+    )
+    .expect("resume from empty plan is a full re-run");
+    assert_eq!(baseline, impress_json::to_string(&resumed));
+}
+
+/// A journal whose head is garbage is a typed error, never a panic: the
+/// operator should see a diagnostic, not a backtrace.
+#[test]
+fn corrupt_journal_head_is_a_typed_error() {
+    let store = MemoryJournal::new();
+    store.tamper(|lines| lines.push("not a journal frame".into()));
+    match load_plan(&store) {
+        Ok(_) => panic!("garbage head must not load"),
+        Err(JournalError::Corrupt(msg)) => assert!(!msg.is_empty()),
+        Err(other) => panic!("expected Corrupt, got {other}"),
+    }
+}
+
+/// Walltime-aware drain on the simulated backend: past the deadline the
+/// session stops launching tasks that would overrun, drains in-flight
+/// work, and the journal checkpoint resumes to the uninterrupted bytes.
+#[test]
+fn simulated_drain_then_resume_matches_uninterrupted_run() {
+    let baseline = baseline_json();
+    let config = ProtocolConfig::imrp(SEED);
+    let store = MemoryJournal::new();
+    // Deadline at roughly half the campaign: guaranteed to strand work.
+    let full = run_imrp_on(
+        &targets(),
+        config.clone(),
+        policy(),
+        PilotConfig::with_seed(SEED),
+    );
+    let deadline = SimTime::from_micros(full.run.makespan.as_micros() / 2);
+    let JournaledRun {
+        result, drained, ..
+    } = run_imrp_journaled(
+        &targets(),
+        config.clone(),
+        policy(),
+        PilotConfig::with_seed(SEED),
+        imrp_journal(Box::new(store.clone()), &config).expect("journal"),
+        Some(deadline),
+    );
+    assert!(drained, "a mid-campaign deadline must force a drain");
+    assert!(
+        result.outcomes.len() < full.outcomes.len() || result.run.total_tasks < full.run.total_tasks,
+        "a drained campaign must have stopped early"
+    );
+    let (resumed, dropped) = resume_from(&store);
+    assert_eq!(dropped, 0);
+    assert_eq!(baseline, resumed, "drain checkpoint must resume losslessly");
+}
+
+/// The threaded backend honors the same drain contract: a real-clock
+/// deadline strands the remainder, the checkpoint resumes on a fresh
+/// backend, and the final outcome cohort matches an uninterrupted threaded
+/// run. (Byte-level event parity is out of scope here: thread completion
+/// order is nondeterministic by construction.)
+#[test]
+fn threaded_drain_checkpoint_resume_preserves_outcome_cohort() {
+    let time_scale = 11e-6; // 1 virtual hour ≈ 40 real ms
+    let pilot = || PilotConfig {
+        bootstrap: SimDuration::from_secs(30),
+        exec_setup_per_task: SimDuration::from_secs(5),
+        ..PilotConfig::with_seed(SEED)
+    };
+    let targets = targets();
+    let config = ProtocolConfig::imrp(SEED);
+    let add_roots = |c: &mut Coordinator<_, _, NoDecisions>| {
+        for (i, t) in targets.iter().enumerate() {
+            let tk = TargetToolkit::for_target(t, SEED);
+            c.add_pipeline(Box::new(DesignPipeline::root(tk, config.clone(), i as u64)));
+        }
+    };
+    let outcome_cohort = |c: &Coordinator<_, _, NoDecisions>| {
+        let mut cohort: Vec<String> = c
+            .outcomes()
+            .iter()
+            .map(|(_, o)| impress_json::to_string(o))
+            .collect();
+        cohort.sort();
+        cohort
+    };
+
+    // Uninterrupted reference cohort.
+    let mut reference = Coordinator::new(
+        ThreadedBackend::with_time_scale(pilot(), time_scale),
+        NoDecisions,
+    );
+    add_roots(&mut reference);
+    reference.run();
+    let want = outcome_cohort(&reference);
+    assert_eq!(want.len(), targets.len());
+
+    // Drained run: a ~200 ms real-clock allocation against a ~1 s campaign.
+    let store = MemoryJournal::new();
+    let journal = Journal::new(Box::new(store.clone()), "threaded-drain", SEED).expect("journal");
+    let backend = ThreadedBackend::with_time_scale(pilot(), time_scale)
+        .with_deadline(SimTime::from_micros(200_000));
+    let mut drained = Coordinator::new(backend, NoDecisions).with_journal(journal);
+    add_roots(&mut drained);
+    drained.run();
+    assert!(drained.drained(), "the deadline must strand work");
+
+    // Resume on a fresh backend with no deadline: ghosts for journaled
+    // terminals, real execution for the stranded remainder.
+    let plan = load_plan(&store).expect("drain checkpoint must load").plan;
+    let mut resumed = Coordinator::resume(
+        ThreadedBackend::with_time_scale(pilot(), time_scale),
+        NoDecisions,
+        &plan,
+    )
+    .expect("resume");
+    add_roots(&mut resumed);
+    resumed.run();
+    assert!(!resumed.drained());
+    assert_eq!(want, outcome_cohort(&resumed));
+}
+
+props! {
+    /// Every prefix of the journal is a valid checkpoint: whatever line
+    /// the crash landed on, loading the surviving prefix and resuming
+    /// regenerates the uninterrupted campaign byte for byte.
+    fn resume_from_any_journal_prefix_regenerates_the_baseline(rng, cases = 8) {
+        use std::sync::OnceLock;
+        static FIXTURE: OnceLock<(Vec<String>, String)> = OnceLock::new();
+        let (lines, baseline) = FIXTURE.get_or_init(|| {
+            let targets = targets();
+            let config = ProtocolConfig::imrp(SEED);
+            let store = MemoryJournal::new();
+            let full = run_imrp_journaled(
+                &targets,
+                config.clone(),
+                policy(),
+                PilotConfig::with_seed(SEED),
+                imrp_journal(Box::new(store.clone()), &config).expect("journal"),
+                None,
+            );
+            let mut lines = Vec::new();
+            store.tamper(|l| lines = l.clone());
+            (lines, impress_json::to_string(&full.result))
+        });
+
+        let prefix = 1 + rng.below(lines.len());
+        let store = MemoryJournal::new();
+        store.tamper(|l| *l = lines[..prefix].to_vec());
+        let (resumed, dropped) = resume_from(&store);
+        assert_eq!(dropped, 0, "whole-line prefixes are never torn");
+        assert_eq!(baseline, &resumed, "prefix of {prefix} lines");
+    }
+}

@@ -166,6 +166,41 @@ fn every_bench_suite_is_declared_in_the_manifest() {
     );
 }
 
+/// The checked-in recovery study must stay loadable and must agree with
+/// the code on the journal's on-disk format version. A version bump in
+/// `impress_workflow::journal` without regenerating `recovery.json`
+/// (`cargo run --release -p impress-bench --bin recovery`) fails here.
+/// Deliberately *not* a byte comparison: the study's replay wall-clock
+/// milliseconds are machine-dependent; only the structure is pinned.
+#[test]
+fn recovery_artifact_matches_the_journal_format_version() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("recovery.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {}: {e} — run the recovery bin", path.display()));
+    let json: impress_json::Json = impress_json::from_str(&text).expect("recovery.json parses");
+    let version: u32 = json
+        .get("format_version")
+        .and_then(|v| v.as_f64())
+        .expect("recovery.json has a format_version field") as u32;
+    assert_eq!(
+        version,
+        impress_workflow::JOURNAL_FORMAT_VERSION,
+        "recovery.json was generated under a different journal format — regenerate it"
+    );
+    let rows = json
+        .get("rows")
+        .and_then(|r| r.as_array())
+        .expect("recovery.json has rows");
+    assert!(!rows.is_empty(), "recovery study must report cells");
+    for row in rows {
+        assert_eq!(
+            row.get("byte_identical").and_then(|b| b.as_bool()),
+            Some(true),
+            "every checked-in recovery cell must have resumed byte-identically: {row:?}"
+        );
+    }
+}
+
 /// The root `[workspace.dependencies]` entries themselves must all be
 /// `path` specs, since member `workspace = true` entries resolve to them.
 #[test]
