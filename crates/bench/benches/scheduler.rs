@@ -5,50 +5,29 @@
 //! the paper's "continuous scheduling" only pays off if placement decisions
 //! are cheap relative to task granularity.
 
+use impress_bench::sched::{placement_cycle, task_stream};
 use impress_bench::timing::{black_box, Suite};
 use impress_pilot::backend::SimulatedBackend;
-use impress_pilot::{
-    ExecutionBackend, NodeSpec, PilotConfig, PlacementPolicy, ResourceRequest, Scheduler,
-    TaskDescription, TaskId,
-};
+use impress_pilot::{ExecutionBackend, PilotConfig, PlacementPolicy, TaskDescription};
 use impress_sim::SimDuration;
 
-/// A deterministic heterogeneous task stream shaped like the protocol's
-/// (many small CPU tasks, 6-core MSAs, 1-GPU inferences).
-fn task_stream(n: usize) -> Vec<ResourceRequest> {
-    (0..n)
-        .map(|i| match i % 5 {
-            0 => ResourceRequest::cores(6),        // MSA
-            1 => ResourceRequest::with_gpus(2, 1), // inference
-            2 => ResourceRequest::with_gpus(2, 1), // MPNN
-            _ => ResourceRequest::cores(1),        // bookkeeping
-        })
-        .collect()
-}
-
 fn bench_placement(suite: &mut Suite) {
-    for &n in &[64usize, 256, 1024] {
+    for &n in &[64usize, 256, 1024, 8192] {
         for policy in [PlacementPolicy::Fifo, PlacementPolicy::Backfill] {
             let stream = task_stream(n);
             suite.bench(&format!("place_release_cycle/{policy:?}/{n}"), || {
-                let mut s = Scheduler::new(NodeSpec::amarel(), policy);
-                for (i, req) in stream.iter().enumerate() {
-                    s.enqueue(TaskId(i as u64), *req);
-                }
-                let mut running = Vec::new();
-                let mut done = 0usize;
-                while done < n {
-                    for pair in s.place_ready() {
-                        running.push(pair);
-                    }
-                    if let Some((_, alloc)) = running.pop() {
-                        done += 1;
-                        s.release(&alloc);
-                    }
-                }
-                black_box(done)
+                black_box(placement_cycle(policy, 1, &stream))
             });
         }
+    }
+    // Multi-node first-fit: the scan cost multiplies by the node count, so
+    // a cluster-sized queue is where the blocked-shape cache has to earn
+    // its keep.
+    for &(nodes, n) in &[(8u32, 2048usize), (32, 8192)] {
+        let stream = task_stream(n);
+        suite.bench(&format!("place_release_cycle_cluster/{nodes}x/{n}"), || {
+            black_box(placement_cycle(PlacementPolicy::Backfill, nodes, &stream))
+        });
     }
 }
 

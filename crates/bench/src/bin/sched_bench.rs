@@ -1,0 +1,39 @@
+//! Scheduler-performance study: regenerates `BENCH_scheduler.json`.
+//!
+//! Usage: `cargo run --release -p impress-bench --bin sched_bench`
+//!
+//! Measures placement throughput (enqueue→place→release cycles at queue
+//! depths 64..8192, single- and multi-node) and the wall time of the
+//! end-to-end simulated 24-complex IM-RP campaign, then writes the JSON
+//! artifact with the pre-optimization baseline numbers embedded alongside
+//! (see `impress_bench::sched::baseline`).
+
+use impress_bench::harness::master_seed;
+use impress_bench::sched::{run_study, StudyParams};
+
+fn main() {
+    let seed = master_seed();
+    let doc = run_study(&StudyParams::full(), seed);
+    let path = "BENCH_scheduler.json";
+    std::fs::write(path, impress_json::to_string_pretty(&doc)).expect("write BENCH_scheduler.json");
+    eprintln!("wrote {path}");
+    if let Some(speedups) = doc.get("speedups").and_then(|s| s.as_array()) {
+        println!("\nspeedup vs pre-optimization scheduler:");
+        for s in speedups {
+            println!(
+                "  {:<44} {:>8.2}x",
+                s.get("id").and_then(|v| v.as_str()).unwrap_or("?"),
+                s.get("speedup").and_then(|v| v.as_f64()).unwrap_or(0.0)
+            );
+        }
+    }
+    if let Some(c) = doc.get("imrp_campaign") {
+        println!(
+            "  {:<44} {:>8.2}x",
+            "imrp_campaign (24 complexes, wall time)",
+            c.get("speedup_vs_baseline")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0)
+        );
+    }
+}

@@ -18,6 +18,7 @@
 //! Run e.g. `cargo run --release -p impress-bench --bin table1`.
 
 pub mod harness;
+pub mod sched;
 pub mod timing;
 
 pub use harness::{paper_experiment, PaperExperiment};

@@ -1,0 +1,246 @@
+//! Scheduler-performance study: placement throughput micro-benchmarks plus
+//! an end-to-end simulated IM-RP campaign timing, written to
+//! `BENCH_scheduler.json` by the `sched_bench` binary.
+//!
+//! The study documents its own *before* shape: [`baseline`] pins the
+//! numbers measured on the pre-optimization scheduler (BTreeSet slot
+//! pools, linear-scan priority inserts, `Vec::remove`-shifting backfill,
+//! one full placement rescan per simulation event) so the checked-in
+//! artifact always carries the comparison point, even though that code now
+//! survives only as the `#[cfg(test)]` reference oracle.
+//!
+//! The logic lives in the library (not the binary) so `tests/hermetic.rs`
+//! can run a tiny smoke iteration under `cargo test` — bench code cannot
+//! bit-rot between releases.
+
+use crate::timing::{black_box, BenchResult, Suite};
+use impress_core::adaptive::AdaptivePolicy;
+use impress_core::experiment::run_imrp_on;
+use impress_core::ProtocolConfig;
+use impress_json::Json;
+use impress_pilot::{
+    ClusterSpec, NodeSpec, PilotConfig, PlacementPolicy, ResourceRequest, Scheduler, TaskId,
+};
+use impress_proteins::datasets::mined_pdz_complexes;
+
+/// Bumped whenever the JSON document layout changes; `tests/hermetic.rs`
+/// checks the checked-in artifact against this.
+pub const SCHED_BENCH_FORMAT_VERSION: u32 = 1;
+
+/// Pre-optimization measurements, taken at commit `e10e361` on the same
+/// machine that produced the checked-in `BENCH_scheduler.json`.
+///
+/// Micro numbers are median ns per full enqueue→place→release cycle of the
+/// standard [`task_stream`] (same ids as the live suite); the campaign
+/// number is the median wall time of the 24-complex single-node IM-RP run.
+pub mod baseline {
+    /// Commit the baseline was measured at.
+    pub const COMMIT: &str = "e10e361";
+    /// What that scheduler looked like.
+    pub const DESCRIPTION: &str = "BTreeSet slot pools, linear-scan priority insert, \
+         Vec::remove backfill shifts, full placement rescan per event";
+    /// `(bench id, median ns/iter)` for every case the old code was measured on.
+    pub const MICRO_NS: &[(&str, u64)] = &[
+        ("place_release_cycle/Fifo/64", 16_240),
+        ("place_release_cycle/Backfill/64", 27_890),
+        ("place_release_cycle/Fifo/256", 77_040),
+        ("place_release_cycle/Backfill/256", 218_280),
+        ("place_release_cycle/Fifo/1024", 358_330),
+        ("place_release_cycle/Backfill/1024", 2_570_720),
+        ("place_release_cycle/Fifo/8192", 15_950_000),
+        ("place_release_cycle/Backfill/8192", 235_760_000),
+        ("place_release_cycle_cluster/8x/2048", 69_000_000),
+        ("place_release_cycle_cluster/32x/8192", 3_159_410_000),
+    ];
+    /// Median wall milliseconds of the 24-complex IM-RP campaign (5 samples).
+    pub const IMRP_CAMPAIGN_WALL_MS: f64 = 118.5;
+}
+
+/// The deterministic heterogeneous task stream shaped like the protocol's
+/// workload (6-core MSAs, 1-GPU inference/MPNN pairs, 1-core bookkeeping).
+pub fn task_stream(n: usize) -> Vec<ResourceRequest> {
+    (0..n)
+        .map(|i| match i % 5 {
+            0 => ResourceRequest::cores(6),        // MSA
+            1 => ResourceRequest::with_gpus(2, 1), // inference
+            2 => ResourceRequest::with_gpus(2, 1), // MPNN
+            _ => ResourceRequest::cores(1),        // bookkeeping
+        })
+        .collect()
+}
+
+/// One full scheduler cycle: enqueue `stream`, then alternate placement
+/// rounds with single releases until everything has run. Returns the task
+/// count (for [`black_box`]ing). This is the placement-throughput kernel
+/// shared by `benches/scheduler.rs` and the `sched_bench` study.
+pub fn placement_cycle(policy: PlacementPolicy, nodes: u32, stream: &[ResourceRequest]) -> usize {
+    let cluster = ClusterSpec::homogeneous(NodeSpec::amarel(), nodes);
+    let mut s = Scheduler::new_cluster(cluster, policy);
+    for (i, req) in stream.iter().enumerate() {
+        s.enqueue(TaskId(i as u64), *req);
+    }
+    let mut running = Vec::new();
+    let mut done = 0usize;
+    while done < stream.len() {
+        for pair in s.place_ready() {
+            running.push(pair);
+        }
+        if let Some((_, alloc)) = running.pop() {
+            done += 1;
+            s.release(&alloc);
+        }
+    }
+    done
+}
+
+/// Run one simulated IM-RP campaign (the scaling study's single-node row)
+/// and return `(wall seconds, virtual makespan hours)`.
+pub fn imrp_campaign(seed: u64, complexes: usize) -> (f64, f64) {
+    let targets = mined_pdz_complexes(seed, complexes);
+    let start = std::time::Instant::now();
+    let result = run_imrp_on(
+        &targets,
+        ProtocolConfig::imrp(seed),
+        AdaptivePolicy {
+            sub_budget: complexes / 3,
+            ..AdaptivePolicy::default()
+        },
+        PilotConfig::with_seed(seed),
+    );
+    (
+        start.elapsed().as_secs_f64(),
+        result.run.makespan.as_hours_f64(),
+    )
+}
+
+/// Knobs for one study run; [`StudyParams::full`] is what the binary uses,
+/// [`StudyParams::smoke`] is the tiny `cargo test` iteration.
+pub struct StudyParams {
+    /// Single-node queue depths (each run under both policies).
+    pub depths: Vec<usize>,
+    /// `(nodes, tasks)` multi-node backfill cases.
+    pub cluster_cases: Vec<(u32, usize)>,
+    /// Cohort size for the end-to-end IM-RP campaign.
+    pub campaign_complexes: usize,
+    /// Wall-time samples of the campaign (median is reported).
+    pub campaign_samples: usize,
+}
+
+impl StudyParams {
+    /// The full study regenerating `BENCH_scheduler.json`.
+    pub fn full() -> Self {
+        StudyParams {
+            depths: vec![64, 256, 1024, 8192],
+            cluster_cases: vec![(8, 2048), (32, 8192)],
+            campaign_complexes: 24,
+            campaign_samples: 5,
+        }
+    }
+
+    /// A seconds-scale iteration exercising every code path.
+    pub fn smoke() -> Self {
+        StudyParams {
+            depths: vec![32],
+            cluster_cases: vec![(2, 32)],
+            campaign_complexes: 2,
+            campaign_samples: 1,
+        }
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    xs[xs.len() / 2]
+}
+
+/// Run the study and build the `BENCH_scheduler.json` document.
+pub fn run_study(params: &StudyParams, seed: u64) -> Json {
+    let mut suite = Suite::new("sched_bench");
+    for &n in &params.depths {
+        for policy in [PlacementPolicy::Fifo, PlacementPolicy::Backfill] {
+            let stream = task_stream(n);
+            suite.bench(&format!("place_release_cycle/{policy:?}/{n}"), || {
+                black_box(placement_cycle(policy, 1, &stream))
+            });
+        }
+    }
+    for &(nodes, n) in &params.cluster_cases {
+        let stream = task_stream(n);
+        suite.bench(&format!("place_release_cycle_cluster/{nodes}x/{n}"), || {
+            black_box(placement_cycle(PlacementPolicy::Backfill, nodes, &stream))
+        });
+    }
+    let results: Vec<BenchResult> = suite.results().to_vec();
+
+    eprintln!(
+        "end-to-end IM-RP campaign ({} complexes, {} samples)...",
+        params.campaign_complexes, params.campaign_samples
+    );
+    let mut walls = Vec::new();
+    let mut makespan_h = 0.0;
+    for _ in 0..params.campaign_samples.max(1) {
+        let (wall, h) = imrp_campaign(seed, params.campaign_complexes);
+        walls.push(wall * 1e3);
+        makespan_h = h;
+    }
+    let campaign_ms = median(walls);
+    eprintln!("  campaign wall time: {campaign_ms:.1} ms (makespan {makespan_h:.2} h virtual)");
+
+    // Speedups against every baseline id the live suite also measured.
+    let mut speedups = Vec::new();
+    for &(id, before_ns) in baseline::MICRO_NS {
+        if let Some(r) = results.iter().find(|r| r.id == id) {
+            speedups.push(
+                Json::object()
+                    .field("id", id)
+                    .field("before_ns", before_ns)
+                    .field("after_ns", r.median_ns)
+                    .field("speedup", before_ns as f64 / r.median_ns.max(1) as f64)
+                    .build(),
+            );
+        }
+    }
+
+    Json::object()
+        .field("format_version", SCHED_BENCH_FORMAT_VERSION)
+        .field("suite", "sched_bench")
+        .field("seed", seed)
+        .field(
+            "baseline",
+            Json::object()
+                .field("commit", baseline::COMMIT)
+                .field("description", baseline::DESCRIPTION)
+                .field(
+                    "micro",
+                    Json::array(
+                        baseline::MICRO_NS
+                            .iter()
+                            .map(|&(id, ns)| {
+                                Json::object()
+                                    .field("id", id)
+                                    .field("median_ns", ns)
+                                    .build()
+                            })
+                            .collect::<Vec<_>>(),
+                    ),
+                )
+                .field("imrp_campaign_wall_ms", baseline::IMRP_CAMPAIGN_WALL_MS)
+                .build(),
+        )
+        .field("results", &results)
+        .field(
+            "imrp_campaign",
+            Json::object()
+                .field("complexes", params.campaign_complexes as u64)
+                .field("samples", params.campaign_samples as u64)
+                .field("wall_ms", campaign_ms)
+                .field("makespan_hours", makespan_h)
+                .field(
+                    "speedup_vs_baseline",
+                    baseline::IMRP_CAMPAIGN_WALL_MS / campaign_ms.max(1e-9),
+                )
+                .build(),
+        )
+        .field("speedups", Json::array(speedups))
+        .build()
+}

@@ -70,13 +70,18 @@ struct Shared {
     /// Tasks held by the deadline, in hold order. They stay `pending` and
     /// in flight but will never launch.
     held: Vec<u64>,
+    /// A submit-triggered placement scan is already scheduled at the current
+    /// instant; further submissions coalesce into it instead of scheduling
+    /// their own. All submissions between engine steps are enqueued before
+    /// the one scan fires, so placement order is unchanged.
+    place_event_pending: bool,
 }
 
 impl Shared {
     fn finish_task(
         &mut self,
         id: TaskId,
-        alloc: &Allocation,
+        alloc: Allocation,
         started: SimTime,
         now: SimTime,
         setup: SimDuration,
@@ -108,12 +113,12 @@ impl Shared {
             id,
             &task.name,
             &task.tag,
-            alloc,
+            &alloc,
             started,
             now,
             task.gpu_busy_fraction,
         );
-        self.scheduler.release(alloc);
+        self.scheduler.release_owned(alloc);
         self.breakdown
             .record_task(setup, now.since(started + setup));
         self.in_flight -= 1;
@@ -167,6 +172,7 @@ impl SimulatedBackend {
             backoff_rng,
             deadline: None,
             held: Vec::new(),
+            place_event_pending: false,
         }));
         let mut engine = Engine::new();
         // Bootstrap completion event: mark ready and place anything queued.
@@ -260,7 +266,7 @@ impl SimulatedBackend {
                 // back to the pool (in-flight peers may still use them) and it
                 // stays pending — held, never re-placed, never completed.
                 if sh.deadline.is_some_and(|d| now + span > d) {
-                    sh.scheduler.release(&alloc);
+                    sh.scheduler.release_owned(alloc);
                     sh.held.push(id.0);
                     continue;
                 }
@@ -273,19 +279,27 @@ impl SimulatedBackend {
                 (outcome, span, setup)
             };
             let s = shared.clone();
-            let event_alloc = alloc.clone();
             let handle = engine.schedule_in(span, move |eng| {
                 let at = eng.now();
-                s.borrow_mut().running.remove(&id.0);
+                // The record always exists when this event fires: eviction
+                // (node crash) cancels the handle before removing it, so a
+                // fired completion implies a live RunningAttempt. Taking it
+                // back here lets the allocation's id buffers be recycled
+                // instead of cloned per event.
+                let run = s
+                    .borrow_mut()
+                    .running
+                    .remove(&id.0)
+                    .expect("completion fired for a task no longer running");
                 match outcome {
                     Ok(()) => {
-                        s.borrow_mut().finish_task(id, &event_alloc, now, at, setup);
+                        s.borrow_mut().finish_task(id, run.alloc, now, at, setup);
                     }
                     Err(err) => {
                         {
                             let mut sh = s.borrow_mut();
-                            sh.profiler.attempt_wasted(&event_alloc, now, at);
-                            sh.scheduler.release(&event_alloc);
+                            sh.profiler.attempt_wasted(&run.alloc, now, at);
+                            sh.scheduler.release_owned(run.alloc);
                         }
                         Self::fail_attempt(&s, eng, id, err, now);
                     }
@@ -455,12 +469,20 @@ impl ExecutionBackend for SimulatedBackend {
             sh.scheduler
                 .enqueue_with_priority(id, desc.request, desc.priority);
             sh.in_flight += 1;
+            // Try placement via the queue so ordering with same-instant
+            // events stays deterministic — but coalesce: one scan event per
+            // burst of submissions. Every submission before the next engine
+            // step is already enqueued when the scan fires, so the placement
+            // sequence is identical to one scan per submit.
+            if std::mem::replace(&mut sh.place_event_pending, true) {
+                return id;
+            }
         }
-        // Try placement via the queue so ordering with same-instant events
-        // stays deterministic.
         let s = self.shared.clone();
-        self.engine
-            .schedule_at(now, move |eng| Self::place_ready(&s, eng));
+        self.engine.schedule_at(now, move |eng| {
+            s.borrow_mut().place_event_pending = false;
+            Self::place_ready(&s, eng);
+        });
         id
     }
 

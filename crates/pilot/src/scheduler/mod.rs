@@ -12,18 +12,53 @@
 //!   "offload newly created pipelines … to the idle resources when
 //!   possible" (§III-B) and is the default.
 //!
-//! Placement is deterministic: free devices are kept in ordered sets and
-//! granted lowest-id-first, so identical submission sequences produce
-//! identical allocations in both backends.
+//! Placement is deterministic: free devices are bitmask sets granted
+//! lowest-id-first, so identical submission sequences produce identical
+//! allocations in both backends.
+//!
+//! # Performance shape
+//!
+//! The waiting queue is a slab of entries threaded through priority
+//! buckets (a `BTreeMap` keyed highest-priority-first): enqueue is
+//! O(log P) in the number of distinct priorities, dequeue/cancel are O(1)
+//! (cancel leaves a tombstone that is compacted away amortized), and no
+//! operation shifts a `Vec`. Within a bucket, entries are grouped into
+//! **shape classes** — one FIFO deque per distinct `(cores, gpus)`
+//! request shape, merged by global arrival `seq` during a scan. Because
+//! free capacity only shrinks within a scan, the first member of a shape
+//! that fails to fit proves every later member of that shape fails too,
+//! so the whole class is retired for the rest of the scan: a no-progress
+//! backfill round costs O(distinct shapes), not O(queue length).
+//! Placement rounds keep two further caches:
+//!
+//! * a **capacity/queue epoch** pair — if neither the queue nor free
+//!   capacity changed since the last round, the round is provably a no-op
+//!   and returns immediately;
+//! * a **blocked-shape cache** — the smallest `(cores, gpus)` request that
+//!   failed against the current free frontier. Any queued request
+//!   dominating it (needing ≥ cores *and* ≥ gpus) cannot fit on any up
+//!   node either and is skipped without touching the pools. The cache is
+//!   invalidated whenever free capacity can *grow* (release / recover);
+//!   placements and drains only shrink the frontier, so it stays valid
+//!   across them.
+//!
+//! All three mechanisms are pure bypasses of work whose outcome is
+//! already known: the placement *sequence* is bit-identical to the naive
+//! scan-everything scheduler, which survives as the `#[cfg(test)]`
+//! [`reference`] oracle that the differential property test replays
+//! random workloads against.
 
 mod pool;
+#[cfg(test)]
+mod reference;
 
 pub use pool::SlotPool;
 
 use crate::resources::{Allocation, ClusterSpec, NodeSpec, ResourceRequest};
 use crate::task::TaskId;
 use impress_json::json_enum;
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Which waiting task may start when slots are free.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,15 +70,62 @@ pub enum PlacementPolicy {
 }
 json_enum!(PlacementPolicy { Fifo, Backfill });
 
+/// A queued task in the slab. `live` is cleared on cancellation; the
+/// tombstone stays in its class deque until pruned or compacted so no
+/// `VecDeque` ever shifts. `seq` is the global arrival number — the FIFO
+/// tie-breaker when merging shape classes within a priority bucket.
+#[derive(Debug)]
+struct QueueEntry {
+    id: TaskId,
+    request: ResourceRequest,
+    seq: u64,
+    live: bool,
+}
+
+/// One priority class: waiting entries grouped by request shape. Each
+/// `(cores, gpus)` shape keeps its own FIFO deque of slab indices; a scan
+/// merges the class heads by arrival `seq`. The grouping is what lets a
+/// scan retire an entire shape in O(1) after its first member fails —
+/// identical shapes against a frontier that only shrinks must all fail.
+#[derive(Debug, Default)]
+struct Bucket {
+    classes: HashMap<(u32, u32), VecDeque<u32>>,
+    /// Live entries across all classes (tombstones excluded).
+    live: usize,
+}
+
 /// The pilot agent's scheduler.
 #[derive(Debug)]
 pub struct Scheduler {
     pools: Vec<SlotPool>,
     /// `down[i]` — node `i` is drained (crashed) and takes no placements.
     down: Vec<bool>,
-    queue: VecDeque<(TaskId, ResourceRequest, i32)>,
+    /// Priority buckets, highest first.
+    buckets: BTreeMap<Reverse<i32>, Bucket>,
+    slab: Vec<QueueEntry>,
+    /// Arrival counter feeding `QueueEntry::seq`.
+    next_seq: u64,
+    free_slots: Vec<u32>,
+    /// Task id → (slab index, priority), for O(log P) cancellation.
+    by_task: HashMap<u64, (u32, i32)>,
+    /// Live (placeable) entries across all buckets.
+    live: usize,
+    /// Tombstones still threaded through buckets.
+    dead: usize,
     policy: PlacementPolicy,
     cluster: ClusterSpec,
+    /// Bumped on every queue mutation (enqueue/cancel).
+    queue_epoch: u64,
+    /// Bumped whenever free capacity can grow (release/recover).
+    capacity_epoch: u64,
+    /// Epochs at the end of the last completed placement round; when both
+    /// still match, the next round is a provable no-op.
+    scanned_queue_epoch: u64,
+    scanned_capacity_epoch: u64,
+    /// Smallest `(cores, gpus)` shape known not to fit any up node's free
+    /// frontier. Valid until capacity grows ([`Scheduler::release`] /
+    /// [`Scheduler::recover_node`] clear it).
+    blocked_shape: Option<(u32, u32)>,
 }
 
 impl Scheduler {
@@ -60,9 +142,20 @@ impl Scheduler {
                 .map(|_| SlotPool::new(&cluster.node))
                 .collect(),
             down: vec![false; cluster.count as usize],
-            queue: VecDeque::new(),
+            buckets: BTreeMap::new(),
+            slab: Vec::new(),
+            next_seq: 0,
+            free_slots: Vec::new(),
+            by_task: HashMap::new(),
+            live: 0,
+            dead: 0,
             policy,
             cluster,
+            queue_epoch: 0,
+            capacity_epoch: 0,
+            scanned_queue_epoch: u64::MAX,
+            scanned_capacity_epoch: u64::MAX,
+            blocked_shape: None,
         }
     }
 
@@ -77,9 +170,13 @@ impl Scheduler {
     }
 
     /// First-fit placement across the cluster's *up* nodes.
-    fn try_alloc(&mut self, req: &ResourceRequest) -> Option<Allocation> {
-        for (idx, pool) in self.pools.iter_mut().enumerate() {
-            if self.down[idx] {
+    fn alloc_in(
+        pools: &mut [SlotPool],
+        down: &[bool],
+        req: &ResourceRequest,
+    ) -> Option<Allocation> {
+        for (idx, pool) in pools.iter_mut().enumerate() {
+            if down[idx] {
                 continue;
             }
             if let Some(mut alloc) = pool.try_alloc(req) {
@@ -94,6 +191,9 @@ impl Scheduler {
     /// no placements until [`Scheduler::recover_node`]. The caller is
     /// responsible for requeueing tasks that were resident on it (their
     /// allocations are implicitly forfeited — do *not* release them).
+    ///
+    /// A drain only shrinks the placeable frontier, so the blocked-shape
+    /// cache and round epochs stay valid.
     pub fn drain_node(&mut self, node: u32) {
         let idx = node as usize;
         assert!(!self.down[idx], "node {node} drained twice");
@@ -106,6 +206,8 @@ impl Scheduler {
         let idx = node as usize;
         assert!(self.down[idx], "node {node} recovered while up");
         self.down[idx] = false;
+        self.capacity_epoch += 1;
+        self.blocked_shape = None;
     }
 
     /// Whether `node` is currently accepting placements.
@@ -133,48 +235,220 @@ impl Scheduler {
             "{id}: request {request} can never fit node {}",
             self.cluster.node
         );
-        // Stable insert before the first strictly-lower-priority entry.
-        let pos = self
-            .queue
-            .iter()
-            .position(|&(_, _, p)| p < priority)
-            .unwrap_or(self.queue.len());
-        self.queue.insert(pos, (id, request, priority));
+        let entry = QueueEntry {
+            id,
+            request,
+            seq: self.next_seq,
+            live: true,
+        };
+        self.next_seq += 1;
+        let idx = match self.free_slots.pop() {
+            Some(i) => {
+                self.slab[i as usize] = entry;
+                i
+            }
+            None => {
+                self.slab.push(entry);
+                (self.slab.len() - 1) as u32
+            }
+        };
+        let prev = self.by_task.insert(id.0, (idx, priority));
+        assert!(prev.is_none(), "{id} enqueued while already queued");
+        let bucket = self.buckets.entry(Reverse(priority)).or_default();
+        bucket
+            .classes
+            .entry((request.cores, request.gpus))
+            .or_default()
+            .push_back(idx);
+        bucket.live += 1;
+        self.live += 1;
+        self.queue_epoch += 1;
     }
 
     /// Place every task the policy allows right now. Returns the granted
     /// `(task, allocation)` pairs in placement order.
     pub fn place_ready(&mut self) -> Vec<(TaskId, Allocation)> {
+        // Nothing enqueued and no capacity growth since the last round ⇒
+        // every outcome is already known to be "no placement".
+        if self.scanned_queue_epoch == self.queue_epoch
+            && self.scanned_capacity_epoch == self.capacity_epoch
+        {
+            return Vec::new();
+        }
         let mut placed = Vec::new();
         match self.policy {
-            PlacementPolicy::Fifo => {
-                while let Some((_, req, _)) = self.queue.front() {
-                    let req = *req;
-                    match self.try_alloc(&req) {
-                        Some(alloc) => {
-                            let (id, _, _) = self.queue.pop_front().expect("front exists");
-                            placed.push((id, alloc));
-                        }
-                        None => break,
-                    }
+            PlacementPolicy::Fifo => self.place_fifo(&mut placed),
+            PlacementPolicy::Backfill => self.place_backfill(&mut placed),
+        }
+        self.scanned_queue_epoch = self.queue_epoch;
+        self.scanned_capacity_epoch = self.capacity_epoch;
+        if self.dead > 64 && self.dead >= self.live {
+            self.compact();
+        }
+        placed
+    }
+
+    /// The earliest-arrived live head across a bucket's shape classes,
+    /// pruning front tombstones along the way. Returns `(seq, shape)`.
+    fn min_seq_head(
+        slab: &[QueueEntry],
+        free_slots: &mut Vec<u32>,
+        dead: &mut usize,
+        bucket: &mut Bucket,
+    ) -> Option<(u64, (u32, u32))> {
+        let mut best: Option<(u64, (u32, u32))> = None;
+        for (&shape, dq) in bucket.classes.iter_mut() {
+            while let Some(&idx) = dq.front() {
+                if slab[idx as usize].live {
+                    break;
+                }
+                dq.pop_front();
+                free_slots.push(idx);
+                *dead -= 1;
+            }
+            if let Some(&idx) = dq.front() {
+                let seq = slab[idx as usize].seq;
+                if best.is_none_or(|(s, _)| seq < s) {
+                    best = Some((seq, shape));
                 }
             }
-            PlacementPolicy::Backfill => {
-                let mut i = 0;
-                while i < self.queue.len() {
-                    let req = self.queue[i].1;
-                    match self.try_alloc(&req) {
-                        Some(alloc) => {
-                            let (id, _, _) = self.queue.remove(i).expect("index in bounds");
-                            placed.push((id, alloc));
-                            // do not advance i: the next entry shifted into i
+        }
+        best
+    }
+
+    /// Pop the front of `shape`'s class deque as a placed entry.
+    fn take_head(&mut self, priority_key: Reverse<i32>, shape: (u32, u32)) -> TaskId {
+        let bucket = self.buckets.get_mut(&priority_key).expect("bucket exists");
+        let dq = bucket.classes.get_mut(&shape).expect("class exists");
+        let idx = dq.pop_front().expect("class head exists");
+        bucket.live -= 1;
+        let entry = &mut self.slab[idx as usize];
+        debug_assert!(entry.live, "placed a tombstone");
+        entry.live = false;
+        let id = entry.id;
+        self.by_task.remove(&id.0);
+        self.free_slots.push(idx);
+        self.live -= 1;
+        id
+    }
+
+    /// Strict-arrival placement: pop the overall earliest entry of the
+    /// highest-priority bucket while it fits; the head blocks everything.
+    fn place_fifo(&mut self, placed: &mut Vec<(TaskId, Allocation)>) {
+        loop {
+            let Some((&key, bucket)) = self.buckets.iter_mut().next() else {
+                return;
+            };
+            let head = Self::min_seq_head(&self.slab, &mut self.free_slots, &mut self.dead, bucket);
+            let Some((_, shape)) = head else {
+                self.buckets.remove(&key);
+                continue;
+            };
+            let req = ResourceRequest::with_gpus(shape.0, shape.1);
+            match Self::alloc_in(&mut self.pools, &self.down, &req) {
+                Some(alloc) => {
+                    let id = self.take_head(key, shape);
+                    placed.push((id, alloc));
+                }
+                None => return, // FIFO: the head blocks everything behind it
+            }
+        }
+    }
+
+    /// Continuous scheduling: within each priority bucket (highest first),
+    /// visit live entries in arrival order by merging the shape-class heads,
+    /// placing whatever fits. Two prunes keep a no-progress scan at
+    /// O(distinct shapes) instead of O(queue):
+    ///
+    /// * once a shape fails, its entire class is retired for the rest of
+    ///   the scan — identical requests against a frontier that only
+    ///   shrinks must fail identically;
+    /// * classes dominating the cached blocked shape are skipped outright.
+    ///
+    /// Both prunes only skip fit tests whose outcome is already known, so
+    /// the placement sequence equals the naive full scan's.
+    fn place_backfill(&mut self, placed: &mut Vec<(TaskId, Allocation)>) {
+        let mut blocked = self.blocked_shape;
+        let keys: Vec<Reverse<i32>> = self.buckets.keys().copied().collect();
+        let mut failed: Vec<(u32, u32)> = Vec::new();
+        for key in keys {
+            // Failures carry across buckets too: the frontier never grows
+            // during a scan, so a shape that failed at high priority still
+            // fails at low priority.
+            loop {
+                let bucket = self.buckets.get_mut(&key).expect("bucket exists");
+                if bucket.live == 0 {
+                    break;
+                }
+                // Earliest live head among classes not yet known to fail.
+                let mut best: Option<(u64, (u32, u32))> = None;
+                for (&shape, dq) in bucket.classes.iter_mut() {
+                    if failed.contains(&shape) {
+                        continue;
+                    }
+                    if let Some((bc, bg)) = blocked {
+                        if shape.0 >= bc && shape.1 >= bg {
+                            continue; // dominates a shape that fits nowhere
                         }
-                        None => i += 1,
+                    }
+                    while let Some(&idx) = dq.front() {
+                        if self.slab[idx as usize].live {
+                            break;
+                        }
+                        dq.pop_front();
+                        self.free_slots.push(idx);
+                        self.dead -= 1;
+                    }
+                    if let Some(&idx) = dq.front() {
+                        let seq = self.slab[idx as usize].seq;
+                        if best.is_none_or(|(s, _)| seq < s) {
+                            best = Some((seq, shape));
+                        }
+                    }
+                }
+                let Some((_, shape)) = best else { break };
+                let req = ResourceRequest::with_gpus(shape.0, shape.1);
+                match Self::alloc_in(&mut self.pools, &self.down, &req) {
+                    Some(alloc) => {
+                        let id = self.take_head(key, shape);
+                        placed.push((id, alloc));
+                    }
+                    None => {
+                        failed.push(shape);
+                        // Keep the smaller failed shape; an incomparable new
+                        // failure keeps the existing cache (either is sound).
+                        blocked = Some(match blocked {
+                            Some((bc, bg)) if !(shape.0 <= bc && shape.1 <= bg) => (bc, bg),
+                            _ => shape,
+                        });
                     }
                 }
             }
         }
-        placed
+        self.blocked_shape = blocked;
+    }
+
+    /// Rebuild the buckets without tombstones, reclaiming their slab slots.
+    /// Runs when tombstones outnumber live entries, so the O(queue) sweep
+    /// amortizes to O(1) per removal.
+    fn compact(&mut self) {
+        let slab = &self.slab;
+        let free_slots = &mut self.free_slots;
+        self.buckets.retain(|_, bucket| {
+            bucket.classes.retain(|_, dq| {
+                dq.retain(|&idx| {
+                    if slab[idx as usize].live {
+                        true
+                    } else {
+                        free_slots.push(idx);
+                        false
+                    }
+                });
+                !dq.is_empty()
+            });
+            bucket.live > 0
+        });
+        self.dead = 0;
     }
 
     /// Return an allocation's slots to its node's pool. The caller should
@@ -188,21 +462,52 @@ impl Scheduler {
             alloc.node
         );
         self.pools[alloc.node as usize].release(alloc);
+        self.capacity_epoch += 1;
+        self.blocked_shape = None;
+    }
+
+    /// [`Scheduler::release`], additionally recycling the allocation's id
+    /// buffers into the node's pool for reuse by future grants — the
+    /// steady-state place/release cycle then allocates nothing.
+    pub fn release_owned(&mut self, alloc: Allocation) {
+        assert!(
+            !self.down[alloc.node as usize],
+            "release of an allocation on drained node {}",
+            alloc.node
+        );
+        self.pools[alloc.node as usize].release_owned(alloc);
+        self.capacity_epoch += 1;
+        self.blocked_shape = None;
     }
 
     /// Remove a queued (not yet placed) task. Returns `true` if it was found.
     pub fn cancel_queued(&mut self, id: TaskId) -> bool {
-        if let Some(pos) = self.queue.iter().position(|(qid, _, _)| *qid == id) {
-            self.queue.remove(pos);
-            true
-        } else {
-            false
+        match self.by_task.remove(&id.0) {
+            Some((idx, priority)) => {
+                let entry = &mut self.slab[idx as usize];
+                debug_assert!(entry.live, "index map pointed at a tombstone");
+                entry.live = false;
+                self.live -= 1;
+                self.dead += 1;
+                self.buckets
+                    .get_mut(&Reverse(priority))
+                    .expect("queued task's bucket exists")
+                    .live -= 1;
+                // Removing a blocked FIFO head can unblock the next entry,
+                // so the next round must not early-exit.
+                self.queue_epoch += 1;
+                if self.dead > 64 && self.dead >= self.live {
+                    self.compact();
+                }
+                true
+            }
+            None => false,
         }
     }
 
     /// Number of tasks waiting for slots.
     pub fn queue_len(&self) -> usize {
-        self.queue.len()
+        self.live
     }
 
     /// Free cores right now, across all *up* nodes.
@@ -228,7 +533,9 @@ impl Scheduler {
 
 #[cfg(test)]
 mod tests {
+    use super::reference::ReferenceScheduler;
     use super::*;
+    use impress_sim::props;
 
     fn req(c: u32, g: u32) -> ResourceRequest {
         ResourceRequest::with_gpus(c, g)
@@ -457,5 +764,195 @@ mod tests {
         let placed = s.place_ready();
         assert_eq!(placed[0].1.core_ids, vec![0, 1]);
         assert_eq!(placed[0].1.gpu_ids, vec![0]);
+    }
+
+    #[test]
+    fn repeated_noop_rounds_early_exit_without_a_scan() {
+        let mut s = Scheduler::new(NodeSpec::new(4, 0, 1), PlacementPolicy::Backfill);
+        s.enqueue(TaskId(0), req(4, 0));
+        s.enqueue(TaskId(1), req(4, 0));
+        assert_eq!(ids(&s.place_ready()), vec![0]);
+        // Nothing changed: the next rounds must both be empty (and are
+        // epoch-level no-ops internally).
+        assert!(s.place_ready().is_empty());
+        assert!(s.place_ready().is_empty());
+        // A queue mutation re-arms the round.
+        s.enqueue(TaskId(2), req(1, 0));
+        assert!(s.place_ready().is_empty(), "still no capacity");
+        let before = s.queue_len();
+        assert!(s.cancel_queued(TaskId(2)));
+        assert_eq!(s.queue_len(), before - 1);
+    }
+
+    #[test]
+    fn canceling_a_blocked_head_is_not_masked_by_the_epoch_cache() {
+        let mut s = Scheduler::new(NodeSpec::new(4, 0, 1), PlacementPolicy::Fifo);
+        s.enqueue(TaskId(0), req(2, 0));
+        assert_eq!(ids(&s.place_ready()), vec![0]); // 2 cores stay free
+        s.enqueue(TaskId(1), req(4, 0)); // head: blocked (only 2 free)
+        s.enqueue(TaskId(2), req(2, 0)); // would fit, FIFO-blocked behind it
+        assert!(s.place_ready().is_empty());
+        // Capacity never changed, so only the cancel's queue-epoch bump can
+        // re-arm the round; if it didn't, task 2 would be lost here.
+        assert!(s.cancel_queued(TaskId(1)));
+        assert_eq!(ids(&s.place_ready()), vec![2]);
+    }
+
+    #[test]
+    fn tombstone_floods_are_compacted() {
+        let mut s = Scheduler::new(NodeSpec::new(2, 0, 1), PlacementPolicy::Backfill);
+        s.enqueue(TaskId(10_000), req(2, 0));
+        let placed = s.place_ready();
+        for i in 0..500u64 {
+            s.enqueue(TaskId(i), req(1, 0));
+        }
+        for i in 0..500u64 {
+            assert!(s.cancel_queued(TaskId(i)));
+        }
+        assert_eq!(s.queue_len(), 0);
+        assert!(s.dead <= 64, "mass cancellation must compact: {}", s.dead);
+        s.release(&placed[0].1);
+        assert!(s.place_ready().is_empty());
+        // The slab slots are reusable.
+        s.enqueue(TaskId(600), req(1, 0));
+        assert_eq!(ids(&s.place_ready()), vec![600]);
+    }
+
+    #[test]
+    fn blocked_shape_cache_clears_when_capacity_grows() {
+        let mut s = Scheduler::new(NodeSpec::new(8, 0, 1), PlacementPolicy::Backfill);
+        s.enqueue(TaskId(0), req(6, 0));
+        let placed = s.place_ready();
+        s.enqueue(TaskId(1), req(4, 0)); // fails: 2 free
+        s.enqueue(TaskId(2), req(5, 0)); // dominated by (4,0): skipped
+        assert!(s.place_ready().is_empty());
+        assert_eq!(s.blocked_shape, Some((4, 0)));
+        s.release(&placed[0].1);
+        assert_eq!(s.blocked_shape, None, "release invalidates the cache");
+        assert_eq!(ids(&s.place_ready()), vec![1], "6 free places only task 1");
+    }
+
+    props! {
+        /// Differential determinism oracle: random workloads replayed
+        /// through the optimized scheduler and the naive pre-optimization
+        /// reference must produce *identical* placement sequences (ids,
+        /// device grants, node assignments), queue lengths, and free
+        /// counters — under both policies, priorities, cancels, drains and
+        /// recoveries. This is the property that guarantees every pinned
+        /// artifact regenerates byte-for-byte.
+        fn optimized_scheduler_matches_reference_oracle(rng, cases = 256) {
+            let cores = 1 + rng.below(32) as u32;
+            let gpus = rng.below(5) as u32;
+            let nodes = 1 + rng.below(3) as u32;
+            let cluster = ClusterSpec::homogeneous(NodeSpec::new(cores, gpus, 64), nodes);
+            let policy = if rng.below(2) == 0 {
+                PlacementPolicy::Fifo
+            } else {
+                PlacementPolicy::Backfill
+            };
+            let mut opt = Scheduler::new_cluster(cluster, policy);
+            let mut oracle = ReferenceScheduler::new_cluster(cluster, policy);
+            let mut outstanding: Vec<Allocation> = Vec::new();
+            let mut queued: Vec<TaskId> = Vec::new();
+            let mut next_id = 0u64;
+
+            let ops = 30 + rng.below(60);
+            for _ in 0..ops {
+                match rng.below(100) {
+                    0..=39 => {
+                        let r = ResourceRequest::with_gpus(
+                            1 + rng.below(cores as usize) as u32,
+                            rng.below(gpus as usize + 1) as u32,
+                        );
+                        let prio = rng.below(7) as i32 - 3;
+                        let id = TaskId(next_id);
+                        next_id += 1;
+                        opt.enqueue_with_priority(id, r, prio);
+                        oracle.enqueue_with_priority(id, r, prio);
+                        queued.push(id);
+                    }
+                    40..=64 => {
+                        let a = opt.place_ready();
+                        let b = oracle.place_ready();
+                        assert_eq!(a, b, "placement sequences diverged");
+                        for (id, alloc) in a {
+                            queued.retain(|q| *q != id);
+                            outstanding.push(alloc);
+                        }
+                    }
+                    65..=79 => {
+                        if outstanding.is_empty() {
+                            continue;
+                        }
+                        let alloc = outstanding.swap_remove(rng.below(outstanding.len()));
+                        opt.release(&alloc);
+                        oracle.release(&alloc);
+                    }
+                    80..=89 => {
+                        // Cancel a random queued id — or a bogus one, which
+                        // both sides must report as not-found.
+                        let id = if queued.is_empty() || rng.below(4) == 0 {
+                            TaskId(next_id + 1_000_000)
+                        } else {
+                            queued[rng.below(queued.len())]
+                        };
+                        assert_eq!(opt.cancel_queued(id), oracle.cancel_queued(id));
+                        queued.retain(|q| *q != id);
+                    }
+                    90..=94 => {
+                        let up: Vec<u32> =
+                            (0..nodes).filter(|&n| opt.node_is_up(n)).collect();
+                        if up.is_empty() {
+                            continue;
+                        }
+                        let node = up[rng.below(up.len())];
+                        opt.drain_node(node);
+                        oracle.drain_node(node);
+                        // Resident allocations are forfeited, never released.
+                        outstanding.retain(|a| a.node != node);
+                    }
+                    _ => {
+                        let down: Vec<u32> =
+                            (0..nodes).filter(|&n| !opt.node_is_up(n)).collect();
+                        if down.is_empty() {
+                            continue;
+                        }
+                        let node = down[rng.below(down.len())];
+                        opt.recover_node(node);
+                        oracle.recover_node(node);
+                    }
+                }
+                assert_eq!(opt.queue_len(), oracle.queue_len());
+                assert_eq!(opt.cores_free(), oracle.cores_free());
+                assert_eq!(opt.gpus_free(), oracle.gpus_free());
+            }
+
+            // Drain to quiescence: recover every node, then alternate
+            // placement rounds with immediate releases until the queue is
+            // empty — the whole tail must stay in lock-step too.
+            for node in 0..nodes {
+                if !opt.node_is_up(node) {
+                    opt.recover_node(node);
+                    oracle.recover_node(node);
+                }
+            }
+            for alloc in outstanding.drain(..) {
+                opt.release(&alloc);
+                oracle.release(&alloc);
+            }
+            loop {
+                let a = opt.place_ready();
+                let b = oracle.place_ready();
+                assert_eq!(a, b, "drain-phase placement sequences diverged");
+                if a.is_empty() {
+                    break;
+                }
+                for (_, alloc) in &a {
+                    opt.release(alloc);
+                    oracle.release(alloc);
+                }
+            }
+            assert_eq!(opt.queue_len(), oracle.queue_len());
+        }
     }
 }

@@ -45,9 +45,20 @@ impl<T> Ord for ScheduledEvent<T> {
 }
 
 /// A min-queue of timed events with deterministic FIFO tie-breaking.
+///
+/// Cancellation is lazy (a tombstone in the heap, skipped when popped) but
+/// *exact*: the queue also tracks the set of scheduled-and-not-yet-fired
+/// ids, so [`EventQueue::cancel`] reports precisely whether it removed a
+/// live event and [`EventQueue::len`] is always the true live count. When
+/// tombstones dominate the heap it is compacted in one O(n) rebuild, so
+/// mass cancellations (a node crash evicting thousands of completions)
+/// cannot degrade every later pop.
 pub struct EventQueue<T> {
     heap: BinaryHeap<ScheduledEvent<T>>,
     next_id: u64,
+    /// Ids scheduled and not yet fired, cancelled, or pruned.
+    pending: std::collections::HashSet<u64>,
+    /// Tombstones still physically in the heap (always a subset of it).
     cancelled: std::collections::HashSet<u64>,
 }
 
@@ -63,6 +74,7 @@ impl<T> EventQueue<T> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_id: 0,
+            pending: std::collections::HashSet::new(),
             cancelled: std::collections::HashSet::new(),
         }
     }
@@ -72,15 +84,22 @@ impl<T> EventQueue<T> {
     pub fn schedule(&mut self, at: SimTime, payload: T) -> EventId {
         let id = EventId(self.next_id);
         self.next_id += 1;
+        self.pending.insert(id.0);
         self.heap.push(ScheduledEvent { at, id, payload });
         id
     }
 
     /// Cancel a previously scheduled event. Cancellation is lazy: the entry
-    /// stays in the heap but is skipped when popped. Returns `true` if the
-    /// id had not already been cancelled.
+    /// stays in the heap but is skipped when popped. Returns `true` only if
+    /// the event was still live — `false` if it already fired or was
+    /// already cancelled.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.cancelled.insert(id.0)
+        if !self.pending.remove(&id.0) {
+            return false;
+        }
+        self.cancelled.insert(id.0);
+        self.maybe_compact();
+        true
     }
 
     /// Remove and return the earliest non-cancelled event.
@@ -89,6 +108,7 @@ impl<T> EventQueue<T> {
             if self.cancelled.remove(&ev.id.0) {
                 continue;
             }
+            self.pending.remove(&ev.id.0);
             return Some(ev);
         }
         None
@@ -108,10 +128,25 @@ impl<T> EventQueue<T> {
         None
     }
 
-    /// Number of events still scheduled (including lazily cancelled ones).
+    /// Number of live (scheduled, unfired, uncancelled) events. Exact:
+    /// tombstones are never counted.
     #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> usize {
-        self.heap.len().saturating_sub(self.cancelled.len())
+        self.pending.len()
+    }
+
+    /// Rebuild the heap without tombstones once they outnumber live
+    /// entries. The threshold keeps small queues untouched and makes the
+    /// O(n) sweep amortized O(1) per cancellation.
+    fn maybe_compact(&mut self) {
+        if self.cancelled.len() > 64 && self.cancelled.len() * 2 > self.heap.len() {
+            let cancelled = std::mem::take(&mut self.cancelled);
+            let heap = std::mem::take(&mut self.heap);
+            self.heap = heap
+                .into_iter()
+                .filter(|ev| !cancelled.contains(&ev.id.0))
+                .collect();
+        }
     }
 
     /// Whether no live events remain. (Takes `&mut self` because it prunes
@@ -178,5 +213,70 @@ mod tests {
         assert!(q.is_empty());
         assert_eq!(q.pop().map(|e| e.at), None);
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn cancel_after_fire_reports_false_and_len_stays_exact() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        let b = q.schedule(t(2), "b");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().payload, "a");
+        assert_eq!(q.len(), 1);
+        // `a` already fired: cancelling it must be a no-op, not a future
+        // skip of an unrelated event or a phantom decrement of len().
+        assert!(!q.cancel(a), "cancel of a fired event reports false");
+        assert_eq!(q.len(), 1);
+        assert!(q.cancel(b));
+        assert_eq!(q.len(), 0, "cancel-then-len is exact");
+        assert!(q.pop().is_none());
+        assert_eq!(q.len(), 0, "cancel-then-pop-then-len is exact");
+    }
+
+    #[test]
+    fn mass_cancellation_compacts_the_heap() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..1000).map(|i| q.schedule(t(i), i)).collect();
+        let keep = q.schedule(t(5000), 5000);
+        for id in &ids {
+            assert!(q.cancel(*id));
+        }
+        assert_eq!(q.len(), 1);
+        assert!(
+            q.heap.len() < 1001,
+            "tombstone-dominated heap must compact: {}",
+            q.heap.len()
+        );
+        assert_eq!(q.pop().unwrap().id, keep);
+        assert!(q.is_empty());
+        assert!(!q.cancel(keep), "fired after compaction still reports false");
+    }
+
+    #[test]
+    fn compaction_preserves_order_and_pending_cancels() {
+        let mut q = EventQueue::new();
+        // Interleave survivors and victims so compaction must filter, not
+        // truncate; then check the survivors still pop in (time, id) order.
+        let mut survivors = Vec::new();
+        let mut victims = Vec::new();
+        for i in 0..400u64 {
+            let id = q.schedule(t(1000 - (i % 97) * 10), i);
+            if i % 3 == 0 {
+                survivors.push((id, i));
+            } else {
+                victims.push(id);
+            }
+        }
+        for id in victims {
+            assert!(q.cancel(id));
+        }
+        let mut popped = Vec::new();
+        while let Some(ev) = q.pop() {
+            popped.push((ev.at, ev.id));
+        }
+        assert_eq!(popped.len(), survivors.len());
+        let mut expected: Vec<_> = popped.clone();
+        expected.sort();
+        assert_eq!(popped, expected, "pop order survives compaction");
     }
 }

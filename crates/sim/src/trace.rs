@@ -42,9 +42,13 @@ pub struct IntervalTrace {
 json_struct!(IntervalTrace { intervals, open });
 
 impl IntervalTrace {
-    /// An empty trace.
+    /// An empty trace, pre-sized so the first few hundred busy intervals of
+    /// a campaign never reallocate mid-simulation.
     pub fn new() -> Self {
-        Self::default()
+        IntervalTrace {
+            intervals: Vec::with_capacity(256),
+            open: None,
+        }
     }
 
     /// Mark the device busy from `at`. Panics if already marked busy —

@@ -201,6 +201,81 @@ fn recovery_artifact_matches_the_journal_format_version() {
     }
 }
 
+/// The checked-in scheduler bench artifact must match the study's current
+/// document layout and carry both sides of the comparison: the live
+/// results *and* the embedded pre-optimization baseline. Deliberately not
+/// a byte comparison — the medians are machine-dependent; only the
+/// structure is pinned. Regenerate with
+/// `cargo run --release -p impress-bench --bin sched_bench`.
+#[test]
+fn scheduler_bench_artifact_matches_the_study_format_version() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_scheduler.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {}: {e} — run the sched_bench bin", path.display()));
+    let json: impress_json::Json =
+        impress_json::from_str(&text).expect("BENCH_scheduler.json parses");
+    let version: u32 = json
+        .get("format_version")
+        .and_then(|v| v.as_f64())
+        .expect("BENCH_scheduler.json has a format_version field") as u32;
+    assert_eq!(
+        version,
+        impress_bench::sched::SCHED_BENCH_FORMAT_VERSION,
+        "BENCH_scheduler.json was generated under a different study format — regenerate it"
+    );
+    let results = json
+        .get("results")
+        .and_then(|r| r.as_array())
+        .expect("BENCH_scheduler.json has results");
+    assert!(!results.is_empty(), "bench study must report cases");
+    let baseline = json.get("baseline").expect("baseline section present");
+    let micro = baseline
+        .get("micro")
+        .and_then(|m| m.as_array())
+        .expect("baseline has micro rows");
+    assert!(!micro.is_empty(), "baseline must document the before-shape");
+    let speedups = json
+        .get("speedups")
+        .and_then(|s| s.as_array())
+        .expect("speedups section present");
+    assert!(
+        !speedups.is_empty(),
+        "artifact must compare live results against the baseline"
+    );
+    json.get("imrp_campaign")
+        .and_then(|c| c.get("wall_ms"))
+        .and_then(|v| v.as_f64())
+        .expect("end-to-end campaign timing present");
+}
+
+/// One tiny iteration of the scheduler bench study runs under `cargo test`,
+/// so the code that regenerates `BENCH_scheduler.json` cannot bit-rot
+/// between releases. The sample budget is clamped to keep this a smoke
+/// test, not a benchmark.
+#[test]
+fn scheduler_bench_smoke_iteration_produces_a_complete_document() {
+    std::env::set_var("IMPRESS_BENCH_SAMPLES", "1");
+    std::env::set_var("IMPRESS_BENCH_MAX_SECS", "0.2");
+    let doc = impress_bench::sched::run_study(&impress_bench::sched::StudyParams::smoke(), 7);
+    assert_eq!(
+        doc.get("format_version").and_then(|v| v.as_f64()),
+        Some(impress_bench::sched::SCHED_BENCH_FORMAT_VERSION as f64)
+    );
+    let results = doc
+        .get("results")
+        .and_then(|r| r.as_array())
+        .expect("smoke study has results");
+    // One depth × two policies + one cluster case.
+    assert_eq!(results.len(), 3, "smoke study covers every code path");
+    assert!(
+        doc.get("imrp_campaign")
+            .and_then(|c| c.get("makespan_hours"))
+            .and_then(|v| v.as_f64())
+            .is_some_and(|h| h > 0.0),
+        "smoke campaign ran to completion"
+    );
+}
+
 /// The root `[workspace.dependencies]` entries themselves must all be
 /// `path` specs, since member `workspace = true` entries resolve to them.
 #[test]
