@@ -36,4 +36,11 @@ fn main() {
                 .unwrap_or(0.0)
         );
     }
+    if let Some(t) = doc.get("telemetry_overhead") {
+        println!(
+            "  {:<44} {:>8.3}x",
+            "telemetry on null sink vs telemetry off",
+            t.get("overhead_ratio").and_then(|v| v.as_f64()).unwrap_or(0.0)
+        );
+    }
 }

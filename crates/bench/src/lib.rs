@@ -20,6 +20,7 @@
 pub mod harness;
 pub mod sched;
 pub mod timing;
+pub mod trace;
 
 pub use harness::{paper_experiment, PaperExperiment};
 pub use timing::{black_box, BenchResult, Suite};

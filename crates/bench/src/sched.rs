@@ -15,17 +15,21 @@
 
 use crate::timing::{black_box, BenchResult, Suite};
 use impress_core::adaptive::AdaptivePolicy;
-use impress_core::experiment::run_imrp_on;
+use impress_core::experiment::{run_imrp_on, run_imrp_traced};
 use impress_core::ProtocolConfig;
 use impress_json::Json;
 use impress_pilot::{
     ClusterSpec, NodeSpec, PilotConfig, PlacementPolicy, ResourceRequest, Scheduler, TaskId,
 };
 use impress_proteins::datasets::mined_pdz_complexes;
+use impress_telemetry::{NullSink, Telemetry};
+use std::sync::Arc;
 
 /// Bumped whenever the JSON document layout changes; `tests/hermetic.rs`
 /// checks the checked-in artifact against this.
-pub const SCHED_BENCH_FORMAT_VERSION: u32 = 1;
+/// * v2 added the `telemetry_overhead` section (instrumented-but-null-sink
+///   campaign wall time vs the telemetry-off baseline).
+pub const SCHED_BENCH_FORMAT_VERSION: u32 = 2;
 
 /// Pre-optimization measurements, taken at commit `e10e361` on the same
 /// machine that produced the checked-in `BENCH_scheduler.json`.
@@ -113,7 +117,28 @@ pub fn imrp_campaign(seed: u64, complexes: usize) -> (f64, f64) {
     )
 }
 
-/// Knobs for one study run; [`StudyParams::full`] is what the binary uses,
+/// Run the same campaign as [`imrp_campaign`] but with telemetry enabled
+/// on a [`NullSink`] (every instrumentation point fires, nothing is
+/// retained) and return wall seconds. The gap against the telemetry-off
+/// run is the whole-subsystem overhead the "telemetry_overhead" section
+/// of `BENCH_scheduler.json` documents.
+pub fn imrp_campaign_null_sink(seed: u64, complexes: usize) -> f64 {
+    let targets = mined_pdz_complexes(seed, complexes);
+    let start = std::time::Instant::now();
+    black_box(run_imrp_traced(
+        &targets,
+        ProtocolConfig::imrp(seed),
+        AdaptivePolicy {
+            sub_budget: complexes / 3,
+            ..AdaptivePolicy::default()
+        },
+        PilotConfig::with_seed(seed),
+        Telemetry::with_sink(Arc::new(NullSink)),
+    ));
+    start.elapsed().as_secs_f64()
+}
+
+/// Knobs for one study run; [`StudyParams::full`] is what the study uses,
 /// [`StudyParams::smoke`] is the tiny `cargo test` iteration.
 pub struct StudyParams {
     /// Single-node queue depths (each run under both policies).
@@ -186,6 +211,15 @@ pub fn run_study(params: &StudyParams, seed: u64) -> Json {
     let campaign_ms = median(walls);
     eprintln!("  campaign wall time: {campaign_ms:.1} ms (makespan {makespan_h:.2} h virtual)");
 
+    eprintln!("same campaign, telemetry enabled on a null sink...");
+    let mut null_walls = Vec::new();
+    for _ in 0..params.campaign_samples.max(1) {
+        null_walls.push(imrp_campaign_null_sink(seed, params.campaign_complexes) * 1e3);
+    }
+    let null_sink_ms = median(null_walls);
+    let overhead_ratio = null_sink_ms / campaign_ms.max(1e-9);
+    eprintln!("  null-sink wall time: {null_sink_ms:.1} ms ({overhead_ratio:.3}x baseline)");
+
     // Speedups against every baseline id the live suite also measured.
     let mut speedups = Vec::new();
     for &(id, before_ns) in baseline::MICRO_NS {
@@ -242,5 +276,13 @@ pub fn run_study(params: &StudyParams, seed: u64) -> Json {
                 .build(),
         )
         .field("speedups", Json::array(speedups))
+        .field(
+            "telemetry_overhead",
+            Json::object()
+                .field("off_wall_ms", campaign_ms)
+                .field("null_sink_wall_ms", null_sink_ms)
+                .field("overhead_ratio", overhead_ratio)
+                .build(),
+        )
         .build()
 }

@@ -1,0 +1,240 @@
+//! Telemetry trace study: record a full IM-RP campaign through the
+//! unified telemetry subsystem and document what the trace contains,
+//! written to `trace_summary.json` by the `trace_study` binary.
+//!
+//! The study pins the subsystem's three contracts:
+//!
+//! 1. **Zero perturbation** — the traced campaign's `ExperimentResult`
+//!    is byte-identical to the telemetry-off run (telemetry never draws
+//!    from the simulation RNG or schedules engine events).
+//! 2. **Well-formed traces** — the recorded stream passes
+//!    [`check_nesting`] and the Chrome export round-trips through
+//!    `impress-json` byte-for-byte.
+//! 3. **Backend parity** — a serialized workload replayed on the
+//!    simulated and threaded backends exports byte-identical
+//!    virtual-clock traces (scheduler mechanics filtered out; see
+//!    [`parity_trace`]).
+//!
+//! Every number in the summary document is deterministic (event counts,
+//! span counts, metric counters — no wall-clock readings), so
+//! regenerating the artifact on any machine reproduces it byte-for-byte.
+//!
+//! The logic lives in the library (not the binary) so `tests/hermetic.rs`
+//! can run a tiny smoke iteration under `cargo test`.
+
+use impress_core::adaptive::AdaptivePolicy;
+use impress_core::experiment::{run_imrp_on, run_imrp_traced};
+use impress_core::ProtocolConfig;
+use impress_json::{Json, ToJson};
+use impress_pilot::{
+    ExecutionBackend, PilotConfig, ResourceRequest, RuntimeConfig, TaskDescription,
+};
+use impress_proteins::datasets::mined_pdz_complexes;
+use impress_sim::SimDuration;
+use impress_telemetry::{
+    check_nesting, chrome_trace_filtered, SpanCat, Telemetry, TelemetryEvent, TraceClock,
+};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Bumped whenever the JSON document layout changes; `tests/hermetic.rs`
+/// checks the checked-in artifact against this.
+pub const TRACE_FORMAT_VERSION: u32 = 1;
+
+/// Knobs for one study run; [`TraceParams::full`] is what the binary
+/// uses, [`TraceParams::smoke`] is the tiny `cargo test` iteration.
+pub struct TraceParams {
+    /// Cohort size for the recorded IM-RP campaign.
+    pub complexes: usize,
+    /// Ring capacity for the trace recorder (the study asserts nothing
+    /// was dropped, so this bounds the campaign it can record).
+    pub ring_capacity: usize,
+    /// Serialized task count for the cross-backend parity replay.
+    pub parity_tasks: usize,
+}
+
+impl TraceParams {
+    /// The full study regenerating `trace_summary.json`.
+    pub fn full() -> Self {
+        TraceParams {
+            complexes: 24,
+            ring_capacity: 1 << 21,
+            parity_tasks: 8,
+        }
+    }
+
+    /// A seconds-scale iteration exercising every code path.
+    pub fn smoke() -> Self {
+        TraceParams {
+            complexes: 2,
+            ring_capacity: 1 << 16,
+            parity_tasks: 3,
+        }
+    }
+}
+
+/// Record a serialized workload on one backend and export its
+/// virtual-clock Chrome trace as a canonical string.
+///
+/// The workload is the parity shape: full-node tasks (execution
+/// serializes, so placement order is the scheduler's decision order) with
+/// a max-priority gate task that — on the threaded backend — blocks the
+/// node until every submission is enqueued. No completion can be
+/// delivered while the gate holds the node, so every submission observes
+/// virtual time zero on both backends and the modeled virtual clock
+/// evolves exactly like the simulated one. Scheduler placement-round
+/// spans are filtered out of the export: how many rounds the backend
+/// polls is backend mechanics, not workload causality.
+pub fn parity_trace(threaded: bool, seed: u64, tasks: usize) -> String {
+    let config = PilotConfig {
+        bootstrap: SimDuration::from_secs(1),
+        exec_setup_per_task: SimDuration::from_secs(2),
+        ..PilotConfig::with_seed(seed)
+    };
+    let node = config.node;
+    let full = ResourceRequest::with_gpus(node.cores, node.gpus);
+    let (telemetry, recorder) = Telemetry::recording(1 << 16);
+    let runtime = RuntimeConfig::new(config).telemetry(telemetry);
+    let mut backend: Box<dyn ExecutionBackend> = if threaded {
+        Box::new(runtime.threaded())
+    } else {
+        Box::new(runtime.simulated())
+    };
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    {
+        let gate = gate.clone();
+        backend.submit(
+            TaskDescription::new("gate", full, SimDuration::from_secs(1))
+                .with_priority(i32::MAX)
+                .with_work(move || {
+                    if threaded {
+                        let (lock, cv) = &*gate;
+                        let mut open = lock.lock().expect("gate lock");
+                        while !*open {
+                            open = cv.wait(open).expect("gate wait");
+                        }
+                    }
+                }),
+        );
+    }
+    for i in 0..tasks {
+        backend.submit(TaskDescription::new(
+            format!("p{i}"),
+            full,
+            SimDuration::from_secs(5 + 3 * i as u64),
+        ));
+    }
+    {
+        let (lock, cv) = &*gate;
+        *lock.lock().expect("gate lock") = true;
+        cv.notify_all();
+    }
+    while backend.next_completion().is_some() {}
+    let trace = chrome_trace_filtered(&recorder.events(), TraceClock::Virtual, |cat| {
+        cat != SpanCat::Scheduler
+    });
+    impress_json::to_string(&trace)
+}
+
+/// Count `Begin` events per span category, as sorted `(label, count)`
+/// JSON rows.
+fn span_counts(events: &[TelemetryEvent]) -> Json {
+    let mut counts: std::collections::BTreeMap<&'static str, u64> = std::collections::BTreeMap::new();
+    for ev in events {
+        if let TelemetryEvent::Begin { cat, .. } = ev {
+            *counts.entry(cat.as_str()).or_insert(0) += 1;
+        }
+    }
+    let mut doc = Json::object();
+    for (label, n) in counts {
+        doc = doc.field(label, n);
+    }
+    doc.build()
+}
+
+/// Run the study and build the `trace_summary.json` document.
+pub fn run_study(params: &TraceParams, seed: u64) -> Json {
+    let targets = mined_pdz_complexes(seed, params.complexes);
+    let config = ProtocolConfig::imrp(seed);
+    let policy = AdaptivePolicy {
+        sub_budget: params.complexes / 3,
+        ..AdaptivePolicy::default()
+    };
+    let pilot = PilotConfig::with_seed(seed);
+
+    eprintln!(
+        "recording IM-RP campaign ({} complexes) with telemetry off, then on...",
+        params.complexes
+    );
+    let baseline = run_imrp_on(&targets, config.clone(), policy.clone(), pilot.clone());
+    let (telemetry, recorder) = Telemetry::recording(params.ring_capacity);
+    let traced = run_imrp_traced(&targets, config, policy, pilot, telemetry.clone());
+    let perturbation_free =
+        impress_json::to_string(&baseline.to_json()) == impress_json::to_string(&traced.to_json());
+
+    let events = recorder.events();
+    let dropped = recorder.dropped();
+    let nesting = check_nesting(&events);
+    let chrome = recorder.chrome_trace(TraceClock::Virtual);
+    let chrome_text = impress_json::to_string(&chrome);
+    let round_trip_ok = impress_json::from_str::<Json>(&chrome_text)
+        .map(|parsed| impress_json::to_string(&parsed) == chrome_text)
+        .unwrap_or(false);
+    let snapshot = telemetry.snapshot();
+    eprintln!(
+        "  {} events recorded ({} dropped), chrome export {} bytes",
+        events.len(),
+        dropped,
+        chrome_text.len()
+    );
+
+    eprintln!(
+        "cross-backend parity replay ({} serialized tasks)...",
+        params.parity_tasks
+    );
+    let sim_trace = parity_trace(false, seed ^ 0x7ace, params.parity_tasks);
+    let thr_trace = parity_trace(true, seed ^ 0x7ace, params.parity_tasks);
+    let backends_agree = sim_trace == thr_trace;
+    eprintln!(
+        "  virtual-clock traces {} ({} bytes)",
+        if backends_agree { "agree" } else { "DIVERGE" },
+        sim_trace.len()
+    );
+
+    let mut counters = Json::object();
+    for c in &snapshot.counters {
+        counters = counters.field(&c.name, c.value);
+    }
+
+    Json::object()
+        .field("format_version", TRACE_FORMAT_VERSION)
+        .field("suite", "trace_study")
+        .field("seed", seed)
+        .field(
+            "campaign",
+            Json::object()
+                .field("complexes", params.complexes as u64)
+                .field("makespan_hours", traced.run.makespan.as_hours_f64())
+                .field("events", events.len() as u64)
+                .field("events_dropped", dropped)
+                .field("chrome_trace_bytes", chrome_text.len() as u64)
+                .field("spans", span_counts(&events))
+                .field("counters", counters.build())
+                .build(),
+        )
+        .field("perturbation_free", perturbation_free)
+        .field("nesting_ok", nesting.is_ok())
+        .field(
+            "nesting_error",
+            nesting.err().map(|e| e.to_json()).unwrap_or(Json::Null),
+        )
+        .field("chrome_round_trip_ok", round_trip_ok)
+        .field(
+            "parity",
+            Json::object()
+                .field("tasks", params.parity_tasks as u64)
+                .field("trace_bytes", sim_trace.len() as u64)
+                .field("backends_agree", backends_agree)
+                .build(),
+        )
+        .build()
+}

@@ -8,11 +8,12 @@ use crate::protocol::{DesignOutcome, DesignPipeline};
 use crate::quality::{IterationSeries, NetDeltas};
 use crate::toolkit::TargetToolkit;
 use impress_pilot::backend::SimulatedBackend;
-use impress_pilot::{FaultConfig, FaultPlan, PilotConfig, RetryPolicy, Session};
+use impress_pilot::{FaultConfig, FaultPlan, PilotConfig, RetryPolicy, RuntimeConfig, Session};
 use impress_proteins::datasets::DesignTarget;
 use impress_proteins::MetricKind;
 use impress_json::json_struct;
 use impress_sim::{SimDuration, SimTime};
+use impress_telemetry::Telemetry;
 use impress_workflow::journal::{Journal, JournalError, JournalStore, ReplayPlan};
 use impress_workflow::{Coordinator, RunReport};
 use std::sync::Arc;
@@ -117,7 +118,28 @@ pub fn run_imrp_resilient(
         targets,
         config,
         policy,
-        SimulatedBackend::with_faults(pilot, plan, retry),
+        RuntimeConfig::new(pilot).faults(plan, retry).simulated(),
+    )
+}
+
+/// Run IM-RP with a live [`Telemetry`] handle wired through the pilot:
+/// every scheduler decision, task attempt, pipeline, stage, and adaptive
+/// decision lands in the handle's sink (pair with
+/// [`Telemetry::recording`] to capture a Chrome-exportable trace).
+/// Telemetry never perturbs the simulation — with a disabled handle this
+/// is bit-identical to [`run_imrp_on`].
+pub fn run_imrp_traced(
+    targets: &[DesignTarget],
+    config: ProtocolConfig,
+    policy: AdaptivePolicy,
+    pilot: PilotConfig,
+    telemetry: Telemetry,
+) -> ExperimentResult {
+    run_imrp_with_backend(
+        targets,
+        config,
+        policy,
+        RuntimeConfig::new(pilot).telemetry(telemetry).simulated(),
     )
 }
 
@@ -222,10 +244,11 @@ pub fn run_imrp_journaled(
     journal: Journal,
     deadline: Option<SimTime>,
 ) -> JournaledRun {
-    let mut backend = SimulatedBackend::new(pilot);
+    let mut runtime = RuntimeConfig::new(pilot);
     if let Some(d) = deadline {
-        backend = backend.with_deadline(d);
+        runtime = runtime.deadline(d);
     }
+    let backend = runtime.simulated();
     let tks = toolkits(targets, config.seed);
     let decision = ImpressDecision::new(config.clone(), policy, tks.clone());
     let mut coordinator = Coordinator::new(backend, decision).with_journal(journal);
@@ -285,7 +308,7 @@ pub fn run_cont_v_resilient(
     retry: RetryPolicy,
 ) -> ExperimentResult {
     let plan = FaultPlan::new(faults, pilot.seed);
-    let backend = SimulatedBackend::with_faults(pilot, plan, retry);
+    let backend = RuntimeConfig::new(pilot).faults(plan, retry).simulated();
     run_cont_v_with_backend(targets, config, backend)
 }
 
@@ -303,18 +326,19 @@ fn run_cont_v_with_backend(
     let gpu_slot_series = backend.gpu_slot_series(SERIES_BIN);
     let gpu_hw_series = backend.gpu_hw_series(SERIES_BIN);
     // CONT-V has no coordinator; build the equivalent report directly.
+    let obs = session.observe();
     let registry = {
         let mut r = impress_workflow::Registry::new();
         let id = r.register("cont-v".into(), None, impress_sim::SimTime::ZERO);
-        r.note_stage_submitted(id, session.utilization().tasks);
+        r.note_stage_submitted(id, obs.utilization().tasks);
         r
     };
     let aborted = outcomes.iter().filter(|o| o.terminated_early).count();
     let run = RunReport::build(
         &registry,
-        session.utilization(),
-        session.phase_breakdown(),
-        session.now(),
+        *obs.utilization(),
+        *obs.phase_breakdown(),
+        obs.at(),
         aborted,
     );
     package(

@@ -212,6 +212,30 @@ pub trait ExecutionBackend {
     fn held_tasks(&self) -> usize {
         0
     }
+
+    /// The backend's telemetry handle (disabled by default). Layers above
+    /// the backend — session, coordinator — record their spans through
+    /// this, so one [`crate::RuntimeConfig::telemetry`] hookup instruments
+    /// the whole stack.
+    fn telemetry(&self) -> &impress_telemetry::Telemetry {
+        impress_telemetry::disabled_ref()
+    }
+
+    /// Current *virtual* time. Identical to [`now`](Self::now) on backends
+    /// whose clock is already virtual (the simulated backend). The
+    /// threaded backend — whose `now` is wall-clock — overrides this with
+    /// its model-derived virtual watermark: the latest virtual completion
+    /// time it has delivered.
+    fn virtual_now(&self) -> SimTime {
+        self.now()
+    }
+
+    /// A dual-clock telemetry stamp for "here and now": virtual time from
+    /// [`virtual_now`](Self::virtual_now), plus wall-clock micros on
+    /// backends that have a wall clock.
+    fn stamp(&self) -> impress_telemetry::Stamp {
+        impress_telemetry::Stamp::virt(self.virtual_now())
+    }
 }
 
 impl ExecutionBackend for Box<dyn ExecutionBackend> {
@@ -238,6 +262,15 @@ impl ExecutionBackend for Box<dyn ExecutionBackend> {
     }
     fn held_tasks(&self) -> usize {
         (**self).held_tasks()
+    }
+    fn telemetry(&self) -> &impress_telemetry::Telemetry {
+        (**self).telemetry()
+    }
+    fn virtual_now(&self) -> SimTime {
+        (**self).virtual_now()
+    }
+    fn stamp(&self) -> impress_telemetry::Stamp {
+        (**self).stamp()
     }
 }
 

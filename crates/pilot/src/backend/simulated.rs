@@ -6,7 +6,7 @@
 //! whole 27-hour CONT-V run replays in milliseconds, bit-identically for a
 //! given seed.
 //!
-//! Fault injection ([`SimulatedBackend::with_faults`]) weaves a
+//! Fault injection (via [`crate::RuntimeConfig::faults`]) weaves a
 //! [`FaultPlan`] into the same event stream: injected transient failures
 //! and walltime expiries end an attempt's occupancy early (or late, for
 //! hangs) without running its work, node crash/recover windows become
@@ -15,20 +15,41 @@
 //! (virtual-time) backoff. A [`FaultPlan::none`] plan schedules no extra
 //! events and draws no randomness — the zero-fault backend is
 //! event-for-event identical to one built with [`SimulatedBackend::new`].
+//!
+//! Telemetry (via [`crate::RuntimeConfig::telemetry`]) records task /
+//! queue / attempt spans, placement-round spans and fault instants with
+//! virtual-time stamps, entirely outside the engine: no events are
+//! scheduled and no randomness is drawn, so an instrumented run is
+//! event-for-event identical to an uninstrumented one.
 
 use crate::backend::{Completion, ExecutionBackend, TaskError};
 use crate::fault::{AttemptFault, FaultPlan, RetryPolicy};
 use crate::pilot::{PhaseBreakdown, PilotConfig};
 use crate::profiler::{Profiler, UtilizationReport};
 use crate::resources::{Allocation, ResourceRequest};
+use crate::runtime::RuntimeConfig;
 use crate::scheduler::Scheduler;
 use crate::states::{StateCell, TaskState};
 use crate::task::{TaskDescription, TaskId, TaskWork};
 use impress_sim::{Engine, ProcessHandle, SimDuration, SimRng, SimTime};
+use impress_telemetry::{track, SpanCat, SpanId, Stamp, Telemetry};
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
+
+/// Span bookkeeping for one in-flight task.
+#[derive(Clone, Copy)]
+struct TaskSpans {
+    /// Whole-lifetime span (submit → terminal).
+    task: SpanId,
+    /// Current queue-wait span (submit/requeue → placement).
+    queue: SpanId,
+    /// Current attempt span (placement → completion/failure).
+    attempt: SpanId,
+    /// When the current queue wait began.
+    queued_at: SimTime,
+}
 
 struct PendingTask {
     name: String,
@@ -75,6 +96,8 @@ struct Shared {
     /// their own. All submissions between engine steps are enqueued before
     /// the one scan fires, so placement order is unchanged.
     place_event_pending: bool,
+    telemetry: Telemetry,
+    spans: HashMap<u64, TaskSpans>,
 }
 
 impl Shared {
@@ -122,6 +145,30 @@ impl Shared {
         self.breakdown
             .record_task(setup, now.since(started + setup));
         self.in_flight -= 1;
+        if self.telemetry.enabled() {
+            let tele = self.telemetry.clone();
+            let at = Stamp::virt(now);
+            if let Some(spans) = self.spans.remove(&id.0) {
+                tele.end(spans.attempt, at);
+                tele.end(spans.task, at);
+            }
+            tele.count(
+                if result.is_ok() {
+                    "tasks_completed"
+                } else {
+                    "tasks_failed"
+                },
+                1,
+            );
+            tele.gauge("in_flight", self.in_flight as f64);
+            tele.observe(
+                "task_run_seconds",
+                0.0,
+                14_400.0,
+                48,
+                now.since(started).as_secs_f64(),
+            );
+        }
         self.completions.push_back(Completion {
             task: id,
             name: task.name,
@@ -140,20 +187,47 @@ pub struct SimulatedBackend {
     shared: Rc<RefCell<Shared>>,
     config: PilotConfig,
     next_id: u64,
+    /// Same handle as `shared.telemetry` (they share one sink); kept
+    /// outside the `RefCell` so [`ExecutionBackend::telemetry`] can hand
+    /// out a plain reference.
+    telemetry: Telemetry,
 }
 
 impl SimulatedBackend {
     /// Start a pilot on a simulated node. Bootstrap begins at `t = 0`; no
     /// task can start before `config.bootstrap` has elapsed.
     pub fn new(config: PilotConfig) -> Self {
-        Self::with_faults(config, FaultPlan::none(), RetryPolicy::none())
+        Self::from_config(RuntimeConfig::new(config))
     }
 
-    /// Start a pilot under an injected fault environment. With
-    /// [`FaultPlan::none`] and [`RetryPolicy::none`] this is exactly
+    /// Start a pilot under a full [`RuntimeConfig`]: fault plan + retry
+    /// policy, walltime deadline and telemetry in one value. The default
+    /// config (`RuntimeConfig::new(pilot)`) is exactly
     /// [`SimulatedBackend::new`]: no extra events, no extra randomness.
-    pub fn with_faults(config: PilotConfig, faults: FaultPlan, retry: RetryPolicy) -> Self {
+    /// (`time_scale` is threaded-only and ignored here — virtual time is
+    /// already this backend's clock.)
+    pub fn from_config(runtime: RuntimeConfig) -> Self {
+        let RuntimeConfig {
+            pilot: config,
+            faults,
+            retry,
+            deadline,
+            telemetry,
+            ..
+        } = runtime;
         let backoff_rng = SimRng::from_seed(config.seed).fork("retry-backoff");
+        // The bootstrap phase completes at a known virtual instant, so its
+        // span can be recorded up front, before the engine even starts.
+        let boot = telemetry.span(
+            SpanCat::Pilot,
+            "bootstrap",
+            SpanId::NONE,
+            track::PILOT,
+            Stamp::virt(SimTime::ZERO),
+            &[],
+        );
+        telemetry.end(boot, Stamp::virt(SimTime::ZERO + config.bootstrap));
+        let telemetry_handle = telemetry.clone();
         let shared = Rc::new(RefCell::new(Shared {
             scheduler: Scheduler::new_cluster(config.cluster(), config.policy),
             profiler: Profiler::new_cluster(config.node.cores, config.node.gpus, config.nodes),
@@ -170,9 +244,11 @@ impl SimulatedBackend {
             faults,
             retry,
             backoff_rng,
-            deadline: None,
+            deadline,
             held: Vec::new(),
             place_event_pending: false,
+            telemetry,
+            spans: HashMap::new(),
         }));
         let mut engine = Engine::new();
         // Bootstrap completion event: mark ready and place anything queued.
@@ -197,7 +273,14 @@ impl SimulatedBackend {
             shared,
             config,
             next_id: 0,
+            telemetry: telemetry_handle,
         }
+    }
+
+    /// Start a pilot under an injected fault environment.
+    #[deprecated(since = "0.1.0", note = "use `RuntimeConfig::new(..).faults(..).simulated()`")]
+    pub fn with_faults(config: PilotConfig, faults: FaultPlan, retry: RetryPolicy) -> Self {
+        Self::from_config(RuntimeConfig::new(config).faults(faults, retry))
     }
 
     /// The pilot configuration this backend runs.
@@ -212,6 +295,7 @@ impl SimulatedBackend {
     /// [`ExecutionBackend::held_tasks`] — mirroring a pilot refusing to
     /// start work its allocation cannot finish. Without a deadline the
     /// backend's behavior is completely unchanged.
+    #[deprecated(since = "0.1.0", note = "use `RuntimeConfig::new(..).deadline(..).simulated()`")]
     pub fn with_deadline(self, deadline: SimTime) -> Self {
         self.shared.borrow_mut().deadline = Some(deadline);
         self
@@ -227,7 +311,27 @@ impl SimulatedBackend {
             if !sh.bootstrapped {
                 return;
             }
-            sh.scheduler.place_ready()
+            let queued = sh.scheduler.queue_len();
+            let placements = sh.scheduler.place_ready();
+            if sh.telemetry.enabled() && queued > 0 {
+                let tele = sh.telemetry.clone();
+                let at = Stamp::virt(engine.now());
+                let round = tele.span(
+                    SpanCat::Scheduler,
+                    "placement-round",
+                    SpanId::NONE,
+                    track::SCHED,
+                    at,
+                    &[
+                        ("queued", queued as i64),
+                        ("placed", placements.len() as i64),
+                    ],
+                );
+                tele.end(round, at);
+                tele.count("placement_rounds", 1);
+                tele.gauge("queue_depth", sh.scheduler.queue_len() as f64);
+            }
+            placements
         };
         for (id, alloc) in placements {
             let now = engine.now();
@@ -268,6 +372,22 @@ impl SimulatedBackend {
                 if sh.deadline.is_some_and(|d| now + span > d) {
                     sh.scheduler.release_owned(alloc);
                     sh.held.push(id.0);
+                    if sh.telemetry.enabled() {
+                        let tele = sh.telemetry.clone();
+                        let at = Stamp::virt(now);
+                        if let Some(spans) = sh.spans.get(&id.0).copied() {
+                            tele.end(spans.queue, at);
+                            tele.instant(
+                                SpanCat::Task,
+                                "held",
+                                spans.task,
+                                track::task(id.0),
+                                at,
+                                &[],
+                            );
+                        }
+                        tele.count("tasks_held", 1);
+                    }
                     continue;
                 }
                 sh.pending
@@ -276,6 +396,30 @@ impl SimulatedBackend {
                     .state
                     .advance(TaskState::ExecSetup);
                 sh.profiler.task_started(&alloc, now);
+                if sh.telemetry.enabled() {
+                    let tele = sh.telemetry.clone();
+                    let at = Stamp::virt(now);
+                    if let Some(spans) = sh.spans.get(&id.0).copied() {
+                        tele.end(spans.queue, at);
+                        tele.observe(
+                            "queue_wait_seconds",
+                            0.0,
+                            14_400.0,
+                            48,
+                            now.since(spans.queued_at).as_secs_f64(),
+                        );
+                        let attempt_span = tele.span(
+                            SpanCat::Attempt,
+                            "attempt",
+                            spans.task,
+                            track::task(id.0),
+                            at,
+                            &[("attempt", attempts as i64), ("node", alloc.node as i64)],
+                        );
+                        sh.spans.get_mut(&id.0).expect("span entry").attempt = attempt_span;
+                    }
+                    tele.count("placements", 1);
+                }
                 (outcome, span, setup)
             };
             let s = shared.clone();
@@ -330,6 +474,27 @@ impl SimulatedBackend {
     ) {
         let now = engine.now();
         let mut sh = shared.borrow_mut();
+        if sh.telemetry.enabled() {
+            let tele = sh.telemetry.clone();
+            let at = Stamp::virt(now);
+            if let Some(spans) = sh.spans.get(&id.0).copied() {
+                let fault = match &err {
+                    TaskError::Injected => "fault-injected",
+                    TaskError::TimedOut { .. } => "fault-timeout",
+                    TaskError::NodeCrashed { .. } => "fault-crash",
+                    _ => "fault",
+                };
+                tele.instant(
+                    SpanCat::Fault,
+                    fault,
+                    spans.attempt,
+                    track::task(id.0),
+                    at,
+                    &[],
+                );
+                tele.end(spans.attempt, at);
+            }
+        }
         let retry = sh.retry;
         let task = sh.pending.get_mut(&id.0).expect("failed task has a record");
         task.state.advance(TaskState::Executing);
@@ -340,19 +505,48 @@ impl SimulatedBackend {
             let request = task.request;
             let priority = task.priority;
             sh.profiler.note_retry();
+            sh.telemetry.count("retries", 1);
             let delay = retry.backoff(attempt, &mut sh.backoff_rng);
             drop(sh);
             let s = shared.clone();
             engine.schedule_in(delay, move |eng| {
-                s.borrow_mut()
-                    .scheduler
-                    .enqueue_with_priority(id, request, priority);
+                {
+                    let mut sh = s.borrow_mut();
+                    sh.scheduler.enqueue_with_priority(id, request, priority);
+                    if sh.telemetry.enabled() {
+                        let tele = sh.telemetry.clone();
+                        let at = Stamp::virt(eng.now());
+                        if let Some(spans) = sh.spans.get(&id.0).copied() {
+                            let queue = tele.span(
+                                SpanCat::Queue,
+                                "queue",
+                                spans.task,
+                                track::task(id.0),
+                                at,
+                                &[("attempt", attempt as i64)],
+                            );
+                            let entry = sh.spans.get_mut(&id.0).expect("span entry");
+                            entry.queue = queue;
+                            entry.queued_at = eng.now();
+                        }
+                        tele.gauge("queue_depth", sh.scheduler.queue_len() as f64);
+                    }
+                }
                 Self::place_ready(&s, eng);
             });
         } else {
             let mut task = sh.pending.remove(&id.0).expect("failed task has a record");
             task.state.advance(TaskState::Failed);
             sh.in_flight -= 1;
+            if sh.telemetry.enabled() {
+                let tele = sh.telemetry.clone();
+                let at = Stamp::virt(now);
+                if let Some(spans) = sh.spans.remove(&id.0) {
+                    tele.end(spans.task, at);
+                }
+                tele.count("tasks_failed", 1);
+                tele.gauge("in_flight", sh.in_flight as f64);
+            }
             sh.completions.push_back(Completion {
                 task: id,
                 name: task.name,
@@ -389,6 +583,20 @@ impl SimulatedBackend {
                 .collect()
         };
         let now = engine.now();
+        {
+            let sh = shared.borrow();
+            if sh.telemetry.enabled() {
+                sh.telemetry.instant(
+                    SpanCat::Fault,
+                    "node-crash",
+                    SpanId::NONE,
+                    track::FAULT,
+                    Stamp::virt(now),
+                    &[("node", node as i64)],
+                );
+                sh.telemetry.count("node_crashes", 1);
+            }
+        }
         for (id, attempt) in victims {
             engine.cancel(attempt.handle);
             shared
@@ -407,7 +615,20 @@ impl SimulatedBackend {
 
     /// A node recover event: re-admit the node and place waiting tasks.
     fn node_recover(shared: &Rc<RefCell<Shared>>, engine: &mut Engine, node: u32) {
-        shared.borrow_mut().scheduler.recover_node(node);
+        {
+            let mut sh = shared.borrow_mut();
+            sh.scheduler.recover_node(node);
+            if sh.telemetry.enabled() {
+                sh.telemetry.instant(
+                    SpanCat::Fault,
+                    "node-recover",
+                    SpanId::NONE,
+                    track::FAULT,
+                    Stamp::virt(engine.now()),
+                    &[("node", node as i64)],
+                );
+            }
+        }
         Self::place_ready(shared, engine);
     }
 
@@ -447,6 +668,31 @@ impl ExecutionBackend for SimulatedBackend {
                 "{id}: request {} can never fit the pilot's node",
                 desc.request
             );
+            if sh.telemetry.enabled() {
+                let tele = sh.telemetry.clone();
+                let at = Stamp::virt(now);
+                let tr = track::task(id.0);
+                let task_span = tele.span(
+                    SpanCat::Task,
+                    &desc.name,
+                    SpanId::NONE,
+                    tr,
+                    at,
+                    &[("task", id.0 as i64), ("priority", desc.priority as i64)],
+                );
+                let queue_span =
+                    tele.span(SpanCat::Queue, "queue", task_span, tr, at, &[("attempt", 0)]);
+                sh.spans.insert(
+                    id.0,
+                    TaskSpans {
+                        task: task_span,
+                        queue: queue_span,
+                        attempt: SpanId::NONE,
+                        queued_at: now,
+                    },
+                );
+                tele.count("tasks_submitted", 1);
+            }
             let mut state = StateCell::new();
             state.advance(TaskState::Scheduling);
             sh.pending.insert(
@@ -469,6 +715,11 @@ impl ExecutionBackend for SimulatedBackend {
             sh.scheduler
                 .enqueue_with_priority(id, desc.request, desc.priority);
             sh.in_flight += 1;
+            if sh.telemetry.enabled() {
+                sh.telemetry
+                    .gauge("queue_depth", sh.scheduler.queue_len() as f64);
+                sh.telemetry.gauge("in_flight", sh.in_flight as f64);
+            }
             // Try placement via the queue so ordering with same-instant
             // events stays deterministic — but coalesce: one scan event per
             // burst of submissions. Every submission before the next engine
@@ -524,6 +775,10 @@ impl ExecutionBackend for SimulatedBackend {
         self.shared.borrow().held.len()
     }
 
+    fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
     fn cancel(&mut self, id: TaskId) -> bool {
         let mut sh = self.shared.borrow_mut();
         if !sh.scheduler.cancel_queued(id) {
@@ -535,6 +790,24 @@ impl ExecutionBackend for SimulatedBackend {
         let mut task = sh.pending.remove(&id.0).expect("queued task has a record");
         task.state.advance(TaskState::Canceled);
         sh.in_flight -= 1;
+        if sh.telemetry.enabled() {
+            let tele = sh.telemetry.clone();
+            let at = Stamp::virt(self.engine.now());
+            if let Some(spans) = sh.spans.remove(&id.0) {
+                tele.end(spans.queue, at);
+                tele.instant(
+                    SpanCat::Task,
+                    "canceled",
+                    spans.task,
+                    track::task(id.0),
+                    at,
+                    &[],
+                );
+                tele.end(spans.task, at);
+            }
+            tele.count("tasks_canceled", 1);
+            tele.gauge("in_flight", sh.in_flight as f64);
+        }
         let attempts = task.attempts;
         sh.completions.push_back(Completion {
             task: id,
@@ -753,6 +1026,35 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_shims_delegate_to_runtime_config() {
+        // The one-release compatibility shims must behave exactly like the
+        // RuntimeConfig path they delegate to.
+        let run = |mut b: SimulatedBackend| -> Vec<(u64, u64)> {
+            for i in 0..4 {
+                b.submit(task(&format!("t{i}"), 1, 0, 40 + i as u64));
+            }
+            let mut log = Vec::new();
+            while let Some(c) = b.next_completion() {
+                log.push((c.task.0, c.finished.as_micros()));
+            }
+            log
+        };
+        let shimmed = run(SimulatedBackend::with_faults(
+            config(3, 1),
+            FaultPlan::none(),
+            RetryPolicy::none(),
+        ));
+        let configured = run(RuntimeConfig::new(config(3, 1)).simulated());
+        assert_eq!(shimmed, configured);
+
+        let deadline = SimTime::from_micros(300 * 1_000_000);
+        let shimmed = run(SimulatedBackend::new(config(3, 1)).with_deadline(deadline));
+        let configured = run(RuntimeConfig::new(config(3, 1)).deadline(deadline).simulated());
+        assert_eq!(shimmed, configured);
+    }
+
+    #[test]
     fn explicit_none_plan_matches_the_plain_constructor() {
         let run = |mut b: SimulatedBackend| -> (Vec<(u64, u64, bool)>, u64, f64) {
             for i in 0..6 {
@@ -766,11 +1068,9 @@ mod tests {
             (log, b.now().as_micros(), b.utilization().cpu)
         };
         let plain = run(SimulatedBackend::new(config(3, 1)));
-        let faulted = run(SimulatedBackend::with_faults(
-            config(3, 1),
-            FaultPlan::none(),
-            RetryPolicy::none(),
-        ));
+        let faulted = run(RuntimeConfig::new(config(3, 1))
+            .faults(FaultPlan::none(), RetryPolicy::none())
+            .simulated());
         assert_eq!(plain, faulted, "zero-fault plan must be a true no-op");
     }
 
@@ -783,7 +1083,7 @@ mod tests {
             },
             1,
         );
-        let mut b = SimulatedBackend::with_faults(config(2, 0), plan, RetryPolicy::none());
+        let mut b = RuntimeConfig::new(config(2, 0)).faults(plan, RetryPolicy::none()).simulated();
         b.submit(task("doomed", 1, 0, 50).with_work(|| 1u32));
         let c = b.next_completion().unwrap();
         assert_eq!(c.result.unwrap_err(), TaskError::Injected);
@@ -803,7 +1103,7 @@ mod tests {
             },
             1,
         );
-        let mut b = SimulatedBackend::with_faults(config(2, 0), plan, no_backoff(3));
+        let mut b = RuntimeConfig::new(config(2, 0)).faults(plan, no_backoff(3)).simulated();
         b.submit(task("doomed", 1, 0, 50));
         let c = b.next_completion().unwrap();
         assert_eq!(c.attempts, 3, "budget fully spent");
@@ -821,7 +1121,7 @@ mod tests {
             },
             11,
         );
-        let mut b = SimulatedBackend::with_faults(config(4, 0), plan, no_backoff(8));
+        let mut b = RuntimeConfig::new(config(4, 0)).faults(plan, no_backoff(8)).simulated();
         for i in 0..12 {
             b.submit(task(&format!("t{i}"), 1, 0, 30).with_work(move || i as u32));
         }
@@ -873,7 +1173,7 @@ mod tests {
             2,
         );
         // Base run (10 + 100 s) fits the 200 s walltime; the ×8 hang does not.
-        let mut b = SimulatedBackend::with_faults(config(2, 0), plan, RetryPolicy::none());
+        let mut b = RuntimeConfig::new(config(2, 0)).faults(plan, RetryPolicy::none()).simulated();
         b.submit(task("hung", 1, 0, 100).with_walltime(SimDuration::from_secs(200)));
         let c = b.next_completion().unwrap();
         assert!(matches!(c.result, Err(TaskError::TimedOut { .. })));
@@ -893,14 +1193,12 @@ mod tests {
             },
             0,
         );
-        let mut b = SimulatedBackend::with_faults(
-            PilotConfig {
-                nodes: 2,
-                ..config(4, 0)
-            },
-            plan,
-            no_backoff(3),
-        );
+        let mut b = RuntimeConfig::new(PilotConfig {
+            nodes: 2,
+            ..config(4, 0)
+        })
+        .faults(plan, no_backoff(3))
+        .simulated();
         for i in 0..4 {
             b.submit(task(&format!("t{i}"), 4, 0, 1000).with_work(move || i as u32));
         }
@@ -933,7 +1231,7 @@ mod tests {
             },
             0,
         );
-        let mut b = SimulatedBackend::with_faults(config(4, 0), plan, RetryPolicy::none());
+        let mut b = RuntimeConfig::new(config(4, 0)).faults(plan, RetryPolicy::none()).simulated();
         b.submit(task("victim", 4, 0, 1000));
         let c = b.next_completion().unwrap();
         assert_eq!(c.result.unwrap_err(), TaskError::NodeCrashed { node: 0 });
@@ -953,14 +1251,12 @@ mod tests {
                 },
                 seed,
             );
-            let mut b = SimulatedBackend::with_faults(
-                PilotConfig {
-                    nodes: 2,
-                    ..config(3, 1)
-                },
-                plan,
-                RetryPolicy::retries(4),
-            );
+            let mut b = RuntimeConfig::new(PilotConfig {
+                nodes: 2,
+                ..config(3, 1)
+            })
+            .faults(plan, RetryPolicy::retries(4))
+            .simulated();
             for i in 0..10 {
                 b.submit(
                     task(&format!("t{i}"), 1 + (i % 2), i % 2, 200 + 10 * i as u64)
@@ -981,8 +1277,9 @@ mod tests {
     fn deadline_holds_overrunning_tasks_and_drains_in_flight_work() {
         // Bootstrap 100s + setup 10s; node has 2 cores. Two 50s tasks fit a
         // 300s allocation; the third is submitted too late to finish.
-        let mut b = SimulatedBackend::new(config(2, 0))
-            .with_deadline(SimTime::from_micros(300 * 1_000_000));
+        let mut b = RuntimeConfig::new(config(2, 0))
+            .deadline(SimTime::from_micros(300 * 1_000_000))
+            .simulated();
         b.submit(task("fits-a", 1, 0, 50));
         b.submit(task("fits-b", 1, 0, 50));
         b.submit(task("too-big", 2, 0, 100_000));

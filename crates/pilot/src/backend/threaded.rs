@@ -32,16 +32,29 @@
 //! under one lock both by [`ExecutionBackend::cancel`] and by the worker at
 //! its *commit point* (after its sleep, before running its work). A cancel
 //! acknowledged with `true` therefore never yields an `Ok` completion.
+//!
+//! Telemetry (via [`crate::RuntimeConfig::telemetry`]) records the same
+//! spans, instants and metrics as the simulated backend, dual-stamped with
+//! both clocks: the wall clock (microseconds since the backend's epoch)
+//! and a *modeled virtual clock* that replays the simulated backend's
+//! time arithmetic alongside real execution. Per-device virtual-free
+//! watermarks advance by `exec setup + launch overhead + run` exactly as
+//! the `impress-sim` engine would, and the completion watermark (the max
+//! virtual end over delivered completions) feeds submit times, so a
+//! seeded serialized workload exports a virtual-time trace byte-identical
+//! to the simulated backend's.
 
 use crate::backend::{Completion, ExecutionBackend, TaskError};
 use crate::fault::{AttemptFault, FaultPlan, RetryPolicy};
 use crate::pilot::{PhaseBreakdown, PilotConfig};
 use crate::profiler::{Profiler, UtilizationReport};
 use crate::resources::{Allocation, ResourceRequest};
+use crate::runtime::RuntimeConfig;
 use crate::scheduler::Scheduler;
 use crate::sync::{channel, Receiver, RecvTimeoutError, Sender};
-use crate::task::{TaskDescription, TaskId, TaskOutput, TaskWork};
+use crate::task::{TaskDescription, TaskId, TaskKind, TaskOutput, TaskWork};
 use impress_sim::{SimDuration, SimRng, SimTime};
+use impress_telemetry::{track, SpanCat, SpanId, Stamp, Telemetry};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -57,15 +70,42 @@ struct TaskSpec {
     priority: i32,
     duration: SimDuration,
     gpu_busy_fraction: f64,
+    kind: TaskKind,
     walltime: Option<SimDuration>,
     attempts: u32,
     work: Option<TaskWork>,
+}
+
+/// Scheduler-thread bookkeeping per unfinished task: the spans opened for
+/// it plus the modeled virtual-clock window of its current attempt. The
+/// virtual fields are maintained even with telemetry off — they back
+/// [`ExecutionBackend::virtual_now`] and cost a few compares per placement.
+#[derive(Clone, Copy)]
+struct VtSpans {
+    /// Whole-lifetime span (opened on the client thread at submit).
+    task: SpanId,
+    /// Current queue-wait span.
+    queue: SpanId,
+    /// Current attempt span.
+    attempt: SpanId,
+    /// Virtual instant the current queue wait began.
+    queued_vt: SimTime,
+    /// Modeled virtual start of the current attempt.
+    start_vt: SimTime,
+    /// Modeled virtual end of the current attempt.
+    end_vt: SimTime,
 }
 
 enum Msg {
     Submit {
         id: TaskId,
         spec: TaskSpec,
+        /// Completion watermark at submit: the virtual submit instant.
+        vt_queued: SimTime,
+        /// Task span opened client-side ([`SpanId::NONE`] when off).
+        task_span: SpanId,
+        /// Queue span opened client-side ([`SpanId::NONE`] when off).
+        queue_span: SpanId,
     },
     /// The worker committed and produced a terminal result.
     WorkerDone {
@@ -106,10 +146,16 @@ enum Msg {
 }
 
 /// Scheduler-thread timers: retry backoffs and the node fault schedule.
+/// Each carries the virtual instant it models so telemetry can stamp the
+/// resulting events on the virtual clock.
 enum Timer {
-    Retry { id: TaskId, spec: TaskSpec },
-    Crash(u32),
-    Recover(u32),
+    Retry {
+        id: TaskId,
+        spec: TaskSpec,
+        vt: SimTime,
+    },
+    Crash(u32, SimTime),
+    Recover(u32, SimTime),
 }
 
 /// Cancellation handshake state, shared between the client thread (cancel),
@@ -191,32 +237,64 @@ pub struct ThreadedBackend {
     next_id: u64,
     scheduler_thread: Option<std::thread::JoinHandle<()>>,
     node: crate::resources::NodeSpec,
+    /// Modeled virtual clock: max virtual end over delivered completions,
+    /// in micros. Read at submit (virtual queue-entry time) and by
+    /// [`ExecutionBackend::virtual_now`].
+    vt_watermark: Arc<AtomicU64>,
+    telemetry: Telemetry,
 }
 
 impl ThreadedBackend {
     /// Start a pilot over real threads. `config.bootstrap` and per-task
     /// exec setup are honored only when a time scale is set.
     pub fn new(config: PilotConfig) -> Self {
-        Self::with_time_scale(config, 0.0)
+        Self::from_config(RuntimeConfig::new(config))
     }
 
     /// Start with virtual durations dilated by `time_scale` into real
     /// sleeps (`0.0` = no sleeping).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `RuntimeConfig::new(..).time_scale(..).threaded()`"
+    )]
     pub fn with_time_scale(config: PilotConfig, time_scale: f64) -> Self {
-        Self::with_faults(config, time_scale, FaultPlan::none(), RetryPolicy::none())
+        Self::from_config(RuntimeConfig::new(config).time_scale(time_scale))
     }
 
-    /// Start under an injected fault environment. Task-level faults
-    /// (transients, hangs, walltime expiries) work at any time scale; the
-    /// node crash/recover schedule needs `time_scale > 0` — with no real
-    /// sleeps there is no execution window for a crash to interrupt, so it
-    /// is skipped entirely at scale `0`.
+    /// Start under an injected fault environment.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `RuntimeConfig::new(..).time_scale(..).faults(..).threaded()`"
+    )]
     pub fn with_faults(
         config: PilotConfig,
         time_scale: f64,
         faults: FaultPlan,
         retry: RetryPolicy,
     ) -> Self {
+        Self::from_config(
+            RuntimeConfig::new(config)
+                .time_scale(time_scale)
+                .faults(faults, retry),
+        )
+    }
+
+    /// Start a pilot under a full [`RuntimeConfig`]: time scale, fault
+    /// plan + retry policy, walltime deadline and telemetry in one value.
+    ///
+    /// Task-level faults (transients, hangs, walltime expiries) work at
+    /// any time scale; the node crash/recover schedule needs
+    /// `time_scale > 0` — with no real sleeps there is no execution window
+    /// for a crash to interrupt, so it is skipped entirely at scale `0`.
+    pub fn from_config(runtime: RuntimeConfig) -> Self {
+        let RuntimeConfig {
+            pilot: config,
+            faults,
+            retry,
+            deadline,
+            time_scale,
+            telemetry,
+        } = runtime;
         let (tx, rx) = channel::<Msg>();
         let (completion_tx, completion_rx) = channel::<Completion>();
         let state = Arc::new(Mutex::new(SchedState {
@@ -233,8 +311,11 @@ impl ThreadedBackend {
         let statuses: StatusMap = Arc::new(Mutex::new(HashMap::new()));
         let unfinished = Arc::new(AtomicUsize::new(0));
         let inflight = Arc::new(AtomicUsize::new(0));
-        let deadline_micros = Arc::new(AtomicU64::new(u64::MAX));
+        let deadline_micros = Arc::new(AtomicU64::new(
+            deadline.map(|d| d.as_micros()).unwrap_or(u64::MAX),
+        ));
         let held = Arc::new(AtomicUsize::new(0));
+        let vt_watermark = Arc::new(AtomicU64::new(0));
         let epoch = Instant::now();
 
         let thread_state = state.clone();
@@ -243,6 +324,9 @@ impl ThreadedBackend {
         let thread_inflight = inflight.clone();
         let thread_deadline = deadline_micros.clone();
         let thread_held = held.clone();
+        let thread_watermark = vt_watermark.clone();
+        let tele = telemetry.clone();
+        let exec_setup = config.exec_setup_per_task;
         let worker_tx = tx.clone();
         let node = config.node;
         let scheduler_thread = std::thread::Builder::new()
@@ -253,12 +337,55 @@ impl ThreadedBackend {
                         config.bootstrap.as_secs_f64() * time_scale,
                     ));
                 }
+                let vt_bootstrap = SimTime::ZERO + config.bootstrap;
+                if tele.enabled() {
+                    // The modeled virtual clock always pays the bootstrap
+                    // (mirroring the simulated backend), even when the real
+                    // sleep is skipped at time scale 0.
+                    let boot = tele.span(
+                        SpanCat::Pilot,
+                        "bootstrap",
+                        SpanId::NONE,
+                        track::PILOT,
+                        Stamp::dual(SimTime::ZERO, 0),
+                        &[],
+                    );
+                    tele.end(
+                        boot,
+                        Stamp::dual(vt_bootstrap, epoch.elapsed().as_micros() as u64),
+                    );
+                }
                 let mut scheduler = Scheduler::new_cluster(
                     crate::resources::ClusterSpec::homogeneous(node, config.nodes),
                     config.policy,
                 );
                 let mut backoff_rng = SimRng::from_seed(config.seed).fork("retry-backoff");
                 let mut waiting: HashMap<u64, TaskSpec> = HashMap::new();
+                // Per-device virtual-free watermarks: device `d` of node `n`
+                // is globally `n * (cores + gpus) + d` (cores first). A
+                // placement's modeled virtual start is the max over its
+                // devices, exactly as slot contention resolves in the sim.
+                let devices_per_node = (node.cores + node.gpus) as usize;
+                let mut vt_free: Vec<SimTime> =
+                    vec![vt_bootstrap; devices_per_node * config.nodes as usize];
+                let dev_ids = |alloc: &Allocation| -> Vec<usize> {
+                    let base = alloc.node as usize * devices_per_node;
+                    alloc
+                        .core_ids
+                        .iter()
+                        .map(|&c| base + c as usize)
+                        .chain(
+                            alloc
+                                .gpu_ids
+                                .iter()
+                                .map(|&g| base + node.cores as usize + g as usize),
+                        )
+                        .collect()
+                };
+                // Last crash instant per node: stamps crash-evicted attempts.
+                let mut vt_crash: Vec<SimTime> = vec![SimTime::ZERO; config.nodes as usize];
+                let mut vspans: HashMap<u64, VtSpans> = HashMap::new();
+                let vt_now = || SimTime::from_micros(thread_watermark.load(Ordering::SeqCst));
                 // id → (allocation, start time, incarnation at placement,
                 // sleep token). The allocation and start time let a crash
                 // close the victims' profiler intervals synchronously.
@@ -274,19 +401,23 @@ impl ThreadedBackend {
                             let scale = |t: SimTime| {
                                 epoch + Duration::from_secs_f64(t.as_secs_f64() * time_scale)
                             };
-                            timers.push((scale(crash_at), Timer::Crash(n)));
-                            timers.push((scale(recover_at), Timer::Recover(n)));
+                            timers.push((scale(crash_at), Timer::Crash(n, crash_at)));
+                            timers.push((scale(recover_at), Timer::Recover(n, recover_at)));
                         }
                     }
                 }
                 let now = |epoch: Instant| -> SimTime {
                     SimTime::from_micros(epoch.elapsed().as_micros() as u64)
                 };
-                let deliver = |c: Completion| {
+                let deliver = |c: Completion, vt_end: SimTime| {
                     if let Some(s) = thread_statuses.lock().expect("status lock").get_mut(&c.task.0)
                     {
                         s.terminal = true;
                     }
+                    // The watermark advances BEFORE the send: a client that
+                    // pops this completion and submits a follow-up must read
+                    // a virtual submit time at or past this virtual end.
+                    thread_watermark.fetch_max(vt_end.as_micros(), Ordering::SeqCst);
                     // `inflight` drops before the send so a consumer that
                     // popped this completion observes the decrement;
                     // `unfinished` drops after so the drain check in
@@ -294,6 +425,9 @@ impl ThreadedBackend {
                     thread_inflight.fetch_sub(1, Ordering::SeqCst);
                     let _ = completion_tx.send(c);
                     thread_unfinished.fetch_sub(1, Ordering::SeqCst);
+                    if tele.enabled() {
+                        tele.gauge("in_flight", thread_inflight.load(Ordering::SeqCst) as f64);
+                    }
                 };
                 let cancel_requested = |id: TaskId| {
                     thread_statuses
@@ -313,10 +447,22 @@ impl ThreadedBackend {
                             .map(|(i, _)| i);
                         let Some(i) = due else { break };
                         match timers.remove(i).1 {
-                            Timer::Crash(n) => {
+                            Timer::Crash(n, crash_vt) => {
                                 let live = node_incarnation[n as usize];
                                 node_incarnation[n as usize] += 1;
                                 scheduler.drain_node(n);
+                                vt_crash[n as usize] = crash_vt;
+                                if tele.enabled() {
+                                    tele.instant(
+                                        SpanCat::Fault,
+                                        "node-crash",
+                                        SpanId::NONE,
+                                        track::FAULT,
+                                        Stamp::dual(crash_vt, now(epoch).as_micros()),
+                                        &[("node", n as i64)],
+                                    );
+                                    tele.count("node_crashes", 1);
+                                }
                                 // Close the victims' device intervals *now*:
                                 // their slots may be re-allocated after
                                 // recovery before the preempted workers'
@@ -336,21 +482,73 @@ impl ThreadedBackend {
                                     token.preempt();
                                 }
                             }
-                            Timer::Recover(n) => scheduler.recover_node(n),
-                            Timer::Retry { id, spec } => {
+                            Timer::Recover(n, recover_vt) => {
+                                scheduler.recover_node(n);
+                                if tele.enabled() {
+                                    tele.instant(
+                                        SpanCat::Fault,
+                                        "node-recover",
+                                        SpanId::NONE,
+                                        track::FAULT,
+                                        Stamp::dual(recover_vt, now(epoch).as_micros()),
+                                        &[("node", n as i64)],
+                                    );
+                                }
+                            }
+                            Timer::Retry { id, spec, vt } => {
                                 if cancel_requested(id) {
                                     let at = now(epoch);
-                                    deliver(Completion {
-                                        task: id,
-                                        name: spec.name,
-                                        tag: spec.tag,
-                                        result: Err(TaskError::Canceled),
-                                        started: at,
-                                        finished: at,
-                                        attempts: spec.attempts,
-                                    });
+                                    let vcan = vt.max(vt_now());
+                                    if tele.enabled() {
+                                        let st = Stamp::dual(vcan, at.as_micros());
+                                        if let Some(vs) = vspans.remove(&id.0) {
+                                            tele.instant(
+                                                SpanCat::Task,
+                                                "canceled",
+                                                vs.task,
+                                                track::task(id.0),
+                                                st,
+                                                &[],
+                                            );
+                                            tele.end(vs.task, st);
+                                        }
+                                        tele.count("tasks_canceled", 1);
+                                    } else {
+                                        vspans.remove(&id.0);
+                                    }
+                                    deliver(
+                                        Completion {
+                                            task: id,
+                                            name: spec.name,
+                                            tag: spec.tag,
+                                            result: Err(TaskError::Canceled),
+                                            started: at,
+                                            finished: at,
+                                            attempts: spec.attempts,
+                                        },
+                                        vcan,
+                                    );
                                 } else {
                                     scheduler.enqueue_with_priority(id, spec.request, spec.priority);
+                                    if let Some(vs) = vspans.get_mut(&id.0) {
+                                        vs.queued_vt = vt;
+                                        if tele.enabled() {
+                                            vs.queue = tele.span(
+                                                SpanCat::Queue,
+                                                "queue",
+                                                vs.task,
+                                                track::task(id.0),
+                                                Stamp::dual(vt, now(epoch).as_micros()),
+                                                &[("attempt", spec.attempts as i64)],
+                                            );
+                                        }
+                                    }
+                                    if tele.enabled() {
+                                        tele.gauge(
+                                            "queue_depth",
+                                            scheduler.queue_len() as f64,
+                                        );
+                                    }
                                     waiting.insert(id.0, spec);
                                 }
                             }
@@ -360,8 +558,54 @@ impl ThreadedBackend {
                     // channel, so work unlocked by a timer (a retry backoff
                     // expiring, a node recovering) is scheduled even though no
                     // message will arrive to wake us.
-                    for (id, alloc) in scheduler.place_ready() {
+                    let queued = scheduler.queue_len();
+                    let placements = scheduler.place_ready();
+                    if tele.enabled() && queued > 0 {
+                        let st = Stamp::dual(vt_now(), now(epoch).as_micros());
+                        let round = tele.span(
+                            SpanCat::Scheduler,
+                            "placement-round",
+                            SpanId::NONE,
+                            track::SCHED,
+                            st,
+                            &[
+                                ("queued", queued as i64),
+                                ("placed", placements.len() as i64),
+                            ],
+                        );
+                        tele.end(round, st);
+                        tele.count("placement_rounds", 1);
+                        tele.gauge("queue_depth", scheduler.queue_len() as f64);
+                    }
+                    for (id, alloc) in placements {
                         let spec = waiting.remove(&id.0).expect("placed task was submitted");
+                        // Modeled virtual window of this attempt: the same
+                        // arithmetic the simulated backend runs at placement
+                        // (setup = exec setup + launch overhead; hang faults
+                        // dilate the run; walltime caps the span).
+                        let devs = dev_ids(&alloc);
+                        let mut v_place = vspans
+                            .get(&id.0)
+                            .map(|v| v.queued_vt)
+                            .unwrap_or(SimTime::ZERO);
+                        for &d in &devs {
+                            if vt_free[d] > v_place {
+                                v_place = vt_free[d];
+                            }
+                        }
+                        let fault = faults.attempt_fault(id.0, spec.attempts);
+                        let hang_factor = faults.config().hang_factor;
+                        let setup = exec_setup.saturating_add(spec.kind.launch_overhead());
+                        let mut vrun = spec.duration;
+                        if fault == AttemptFault::Hang {
+                            vrun = vrun.mul_f64(hang_factor);
+                        }
+                        let vtotal = setup.saturating_add(vrun);
+                        let vspan = match spec.walltime {
+                            Some(limit) if limit < vtotal => limit,
+                            _ => vtotal,
+                        };
+                        let v_end = v_place + vspan;
                         // Walltime-aware drain: hold any attempt whose scaled
                         // span would cross the allocation deadline. Its slots
                         // return to the pool, it never launches, and the held
@@ -381,11 +625,58 @@ impl ThreadedBackend {
                             if at.saturating_add(span_micros) > deadline {
                                 scheduler.release(&alloc);
                                 thread_held.fetch_add(1, Ordering::SeqCst);
+                                if tele.enabled() {
+                                    let st = Stamp::dual(v_place, now(epoch).as_micros());
+                                    if let Some(vs) = vspans.get(&id.0).copied() {
+                                        tele.end(vs.queue, st);
+                                        tele.instant(
+                                            SpanCat::Task,
+                                            "held",
+                                            vs.task,
+                                            track::task(id.0),
+                                            st,
+                                            &[],
+                                        );
+                                    }
+                                    tele.count("tasks_held", 1);
+                                }
                                 continue;
                             }
                         }
-                        let fault = faults.attempt_fault(id.0, spec.attempts);
-                        let hang_factor = faults.config().hang_factor;
+                        for &d in &devs {
+                            vt_free[d] = v_end;
+                        }
+                        if let Some(vs) = vspans.get_mut(&id.0) {
+                            vs.start_vt = v_place;
+                            vs.end_vt = v_end;
+                        }
+                        if tele.enabled() {
+                            let st = Stamp::dual(v_place, now(epoch).as_micros());
+                            if let Some(vs) = vspans.get(&id.0).copied() {
+                                tele.end(vs.queue, st);
+                                tele.observe(
+                                    "queue_wait_seconds",
+                                    0.0,
+                                    14_400.0,
+                                    48,
+                                    v_place.since(vs.queued_vt).as_secs_f64(),
+                                );
+                                let attempt_span = tele.span(
+                                    SpanCat::Attempt,
+                                    "attempt",
+                                    vs.task,
+                                    track::task(id.0),
+                                    st,
+                                    &[
+                                        ("attempt", spec.attempts as i64),
+                                        ("node", alloc.node as i64),
+                                    ],
+                                );
+                                vspans.get_mut(&id.0).expect("span entry").attempt =
+                                    attempt_span;
+                            }
+                            tele.count("placements", 1);
+                        }
                         let started = now(epoch);
                         thread_state
                             .lock()
@@ -441,15 +732,37 @@ impl ThreadedBackend {
                             if scheduler.cancel_queued(id) {
                                 let spec = waiting.remove(&id.0).expect("queued task waits");
                                 let at = now(epoch);
-                                deliver(Completion {
-                                    task: id,
-                                    name: spec.name,
-                                    tag: spec.tag,
-                                    result: Err(TaskError::Canceled),
-                                    started: at,
-                                    finished: at,
-                                    attempts: spec.attempts,
-                                });
+                                let vs = vspans.remove(&id.0);
+                                let vcan =
+                                    vs.map(|v| v.queued_vt).unwrap_or(SimTime::ZERO).max(vt_now());
+                                if tele.enabled() {
+                                    let st = Stamp::dual(vcan, at.as_micros());
+                                    if let Some(v) = vs {
+                                        tele.end(v.queue, st);
+                                        tele.instant(
+                                            SpanCat::Task,
+                                            "canceled",
+                                            v.task,
+                                            track::task(id.0),
+                                            st,
+                                            &[],
+                                        );
+                                        tele.end(v.task, st);
+                                    }
+                                    tele.count("tasks_canceled", 1);
+                                }
+                                deliver(
+                                    Completion {
+                                        task: id,
+                                        name: spec.name,
+                                        tag: spec.tag,
+                                        result: Err(TaskError::Canceled),
+                                        started: at,
+                                        finished: at,
+                                        attempts: spec.attempts,
+                                    },
+                                    vcan,
+                                );
                             } else if let Some((_, _, _, token)) = running.get(&id.0) {
                                 // Wake the worker early; its commit check
                                 // sees the flag and backs out.
@@ -459,13 +772,33 @@ impl ThreadedBackend {
                             // timer checks the flag) or already racing to a
                             // terminal state the flag can still veto.
                         }
-                        Some(Msg::Submit { id, spec }) => {
+                        Some(Msg::Submit {
+                            id,
+                            spec,
+                            vt_queued,
+                            task_span,
+                            queue_span,
+                        }) => {
                             thread_state
                                 .lock()
                                 .expect("state lock")
                                 .profiler
                                 .task_submitted(id, now(epoch));
                             scheduler.enqueue_with_priority(id, spec.request, spec.priority);
+                            vspans.insert(
+                                id.0,
+                                VtSpans {
+                                    task: task_span,
+                                    queue: queue_span,
+                                    attempt: SpanId::NONE,
+                                    queued_vt: vt_queued,
+                                    start_vt: vt_queued,
+                                    end_vt: vt_queued,
+                                },
+                            );
+                            if tele.enabled() {
+                                tele.gauge("queue_depth", scheduler.queue_len() as f64);
+                            }
                             waiting.insert(id.0, spec);
                         }
                         Some(Msg::WorkerDone {
@@ -505,15 +838,42 @@ impl ThreadedBackend {
                             if fresh {
                                 scheduler.release(&alloc);
                             }
-                            deliver(Completion {
-                                task: id,
-                                name,
-                                tag,
-                                result,
-                                started,
-                                finished,
-                                attempts,
-                            });
+                            let vs = vspans.remove(&id.0);
+                            let v_end = vs.map(|v| v.end_vt).unwrap_or_else(vt_now);
+                            if tele.enabled() {
+                                let st = Stamp::dual(v_end, finished.as_micros());
+                                if let Some(vs) = vs {
+                                    tele.end(vs.attempt, st);
+                                    tele.end(vs.task, st);
+                                    tele.observe(
+                                        "task_run_seconds",
+                                        0.0,
+                                        14_400.0,
+                                        48,
+                                        vs.end_vt.since(vs.start_vt).as_secs_f64(),
+                                    );
+                                }
+                                tele.count(
+                                    if result.is_ok() {
+                                        "tasks_completed"
+                                    } else {
+                                        "tasks_failed"
+                                    },
+                                    1,
+                                );
+                            }
+                            deliver(
+                                Completion {
+                                    task: id,
+                                    name,
+                                    tag,
+                                    result,
+                                    started,
+                                    finished,
+                                    attempts,
+                                },
+                                v_end,
+                            );
                         }
                         Some(Msg::WorkerCanceled {
                             id,
@@ -534,15 +894,36 @@ impl ThreadedBackend {
                                     .attempt_wasted(&alloc, started, at);
                                 scheduler.release(&alloc);
                             }
-                            deliver(Completion {
-                                task: id,
-                                name,
-                                tag,
-                                result: Err(TaskError::Canceled),
-                                started,
-                                finished: at,
-                                attempts,
-                            });
+                            let vs = vspans.remove(&id.0);
+                            let vcan = vs.map(|v| v.start_vt).unwrap_or(SimTime::ZERO).max(vt_now());
+                            if tele.enabled() {
+                                let st = Stamp::dual(vcan, at.as_micros());
+                                if let Some(vs) = vs {
+                                    tele.end(vs.attempt, st);
+                                    tele.instant(
+                                        SpanCat::Task,
+                                        "canceled",
+                                        vs.task,
+                                        track::task(id.0),
+                                        st,
+                                        &[],
+                                    );
+                                    tele.end(vs.task, st);
+                                }
+                                tele.count("tasks_canceled", 1);
+                            }
+                            deliver(
+                                Completion {
+                                    task: id,
+                                    name,
+                                    tag,
+                                    result: Err(TaskError::Canceled),
+                                    started,
+                                    finished: at,
+                                    attempts,
+                                },
+                                vcan,
+                            );
                         }
                         Some(Msg::AttemptFailed {
                             id,
@@ -565,16 +946,67 @@ impl ThreadedBackend {
                                     .attempt_wasted(&alloc, started, at);
                                 scheduler.release(&alloc);
                             }
+                            // Virtual failure instant: the modeled attempt
+                            // end for injected faults and walltime expiries;
+                            // the crash instant for crash evictions.
+                            let vs = vspans.get(&id.0).copied();
+                            let v_fail = match (&err, vs) {
+                                (TaskError::NodeCrashed { node }, Some(v)) => {
+                                    vt_crash[*node as usize].max(v.start_vt)
+                                }
+                                (_, Some(v)) => v.end_vt,
+                                _ => vt_now(),
+                            };
+                            if tele.enabled() {
+                                let st = Stamp::dual(v_fail, at.as_micros());
+                                if let Some(v) = vs {
+                                    let fname = match &err {
+                                        TaskError::Injected => "fault-injected",
+                                        TaskError::TimedOut { .. } => "fault-timeout",
+                                        TaskError::NodeCrashed { .. } => "fault-crash",
+                                        _ => "fault",
+                                    };
+                                    tele.instant(
+                                        SpanCat::Fault,
+                                        fname,
+                                        v.attempt,
+                                        track::task(id.0),
+                                        st,
+                                        &[],
+                                    );
+                                    tele.end(v.attempt, st);
+                                }
+                            }
                             if cancel_requested(id) {
-                                deliver(Completion {
-                                    task: id,
-                                    name: spec.name,
-                                    tag: spec.tag,
-                                    result: Err(TaskError::Canceled),
-                                    started,
-                                    finished: at,
-                                    attempts: spec.attempts,
-                                });
+                                if tele.enabled() {
+                                    let st = Stamp::dual(v_fail, at.as_micros());
+                                    if let Some(v) = vspans.remove(&id.0) {
+                                        tele.instant(
+                                            SpanCat::Task,
+                                            "canceled",
+                                            v.task,
+                                            track::task(id.0),
+                                            st,
+                                            &[],
+                                        );
+                                        tele.end(v.task, st);
+                                    }
+                                    tele.count("tasks_canceled", 1);
+                                } else {
+                                    vspans.remove(&id.0);
+                                }
+                                deliver(
+                                    Completion {
+                                        task: id,
+                                        name: spec.name,
+                                        tag: spec.tag,
+                                        result: Err(TaskError::Canceled),
+                                        started,
+                                        finished: at,
+                                        attempts: spec.attempts,
+                                    },
+                                    v_fail,
+                                );
                             } else if spec.attempts < retry.max_retries {
                                 spec.attempts += 1;
                                 thread_state
@@ -582,20 +1014,42 @@ impl ThreadedBackend {
                                     .expect("state lock")
                                     .profiler
                                     .note_retry();
+                                if tele.enabled() {
+                                    tele.count("retries", 1);
+                                }
                                 let delay = retry.backoff(spec.attempts, &mut backoff_rng);
                                 let fire_at = Instant::now()
                                     + Duration::from_secs_f64(delay.as_secs_f64() * time_scale);
-                                timers.push((fire_at, Timer::Retry { id, spec }));
+                                timers.push((
+                                    fire_at,
+                                    Timer::Retry {
+                                        id,
+                                        spec,
+                                        vt: v_fail + delay,
+                                    },
+                                ));
                             } else {
-                                deliver(Completion {
-                                    task: id,
-                                    name: spec.name,
-                                    tag: spec.tag,
-                                    result: Err(err),
-                                    started,
-                                    finished: at,
-                                    attempts: spec.attempts,
-                                });
+                                if tele.enabled() {
+                                    let st = Stamp::dual(v_fail, at.as_micros());
+                                    if let Some(v) = vspans.remove(&id.0) {
+                                        tele.end(v.task, st);
+                                    }
+                                    tele.count("tasks_failed", 1);
+                                } else {
+                                    vspans.remove(&id.0);
+                                }
+                                deliver(
+                                    Completion {
+                                        task: id,
+                                        name: spec.name,
+                                        tag: spec.tag,
+                                        result: Err(err),
+                                        started,
+                                        finished: at,
+                                        attempts: spec.attempts,
+                                    },
+                                    v_fail,
+                                );
                             }
                         }
                     }
@@ -616,6 +1070,8 @@ impl ThreadedBackend {
             next_id: 0,
             scheduler_thread: Some(scheduler_thread),
             node,
+            vt_watermark,
+            telemetry,
         }
     }
 
@@ -631,6 +1087,10 @@ impl ThreadedBackend {
     /// [`ExecutionBackend::held_tasks`] `> 0` — the graceful-drain signal.
     /// At time scale `0` tasks run instantly, so only placements attempted
     /// after the deadline has already passed are held.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `RuntimeConfig::new(..).deadline(..).threaded()`"
+    )]
     pub fn with_deadline(self, deadline: SimTime) -> Self {
         self.deadline_micros
             .store(deadline.as_micros(), Ordering::SeqCst);
@@ -787,8 +1247,40 @@ impl ExecutionBackend for ThreadedBackend {
             .lock()
             .expect("status lock")
             .insert(id.0, TaskStatus::default());
+        // Virtual submit instant: the completion watermark. A client that
+        // just consumed a completion and submits a follow-up queues it, on
+        // the virtual clock, exactly when the simulated backend would.
+        let vt_queued = SimTime::from_micros(self.vt_watermark.load(Ordering::SeqCst));
+        let (task_span, queue_span) = if self.telemetry.enabled() {
+            let st = Stamp::dual(vt_queued, self.now().as_micros());
+            let tr = track::task(id.0);
+            let task_span = self.telemetry.span(
+                SpanCat::Task,
+                &desc.name,
+                SpanId::NONE,
+                tr,
+                st,
+                &[("task", id.0 as i64), ("priority", desc.priority as i64)],
+            );
+            let queue_span = self.telemetry.span(
+                SpanCat::Queue,
+                "queue",
+                task_span,
+                tr,
+                st,
+                &[("attempt", 0)],
+            );
+            self.telemetry.count("tasks_submitted", 1);
+            (task_span, queue_span)
+        } else {
+            (SpanId::NONE, SpanId::NONE)
+        };
         self.unfinished.fetch_add(1, Ordering::SeqCst);
         self.inflight.fetch_add(1, Ordering::SeqCst);
+        if self.telemetry.enabled() {
+            self.telemetry
+                .gauge("in_flight", self.inflight.load(Ordering::SeqCst) as f64);
+        }
         self.tx
             .send(Msg::Submit {
                 id,
@@ -799,10 +1291,14 @@ impl ExecutionBackend for ThreadedBackend {
                     priority: desc.priority,
                     duration: desc.duration,
                     gpu_busy_fraction: desc.gpu_busy_fraction,
+                    kind: desc.kind,
                     walltime: desc.walltime,
                     attempts: 0,
                     work: desc.work,
                 },
+                vt_queued,
+                task_span,
+                queue_span,
             })
             .expect("scheduler thread alive");
         id
@@ -844,6 +1340,18 @@ impl ExecutionBackend for ThreadedBackend {
 
     fn held_tasks(&self) -> usize {
         self.held.load(Ordering::SeqCst)
+    }
+
+    fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    fn virtual_now(&self) -> SimTime {
+        SimTime::from_micros(self.vt_watermark.load(Ordering::SeqCst))
+    }
+
+    fn stamp(&self) -> Stamp {
+        Stamp::dual(self.virtual_now(), self.now().as_micros())
     }
 
     fn cancel(&mut self, id: TaskId) -> bool {
@@ -991,7 +1499,7 @@ mod tests {
             bootstrap: SimDuration::from_secs(1),
             ..config(1, 0)
         };
-        let mut b = ThreadedBackend::with_time_scale(cfg, 0.05);
+        let mut b = RuntimeConfig::new(cfg).time_scale(0.05).threaded();
         let t0 = Instant::now();
         b.submit(TaskDescription::new(
             "timed",
@@ -1014,8 +1522,10 @@ mod tests {
             bootstrap: SimDuration::from_secs(1),
             ..config(1, 0)
         };
-        let mut b = ThreadedBackend::with_time_scale(cfg, 0.01)
-            .with_deadline(SimTime::from_micros(200_000));
+        let mut b = RuntimeConfig::new(cfg)
+            .time_scale(0.01)
+            .deadline(SimTime::from_micros(200_000))
+            .threaded();
         b.submit(task("short-a", 1).with_work(|| 1u64));
         b.submit(task("short-b", 1).with_work(|| 2u64));
         b.submit(
@@ -1035,7 +1545,7 @@ mod tests {
 
     #[test]
     fn expired_deadline_at_zero_time_scale_holds_everything() {
-        let mut b = ThreadedBackend::new(config(2, 0)).with_deadline(SimTime::ZERO);
+        let mut b = RuntimeConfig::new(config(2, 0)).deadline(SimTime::ZERO).threaded();
         b.submit(task("a", 1).with_work(|| 1u64));
         b.submit(task("b", 1).with_work(|| 2u64));
         assert!(b.next_completion().is_none());
@@ -1124,7 +1634,7 @@ mod tests {
             },
             1,
         );
-        let mut b = ThreadedBackend::with_faults(config(2, 0), 0.0, plan, no_backoff(2));
+        let mut b = RuntimeConfig::new(config(2, 0)).faults(plan, no_backoff(2)).threaded();
         b.submit(task("doomed", 1).with_work(|| 1u32));
         let c = b.next_completion().unwrap();
         assert_eq!(c.attempts, 2);
@@ -1144,7 +1654,7 @@ mod tests {
             },
             11,
         );
-        let mut b = ThreadedBackend::with_faults(config(4, 0), 0.0, plan, no_backoff(8));
+        let mut b = RuntimeConfig::new(config(4, 0)).faults(plan, no_backoff(8)).threaded();
         for i in 0..12u64 {
             b.submit(task(&format!("t{i}"), 1).with_work(move || i));
         }
@@ -1205,7 +1715,10 @@ mod tests {
             bootstrap: SimDuration::from_secs(1),
             ..config(4, 0)
         };
-        let mut b = ThreadedBackend::with_faults(cfg, 0.01, plan, no_backoff(3));
+        let mut b = RuntimeConfig::new(cfg)
+            .time_scale(0.01)
+            .faults(plan, no_backoff(3))
+            .threaded();
         for i in 0..2u64 {
             b.submit(
                 TaskDescription::new(
@@ -1231,5 +1744,87 @@ mod tests {
         assert_eq!(r.retries, 1);
         assert!(r.wasted_core_seconds > 0.0);
         assert_eq!(b.in_flight(), 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_shims_delegate_to_runtime_config() {
+        // Each shim must produce a backend behaviorally identical to the
+        // RuntimeConfig path it delegates to.
+        let run = |mut b: ThreadedBackend| -> Vec<u64> {
+            for i in 0..4u64 {
+                b.submit(task(&format!("t{i}"), 1).with_work(move || i * 3));
+            }
+            let mut outs: Vec<u64> = Vec::new();
+            while let Some(c) = b.next_completion() {
+                outs.push(c.output::<u64>());
+            }
+            outs.sort_unstable();
+            outs
+        };
+        let via_shim = run(ThreadedBackend::with_time_scale(config(2, 0), 0.0));
+        let via_config = run(RuntimeConfig::new(config(2, 0)).threaded());
+        assert_eq!(via_shim, via_config);
+        let plan = || {
+            FaultPlan::new(
+                FaultConfig {
+                    task_failure_rate: 1.0,
+                    ..FaultConfig::none()
+                },
+                1,
+            )
+        };
+        let mut shim = ThreadedBackend::with_faults(config(2, 0), 0.0, plan(), no_backoff(1));
+        shim.submit(task("doomed", 1));
+        let cs = shim.next_completion().unwrap();
+        let mut cfg = RuntimeConfig::new(config(2, 0))
+            .faults(plan(), no_backoff(1))
+            .threaded();
+        cfg.submit(task("doomed", 1));
+        let cc = cfg.next_completion().unwrap();
+        assert_eq!(cs.attempts, cc.attempts);
+        assert_eq!(cs.result.is_ok(), cc.result.is_ok());
+    }
+
+    #[test]
+    fn telemetry_records_spans_and_models_the_virtual_clock() {
+        use impress_telemetry::{check_nesting, Telemetry};
+        let (tele, rec) = Telemetry::recording(4096);
+        let cfg = PilotConfig {
+            exec_setup_per_task: SimDuration::from_secs(2),
+            ..config(1, 0)
+        };
+        // One core: the two tasks serialize, so the modeled virtual clock
+        // is fully determined: bootstrap 1s, then two (2s setup + 5s run)
+        // attempts back to back → watermark 15s.
+        let mut b = RuntimeConfig::new(cfg).telemetry(tele).threaded();
+        for i in 0..2u64 {
+            b.submit(
+                TaskDescription::new(
+                    format!("t{i}"),
+                    ResourceRequest::cores(1),
+                    SimDuration::from_secs(5),
+                )
+                .with_work(move || i),
+            );
+        }
+        while b.next_completion().is_some() {}
+        assert_eq!(b.virtual_now(), SimTime::from_micros(15_000_000));
+        let stamp = b.stamp();
+        assert_eq!(stamp.virt, SimTime::from_micros(15_000_000));
+        assert!(stamp.wall.is_some(), "threaded stamps carry a wall clock");
+        let events = rec.events();
+        check_nesting(&events).expect("spans nest");
+        assert!(
+            events.iter().all(|e| e.stamp().wall.is_some()),
+            "every threaded event is dual-stamped"
+        );
+        let snap = b.telemetry().snapshot();
+        assert_eq!(snap.counter("tasks_submitted"), Some(2));
+        assert_eq!(snap.counter("tasks_completed"), Some(2));
+        assert_eq!(snap.counter("placements"), Some(2));
+        let hist = snap.histogram("task_run_seconds").expect("recorded");
+        assert_eq!(hist.count, 2);
+        assert_eq!(hist.sum, 14.0, "two modeled 7s (setup+run) attempts");
     }
 }

@@ -40,6 +40,7 @@ pub mod fault;
 pub mod pilot;
 pub mod profiler;
 pub mod resources;
+pub mod runtime;
 pub mod scheduler;
 pub mod session;
 pub mod states;
@@ -52,8 +53,9 @@ pub use fault::{AttemptFault, FaultConfig, FaultPlan, RetryPolicy, ScriptedCrash
 pub use pilot::{PhaseBreakdown, PilotConfig, PilotPhase};
 pub use profiler::{Profiler, UtilizationReport};
 pub use resources::{Allocation, ClusterSpec, NodeSpec, ResourceRequest};
+pub use runtime::RuntimeConfig;
 pub use scheduler::{PlacementPolicy, Scheduler};
-pub use session::Session;
+pub use session::{Observation, Session};
 pub use states::TaskState;
 pub use task::{TaskDescription, TaskId, TaskKind, TaskWork};
 pub use timeline::{GanttRow, Timeline};

@@ -119,6 +119,14 @@ pub struct Profiler {
 
 impl Profiler {
     /// A profiler for a single node with `cores` CPUs and `gpus` GPUs.
+    ///
+    /// Delegates to [`Profiler::new_cluster`] with `nodes = 1`: the
+    /// single-node profiler *is* a one-node cluster, so `cores`/`gpus`
+    /// become both the per-node shape (used to index device slots from an
+    /// [`Allocation`]'s node-relative ids) and the cluster-wide tracker
+    /// capacity. Utilization, per-device busy intervals, and waste
+    /// accounting are therefore identical whether a caller builds the
+    /// profiler through this shorthand or through `new_cluster(c, g, 1)`.
     pub fn new(cores: u32, gpus: u32) -> Self {
         Self::new_cluster(cores, gpus, 1)
     }

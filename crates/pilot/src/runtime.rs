@@ -1,0 +1,106 @@
+//! [`RuntimeConfig`]: one builder for everything a backend can be
+//! configured with.
+//!
+//! Historically each concern grew its own constructor on each backend —
+//! `new`, `with_faults`, `with_time_scale`, plus a chained
+//! `with_deadline` — and adding telemetry would have doubled the zoo.
+//! `RuntimeConfig` collapses them: build one value describing the run
+//! (pilot sizing, fault plan + retry policy, walltime deadline, threaded
+//! time dilation, telemetry handle), then hand it to either backend. The
+//! old constructors survive as thin deprecated shims for one release.
+//!
+//! ```
+//! use impress_pilot::{PilotConfig, RuntimeConfig};
+//! use impress_sim::SimTime;
+//!
+//! let backend = RuntimeConfig::new(PilotConfig::with_seed(7))
+//!     .deadline(SimTime::from_micros(3_600_000_000))
+//!     .simulated();
+//! # let _ = backend;
+//! ```
+
+use crate::backend::{SimulatedBackend, ThreadedBackend};
+use crate::fault::{FaultPlan, RetryPolicy};
+use crate::pilot::PilotConfig;
+use impress_sim::SimTime;
+use impress_telemetry::Telemetry;
+
+/// Everything a backend can be configured with, in one builder.
+///
+/// Knobs that only one backend honors are documented as such and are
+/// silently inert on the other (`time_scale` is threaded-only; the
+/// simulated backend replays virtual time directly).
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Pilot sizing and timing (node shape, bootstrap, per-task setup,
+    /// seed).
+    pub pilot: PilotConfig,
+    /// Deterministic fault-injection plan (default: no faults).
+    pub faults: FaultPlan,
+    /// Retry policy for faulted attempts (default: no retries).
+    pub retry: RetryPolicy,
+    /// Walltime deadline: tasks whose modeled span would cross it are held
+    /// instead of launched (default: none).
+    pub deadline: Option<SimTime>,
+    /// Threaded backend only: factor dilating virtual durations into real
+    /// sleeps (`0.0` = sleep only for the work closure itself).
+    pub time_scale: f64,
+    /// Telemetry handle; the default disabled handle records nothing and
+    /// costs one branch per instrumentation point.
+    pub telemetry: Telemetry,
+}
+
+impl RuntimeConfig {
+    /// A fault-free, deadline-free, telemetry-off runtime over `pilot`.
+    pub fn new(pilot: PilotConfig) -> Self {
+        RuntimeConfig {
+            pilot,
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::none(),
+            deadline: None,
+            time_scale: 0.0,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Inject `faults`, retrying failed attempts under `retry`.
+    pub fn faults(mut self, faults: FaultPlan, retry: RetryPolicy) -> Self {
+        self.faults = faults;
+        self.retry = retry;
+        self
+    }
+
+    /// Hold tasks whose modeled span would cross `deadline`.
+    pub fn deadline(mut self, deadline: SimTime) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Dilate virtual durations into real sleeps (threaded backend only).
+    pub fn time_scale(mut self, scale: f64) -> Self {
+        self.time_scale = scale;
+        self
+    }
+
+    /// Record spans and metrics through `telemetry`.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Build a [`SimulatedBackend`] from this configuration.
+    pub fn simulated(self) -> SimulatedBackend {
+        SimulatedBackend::from_config(self)
+    }
+
+    /// Build a [`ThreadedBackend`] from this configuration.
+    pub fn threaded(self) -> ThreadedBackend {
+        ThreadedBackend::from_config(self)
+    }
+}
+
+impl From<PilotConfig> for RuntimeConfig {
+    fn from(pilot: PilotConfig) -> Self {
+        RuntimeConfig::new(pilot)
+    }
+}

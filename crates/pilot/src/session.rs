@@ -11,7 +11,59 @@ use crate::profiler::UtilizationReport;
 use crate::resources::ResourceRequest;
 use crate::task::{TaskDescription, TaskId};
 use impress_sim::{SimDuration, SimTime};
+use impress_telemetry::{MetricsSnapshot, Stamp, Telemetry};
 use std::collections::HashMap;
+
+/// A consistent point-in-time view of a running session.
+///
+/// One [`Session::observe`] call replaces the old quintet of ad-hoc
+/// probes (`utilization`, `phase_breakdown`, `held_tasks`, `in_flight`,
+/// plus fishing metrics out of the backend): every field is read at the
+/// same backend instant, so the numbers are mutually consistent, and the
+/// live telemetry [`MetricsSnapshot`] rides along.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    at: SimTime,
+    utilization: UtilizationReport,
+    phases: PhaseBreakdown,
+    in_flight: usize,
+    held: usize,
+    metrics: MetricsSnapshot,
+}
+
+impl Observation {
+    /// Backend time at which this observation was taken.
+    pub fn at(&self) -> SimTime {
+        self.at
+    }
+
+    /// Utilization report up to [`Observation::at`].
+    pub fn utilization(&self) -> &UtilizationReport {
+        &self.utilization
+    }
+
+    /// Pilot phase breakdown so far.
+    pub fn phase_breakdown(&self) -> &PhaseBreakdown {
+        &self.phases
+    }
+
+    /// Tasks held back by the backend's walltime deadline (they will never
+    /// launch; a graceful drain is in progress).
+    pub fn held_tasks(&self) -> usize {
+        self.held
+    }
+
+    /// Tasks submitted but not yet completed.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Live telemetry metrics at observation time. Empty when the session's
+    /// backend runs with telemetry disabled.
+    pub fn metrics(&self) -> &MetricsSnapshot {
+        &self.metrics
+    }
+}
 
 /// A pilot session over some backend.
 pub struct Session<B: ExecutionBackend> {
@@ -104,7 +156,35 @@ impl<B: ExecutionBackend> Session<B> {
         self.backend.now()
     }
 
+    /// A consistent point-in-time snapshot of the session: time,
+    /// utilization, phase breakdown, queue/hold counts, and live
+    /// telemetry metrics, all read at the same backend instant.
+    pub fn observe(&self) -> Observation {
+        Observation {
+            at: self.backend.now(),
+            utilization: self.backend.utilization(),
+            phases: self.backend.phase_breakdown(),
+            in_flight: self.backend.in_flight(),
+            held: self.backend.held_tasks(),
+            metrics: self.backend.telemetry().snapshot(),
+        }
+    }
+
+    /// The backend's telemetry handle (disabled unless the backend was
+    /// built with [`crate::RuntimeConfig::telemetry`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        self.backend.telemetry()
+    }
+
+    /// A dual-clock stamp at the current instant (virtual time always;
+    /// wall time when the backend runs on real threads). Useful for
+    /// recording application-level spans against the backend's clocks.
+    pub fn stamp(&self) -> Stamp {
+        self.backend.stamp()
+    }
+
     /// Tasks submitted but not yet completed.
+    #[deprecated(since = "0.1.0", note = "use `Session::observe().in_flight()`")]
     pub fn in_flight(&self) -> usize {
         self.backend.in_flight()
     }
@@ -112,16 +192,22 @@ impl<B: ExecutionBackend> Session<B> {
     /// Tasks held back by the backend's walltime deadline (they will never
     /// launch; a graceful drain is in progress). See
     /// [`ExecutionBackend::held_tasks`].
+    #[deprecated(since = "0.1.0", note = "use `Session::observe().held_tasks()`")]
     pub fn held_tasks(&self) -> usize {
         self.backend.held_tasks()
     }
 
     /// Utilization report up to the current time.
+    #[deprecated(since = "0.1.0", note = "use `Session::observe().utilization()`")]
     pub fn utilization(&self) -> UtilizationReport {
         self.backend.utilization()
     }
 
     /// Pilot phase breakdown so far.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Session::observe().phase_breakdown()`"
+    )]
     pub fn phase_breakdown(&self) -> PhaseBreakdown {
         self.backend.phase_breakdown()
     }
@@ -184,7 +270,7 @@ mod tests {
         }
         let out = s.drain();
         assert_eq!(out.len(), 5);
-        assert_eq!(s.in_flight(), 0);
+        assert_eq!(s.observe().in_flight(), 0);
         assert!(s.wait_next().is_none());
     }
 
@@ -198,9 +284,36 @@ mod tests {
         ));
         let _ = s.drain();
         assert!(s.now() >= SimTime::from_micros(111_000_000)); // 10+1+100 s
-        let r = s.utilization();
-        assert_eq!(r.tasks, 1);
-        assert!(r.cpu > 0.0);
-        assert_eq!(s.phase_breakdown().tasks_executed, 1);
+        let obs = s.observe();
+        assert_eq!(obs.at(), s.now());
+        assert_eq!(obs.utilization().tasks, 1);
+        assert!(obs.utilization().cpu > 0.0);
+        assert_eq!(obs.phase_breakdown().tasks_executed, 1);
+        assert_eq!(obs.held_tasks(), 0);
+        // Telemetry is off by default: the metrics snapshot is empty.
+        assert!(obs.metrics().counters.is_empty());
+        assert!(!s.telemetry().enabled());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_probes_agree_with_observe() {
+        let mut s = session(2);
+        for i in 0..3 {
+            s.submit(TaskDescription::new(
+                format!("t{i}"),
+                ResourceRequest::cores(1),
+                SimDuration::from_secs(5),
+            ));
+        }
+        let _ = s.drain();
+        let obs = s.observe();
+        assert_eq!(obs.in_flight(), s.in_flight());
+        assert_eq!(obs.held_tasks(), s.held_tasks());
+        assert_eq!(obs.utilization().tasks, s.utilization().tasks);
+        assert_eq!(
+            obs.phase_breakdown().tasks_executed,
+            s.phase_breakdown().tasks_executed
+        );
     }
 }

@@ -5,7 +5,8 @@
 use impress_pilot::backend::SimulatedBackend;
 use impress_pilot::{
     ExecutionBackend, FaultConfig, FaultPlan, NodeSpec, PilotConfig, PlacementPolicy,
-    ResourceRequest, RetryPolicy, Scheduler, ScriptedCrash, TaskDescription, TaskId,
+    ResourceRequest, RetryPolicy, RuntimeConfig, Scheduler, ScriptedCrash, TaskDescription,
+    TaskId,
 };
 use impress_sim::{props, SimDuration, SimRng, SimTime};
 
@@ -164,8 +165,9 @@ props! {
             ..PilotConfig::default()
         };
         let plan = FaultPlan::new(faults, seed);
-        let mut backend =
-            SimulatedBackend::with_faults(config, plan, RetryPolicy::retries(budget));
+        let mut backend = RuntimeConfig::new(config)
+            .faults(plan, RetryPolicy::retries(budget))
+            .simulated();
         let n = tasks.len();
         for (i, t) in tasks.iter().enumerate() {
             let mut desc = TaskDescription::new(
@@ -243,11 +245,9 @@ props! {
             seed,
             ..PilotConfig::default()
         };
-        let mut backend = SimulatedBackend::with_faults(
-            config,
-            FaultPlan::new(faults, seed),
-            RetryPolicy::retries(6),
-        );
+        let mut backend = RuntimeConfig::new(config)
+            .faults(FaultPlan::new(faults, seed), RetryPolicy::retries(6))
+            .simulated();
         let n = tasks.len();
         for (i, t) in tasks.iter().enumerate() {
             backend.submit(TaskDescription::new(

@@ -1,0 +1,384 @@
+//! Span tracing, live metrics and trace export for the IMPRESS stack.
+//!
+//! This crate is the observability layer the execution backends, session,
+//! scheduler and coordinator are instrumented with:
+//!
+//! * **Spans** ([`SpanId`], [`SpanCat`], [`TelemetryEvent`]) — begin/end
+//!   pairs with dual-clock [`Stamp`]s: every event carries virtual
+//!   (simulation) time, and events from the threaded backend additionally
+//!   carry wall-clock micros.
+//! * **Sinks** ([`TelemetrySink`]) — collection goes through a
+//!   fixed-capacity [`RingSink`] ring buffer; the disabled path is a
+//!   cached boolean check on the [`Telemetry`] handle, cheap enough to
+//!   leave in release hot paths.
+//! * **Metrics** — named counters, gauges and histograms (reusing
+//!   [`impress_sim::Histogram`]), snapshotted deterministically into a
+//!   [`MetricsSnapshot`].
+//! * **Exporters** — Chrome trace-event JSON ([`chrome_trace`], loadable
+//!   in Perfetto) and Prometheus text exposition ([`prometheus_text`]).
+//!
+//! The export contract that makes cross-backend testing possible: the
+//! Chrome exporter emits structurally canonical documents (no span ids,
+//! deterministic sort), so identical seeded workloads recorded on the
+//! simulated and threaded backends export **byte-identical** virtual-time
+//! traces whenever their virtual timestamps agree.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod chrome;
+mod event;
+mod metrics;
+mod prom;
+mod sink;
+
+pub use chrome::{chrome_trace, chrome_trace_filtered, TraceClock};
+pub use event::{check_nesting, Args, SpanCat, SpanId, Stamp, TelemetryEvent};
+pub use metrics::{BucketSample, CounterSample, GaugeSample, HistogramSample, MetricsSnapshot};
+pub use prom::prometheus_text;
+pub use sink::{NullSink, RingSink, TelemetrySink, TraceRecorder};
+
+use metrics::Metrics;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Deterministic export-track (Chrome `tid`) numbering shared by every
+/// instrumentation site. Tracks are a pure function of the entity — never
+/// of recording order — so traces from different backends line up.
+pub mod track {
+    /// Pilot/runtime lifecycle events (bootstrap, drain).
+    pub const PILOT: i64 = 1;
+    /// Scheduler mechanics (placement rounds).
+    pub const SCHED: i64 = 2;
+    /// Fault injection (node crash/recover).
+    pub const FAULT: i64 = 3;
+    /// Session/coordinator bookkeeping (journal, decisions).
+    pub const SESSION: i64 = 4;
+
+    /// The per-task track.
+    pub fn task(id: u64) -> i64 {
+        10_000 + id as i64
+    }
+
+    /// The per-pipeline track.
+    pub fn pipeline(id: u64) -> i64 {
+        100 + id as i64
+    }
+}
+
+/// Shared state behind an enabled handle.
+struct Inner {
+    sink: Arc<dyn TelemetrySink>,
+    next_span: AtomicU64,
+    metrics: Metrics,
+}
+
+/// The instrumentation handle threaded through backends, sessions and the
+/// coordinator. Cloning is cheap (an `Arc` bump) and all clones share one
+/// sink, span-id allocator and metric registry.
+///
+/// A disabled handle (the default everywhere) carries no allocation at
+/// all: every recording method first checks a cached boolean and returns
+/// immediately, so the telemetry-off fast path costs one predictable
+/// branch per call site.
+#[derive(Clone)]
+pub struct Telemetry {
+    on: bool,
+    inner: Option<Arc<Inner>>,
+}
+
+/// The process-wide disabled handle, usable as a `&'static` default.
+static DISABLED: Telemetry = Telemetry {
+    on: false,
+    inner: None,
+};
+
+/// A `&'static` reference to the disabled handle, for trait defaults that
+/// must hand out `&Telemetry` without owning one.
+pub fn disabled_ref() -> &'static Telemetry {
+    &DISABLED
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::disabled()
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry").field("on", &self.on).finish()
+    }
+}
+
+impl Telemetry {
+    /// The no-op handle: nothing is recorded, nothing is allocated.
+    pub fn disabled() -> Telemetry {
+        DISABLED.clone()
+    }
+
+    /// A handle writing into `sink`. If the sink reports itself disabled
+    /// (like [`NullSink`]), the handle behaves exactly like
+    /// [`Telemetry::disabled`].
+    pub fn with_sink(sink: Arc<dyn TelemetrySink>) -> Telemetry {
+        let on = sink.is_enabled();
+        Telemetry {
+            on,
+            inner: Some(Arc::new(Inner {
+                sink,
+                next_span: AtomicU64::new(1),
+                metrics: Metrics::default(),
+            })),
+        }
+    }
+
+    /// A handle recording into a fresh [`RingSink`] of `capacity` events,
+    /// plus the [`TraceRecorder`] that drains and exports it.
+    pub fn recording(capacity: usize) -> (Telemetry, TraceRecorder) {
+        let ring = Arc::new(RingSink::new(capacity));
+        let recorder = TraceRecorder { ring: ring.clone() };
+        (Telemetry::with_sink(ring), recorder)
+    }
+
+    /// Whether events will actually be recorded. Instrumentation sites may
+    /// use this to skip building expensive arguments.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.on
+    }
+
+    /// Open a span. Returns [`SpanId::NONE`] (and records nothing) when
+    /// disabled.
+    pub fn span(
+        &self,
+        cat: SpanCat,
+        name: &str,
+        parent: SpanId,
+        track: i64,
+        at: Stamp,
+        args: &[(&'static str, i64)],
+    ) -> SpanId {
+        let Some(inner) = self.active() else {
+            return SpanId::NONE;
+        };
+        let id = SpanId(inner.next_span.fetch_add(1, Ordering::Relaxed));
+        inner.sink.record(TelemetryEvent::Begin {
+            id,
+            parent,
+            cat,
+            name: name.to_string(),
+            track,
+            at,
+            args: args.to_vec(),
+        });
+        id
+    }
+
+    /// Close a span opened by [`Telemetry::span`]. No-op when disabled or
+    /// when `id` is [`SpanId::NONE`].
+    pub fn end(&self, id: SpanId, at: Stamp) {
+        if id.is_none() {
+            return;
+        }
+        if let Some(inner) = self.active() {
+            inner.sink.record(TelemetryEvent::End { id, at });
+        }
+    }
+
+    /// Record a point event, optionally attached to an owning span.
+    pub fn instant(
+        &self,
+        cat: SpanCat,
+        name: &str,
+        span: SpanId,
+        track: i64,
+        at: Stamp,
+        args: &[(&'static str, i64)],
+    ) {
+        if let Some(inner) = self.active() {
+            inner.sink.record(TelemetryEvent::Instant {
+                span,
+                cat,
+                name: name.to_string(),
+                track,
+                at,
+                args: args.to_vec(),
+            });
+        }
+    }
+
+    /// Add `delta` to a monotonic counter.
+    pub fn count(&self, name: &'static str, delta: u64) {
+        if let Some(inner) = self.active() {
+            inner.metrics.count(name, delta);
+        }
+    }
+
+    /// Set a gauge to its current value.
+    pub fn gauge(&self, name: &'static str, value: f64) {
+        if let Some(inner) = self.active() {
+            inner.metrics.gauge(name, value);
+        }
+    }
+
+    /// Record one observation into a histogram over `[lo, hi)` with
+    /// `bins` uniform bins (the bounds apply on first use of `name`).
+    pub fn observe(&self, name: &'static str, lo: f64, hi: f64, bins: usize, value: f64) {
+        if let Some(inner) = self.active() {
+            inner.metrics.observe(name, lo, hi, bins, value);
+        }
+    }
+
+    /// Point-in-time copy of every live metric (empty when disabled).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        match self.active() {
+            Some(inner) => inner.metrics.snapshot(),
+            None => MetricsSnapshot::default(),
+        }
+    }
+
+    #[inline]
+    fn active(&self) -> Option<&Inner> {
+        if !self.on {
+            return None;
+        }
+        self.inner.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impress_sim::SimTime;
+
+    fn t(s: u64) -> Stamp {
+        Stamp::virt(SimTime::from_micros(s * 1_000_000))
+    }
+
+    #[test]
+    fn disabled_handle_records_nothing_and_returns_none_ids() {
+        let tele = Telemetry::disabled();
+        assert!(!tele.enabled());
+        let id = tele.span(SpanCat::Task, "t", SpanId::NONE, 1, t(0), &[]);
+        assert!(id.is_none());
+        tele.end(id, t(1));
+        tele.count("x", 1);
+        tele.observe("h", 0.0, 1.0, 4, 0.5);
+        assert_eq!(tele.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn null_sink_behaves_like_disabled() {
+        let tele = Telemetry::with_sink(Arc::new(NullSink));
+        assert!(!tele.enabled());
+        assert!(tele
+            .span(SpanCat::Task, "t", SpanId::NONE, 1, t(0), &[])
+            .is_none());
+    }
+
+    #[test]
+    fn recording_captures_spans_instants_and_metrics() {
+        let (tele, rec) = Telemetry::recording(16);
+        assert!(tele.enabled());
+        let a = tele.span(SpanCat::Task, "a", SpanId::NONE, 1, t(0), &[("k", 7)]);
+        let b = tele.span(SpanCat::Queue, "b", a, 1, t(0), &[]);
+        tele.instant(SpanCat::Fault, "boom", b, 1, t(1), &[]);
+        tele.end(b, t(2));
+        tele.end(a, t(3));
+        tele.count("n", 2);
+        tele.count("n", 3);
+        tele.gauge("g", 1.5);
+        tele.observe("h", 0.0, 10.0, 5, 3.0);
+        tele.observe("h", 0.0, 10.0, 5, 30.0);
+
+        let events = rec.events();
+        assert_eq!(events.len(), 5);
+        check_nesting(&events).expect("well-nested");
+        let snap = tele.snapshot();
+        assert_eq!(snap.counter("n"), Some(5));
+        assert_eq!(snap.gauge("g"), Some(1.5));
+        let h = snap.histogram("h").expect("histogram");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 33.0);
+        assert_eq!(h.buckets.last().map(|b| b.count), Some(2));
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let (tele, rec) = Telemetry::recording(2);
+        for i in 0..5 {
+            tele.instant(SpanCat::Session, &format!("e{i}"), SpanId::NONE, 1, t(i), &[]);
+        }
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.dropped(), 3);
+    }
+
+    #[test]
+    fn nesting_violations_are_detected() {
+        let (tele, rec) = Telemetry::recording(16);
+        let a = tele.span(SpanCat::Task, "parent", SpanId::NONE, 1, t(0), &[]);
+        let b = tele.span(SpanCat::Queue, "child", a, 1, t(1), &[]);
+        tele.end(a, t(2));
+        tele.end(b, t(5)); // child outlives parent
+        let err = check_nesting(&rec.events()).unwrap_err();
+        assert!(err.contains("outlives"), "{err}");
+    }
+
+    #[test]
+    fn chrome_export_is_recording_order_independent() {
+        // The same two spans recorded in opposite orders (with different
+        // span ids) must export byte-identically.
+        let render = |flip: bool| {
+            let (tele, rec) = Telemetry::recording(16);
+            let open = |name: &str| {
+                let id = tele.span(SpanCat::Task, name, SpanId::NONE, 42, t(1), &[("i", 9)]);
+                tele.end(id, t(4));
+            };
+            if flip {
+                open("beta");
+                open("alpha");
+            } else {
+                open("alpha");
+                open("beta");
+            }
+            impress_json::to_string(&rec.chrome_trace(TraceClock::Virtual))
+        };
+        assert_eq!(render(false), render(true));
+    }
+
+    #[test]
+    fn wall_clock_export_uses_wall_stamps() {
+        let (tele, rec) = Telemetry::recording(16);
+        let id = tele.span(
+            SpanCat::Attempt,
+            "a",
+            SpanId::NONE,
+            1,
+            Stamp::dual(SimTime::from_micros(100), 7),
+            &[],
+        );
+        tele.end(id, Stamp::dual(SimTime::from_micros(200), 19));
+        let doc = rec.chrome_trace(TraceClock::Wall);
+        let ev = doc.get("traceEvents").and_then(|e| e.idx(0)).expect("event");
+        assert_eq!(ev.get("ts").and_then(|v| v.as_f64()), Some(7.0));
+        assert_eq!(ev.get("dur").and_then(|v| v.as_f64()), Some(12.0));
+        assert_eq!(
+            ev.get("args").and_then(|a| a.get("vt_us")).and_then(|v| v.as_f64()),
+            Some(100.0)
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_renders_all_metric_kinds() {
+        let (tele, _rec) = Telemetry::recording(4);
+        tele.count("tasks_submitted", 3);
+        tele.gauge("queue_depth", 2.0);
+        tele.observe("wait_seconds", 0.0, 10.0, 2, 4.0);
+        let text = prometheus_text(&tele.snapshot());
+        assert!(text.contains("# TYPE impress_tasks_submitted counter"));
+        assert!(text.contains("impress_tasks_submitted 3"));
+        assert!(text.contains("impress_queue_depth 2"));
+        assert!(text.contains("impress_wait_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("impress_wait_seconds_sum 4"));
+    }
+}

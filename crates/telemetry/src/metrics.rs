@@ -1,0 +1,194 @@
+//! Live metrics: named counters, gauges and histograms, snapshotted into a
+//! deterministic, JSON-serializable [`MetricsSnapshot`].
+
+use impress_json::json_struct;
+use impress_sim::Histogram;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// One counter at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSample {
+    /// Metric name (no prefix; exporters add one).
+    pub name: String,
+    /// Monotonic total.
+    pub value: u64,
+}
+json_struct!(CounterSample { name, value });
+
+/// One gauge at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeSample {
+    /// Metric name.
+    pub name: String,
+    /// Last set value.
+    pub value: f64,
+}
+json_struct!(GaugeSample { name, value });
+
+/// One cumulative histogram bucket: observations `<= le`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BucketSample {
+    /// Upper bound of the bucket (finite; the implicit `+Inf` bucket is
+    /// [`HistogramSample::count`]).
+    pub le: f64,
+    /// Cumulative count of observations at or below `le`.
+    pub count: u64,
+}
+json_struct!(BucketSample { le, count });
+
+/// One histogram at snapshot time, in Prometheus cumulative-bucket form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSample {
+    /// Metric name.
+    pub name: String,
+    /// Total observations (the `+Inf` bucket).
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Cumulative finite buckets, ascending `le`.
+    pub buckets: Vec<BucketSample>,
+}
+json_struct!(HistogramSample {
+    name,
+    count,
+    sum,
+    buckets
+});
+
+/// Point-in-time copy of every live metric, sorted by name — the same
+/// run always snapshots in the same order, so serialized snapshots are
+/// byte-stable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// All counters, name-ascending.
+    pub counters: Vec<CounterSample>,
+    /// All gauges, name-ascending.
+    pub gauges: Vec<GaugeSample>,
+    /// All histograms, name-ascending.
+    pub histograms: Vec<HistogramSample>,
+}
+json_struct!(MetricsSnapshot {
+    counters,
+    gauges,
+    histograms
+});
+
+impl MetricsSnapshot {
+    /// Counter value by name, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|c| c.name == name).map(|c| c.value)
+    }
+
+    /// Gauge value by name, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Histogram sample by name, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSample> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+/// A histogram cell tracking the running sum alongside the binned counts
+/// (Prometheus exposition needs `_sum`, which [`Histogram`] alone does not
+/// retain).
+#[derive(Debug)]
+struct HistCell {
+    hist: Histogram,
+    sum: f64,
+    count: u64,
+}
+
+/// Interior-mutable metric registry shared by all clones of one
+/// [`Telemetry`](crate::Telemetry) handle. Keys are `&'static str` because
+/// metric names are always literals at instrumentation sites; `BTreeMap`
+/// keeps snapshots deterministically ordered.
+#[derive(Debug, Default)]
+pub(crate) struct Metrics {
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    gauges: Mutex<BTreeMap<&'static str, f64>>,
+    histograms: Mutex<BTreeMap<&'static str, HistCell>>,
+}
+
+impl Metrics {
+    pub(crate) fn count(&self, name: &'static str, delta: u64) {
+        *self.counters.lock().expect("counter lock").entry(name).or_insert(0) += delta;
+    }
+
+    pub(crate) fn gauge(&self, name: &'static str, value: f64) {
+        self.gauges.lock().expect("gauge lock").insert(name, value);
+    }
+
+    pub(crate) fn observe(&self, name: &'static str, lo: f64, hi: f64, bins: usize, value: f64) {
+        let mut hists = self.histograms.lock().expect("histogram lock");
+        let cell = hists.entry(name).or_insert_with(|| HistCell {
+            hist: Histogram::new(lo, hi, bins),
+            sum: 0.0,
+            count: 0,
+        });
+        cell.hist.record(value);
+        cell.sum += value;
+        cell.count += 1;
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("counter lock")
+            .iter()
+            .map(|(&name, &value)| CounterSample {
+                name: name.to_string(),
+                value,
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("gauge lock")
+            .iter()
+            .map(|(&name, &value)| GaugeSample {
+                name: name.to_string(),
+                value,
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("histogram lock")
+            .iter()
+            .map(|(&name, cell)| {
+                let mut cum = 0u64;
+                let width = {
+                    let bins = cell.hist.bins();
+                    bins.get(1).map(|(e, _)| e - bins[0].0).unwrap_or(0.0)
+                };
+                let buckets = cell
+                    .hist
+                    .bins()
+                    .iter()
+                    .map(|&(lower, c)| {
+                        cum += c;
+                        BucketSample {
+                            le: lower + width,
+                            count: cum,
+                        }
+                    })
+                    .collect();
+                HistogramSample {
+                    name: name.to_string(),
+                    count: cell.count,
+                    sum: cell.sum,
+                    buckets,
+                }
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}

@@ -23,6 +23,7 @@ use crate::stage::{StageBuffer, Step};
 use impress_json::{FromJson, Json, JsonError, ToJson};
 use impress_pilot::{Completion, ExecutionBackend, Session, TaskId};
 use impress_sim::SimTime;
+use impress_telemetry::{track, SpanCat, SpanId, Telemetry};
 use std::collections::{HashMap, VecDeque};
 
 /// A read-only snapshot handed to the decision engine.
@@ -104,6 +105,14 @@ impl<O> PipelineLogic<O> for GhostPipeline<O> {
     }
 }
 
+/// Open telemetry spans for one live pipeline: the whole-lifetime pipeline
+/// span and the currently in-flight stage span (if any).
+#[derive(Clone, Copy)]
+struct PipelineSpans {
+    pipeline: SpanId,
+    stage: SpanId,
+}
+
 /// The pipelines coordinator. `O` is the pipeline outcome type.
 pub struct Coordinator<O, B: ExecutionBackend, D: DecisionEngine<O>> {
     session: Session<B>,
@@ -119,14 +128,18 @@ pub struct Coordinator<O, B: ExecutionBackend, D: DecisionEngine<O>> {
     journal: Option<JournalWriter<O>>,
     replay: Option<ReplayState<O>>,
     drained: bool,
+    telemetry: Telemetry,
+    spans: HashMap<u64, PipelineSpans>,
 }
 
 impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D> {
     /// A coordinator over a fresh session on `backend`, advised by
     /// `decision`.
     pub fn new(backend: B, decision: D) -> Self {
+        let session = Session::new(backend);
+        let telemetry = session.telemetry().clone();
         Coordinator {
-            session: Session::new(backend),
+            session,
             decision,
             registry: Registry::new(),
             live: HashMap::new(),
@@ -139,6 +152,8 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
             journal: None,
             replay: None,
             drained: false,
+            telemetry,
+            spans: HashMap::new(),
         }
     }
 
@@ -185,6 +200,29 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
         debug_assert_eq!(assigned, id, "peeked id diverged from assigned id");
         self.events
             .push(self.session.now(), id, EventKind::Registered { parent });
+        // Pipeline span: lives from registration to the terminal step,
+        // parented under the spawning pipeline's span (if any) so adaptive
+        // sub-pipeline trees nest in the trace.
+        let parent_span = parent
+            .and_then(|p| self.spans.get(&p.0))
+            .map(|s| s.pipeline)
+            .unwrap_or(SpanId::NONE);
+        let span = self.telemetry.span(
+            SpanCat::Pipeline,
+            &self.registry.get(id).name,
+            parent_span,
+            track::pipeline(id.0),
+            self.session.stamp(),
+            &[("pipeline", id.0 as i64)],
+        );
+        self.spans.insert(
+            id.0,
+            PipelineSpans {
+                pipeline: span,
+                stage: SpanId::NONE,
+            },
+        );
+        self.telemetry.count("pipelines_registered", 1);
         self.live.insert(id.0, pipeline);
         self.to_start.push(id);
         id
@@ -195,7 +233,21 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
     fn journal_append(&mut self, make: impl FnOnce() -> JournalRecord) {
         if let Some(writer) = &mut self.journal {
             writer.append(&make());
+            self.journal_instant();
         }
+    }
+
+    /// Mark a durable write-ahead append on the session track, so journal
+    /// pressure is visible in the trace alongside the decisions it guards.
+    fn journal_instant(&self) {
+        self.telemetry.instant(
+            SpanCat::Session,
+            "journal-append",
+            SpanId::NONE,
+            track::SESSION,
+            self.session.stamp(),
+            &[],
+        );
     }
 
     fn start_pending(&mut self) {
@@ -228,6 +280,17 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
                     },
                 );
                 self.registry.note_stage_submitted(id, tasks.len());
+                if let Some(spans) = self.spans.get_mut(&id.0) {
+                    spans.stage = self.telemetry.span(
+                        SpanCat::Stage,
+                        "stage",
+                        spans.pipeline,
+                        track::pipeline(id.0),
+                        self.session.stamp(),
+                        &[("stage", stage as i64), ("tasks", tasks.len() as i64)],
+                    );
+                }
+                self.telemetry.count("stages_submitted", 1);
                 let mut ids = Vec::with_capacity(tasks.len());
                 for task in tasks {
                     let tid = self.session.submit(task.with_tag(format!("{id}")));
@@ -247,20 +310,27 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
                         outcome: (writer.encode)(&outcome),
                     };
                     writer.append(&rec);
+                    self.journal_instant();
                 }
                 self.events
                     .push(self.session.now(), id, EventKind::Completed);
                 self.registry
                     .finish(id, PipelineState::Completed, self.session.now());
                 self.live.remove(&id.0);
+                self.end_pipeline_span(id);
+                self.telemetry.count("pipelines_completed", 1);
                 // Decision point: the adaptive engine may spawn sub-pipelines.
                 let spawns = {
+                    let d = self.decision_span("on-pipeline-complete");
+                    let obs = self.session.observe();
                     let view = CoordinatorView {
-                        now: self.session.now(),
+                        now: obs.at(),
                         registry: &self.registry,
-                        utilization: self.session.utilization(),
+                        utilization: *obs.utilization(),
                     };
-                    self.decision.on_pipeline_complete(id, &outcome, &view)
+                    let spawns = self.decision.on_pipeline_complete(id, &outcome, &view);
+                    self.telemetry.end(d, self.session.stamp());
+                    spawns
                 };
                 self.outcomes.push((id, outcome));
                 self.apply_spawns(spawns);
@@ -280,13 +350,19 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
                 self.registry
                     .finish(id, PipelineState::Aborted, self.session.now());
                 self.live.remove(&id.0);
+                self.end_pipeline_span(id);
+                self.telemetry.count("pipelines_aborted", 1);
                 let spawns = {
+                    let d = self.decision_span("on-pipeline-aborted");
+                    let obs = self.session.observe();
                     let view = CoordinatorView {
-                        now: self.session.now(),
+                        now: obs.at(),
                         registry: &self.registry,
-                        utilization: self.session.utilization(),
+                        utilization: *obs.utilization(),
                     };
-                    self.decision.on_pipeline_aborted(id, &reason, &view)
+                    let spawns = self.decision.on_pipeline_aborted(id, &reason, &view);
+                    self.telemetry.end(d, self.session.stamp());
+                    spawns
                 };
                 self.aborts.push((id, reason));
                 self.apply_spawns(spawns);
@@ -298,6 +374,28 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
         for spawn in spawns {
             self.add(spawn.parent, spawn.pipeline);
         }
+    }
+
+    /// Close a pipeline's whole-lifetime span at the terminal step.
+    fn end_pipeline_span(&mut self, id: PipelineId) {
+        if let Some(spans) = self.spans.remove(&id.0) {
+            self.telemetry.end(spans.pipeline, self.session.stamp());
+        }
+    }
+
+    /// Open a zero-or-more-spawns decision span around a
+    /// [`DecisionEngine`] callback. Virtual time does not advance inside
+    /// the callback, so the span is zero-width on the virtual clock; on
+    /// the threaded backend its wall width is the real decision cost.
+    fn decision_span(&self, name: &str) -> SpanId {
+        self.telemetry.span(
+            SpanCat::Decision,
+            name,
+            SpanId::NONE,
+            track::SESSION,
+            self.session.stamp(),
+            &[],
+        )
     }
 
     fn route(&mut self, completion: Completion) {
@@ -315,6 +413,18 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
                     attempts: completion.attempts,
                 },
             );
+            let span = self.spans.get(&id.0).map(|s| s.stage).unwrap_or(SpanId::NONE);
+            self.telemetry.instant(
+                SpanCat::Fault,
+                "task-retried",
+                span,
+                track::pipeline(id.0),
+                self.session.stamp(),
+                &[
+                    ("task", completion.task.0 as i64),
+                    ("attempts", completion.attempts as i64),
+                ],
+            );
         }
         let buffer = self
             .buffers
@@ -330,6 +440,11 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
             self.events
                 .push(self.session.now(), id, EventKind::StageCompleted { stage });
             self.registry.note_stage_completed(id);
+            if let Some(spans) = self.spans.get_mut(&id.0) {
+                let done = std::mem::replace(&mut spans.stage, SpanId::NONE);
+                self.telemetry.end(done, self.session.stamp());
+            }
+            self.telemetry.count("stages_completed", 1);
             let step = self
                 .live
                 .get_mut(&id.0)
@@ -351,19 +466,23 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
                     // could not finish in time: the session has drained its
                     // in-flight work and will launch nothing further. Stop
                     // here — the journal holds everything a resume needs.
-                    if self.session.held_tasks() > 0 {
+                    if self.session.observe().held_tasks() > 0 {
                         self.drained = true;
                         break;
                     }
                     // Workload drained. Give the engine a chance to start
                     // another round; otherwise we are done.
                     let spawns = {
+                        let d = self.decision_span("on-all-idle");
+                        let obs = self.session.observe();
                         let view = CoordinatorView {
-                            now: self.session.now(),
+                            now: obs.at(),
                             registry: &self.registry,
-                            utilization: self.session.utilization(),
+                            utilization: *obs.utilization(),
                         };
-                        self.decision.on_all_idle(&view)
+                        let spawns = self.decision.on_all_idle(&view);
+                        self.telemetry.end(d, self.session.stamp());
+                        spawns
                     };
                     if spawns.is_empty() && self.to_start.is_empty() {
                         assert_eq!(
@@ -382,11 +501,12 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
 
     /// Build the run report for everything finished so far.
     pub fn report(&self) -> RunReport {
+        let obs = self.session.observe();
         RunReport::build(
             &self.registry,
-            self.session.utilization(),
-            self.session.phase_breakdown(),
-            self.session.now(),
+            *obs.utilization(),
+            *obs.phase_breakdown(),
+            obs.at(),
             self.aborts.len(),
         )
     }
@@ -498,16 +618,20 @@ mod tests {
     use crate::decision::NoDecisions;
     use crate::pipeline::PipelineLogic;
     use impress_pilot::backend::SimulatedBackend;
-    use impress_pilot::{PilotConfig, ResourceRequest, TaskDescription};
+    use impress_pilot::{PilotConfig, ResourceRequest, RuntimeConfig, TaskDescription};
     use impress_sim::SimDuration;
 
-    fn backend() -> SimulatedBackend {
-        SimulatedBackend::new(PilotConfig {
+    fn pilot_config() -> PilotConfig {
+        PilotConfig {
             node: impress_pilot::NodeSpec::new(4, 1, 64),
             bootstrap: SimDuration::from_secs(10),
             exec_setup_per_task: SimDuration::from_secs(1),
             ..PilotConfig::default()
-        })
+        }
+    }
+
+    fn backend() -> SimulatedBackend {
+        SimulatedBackend::new(pilot_config())
     }
 
     /// Counts down `stages` single-task stages, then completes with the sum
@@ -877,7 +1001,8 @@ mod tests {
         let deadline = SimTime::from_micros(20 * 1_000_000);
         let store = MemoryJournal::new();
         let drained = {
-            let mut c = Coordinator::new(backend().with_deadline(deadline), SpawnOnce {
+            let deadlined = RuntimeConfig::new(pilot_config()).deadline(deadline).simulated();
+            let mut c = Coordinator::new(deadlined, SpawnOnce {
                 spawned: 0,
             })
             .with_journal(Journal::new(Box::new(store.clone()), "camp", 7).unwrap());

@@ -10,8 +10,7 @@
 //! Run with: `cargo run --release --example live_threaded`
 
 use impress_core::{DesignPipeline, ProtocolConfig, TargetToolkit};
-use impress_pilot::backend::ThreadedBackend;
-use impress_pilot::PilotConfig;
+use impress_pilot::{PilotConfig, RuntimeConfig};
 use impress_proteins::datasets::named_pdz_domains;
 use impress_sim::{Histogram, SimDuration};
 use impress_workflow::{Coordinator, NoDecisions};
@@ -34,7 +33,7 @@ fn main() {
         pilot.node
     );
     let t0 = Instant::now();
-    let backend = ThreadedBackend::with_time_scale(pilot, time_scale);
+    let backend = RuntimeConfig::new(pilot).time_scale(time_scale).threaded();
     let mut coordinator = Coordinator::new(backend, NoDecisions);
     for (i, target) in targets.iter().enumerate() {
         let tk = TargetToolkit::for_target(target, seed);

@@ -247,7 +247,7 @@ fn utilization_reports_are_sane_on_both_backends() {
             );
         }
         session.drain();
-        session.utilization()
+        *session.observe().utilization()
     };
     // Box the backends behind the trait to prove object safety, too.
     let sim: Box<dyn ExecutionBackend> = Box::new(SimulatedBackend::new(pilot_config(2)));

@@ -11,8 +11,7 @@ use impress_core::experiment::{run_imrp_on, JournaledRun};
 use impress_core::{
     imrp_journal, resume_imrp, run_imrp_journaled, DesignPipeline, ProtocolConfig, TargetToolkit,
 };
-use impress_pilot::backend::ThreadedBackend;
-use impress_pilot::PilotConfig;
+use impress_pilot::{PilotConfig, RuntimeConfig};
 use impress_proteins::datasets::named_pdz_domains;
 use impress_sim::{props, SimDuration, SimTime};
 use impress_workflow::journal::{load_plan, Journal, JournalError, MemoryJournal};
@@ -239,7 +238,7 @@ fn threaded_drain_checkpoint_resume_preserves_outcome_cohort() {
 
     // Uninterrupted reference cohort.
     let mut reference = Coordinator::new(
-        ThreadedBackend::with_time_scale(pilot(), time_scale),
+        RuntimeConfig::new(pilot()).time_scale(time_scale).threaded(),
         NoDecisions,
     );
     add_roots(&mut reference);
@@ -250,8 +249,10 @@ fn threaded_drain_checkpoint_resume_preserves_outcome_cohort() {
     // Drained run: a ~200 ms real-clock allocation against a ~1 s campaign.
     let store = MemoryJournal::new();
     let journal = Journal::new(Box::new(store.clone()), "threaded-drain", SEED).expect("journal");
-    let backend = ThreadedBackend::with_time_scale(pilot(), time_scale)
-        .with_deadline(SimTime::from_micros(200_000));
+    let backend = RuntimeConfig::new(pilot())
+        .time_scale(time_scale)
+        .deadline(SimTime::from_micros(200_000))
+        .threaded();
     let mut drained = Coordinator::new(backend, NoDecisions).with_journal(journal);
     add_roots(&mut drained);
     drained.run();
@@ -261,7 +262,7 @@ fn threaded_drain_checkpoint_resume_preserves_outcome_cohort() {
     // terminals, real execution for the stranded remainder.
     let plan = load_plan(&store).expect("drain checkpoint must load").plan;
     let mut resumed = Coordinator::resume(
-        ThreadedBackend::with_time_scale(pilot(), time_scale),
+        RuntimeConfig::new(pilot()).time_scale(time_scale).threaded(),
         NoDecisions,
         &plan,
     )

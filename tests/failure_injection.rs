@@ -10,7 +10,10 @@ use impress_core::adaptive::{AdaptivePolicy, ImpressDecision};
 use impress_core::generator::SequenceGenerator;
 use impress_core::{DesignPipeline, ProtocolConfig, TargetToolkit};
 use impress_pilot::backend::{SimulatedBackend, ThreadedBackend};
-use impress_pilot::{ExecutionBackend, FaultConfig, FaultPlan, PilotConfig, RetryPolicy, ScriptedCrash};
+use impress_pilot::{
+    ExecutionBackend, FaultConfig, FaultPlan, PilotConfig, RetryPolicy, RuntimeConfig,
+    ScriptedCrash,
+};
 use impress_proteins::datasets::named_pdz_domains;
 use impress_proteins::{MpnnConfig, ScoredSequence, Structure, SurrogateMpnn};
 use impress_sim::{SimDuration, SimRng, SimTime};
@@ -208,11 +211,11 @@ fn node_crash_mid_campaign_is_absorbed_simulated() {
         },
         13,
     );
-    scenario_node_crash_mid_campaign(SimulatedBackend::with_faults(
-        pilot,
-        plan,
-        retry_no_backoff(3),
-    ));
+    scenario_node_crash_mid_campaign(
+        RuntimeConfig::new(pilot)
+            .faults(plan, retry_no_backoff(3))
+            .simulated(),
+    );
 }
 
 #[test]
@@ -240,10 +243,10 @@ fn node_crash_mid_campaign_is_absorbed_threaded() {
         },
         13,
     );
-    scenario_node_crash_mid_campaign(ThreadedBackend::with_faults(
-        pilot,
-        1e-5,
-        plan,
-        retry_no_backoff(5),
-    ));
+    scenario_node_crash_mid_campaign(
+        RuntimeConfig::new(pilot)
+            .time_scale(1e-5)
+            .faults(plan, retry_no_backoff(5))
+            .threaded(),
+    );
 }

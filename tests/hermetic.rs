@@ -246,6 +246,15 @@ fn scheduler_bench_artifact_matches_the_study_format_version() {
         .and_then(|c| c.get("wall_ms"))
         .and_then(|v| v.as_f64())
         .expect("end-to-end campaign timing present");
+    let overhead = json
+        .get("telemetry_overhead")
+        .and_then(|t| t.get("overhead_ratio"))
+        .and_then(|v| v.as_f64())
+        .expect("telemetry overhead comparison present");
+    assert!(
+        overhead > 0.0 && overhead.is_finite(),
+        "telemetry overhead ratio must be a real measurement: {overhead}"
+    );
 }
 
 /// One tiny iteration of the scheduler bench study runs under `cargo test`,
@@ -273,6 +282,92 @@ fn scheduler_bench_smoke_iteration_produces_a_complete_document() {
             .and_then(|v| v.as_f64())
             .is_some_and(|h| h > 0.0),
         "smoke campaign ran to completion"
+    );
+    assert!(
+        doc.get("telemetry_overhead")
+            .and_then(|t| t.get("null_sink_wall_ms"))
+            .and_then(|v| v.as_f64())
+            .is_some_and(|ms| ms > 0.0),
+        "smoke study measured the null-sink campaign"
+    );
+}
+
+/// The checked-in telemetry trace study must match the current document
+/// layout and certify all three trace contracts. Unlike the timing
+/// artifacts this one is fully deterministic (event counts, span counts,
+/// metric counters — no wall-clock readings), but the guard still pins
+/// structure + invariants rather than bytes so a seed change stays a
+/// one-regeneration fix. Regenerate with
+/// `cargo run --release -p impress-bench --bin trace_study`.
+#[test]
+fn trace_artifact_matches_the_study_format_version() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("trace_summary.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {}: {e} — run the trace_study bin", path.display()));
+    let json: impress_json::Json =
+        impress_json::from_str(&text).expect("trace_summary.json parses");
+    let version: u32 = json
+        .get("format_version")
+        .and_then(|v| v.as_f64())
+        .expect("trace_summary.json has a format_version field") as u32;
+    assert_eq!(
+        version,
+        impress_bench::trace::TRACE_FORMAT_VERSION,
+        "trace_summary.json was generated under a different study format — regenerate it"
+    );
+    for key in ["perturbation_free", "nesting_ok", "chrome_round_trip_ok"] {
+        assert_eq!(
+            json.get(key).and_then(|v| v.as_bool()),
+            Some(true),
+            "checked-in trace study must certify `{key}`"
+        );
+    }
+    assert_eq!(
+        json.get("parity")
+            .and_then(|p| p.get("backends_agree"))
+            .and_then(|v| v.as_bool()),
+        Some(true),
+        "checked-in trace study must certify cross-backend virtual-trace parity"
+    );
+    let campaign = json.get("campaign").expect("campaign section present");
+    assert!(
+        campaign
+            .get("events")
+            .and_then(|v| v.as_f64())
+            .is_some_and(|n| n > 0.0),
+        "recorded campaign must contain events"
+    );
+    assert_eq!(
+        campaign.get("events_dropped").and_then(|v| v.as_f64()),
+        Some(0.0),
+        "the study ring must be large enough to record the campaign losslessly"
+    );
+}
+
+/// One tiny iteration of the trace study runs under `cargo test`, so the
+/// code that regenerates `trace_summary.json` cannot bit-rot between
+/// releases — and the three trace contracts are re-proven on every test
+/// run, not just at artifact-regeneration time.
+#[test]
+fn trace_study_smoke_iteration_certifies_every_contract() {
+    let doc = impress_bench::trace::run_study(&impress_bench::trace::TraceParams::smoke(), 7);
+    assert_eq!(
+        doc.get("format_version").and_then(|v| v.as_f64()),
+        Some(impress_bench::trace::TRACE_FORMAT_VERSION as f64)
+    );
+    for key in ["perturbation_free", "nesting_ok", "chrome_round_trip_ok"] {
+        assert_eq!(
+            doc.get(key).and_then(|v| v.as_bool()),
+            Some(true),
+            "smoke trace study failed `{key}`"
+        );
+    }
+    assert_eq!(
+        doc.get("parity")
+            .and_then(|p| p.get("backends_agree"))
+            .and_then(|v| v.as_bool()),
+        Some(true),
+        "smoke trace study: backends disagreed on the virtual trace"
     );
 }
 
