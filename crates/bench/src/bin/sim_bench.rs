@@ -1,0 +1,40 @@
+//! Sim-engine scaling study: regenerates `BENCH_sim.json`.
+//!
+//! Usage: `cargo run --release -p impress-bench --bin sim_bench`
+//!
+//! Measures the wall time of large virtual campaigns — up to 10,000 nodes
+//! and 1,000,000 tasks — on the sequential engine and the sharded
+//! parallel-DES engine, then writes the JSON artifact with the
+//! pre-sharding baseline numbers embedded alongside (see
+//! `impress_bench::sim::baseline`). `IMPRESS_BENCH_SAMPLES` and
+//! `IMPRESS_BENCH_MAX_SECS` trim the run for quick local iterations.
+
+use impress_bench::harness::master_seed;
+use impress_bench::sim::{run_study, StudyParams};
+
+fn main() {
+    let seed = master_seed();
+    let doc = run_study(&StudyParams::full(), seed);
+    let path = "BENCH_sim.json";
+    std::fs::write(path, impress_json::to_string_pretty(&doc)).expect("write BENCH_sim.json");
+    eprintln!("wrote {path}");
+    if let Some(speedups) = doc.get("speedups").and_then(|s| s.as_array()) {
+        println!("\nspeedup vs pre-sharding engine:");
+        for s in speedups {
+            println!(
+                "  {:>6} nodes x {:>9} tasks {:>10.2}x",
+                s.get("nodes").and_then(|v| v.as_u64()).unwrap_or(0),
+                s.get("tasks").and_then(|v| v.as_u64()).unwrap_or(0),
+                s.get("speedup").and_then(|v| v.as_f64()).unwrap_or(0.0)
+            );
+        }
+    }
+    if let Some(h) = doc.get("headline") {
+        println!(
+            "headline: {} nodes x {} tasks in {:.1} s",
+            h.get("nodes").and_then(|v| v.as_u64()).unwrap_or(0),
+            h.get("tasks").and_then(|v| v.as_u64()).unwrap_or(0),
+            h.get("wall_ms").and_then(|v| v.as_f64()).unwrap_or(0.0) / 1e3
+        );
+    }
+}

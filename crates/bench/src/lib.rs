@@ -19,6 +19,7 @@
 
 pub mod harness;
 pub mod sched;
+pub mod sim;
 pub mod timing;
 pub mod trace;
 

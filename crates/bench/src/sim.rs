@@ -1,0 +1,332 @@
+//! Sim-engine scaling study: wall time of large virtual campaigns on the
+//! sequential engine vs the sharded parallel-DES engine, written to
+//! `BENCH_sim.json` by the `sim_bench` binary.
+//!
+//! The study documents its own *before* shape: [`baseline`] pins the wall
+//! times measured on the pre-sharding engine (boxed-closure events,
+//! `Rc<RefCell>` shared state, one monolithic event heap) so the
+//! checked-in artifact always carries the comparison point. The headline
+//! cell — 10,000 nodes, 1,000,000 tasks — was not measurable on that
+//! engine at all (it extrapolates to tens of minutes); its baseline is
+//! `null` and the sharded engine's single-digit-second wall time *is* the
+//! result.
+//!
+//! The logic lives in the library (not the binary) so `tests/hermetic.rs`
+//! can run a tiny smoke iteration under `cargo test` — bench code cannot
+//! bit-rot between releases.
+
+use impress_json::Json;
+use impress_pilot::{
+    ExecutionBackend, PilotConfig, ResourceRequest, RuntimeConfig, TaskDescription,
+};
+use impress_sim::{SimDuration, SimRng};
+
+/// Bumped whenever the JSON document layout changes; `tests/hermetic.rs`
+/// checks the checked-in artifact against this.
+pub const SIM_BENCH_FORMAT_VERSION: u32 = 1;
+
+/// Pre-sharding measurements, taken at commit `d571314` on the same
+/// machine that produced the checked-in `BENCH_sim.json`.
+///
+/// Each cell is the wall time of one [`run_campaign`] drain (seed 42) on
+/// the sequential [`SimulatedBackend`](impress_pilot::backend::SimulatedBackend).
+pub mod baseline {
+    /// Commit the baseline was measured at.
+    pub const COMMIT: &str = "d571314";
+    /// What that engine looked like.
+    pub const DESCRIPTION: &str = "sequential engine: boxed-closure events, Rc<RefCell> \
+         shared state, one monolithic event heap, per-device utilization trackers";
+    /// `(nodes, tasks, wall ms)`; `None` = not measurable in reasonable
+    /// time on the old engine (the 10k-node / 1M-task headline cell
+    /// extrapolates to roughly half an hour).
+    pub const CELLS_MS: &[(u32, usize, Option<f64>)] = &[
+        (16, 5_000, Some(17.0)),
+        (100, 20_000, Some(142.0)),
+        (1_000, 100_000, Some(14_023.0)),
+        (10_000, 50_000, Some(102_309.0)),
+        (10_000, 1_000_000, None),
+    ];
+}
+
+/// Pilot sizing for one campaign cell: `nodes` Amarel-shaped nodes, a
+/// 60 s bootstrap, 5 s per-task exec setup.
+pub fn campaign_config(nodes: u32, seed: u64) -> PilotConfig {
+    PilotConfig {
+        nodes,
+        bootstrap: SimDuration::from_secs(60),
+        exec_setup_per_task: SimDuration::from_secs(5),
+        ..PilotConfig::with_seed(seed)
+    }
+}
+
+/// Submit and drain the standard heterogeneous campaign: 70% small CPU
+/// tasks (1–4 cores), 20% GPU pairs (2 cores + 1 GPU), 10% half-node
+/// CPU jobs (14 cores), durations 100–3000 s, priorities −2..=2. Returns
+/// `(completed tasks, virtual makespan hours)`.
+pub fn run_campaign(
+    backend: &mut dyn ExecutionBackend,
+    seed: u64,
+    tasks: usize,
+) -> (usize, f64) {
+    let mut rng = SimRng::from_seed(seed).fork("sim-campaign");
+    for _ in 0..tasks {
+        let class = rng.below(100);
+        let request = if class < 70 {
+            ResourceRequest::cores(1 + rng.below(4) as u32)
+        } else if class < 90 {
+            ResourceRequest::with_gpus(2, 1)
+        } else {
+            ResourceRequest::cores(14)
+        };
+        let duration = SimDuration::from_secs((100 + rng.below(2900)) as u64);
+        let priority = rng.below(5) as i32 - 2;
+        backend.submit(TaskDescription::new("t", request, duration).with_priority(priority));
+    }
+    let mut completed = 0usize;
+    while backend.next_completion().is_some() {
+        completed += 1;
+    }
+    (completed, backend.now().as_secs_f64() / 3600.0)
+}
+
+/// Which engine a study row measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The sequential `SimulatedBackend` (the reference oracle).
+    Sequential,
+    /// The `ShardedBackend`, in-process or worker-thread drive.
+    Sharded {
+        /// Event-queue shard count.
+        shards: usize,
+        /// Worker-thread drive mode.
+        parallel: bool,
+    },
+}
+
+impl EngineKind {
+    fn label(self) -> String {
+        match self {
+            EngineKind::Sequential => "sequential".to_string(),
+            EngineKind::Sharded {
+                shards,
+                parallel: false,
+            } => format!("sharded/{shards}"),
+            EngineKind::Sharded {
+                shards,
+                parallel: true,
+            } => format!("sharded-parallel/{shards}"),
+        }
+    }
+}
+
+/// Run one campaign cell once; returns `(wall ms, completed, makespan h)`.
+pub fn run_cell(kind: EngineKind, nodes: u32, tasks: usize, seed: u64) -> (f64, usize, f64) {
+    let config = campaign_config(nodes, seed);
+    let mut backend: Box<dyn ExecutionBackend> = match kind {
+        EngineKind::Sequential => Box::new(RuntimeConfig::new(config).simulated()),
+        EngineKind::Sharded { shards, parallel } => Box::new(
+            RuntimeConfig::new(config)
+                .shards(shards)
+                .parallel_shards(parallel)
+                .sharded(),
+        ),
+    };
+    let start = std::time::Instant::now();
+    let (completed, makespan_h) = run_campaign(backend.as_mut(), seed, tasks);
+    (start.elapsed().as_secs_f64() * 1e3, completed, makespan_h)
+}
+
+/// Knobs for one study run; [`StudyParams::full`] is what the study uses,
+/// [`StudyParams::smoke`] is the tiny `cargo test` iteration.
+pub struct StudyParams {
+    /// `(nodes, tasks)` campaign cells.
+    pub cells: Vec<(u32, usize)>,
+    /// Shard count for the sharded-engine rows.
+    pub shards: usize,
+    /// Wall-time samples per row (median is reported); overridable via
+    /// `IMPRESS_BENCH_SAMPLES`.
+    pub samples: usize,
+    /// Skip sequential-engine reruns of cells whose embedded baseline
+    /// exceeds this many seconds (the 10k-node cells take minutes on the
+    /// old engine); overridable via `IMPRESS_BENCH_MAX_SECS`.
+    pub max_sequential_secs: f64,
+    /// Also measure the worker-thread drive mode.
+    pub parallel_drive: bool,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+impl StudyParams {
+    /// The full study regenerating `BENCH_sim.json`: every baseline cell
+    /// up to the 10k-node / 1M-task headline.
+    pub fn full() -> Self {
+        StudyParams {
+            cells: baseline::CELLS_MS.iter().map(|&(n, t, _)| (n, t)).collect(),
+            shards: 8,
+            samples: env_usize("IMPRESS_BENCH_SAMPLES", 3),
+            max_sequential_secs: env_f64("IMPRESS_BENCH_MAX_SECS", 30.0),
+            parallel_drive: true,
+        }
+    }
+
+    /// A seconds-scale iteration exercising every code path (all three
+    /// engines on one small cell).
+    pub fn smoke() -> Self {
+        StudyParams {
+            cells: vec![(4, 200)],
+            shards: 2,
+            samples: 1,
+            max_sequential_secs: 5.0,
+            parallel_drive: true,
+        }
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    xs[xs.len() / 2]
+}
+
+/// Run the study and build the `BENCH_sim.json` document.
+pub fn run_study(params: &StudyParams, seed: u64) -> Json {
+    let mut results: Vec<Json> = Vec::new();
+    let mut speedups: Vec<Json> = Vec::new();
+    let mut headline: Option<(u64, Json)> = None;
+
+    for &(nodes, tasks) in &params.cells {
+        let known = baseline::CELLS_MS
+            .iter()
+            .find(|&&(n, t, _)| n == nodes && t == tasks);
+        // The sequential engine reruns only where the embedded baseline
+        // says it finishes quickly (or the cell is an unlisted smoke
+        // cell); the minutes-scale cells keep their pinned numbers.
+        let run_sequential = match known {
+            Some(&(_, _, Some(ms))) => ms <= params.max_sequential_secs * 1e3,
+            Some(&(_, _, None)) => false,
+            None => true,
+        };
+        let mut kinds = Vec::new();
+        if run_sequential {
+            kinds.push(EngineKind::Sequential);
+        }
+        kinds.push(EngineKind::Sharded {
+            shards: params.shards,
+            parallel: false,
+        });
+        if params.parallel_drive {
+            kinds.push(EngineKind::Sharded {
+                shards: params.shards,
+                parallel: true,
+            });
+        }
+
+        for kind in kinds {
+            let mut walls = Vec::new();
+            let mut completed = 0usize;
+            let mut makespan_h = 0.0;
+            for _ in 0..params.samples.max(1) {
+                let (wall, done, h) = run_cell(kind, nodes, tasks, seed);
+                walls.push(wall);
+                completed = done;
+                makespan_h = h;
+            }
+            assert_eq!(completed, tasks, "campaign must drain every task");
+            let wall_ms = median(walls);
+            eprintln!(
+                "  {:>7} nodes x {:>9} tasks  {:<22} {:>12.1} ms  (makespan {:.1} h)",
+                nodes,
+                tasks,
+                kind.label(),
+                wall_ms,
+                makespan_h
+            );
+            let row = Json::object()
+                .field("nodes", nodes as u64)
+                .field("tasks", tasks as u64)
+                .field("engine", kind.label())
+                .field("samples", params.samples.max(1) as u64)
+                .field("wall_ms", wall_ms)
+                .field("makespan_hours", makespan_h)
+                .field("completed", completed as u64)
+                .build();
+            let serial_sharded = kind
+                == EngineKind::Sharded {
+                    shards: params.shards,
+                    parallel: false,
+                };
+            if serial_sharded {
+                if let Some(&(_, _, Some(before_ms))) = known {
+                    speedups.push(
+                        Json::object()
+                            .field("nodes", nodes as u64)
+                            .field("tasks", tasks as u64)
+                            .field("baseline_ms", before_ms)
+                            .field("sharded_ms", wall_ms)
+                            .field("speedup", before_ms / wall_ms.max(1e-9))
+                            .build(),
+                    );
+                }
+                let size = nodes as u64 * tasks as u64;
+                if headline.as_ref().is_none_or(|&(s, _)| size > s) {
+                    headline = Some((
+                        size,
+                        Json::object()
+                            .field("nodes", nodes as u64)
+                            .field("tasks", tasks as u64)
+                            .field("wall_ms", wall_ms)
+                            .field("single_digit_seconds", wall_ms < 10_000.0)
+                            .build(),
+                    ));
+                }
+            }
+            results.push(row);
+        }
+    }
+
+    Json::object()
+        .field("format_version", SIM_BENCH_FORMAT_VERSION)
+        .field("suite", "sim_bench")
+        .field("seed", seed)
+        .field("shards", params.shards as u64)
+        .field(
+            "baseline",
+            Json::object()
+                .field("commit", baseline::COMMIT)
+                .field("description", baseline::DESCRIPTION)
+                .field(
+                    "cells",
+                    Json::array(
+                        baseline::CELLS_MS
+                            .iter()
+                            .map(|&(n, t, ms)| {
+                                Json::object()
+                                    .field("nodes", n as u64)
+                                    .field("tasks", t as u64)
+                                    .field("wall_ms", ms)
+                                    .build()
+                            })
+                            .collect::<Vec<_>>(),
+                    ),
+                )
+                .build(),
+        )
+        .field("results", Json::array(results))
+        .field("speedups", Json::array(speedups))
+        .field(
+            "headline",
+            headline.map(|(_, h)| h).expect("study has at least one cell"),
+        )
+        .build()
+}

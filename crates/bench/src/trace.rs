@@ -38,7 +38,9 @@ use std::sync::{Arc, Condvar, Mutex};
 
 /// Bumped whenever the JSON document layout changes; `tests/hermetic.rs`
 /// checks the checked-in artifact against this.
-pub const TRACE_FORMAT_VERSION: u32 = 1;
+/// * v2 extended the parity replay to three engines (simulated, threaded,
+///   sharded) and records which engines were compared.
+pub const TRACE_FORMAT_VERSION: u32 = 2;
 
 /// Knobs for one study run; [`TraceParams::full`] is what the binary
 /// uses, [`TraceParams::smoke`] is the tiny `cargo test` iteration.
@@ -85,6 +87,43 @@ impl TraceParams {
 /// spans are filtered out of the export: how many rounds the backend
 /// polls is backend mechanics, not workload causality.
 pub fn parity_trace(threaded: bool, seed: u64, tasks: usize) -> String {
+    parity_trace_on(
+        if threaded {
+            ParityBackend::Threaded
+        } else {
+            ParityBackend::Simulated
+        },
+        seed,
+        tasks,
+    )
+}
+
+/// Which engine [`parity_trace_on`] replays the serialized workload on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParityBackend {
+    /// The sequential virtual-time engine.
+    Simulated,
+    /// The sharded parallel-DES engine (default shard count).
+    Sharded,
+    /// Real threads with a virtual model clock.
+    Threaded,
+}
+
+impl ParityBackend {
+    /// Stable label for JSON documents.
+    pub fn label(self) -> &'static str {
+        match self {
+            ParityBackend::Simulated => "simulated",
+            ParityBackend::Sharded => "sharded",
+            ParityBackend::Threaded => "threaded",
+        }
+    }
+}
+
+/// [`parity_trace`] generalized to any engine — see there for the
+/// workload's construction and why the gate task makes the three virtual
+/// clocks comparable.
+pub fn parity_trace_on(which: ParityBackend, seed: u64, tasks: usize) -> String {
     let config = PilotConfig {
         bootstrap: SimDuration::from_secs(1),
         exec_setup_per_task: SimDuration::from_secs(2),
@@ -94,10 +133,11 @@ pub fn parity_trace(threaded: bool, seed: u64, tasks: usize) -> String {
     let full = ResourceRequest::with_gpus(node.cores, node.gpus);
     let (telemetry, recorder) = Telemetry::recording(1 << 16);
     let runtime = RuntimeConfig::new(config).telemetry(telemetry);
-    let mut backend: Box<dyn ExecutionBackend> = if threaded {
-        Box::new(runtime.threaded())
-    } else {
-        Box::new(runtime.simulated())
+    let threaded = which == ParityBackend::Threaded;
+    let mut backend: Box<dyn ExecutionBackend> = match which {
+        ParityBackend::Simulated => Box::new(runtime.simulated()),
+        ParityBackend::Sharded => Box::new(runtime.sharded()),
+        ParityBackend::Threaded => Box::new(runtime.threaded()),
     };
     let gate = Arc::new((Mutex::new(false), Condvar::new()));
     {
@@ -191,12 +231,21 @@ pub fn run_study(params: &TraceParams, seed: u64) -> Json {
         "cross-backend parity replay ({} serialized tasks)...",
         params.parity_tasks
     );
-    let sim_trace = parity_trace(false, seed ^ 0x7ace, params.parity_tasks);
-    let thr_trace = parity_trace(true, seed ^ 0x7ace, params.parity_tasks);
-    let backends_agree = sim_trace == thr_trace;
+    let engines = [
+        ParityBackend::Simulated,
+        ParityBackend::Sharded,
+        ParityBackend::Threaded,
+    ];
+    let traces: Vec<String> = engines
+        .iter()
+        .map(|&b| parity_trace_on(b, seed ^ 0x7ace, params.parity_tasks))
+        .collect();
+    let sim_trace = &traces[0];
+    let backends_agree = traces.iter().all(|t| t == sim_trace);
     eprintln!(
-        "  virtual-clock traces {} ({} bytes)",
+        "  virtual-clock traces {} across {} engines ({} bytes)",
         if backends_agree { "agree" } else { "DIVERGE" },
+        engines.len(),
         sim_trace.len()
     );
 
@@ -233,6 +282,15 @@ pub fn run_study(params: &TraceParams, seed: u64) -> Json {
             Json::object()
                 .field("tasks", params.parity_tasks as u64)
                 .field("trace_bytes", sim_trace.len() as u64)
+                .field(
+                    "engines",
+                    Json::array(
+                        engines
+                            .iter()
+                            .map(|b| b.label().to_json())
+                            .collect::<Vec<_>>(),
+                    ),
+                )
                 .field("backends_agree", backends_agree)
                 .build(),
         )

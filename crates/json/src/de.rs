@@ -201,6 +201,14 @@ impl<'a> Parser<'a> {
             }
             return Err(JsonError::at("unpaired high surrogate", self.pos));
         }
+        if (0xDC00..0xE000).contains(&hi) {
+            // A low surrogate can only legally follow a high surrogate (the
+            // pair is consumed as a unit above). Reaching one here means the
+            // input leads with the low half; name the defect instead of
+            // falling through to `char::from_u32`, which would mask it as a
+            // generic escape failure.
+            return Err(JsonError::at("unpaired low surrogate", self.pos));
+        }
         char::from_u32(hi).ok_or_else(|| JsonError::at("invalid \\u escape", self.pos))
     }
 
@@ -259,5 +267,134 @@ impl<'a> Parser<'a> {
             )
         };
         Ok(Json::Num(num))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decode(doc: &str) -> Result<String, JsonError> {
+        parse(doc).map(|v| match v {
+            Json::Str(s) => s,
+            other => panic!("expected string, got {other:?}"),
+        })
+    }
+
+    fn expect_error(doc: &str, needle: &str) {
+        let err = decode(doc).expect_err(&format!("{doc:?} must not decode"));
+        assert!(
+            err.to_string().contains(needle),
+            "{doc:?}: expected error containing `{needle}`, got `{err}`"
+        );
+    }
+
+    #[test]
+    fn simple_escapes_decode() {
+        assert_eq!(
+            decode("\"a\\\"b\\\\c\\/d\\ne\\tf\\rg\\bh\\fi\"").unwrap(),
+            "a\"b\\c/d\ne\tf\rg\u{08}h\u{0c}i"
+        );
+    }
+
+    #[test]
+    fn bmp_unicode_escapes_decode() {
+        let doc = "\"\\u0041\\u00e9\\u4e16\\u0000\\uFFFD\\uabCd\"";
+        assert_eq!(
+            decode(doc).unwrap(),
+            "A\u{e9}\u{4e16}\u{0}\u{FFFD}\u{abcd}",
+            "escapes for ASCII, Latin-1, CJK, NUL, the replacement char, and \
+             mixed-case hex digits all decode"
+        );
+        // Raw (unescaped) multi-byte UTF-8 passes through untouched.
+        assert_eq!(decode("\"A\u{e9}\u{4e16}\"").unwrap(), "A\u{e9}\u{4e16}");
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_supplementary_planes() {
+        // U+10000 (lowest astral), U+1F600 (emoji), U+10FFFF (highest scalar).
+        assert_eq!(decode("\"\\uD800\\uDC00\"").unwrap(), "\u{10000}");
+        assert_eq!(decode("\"\\uD83D\\uDE00\"").unwrap(), "\u{1F600}");
+        assert_eq!(decode("\"\\uDBFF\\uDFFF\"").unwrap(), "\u{10FFFF}");
+    }
+
+    #[test]
+    fn unpaired_low_surrogate_is_a_typed_error() {
+        // The full low-surrogate range, alone or surrounded by ordinary
+        // text: never a panic, never garbage output, always the named error.
+        for doc in [
+            "\"\\uDC00\"",
+            "\"\\uDFFF\"",
+            "\"\\uDD41 tail\"",
+            "\"lead \\uDE02\"",
+        ] {
+            expect_error(doc, "unpaired low surrogate");
+        }
+    }
+
+    #[test]
+    fn unpaired_high_surrogate_is_a_typed_error() {
+        for doc in [
+            "\"\\uD800\"",      // at end of string
+            "\"\\uDBFF x\"",    // followed by ordinary text
+            "\"\\uD800\\n\"", // followed by a non-\u escape
+            "\"\\uD834\\t\"",
+        ] {
+            expect_error(doc, "unpaired high surrogate");
+        }
+    }
+
+    #[test]
+    fn low_surrogate_out_of_range_after_high_is_rejected() {
+        // A second \u escape follows the high surrogate but encodes
+        // something outside the low-surrogate range.
+        for doc in [
+            "\"\\uD800\\u0041\"", // ordinary BMP scalar in the low slot
+            "\"\\uD800\\uD800\"", // a second high surrogate
+            "\"\\uD800\\uE000\"", // first scalar past the low range
+        ] {
+            expect_error(doc, "invalid low surrogate");
+        }
+    }
+
+    #[test]
+    fn truncated_unicode_escapes_are_rejected() {
+        for doc in [
+            "\"\\u\"",           // no digits
+            "\"\\u00\"",         // two digits
+            "\"\\uD8\"",         // truncated high surrogate
+            "\"\\uD800\\uDC\"", // truncated low half of a pair
+            "\"\\uD800\\u\"",  // pair promised, no digits delivered
+        ] {
+            expect_error(doc, "expected 4 hex digits");
+        }
+    }
+
+    #[test]
+    fn non_hex_digits_in_escape_are_rejected() {
+        for doc in ["\"\\uZZZZ\"", "\"\\u00G0\"", "\"\\u-123\""] {
+            expect_error(doc, "expected 4 hex digits");
+        }
+    }
+
+    #[test]
+    fn unknown_escape_and_bare_backslash_are_rejected() {
+        expect_error("\"\\x41\"", "invalid escape");
+        expect_error("\"\\", "invalid escape");
+    }
+
+    #[test]
+    fn surrogate_errors_surface_from_embedded_strings() {
+        let doc = "{\"ok\": \"fine\", \"bad\": \"\\uDC00\"}";
+        let err = parse(doc).expect_err("embedded unpaired low surrogate");
+        assert!(err.to_string().contains("unpaired low surrogate"), "{err}");
+    }
+
+    #[test]
+    fn decoded_surrogate_pairs_round_trip_through_serialization() {
+        let parsed = parse("\"\\uD83D\\uDE00!\"").unwrap();
+        assert_eq!(parsed, Json::Str("\u{1F600}!".into()));
+        let text = crate::to_string(&parsed);
+        assert_eq!(parse(&text).unwrap(), parsed);
     }
 }

@@ -294,6 +294,7 @@ impl ThreadedBackend {
             deadline,
             time_scale,
             telemetry,
+            ..
         } = runtime;
         let (tx, rx) = channel::<Msg>();
         let (completion_tx, completion_rx) = channel::<Completion>();

@@ -18,7 +18,9 @@
 //!   backfill).
 //! * [`backend`] — execution backends behind one trait:
 //!   [`backend::SimulatedBackend`] replays runs in deterministic virtual
-//!   time on the `impress-sim` engine (used for every paper figure), and
+//!   time on the `impress-sim` engine (used for every paper figure),
+//!   [`backend::ShardedBackend`] replays the identical event stream on a
+//!   sharded parallel-DES engine sized for 10k-node campaigns, and
 //!   [`backend::ThreadedBackend`] executes task closures on real threads
 //!   with the same slot semantics.
 //! * [`fault`] — deterministic fault injection ([`FaultPlan`]: transient

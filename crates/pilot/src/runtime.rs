@@ -19,7 +19,7 @@
 //! # let _ = backend;
 //! ```
 
-use crate::backend::{SimulatedBackend, ThreadedBackend};
+use crate::backend::{ShardedBackend, SimulatedBackend, ThreadedBackend};
 use crate::fault::{FaultPlan, RetryPolicy};
 use crate::pilot::PilotConfig;
 use impress_sim::SimTime;
@@ -48,6 +48,13 @@ pub struct RuntimeConfig {
     /// Telemetry handle; the default disabled handle records nothing and
     /// costs one branch per instrumentation point.
     pub telemetry: Telemetry,
+    /// Sharded backend only: number of event-queue shards (clamped to at
+    /// least 1). Inert on the other backends.
+    pub shards: usize,
+    /// Sharded backend only: drive the shard queues on worker threads
+    /// instead of in-process. The event stream is bit-identical either
+    /// way; this only changes who owns the priority queues.
+    pub parallel_shards: bool,
 }
 
 impl RuntimeConfig {
@@ -60,6 +67,8 @@ impl RuntimeConfig {
             deadline: None,
             time_scale: 0.0,
             telemetry: Telemetry::disabled(),
+            shards: 8,
+            parallel_shards: false,
         }
     }
 
@@ -88,9 +97,27 @@ impl RuntimeConfig {
         self
     }
 
+    /// Use `n` event-queue shards in the sharded backend (clamped to at
+    /// least 1 at construction).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Drive the shard queues on worker threads (sharded backend only).
+    pub fn parallel_shards(mut self, on: bool) -> Self {
+        self.parallel_shards = on;
+        self
+    }
+
     /// Build a [`SimulatedBackend`] from this configuration.
     pub fn simulated(self) -> SimulatedBackend {
         SimulatedBackend::from_config(self)
+    }
+
+    /// Build a [`ShardedBackend`] from this configuration.
+    pub fn sharded(self) -> ShardedBackend {
+        ShardedBackend::from_config(self)
     }
 
     /// Build a [`ThreadedBackend`] from this configuration.

@@ -77,9 +77,91 @@ json_enum!(PlacementPolicy { Fifo, Backfill });
 #[derive(Debug)]
 struct QueueEntry {
     id: TaskId,
-    request: ResourceRequest,
     seq: u64,
     live: bool,
+}
+
+/// A flat segment tree over the cluster's nodes, keyed by each node's free
+/// counters, answering *leftmost node whose free cores/GPUs admit a shape*
+/// in O(log nodes) instead of the naive O(nodes) scan. Leaves store
+/// `(cores_free, gpus_free, up)` per node (down nodes are stored as
+/// never-admitting); internal nodes store the component-wise maxima and an
+/// any-up flag. The internal condition is necessary but not sufficient —
+/// the max cores and max gpus of a subtree can live on different leaves —
+/// so the descent backtracks; the leaf condition is exact because
+/// [`SlotPool::try_alloc`] admits precisely on its free counters. The
+/// result is therefore always the same node the linear first-fit scan
+/// would pick, which the reference-oracle property test replays.
+#[derive(Debug)]
+struct FitIndex {
+    /// Leaf count rounded up to a power of two; node `i`'s leaf is `size + i`.
+    size: usize,
+    /// Per-subtree max free cores over up nodes.
+    cores: Vec<u32>,
+    /// Per-subtree max free GPUs over up nodes.
+    gpus: Vec<u32>,
+    /// Whether any node in the subtree is up.
+    up: Vec<bool>,
+}
+
+impl FitIndex {
+    /// An index over `nodes` identical fully-free up nodes.
+    fn new(nodes: usize, node: &NodeSpec) -> Self {
+        let size = nodes.next_power_of_two().max(1);
+        let mut fit = FitIndex {
+            size,
+            cores: vec![0; 2 * size],
+            gpus: vec![0; 2 * size],
+            up: vec![false; 2 * size],
+        };
+        for i in 0..nodes {
+            fit.cores[size + i] = node.cores;
+            fit.gpus[size + i] = node.gpus;
+            fit.up[size + i] = true;
+        }
+        for i in (1..size).rev() {
+            fit.pull(i);
+        }
+        fit
+    }
+
+    fn pull(&mut self, i: usize) {
+        self.cores[i] = self.cores[2 * i].max(self.cores[2 * i + 1]);
+        self.gpus[i] = self.gpus[2 * i].max(self.gpus[2 * i + 1]);
+        self.up[i] = self.up[2 * i] || self.up[2 * i + 1];
+    }
+
+    /// Record `node`'s new free counters (or its death), updating ancestors.
+    fn set(&mut self, node: usize, cores: u32, gpus: u32, up: bool) {
+        let mut i = self.size + node;
+        self.cores[i] = cores;
+        self.gpus[i] = gpus;
+        self.up[i] = up;
+        while i > 1 {
+            i /= 2;
+            self.pull(i);
+        }
+    }
+
+    fn admits(&self, i: usize, cores: u32, gpus: u32) -> bool {
+        self.up[i] && self.cores[i] >= cores && self.gpus[i] >= gpus
+    }
+
+    /// Leftmost up node whose free counters admit `(cores, gpus)`.
+    fn first_fit(&self, cores: u32, gpus: u32) -> Option<usize> {
+        self.descend(1, cores, gpus)
+    }
+
+    fn descend(&self, i: usize, cores: u32, gpus: u32) -> Option<usize> {
+        if !self.admits(i, cores, gpus) {
+            return None;
+        }
+        if i >= self.size {
+            return Some(i - self.size);
+        }
+        self.descend(2 * i, cores, gpus)
+            .or_else(|| self.descend(2 * i + 1, cores, gpus))
+    }
 }
 
 /// One priority class: waiting entries grouped by request shape. Each
@@ -100,6 +182,9 @@ pub struct Scheduler {
     pools: Vec<SlotPool>,
     /// `down[i]` — node `i` is drained (crashed) and takes no placements.
     down: Vec<bool>,
+    /// Segment tree over per-node free counters; kept in lockstep with
+    /// `pools`/`down` so placement is O(log nodes).
+    fit: FitIndex,
     /// Priority buckets, highest first.
     buckets: BTreeMap<Reverse<i32>, Bucket>,
     slab: Vec<QueueEntry>,
@@ -142,6 +227,7 @@ impl Scheduler {
                 .map(|_| SlotPool::new(&cluster.node))
                 .collect(),
             down: vec![false; cluster.count as usize],
+            fit: FitIndex::new(cluster.count as usize, &cluster.node),
             buckets: BTreeMap::new(),
             slab: Vec::new(),
             next_seq: 0,
@@ -169,22 +255,22 @@ impl Scheduler {
         &self.cluster
     }
 
-    /// First-fit placement across the cluster's *up* nodes.
+    /// First-fit placement across the cluster's *up* nodes. The fit index
+    /// answers the node query in O(log nodes); down nodes are excluded by
+    /// their never-admitting leaves, so no explicit `down` check is needed.
     fn alloc_in(
         pools: &mut [SlotPool],
-        down: &[bool],
+        fit: &mut FitIndex,
         req: &ResourceRequest,
     ) -> Option<Allocation> {
-        for (idx, pool) in pools.iter_mut().enumerate() {
-            if down[idx] {
-                continue;
-            }
-            if let Some(mut alloc) = pool.try_alloc(req) {
-                alloc.node = idx as u32;
-                return Some(alloc);
-            }
-        }
-        None
+        let idx = fit.first_fit(req.cores, req.gpus)?;
+        let pool = &mut pools[idx];
+        let mut alloc = pool
+            .try_alloc(req)
+            .expect("fit index admitted a node its pool rejects");
+        alloc.node = idx as u32;
+        fit.set(idx, pool.cores_free(), pool.gpus_free(), true);
+        Some(alloc)
     }
 
     /// Drain a crashed node: its pool is rebuilt empty-of-grants and it takes
@@ -199,6 +285,7 @@ impl Scheduler {
         assert!(!self.down[idx], "node {node} drained twice");
         self.down[idx] = true;
         self.pools[idx] = SlotPool::new(&self.cluster.node);
+        self.fit.set(idx, 0, 0, false);
     }
 
     /// Re-admit a recovered node to placement with all slots free.
@@ -206,6 +293,9 @@ impl Scheduler {
         let idx = node as usize;
         assert!(self.down[idx], "node {node} recovered while up");
         self.down[idx] = false;
+        // The pool was rebuilt fully free at drain time.
+        self.fit
+            .set(idx, self.pools[idx].cores_free(), self.pools[idx].gpus_free(), true);
         self.capacity_epoch += 1;
         self.blocked_shape = None;
     }
@@ -237,7 +327,6 @@ impl Scheduler {
         );
         let entry = QueueEntry {
             id,
-            request,
             seq: self.next_seq,
             live: true,
         };
@@ -345,7 +434,7 @@ impl Scheduler {
                 continue;
             };
             let req = ResourceRequest::with_gpus(shape.0, shape.1);
-            match Self::alloc_in(&mut self.pools, &self.down, &req) {
+            match Self::alloc_in(&mut self.pools, &mut self.fit, &req) {
                 Some(alloc) => {
                     let id = self.take_head(key, shape);
                     placed.push((id, alloc));
@@ -408,7 +497,7 @@ impl Scheduler {
                 }
                 let Some((_, shape)) = best else { break };
                 let req = ResourceRequest::with_gpus(shape.0, shape.1);
-                match Self::alloc_in(&mut self.pools, &self.down, &req) {
+                match Self::alloc_in(&mut self.pools, &mut self.fit, &req) {
                     Some(alloc) => {
                         let id = self.take_head(key, shape);
                         placed.push((id, alloc));
@@ -461,7 +550,10 @@ impl Scheduler {
             "release of an allocation on drained node {}",
             alloc.node
         );
-        self.pools[alloc.node as usize].release(alloc);
+        let idx = alloc.node as usize;
+        self.pools[idx].release(alloc);
+        self.fit
+            .set(idx, self.pools[idx].cores_free(), self.pools[idx].gpus_free(), true);
         self.capacity_epoch += 1;
         self.blocked_shape = None;
     }
@@ -475,7 +567,10 @@ impl Scheduler {
             "release of an allocation on drained node {}",
             alloc.node
         );
-        self.pools[alloc.node as usize].release_owned(alloc);
+        let idx = alloc.node as usize;
+        self.pools[idx].release_owned(alloc);
+        self.fit
+            .set(idx, self.pools[idx].cores_free(), self.pools[idx].gpus_free(), true);
         self.capacity_epoch += 1;
         self.blocked_shape = None;
     }
@@ -543,6 +638,39 @@ mod tests {
 
     fn ids(placed: &[(TaskId, Allocation)]) -> Vec<u64> {
         placed.iter().map(|(id, _)| id.0).collect()
+    }
+
+    #[test]
+    fn fit_index_tracks_counters_and_skips_down_nodes() {
+        let node = NodeSpec::new(4, 2, 1);
+        let mut fit = FitIndex::new(10, &node);
+        // Fully free: everything lands leftmost, padding leaves (10..16)
+        // never admit.
+        assert_eq!(fit.first_fit(4, 2), Some(0));
+        assert_eq!(fit.first_fit(0, 0), Some(0));
+        assert_eq!(fit.first_fit(5, 0), None, "no node has five cores");
+        // Fill node 0, kill node 1: a full-node request must skip to 2.
+        fit.set(0, 0, 0, true);
+        fit.set(1, 0, 0, false);
+        assert_eq!(fit.first_fit(4, 2), Some(2));
+        // A zero request fits the exhausted-but-up node 0, not the down
+        // node 1 — the up flag, not the counters, excludes dead nodes.
+        assert_eq!(fit.first_fit(0, 0), Some(0));
+        fit.set(0, 0, 0, false);
+        assert_eq!(fit.first_fit(0, 0), Some(2));
+        // Cores on node 3, gpus on node 2 only: the descent must backtrack
+        // past subtrees whose maxima come from different leaves.
+        for i in 2..10 {
+            fit.set(i, 1, 0, true);
+        }
+        fit.set(2, 1, 2, true);
+        fit.set(3, 4, 0, true);
+        assert_eq!(fit.first_fit(4, 2), None);
+        assert_eq!(fit.first_fit(1, 2), Some(2));
+        assert_eq!(fit.first_fit(4, 0), Some(3));
+        // Recovery readmits at full capacity.
+        fit.set(1, 4, 2, true);
+        assert_eq!(fit.first_fit(4, 2), Some(1));
     }
 
     #[test]
@@ -843,7 +971,7 @@ mod tests {
         fn optimized_scheduler_matches_reference_oracle(rng, cases = 256) {
             let cores = 1 + rng.below(32) as u32;
             let gpus = rng.below(5) as u32;
-            let nodes = 1 + rng.below(3) as u32;
+            let nodes = 1 + rng.below(12) as u32;
             let cluster = ClusterSpec::homogeneous(NodeSpec::new(cores, gpus, 64), nodes);
             let policy = if rng.below(2) == 0 {
                 PlacementPolicy::Fifo

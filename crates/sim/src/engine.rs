@@ -112,8 +112,14 @@ impl Engine {
             }
             self.step();
         }
-        self.now = self.now.max(deadline.min(self.now.max(deadline)));
+        self.now = self.now.max(deadline);
         self.now
+    }
+
+    /// Time of the earliest pending event, if any — the conservative
+    /// lookahead horizon a parallel-DES driver may safely advance to.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
     }
 
     /// Register a counted resource with the given capacity. See
@@ -225,6 +231,19 @@ mod tests {
         assert_eq!(*count.borrow(), 5);
         eng.run();
         assert_eq!(*count.borrow(), 10);
+    }
+
+    #[test]
+    fn next_event_time_reports_the_horizon() {
+        let mut eng = Engine::new();
+        assert_eq!(eng.next_event_time(), None);
+        let h = eng.schedule_in(secs(3), |_| {});
+        eng.schedule_in(secs(7), |_| {});
+        assert_eq!(eng.next_event_time(), Some(SimTime::ZERO + secs(3)));
+        eng.cancel(h);
+        assert_eq!(eng.next_event_time(), Some(SimTime::ZERO + secs(7)));
+        eng.run();
+        assert_eq!(eng.next_event_time(), None);
     }
 
     #[test]

@@ -89,6 +89,26 @@ impl<T> EventQueue<T> {
         id
     }
 
+    /// Schedule a burst of events in one queue operation. Ids are assigned
+    /// in iteration order; the batch occupies the contiguous id range
+    /// `first.0 .. first.0 + count` of the returned `(first, count)` pair,
+    /// so callers that track per-event ids (for later [`EventQueue::cancel`])
+    /// can reconstruct them without a per-event allocation. The heap is
+    /// extended in bulk, so a submission burst of N events costs one
+    /// amortized rebuild instead of N sift-ups.
+    pub fn schedule_batch(&mut self, items: impl IntoIterator<Item = (SimTime, T)>) -> (EventId, usize) {
+        let first = EventId(self.next_id);
+        let pending = &mut self.pending;
+        let next_id = &mut self.next_id;
+        self.heap.extend(items.into_iter().map(|(at, payload)| {
+            let id = EventId(*next_id);
+            *next_id += 1;
+            pending.insert(id.0);
+            ScheduledEvent { at, id, payload }
+        }));
+        (first, (self.next_id - first.0) as usize)
+    }
+
     /// Cancel a previously scheduled event. Cancellation is lazy: the entry
     /// stays in the heap but is skipped when popped. Returns `true` only if
     /// the event was still live — `false` if it already fired or was
@@ -250,6 +270,131 @@ mod tests {
         assert_eq!(q.pop().unwrap().id, keep);
         assert!(q.is_empty());
         assert!(!q.cancel(keep), "fired after compaction still reports false");
+    }
+
+    #[test]
+    fn schedule_batch_assigns_sequential_ids_and_bulk_inserts() {
+        let mut q = EventQueue::new();
+        q.schedule(t(50), 0u64);
+        let (first, count) = q.schedule_batch((0..10u64).map(|i| (t(10 - i), i + 1)));
+        assert_eq!(first, EventId(1));
+        assert_eq!(count, 10);
+        assert_eq!(q.len(), 11);
+        // Cancel one batch member through its reconstructed id.
+        assert!(q.cancel(EventId(first.0 + 3)));
+        let popped: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        // Batch fired in time order (descending payload = ascending time),
+        // minus the cancelled member (payload 4), with the t(50) tail last.
+        assert_eq!(popped, vec![10, 9, 8, 7, 6, 5, 3, 2, 1, 0]);
+        let (first2, count2) = q.schedule_batch(std::iter::empty());
+        assert_eq!((first2, count2), (EventId(11), 0), "empty batch is a no-op");
+    }
+
+    /// Satellite audit: `len()`/`cancel` stay exact under lazy-cancel heap
+    /// compaction, including when a cancel races a pop of the same id in
+    /// one tick. A naive Vec-of-states model is the oracle; every
+    /// interleaving of push / batch-push / pop / cancel must agree on pop
+    /// order, cancel return values, peeks, and exact live counts.
+    mod queue_model {
+        use super::*;
+        use crate::props;
+
+        #[derive(Clone, Copy, PartialEq)]
+        enum St {
+            Live,
+            Cancelled,
+            Fired,
+        }
+
+        struct Model {
+            events: Vec<(SimTime, u64, St)>,
+        }
+
+        impl Model {
+            fn push(&mut self, at: SimTime) -> u64 {
+                let id = self.events.len() as u64;
+                self.events.push((at, id, St::Live));
+                id
+            }
+            fn live(&self) -> impl Iterator<Item = &(SimTime, u64, St)> {
+                self.events.iter().filter(|(_, _, st)| *st == St::Live)
+            }
+            fn pop(&mut self) -> Option<(SimTime, u64)> {
+                let &(at, id, _) = self.live().min_by_key(|&&(at, id, _)| (at, id))?;
+                self.events[id as usize].2 = St::Fired;
+                Some((at, id))
+            }
+            fn cancel(&mut self, id: u64) -> bool {
+                match self.events.get_mut(id as usize) {
+                    Some(slot) if slot.2 == St::Live => {
+                        slot.2 = St::Cancelled;
+                        true
+                    }
+                    _ => false,
+                }
+            }
+        }
+
+        props! {
+            /// 256 random interleavings of push/batch/pop/cancel against the
+            /// naive model: ids, order, len, and peeks all stay exact.
+            fn queue_matches_naive_model_under_push_pop_cancel(rng, cases = 256) {
+                let mut q = EventQueue::new();
+                let mut model = Model { events: Vec::new() };
+                let ops = 30 + rng.below(120);
+                for _ in 0..ops {
+                    match rng.below(10) {
+                        0..=3 => {
+                            let at = t(rng.below(40) as u64);
+                            let id = q.schedule(at, ());
+                            assert_eq!(id.0, model.push(at));
+                        }
+                        4 => {
+                            let n = rng.below(5) as u64;
+                            let ats: Vec<SimTime> =
+                                (0..n).map(|_| t(rng.below(40) as u64)).collect();
+                            let (first, count) =
+                                q.schedule_batch(ats.iter().map(|&at| (at, ())));
+                            assert_eq!(count as u64, n);
+                            for (i, &at) in ats.iter().enumerate() {
+                                assert_eq!(first.0 + i as u64, model.push(at));
+                            }
+                        }
+                        5..=6 => {
+                            let got = q.pop().map(|e| (e.at, e.id.0));
+                            assert_eq!(got, model.pop(), "pop order diverged");
+                            // The cancel-races-pop tick: cancelling the id we
+                            // just popped must be a no-op in both worlds.
+                            if let Some((_, id)) = got {
+                                assert!(!q.cancel(EventId(id)), "cancel of fired id");
+                                assert!(!model.cancel(id));
+                            }
+                        }
+                        _ => {
+                            if model.events.is_empty() {
+                                continue;
+                            }
+                            // Any id ever issued: live, already fired, or
+                            // already cancelled — return values must agree.
+                            let id = rng.below(model.events.len()) as u64;
+                            assert_eq!(q.cancel(EventId(id)), model.cancel(id));
+                        }
+                    }
+                    assert_eq!(q.len(), model.live().count(), "live count drifted");
+                    assert_eq!(
+                        q.peek_time(),
+                        model.live().map(|&(at, id, _)| (at, id)).min().map(|(at, _)| at),
+                        "peek diverged"
+                    );
+                }
+                // Drain to empty: the full remaining order must agree.
+                while let Some(ev) = q.pop() {
+                    assert_eq!(Some((ev.at, ev.id.0)), model.pop());
+                }
+                assert_eq!(model.pop(), None, "model had leftovers the queue lost");
+                assert_eq!(q.len(), 0);
+            }
+        }
     }
 
     #[test]

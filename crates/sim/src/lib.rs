@@ -17,6 +17,7 @@
 //! * [`resource`] — counted resources with FIFO wait queues (e.g. shared
 //!   filesystem bandwidth during AlphaFold MSA construction).
 //! * [`rng`] — seedable, forkable deterministic random streams.
+//! * [`slab`] — arena storage with `u32` handles for hot-path records.
 //! * [`trace`] — busy-interval timelines and utilization accounting.
 //! * [`stats`] — summary statistics (median, std-dev, quantiles) used by the
 //!   experiment harnesses.
@@ -34,14 +35,17 @@ pub mod histogram;
 pub mod props;
 pub mod resource;
 pub mod rng;
+pub mod slab;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use engine::{Engine, ProcessHandle};
+pub use event::{EventId, EventQueue, ScheduledEvent};
 pub use histogram::Histogram;
 pub use resource::{Resource, ResourceId};
 pub use rng::SimRng;
+pub use slab::{Slab, SlotId};
 pub use stats::Summary;
 pub use time::{SimDuration, SimTime};
 pub use trace::{IntervalTrace, UtilizationTracker};

@@ -229,6 +229,26 @@ impl Telemetry {
         }
     }
 
+    /// Record a batch of observations into one histogram in a single
+    /// stamp: one enabled-check and one registry lock for the whole slice,
+    /// instead of one per value. Because bucket totals are
+    /// order-independent, the resulting snapshot is identical to calling
+    /// [`Telemetry::observe`] once per value — hot loops (the sharded
+    /// simulation backend buffers a placement round's queue-wait samples)
+    /// batch their stamps without changing what is measured.
+    pub fn observe_many(
+        &self,
+        name: &'static str,
+        lo: f64,
+        hi: f64,
+        bins: usize,
+        values: &[f64],
+    ) {
+        if let Some(inner) = self.active() {
+            inner.metrics.observe_many(name, lo, hi, bins, values);
+        }
+    }
+
     /// Point-in-time copy of every live metric (empty when disabled).
     pub fn snapshot(&self) -> MetricsSnapshot {
         match self.active() {
@@ -298,9 +318,13 @@ mod tests {
         assert_eq!(snap.counter("n"), Some(5));
         assert_eq!(snap.gauge("g"), Some(1.5));
         let h = snap.histogram("h").expect("histogram");
-        assert_eq!(h.count, 2);
+        assert_eq!(h.count, 2, "the +Inf bucket counts every observation");
         assert_eq!(h.sum, 33.0);
-        assert_eq!(h.buckets.last().map(|b| b.count), Some(2));
+        assert_eq!(
+            h.buckets.last().map(|b| b.count),
+            Some(1),
+            "30.0 is above the top bound: +Inf only, never a finite bucket"
+        );
     }
 
     #[test]
@@ -366,6 +390,49 @@ mod tests {
             ev.get("args").and_then(|a| a.get("vt_us")).and_then(|v| v.as_f64()),
             Some(100.0)
         );
+    }
+
+    /// Golden exposition-format test for the histogram overflow bucket:
+    /// finite buckets are cumulative, values at or above the top bound land
+    /// only in `+Inf`, values below the bottom bound land in the first
+    /// bucket (still cumulative-correct), and NaN observations vanish
+    /// entirely instead of drifting `_count` away from the buckets.
+    #[test]
+    fn prometheus_histogram_overflow_lands_only_in_inf_bucket() {
+        let (tele, _rec) = Telemetry::recording(4);
+        for v in [0.5, 3.0, 9.5, 10.0, 25.0, -1.0, f64::NAN] {
+            tele.observe("lat", 0.0, 10.0, 5, v);
+        }
+        let text = prometheus_text(&tele.snapshot());
+        let expected = "\
+# TYPE impress_lat histogram
+impress_lat_bucket{le=\"2\"} 2
+impress_lat_bucket{le=\"4\"} 3
+impress_lat_bucket{le=\"6\"} 3
+impress_lat_bucket{le=\"8\"} 3
+impress_lat_bucket{le=\"10\"} 4
+impress_lat_bucket{le=\"+Inf\"} 6
+impress_lat_sum 47
+impress_lat_count 6
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn observe_many_matches_individual_observes_exactly() {
+        let values = [0.25, 7.5, 10.0, 99.0, -3.0, 5.0];
+        let (batched, _r1) = Telemetry::recording(4);
+        batched.observe_many("h", 0.0, 10.0, 4, &values);
+        batched.observe_many("h", 0.0, 10.0, 4, &[]);
+        let (single, _r2) = Telemetry::recording(4);
+        for v in values {
+            single.observe("h", 0.0, 10.0, 4, v);
+        }
+        assert_eq!(batched.snapshot(), single.snapshot());
+        // Disabled handles ignore batches just like single observations.
+        let off = Telemetry::disabled();
+        off.observe_many("h", 0.0, 10.0, 4, &values);
+        assert_eq!(off.snapshot(), MetricsSnapshot::default());
     }
 
     #[test]

@@ -94,11 +94,43 @@ impl MetricsSnapshot {
 /// A histogram cell tracking the running sum alongside the binned counts
 /// (Prometheus exposition needs `_sum`, which [`Histogram`] alone does not
 /// retain).
+///
+/// Overflow discipline: `Histogram` saturates out-of-range values into its
+/// edge bins, which is right for plotting but wrong for the Prometheus
+/// exposition — a value at or above the top bound must appear *only* in the
+/// implicit `+Inf` bucket (`count`), never under a finite `le`. The cell
+/// therefore routes such values past the binned histogram and counts them in
+/// `count`/`sum` alone. NaN observations are dropped entirely, so `count`,
+/// `sum`, and the bucket totals can never drift apart.
 #[derive(Debug)]
 struct HistCell {
     hist: Histogram,
+    /// Top bound of the finite bins; observations `>= hi` bypass them.
+    hi: f64,
     sum: f64,
     count: u64,
+}
+
+impl HistCell {
+    fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        HistCell {
+            hist: Histogram::new(lo, hi, bins),
+            hi,
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        if value < self.hi {
+            self.hist.record(value);
+        }
+        self.sum += value;
+        self.count += 1;
+    }
 }
 
 /// Interior-mutable metric registry shared by all clones of one
@@ -122,15 +154,38 @@ impl Metrics {
     }
 
     pub(crate) fn observe(&self, name: &'static str, lo: f64, hi: f64, bins: usize, value: f64) {
+        self.histograms
+            .lock()
+            .expect("histogram lock")
+            .entry(name)
+            .or_insert_with(|| HistCell::new(lo, hi, bins))
+            .observe(value);
+    }
+
+    /// Record a batch of observations into one histogram under a single
+    /// lock acquisition. Hot loops (the sharded simulation backend flushes
+    /// a placement round's queue-wait samples in one call) pay one stamp
+    /// per batch instead of one per value; since bucket totals are
+    /// order-independent, the resulting snapshot is identical to N
+    /// individual [`Metrics::observe`] calls.
+    pub(crate) fn observe_many(
+        &self,
+        name: &'static str,
+        lo: f64,
+        hi: f64,
+        bins: usize,
+        values: &[f64],
+    ) {
+        if values.is_empty() {
+            return;
+        }
         let mut hists = self.histograms.lock().expect("histogram lock");
-        let cell = hists.entry(name).or_insert_with(|| HistCell {
-            hist: Histogram::new(lo, hi, bins),
-            sum: 0.0,
-            count: 0,
-        });
-        cell.hist.record(value);
-        cell.sum += value;
-        cell.count += 1;
+        let cell = hists
+            .entry(name)
+            .or_insert_with(|| HistCell::new(lo, hi, bins));
+        for &value in values {
+            cell.observe(value);
+        }
     }
 
     pub(crate) fn snapshot(&self) -> MetricsSnapshot {

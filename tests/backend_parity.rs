@@ -1,9 +1,10 @@
-//! Backend parity: the simulated and threaded backends must agree on the
-//! *science* (same task closures, same deterministic RNG streams, same
-//! outputs) even though they disagree on wall-clock mechanics.
+//! Backend parity: the simulated, sharded, and threaded backends must
+//! agree on the *science* (same task closures, same deterministic RNG
+//! streams, same outputs) even though they disagree on wall-clock — and
+//! in the sharded case, event-engine — mechanics.
 
 use impress_core::{DesignPipeline, ProtocolConfig, TargetToolkit};
-use impress_pilot::backend::{SimulatedBackend, ThreadedBackend};
+use impress_pilot::backend::{ShardedBackend, SimulatedBackend, ThreadedBackend};
 use impress_pilot::{ExecutionBackend, PilotConfig, ResourceRequest, Session, TaskDescription};
 use impress_proteins::datasets::named_pdz_domains;
 use impress_sim::SimDuration;
@@ -40,8 +41,33 @@ fn batch_outputs_agree_across_backends() {
         SimDuration::from_secs(3),
         works(),
     );
+    let mut sharded = Session::new(ShardedBackend::new(pilot_config(1)));
+    let sha_out = sharded.execute_batch(
+        "w",
+        ResourceRequest::cores(1),
+        SimDuration::from_secs(3),
+        works(),
+    );
     assert_eq!(sim_out, thr_out);
+    assert_eq!(sim_out, sha_out);
     assert_eq!(sim_out, (0..12).map(|i| i * i + 1).collect::<Vec<u64>>());
+}
+
+/// The serialized parity workload exports *byte-identical* virtual-clock
+/// Chrome traces on all three engines: the sequential oracle, the sharded
+/// parallel-DES engine, and real threads under the model clock. This is
+/// the strongest cross-engine statement the telemetry layer can make —
+/// every span boundary, name, and argument at the same virtual
+/// microsecond, serialized to the same bytes.
+#[test]
+fn three_engines_export_byte_identical_virtual_traces() {
+    use impress_bench::trace::{parity_trace_on, ParityBackend};
+    let sim = parity_trace_on(ParityBackend::Simulated, 0xbeef, 6);
+    let sharded = parity_trace_on(ParityBackend::Sharded, 0xbeef, 6);
+    let threaded = parity_trace_on(ParityBackend::Threaded, 0xbeef, 6);
+    assert!(!sim.is_empty() && sim.contains("traceEvents"));
+    assert_eq!(sim, sharded, "sharded engine's virtual trace diverged");
+    assert_eq!(sim, threaded, "threaded engine's virtual trace diverged");
 }
 
 /// A full design pipeline produces the same accepted design on both
@@ -174,7 +200,7 @@ mod placement_order_parity {
 
     props! {
         /// The oracle workload shape (random priorities, FIFO within a
-        /// class) replayed through both execution backends.
+        /// class) replayed through all three execution backends.
         fn both_backends_execute_in_identical_placement_order(rng, cases = 24) {
             let n = 3 + rng.below(10);
             let priorities: Vec<i32> =
@@ -184,9 +210,15 @@ mod placement_order_parity {
             let sim_order = run_order(&mut sim, &priorities, false);
             let mut thr = ThreadedBackend::new(pilot_config(seed));
             let thr_order = run_order(&mut thr, &priorities, true);
+            let mut sha = ShardedBackend::new(pilot_config(seed));
+            let sha_order = run_order(&mut sha, &priorities, false);
             assert_eq!(
                 sim_order, thr_order,
                 "placement order diverged for priorities {priorities:?}"
+            );
+            assert_eq!(
+                sim_order, sha_order,
+                "sharded placement order diverged for priorities {priorities:?}"
             );
             // And both match the scheduler contract directly: stable sort
             // of submission order by descending priority.
@@ -252,7 +284,8 @@ fn utilization_reports_are_sane_on_both_backends() {
     // Box the backends behind the trait to prove object safety, too.
     let sim: Box<dyn ExecutionBackend> = Box::new(SimulatedBackend::new(pilot_config(2)));
     let thr: Box<dyn ExecutionBackend> = Box::new(ThreadedBackend::new(pilot_config(2)));
-    for (label, backend) in [("sim", sim), ("threaded", thr)] {
+    let sha: Box<dyn ExecutionBackend> = Box::new(ShardedBackend::new(pilot_config(2)));
+    for (label, backend) in [("sim", sim), ("threaded", thr), ("sharded", sha)] {
         let report = run(Session::new(backend));
         assert_eq!(report.tasks, 4, "{label}");
         assert!(

@@ -371,6 +371,162 @@ fn trace_study_smoke_iteration_certifies_every_contract() {
     );
 }
 
+/// The checked-in sim-engine scaling artifact must match the study's
+/// current document layout and carry both sides of the comparison: the
+/// live sharded-engine results *and* the embedded pre-sharding baseline —
+/// including the headline claim the study exists to make: the 10k-node /
+/// 1M-task campaign (unmeasurable on the old engine; its baseline cell is
+/// `null`) drains in single-digit seconds. Deliberately not a byte
+/// comparison — wall times are machine-dependent; only the structure and
+/// the headline invariant are pinned. Regenerate with
+/// `cargo run --release -p impress-bench --bin sim_bench`.
+#[test]
+fn sim_bench_artifact_matches_the_study_format_version() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_sim.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {}: {e} — run the sim_bench bin", path.display()));
+    let json: impress_json::Json = impress_json::from_str(&text).expect("BENCH_sim.json parses");
+    let version: u32 = json
+        .get("format_version")
+        .and_then(|v| v.as_f64())
+        .expect("BENCH_sim.json has a format_version field") as u32;
+    assert_eq!(
+        version,
+        impress_bench::sim::SIM_BENCH_FORMAT_VERSION,
+        "BENCH_sim.json was generated under a different study format — regenerate it"
+    );
+    let results = json
+        .get("results")
+        .and_then(|r| r.as_array())
+        .expect("BENCH_sim.json has results");
+    assert!(!results.is_empty(), "sim study must report rows");
+    let cells = json
+        .get("baseline")
+        .and_then(|b| b.get("cells"))
+        .and_then(|c| c.as_array())
+        .expect("baseline cells present");
+    assert!(
+        cells
+            .iter()
+            .any(|c| c.get("wall_ms").is_some_and(|v| v.is_null())),
+        "baseline must document the cell the old engine could not measure"
+    );
+    assert!(
+        !json
+            .get("speedups")
+            .and_then(|s| s.as_array())
+            .expect("speedups section present")
+            .is_empty(),
+        "artifact must compare the sharded engine against the baseline"
+    );
+    let headline = json.get("headline").expect("headline section present");
+    assert_eq!(
+        headline.get("nodes").and_then(|v| v.as_u64()),
+        Some(10_000),
+        "headline must be the 10k-node campaign"
+    );
+    assert_eq!(
+        headline.get("tasks").and_then(|v| v.as_u64()),
+        Some(1_000_000),
+        "headline must be the 1M-task campaign"
+    );
+    assert_eq!(
+        headline.get("single_digit_seconds").and_then(|v| v.as_bool()),
+        Some(true),
+        "the checked-in headline cell must drain in single-digit seconds"
+    );
+}
+
+/// One tiny iteration of the sim scaling study runs under `cargo test`,
+/// so the code that regenerates `BENCH_sim.json` cannot bit-rot between
+/// releases. The smoke cell runs all three engines (sequential, sharded,
+/// sharded-parallel) on a campaign small enough to stay a smoke test.
+#[test]
+fn sim_bench_smoke_iteration_produces_a_complete_document() {
+    let doc = impress_bench::sim::run_study(&impress_bench::sim::StudyParams::smoke(), 7);
+    assert_eq!(
+        doc.get("format_version").and_then(|v| v.as_f64()),
+        Some(impress_bench::sim::SIM_BENCH_FORMAT_VERSION as f64)
+    );
+    let results = doc
+        .get("results")
+        .and_then(|r| r.as_array())
+        .expect("smoke study has results");
+    assert_eq!(results.len(), 3, "smoke study covers all three engines");
+    for row in results {
+        assert_eq!(
+            row.get("completed").and_then(|v| v.as_u64()),
+            row.get("tasks").and_then(|v| v.as_u64()),
+            "every smoke campaign must drain fully: {row:?}"
+        );
+    }
+    doc.get("headline")
+        .and_then(|h| h.get("wall_ms"))
+        .and_then(|v| v.as_f64())
+        .expect("smoke study reports a headline cell");
+}
+
+/// The deprecated single-concern pilot constructors (`with_faults`,
+/// `with_time_scale`, `with_deadline`) must not regain call sites outside
+/// the files that define them (which also hold their `#[allow(deprecated)]`
+/// delegation shim tests). Everything else goes through [`RuntimeConfig`],
+/// which keeps tier-1 builds warning-clean and lets the shims be deleted
+/// on schedule.
+#[test]
+fn deprecated_pilot_constructors_have_no_call_sites_left() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    // The shim definitions (and their delegation tests) live here and
+    // nowhere else; this guard file carries the needles themselves.
+    let defining: [&Path; 4] = [
+        Path::new("crates/pilot/src/backend/simulated.rs"),
+        Path::new("crates/pilot/src/backend/threaded.rs"),
+        Path::new("crates/pilot/src/session.rs"),
+        Path::new("tests/hermetic.rs"),
+    ];
+    fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                rs_files(&path, out);
+            } else if path.extension().is_some_and(|ext| ext == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    let mut files = Vec::new();
+    for dir in ["crates", "tests", "examples"] {
+        rs_files(&root.join(dir), &mut files);
+    }
+    assert!(files.len() > 20, "expected to scan the whole workspace");
+    let mut violations = Vec::new();
+    for file in files {
+        let rel = file.strip_prefix(root).expect("workspace-relative path");
+        if defining.contains(&rel) {
+            continue;
+        }
+        let text = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
+        for needle in ["with_faults(", "with_time_scale(", "with_deadline("] {
+            for (i, line) in text.lines().enumerate() {
+                if line.contains(needle) {
+                    violations.push(format!("{}:{}: {}", rel.display(), i + 1, line.trim()));
+                }
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "deprecated pilot constructors regained call sites — use RuntimeConfig:\n{}",
+        violations.join("\n")
+    );
+}
+
 /// The root `[workspace.dependencies]` entries themselves must all be
 /// `path` specs, since member `workspace = true` entries resolve to them.
 #[test]
