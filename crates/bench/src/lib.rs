@@ -20,6 +20,7 @@
 pub mod harness;
 pub mod sched;
 pub mod sim;
+pub mod straggler;
 pub mod timing;
 pub mod trace;
 

@@ -55,17 +55,45 @@ pub enum TaskError {
         /// The node that crashed.
         node: u32,
     },
+    /// The task was classified poisoned by the quarantine policy: its
+    /// retryable attempts failed on this many *distinct* nodes, which
+    /// rules out a node-local fault. Remaining retry budget is not spent.
+    Poisoned {
+        /// Distinct nodes the task failed on.
+        distinct_nodes: u32,
+    },
+    /// The task was shed by an open per-shape quarantine circuit breaker:
+    /// too many lineages of this `(cores, gpus)` shape class were already
+    /// classified poisoned, so the backend fails the class fast instead of
+    /// wedging the queue behind it.
+    ShapeCircuitOpen {
+        /// Cores in the shed shape class.
+        cores: u32,
+        /// GPUs in the shed shape class.
+        gpus: u32,
+    },
 }
 
 impl TaskError {
     /// Whether the pilot may transparently resubmit an attempt that failed
     /// this way: only failures striking *before* the work closure ran are
     /// retryable. A panicked closure is consumed and a deterministic panic
-    /// would recur; a cancellation is a caller decision, not a fault.
+    /// would recur; a cancellation is a caller decision, not a fault; a
+    /// poisoned or circuit-broken task is quarantined precisely so it is
+    /// *not* retried.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
             TaskError::TimedOut { .. } | TaskError::Injected | TaskError::NodeCrashed { .. }
+        )
+    }
+
+    /// Whether the quarantine layer produced this error (poison verdict or
+    /// shape circuit breaker) — the campaign should prune the lineage.
+    pub fn is_quarantined(&self) -> bool {
+        matches!(
+            self,
+            TaskError::Poisoned { .. } | TaskError::ShapeCircuitOpen { .. }
         )
     }
 }
@@ -81,6 +109,12 @@ impl fmt::Display for TaskError {
             TaskError::Injected => write!(f, "task hit an injected transient fault"),
             TaskError::NodeCrashed { node } => {
                 write!(f, "node {node} crashed while hosting the task")
+            }
+            TaskError::Poisoned { distinct_nodes } => {
+                write!(f, "task quarantined as poisoned after failing on {distinct_nodes} distinct nodes")
+            }
+            TaskError::ShapeCircuitOpen { cores, gpus } => {
+                write!(f, "shape class {cores}c/{gpus}g shed by an open quarantine circuit breaker")
             }
         }
     }
@@ -106,6 +140,12 @@ pub struct Completion {
     /// How many failed attempts preceded this terminal result (0 = the
     /// first attempt concluded the task; fault-free runs always report 0).
     pub attempts: u32,
+    /// Whether a hedged speculative duplicate was placed for this task at
+    /// any point (regardless of which attempt won). The loser's occupancy
+    /// is booked in [`UtilizationReport::hedge_wasted_core_seconds`],
+    /// separately from retry waste. Hedging-off runs always report
+    /// `false`.
+    pub hedged: bool,
 }
 
 impl Completion {
@@ -296,6 +336,7 @@ mod tests {
             started: SimTime::ZERO,
             finished: SimTime::ZERO,
             attempts: 0,
+            hedged: false,
         };
         assert_eq!(c.output::<u32>(), 7);
     }
@@ -311,6 +352,7 @@ mod tests {
             started: SimTime::ZERO,
             finished: SimTime::ZERO,
             attempts: 0,
+            hedged: false,
         };
         let _ = c.output::<String>();
     }
@@ -325,6 +367,7 @@ mod tests {
             started: SimTime::ZERO,
             finished: SimTime::ZERO,
             attempts: 0,
+            hedged: false,
         };
         assert_eq!(c.peek::<Vec<u8>>().len(), 3);
         assert_eq!(c.peek::<Vec<u8>>()[0], 1, "still available");
@@ -349,6 +392,14 @@ mod tests {
             TaskError::NodeCrashed { node: 3 }.to_string(),
             "node 3 crashed while hosting the task"
         );
+        assert_eq!(
+            TaskError::Poisoned { distinct_nodes: 3 }.to_string(),
+            "task quarantined as poisoned after failing on 3 distinct nodes"
+        );
+        assert_eq!(
+            TaskError::ShapeCircuitOpen { cores: 4, gpus: 1 }.to_string(),
+            "shape class 4c/1g shed by an open quarantine circuit breaker"
+        );
     }
 
     #[test]
@@ -361,6 +412,11 @@ mod tests {
         assert!(TaskError::NodeCrashed { node: 0 }.is_retryable());
         assert!(!TaskError::WorkPanicked("boom".into()).is_retryable());
         assert!(!TaskError::Canceled.is_retryable());
+        assert!(!TaskError::Poisoned { distinct_nodes: 3 }.is_retryable());
+        assert!(!TaskError::ShapeCircuitOpen { cores: 1, gpus: 0 }.is_retryable());
+        assert!(TaskError::Poisoned { distinct_nodes: 3 }.is_quarantined());
+        assert!(TaskError::ShapeCircuitOpen { cores: 1, gpus: 0 }.is_quarantined());
+        assert!(!TaskError::Injected.is_quarantined());
     }
 
     #[test]
@@ -373,6 +429,7 @@ mod tests {
             started: SimTime::ZERO,
             finished: SimTime::ZERO,
             attempts: 2,
+            hedged: false,
         };
         assert_eq!(ok.try_peek::<u32>(), Ok(&11));
         assert!(ok.failure().is_none());
@@ -386,6 +443,7 @@ mod tests {
             started: SimTime::ZERO,
             finished: SimTime::ZERO,
             attempts: 0,
+            hedged: false,
         };
         assert_eq!(failed.try_peek::<u32>(), Err(&TaskError::Injected));
         assert_eq!(failed.failure(), Some(&TaskError::Injected));
@@ -403,6 +461,7 @@ mod tests {
             started: SimTime::ZERO,
             finished: SimTime::ZERO,
             attempts: 0,
+            hedged: false,
         };
         let _ = c.try_output::<String>();
     }

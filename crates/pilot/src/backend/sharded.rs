@@ -46,7 +46,9 @@
 //! repo workloads) satisfy this.
 
 use crate::backend::{Completion, ExecutionBackend, TaskError};
-use crate::fault::{AttemptFault, FaultPlan, RetryPolicy};
+use crate::fault::{
+    dilate_span, AttemptFault, FaultPlan, HedgePolicy, QuarantinePolicy, RetryPolicy, SlowWindow,
+};
 use crate::pilot::{PhaseBreakdown, PilotConfig};
 use crate::profiler::UtilizationReport;
 use crate::resources::Allocation;
@@ -56,7 +58,7 @@ use crate::states::{StateCell, TaskState};
 use crate::task::{TaskDescription, TaskId, TaskWork};
 use impress_sim::{EventId, EventQueue, SimDuration, SimRng, SimTime, Slab, SlotId};
 use impress_telemetry::{track, SpanCat, SpanId, Stamp, Telemetry};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// A simulation event. `Copy`, six machine words: scheduling one costs a
@@ -77,6 +79,12 @@ enum Ev {
     Crash { node: u32 },
     /// A crashed node recovers.
     Recover { node: u32 },
+    /// A hedge check: if the armed attempt is still running, place a
+    /// speculative duplicate. Stale deliveries are suppressed by the
+    /// `attempt` comparison, exactly like [`Ev::Complete`].
+    HedgeCheck { task: u64, attempt: u32 },
+    /// A hedge duplicate reaches its modeled end and wins the race.
+    HedgeWin { task: u64, attempt: u32 },
 }
 
 /// Queue payload: global sequence number (the deterministic merge key,
@@ -121,6 +129,8 @@ struct Task {
     spans: TaskSpans,
     /// Slab handle of the current running attempt, if placed.
     running: Option<SlotId>,
+    /// Whether a hedged duplicate was ever placed for this task.
+    hedged: bool,
 }
 
 /// A placed attempt: everything needed to complete, evict, or waste it.
@@ -132,6 +142,19 @@ struct Running {
     setup: SimDuration,
     outcome: Planned,
     /// Where the completion event lives, for cancellation on eviction.
+    shard: usize,
+    event: EventId,
+}
+
+/// A live hedge duplicate (at most one per task).
+struct HedgeRun {
+    /// The main attempt number this duplicate shadows.
+    attempt: u32,
+    alloc: Allocation,
+    started: SimTime,
+    setup: SimDuration,
+    /// Where the [`Ev::HedgeWin`] event lives, for cancellation when the
+    /// main attempt settles first.
     shard: usize,
     event: EventId,
 }
@@ -157,6 +180,9 @@ struct AggregateUtil {
     retries: usize,
     wasted_core_seconds: f64,
     wasted_gpu_seconds: f64,
+    hedges: usize,
+    hedge_wasted_core_seconds: f64,
+    hedge_wasted_gpu_seconds: f64,
 }
 
 impl AggregateUtil {
@@ -174,6 +200,9 @@ impl AggregateUtil {
             retries: 0,
             wasted_core_seconds: 0.0,
             wasted_gpu_seconds: 0.0,
+            hedges: 0,
+            hedge_wasted_core_seconds: 0.0,
+            hedge_wasted_gpu_seconds: 0.0,
         }
     }
 
@@ -213,6 +242,21 @@ impl AggregateUtil {
         self.retries += 1;
     }
 
+    fn note_hedge(&mut self) {
+        self.hedges += 1;
+    }
+
+    /// End a hedge loser's occupancy, booking it into the hedge-waste
+    /// pools (kept apart from retry waste in the report).
+    fn hedge_waste(&mut self, alloc: &Allocation, started: SimTime, at: SimTime) {
+        self.tick(at);
+        self.busy_cores -= alloc.core_ids.len() as u64;
+        self.busy_gpus -= alloc.gpu_ids.len() as u64;
+        let secs = at.since(started).as_secs_f64();
+        self.hedge_wasted_core_seconds += secs * alloc.core_ids.len() as f64;
+        self.hedge_wasted_gpu_seconds += secs * alloc.gpu_ids.len() as f64;
+    }
+
     fn report(&self, end: SimTime) -> UtilizationReport {
         let end_us = end.as_micros() as f64;
         let tail = end.since(self.last).as_micros() as u128;
@@ -234,6 +278,9 @@ impl AggregateUtil {
             retries: self.retries,
             wasted_core_seconds: self.wasted_core_seconds,
             wasted_gpu_seconds: self.wasted_gpu_seconds,
+            hedges: self.hedges,
+            hedge_wasted_core_seconds: self.hedge_wasted_core_seconds,
+            hedge_wasted_gpu_seconds: self.hedge_wasted_gpu_seconds,
         }
     }
 }
@@ -393,6 +440,21 @@ pub struct ShardedBackend {
     /// Scratch: queue-wait samples for one placement round, flushed via
     /// a single batched histogram observation.
     queue_waits: Vec<f64>,
+    /// Hedged speculative execution policy (`None` = off, a strict no-op).
+    hedge: Option<HedgePolicy>,
+    /// Poison-task quarantine policy (`None` = off, a strict no-op).
+    quarantine: Option<QuarantinePolicy>,
+    /// Per-node slowdown windows; empty when no slowdowns are configured.
+    slow: Vec<Vec<SlowWindow>>,
+    /// Shape-class runtime estimates from useful completions:
+    /// `(cores, gpus) → (completions, total span micros)`.
+    estimates: HashMap<(u32, u32), (u64, u128)>,
+    /// Live hedge duplicates, keyed by task id (at most one per task).
+    hedge_running: HashMap<u64, HedgeRun>,
+    /// Distinct nodes each task has failed on (quarantine only).
+    failed_nodes: HashMap<u64, Vec<u32>>,
+    /// Poisoned lineage count per shape class (quarantine breaker).
+    shape_poison: HashMap<(u32, u32), u32>,
 }
 
 impl ShardedBackend {
@@ -414,9 +476,17 @@ impl ShardedBackend {
             telemetry,
             shards,
             parallel_shards,
+            hedge,
+            quarantine,
             ..
         } = runtime;
         let nshards = shards.max(1);
+        // Per-node slowdown schedules, realized once — the same
+        // `fork_idx("node-slow", n)` draws as the sequential backend, so
+        // both engines see identical windows.
+        let slow: Vec<Vec<SlowWindow>> = (0..config.nodes)
+            .map(|n| faults.slowdown_windows(n))
+            .collect();
         let backoff_rng = SimRng::from_seed(config.seed).fork("retry-backoff");
         // Bootstrap completes at a known instant: record its span up front.
         let boot = telemetry.span(
@@ -461,6 +531,13 @@ impl ShardedBackend {
             config,
             batch: Vec::new(),
             queue_waits: Vec::new(),
+            hedge,
+            quarantine,
+            slow,
+            estimates: HashMap::new(),
+            hedge_running: HashMap::new(),
+            failed_nodes: HashMap::new(),
+            shape_poison: HashMap::new(),
         };
         // Event construction order mirrors the sequential engine exactly:
         // bootstrap first, then each node's crash/recover windows — so
@@ -613,6 +690,8 @@ impl ShardedBackend {
             Ev::Requeue { task } => self.requeue(task, now),
             Ev::Crash { node } => self.crash(node, now),
             Ev::Recover { node } => self.recover(node, now),
+            Ev::HedgeCheck { task, attempt } => self.hedge_check(task, attempt, now),
+            Ev::HedgeWin { task, attempt } => self.hedge_win(task, attempt, now),
         }
     }
 
@@ -631,6 +710,9 @@ impl ShardedBackend {
             .as_mut()
             .expect("running task has a record")
             .running = None;
+        // A live hedge duplicate lost the race to this settlement (or
+        // shares the attempt's failure): cancel it first.
+        self.settle_hedge_loser(task, true, now);
         match run.outcome {
             Planned::Finish => {
                 self.finish_task(TaskId(task), run.alloc, run.started, now, run.setup);
@@ -641,9 +723,10 @@ impl ShardedBackend {
                     Planned::TimedOut(limit) => TaskError::TimedOut { limit },
                     Planned::Finish => unreachable!("finish handled above"),
                 };
+                let node = run.alloc.node;
                 self.util.waste(&run.alloc, run.started, now);
                 self.scheduler.release_owned(run.alloc);
-                self.fail_attempt(TaskId(task), err, run.started, now);
+                self.fail_attempt(TaskId(task), err, run.started, now, node);
             }
         }
         self.place_ready(now);
@@ -684,6 +767,22 @@ impl ShardedBackend {
         };
         self.util
             .finish(&alloc, started, now, task.gpu_busy_fraction);
+        let mut warmed = None;
+        if let Some(policy) = self.hedge {
+            let shape = (task.request.cores, task.request.gpus);
+            let e = self.estimates.entry(shape).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += now.since(started).as_micros() as u128;
+            // Exactly the completion that makes the estimate usable:
+            // attempts of this shape placed while it was cold were never
+            // armed for a hedge check, so arm them below.
+            if e.0 == (policy.min_samples as u64).max(1) {
+                warmed = Some(shape);
+            }
+        }
+        if self.quarantine.is_some() {
+            self.failed_nodes.remove(&id.0);
+        }
         self.scheduler.release_owned(alloc);
         self.breakdown
             .record_task(setup, now.since(started + setup));
@@ -718,14 +817,57 @@ impl ShardedBackend {
             started,
             finished: now,
             attempts: task.attempts,
+            hedged: task.hedged,
         });
+        if let Some(shape) = warmed {
+            self.arm_warm_hedges(shape, now);
+        }
+    }
+
+    /// A shape class's runtime estimate just became usable: attempts of
+    /// the shape placed while it was cold fell back to their own span
+    /// (threshold ≥ span) and were never armed, so a first-wave straggler
+    /// would otherwise run unhedged forever. Arm a check for every running
+    /// attempt of the shape at the instant its elapsed time crosses the
+    /// threshold. Checks re-validate at fire time, so arming is idempotent;
+    /// ids are sorted for a deterministic event order across engines.
+    fn arm_warm_hedges(&mut self, shape: (u32, u32), now: SimTime) {
+        let Some(policy) = self.hedge else {
+            return;
+        };
+        let threshold = self
+            .hedge_estimate(shape, SimDuration::ZERO, policy.min_samples)
+            .mul_f64(policy.threshold);
+        if threshold == SimDuration::ZERO {
+            return;
+        }
+        let mut arms: Vec<(u64, SimDuration, u32)> = self
+            .running
+            .iter()
+            .filter_map(|(_, run)| {
+                let task = self.tasks[run.task as usize].as_ref()?;
+                if (task.request.cores, task.request.gpus) != shape
+                    || self.hedge_running.contains_key(&run.task)
+                {
+                    return None;
+                }
+                let elapsed = now.since(run.started);
+                let wait = threshold.as_micros().saturating_sub(elapsed.as_micros());
+                Some((run.task, SimDuration::from_micros(wait.max(1)), task.attempts))
+            })
+            .collect();
+        arms.sort_unstable_by_key(|&(id, _, _)| id);
+        for (task, delay, attempt) in arms {
+            self.schedule(now + delay, Ev::HedgeCheck { task, attempt });
+        }
     }
 
     /// End a failed attempt: retry within budget (after backoff, via a
-    /// requeue event), or surface the error as a terminal completion. The
-    /// attempt's slots must already be released/forfeited and its waste
-    /// booked by the caller.
-    fn fail_attempt(&mut self, id: TaskId, err: TaskError, started: SimTime, now: SimTime) {
+    /// requeue event), or surface the error as a terminal completion.
+    /// `node` is where the attempt failed (quarantine tracks distinct
+    /// failing nodes per task). The attempt's slots must already be
+    /// released/forfeited and its waste booked by the caller.
+    fn fail_attempt(&mut self, id: TaskId, err: TaskError, started: SimTime, now: SimTime, node: u32) {
         if self.telemetry.enabled() {
             let tele = self.telemetry.clone();
             let at = Stamp::virt(now);
@@ -743,12 +885,25 @@ impl ShardedBackend {
             tele.end(spans.attempt, at);
         }
         let retry = self.retry;
+        // Quarantine: record the failing node. A task failing on enough
+        // *distinct* nodes is poisoned — the input, not the hardware, is
+        // the likely culprit, and retrying it elsewhere is pure waste.
+        let poisoned = match self.quarantine {
+            Some(q) => {
+                let nodes = self.failed_nodes.entry(id.0).or_default();
+                if !nodes.contains(&node) {
+                    nodes.push(node);
+                }
+                nodes.len() as u32 >= q.distinct_nodes
+            }
+            None => false,
+        };
         let attempt = {
             let task = self.tasks[id.0 as usize]
                 .as_mut()
                 .expect("failed task has a record");
             task.state.advance(TaskState::Executing);
-            if task.attempts < retry.max_retries {
+            if !poisoned && task.attempts < retry.max_retries {
                 task.attempts += 1;
                 task.state.advance(TaskState::Scheduling);
                 Some(task.attempts)
@@ -770,6 +925,52 @@ impl ShardedBackend {
                     .expect("failed task has a record");
                 task.state.advance(TaskState::Failed);
                 self.in_flight -= 1;
+                let distinct = self
+                    .failed_nodes
+                    .remove(&id.0)
+                    .map(|v| v.len() as u32)
+                    .unwrap_or(0);
+                let err = if poisoned {
+                    // Poison verdict: bump the shape class's breaker count
+                    // and surface a typed terminal error.
+                    let shape = (task.request.cores, task.request.gpus);
+                    let count = {
+                        let c = self.shape_poison.entry(shape).or_insert(0);
+                        *c += 1;
+                        *c
+                    };
+                    if self.telemetry.enabled() {
+                        let tele = self.telemetry.clone();
+                        let at = Stamp::virt(now);
+                        tele.instant(
+                            SpanCat::Quarantine,
+                            "poisoned",
+                            task.spans.task,
+                            track::task(id.0),
+                            at,
+                            &[("distinct_nodes", distinct as i64)],
+                        );
+                        if self
+                            .quarantine
+                            .is_some_and(|q| q.shape_trip > 0 && count == q.shape_trip)
+                        {
+                            tele.instant(
+                                SpanCat::Quarantine,
+                                "circuit-open",
+                                SpanId::NONE,
+                                track::FAULT,
+                                at,
+                                &[("cores", shape.0 as i64), ("gpus", shape.1 as i64)],
+                            );
+                        }
+                        tele.count("tasks_poisoned", 1);
+                    }
+                    TaskError::Poisoned {
+                        distinct_nodes: distinct,
+                    }
+                } else {
+                    err
+                };
                 if self.telemetry.enabled() {
                     let tele = self.telemetry.clone();
                     let at = Stamp::virt(now);
@@ -785,8 +986,209 @@ impl ShardedBackend {
                     started,
                     finished: now,
                     attempts: task.attempts,
+                    hedged: task.hedged,
                 });
             }
+        }
+    }
+
+    /// The hedging threshold base for a shape class: the running mean of
+    /// useful completion spans once `min_samples` have been observed, the
+    /// attempt's own modeled span until then. Integer-microsecond mean, so
+    /// both deterministic engines agree bit-for-bit.
+    fn hedge_estimate(
+        &self,
+        shape: (u32, u32),
+        fallback: SimDuration,
+        min_samples: u32,
+    ) -> SimDuration {
+        match self.estimates.get(&shape) {
+            Some(&(n, total)) if n >= min_samples as u64 => {
+                SimDuration::from_micros((total / n as u128) as u64)
+            }
+            _ => fallback,
+        }
+    }
+
+    /// A hedge-check event: if the attempt it was armed for is still
+    /// running, place a speculative duplicate on a different node. The
+    /// duplicate models a clean run — it draws *no* randomness, so the
+    /// fault stream is identical with and without hedging — and whichever
+    /// copy settles first wins; the loser's occupancy is booked as hedge
+    /// waste. Mirrors the sequential engine statement for statement.
+    fn hedge_check(&mut self, task: u64, attempt: u32, now: SimTime) {
+        let Some(policy) = self.hedge else {
+            return;
+        };
+        // Re-validate: the attempt may have settled or been superseded by a
+        // retry since the check was armed, or an earlier re-arm already
+        // placed a duplicate.
+        let probe = match self.tasks[task as usize].as_ref() {
+            Some(t) if t.attempts == attempt && !self.hedge_running.contains_key(&task) => t
+                .running
+                .and_then(|slot| self.running.get(slot))
+                .map(|run| (t.request, run.alloc.node, t.kind, t.duration, t.walltime)),
+            _ => None,
+        };
+        let Some((request, main_node, kind, duration, walltime)) = probe else {
+            return;
+        };
+        let setup = self.exec_setup.saturating_add(kind.launch_overhead());
+        // A node where the duplicate's own modeled span would cross the
+        // straggler threshold cannot rescue anyone — a copy racing at the
+        // same degraded pace loses to its head start. Skip such nodes (the
+        // freed cores of an already-rescued straggler's node are the common
+        // case) and keep probing the next-best allocation.
+        let threshold = self
+            .hedge_estimate(
+                (request.cores, request.gpus),
+                setup.saturating_add(duration),
+                policy.min_samples,
+            )
+            .mul_f64(policy.threshold);
+        let mut avoid = vec![main_node];
+        let (alloc, span) = loop {
+            let Some(alloc) = self.scheduler.alloc_avoiding(&request, &avoid) else {
+                // No useful capacity off the straggler's node: re-arm after
+                // roughly one estimated runtime instead of polling every
+                // event.
+                let est = self.hedge_estimate(
+                    (request.cores, request.gpus),
+                    SimDuration::from_micros(1),
+                    policy.min_samples,
+                );
+                let delay = std::cmp::max(est, SimDuration::from_micros(1));
+                self.schedule(now + delay, Ev::HedgeCheck { task, attempt });
+                return;
+            };
+            let span = dilate_span(
+                &self.slow[alloc.node as usize],
+                now,
+                setup.saturating_add(duration),
+            );
+            if span > threshold {
+                avoid.push(alloc.node);
+                self.scheduler.release_owned(alloc);
+                continue;
+            }
+            break (alloc, span);
+        };
+        if walltime.is_some_and(|limit| limit < span) {
+            // The duplicate could only time out on its own walltime — not a
+            // useful hedge. Give the slots back and stand down.
+            self.scheduler.release_owned(alloc);
+            return;
+        }
+        self.tasks[task as usize]
+            .as_mut()
+            .expect("hedged task has a record")
+            .hedged = true;
+        self.util.note_hedge();
+        self.util.place(&alloc, now);
+        if self.telemetry.enabled() {
+            let tele = self.telemetry.clone();
+            let owner = self.tasks[task as usize]
+                .as_ref()
+                .map(|t| t.spans.attempt)
+                .unwrap_or(SpanId::NONE);
+            tele.instant(
+                SpanCat::Hedge,
+                "hedge-place",
+                owner,
+                track::task(task),
+                Stamp::virt(now),
+                &[("attempt", attempt as i64), ("node", alloc.node as i64)],
+            );
+            tele.count("hedges", 1);
+        }
+        let shard = alloc.node as usize % self.nshards;
+        let (shard, event) = self.schedule_on(shard, now + span, Ev::HedgeWin { task, attempt });
+        self.hedge_running.insert(
+            task,
+            HedgeRun {
+                attempt,
+                alloc,
+                started: now,
+                setup,
+                shard,
+                event,
+            },
+        );
+    }
+
+    /// A hedge duplicate finished first: cancel the straggling main
+    /// attempt, book its occupancy as hedge waste, and complete the task
+    /// from the duplicate's allocation. Stale deliveries — the main
+    /// settled earlier in this same instant's batch and removed the hedge
+    /// record — are dropped here, exactly where the sequential engine's
+    /// `cancel` would have suppressed them.
+    fn hedge_win(&mut self, task: u64, attempt: u32, now: SimTime) {
+        let hedge = match self.hedge_running.get(&task) {
+            Some(h) if h.attempt == attempt => {
+                self.hedge_running.remove(&task).expect("probed just above")
+            }
+            _ => return,
+        };
+        let slot = self.tasks[task as usize]
+            .as_mut()
+            .expect("hedge won for a live task")
+            .running
+            .take()
+            .expect("hedge won over a running main attempt");
+        let run = self.running.remove(slot);
+        self.cancel_event(run.shard, run.event);
+        self.util.hedge_waste(&run.alloc, run.started, now);
+        self.scheduler.release_owned(run.alloc);
+        if self.telemetry.enabled() {
+            let tele = self.telemetry.clone();
+            let owner = self.tasks[task as usize]
+                .as_ref()
+                .map(|t| t.spans.attempt)
+                .unwrap_or(SpanId::NONE);
+            tele.instant(
+                SpanCat::Hedge,
+                "hedge-win",
+                owner,
+                track::task(task),
+                Stamp::virt(now),
+                &[("node", hedge.alloc.node as i64)],
+            );
+            tele.count("hedge_wins", 1);
+        }
+        self.finish_task(TaskId(task), hedge.alloc, hedge.started, now, hedge.setup);
+        self.place_ready(now);
+    }
+
+    /// The main attempt settled (completed, failed, or was evicted) while a
+    /// hedge duplicate was still in flight: cancel the duplicate and book
+    /// its occupancy as hedge waste. `release` is false when the hedge's
+    /// own node just crashed — the drained pool is rebuilt, so forfeited
+    /// slots must not be released back into it.
+    fn settle_hedge_loser(&mut self, task: u64, release: bool, now: SimTime) {
+        let Some(hedge) = self.hedge_running.remove(&task) else {
+            return;
+        };
+        self.cancel_event(hedge.shard, hedge.event);
+        let node = hedge.alloc.node;
+        self.util.hedge_waste(&hedge.alloc, hedge.started, now);
+        if release {
+            self.scheduler.release_owned(hedge.alloc);
+        }
+        if self.telemetry.enabled() {
+            let tele = self.telemetry.clone();
+            let owner = self.tasks[task as usize]
+                .as_ref()
+                .map(|t| t.spans.attempt)
+                .unwrap_or(SpanId::NONE);
+            tele.instant(
+                SpanCat::Hedge,
+                "hedge-lose",
+                owner,
+                track::task(task),
+                Stamp::virt(now),
+                &[("node", node as i64)],
+            );
+            tele.count("hedge_losses", 1);
         }
     }
 
@@ -846,6 +1248,21 @@ impl ShardedBackend {
             );
             self.telemetry.count("node_crashes", 1);
         }
+        // Hedge duplicates resident on the crashed node forfeit their
+        // slots (the drained pool is rebuilt, so nothing is released), no
+        // matter where their main attempt runs — the main keeps going.
+        {
+            let mut hedge_ids: Vec<u64> = self
+                .hedge_running
+                .iter()
+                .filter(|(_, r)| r.alloc.node == node)
+                .map(|(&i, _)| i)
+                .collect();
+            hedge_ids.sort_unstable();
+            for i in hedge_ids {
+                self.settle_hedge_loser(i, false, now);
+            }
+        }
         for (task, slot) in victims {
             let run = self.running.remove(slot);
             self.tasks[task as usize]
@@ -853,8 +1270,11 @@ impl ShardedBackend {
                 .expect("victim has a record")
                 .running = None;
             self.cancel_event(run.shard, run.event);
+            // A victim's surviving hedge (on a different node by
+            // construction) is settled normally before the attempt fails.
+            self.settle_hedge_loser(task, true, now);
             self.util.waste(&run.alloc, run.started, now);
-            self.fail_attempt(TaskId(task), TaskError::NodeCrashed { node }, run.started, now);
+            self.fail_attempt(TaskId(task), TaskError::NodeCrashed { node }, run.started, now, node);
         }
     }
 
@@ -904,8 +1324,74 @@ impl ShardedBackend {
         }
         let mut launched = 0u64;
         debug_assert!(self.queue_waits.is_empty());
-        for (id, alloc) in placements {
+        for (id, mut alloc) in placements {
             let idx = id.0 as usize;
+            // Quarantine: an open shape circuit breaker sheds the whole
+            // shape class at the placement grant — the slots go straight
+            // back and the lineage ends with a typed error instead of
+            // burning a retry ladder on a poisoned shape.
+            let request = self.tasks[idx].as_ref().expect("placed task exists").request;
+            let shape = (request.cores, request.gpus);
+            let tripped = match self.quarantine {
+                Some(q) if q.shape_trip > 0 => {
+                    self.shape_poison.get(&shape).copied().unwrap_or(0) >= q.shape_trip
+                }
+                _ => false,
+            };
+            if tripped {
+                self.scheduler.release_owned(alloc);
+                let mut task = self.tasks[idx].take().expect("placed task exists");
+                task.state.advance(TaskState::Failed);
+                self.in_flight -= 1;
+                if self.telemetry.enabled() {
+                    let tele = self.telemetry.clone();
+                    let at = Stamp::virt(now);
+                    tele.end(task.spans.queue, at);
+                    tele.instant(
+                        SpanCat::Quarantine,
+                        "shape-shed",
+                        task.spans.task,
+                        track::task(id.0),
+                        at,
+                        &[
+                            ("cores", request.cores as i64),
+                            ("gpus", request.gpus as i64),
+                        ],
+                    );
+                    tele.end(task.spans.task, at);
+                    tele.count("tasks_shed", 1);
+                    tele.gauge("in_flight", self.in_flight as f64);
+                }
+                self.completions.push_back(Completion {
+                    task: id,
+                    name: task.name,
+                    tag: task.tag,
+                    result: Err(TaskError::ShapeCircuitOpen {
+                        cores: request.cores,
+                        gpus: request.gpus,
+                    }),
+                    started: now,
+                    finished: now,
+                    attempts: task.attempts,
+                    hedged: task.hedged,
+                });
+                continue;
+            }
+            // Retry steering: a retried attempt granted a node the task
+            // already failed on is re-homed when any other node has
+            // capacity. The alternative is claimed *before* the original
+            // grant is released, so the two can never alias; with no
+            // alternative the original grant is kept (a suspect node
+            // beats no node).
+            if self.quarantine.is_some() {
+                let avoid = self.failed_nodes.get(&id.0).cloned().unwrap_or_default();
+                if avoid.contains(&alloc.node) {
+                    if let Some(alt) = self.scheduler.alloc_avoiding(&request, &avoid) {
+                        let original = std::mem::replace(&mut alloc, alt);
+                        self.scheduler.release_owned(original);
+                    }
+                }
+            }
             let (kind, duration, task_walltime, attempts) = {
                 let t = self.tasks[idx].as_ref().expect("placed task exists");
                 (t.kind, t.duration, t.walltime, t.attempts)
@@ -918,6 +1404,11 @@ impl ShardedBackend {
                 run = run.mul_f64(hang_factor);
             }
             let total = setup.saturating_add(run);
+            // Degraded-node dilation: work overlapping one of the node's
+            // slowdown windows takes `factor`× longer while inside it.
+            // Without configured slowdowns every schedule is empty and
+            // this is an exact identity.
+            let total = dilate_span(&self.slow[alloc.node as usize], now, total);
             // Walltime counts from slot grant and wins over other faults.
             let (outcome, span) = match task_walltime {
                 Some(limit) if limit < total => (Planned::TimedOut(limit), limit),
@@ -992,6 +1483,26 @@ impl ShardedBackend {
                 .as_mut()
                 .expect("placed task exists")
                 .running = Some(slot);
+            // Hedge arming: once the shape class has a runtime estimate, an
+            // attempt still running past k× that estimate gets a duplicate.
+            // The check is armed only when it could fire before the modeled
+            // completion — estimate-free shapes fall back to the attempt's
+            // own span (threshold = k × span ≥ span), so they never arm and
+            // the hedging-off path schedules nothing at all.
+            if let Some(policy) = self.hedge {
+                let threshold = self
+                    .hedge_estimate(shape, span, policy.min_samples)
+                    .mul_f64(policy.threshold);
+                if threshold < span {
+                    self.schedule(
+                        now + threshold,
+                        Ev::HedgeCheck {
+                            task: id.0,
+                            attempt: attempts,
+                        },
+                    );
+                }
+            }
         }
         if launched > 0 {
             self.telemetry.count("placements", launched);
@@ -1052,6 +1563,7 @@ impl ExecutionBackend for ShardedBackend {
             state,
             spans,
             running: None,
+            hedged: false,
         }));
         self.scheduler.enqueue_with_priority(id, request, priority);
         self.in_flight += 1;
@@ -1147,6 +1659,7 @@ impl ExecutionBackend for ShardedBackend {
             started: self.now,
             finished: self.now,
             attempts: task.attempts,
+            hedged: task.hedged,
         });
         true
     }
@@ -1155,7 +1668,7 @@ impl ExecutionBackend for ShardedBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fault::{FaultConfig, ScriptedCrash};
+    use crate::fault::{FaultConfig, ScriptedCrash, ScriptedSlowdown};
     use crate::resources::{NodeSpec, ResourceRequest};
     use crate::scheduler::PlacementPolicy;
     use impress_sim::props;
@@ -1268,13 +1781,15 @@ mod tests {
             faults: FaultPlan,
             retry: RetryPolicy,
             deadline: Option<SimTime>,
+            hedge: Option<HedgePolicy>,
+            quarantine: Option<QuarantinePolicy>,
             /// (cores, gpus, secs, priority, walltime_secs)
             descs: Vec<(u32, u32, u64, i32, Option<u64>)>,
             cancels: Vec<usize>,
         }
 
         struct Outcome {
-            completions: Vec<(u64, String, u64, u64, u32, String)>,
+            completions: Vec<(u64, String, u64, u64, u32, bool, String)>,
             end: u64,
             held: usize,
             snapshot: MetricsSnapshot,
@@ -1283,7 +1798,7 @@ mod tests {
             util: UtilizationReport,
         }
 
-        fn drive(backend: &mut dyn ExecutionBackend, c: &Campaign) -> Vec<(u64, String, u64, u64, u32, String)> {
+        fn drive(backend: &mut dyn ExecutionBackend, c: &Campaign) -> Vec<(u64, String, u64, u64, u32, bool, String)> {
             let ids: Vec<TaskId> = c
                 .descs
                 .iter()
@@ -1306,6 +1821,7 @@ mod tests {
                     done.started.as_micros(),
                     done.finished.as_micros(),
                     done.attempts,
+                    done.hedged,
                     format!("{:?}", done.result.map(|_| ())),
                 ));
             }
@@ -1319,6 +1835,12 @@ mod tests {
                 .telemetry(telemetry.clone());
             if let Some(d) = c.deadline {
                 rt = rt.deadline(d);
+            }
+            if let Some(h) = c.hedge {
+                rt = rt.hedge(h);
+            }
+            if let Some(q) = c.quarantine {
+                rt = rt.quarantine(q);
             }
             let mut backend = make(rt);
             let completions = drive(backend.as_mut(), c);
@@ -1361,6 +1883,23 @@ mod tests {
                         });
                     }
                 }
+                // Gray failures: scripted and stochastic slowdown windows.
+                if rng.below(3) == 0 {
+                    for _ in 0..1 + rng.below(2) {
+                        fc.scripted_slowdowns.push(ScriptedSlowdown {
+                            node: rng.below(nodes as usize) as u32,
+                            at: SimTime::from_micros((30 + rng.below(1500) as u64) * 1_000_000),
+                            duration: SimDuration::from_secs(60 + rng.below(900) as u64),
+                            factor: 2.0 + rng.below(18) as f64,
+                        });
+                    }
+                }
+                if rng.below(4) == 0 {
+                    fc.node_slowdown_mtbf = Some(SimDuration::from_secs(600 + rng.below(3600) as u64));
+                    fc.slowdown_duration = SimDuration::from_secs(60 + rng.below(600) as u64);
+                    fc.slowdown_factor = 2.0 + rng.below(10) as f64;
+                    fc.max_slowdowns_per_node = 1 + rng.below(3) as u32;
+                }
                 let mut descs = Vec::new();
                 for _ in 0..1 + rng.below(25) {
                     descs.push((
@@ -1393,6 +1932,22 @@ mod tests {
                     },
                     deadline: if rng.below(4) == 0 {
                         Some(SimTime::from_micros((500 + rng.below(3000) as u64) * 1_000_000))
+                    } else {
+                        None
+                    },
+                    hedge: if rng.below(2) == 0 {
+                        Some(HedgePolicy {
+                            threshold: 1.5 + rng.below(4) as f64 * 0.5,
+                            min_samples: 1 + rng.below(4) as u32,
+                        })
+                    } else {
+                        None
+                    },
+                    quarantine: if rng.below(2) == 0 {
+                        Some(
+                            QuarantinePolicy::distinct(2 + rng.below(2) as u32)
+                                .with_shape_trip(rng.below(3) as u32),
+                        )
                     } else {
                         None
                     },
@@ -1429,6 +1984,9 @@ mod tests {
                 assert_eq!(a.retries, b.retries);
                 assert!((a.wasted_core_seconds - b.wasted_core_seconds).abs() < 1e-6);
                 assert!((a.wasted_gpu_seconds - b.wasted_gpu_seconds).abs() < 1e-6);
+                assert_eq!(a.hedges, b.hedges, "hedge count diverged");
+                assert!((a.hedge_wasted_core_seconds - b.hedge_wasted_core_seconds).abs() < 1e-6);
+                assert!((a.hedge_wasted_gpu_seconds - b.hedge_wasted_gpu_seconds).abs() < 1e-6);
 
                 // Parallel drive: same routine on worker threads ⇒ identical
                 // in every observable, bit for bit.

@@ -23,7 +23,9 @@
 //! event-for-event identical to an uninstrumented one.
 
 use crate::backend::{Completion, ExecutionBackend, TaskError};
-use crate::fault::{AttemptFault, FaultPlan, RetryPolicy};
+use crate::fault::{
+    dilate_span, AttemptFault, FaultPlan, HedgePolicy, QuarantinePolicy, RetryPolicy, SlowWindow,
+};
 use crate::pilot::{PhaseBreakdown, PilotConfig};
 use crate::profiler::{Profiler, UtilizationReport};
 use crate::resources::{Allocation, ResourceRequest};
@@ -63,6 +65,8 @@ struct PendingTask {
     attempts: u32,
     work: Option<TaskWork>,
     state: StateCell,
+    /// Whether a hedged duplicate was ever placed for this task.
+    hedged: bool,
 }
 
 /// A placed attempt: enough to evict it when its node crashes.
@@ -98,9 +102,38 @@ struct Shared {
     place_event_pending: bool,
     telemetry: Telemetry,
     spans: HashMap<u64, TaskSpans>,
+    /// Hedged speculative execution policy (`None` = off, a strict no-op).
+    hedge: Option<HedgePolicy>,
+    /// Poison-task quarantine policy (`None` = off, a strict no-op).
+    quarantine: Option<QuarantinePolicy>,
+    /// Per-node slowdown windows; empty when no slowdowns are configured.
+    slow: Vec<Vec<SlowWindow>>,
+    /// Shape-class runtime estimates from useful completions:
+    /// `(cores, gpus) → (completions, total span micros)`. Only maintained
+    /// while hedging is on.
+    estimates: HashMap<(u32, u32), (u64, u128)>,
+    /// Live hedge duplicates, keyed by task id (at most one per task).
+    hedge_running: HashMap<u64, RunningAttempt>,
+    /// Distinct nodes each task has failed on (quarantine only).
+    failed_nodes: HashMap<u64, Vec<u32>>,
+    /// Poisoned lineage count per shape class (quarantine breaker).
+    shape_poison: HashMap<(u32, u32), u32>,
 }
 
 impl Shared {
+    /// The hedging threshold base for a shape class: the running mean of
+    /// useful completion spans once `min_samples` have been observed, the
+    /// attempt's own modeled span until then. Integer-microsecond mean, so
+    /// both deterministic engines agree bit-for-bit.
+    fn hedge_estimate(&self, shape: (u32, u32), fallback: SimDuration, min_samples: u32) -> SimDuration {
+        match self.estimates.get(&shape) {
+            Some(&(n, total)) if n >= min_samples as u64 => {
+                SimDuration::from_micros((total / n as u128) as u64)
+            }
+            _ => fallback,
+        }
+    }
+
     fn finish_task(
         &mut self,
         id: TaskId,
@@ -108,7 +141,7 @@ impl Shared {
         started: SimTime,
         now: SimTime,
         setup: SimDuration,
-    ) {
+    ) -> Option<(u32, u32)> {
         let mut task = self.pending.remove(&id.0).expect("task record exists");
         task.state.advance(TaskState::Executing);
         let result = match task.work.take() {
@@ -141,6 +174,22 @@ impl Shared {
             now,
             task.gpu_busy_fraction,
         );
+        let mut warmed = None;
+        if let Some(policy) = self.hedge {
+            let shape = (task.request.cores, task.request.gpus);
+            let e = self.estimates.entry(shape).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += now.since(started).as_micros() as u128;
+            // Exactly the completion that makes the estimate usable:
+            // attempts of this shape placed while it was cold were never
+            // armed for a hedge check, so the caller arms them now.
+            if e.0 == (policy.min_samples as u64).max(1) {
+                warmed = Some(shape);
+            }
+        }
+        if self.quarantine.is_some() {
+            self.failed_nodes.remove(&id.0);
+        }
         self.scheduler.release_owned(alloc);
         self.breakdown
             .record_task(setup, now.since(started + setup));
@@ -177,7 +226,9 @@ impl Shared {
             started,
             finished: now,
             attempts: task.attempts,
+            hedged: task.hedged,
         });
+        warmed
     }
 }
 
@@ -213,8 +264,16 @@ impl SimulatedBackend {
             retry,
             deadline,
             telemetry,
+            hedge,
+            quarantine,
             ..
         } = runtime;
+        // Per-node slowdown schedules, realized once. Without configured
+        // slowdowns every schedule is empty and `dilate_span` is an exact
+        // identity — no events, no randomness, no arithmetic change.
+        let slow: Vec<Vec<SlowWindow>> = (0..config.nodes)
+            .map(|n| faults.slowdown_windows(n))
+            .collect();
         let backoff_rng = SimRng::from_seed(config.seed).fork("retry-backoff");
         // The bootstrap phase completes at a known virtual instant, so its
         // span can be recorded up front, before the engine even starts.
@@ -249,6 +308,13 @@ impl SimulatedBackend {
             place_event_pending: false,
             telemetry,
             spans: HashMap::new(),
+            hedge,
+            quarantine,
+            slow,
+            estimates: HashMap::new(),
+            hedge_running: HashMap::new(),
+            failed_nodes: HashMap::new(),
+            shape_poison: HashMap::new(),
         }));
         let mut engine = Engine::new();
         // Bootstrap completion event: mark ready and place anything queued.
@@ -333,8 +399,80 @@ impl SimulatedBackend {
             }
             placements
         };
-        for (id, alloc) in placements {
+        for (id, mut alloc) in placements {
             let now = engine.now();
+            // Quarantine: an open shape circuit breaker sheds the whole
+            // shape class at the placement grant — the slots go straight
+            // back and the lineage ends with a typed error instead of
+            // burning a retry ladder on a poisoned shape.
+            {
+                let mut sh = shared.borrow_mut();
+                let request = sh.pending.get(&id.0).expect("placed task exists").request;
+                let shape = (request.cores, request.gpus);
+                let tripped = match sh.quarantine {
+                    Some(q) if q.shape_trip > 0 => {
+                        sh.shape_poison.get(&shape).copied().unwrap_or(0) >= q.shape_trip
+                    }
+                    _ => false,
+                };
+                if tripped {
+                    sh.scheduler.release_owned(alloc);
+                    let mut task = sh.pending.remove(&id.0).expect("placed task exists");
+                    task.state.advance(TaskState::Failed);
+                    sh.in_flight -= 1;
+                    if sh.telemetry.enabled() {
+                        let tele = sh.telemetry.clone();
+                        let at = Stamp::virt(now);
+                        if let Some(spans) = sh.spans.remove(&id.0) {
+                            tele.end(spans.queue, at);
+                            tele.instant(
+                                SpanCat::Quarantine,
+                                "shape-shed",
+                                spans.task,
+                                track::task(id.0),
+                                at,
+                                &[
+                                    ("cores", request.cores as i64),
+                                    ("gpus", request.gpus as i64),
+                                ],
+                            );
+                            tele.end(spans.task, at);
+                        }
+                        tele.count("tasks_shed", 1);
+                        tele.gauge("in_flight", sh.in_flight as f64);
+                    }
+                    let attempts = task.attempts;
+                    sh.completions.push_back(Completion {
+                        task: id,
+                        name: task.name,
+                        tag: task.tag,
+                        result: Err(TaskError::ShapeCircuitOpen {
+                            cores: request.cores,
+                            gpus: request.gpus,
+                        }),
+                        started: now,
+                        finished: now,
+                        attempts,
+                        hedged: task.hedged,
+                    });
+                    continue;
+                }
+                // Retry steering: a retried attempt granted a node the task
+                // already failed on is re-homed when any other node has
+                // capacity. The alternative is claimed *before* the original
+                // grant is released, so the two can never alias; with no
+                // alternative the original grant is kept (a suspect node
+                // beats no node).
+                if sh.quarantine.is_some() {
+                    let avoid = sh.failed_nodes.get(&id.0).cloned().unwrap_or_default();
+                    if avoid.contains(&alloc.node) {
+                        if let Some(alt) = sh.scheduler.alloc_avoiding(&request, &avoid) {
+                            let original = std::mem::replace(&mut alloc, alt);
+                            sh.scheduler.release_owned(original);
+                        }
+                    }
+                }
+            }
             let (outcome, span, setup) = {
                 let mut sh = shared.borrow_mut();
                 let base_setup = sh.exec_setup;
@@ -357,6 +495,11 @@ impl SimulatedBackend {
                     run = run.mul_f64(hang_factor);
                 }
                 let total = setup.saturating_add(run);
+                // Degraded-node dilation: work overlapping one of the node's
+                // slowdown windows takes `factor`× longer while inside it.
+                // Without configured slowdowns every schedule is empty and
+                // this is an exact identity.
+                let total = dilate_span(&sh.slow[alloc.node as usize], now, total);
                 // Walltime counts from slot grant and wins over other faults.
                 let (outcome, span) = match task_walltime {
                     Some(limit) if limit < total => (Err(TaskError::TimedOut { limit }), limit),
@@ -435,17 +578,24 @@ impl SimulatedBackend {
                     .running
                     .remove(&id.0)
                     .expect("completion fired for a task no longer running");
+                // A live hedge duplicate lost the race to this settlement
+                // (or shares the attempt's failure): cancel it first.
+                Self::settle_hedge_loser(&s, eng, id, true);
                 match outcome {
                     Ok(()) => {
-                        s.borrow_mut().finish_task(id, run.alloc, now, at, setup);
+                        let warmed = s.borrow_mut().finish_task(id, run.alloc, now, at, setup);
+                        if let Some(shape) = warmed {
+                            Self::arm_warm_hedges(&s, eng, shape);
+                        }
                     }
                     Err(err) => {
+                        let node = run.alloc.node;
                         {
                             let mut sh = s.borrow_mut();
                             sh.profiler.attempt_wasted(&run.alloc, now, at);
                             sh.scheduler.release_owned(run.alloc);
                         }
-                        Self::fail_attempt(&s, eng, id, err, now);
+                        Self::fail_attempt(&s, eng, id, err, now, node);
                     }
                 }
                 Self::place_ready(&s, eng);
@@ -458,19 +608,283 @@ impl SimulatedBackend {
                     started: now,
                 },
             );
+            // Hedge arming: once the shape class has a runtime estimate, an
+            // attempt still running past k× that estimate gets a duplicate.
+            // The check is armed only when it could fire before the modeled
+            // completion — estimate-free shapes fall back to the attempt's
+            // own span (threshold = k × span ≥ span), so they never arm and
+            // the hedging-off path schedules nothing at all.
+            let hedge_arm = {
+                let sh = shared.borrow();
+                sh.hedge.and_then(|policy| {
+                    let task = sh.pending.get(&id.0).expect("placed task exists");
+                    let shape = (task.request.cores, task.request.gpus);
+                    let threshold = sh
+                        .hedge_estimate(shape, span, policy.min_samples)
+                        .mul_f64(policy.threshold);
+                    (threshold < span).then(|| (threshold, task.attempts))
+                })
+            };
+            if let Some((delay, attempt)) = hedge_arm {
+                let s = shared.clone();
+                engine.schedule_in(delay, move |eng| Self::hedge_check(&s, eng, id, attempt));
+            }
+        }
+    }
+
+    /// A shape class's runtime estimate just became usable: attempts of
+    /// the shape placed while it was cold fell back to their own span
+    /// (threshold ≥ span) and were never armed, so a first-wave straggler
+    /// would otherwise run unhedged forever. Arm a check for every running
+    /// attempt of the shape at the instant its elapsed time crosses the
+    /// threshold. Checks re-validate at fire time, so arming is idempotent;
+    /// ids are sorted for a deterministic event order across engines.
+    fn arm_warm_hedges(shared: &Rc<RefCell<Shared>>, engine: &mut Engine, shape: (u32, u32)) {
+        let now = engine.now();
+        let arms = {
+            let sh = shared.borrow();
+            let Some(policy) = sh.hedge else {
+                return;
+            };
+            let threshold = sh
+                .hedge_estimate(shape, SimDuration::ZERO, policy.min_samples)
+                .mul_f64(policy.threshold);
+            if threshold == SimDuration::ZERO {
+                return;
+            }
+            let mut arms: Vec<(u64, SimDuration, u32)> = sh
+                .running
+                .iter()
+                .filter_map(|(&id, run)| {
+                    let task = sh.pending.get(&id)?;
+                    if (task.request.cores, task.request.gpus) != shape
+                        || sh.hedge_running.contains_key(&id)
+                    {
+                        return None;
+                    }
+                    let elapsed = now.since(run.started);
+                    let wait = threshold.as_micros().saturating_sub(elapsed.as_micros());
+                    Some((id, SimDuration::from_micros(wait.max(1)), task.attempts))
+                })
+                .collect();
+            arms.sort_unstable_by_key(|&(id, _, _)| id);
+            arms
+        };
+        for (id, delay, attempt) in arms {
+            let s = shared.clone();
+            engine.schedule_in(delay, move |eng| Self::hedge_check(&s, eng, TaskId(id), attempt));
+        }
+    }
+
+    /// A hedge-check event: if the attempt it was armed for is still
+    /// running, place a speculative duplicate on a different node. The
+    /// duplicate models a clean run — it draws *no* randomness, so the
+    /// fault stream is identical with and without hedging — and whichever
+    /// copy settles first wins; the loser's occupancy is booked as hedge
+    /// waste.
+    fn hedge_check(shared: &Rc<RefCell<Shared>>, engine: &mut Engine, id: TaskId, attempt: u32) {
+        let now = engine.now();
+        let Some(policy) = shared.borrow().hedge else {
+            return;
+        };
+        // Re-validate: the attempt may have settled or been superseded by a
+        // retry since the check was armed, or an earlier re-arm already
+        // placed a duplicate.
+        let probe = {
+            let sh = shared.borrow();
+            match (sh.running.get(&id.0), sh.pending.get(&id.0)) {
+                (Some(run), Some(task))
+                    if task.attempts == attempt && !sh.hedge_running.contains_key(&id.0) =>
+                {
+                    Some((task.request, run.alloc.node, task.kind, task.duration, task.walltime))
+                }
+                _ => None,
+            }
+        };
+        let Some((request, main_node, kind, duration, walltime)) = probe else {
+            return;
+        };
+        let setup = shared
+            .borrow()
+            .exec_setup
+            .saturating_add(kind.launch_overhead());
+        // A node where the duplicate's own modeled span would cross the
+        // straggler threshold cannot rescue anyone — a copy racing at the
+        // same degraded pace loses to its head start. Skip such nodes (the
+        // freed cores of an already-rescued straggler's node are the common
+        // case) and keep probing the next-best allocation.
+        let threshold = shared
+            .borrow()
+            .hedge_estimate(
+                (request.cores, request.gpus),
+                setup.saturating_add(duration),
+                policy.min_samples,
+            )
+            .mul_f64(policy.threshold);
+        let mut avoid = vec![main_node];
+        let (alloc, span) = loop {
+            let alloc = shared
+                .borrow_mut()
+                .scheduler
+                .alloc_avoiding(&request, &avoid);
+            let Some(alloc) = alloc else {
+                // No useful capacity off the straggler's node: re-arm after
+                // roughly one estimated runtime instead of polling every
+                // event.
+                let est = shared.borrow().hedge_estimate(
+                    (request.cores, request.gpus),
+                    SimDuration::from_micros(1),
+                    policy.min_samples,
+                );
+                let delay = std::cmp::max(est, SimDuration::from_micros(1));
+                let s = shared.clone();
+                engine.schedule_in(delay, move |eng| Self::hedge_check(&s, eng, id, attempt));
+                return;
+            };
+            let span = {
+                let sh = shared.borrow();
+                dilate_span(&sh.slow[alloc.node as usize], now, setup.saturating_add(duration))
+            };
+            if span > threshold {
+                avoid.push(alloc.node);
+                shared.borrow_mut().scheduler.release_owned(alloc);
+                continue;
+            }
+            break (alloc, span);
+        };
+        if walltime.is_some_and(|limit| limit < span) {
+            // The duplicate could only time out on its own walltime — not a
+            // useful hedge. Give the slots back and stand down.
+            shared.borrow_mut().scheduler.release_owned(alloc);
+            return;
+        }
+        {
+            let mut sh = shared.borrow_mut();
+            sh.pending
+                .get_mut(&id.0)
+                .expect("hedged task has a record")
+                .hedged = true;
+            sh.profiler.note_hedge();
+            sh.profiler.task_started(&alloc, now);
+            if sh.telemetry.enabled() {
+                let tele = sh.telemetry.clone();
+                let owner = sh.spans.get(&id.0).map(|s| s.attempt).unwrap_or(SpanId::NONE);
+                tele.instant(
+                    SpanCat::Hedge,
+                    "hedge-place",
+                    owner,
+                    track::task(id.0),
+                    Stamp::virt(now),
+                    &[("attempt", attempt as i64), ("node", alloc.node as i64)],
+                );
+                tele.count("hedges", 1);
+            }
+        }
+        let s = shared.clone();
+        let handle = engine.schedule_in(span, move |eng| Self::hedge_win(&s, eng, id, setup));
+        shared.borrow_mut().hedge_running.insert(
+            id.0,
+            RunningAttempt {
+                handle,
+                alloc,
+                started: now,
+            },
+        );
+    }
+
+    /// A hedge duplicate finished first: cancel the straggling main
+    /// attempt, book its occupancy as hedge waste, and complete the task
+    /// from the duplicate's allocation.
+    fn hedge_win(shared: &Rc<RefCell<Shared>>, engine: &mut Engine, id: TaskId, setup: SimDuration) {
+        let at = engine.now();
+        let hedge = shared
+            .borrow_mut()
+            .hedge_running
+            .remove(&id.0)
+            .expect("hedge completion fired for a live hedge");
+        let main = shared
+            .borrow_mut()
+            .running
+            .remove(&id.0)
+            .expect("hedge won over a running main attempt");
+        engine.cancel(main.handle);
+        {
+            let mut sh = shared.borrow_mut();
+            sh.profiler.attempt_hedge_wasted(&main.alloc, main.started, at);
+            sh.scheduler.release_owned(main.alloc);
+            if sh.telemetry.enabled() {
+                let tele = sh.telemetry.clone();
+                let owner = sh.spans.get(&id.0).map(|s| s.attempt).unwrap_or(SpanId::NONE);
+                tele.instant(
+                    SpanCat::Hedge,
+                    "hedge-win",
+                    owner,
+                    track::task(id.0),
+                    Stamp::virt(at),
+                    &[("node", hedge.alloc.node as i64)],
+                );
+                tele.count("hedge_wins", 1);
+            }
+        }
+        let warmed = shared
+            .borrow_mut()
+            .finish_task(id, hedge.alloc, hedge.started, at, setup);
+        if let Some(shape) = warmed {
+            Self::arm_warm_hedges(shared, engine, shape);
+        }
+        Self::place_ready(shared, engine);
+    }
+
+    /// The main attempt settled (completed, failed, or was evicted) while a
+    /// hedge duplicate was still in flight: cancel the duplicate and book
+    /// its occupancy as hedge waste. `release` is false when the hedge's
+    /// own node just crashed — the drained pool is rebuilt, so forfeited
+    /// slots must not be released back into it.
+    fn settle_hedge_loser(
+        shared: &Rc<RefCell<Shared>>,
+        engine: &mut Engine,
+        id: TaskId,
+        release: bool,
+    ) {
+        let hedge = shared.borrow_mut().hedge_running.remove(&id.0);
+        let Some(hedge) = hedge else {
+            return;
+        };
+        let at = engine.now();
+        engine.cancel(hedge.handle);
+        let node = hedge.alloc.node;
+        let mut sh = shared.borrow_mut();
+        sh.profiler.attempt_hedge_wasted(&hedge.alloc, hedge.started, at);
+        if release {
+            sh.scheduler.release_owned(hedge.alloc);
+        }
+        if sh.telemetry.enabled() {
+            let tele = sh.telemetry.clone();
+            let owner = sh.spans.get(&id.0).map(|s| s.attempt).unwrap_or(SpanId::NONE);
+            tele.instant(
+                SpanCat::Hedge,
+                "hedge-lose",
+                owner,
+                track::task(id.0),
+                Stamp::virt(at),
+                &[("node", node as i64)],
+            );
+            tele.count("hedge_losses", 1);
         }
     }
 
     /// End a failed attempt: retry within budget (after backoff, via the
     /// requeue transition), or surface the error as a terminal completion.
-    /// The attempt's slots must already be released/forfeited and its waste
-    /// booked by the caller.
+    /// `node` is where the attempt failed (quarantine tracks distinct
+    /// failing nodes per task). The attempt's slots must already be
+    /// released/forfeited and its waste booked by the caller.
     fn fail_attempt(
         shared: &Rc<RefCell<Shared>>,
         engine: &mut Engine,
         id: TaskId,
         err: TaskError,
         started: SimTime,
+        node: u32,
     ) {
         let now = engine.now();
         let mut sh = shared.borrow_mut();
@@ -496,9 +910,22 @@ impl SimulatedBackend {
             }
         }
         let retry = sh.retry;
+        // Quarantine: record the failing node. A task failing on enough
+        // *distinct* nodes is poisoned — the input, not the hardware, is
+        // the likely culprit, and retrying it elsewhere is pure waste.
+        let poisoned = match sh.quarantine {
+            Some(q) => {
+                let nodes = sh.failed_nodes.entry(id.0).or_default();
+                if !nodes.contains(&node) {
+                    nodes.push(node);
+                }
+                nodes.len() as u32 >= q.distinct_nodes
+            }
+            None => false,
+        };
         let task = sh.pending.get_mut(&id.0).expect("failed task has a record");
         task.state.advance(TaskState::Executing);
-        if task.attempts < retry.max_retries {
+        if !poisoned && task.attempts < retry.max_retries {
             task.attempts += 1;
             let attempt = task.attempts;
             task.state.advance(TaskState::Scheduling);
@@ -538,6 +965,53 @@ impl SimulatedBackend {
             let mut task = sh.pending.remove(&id.0).expect("failed task has a record");
             task.state.advance(TaskState::Failed);
             sh.in_flight -= 1;
+            let distinct = sh
+                .failed_nodes
+                .remove(&id.0)
+                .map(|v| v.len() as u32)
+                .unwrap_or(0);
+            let err = if poisoned {
+                // Poison verdict: bump the shape class's breaker count and
+                // surface a typed terminal error.
+                let shape = (task.request.cores, task.request.gpus);
+                let count = {
+                    let c = sh.shape_poison.entry(shape).or_insert(0);
+                    *c += 1;
+                    *c
+                };
+                if sh.telemetry.enabled() {
+                    let tele = sh.telemetry.clone();
+                    let at = Stamp::virt(now);
+                    let owner = sh.spans.get(&id.0).map(|s| s.task).unwrap_or(SpanId::NONE);
+                    tele.instant(
+                        SpanCat::Quarantine,
+                        "poisoned",
+                        owner,
+                        track::task(id.0),
+                        at,
+                        &[("distinct_nodes", distinct as i64)],
+                    );
+                    if sh
+                        .quarantine
+                        .is_some_and(|q| q.shape_trip > 0 && count == q.shape_trip)
+                    {
+                        tele.instant(
+                            SpanCat::Quarantine,
+                            "circuit-open",
+                            SpanId::NONE,
+                            track::FAULT,
+                            at,
+                            &[("cores", shape.0 as i64), ("gpus", shape.1 as i64)],
+                        );
+                    }
+                    tele.count("tasks_poisoned", 1);
+                }
+                TaskError::Poisoned {
+                    distinct_nodes: distinct,
+                }
+            } else {
+                err
+            };
             if sh.telemetry.enabled() {
                 let tele = sh.telemetry.clone();
                 let at = Stamp::virt(now);
@@ -555,6 +1029,7 @@ impl SimulatedBackend {
                 started,
                 finished: now,
                 attempts: task.attempts,
+                hedged: task.hedged,
             });
         }
     }
@@ -597,8 +1072,27 @@ impl SimulatedBackend {
                 sh.telemetry.count("node_crashes", 1);
             }
         }
+        // Hedge duplicates resident on the crashed node forfeit their
+        // slots (the drained pool is rebuilt, so nothing is released), no
+        // matter where their main attempt runs — the main keeps going.
+        {
+            let mut hedge_ids: Vec<u64> = shared
+                .borrow()
+                .hedge_running
+                .iter()
+                .filter(|(_, r)| r.alloc.node == node)
+                .map(|(&i, _)| i)
+                .collect();
+            hedge_ids.sort_unstable();
+            for i in hedge_ids {
+                Self::settle_hedge_loser(shared, engine, TaskId(i), false);
+            }
+        }
         for (id, attempt) in victims {
             engine.cancel(attempt.handle);
+            // A victim's surviving hedge (on a different node by
+            // construction) is settled normally before the attempt fails.
+            Self::settle_hedge_loser(shared, engine, TaskId(id), true);
             shared
                 .borrow_mut()
                 .profiler
@@ -609,6 +1103,7 @@ impl SimulatedBackend {
                 TaskId(id),
                 TaskError::NodeCrashed { node },
                 attempt.started,
+                node,
             );
         }
     }
@@ -709,6 +1204,7 @@ impl ExecutionBackend for SimulatedBackend {
                     attempts: 0,
                     work: desc.work,
                     state,
+                    hedged: false,
                 },
             );
             sh.profiler.task_submitted(id, now);
@@ -817,6 +1313,7 @@ impl ExecutionBackend for SimulatedBackend {
             started: self.engine.now(),
             finished: self.engine.now(),
             attempts,
+            hedged: task.hedged,
         });
         true
     }
@@ -1016,7 +1513,7 @@ mod tests {
         assert_eq!(run(), run());
     }
 
-    use crate::fault::{FaultConfig, ScriptedCrash};
+    use crate::fault::{FaultConfig, ScriptedCrash, ScriptedSlowdown};
 
     fn no_backoff(retries: u32) -> RetryPolicy {
         RetryPolicy {
@@ -1305,5 +1802,145 @@ mod tests {
         b.submit(task("t", 2, 0, 100_000));
         assert!(b.next_completion().is_some());
         assert_eq!(b.held_tasks(), 0);
+    }
+
+    #[test]
+    fn scripted_slowdown_dilates_the_modeled_clock() {
+        // A factor-3 window covering the whole run stretches setup + work
+        // (10 s + 50 s) to 180 s; bootstrap is unaffected.
+        let plan = FaultPlan::new(
+            FaultConfig {
+                scripted_slowdowns: vec![ScriptedSlowdown {
+                    node: 0,
+                    at: SimTime::ZERO,
+                    duration: SimDuration::from_secs(1_000_000),
+                    factor: 3.0,
+                }],
+                ..FaultConfig::none()
+            },
+            0,
+        );
+        let mut b = RuntimeConfig::new(config(1, 0))
+            .faults(plan, RetryPolicy::none())
+            .simulated();
+        b.submit(task("t", 1, 0, 50));
+        let c = b.next_completion().unwrap();
+        assert!(c.result.is_ok());
+        assert_eq!(c.started, SimTime::from_micros(100_000_000));
+        assert_eq!(c.finished, SimTime::from_micros(280_000_000));
+    }
+
+    #[test]
+    fn hedged_duplicate_rescues_a_straggler_and_books_waste() {
+        // Two 1-core nodes. Two warmups prime the (1,0) estimate at 60 s
+        // (setup 10 + run 50); then node 0 degrades 20× from t=200 s. The
+        // victim placed on node 0 dilates to a 440 s span, crosses the
+        // 2×60 s hedge threshold at t=280 s, and the duplicate on node 1
+        // finishes at t=340 s — rescuing 420 s of straggler tail.
+        let plan = FaultPlan::new(
+            FaultConfig {
+                scripted_slowdowns: vec![ScriptedSlowdown {
+                    node: 0,
+                    at: SimTime::from_micros(200_000_000),
+                    duration: SimDuration::from_secs(1_000_000),
+                    factor: 20.0,
+                }],
+                ..FaultConfig::none()
+            },
+            0,
+        );
+        let mut b = RuntimeConfig::new(PilotConfig {
+            nodes: 2,
+            ..config(1, 0)
+        })
+        .faults(plan, RetryPolicy::none())
+        .hedge(HedgePolicy {
+            threshold: 2.0,
+            min_samples: 1,
+        })
+        .simulated();
+        b.submit(task("warm-a", 1, 0, 50));
+        b.submit(task("warm-b", 1, 0, 50));
+        while b.in_flight() > 0 {
+            assert!(b.next_completion().unwrap().result.is_ok());
+        }
+        b.submit(task("victim-a", 1, 0, 50));
+        b.submit(task("victim-b", 1, 0, 50));
+        let mut done = Vec::new();
+        while let Some(c) = b.next_completion() {
+            assert!(c.result.is_ok());
+            done.push(c);
+        }
+        assert_eq!(done.len(), 2);
+        let rescued = done.iter().find(|c| c.hedged).expect("one hedged task");
+        assert_eq!(rescued.finished, SimTime::from_micros(340_000_000));
+        let unhedged = done.iter().find(|c| !c.hedged).unwrap();
+        assert_eq!(unhedged.finished, SimTime::from_micros(220_000_000));
+        let util = b.utilization();
+        assert_eq!(util.hedges, 1);
+        // The losing main attempt occupied node 0 from 160 s to the 340 s
+        // hedge win: 180 core-seconds of hedge waste, no retry waste.
+        assert!((util.hedge_wasted_core_seconds - 180.0).abs() < 1e-9);
+        assert_eq!(util.retries, 0);
+        assert_eq!(util.wasted_core_seconds, 0.0);
+    }
+
+    #[test]
+    fn quarantine_poisons_after_distinct_node_failures() {
+        // Every attempt fails; quarantine cuts the 5-retry budget short the
+        // moment the lineage has failed on 2 distinct nodes.
+        let plan = FaultPlan::new(
+            FaultConfig {
+                task_failure_rate: 1.0,
+                ..FaultConfig::none()
+            },
+            0,
+        );
+        let mut b = RuntimeConfig::new(PilotConfig {
+            nodes: 2,
+            ..config(1, 0)
+        })
+        .faults(plan, no_backoff(5))
+        .quarantine(QuarantinePolicy::distinct(2))
+        .simulated();
+        b.submit(task("poison", 1, 0, 50));
+        let c = b.next_completion().unwrap();
+        match c.result {
+            Err(TaskError::Poisoned { distinct_nodes }) => assert_eq!(distinct_nodes, 2),
+            ref other => panic!("expected a poison verdict, got {other:?}"),
+        }
+        assert_eq!(c.attempts, 1, "verdict after exactly distinct_nodes attempts");
+    }
+
+    #[test]
+    fn shape_circuit_breaker_sheds_the_shape_class() {
+        // One poisoned (1,0) lineage trips the breaker; the next (1,0) task
+        // is shed at the placement grant with a typed error and zero span.
+        let plan = FaultPlan::new(
+            FaultConfig {
+                task_failure_rate: 1.0,
+                ..FaultConfig::none()
+            },
+            0,
+        );
+        let mut b = RuntimeConfig::new(PilotConfig {
+            nodes: 2,
+            ..config(1, 0)
+        })
+        .faults(plan, no_backoff(5))
+        .quarantine(QuarantinePolicy::distinct(2).with_shape_trip(1))
+        .simulated();
+        b.submit(task("poison", 1, 0, 50));
+        let first = b.next_completion().unwrap();
+        assert!(matches!(first.result, Err(TaskError::Poisoned { .. })));
+        b.submit(task("shed", 1, 0, 50));
+        let second = b.next_completion().unwrap();
+        match second.result {
+            Err(TaskError::ShapeCircuitOpen { cores, gpus }) => {
+                assert_eq!((cores, gpus), (1, 0));
+            }
+            ref other => panic!("expected the breaker to shed, got {other:?}"),
+        }
+        assert_eq!(second.started, second.finished, "shed tasks never run");
     }
 }

@@ -45,7 +45,7 @@
 //! to the simulated backend's.
 
 use crate::backend::{Completion, ExecutionBackend, TaskError};
-use crate::fault::{AttemptFault, FaultPlan, RetryPolicy};
+use crate::fault::{dilate_span, AttemptFault, FaultPlan, RetryPolicy, SlowWindow};
 use crate::pilot::{PhaseBreakdown, PilotConfig};
 use crate::profiler::{Profiler, UtilizationReport};
 use crate::resources::{Allocation, ResourceRequest};
@@ -55,11 +55,19 @@ use crate::sync::{channel, Receiver, RecvTimeoutError, Sender};
 use crate::task::{TaskDescription, TaskId, TaskKind, TaskOutput, TaskWork};
 use impress_sim::{SimDuration, SimRng, SimTime};
 use impress_telemetry::{track, SpanCat, SpanId, Stamp, Telemetry};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Lock a mutex, recovering the guard when the mutex is poisoned. A worker
+/// that panicked while holding one of the backend's locks has its panic
+/// captured and surfaced as a task error elsewhere; propagating the poison
+/// here would wedge every later lock site behind a second, unrelated panic.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Everything the scheduler keeps per submitted-but-unfinished task; travels
 /// back to the scheduler when an attempt fails so it can be resubmitted.
@@ -107,26 +115,24 @@ enum Msg {
         /// Queue span opened client-side ([`SpanId::NONE`] when off).
         queue_span: SpanId,
     },
-    /// The worker committed and produced a terminal result.
+    /// The worker committed and produced a terminal result. `hedge` is
+    /// true when the committing worker was a speculative duplicate.
     WorkerDone {
         id: TaskId,
         alloc: Allocation,
         started: SimTime,
         incarnation: u64,
-        name: String,
-        tag: String,
-        gpu_busy_fraction: f64,
-        attempts: u32,
+        hedge: bool,
         result: Result<Option<TaskOutput>, TaskError>,
     },
     /// The attempt ended before its work ran (injected fault, walltime
-    /// expiry, or node-crash preemption): the spec comes back for retry.
+    /// expiry, or node-crash preemption); the scheduler still owns the
+    /// spec and applies the retry policy.
     AttemptFailed {
         id: TaskId,
         alloc: Allocation,
         started: SimTime,
         incarnation: u64,
-        spec: TaskSpec,
         err: TaskError,
     },
     /// The worker observed the cancel-requested flag and backed out.
@@ -135,9 +141,15 @@ enum Msg {
         alloc: Allocation,
         started: SimTime,
         incarnation: u64,
-        name: String,
-        tag: String,
-        attempts: u32,
+    },
+    /// One side of a hedged pair lost the race (or was preempted) and
+    /// backed out without committing; its occupancy is hedge waste.
+    HedgeLost {
+        id: TaskId,
+        alloc: Allocation,
+        started: SimTime,
+        incarnation: u64,
+        hedge: bool,
     },
     Cancel {
         id: TaskId,
@@ -145,9 +157,9 @@ enum Msg {
     Shutdown,
 }
 
-/// Scheduler-thread timers: retry backoffs and the node fault schedule.
-/// Each carries the virtual instant it models so telemetry can stamp the
-/// resulting events on the virtual clock.
+/// Scheduler-thread timers: retry backoffs, the node fault schedule, and
+/// hedge checks. Each fault timer carries the virtual instant it models so
+/// telemetry can stamp the resulting events on the virtual clock.
 enum Timer {
     Retry {
         id: TaskId,
@@ -156,6 +168,8 @@ enum Timer {
     },
     Crash(u32, SimTime),
     Recover(u32, SimTime),
+    /// Re-check a possibly-straggling attempt for hedging.
+    HedgeCheck { id: TaskId, attempt: u32 },
 }
 
 /// Cancellation handshake state, shared between the client thread (cancel),
@@ -165,6 +179,38 @@ struct TaskStatus {
     cancel_requested: bool,
     committed: bool,
     terminal: bool,
+    /// Set by the scheduler when the main attempt settles while its hedge
+    /// duplicate is still sleeping: a fenced hedge can never commit, so
+    /// the retry ladder safely reclaims the shared work closure.
+    hedge_fenced: bool,
+}
+
+/// Scheduler-thread bookkeeping for a live hedge duplicate.
+struct HedgeMeta {
+    alloc: Allocation,
+    started: SimTime,
+    incarnation: u64,
+    token: Arc<SleepToken>,
+    /// Modeled virtual window of the duplicate.
+    start_vt: SimTime,
+    end_vt: SimTime,
+}
+
+/// The hedging threshold base for a shape class: the running mean of
+/// useful completion virtual spans once `min_samples` have been observed,
+/// the attempt's own modeled span until then.
+fn shape_estimate(
+    estimates: &HashMap<(u32, u32), (u64, u128)>,
+    shape: (u32, u32),
+    fallback: SimDuration,
+    min_samples: u32,
+) -> SimDuration {
+    match estimates.get(&shape) {
+        Some(&(n, total)) if n >= min_samples as u64 => {
+            SimDuration::from_micros((total / n as u128) as u64)
+        }
+        _ => fallback,
+    }
 }
 
 type StatusMap = Arc<Mutex<HashMap<u64, TaskStatus>>>;
@@ -185,14 +231,14 @@ impl SleepToken {
     }
 
     fn preempt(&self) {
-        *self.preempted.lock().expect("sleep token lock") = true;
+        *lock_recover(&self.preempted) = true;
         self.cv.notify_all();
     }
 
     /// Sleep up to `dur`; returns `false` if preempted first.
     fn sleep(&self, dur: Duration) -> bool {
         let deadline = Instant::now() + dur;
-        let mut flag = self.preempted.lock().expect("sleep token lock");
+        let mut flag = lock_recover(&self.preempted);
         loop {
             if *flag {
                 return false;
@@ -204,7 +250,7 @@ impl SleepToken {
             let (guard, _) = self
                 .cv
                 .wait_timeout(flag, deadline - now)
-                .expect("sleep token lock");
+                .unwrap_or_else(PoisonError::into_inner);
             flag = guard;
         }
     }
@@ -294,6 +340,8 @@ impl ThreadedBackend {
             deadline,
             time_scale,
             telemetry,
+            hedge,
+            quarantine,
             ..
         } = runtime;
         let (tx, rx) = channel::<Msg>();
@@ -362,6 +410,27 @@ impl ThreadedBackend {
                 );
                 let mut backoff_rng = SimRng::from_seed(config.seed).fork("retry-backoff");
                 let mut waiting: HashMap<u64, TaskSpec> = HashMap::new();
+                // Per-node slowdown windows (empty when unconfigured: every
+                // dilation below is then an exact identity).
+                let slow: Vec<Vec<SlowWindow>> = (0..config.nodes)
+                    .map(|n| faults.slowdown_windows(n))
+                    .collect();
+                // Specs of placed tasks, plus the shared work closure a
+                // hedged pair races for. The spec stays here (not on the
+                // worker) so retries and hedges can both reach it.
+                let mut executing: HashMap<u64, (TaskSpec, Arc<Mutex<Option<TaskWork>>>)> =
+                    HashMap::new();
+                // Live hedge duplicates, keyed by task id (at most one each).
+                let mut hedges: HashMap<u64, HedgeMeta> = HashMap::new();
+                // Shape-class virtual-runtime estimates from useful
+                // completions (hedging only).
+                let mut estimates: HashMap<(u32, u32), (u64, u128)> = HashMap::new();
+                // Distinct nodes each task has failed on (quarantine only).
+                let mut failed_nodes: HashMap<u64, Vec<u32>> = HashMap::new();
+                // Poisoned lineage count per shape class (quarantine breaker).
+                let mut shape_poison: HashMap<(u32, u32), u32> = HashMap::new();
+                // Tasks that ever had a hedge duplicate placed.
+                let mut hedged_tasks: HashSet<u64> = HashSet::new();
                 // Per-device virtual-free watermarks: device `d` of node `n`
                 // is globally `n * (cores + gpus) + d` (cores first). A
                 // placement's modeled virtual start is the max over its
@@ -411,7 +480,7 @@ impl ThreadedBackend {
                     SimTime::from_micros(epoch.elapsed().as_micros() as u64)
                 };
                 let deliver = |c: Completion, vt_end: SimTime| {
-                    if let Some(s) = thread_statuses.lock().expect("status lock").get_mut(&c.task.0)
+                    if let Some(s) = lock_recover(&thread_statuses).get_mut(&c.task.0)
                     {
                         s.terminal = true;
                     }
@@ -431,9 +500,7 @@ impl ThreadedBackend {
                     }
                 };
                 let cancel_requested = |id: TaskId| {
-                    thread_statuses
-                        .lock()
-                        .expect("status lock")
+                    lock_recover(&thread_statuses)
                         .get(&id.0)
                         .is_some_and(|s| s.cancel_requested)
                 };
@@ -474,13 +541,25 @@ impl ThreadedBackend {
                                 // already stale from an earlier crash were
                                 // closed by that crash.
                                 let at = now(epoch);
-                                let mut st = thread_state.lock().expect("state lock");
+                                let mut st = lock_recover(&thread_state);
                                 for (_, (alloc, started, _, token)) in running
                                     .iter()
                                     .filter(|(_, (a, _, inc, _))| a.node == n && *inc == live)
                                 {
                                     st.profiler.attempt_wasted(alloc, *started, at);
                                     token.preempt();
+                                }
+                                // Hedge duplicates resident on the crashed
+                                // node forfeit their slots too, no matter
+                                // where their main attempt runs; the stale
+                                // incarnation in their HedgeLost message
+                                // skips the double booking.
+                                for (_, h) in hedges
+                                    .iter()
+                                    .filter(|(_, h)| h.alloc.node == n && h.incarnation == live)
+                                {
+                                    st.profiler.attempt_hedge_wasted(&h.alloc, h.started, at);
+                                    h.token.preempt();
                                 }
                             }
                             Timer::Recover(n, recover_vt) => {
@@ -526,6 +605,7 @@ impl ThreadedBackend {
                                             started: at,
                                             finished: at,
                                             attempts: spec.attempts,
+                                            hedged: hedged_tasks.remove(&id.0),
                                         },
                                         vcan,
                                     );
@@ -553,6 +633,172 @@ impl ThreadedBackend {
                                     waiting.insert(id.0, spec);
                                 }
                             }
+                            Timer::HedgeCheck { id, attempt } => {
+                                // Re-validate: the attempt may have settled
+                                // or been superseded since the check was
+                                // armed, or an earlier re-arm already placed
+                                // a duplicate.
+                                let probe = match (running.get(&id.0), executing.get(&id.0)) {
+                                    (Some((alloc, ..)), Some((spec, work)))
+                                        if spec.attempts == attempt
+                                            && !hedges.contains_key(&id.0) =>
+                                    {
+                                        Some((
+                                            spec.request,
+                                            alloc.node,
+                                            spec.kind,
+                                            spec.duration,
+                                            spec.walltime,
+                                            work.clone(),
+                                        ))
+                                    }
+                                    _ => None,
+                                };
+                                let Some((request, main_node, kind, duration, walltime, work)) =
+                                    probe
+                                else {
+                                    continue;
+                                };
+                                let policy = hedge.expect("hedge checks only arm with a policy");
+                                // The duplicate models a clean run: exec
+                                // setup + launch overhead + undilated run,
+                                // stretched by the hedge node's slowdowns.
+                                let hsetup = exec_setup.saturating_add(kind.launch_overhead());
+                                // A node where the duplicate's own modeled
+                                // span would cross the straggler threshold
+                                // cannot rescue anyone — a copy racing at
+                                // the same degraded pace loses to its head
+                                // start. Skip such nodes and keep probing
+                                // the next-best allocation.
+                                let hthreshold = shape_estimate(
+                                    &estimates,
+                                    (request.cores, request.gpus),
+                                    hsetup.saturating_add(duration),
+                                    policy.min_samples,
+                                )
+                                .mul_f64(policy.threshold);
+                                let mut avoid = vec![main_node];
+                                let (halloc, v_place, hspan) = loop {
+                                    let Some(halloc) =
+                                        scheduler.alloc_avoiding(&request, &avoid)
+                                    else {
+                                        // No useful capacity off the
+                                        // straggler's node: re-arm after
+                                        // roughly one estimated runtime
+                                        // instead of polling.
+                                        let est = shape_estimate(
+                                            &estimates,
+                                            (request.cores, request.gpus),
+                                            SimDuration::from_micros(1),
+                                            policy.min_samples,
+                                        );
+                                        let wait = Duration::from_secs_f64(
+                                            est.as_secs_f64() * time_scale,
+                                        )
+                                        .max(Duration::from_millis(1));
+                                        timers.push((
+                                            Instant::now() + wait,
+                                            Timer::HedgeCheck { id, attempt },
+                                        ));
+                                        break (None, SimTime::ZERO, SimDuration::ZERO);
+                                    };
+                                    let devs = dev_ids(&halloc);
+                                    let mut v_place = vt_now();
+                                    for &d in &devs {
+                                        if vt_free[d] > v_place {
+                                            v_place = vt_free[d];
+                                        }
+                                    }
+                                    let hspan = dilate_span(
+                                        &slow[halloc.node as usize],
+                                        v_place,
+                                        hsetup.saturating_add(duration),
+                                    );
+                                    if hspan > hthreshold {
+                                        scheduler.release(&halloc);
+                                        avoid.push(halloc.node);
+                                        continue;
+                                    }
+                                    break (Some(halloc), v_place, hspan);
+                                };
+                                let Some(halloc) = halloc else {
+                                    continue;
+                                };
+                                if walltime.is_some_and(|limit| limit < hspan) {
+                                    // The duplicate could only time out on
+                                    // its own walltime — not a useful hedge.
+                                    scheduler.release(&halloc);
+                                    continue;
+                                }
+                                let v_end = v_place + hspan;
+                                for &d in &dev_ids(&halloc) {
+                                    vt_free[d] = v_end;
+                                }
+                                // Un-fence: a fresh duplicate may commit.
+                                lock_recover(&thread_statuses)
+                                    .entry(id.0)
+                                    .or_default()
+                                    .hedge_fenced = false;
+                                let started = now(epoch);
+                                let incarnation = node_incarnation[halloc.node as usize];
+                                let token = Arc::new(SleepToken::new());
+                                {
+                                    let mut st = lock_recover(&thread_state);
+                                    st.profiler.note_hedge();
+                                    st.profiler.task_started(&halloc, started);
+                                }
+                                hedged_tasks.insert(id.0);
+                                if tele.enabled() {
+                                    let owner = vspans
+                                        .get(&id.0)
+                                        .map(|v| v.attempt)
+                                        .unwrap_or(SpanId::NONE);
+                                    tele.instant(
+                                        SpanCat::Hedge,
+                                        "hedge-place",
+                                        owner,
+                                        track::task(id.0),
+                                        Stamp::dual(v_place, started.as_micros()),
+                                        &[
+                                            ("attempt", attempt as i64),
+                                            ("node", halloc.node as i64),
+                                        ],
+                                    );
+                                    tele.count("hedges", 1);
+                                }
+                                hedges.insert(
+                                    id.0,
+                                    HedgeMeta {
+                                        alloc: halloc.clone(),
+                                        started,
+                                        incarnation,
+                                        token: token.clone(),
+                                        start_vt: v_place,
+                                        end_vt: v_end,
+                                    },
+                                );
+                                let done_tx = worker_tx.clone();
+                                let statuses = thread_statuses.clone();
+                                std::thread::Builder::new()
+                                    .name(format!("pilot-hedge-{}", id.0))
+                                    .spawn(move || {
+                                        run_attempt(
+                                            id,
+                                            halloc,
+                                            started,
+                                            incarnation,
+                                            work,
+                                            hspan,
+                                            None,
+                                            true,
+                                            time_scale,
+                                            &token,
+                                            &statuses,
+                                            &done_tx,
+                                        );
+                                    })
+                                    .expect("spawn hedge worker thread");
+                            }
                         }
                     }
                     // Place everything that fits now — BEFORE blocking on the
@@ -578,12 +824,79 @@ impl ThreadedBackend {
                         tele.count("placement_rounds", 1);
                         tele.gauge("queue_depth", scheduler.queue_len() as f64);
                     }
-                    for (id, alloc) in placements {
-                        let spec = waiting.remove(&id.0).expect("placed task was submitted");
+                    for (id, mut alloc) in placements {
+                        let mut spec = waiting.remove(&id.0).expect("placed task was submitted");
+                        // Quarantine: an open shape circuit breaker sheds
+                        // the whole shape class at the placement grant.
+                        let shape = (spec.request.cores, spec.request.gpus);
+                        let tripped = match quarantine {
+                            Some(q) if q.shape_trip > 0 => {
+                                shape_poison.get(&shape).copied().unwrap_or(0) >= q.shape_trip
+                            }
+                            _ => false,
+                        };
+                        if tripped {
+                            scheduler.release(&alloc);
+                            let at = now(epoch);
+                            let vshed = vt_now();
+                            if tele.enabled() {
+                                let st = Stamp::dual(vshed, at.as_micros());
+                                if let Some(vs) = vspans.remove(&id.0) {
+                                    tele.end(vs.queue, st);
+                                    tele.instant(
+                                        SpanCat::Quarantine,
+                                        "shape-shed",
+                                        vs.task,
+                                        track::task(id.0),
+                                        st,
+                                        &[
+                                            ("cores", shape.0 as i64),
+                                            ("gpus", shape.1 as i64),
+                                        ],
+                                    );
+                                    tele.end(vs.task, st);
+                                }
+                                tele.count("tasks_shed", 1);
+                            } else {
+                                vspans.remove(&id.0);
+                            }
+                            deliver(
+                                Completion {
+                                    task: id,
+                                    name: spec.name,
+                                    tag: spec.tag,
+                                    result: Err(TaskError::ShapeCircuitOpen {
+                                        cores: shape.0,
+                                        gpus: shape.1,
+                                    }),
+                                    started: at,
+                                    finished: at,
+                                    attempts: spec.attempts,
+                                    hedged: hedged_tasks.remove(&id.0),
+                                },
+                                vshed,
+                            );
+                            continue;
+                        }
+                        // Retry steering: re-home a retried attempt granted
+                        // a node the task already failed on, when any other
+                        // node has capacity. The alternative is claimed
+                        // before the original grant is released.
+                        if quarantine.is_some() {
+                            let avoid = failed_nodes.get(&id.0).cloned().unwrap_or_default();
+                            if avoid.contains(&alloc.node) {
+                                if let Some(alt) = scheduler.alloc_avoiding(&spec.request, &avoid)
+                                {
+                                    let original = std::mem::replace(&mut alloc, alt);
+                                    scheduler.release(&original);
+                                }
+                            }
+                        }
                         // Modeled virtual window of this attempt: the same
                         // arithmetic the simulated backend runs at placement
                         // (setup = exec setup + launch overhead; hang faults
-                        // dilate the run; walltime caps the span).
+                        // dilate the run; slowdown windows stretch the span;
+                        // walltime caps it).
                         let devs = dev_ids(&alloc);
                         let mut v_place = vspans
                             .get(&id.0)
@@ -602,9 +915,10 @@ impl ThreadedBackend {
                             vrun = vrun.mul_f64(hang_factor);
                         }
                         let vtotal = setup.saturating_add(vrun);
-                        let vspan = match spec.walltime {
-                            Some(limit) if limit < vtotal => limit,
-                            _ => vtotal,
+                        let vtotal = dilate_span(&slow[alloc.node as usize], v_place, vtotal);
+                        let (vspan, timed_out) = match spec.walltime {
+                            Some(limit) if limit < vtotal => (limit, true),
+                            _ => (vtotal, false),
                         };
                         let v_end = v_place + vspan;
                         // Walltime-aware drain: hold any attempt whose scaled
@@ -679,27 +993,48 @@ impl ThreadedBackend {
                             tele.count("placements", 1);
                         }
                         let started = now(epoch);
-                        thread_state
-                            .lock()
-                            .expect("state lock")
+                        lock_recover(&thread_state)
                             .profiler
                             .task_started(&alloc, started);
                         let incarnation = node_incarnation[alloc.node as usize];
                         let token = Arc::new(SleepToken::new());
                         running.insert(id.0, (alloc.clone(), started, incarnation, token.clone()));
+                        // Realize the fault plan's verdict here (walltime
+                        // wins over other faults, as in the simulated
+                        // backend); the worker just sleeps out the span and
+                        // reports it.
+                        let fail = if timed_out {
+                            Some(TaskError::TimedOut {
+                                limit: spec.walltime.expect("timed_out implies a limit"),
+                            })
+                        } else if fault == AttemptFault::Transient {
+                            Some(TaskError::Injected)
+                        } else {
+                            None
+                        };
+                        // The work closure moves into a shared cell: the
+                        // attempt and a possible hedge duplicate race for it
+                        // at their commit points, and a fenced retry ladder
+                        // reclaims it.
+                        let work = Arc::new(Mutex::new(spec.work.take()));
+                        let attempts = spec.attempts;
+                        executing.insert(id.0, (spec, work.clone()));
                         let done_tx = worker_tx.clone();
                         let statuses = thread_statuses.clone();
+                        let walloc = alloc.clone();
+                        let wwork = work.clone();
                         std::thread::Builder::new()
                             .name(format!("pilot-worker-{}", id.0))
                             .spawn(move || {
                                 run_attempt(
                                     id,
-                                    alloc,
+                                    walloc,
                                     started,
                                     incarnation,
-                                    spec,
-                                    fault,
-                                    hang_factor,
+                                    wwork,
+                                    vspan,
+                                    fail,
+                                    false,
                                     time_scale,
                                     &token,
                                     &statuses,
@@ -707,6 +1042,27 @@ impl ThreadedBackend {
                                 );
                             })
                             .expect("spawn worker thread");
+                        // Hedge arming: once the shape class has a runtime
+                        // estimate, an attempt still sleeping past k× that
+                        // estimate gets a speculative duplicate. Needs real
+                        // sleeps (like node faults): at time scale 0 there
+                        // is no straggling window to hedge.
+                        if let Some(policy) = hedge {
+                            if time_scale > 0.0 {
+                                let threshold =
+                                    shape_estimate(&estimates, shape, vspan, policy.min_samples)
+                                        .mul_f64(policy.threshold);
+                                if threshold < vspan {
+                                    timers.push((
+                                        Instant::now()
+                                            + Duration::from_secs_f64(
+                                                threshold.as_secs_f64() * time_scale,
+                                            ),
+                                        Timer::HedgeCheck { id, attempt: attempts },
+                                    ));
+                                }
+                            }
+                        }
                     }
                     // Wait for the next message, but never past the next timer.
                     let msg = if timers.is_empty() {
@@ -761,13 +1117,21 @@ impl ThreadedBackend {
                                         started: at,
                                         finished: at,
                                         attempts: spec.attempts,
+                                        hedged: hedged_tasks.remove(&id.0),
                                     },
                                     vcan,
                                 );
-                            } else if let Some((_, _, _, token)) = running.get(&id.0) {
-                                // Wake the worker early; its commit check
-                                // sees the flag and backs out.
-                                token.preempt();
+                            } else {
+                                if let Some((_, _, _, token)) = running.get(&id.0) {
+                                    // Wake the worker early; its commit check
+                                    // sees the flag and backs out.
+                                    token.preempt();
+                                }
+                                if let Some(h) = hedges.get(&id.0) {
+                                    // A hedge duplicate backs out the same
+                                    // way (its HedgeLost books the waste).
+                                    h.token.preempt();
+                                }
                             }
                             // Otherwise the task is in a retry backoff (the
                             // timer checks the flag) or already racing to a
@@ -780,9 +1144,7 @@ impl ThreadedBackend {
                             task_span,
                             queue_span,
                         }) => {
-                            thread_state
-                                .lock()
-                                .expect("state lock")
+                            lock_recover(&thread_state)
                                 .profiler
                                 .task_submitted(id, now(epoch));
                             scheduler.enqueue_with_priority(id, spec.request, spec.priority);
@@ -807,13 +1169,29 @@ impl ThreadedBackend {
                             alloc,
                             started,
                             incarnation,
-                            name,
-                            tag,
-                            gpu_busy_fraction,
-                            attempts,
+                            hedge: won_by_hedge,
                             result,
                         }) => {
-                            running.remove(&id.0);
+                            let hedge_meta = if won_by_hedge {
+                                // The duplicate won: its main attempt can no
+                                // longer commit (the flag blocks it); wake
+                                // the straggler so its HedgeLost arrives
+                                // promptly and books the occupancy.
+                                if let Some((_, _, _, token)) = running.get(&id.0) {
+                                    token.preempt();
+                                }
+                                hedges.remove(&id.0)
+                            } else {
+                                running.remove(&id.0);
+                                // A live duplicate lost the race: wake it;
+                                // its HedgeLost books the hedge waste.
+                                if let Some(h) = hedges.get(&id.0) {
+                                    h.token.preempt();
+                                }
+                                None
+                            };
+                            let (spec, _work) =
+                                executing.remove(&id.0).expect("done task was placed");
                             let finished = now(epoch);
                             // A committed task outruns its node's crash: the
                             // result stands, but the drained pool must not
@@ -821,16 +1199,16 @@ impl ThreadedBackend {
                             // the device intervals (as wasted).
                             let fresh = incarnation == node_incarnation[alloc.node as usize];
                             {
-                                let mut st = thread_state.lock().expect("state lock");
+                                let mut st = lock_recover(&thread_state);
                                 if fresh {
                                     st.profiler.task_finished(
                                         id,
-                                        &name,
-                                        &tag,
+                                        &spec.name,
+                                        &spec.tag,
                                         &alloc,
                                         started,
                                         finished,
-                                        gpu_busy_fraction,
+                                        spec.gpu_busy_fraction,
                                     );
                                 }
                                 st.breakdown
@@ -840,9 +1218,95 @@ impl ThreadedBackend {
                                 scheduler.release(&alloc);
                             }
                             let vs = vspans.remove(&id.0);
-                            let v_end = vs.map(|v| v.end_vt).unwrap_or_else(vt_now);
+                            // The modeled virtual end is the winner's.
+                            let v_end = hedge_meta
+                                .as_ref()
+                                .map(|h| h.end_vt)
+                                .or(vs.map(|v| v.end_vt))
+                                .unwrap_or_else(vt_now);
+                            // Shape estimates learn from useful completions
+                            // (hedging only), on the virtual clock so all
+                            // three backends learn the same values.
+                            if let (Some(policy), true) = (hedge, result.is_ok()) {
+                                let vstart = hedge_meta
+                                    .as_ref()
+                                    .map(|h| h.start_vt)
+                                    .or(vs.map(|v| v.start_vt))
+                                    .unwrap_or(v_end);
+                                let shape = (spec.request.cores, spec.request.gpus);
+                                let e = estimates.entry(shape).or_insert((0, 0));
+                                e.0 += 1;
+                                e.1 += v_end.since(vstart).as_micros() as u128;
+                                // Exactly the completion that makes the
+                                // estimate usable: attempts of this shape
+                                // placed while it was cold were never armed
+                                // for a hedge check, so arm them now at the
+                                // instant their virtual elapsed time crosses
+                                // the threshold (mirrors the warm-up arming
+                                // of the deterministic engines). Needs real
+                                // sleeps, like placement-time arming.
+                                if e.0 == (policy.min_samples as u64).max(1) && time_scale > 0.0 {
+                                    let threshold = shape_estimate(
+                                        &estimates,
+                                        shape,
+                                        SimDuration::ZERO,
+                                        policy.min_samples,
+                                    )
+                                    .mul_f64(policy.threshold);
+                                    let vnow = vt_now();
+                                    let mut arms: Vec<(u64, SimDuration, u32)> = executing
+                                        .iter()
+                                        .filter_map(|(&tid, (espec, _))| {
+                                            if threshold == SimDuration::ZERO
+                                                || (espec.request.cores, espec.request.gpus)
+                                                    != shape
+                                                || !running.contains_key(&tid)
+                                                || hedges.contains_key(&tid)
+                                            {
+                                                return None;
+                                            }
+                                            let vstarted = vspans
+                                                .get(&tid)
+                                                .map(|v| v.start_vt)
+                                                .unwrap_or(vnow);
+                                            let wait = threshold
+                                                .as_micros()
+                                                .saturating_sub(vnow.since(vstarted).as_micros());
+                                            Some((
+                                                tid,
+                                                SimDuration::from_micros(wait.max(1)),
+                                                espec.attempts,
+                                            ))
+                                        })
+                                        .collect();
+                                    arms.sort_unstable_by_key(|&(tid, _, _)| tid);
+                                    for (tid, delay, attempt) in arms {
+                                        timers.push((
+                                            Instant::now()
+                                                + Duration::from_secs_f64(
+                                                    delay.as_secs_f64() * time_scale,
+                                                ),
+                                            Timer::HedgeCheck { id: TaskId(tid), attempt },
+                                        ));
+                                    }
+                                }
+                            }
+                            if quarantine.is_some() {
+                                failed_nodes.remove(&id.0);
+                            }
                             if tele.enabled() {
                                 let st = Stamp::dual(v_end, finished.as_micros());
+                                if won_by_hedge {
+                                    tele.instant(
+                                        SpanCat::Hedge,
+                                        "hedge-win",
+                                        vs.map(|v| v.attempt).unwrap_or(SpanId::NONE),
+                                        track::task(id.0),
+                                        st,
+                                        &[("node", alloc.node as i64)],
+                                    );
+                                    tele.count("hedge_wins", 1);
+                                }
                                 if let Some(vs) = vs {
                                     tele.end(vs.attempt, st);
                                     tele.end(vs.task, st);
@@ -866,12 +1330,13 @@ impl ThreadedBackend {
                             deliver(
                                 Completion {
                                     task: id,
-                                    name,
-                                    tag,
+                                    name: spec.name,
+                                    tag: spec.tag,
                                     result,
                                     started,
                                     finished,
-                                    attempts,
+                                    attempts: spec.attempts,
+                                    hedged: hedged_tasks.remove(&id.0),
                                 },
                                 v_end,
                             );
@@ -881,16 +1346,19 @@ impl ThreadedBackend {
                             alloc,
                             started,
                             incarnation,
-                            name,
-                            tag,
-                            attempts,
                         }) => {
                             running.remove(&id.0);
+                            // A live hedge duplicate backs out too (the
+                            // cancel flag blocks its commit); its HedgeLost
+                            // books the waste.
+                            if let Some(h) = hedges.get(&id.0) {
+                                h.token.preempt();
+                            }
+                            let (spec, _work) =
+                                executing.remove(&id.0).expect("canceled task was placed");
                             let at = now(epoch);
                             if incarnation == node_incarnation[alloc.node as usize] {
-                                thread_state
-                                    .lock()
-                                    .expect("state lock")
+                                lock_recover(&thread_state)
                                     .profiler
                                     .attempt_wasted(&alloc, started, at);
                                 scheduler.release(&alloc);
@@ -916,12 +1384,13 @@ impl ThreadedBackend {
                             deliver(
                                 Completion {
                                     task: id,
-                                    name,
-                                    tag,
+                                    name: spec.name,
+                                    tag: spec.tag,
                                     result: Err(TaskError::Canceled),
                                     started,
                                     finished: at,
-                                    attempts,
+                                    attempts: spec.attempts,
+                                    hedged: hedged_tasks.remove(&id.0),
                                 },
                                 vcan,
                             );
@@ -931,18 +1400,39 @@ impl ThreadedBackend {
                             alloc,
                             started,
                             incarnation,
-                            mut spec,
                             err,
                         }) => {
                             running.remove(&id.0);
                             let at = now(epoch);
+                            // Hedge interplay: if the duplicate already
+                            // committed, it owns the task's outcome — this
+                            // failure is absorbed and no retry fires.
+                            // Otherwise fence the duplicate (it can never
+                            // commit past the fence) and wake it, so the
+                            // retry ladder below can safely reclaim the
+                            // shared work closure.
+                            let mut absorbed = false;
+                            if let Some(h) = hedges.get(&id.0) {
+                                let fenced = {
+                                    let mut stm = lock_recover(&thread_statuses);
+                                    let s = stm.entry(id.0).or_default();
+                                    if s.committed {
+                                        absorbed = true;
+                                        false
+                                    } else {
+                                        s.hedge_fenced = true;
+                                        true
+                                    }
+                                };
+                                if fenced {
+                                    h.token.preempt();
+                                }
+                            }
                             // Stale incarnation: the crash that evicted this
                             // attempt already closed its intervals and the
                             // drained pool must not see a release.
                             if incarnation == node_incarnation[alloc.node as usize] {
-                                thread_state
-                                    .lock()
-                                    .expect("state lock")
+                                lock_recover(&thread_state)
                                     .profiler
                                     .attempt_wasted(&alloc, started, at);
                                 scheduler.release(&alloc);
@@ -978,6 +1468,13 @@ impl ThreadedBackend {
                                     tele.end(v.attempt, st);
                                 }
                             }
+                            if absorbed {
+                                // The committed duplicate will deliver; the
+                                // spec stays in `executing` for it.
+                                continue;
+                            }
+                            let (mut spec, work) =
+                                executing.remove(&id.0).expect("failed task was placed");
                             if cancel_requested(id) {
                                 if tele.enabled() {
                                     let st = Stamp::dual(v_fail, at.as_micros());
@@ -1005,16 +1502,34 @@ impl ThreadedBackend {
                                         started,
                                         finished: at,
                                         attempts: spec.attempts,
+                                        hedged: hedged_tasks.remove(&id.0),
                                     },
                                     v_fail,
                                 );
-                            } else if spec.attempts < retry.max_retries {
+                                continue;
+                            }
+                            // Quarantine: record the failing node. A task
+                            // failing on enough *distinct* nodes is poisoned
+                            // — the input, not the hardware, is the likely
+                            // culprit, and retrying it elsewhere is waste.
+                            let node = alloc.node;
+                            let poisoned = match quarantine {
+                                Some(q) => {
+                                    let nodes = failed_nodes.entry(id.0).or_default();
+                                    if !nodes.contains(&node) {
+                                        nodes.push(node);
+                                    }
+                                    nodes.len() as u32 >= q.distinct_nodes
+                                }
+                                None => false,
+                            };
+                            if !poisoned && spec.attempts < retry.max_retries {
                                 spec.attempts += 1;
-                                thread_state
-                                    .lock()
-                                    .expect("state lock")
-                                    .profiler
-                                    .note_retry();
+                                // Reclaim the shared work closure: the hedge
+                                // is fenced (or never existed), so nobody
+                                // else can take it now.
+                                spec.work = lock_recover(&work).take();
+                                lock_recover(&thread_state).profiler.note_retry();
                                 if tele.enabled() {
                                     tele.count("retries", 1);
                                 }
@@ -1030,6 +1545,55 @@ impl ThreadedBackend {
                                     },
                                 ));
                             } else {
+                                let distinct = failed_nodes
+                                    .remove(&id.0)
+                                    .map(|v| v.len() as u32)
+                                    .unwrap_or(0);
+                                let err = if poisoned {
+                                    // Poison verdict: bump the shape class's
+                                    // breaker count and surface a typed
+                                    // terminal error.
+                                    let shape = (spec.request.cores, spec.request.gpus);
+                                    let count = {
+                                        let c = shape_poison.entry(shape).or_insert(0);
+                                        *c += 1;
+                                        *c
+                                    };
+                                    if tele.enabled() {
+                                        let st = Stamp::dual(v_fail, at.as_micros());
+                                        let owner =
+                                            vspans.get(&id.0).map(|v| v.task).unwrap_or(SpanId::NONE);
+                                        tele.instant(
+                                            SpanCat::Quarantine,
+                                            "poisoned",
+                                            owner,
+                                            track::task(id.0),
+                                            st,
+                                            &[("distinct_nodes", distinct as i64)],
+                                        );
+                                        if quarantine
+                                            .is_some_and(|q| q.shape_trip > 0 && count == q.shape_trip)
+                                        {
+                                            tele.instant(
+                                                SpanCat::Quarantine,
+                                                "circuit-open",
+                                                SpanId::NONE,
+                                                track::FAULT,
+                                                st,
+                                                &[
+                                                    ("cores", shape.0 as i64),
+                                                    ("gpus", shape.1 as i64),
+                                                ],
+                                            );
+                                        }
+                                        tele.count("tasks_poisoned", 1);
+                                    }
+                                    TaskError::Poisoned {
+                                        distinct_nodes: distinct,
+                                    }
+                                } else {
+                                    err
+                                };
                                 if tele.enabled() {
                                     let st = Stamp::dual(v_fail, at.as_micros());
                                     if let Some(v) = vspans.remove(&id.0) {
@@ -1048,9 +1612,45 @@ impl ThreadedBackend {
                                         started,
                                         finished: at,
                                         attempts: spec.attempts,
+                                        hedged: hedged_tasks.remove(&id.0),
                                     },
                                     v_fail,
                                 );
+                            }
+                        }
+                        Some(Msg::HedgeLost {
+                            id,
+                            alloc,
+                            started,
+                            incarnation,
+                            hedge: was_hedge,
+                        }) => {
+                            if was_hedge {
+                                hedges.remove(&id.0);
+                            } else {
+                                running.remove(&id.0);
+                            }
+                            let at = now(epoch);
+                            // Stale incarnation: the crash that evicted this
+                            // side already booked its occupancy.
+                            if incarnation == node_incarnation[alloc.node as usize] {
+                                lock_recover(&thread_state)
+                                    .profiler
+                                    .attempt_hedge_wasted(&alloc, started, at);
+                                scheduler.release(&alloc);
+                            }
+                            if tele.enabled() {
+                                let owner =
+                                    vspans.get(&id.0).map(|v| v.attempt).unwrap_or(SpanId::NONE);
+                                tele.instant(
+                                    SpanCat::Hedge,
+                                    "hedge-lose",
+                                    owner,
+                                    track::task(id.0),
+                                    Stamp::dual(vt_now(), at.as_micros()),
+                                    &[("node", alloc.node as i64)],
+                                );
+                                tele.count("hedge_losses", 1);
                             }
                         }
                     }
@@ -1099,52 +1699,80 @@ impl ThreadedBackend {
     }
 }
 
+/// How a worker's commit point resolved.
+enum CommitOutcome {
+    /// This side owns the outcome and will deliver the result.
+    Committed,
+    /// A cancel was acknowledged before the commit point.
+    Canceled,
+    /// The racing duplicate (or a fence) got there first.
+    Lost,
+}
+
 /// One placed attempt, on its own worker thread: sleep out the (scaled)
-/// duration, realize the fault plan's verdict, then — only past the commit
-/// point — run the work closure.
+/// placement-computed span, realize the fault verdict decided at placement,
+/// then — only past the commit point — take and run the shared work closure.
+///
+/// Both a main attempt and its hedged duplicate run this body; `hedge`
+/// selects which side of the commit race this worker is. The work closure
+/// lives behind a shared `Mutex<Option<..>>` so exactly one of main, hedge,
+/// or the retry ladder can claim it.
 #[allow(clippy::too_many_arguments)]
 fn run_attempt(
     id: TaskId,
     alloc: Allocation,
     started: SimTime,
     incarnation: u64,
-    mut spec: TaskSpec,
-    fault: AttemptFault,
-    hang_factor: f64,
+    work: Arc<Mutex<Option<TaskWork>>>,
+    span: SimDuration,
+    fail: Option<TaskError>,
+    hedge: bool,
     time_scale: f64,
     token: &SleepToken,
     statuses: &StatusMap,
     done_tx: &Sender<Msg>,
 ) {
-    let mut run = spec.duration;
-    if fault == AttemptFault::Hang {
-        run = run.mul_f64(hang_factor);
-    }
-    let timed_out = spec.walltime.is_some_and(|limit| limit < run);
-    let span = match spec.walltime {
-        Some(limit) if timed_out => limit,
-        _ => run,
-    };
     let preempted = if time_scale > 0.0 {
         !token.sleep(Duration::from_secs_f64(span.as_secs_f64() * time_scale))
     } else {
         false
     };
     if preempted {
-        let canceled = statuses
-            .lock()
-            .expect("status lock")
-            .get(&id.0)
-            .is_some_and(|s| s.cancel_requested);
+        if hedge {
+            // A hedge is only ever preempted when it lost the race (fenced
+            // by a main failure, beaten by a main commit, or its node
+            // crashed — the crash handler books that occupancy itself, and
+            // the stale-incarnation guard makes the release a no-op).
+            let _ = done_tx.send(Msg::HedgeLost {
+                id,
+                alloc,
+                started,
+                incarnation,
+                hedge: true,
+            });
+            return;
+        }
+        let (canceled, committed) = {
+            let st = lock_recover(statuses);
+            st.get(&id.0)
+                .map(|s| (s.cancel_requested, s.committed))
+                .unwrap_or((false, false))
+        };
         let msg = if canceled {
             Msg::WorkerCanceled {
                 id,
                 alloc,
                 started,
                 incarnation,
-                name: spec.name,
-                tag: spec.tag,
-                attempts: spec.attempts,
+            }
+        } else if committed {
+            // The hedged duplicate won; this main attempt is the loser.
+            Msg::HedgeLost {
+                id,
+                alloc,
+                started,
+                incarnation,
+                hedge: false,
             }
         } else {
             let node = alloc.node;
@@ -1153,61 +1781,67 @@ fn run_attempt(
                 alloc,
                 started,
                 incarnation,
-                spec,
                 err: TaskError::NodeCrashed { node },
             }
         };
         let _ = done_tx.send(msg);
         return;
     }
-    if timed_out {
-        let limit = spec.walltime.expect("timed_out implies a limit");
+    if let Some(err) = fail {
         let _ = done_tx.send(Msg::AttemptFailed {
             id,
             alloc,
             started,
             incarnation,
-            spec,
-            err: TaskError::TimedOut { limit },
-        });
-        return;
-    }
-    if fault == AttemptFault::Transient {
-        let _ = done_tx.send(Msg::AttemptFailed {
-            id,
-            alloc,
-            started,
-            incarnation,
-            spec,
-            err: TaskError::Injected,
+            err,
         });
         return;
     }
     // Commit point: past this, the attempt WILL deliver its result, so a
-    // concurrent cancel() can no longer be acknowledged with `true`.
-    let committed = {
-        let mut st = statuses.lock().expect("status lock");
+    // concurrent cancel() can no longer be acknowledged with `true` and the
+    // racing duplicate (if any) can no longer win.
+    let outcome = {
+        let mut st = lock_recover(statuses);
         let s = st.entry(id.0).or_default();
-        if s.cancel_requested {
-            false
+        if hedge {
+            if s.cancel_requested || s.committed || s.hedge_fenced {
+                CommitOutcome::Lost
+            } else {
+                s.committed = true;
+                CommitOutcome::Committed
+            }
+        } else if s.cancel_requested {
+            CommitOutcome::Canceled
+        } else if s.committed {
+            CommitOutcome::Lost
         } else {
             s.committed = true;
-            true
+            CommitOutcome::Committed
         }
     };
-    if !committed {
-        let _ = done_tx.send(Msg::WorkerCanceled {
-            id,
-            alloc,
-            started,
-            incarnation,
-            name: spec.name,
-            tag: spec.tag,
-            attempts: spec.attempts,
-        });
-        return;
+    match outcome {
+        CommitOutcome::Canceled => {
+            let _ = done_tx.send(Msg::WorkerCanceled {
+                id,
+                alloc,
+                started,
+                incarnation,
+            });
+            return;
+        }
+        CommitOutcome::Lost => {
+            let _ = done_tx.send(Msg::HedgeLost {
+                id,
+                alloc,
+                started,
+                incarnation,
+                hedge,
+            });
+            return;
+        }
+        CommitOutcome::Committed => {}
     }
-    let result = match spec.work.take() {
+    let result = match lock_recover(&work).take() {
         Some(w) => match catch_unwind(AssertUnwindSafe(w)) {
             Ok(out) => Ok(Some(out)),
             Err(payload) => {
@@ -1226,10 +1860,7 @@ fn run_attempt(
         alloc,
         started,
         incarnation,
-        name: spec.name,
-        tag: spec.tag,
-        gpu_busy_fraction: spec.gpu_busy_fraction,
-        attempts: spec.attempts,
+        hedge,
         result,
     });
 }
@@ -1244,9 +1875,7 @@ impl ExecutionBackend for ThreadedBackend {
         );
         let id = TaskId(self.next_id);
         self.next_id += 1;
-        self.statuses
-            .lock()
-            .expect("status lock")
+        lock_recover(&self.statuses)
             .insert(id.0, TaskStatus::default());
         // Virtual submit instant: the completion watermark. A client that
         // just consumed a completion and submits a follow-up queues it, on
@@ -1332,11 +1961,11 @@ impl ExecutionBackend for ThreadedBackend {
     }
 
     fn utilization(&self) -> UtilizationReport {
-        self.state.lock().expect("state lock").profiler.report(self.now())
+        lock_recover(&self.state).profiler.report(self.now())
     }
 
     fn phase_breakdown(&self) -> PhaseBreakdown {
-        self.state.lock().expect("state lock").breakdown
+        lock_recover(&self.state).breakdown
     }
 
     fn held_tasks(&self) -> usize {
@@ -1360,7 +1989,7 @@ impl ExecutionBackend for ThreadedBackend {
         // commit point takes: once this returns `true`, no worker can
         // commit, so an `Ok` completion is impossible.
         {
-            let mut st = self.statuses.lock().expect("status lock");
+            let mut st = lock_recover(&self.statuses);
             match st.get_mut(&id.0) {
                 Some(s) if !s.terminal && !s.committed && !s.cancel_requested => {
                     s.cancel_requested = true;
@@ -1827,5 +2456,160 @@ mod tests {
         let hist = snap.histogram("task_run_seconds").expect("recorded");
         assert_eq!(hist.count, 2);
         assert_eq!(hist.sum, 14.0, "two modeled 7s (setup+run) attempts");
+    }
+
+    #[test]
+    fn poisoned_sleep_token_still_preempts_and_wakes() {
+        let token = Arc::new(SleepToken::new());
+        let t2 = token.clone();
+        // Poison the token's mutex: a thread panics while holding it.
+        let _ = std::thread::spawn(move || {
+            let _guard = t2.preempted.lock().unwrap();
+            panic!("poison the token");
+        })
+        .join();
+        assert!(token.preempted.is_poisoned());
+        // Recovery: preempt() must neither panic nor lose the flag, and a
+        // sleeper must still observe the preemption immediately.
+        token.preempt();
+        assert!(
+            !token.sleep(Duration::from_secs(5)),
+            "preempt flag was lost to the poisoned lock"
+        );
+    }
+
+    #[test]
+    fn poisoned_status_map_does_not_wedge_the_backend() {
+        let mut b = ThreadedBackend::new(config(1, 0));
+        let statuses = Arc::clone(&b.statuses);
+        let _ = std::thread::spawn(move || {
+            let _guard = statuses.lock().unwrap();
+            panic!("poison the status map");
+        })
+        .join();
+        assert!(b.statuses.is_poisoned());
+        // Submission, execution, commit and delivery all cross the status
+        // lock; every site must recover the guard instead of panicking.
+        b.submit(task("t", 1).with_work(|| 7i32));
+        let c = b.next_completion().expect("completion despite poisoned lock");
+        assert!(!c.hedged);
+        assert_eq!(c.output::<i32>(), 7);
+        assert!(b.next_completion().is_none());
+    }
+
+    #[test]
+    fn scripted_slowdowns_dilate_the_modeled_clock() {
+        use crate::fault::ScriptedSlowdown;
+        let fc = FaultConfig {
+            scripted_slowdowns: vec![ScriptedSlowdown {
+                node: 0,
+                at: SimTime::ZERO,
+                duration: SimDuration::from_secs(1_000),
+                factor: 3.0,
+            }],
+            ..FaultConfig::none()
+        };
+        let mut b = RuntimeConfig::new(config(1, 0))
+            .faults(FaultPlan::new(fc, 0), RetryPolicy::none())
+            .threaded();
+        b.submit(task("slow", 1).with_work(|| ()));
+        assert!(b.next_completion().unwrap().result.is_ok());
+        // Bootstrap 1s, then the 1s nominal span runs 3x slower inside the
+        // window: the modeled clock lands on exactly 4s.
+        assert_eq!(b.virtual_now(), SimTime::from_micros(4_000_000));
+    }
+
+    #[test]
+    fn hedged_duplicate_rescues_a_straggler() {
+        use crate::fault::{HedgePolicy, ScriptedSlowdown};
+        // Two nodes; node 0 degrades 20x right as the warmups finish (v=2s).
+        // The victim placed there would run 20s virtual; with k=2 hedging
+        // the duplicate lands on the healthy node and wins.
+        let fc = FaultConfig {
+            scripted_slowdowns: vec![ScriptedSlowdown {
+                node: 0,
+                at: SimTime::from_micros(2_000_000),
+                duration: SimDuration::from_secs(10_000),
+                factor: 20.0,
+            }],
+            ..FaultConfig::none()
+        };
+        let cfg = PilotConfig {
+            nodes: 2,
+            ..config(1, 0)
+        };
+        let mut b = RuntimeConfig::new(cfg)
+            .faults(FaultPlan::new(fc, 1), RetryPolicy::none())
+            .hedge(HedgePolicy {
+                threshold: 2.0,
+                min_samples: 1,
+            })
+            .time_scale(0.01)
+            .threaded();
+        // Warmups prime the (1 core, 0 gpu) shape estimate at ~1s.
+        for i in 0..2u64 {
+            b.submit(task(&format!("w{i}"), 1).with_work(move || i));
+        }
+        for _ in 0..2 {
+            assert!(b.next_completion().unwrap().result.is_ok());
+        }
+        // Two victims, one per node: only the one on the degraded node
+        // exceeds 2x the estimate and gets a duplicate.
+        for i in 0..2u64 {
+            b.submit(task(&format!("v{i}"), 1).with_work(move || i));
+        }
+        let mut hedged = 0u32;
+        for _ in 0..2 {
+            let c = b.next_completion().unwrap();
+            assert!(c.result.is_ok());
+            hedged += c.hedged as u32;
+        }
+        assert_eq!(hedged, 1, "exactly the straggler is rescued by its hedge");
+        assert!(b.next_completion().is_none());
+        // The losing main wakes and reports asynchronously; poll for its
+        // hedge-waste booking rather than racing it.
+        let t0 = Instant::now();
+        loop {
+            let util = b.utilization();
+            if util.hedges == 1 && util.hedge_wasted_core_seconds > 0.0 {
+                break;
+            }
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "hedge waste never booked: {util:?}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn quarantine_poisons_after_distinct_node_failures() {
+        use crate::fault::QuarantinePolicy;
+        let fc = FaultConfig {
+            task_failure_rate: 1.0,
+            ..FaultConfig::none()
+        };
+        let cfg = PilotConfig {
+            nodes: 2,
+            ..config(1, 0)
+        };
+        let mut b = RuntimeConfig::new(cfg)
+            .faults(FaultPlan::new(fc, 7), no_backoff(5))
+            .quarantine(QuarantinePolicy::distinct(2))
+            .threaded();
+        b.submit(task("poison", 1).with_work(|| ()));
+        let c = b.next_completion().unwrap();
+        match &c.result {
+            Err(TaskError::Poisoned { distinct_nodes }) => assert_eq!(*distinct_nodes, 2),
+            Err(e) => panic!("expected a poison verdict, got {e:?}"),
+            Ok(_) => panic!("expected a poison verdict, got Ok"),
+        }
+        assert!(c.result.as_ref().err().unwrap().is_quarantined());
+        assert_eq!(
+            c.attempts, 1,
+            "retry steering reaches the verdict in exactly 2 attempts, \
+             not the full retry budget"
+        );
+        assert!(b.next_completion().is_none());
     }
 }

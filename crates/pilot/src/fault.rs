@@ -8,6 +8,15 @@
 //! pilot applies transparently before surfacing a failure to the workflow
 //! layer.
 //!
+//! Beyond the binary crash model, the plan also expresses *gray* failures:
+//! per-node slowdown windows ([`FaultPlan::slowdown_windows`]) during which
+//! every attempt hosted by the node runs [`SlowWindow::factor`] × slower —
+//! the degraded-NIC/thermal-throttle/shared-filesystem-contention class of
+//! fault that never shows up as a crash. Backends counter them with two
+//! policies configured on the runtime: [`HedgePolicy`] (speculative
+//! duplicate attempts for stragglers) and [`QuarantinePolicy`]
+//! (distinct-node poison verdicts plus a per-shape circuit breaker).
+//!
 //! Determinism: every decision is drawn from a labelled [`SimRng`] fork
 //! keyed on stable identities — `(task id, attempt)` for per-attempt faults,
 //! node index for crash schedules — never on the order in which the backend
@@ -46,6 +55,33 @@ pub struct ScriptedCrash {
     pub outage: SimDuration,
 }
 
+/// A scripted node slowdown, the gray analogue of [`ScriptedCrash`]: the
+/// node stays up and keeps its residents, but every attempt it hosts runs
+/// `factor` × slower for the window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScriptedSlowdown {
+    /// Which node degrades.
+    pub node: u32,
+    /// When the degradation starts (virtual time).
+    pub at: SimTime,
+    /// How long it lasts.
+    pub duration: SimDuration,
+    /// Runtime multiplier while degraded (clamped to ≥ 1 at realization).
+    pub factor: f64,
+}
+
+/// One realized slowdown window on a node: attempts overlapping
+/// `[start, end)` make progress at `1/factor` of their nominal rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlowWindow {
+    /// Window start.
+    pub start: SimTime,
+    /// Window end.
+    pub end: SimTime,
+    /// Runtime multiplier inside the window (≥ 1).
+    pub factor: f64,
+}
+
 /// Configuration of the injected fault environment.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultConfig {
@@ -65,6 +101,17 @@ pub struct FaultConfig {
     pub max_crashes_per_node: u32,
     /// Explicit outages injected in addition to the stochastic schedule.
     pub scripted_crashes: Vec<ScriptedCrash>,
+    /// Mean time between node *slowdown* onsets (exponential gaps).
+    /// `None` disables stochastic slowdowns.
+    pub node_slowdown_mtbf: Option<SimDuration>,
+    /// Length of each stochastic slowdown window.
+    pub slowdown_duration: SimDuration,
+    /// Runtime multiplier inside stochastic slowdown windows.
+    pub slowdown_factor: f64,
+    /// Upper bound on stochastic slowdowns sampled per node.
+    pub max_slowdowns_per_node: u32,
+    /// Explicit slowdowns injected in addition to the stochastic schedule.
+    pub scripted_slowdowns: Vec<ScriptedSlowdown>,
 }
 
 impl FaultConfig {
@@ -78,6 +125,11 @@ impl FaultConfig {
             node_outage: SimDuration::from_mins(10),
             max_crashes_per_node: 8,
             scripted_crashes: Vec::new(),
+            node_slowdown_mtbf: None,
+            slowdown_duration: SimDuration::from_mins(30),
+            slowdown_factor: 10.0,
+            max_slowdowns_per_node: 4,
+            scripted_slowdowns: Vec::new(),
         }
     }
 
@@ -87,6 +139,12 @@ impl FaultConfig {
             && self.task_hang_rate <= 0.0
             && self.node_mtbf.is_none()
             && self.scripted_crashes.is_empty()
+            && !self.has_slowdowns()
+    }
+
+    /// Whether any gray (slowdown) injection is configured.
+    pub fn has_slowdowns(&self) -> bool {
+        self.node_slowdown_mtbf.is_some() || !self.scripted_slowdowns.is_empty()
     }
 }
 
@@ -183,6 +241,166 @@ impl FaultPlan {
         }
         merged
     }
+
+    /// The slowdown windows for `node`, sorted and clipped so they never
+    /// overlap: scripted slowdowns plus up to
+    /// [`FaultConfig::max_slowdowns_per_node`] stochastic ones with
+    /// exponential inter-onset gaps of mean
+    /// [`FaultConfig::node_slowdown_mtbf`]. Unlike crash windows the
+    /// factors can differ per window, so overlapping windows are clipped
+    /// (earlier window wins the overlap) rather than merged. Draws no
+    /// randomness when no stochastic slowdowns are configured, and returns
+    /// an empty schedule — a strict no-op under [`dilate_span`] — when the
+    /// config has no slowdowns at all.
+    pub fn slowdown_windows(&self, node: u32) -> Vec<SlowWindow> {
+        let mut windows: Vec<SlowWindow> = self
+            .config
+            .scripted_slowdowns
+            .iter()
+            .filter(|s| s.node == node)
+            .map(|s| SlowWindow {
+                start: s.at,
+                end: s.at + s.duration,
+                factor: s.factor.max(1.0),
+            })
+            .collect();
+        if let Some(mtbf) = self.config.node_slowdown_mtbf {
+            let mut rng = self.rng.fork_idx("node-slow", node as u64);
+            let mut t = SimTime::ZERO;
+            for _ in 0..self.config.max_slowdowns_per_node {
+                let gap = mtbf.mul_f64(-(1.0 - rng.uniform()).ln());
+                t = t + gap;
+                let end = t + self.config.slowdown_duration;
+                windows.push(SlowWindow {
+                    start: t,
+                    end,
+                    factor: self.config.slowdown_factor.max(1.0),
+                });
+                t = end;
+            }
+        }
+        windows.sort_by_key(|w| (w.start, w.end));
+        let mut clipped: Vec<SlowWindow> = Vec::with_capacity(windows.len());
+        for mut w in windows {
+            if let Some(prev) = clipped.last() {
+                if w.start < prev.end {
+                    w.start = prev.end;
+                }
+            }
+            if w.start < w.end {
+                clipped.push(w);
+            }
+        }
+        clipped
+    }
+}
+
+/// How long a span of `nominal` work takes on a node with the given
+/// slowdown schedule, starting at `start`: progress accrues at the nominal
+/// rate outside windows and at `1/factor` inside them. With an empty
+/// schedule the result is exactly `nominal` — the disabled path is a
+/// strict no-op, which is what keeps gray-failure-free runs byte-identical
+/// to the pre-slowdown engine. Deterministic integer-microsecond
+/// arithmetic; all three backends share this one function.
+pub fn dilate_span(windows: &[SlowWindow], start: SimTime, nominal: SimDuration) -> SimDuration {
+    if windows.is_empty() || nominal == SimDuration::ZERO {
+        return nominal;
+    }
+    let mut t = start;
+    let mut remaining = nominal.as_micros();
+    for w in windows {
+        if remaining == 0 {
+            break;
+        }
+        if w.end <= t {
+            continue;
+        }
+        if w.start > t {
+            // Full-speed segment before the window opens.
+            let free = w.start.since(t).as_micros();
+            if remaining <= free {
+                t = t + SimDuration::from_micros(remaining);
+                return t.since(start);
+            }
+            remaining -= free;
+            t = w.start;
+        }
+        // Degraded segment: real time stretches by the window's factor.
+        let span_us = w.end.since(t).as_micros();
+        let need = (remaining as f64 * w.factor).round();
+        if need <= span_us as f64 {
+            t = t + SimDuration::from_micros(need as u64);
+            return t.since(start);
+        }
+        let done = (span_us as f64 / w.factor).floor() as u64;
+        remaining = remaining.saturating_sub(done);
+        t = w.end;
+    }
+    (t + SimDuration::from_micros(remaining)).since(start)
+}
+
+/// Hedged speculative execution policy: when a running attempt exceeds
+/// `threshold` × the running estimate of its shape-class runtime, the
+/// backend places a duplicate attempt on a *different* node; the first
+/// completion wins and the loser's occupancy is booked as hedge waste
+/// (separately from retry waste). Until `min_samples` completions of the
+/// shape class have been observed, the attempt's own nominal modeled span
+/// stands in for the estimate. Disabled (`None` on the runtime config) the
+/// backends schedule no hedge checks and behave byte-identically to the
+/// pre-hedging engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgePolicy {
+    /// Straggler threshold `k`: hedge when elapsed ≥ k × estimate.
+    pub threshold: f64,
+    /// Shape-class completions required before the running estimate
+    /// replaces the nominal span.
+    pub min_samples: u32,
+}
+
+impl HedgePolicy {
+    /// The conventional policy: hedge at `k` × the shape-class estimate,
+    /// trusting the estimate after 4 completions.
+    pub fn k(threshold: f64) -> Self {
+        HedgePolicy {
+            threshold: threshold.max(1.0),
+            min_samples: 4,
+        }
+    }
+}
+
+/// Poison-task quarantine policy: a task whose retryable attempts have
+/// failed on `distinct_nodes` *distinct* nodes is classified poisoned and
+/// quarantined — surfaced as [`crate::backend::TaskError::Poisoned`]
+/// instead of burning the rest of its retry budget. A per-shape circuit
+/// breaker trips after `shape_trip` poisoned lineages of one `(cores,
+/// gpus)` shape class (0 = breaker disabled) and sheds subsequent tasks of
+/// that shape with [`crate::backend::TaskError::ShapeCircuitOpen`].
+/// While quarantine is active, retries are steered away from nodes the
+/// task already failed on, so the verdict is reached in exactly
+/// `distinct_nodes` attempts when capacity allows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantinePolicy {
+    /// Distinct failed nodes that prove a task poisoned (min 2).
+    pub distinct_nodes: u32,
+    /// Poisoned lineages of one shape class before the breaker opens
+    /// (0 = breaker disabled).
+    pub shape_trip: u32,
+}
+
+impl QuarantinePolicy {
+    /// Quarantine after failures on `n` distinct nodes, breaker disabled.
+    pub fn distinct(n: u32) -> Self {
+        QuarantinePolicy {
+            distinct_nodes: n.max(2),
+            shape_trip: 0,
+        }
+    }
+
+    /// Trip the per-shape breaker after `n` poisoned lineages.
+    pub fn with_shape_trip(mut self, n: u32) -> Self {
+        self.shape_trip = n;
+        self
+    }
 }
 
 /// How the pilot resubmits attempts that fail before their work ran:
@@ -238,10 +456,30 @@ impl RetryPolicy {
         let exp = self
             .backoff_multiplier
             .powi(attempt.saturating_sub(1).min(63) as i32);
-        let mut delay = self.backoff_base.mul_f64(exp);
-        if self.backoff_cap > SimDuration::ZERO && delay > self.backoff_cap {
-            delay = self.backoff_cap;
-        }
+        // Cap *before* multiplying: multiplier^63 can exceed f64 range
+        // (`powi` → +inf), and `SimDuration::mul_f64` clamps non-finite
+        // products to ZERO — which would collapse the largest backoffs to
+        // no delay at all. Comparing the exponent against the cap/base
+        // ratio short-circuits to the ceiling without ever forming the
+        // overflowing product; the in-range path is arithmetically
+        // unchanged.
+        let cap_micros = if self.backoff_cap > SimDuration::ZERO {
+            self.backoff_cap.as_micros()
+        } else {
+            u64::MAX
+        };
+        let mut delay = if !exp.is_finite()
+            || self.backoff_base.as_micros() as f64 * exp >= cap_micros as f64
+        {
+            SimDuration::from_micros(cap_micros)
+        } else {
+            let d = self.backoff_base.mul_f64(exp);
+            if self.backoff_cap > SimDuration::ZERO && d > self.backoff_cap {
+                self.backoff_cap
+            } else {
+                d
+            }
+        };
         if self.jitter > 0.0 {
             delay = delay.mul_f64(1.0 + self.jitter * (rng.uniform() - 0.5));
         }
@@ -403,6 +641,179 @@ mod tests {
         let before = rng.clone().next_u64();
         assert_eq!(p.backoff(1, &mut rng), SimDuration::ZERO);
         assert_eq!(rng.next_u64(), before, "no randomness consumed");
+    }
+
+    #[test]
+    fn backoff_is_monotone_then_capped_for_all_small_attempts() {
+        // Property: with jitter off, delay(attempt) is non-decreasing for
+        // attempts 0..64 and pinned at the cap once reached — including
+        // multipliers whose powi overflows f64 to +inf.
+        for &mult in &[1.5, 2.0, 10.0, 1e6] {
+            let p = RetryPolicy {
+                max_retries: 64,
+                backoff_base: SimDuration::from_secs(30),
+                backoff_multiplier: mult,
+                backoff_cap: SimDuration::from_mins(30),
+                jitter: 0.0,
+            };
+            let mut rng = SimRng::from_seed(0);
+            let mut prev = SimDuration::ZERO;
+            let mut capped = false;
+            for attempt in 0..64u32 {
+                let d = p.backoff(attempt, &mut rng);
+                assert!(d >= prev, "mult {mult} attempt {attempt}: {d} < {prev}");
+                assert!(d <= p.backoff_cap, "mult {mult} attempt {attempt}: over cap");
+                if capped {
+                    assert_eq!(d, p.backoff_cap, "once capped, stays capped");
+                }
+                capped = d == p.backoff_cap;
+                prev = d;
+            }
+            assert!(capped, "mult {mult}: 64 attempts must reach the cap");
+        }
+    }
+
+    #[test]
+    fn uncapped_backoff_saturates_instead_of_collapsing_to_zero() {
+        // multiplier^62 = inf at mult 1e6; before the overflow guard this
+        // fed SimDuration::mul_f64(inf) which clamps to ZERO.
+        let p = RetryPolicy {
+            max_retries: 64,
+            backoff_base: SimDuration::from_secs(30),
+            backoff_multiplier: 1e6,
+            backoff_cap: SimDuration::ZERO,
+            jitter: 0.0,
+        };
+        let mut rng = SimRng::from_seed(0);
+        let mut prev = SimDuration::ZERO;
+        for attempt in 0..64u32 {
+            let d = p.backoff(attempt, &mut rng);
+            assert!(d >= prev, "attempt {attempt}: {d} < {prev} (overflow collapse)");
+            prev = d;
+        }
+        assert_eq!(prev, SimDuration::from_micros(u64::MAX), "saturated");
+    }
+
+    #[test]
+    fn slowdown_windows_are_deterministic_per_node_and_clipped() {
+        let plan = FaultPlan::new(
+            FaultConfig {
+                node_slowdown_mtbf: Some(SimDuration::from_hours(2)),
+                slowdown_duration: SimDuration::from_mins(20),
+                slowdown_factor: 10.0,
+                max_slowdowns_per_node: 4,
+                ..FaultConfig::none()
+            },
+            11,
+        );
+        let w = plan.slowdown_windows(0);
+        assert!(!w.is_empty() && w.len() <= 4);
+        for pair in w.windows(2) {
+            assert!(pair[0].end <= pair[1].start, "windows must not overlap");
+        }
+        assert_ne!(plan.slowdown_windows(0), plan.slowdown_windows(1));
+        assert_eq!(w, plan.slowdown_windows(0), "deterministic");
+        assert!(w.iter().all(|x| x.factor >= 1.0));
+    }
+
+    #[test]
+    fn scripted_slowdowns_clip_overlaps_keeping_the_earlier_factor() {
+        let plan = FaultPlan::new(
+            FaultConfig {
+                scripted_slowdowns: vec![
+                    ScriptedSlowdown {
+                        node: 0,
+                        at: SimTime::from_micros(1_000_000),
+                        duration: SimDuration::from_secs(10),
+                        factor: 4.0,
+                    },
+                    ScriptedSlowdown {
+                        node: 0,
+                        at: SimTime::from_micros(5_000_000),
+                        duration: SimDuration::from_secs(10),
+                        factor: 2.0,
+                    },
+                ],
+                ..FaultConfig::none()
+            },
+            0,
+        );
+        let w = plan.slowdown_windows(0);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].end, SimTime::from_micros(11_000_000));
+        assert_eq!(w[1].start, SimTime::from_micros(11_000_000), "clipped");
+        assert_eq!(w[1].end, SimTime::from_micros(15_000_000));
+        assert!(plan.slowdown_windows(1).is_empty());
+        assert!(!plan.is_none(), "slowdowns make the config non-trivial");
+    }
+
+    #[test]
+    fn dilate_span_is_exact_identity_without_windows() {
+        let d = SimDuration::from_secs(50);
+        assert_eq!(dilate_span(&[], SimTime::ZERO, d), d);
+        assert_eq!(dilate_span(&[], SimTime::from_micros(123), SimDuration::ZERO), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn dilate_span_stretches_work_inside_windows() {
+        let w = [SlowWindow {
+            start: SimTime::from_micros(10_000_000),
+            end: SimTime::from_micros(30_000_000),
+            factor: 10.0,
+        }];
+        // Entirely before the window: untouched.
+        assert_eq!(
+            dilate_span(&w, SimTime::ZERO, SimDuration::from_secs(10)),
+            SimDuration::from_secs(10)
+        );
+        // Entirely inside: 1 s of work takes 10 s.
+        assert_eq!(
+            dilate_span(&w, SimTime::from_micros(10_000_000), SimDuration::from_secs(1)),
+            SimDuration::from_secs(10)
+        );
+        // Straddling: 5 s free + 15 s of work; 2 s of it fits in the
+        // window (20 s real), the last 13 s run after it ends.
+        assert_eq!(
+            dilate_span(&w, SimTime::from_micros(5_000_000), SimDuration::from_secs(20)),
+            SimDuration::from_secs(5 + 20 + 13)
+        );
+        // Work starting after the window is untouched.
+        assert_eq!(
+            dilate_span(&w, SimTime::from_micros(30_000_000), SimDuration::from_secs(7)),
+            SimDuration::from_secs(7)
+        );
+    }
+
+    #[test]
+    fn dilate_span_walks_multiple_windows() {
+        let w = [
+            SlowWindow {
+                start: SimTime::from_micros(0),
+                end: SimTime::from_micros(10_000_000),
+                factor: 2.0,
+            },
+            SlowWindow {
+                start: SimTime::from_micros(20_000_000),
+                end: SimTime::from_micros(30_000_000),
+                factor: 5.0,
+            },
+        ];
+        // 20 s of work from t=0: 5 s done in window 1 (10 s real), 10 s
+        // free (10 s done), window 2 opens with 5 s left → 25 s real, but
+        // only 2 s of work fits in its 10 s → 3 s left after t=30 s.
+        assert_eq!(
+            dilate_span(&w, SimTime::ZERO, SimDuration::from_secs(20)),
+            SimDuration::from_secs(10 + 10 + 10 + 3)
+        );
+    }
+
+    #[test]
+    fn hedge_and_quarantine_policies_clamp_sensibly() {
+        let h = HedgePolicy::k(0.5);
+        assert_eq!(h.threshold, 1.0, "threshold below 1 would hedge instantly");
+        let q = QuarantinePolicy::distinct(1).with_shape_trip(3);
+        assert_eq!(q.distinct_nodes, 2, "one node can never be distinct evidence");
+        assert_eq!(q.shape_trip, 3);
     }
 
     #[test]

@@ -51,7 +51,10 @@ pub mod task;
 pub mod timeline;
 
 pub use backend::{Completion, ExecutionBackend, TaskError};
-pub use fault::{AttemptFault, FaultConfig, FaultPlan, RetryPolicy, ScriptedCrash};
+pub use fault::{
+    AttemptFault, FaultConfig, FaultPlan, HedgePolicy, QuarantinePolicy, RetryPolicy,
+    ScriptedCrash, ScriptedSlowdown, SlowWindow,
+};
 pub use pilot::{PhaseBreakdown, PilotConfig, PilotPhase};
 pub use profiler::{Profiler, UtilizationReport};
 pub use resources::{Allocation, ClusterSpec, NodeSpec, ResourceRequest};

@@ -89,6 +89,18 @@ pub struct UtilizationReport {
     pub wasted_core_seconds: f64,
     /// GPU-slot-seconds burnt by attempts that did not complete.
     pub wasted_gpu_seconds: f64,
+    /// Hedged speculative duplicates the backend placed.
+    pub hedges: usize,
+    /// Core-seconds burnt by hedge losers (the duplicate or original that
+    /// lost the race). Kept separate from [`wasted_core_seconds`] — hedge
+    /// waste is the *price* of straggler mitigation, retry waste is the
+    /// price of faults — so studies can weigh one against the other.
+    /// Always 0 with hedging off.
+    ///
+    /// [`wasted_core_seconds`]: UtilizationReport::wasted_core_seconds
+    pub hedge_wasted_core_seconds: f64,
+    /// GPU-slot-seconds burnt by hedge losers.
+    pub hedge_wasted_gpu_seconds: f64,
 }
 json_struct!(UtilizationReport {
     cpu,
@@ -98,7 +110,10 @@ json_struct!(UtilizationReport {
     tasks,
     retries,
     wasted_core_seconds,
-    wasted_gpu_seconds
+    wasted_gpu_seconds,
+    hedges,
+    hedge_wasted_core_seconds,
+    hedge_wasted_gpu_seconds
 });
 
 /// The profiler: device trackers plus per-task records. Multi-node pilots
@@ -115,6 +130,9 @@ pub struct Profiler {
     retries: usize,
     wasted_core_seconds: f64,
     wasted_gpu_seconds: f64,
+    hedges: usize,
+    hedge_wasted_core_seconds: f64,
+    hedge_wasted_gpu_seconds: f64,
 }
 
 impl Profiler {
@@ -144,6 +162,9 @@ impl Profiler {
             retries: 0,
             wasted_core_seconds: 0.0,
             wasted_gpu_seconds: 0.0,
+            hedges: 0,
+            hedge_wasted_core_seconds: 0.0,
+            hedge_wasted_gpu_seconds: 0.0,
         }
     }
 
@@ -235,6 +256,26 @@ impl Profiler {
         self.retries += 1;
     }
 
+    /// Note a hedged speculative duplicate placement.
+    pub fn note_hedge(&mut self) {
+        self.hedges += 1;
+    }
+
+    /// Note that a hedge *loser* released its slots: close its occupancy
+    /// intervals and book the span as hedge waste — the deliberate price
+    /// of straggler mitigation, kept apart from fault/retry waste.
+    pub fn attempt_hedge_wasted(&mut self, alloc: &Allocation, started: SimTime, at: SimTime) {
+        for &c in &alloc.core_ids {
+            self.cpu.end(self.core_index(alloc.node, c), at);
+        }
+        for &g in &alloc.gpu_ids {
+            self.gpu_slot.end(self.gpu_index(alloc.node, g), at);
+        }
+        let span = at.since(started).as_secs_f64();
+        self.hedge_wasted_core_seconds += span * alloc.core_ids.len() as f64;
+        self.hedge_wasted_gpu_seconds += span * alloc.gpu_ids.len() as f64;
+    }
+
     /// All completed-task records, in completion order.
     pub fn records(&self) -> &[TaskRecord] {
         &self.records
@@ -251,6 +292,9 @@ impl Profiler {
             retries: self.retries,
             wasted_core_seconds: self.wasted_core_seconds,
             wasted_gpu_seconds: self.wasted_gpu_seconds,
+            hedges: self.hedges,
+            hedge_wasted_core_seconds: self.hedge_wasted_core_seconds,
+            hedge_wasted_gpu_seconds: self.hedge_wasted_gpu_seconds,
         }
     }
 
@@ -369,6 +413,31 @@ mod tests {
         assert_eq!(r.tasks, 1, "wasted attempts create no task records");
         // Occupancy still reflects the held slots: 2/4 cores for the whole run.
         assert!((r.cpu - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hedge_waste_is_booked_apart_from_retry_waste() {
+        let mut p = Profiler::new(4, 0);
+        let main = alloc(&[0, 1], &[]);
+        let dup = Allocation {
+            node: 0,
+            core_ids: vec![2, 3],
+            gpu_ids: vec![],
+        };
+        p.task_submitted(TaskId(1), t(0));
+        p.task_started(&main, t(0));
+        // A hedge duplicate launches at t=10 and the original wins at t=15.
+        p.note_hedge();
+        p.task_started(&dup, t(10));
+        p.attempt_hedge_wasted(&dup, t(10), t(15));
+        p.task_finished(TaskId(1), "x", "", &main, t(0), t(15), 0.0);
+        let r = p.report(t(15));
+        assert_eq!(r.hedges, 1);
+        assert!((r.hedge_wasted_core_seconds - 10.0).abs() < 1e-9, "2 cores × 5 s");
+        assert_eq!(r.hedge_wasted_gpu_seconds, 0.0);
+        assert_eq!(r.wasted_core_seconds, 0.0, "hedge waste is not retry waste");
+        assert_eq!(r.retries, 0);
+        assert_eq!(r.tasks, 1, "the loser creates no task record");
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! ```
 
 use crate::backend::{ShardedBackend, SimulatedBackend, ThreadedBackend};
-use crate::fault::{FaultPlan, RetryPolicy};
+use crate::fault::{FaultPlan, HedgePolicy, QuarantinePolicy, RetryPolicy};
 use crate::pilot::PilotConfig;
 use impress_sim::SimTime;
 use impress_telemetry::Telemetry;
@@ -55,6 +55,13 @@ pub struct RuntimeConfig {
     /// instead of in-process. The event stream is bit-identical either
     /// way; this only changes who owns the priority queues.
     pub parallel_shards: bool,
+    /// Hedged speculative execution policy (default: off). `None` is a
+    /// strict no-op: no hedge checks are scheduled and the backend behaves
+    /// byte-identically to the pre-hedging engine.
+    pub hedge: Option<HedgePolicy>,
+    /// Poison-task quarantine policy (default: off). `None` is a strict
+    /// no-op: no failed-node bookkeeping, no circuit breaker.
+    pub quarantine: Option<QuarantinePolicy>,
 }
 
 impl RuntimeConfig {
@@ -69,6 +76,8 @@ impl RuntimeConfig {
             telemetry: Telemetry::disabled(),
             shards: 8,
             parallel_shards: false,
+            hedge: None,
+            quarantine: None,
         }
     }
 
@@ -107,6 +116,19 @@ impl RuntimeConfig {
     /// Drive the shard queues on worker threads (sharded backend only).
     pub fn parallel_shards(mut self, on: bool) -> Self {
         self.parallel_shards = on;
+        self
+    }
+
+    /// Hedge straggling attempts with speculative duplicates under
+    /// `policy`.
+    pub fn hedge(mut self, policy: HedgePolicy) -> Self {
+        self.hedge = Some(policy);
+        self
+    }
+
+    /// Quarantine poison tasks under `policy`.
+    pub fn quarantine(mut self, policy: QuarantinePolicy) -> Self {
+        self.quarantine = Some(policy);
         self
     }
 

@@ -273,6 +273,36 @@ impl Scheduler {
         Some(alloc)
     }
 
+    /// Direct first-fit allocation that bypasses the queue and skips the
+    /// `avoid`ed nodes: the grant lands on the leftmost *up* node not in
+    /// `avoid` whose free slots admit `req`, or nowhere. Used by hedged
+    /// duplicates (which must not share the straggler's node) and by
+    /// quarantine retry steering (away from nodes a task already failed
+    /// on). The avoided nodes are masked out of the fit index for the
+    /// single query and restored untouched afterwards; the queue, epochs
+    /// and blocked-shape cache are unaffected (an allocation only shrinks
+    /// the free frontier, which every cache already tolerates).
+    pub fn alloc_avoiding(&mut self, req: &ResourceRequest, avoid: &[u32]) -> Option<Allocation> {
+        let mut saved = Vec::with_capacity(avoid.len());
+        for &n in avoid {
+            let idx = n as usize;
+            if idx >= self.pools.len() {
+                continue;
+            }
+            let leaf = self.fit.size + idx;
+            saved.push((idx, self.fit.cores[leaf], self.fit.gpus[leaf], self.fit.up[leaf]));
+            self.fit.set(idx, 0, 0, false);
+        }
+        let alloc = Self::alloc_in(&mut self.pools, &mut self.fit, req);
+        // Restore in reverse so a node named twice gets its original leaf
+        // back last. The granted node (if any) is never in `avoid`, so no
+        // restore clobbers the allocation's counter update.
+        for (idx, cores, gpus, up) in saved.into_iter().rev() {
+            self.fit.set(idx, cores, gpus, up);
+        }
+        alloc
+    }
+
     /// Drain a crashed node: its pool is rebuilt empty-of-grants and it takes
     /// no placements until [`Scheduler::recover_node`]. The caller is
     /// responsible for requeueing tasks that were resident on it (their
@@ -944,6 +974,33 @@ mod tests {
         // The slab slots are reusable.
         s.enqueue(TaskId(600), req(1, 0));
         assert_eq!(ids(&s.place_ready()), vec![600]);
+    }
+
+    #[test]
+    fn alloc_avoiding_skips_named_nodes_and_restores_the_index() {
+        let cluster = ClusterSpec::homogeneous(NodeSpec::new(4, 0, 1), 3);
+        let mut s = Scheduler::new_cluster(cluster, PlacementPolicy::Backfill);
+        // A direct grant avoiding node 0 lands on node 1.
+        let a = s.alloc_avoiding(&req(4, 0), &[0]).expect("node 1 fits");
+        assert_eq!(a.node, 1);
+        // Avoiding every node with capacity yields nothing.
+        assert!(s.alloc_avoiding(&req(4, 0), &[0, 2]).is_none());
+        // The masks were restored: a queued placement still sees node 0
+        // first, exactly as if alloc_avoiding had never run.
+        s.enqueue(TaskId(0), req(4, 0));
+        let placed = s.place_ready();
+        assert_eq!(placed[0].1.node, 0);
+        s.release_owned(a); // node 1 free again; node 0 still occupied
+        s.drain_node(2);
+        assert!(
+            s.alloc_avoiding(&req(1, 0), &[1]).is_none(),
+            "node 0 is full and node 2 is down"
+        );
+        let b = s.alloc_avoiding(&req(4, 0), &[0]).expect("node 1 fits");
+        assert_eq!(b.node, 1);
+        // Out-of-range avoid entries are ignored, not a panic.
+        s.release_owned(b);
+        assert!(s.alloc_avoiding(&req(4, 0), &[7]).is_some());
     }
 
     #[test]

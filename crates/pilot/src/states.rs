@@ -65,6 +65,9 @@ impl TaskState {
                 // Requeue: a node crash or injected fault evicts a resident
                 // task back to the scheduler queue for another attempt.
                 | (Executing, Scheduling)
+                // Shed: an open shape circuit breaker fails a task at the
+                // placement grant, before its environment is prepared.
+                | (Scheduling, Failed)
         )
     }
 
@@ -179,10 +182,13 @@ mod tests {
     }
 
     #[test]
-    fn failure_only_from_executing() {
+    fn failure_only_from_executing_or_breaker_shed() {
         use TaskState::*;
         assert!(Executing.can_transition_to(Failed));
-        for t in [New, Scheduling, ExecSetup] {
+        // Quarantine's circuit breaker sheds queued tasks at the placement
+        // grant, so Scheduling may fail directly; earlier states cannot.
+        assert!(Scheduling.can_transition_to(Failed));
+        for t in [New, ExecSetup] {
             assert!(!t.can_transition_to(Failed));
         }
     }

@@ -50,6 +50,11 @@ pub enum SpanCat {
     Fault,
     /// Session/coordinator bookkeeping (journal appends, checkpoints).
     Session,
+    /// Hedged speculative attempts: duplicate placement, win, loss.
+    Hedge,
+    /// Poison-task quarantine: poison verdicts, circuit-breaker trips,
+    /// shape sheds.
+    Quarantine,
 }
 
 impl SpanCat {
@@ -66,6 +71,8 @@ impl SpanCat {
             SpanCat::Decision => "decision",
             SpanCat::Fault => "fault",
             SpanCat::Session => "session",
+            SpanCat::Hedge => "hedge",
+            SpanCat::Quarantine => "quarantine",
         }
     }
 }

@@ -426,6 +426,53 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
                 ],
             );
         }
+        // A poison verdict from the backend's quarantine layer: journal it
+        // (post-mortems read verdicts off the journal), log it, and give
+        // the decision engine a chance to react before the completion is
+        // folded into the stage buffer as an ordinary failure.
+        if let Err(impress_pilot::TaskError::Poisoned { distinct_nodes }) = &completion.result {
+            let distinct = *distinct_nodes;
+            self.journal_append(|| JournalRecord::TaskPoisoned {
+                pipeline: id.0,
+                task: completion.task.0,
+                distinct_nodes: distinct,
+            });
+            self.events.push(
+                self.session.now(),
+                id,
+                EventKind::TaskPoisoned {
+                    task: completion.task.0,
+                    distinct_nodes: distinct,
+                },
+            );
+            let span = self.spans.get(&id.0).map(|s| s.stage).unwrap_or(SpanId::NONE);
+            self.telemetry.instant(
+                SpanCat::Quarantine,
+                "task-poisoned",
+                span,
+                track::pipeline(id.0),
+                self.session.stamp(),
+                &[
+                    ("task", completion.task.0 as i64),
+                    ("distinct_nodes", distinct as i64),
+                ],
+            );
+            let spawns = {
+                let d = self.decision_span("on-task-poisoned");
+                let obs = self.session.observe();
+                let view = CoordinatorView {
+                    now: obs.at(),
+                    registry: &self.registry,
+                    utilization: *obs.utilization(),
+                };
+                let spawns =
+                    self.decision
+                        .on_task_poisoned(id, completion.task.0, distinct, &view);
+                self.telemetry.end(d, self.session.stamp());
+                spawns
+            };
+            self.apply_spawns(spawns);
+        }
         let buffer = self
             .buffers
             .get_mut(&id.0)

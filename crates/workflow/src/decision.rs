@@ -64,6 +64,22 @@ pub trait DecisionEngine<O> {
     fn on_all_idle(&mut self, _view: &CoordinatorView<'_>) -> Vec<Spawn<O>> {
         Vec::new()
     }
+
+    /// The backend's quarantine layer classified a task of pipeline `id`
+    /// as poisoned: its attempts failed on `distinct_nodes` distinct nodes.
+    /// Engines can react (abort the lineage early, resubmit with different
+    /// parameters, lower a shape class's priority); the default does
+    /// nothing — the poisoned completion still reaches the pipeline as an
+    /// ordinary failed task.
+    fn on_task_poisoned(
+        &mut self,
+        _id: PipelineId,
+        _task: u64,
+        _distinct_nodes: u32,
+        _view: &CoordinatorView<'_>,
+    ) -> Vec<Spawn<O>> {
+        Vec::new()
+    }
 }
 
 /// The null engine: never spawns anything (the CONT-V behaviour of running

@@ -46,6 +46,15 @@ pub enum EventKind {
         /// Failed attempts before the terminal result.
         attempts: u32,
     },
+    /// The quarantine layer classified a task as poisoned: its attempts
+    /// failed on `distinct_nodes` distinct nodes, so the retry budget was
+    /// cut short and the lineage terminated with a poison verdict.
+    TaskPoisoned {
+        /// The backend task id.
+        task: u64,
+        /// Distinct nodes the lineage failed on.
+        distinct_nodes: u32,
+    },
 }
 json_enum!(EventKind {
     Registered { parent },
@@ -53,7 +62,8 @@ json_enum!(EventKind {
     StageCompleted { stage },
     Completed,
     Aborted { reason },
-    TaskRetried { task, attempts }
+    TaskRetried { task, attempts },
+    TaskPoisoned { task, distinct_nodes }
 });
 
 /// A timestamped, sequenced event.

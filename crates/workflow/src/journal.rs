@@ -253,6 +253,14 @@ impl ReplayPlan {
                 s.terminal = Some(TerminalRecord::Aborted(reason.clone()));
                 Ok(())
             }
+            // Poison verdicts change no replay state: resume re-simulates
+            // the same fault environment and re-derives the identical
+            // verdict. The record preserves it durably (post-mortems read
+            // it straight off the journal), so only its structural validity
+            // is checked here.
+            JournalRecord::TaskPoisoned { pipeline, .. } => {
+                self.script_mut(*pipeline).map(|_| ())
+            }
         }
     }
 
@@ -327,6 +335,18 @@ pub enum JournalRecord {
         /// The abort reason.
         reason: String,
     },
+    /// The quarantine layer classified one of the pipeline's tasks as
+    /// poisoned (failed on enough distinct nodes). Written only when a
+    /// quarantine policy is active and fires — journals of clean runs are
+    /// byte-identical to the pre-quarantine format.
+    TaskPoisoned {
+        /// The pipeline that owns the task.
+        pipeline: u64,
+        /// The backend task id.
+        task: u64,
+        /// Distinct nodes the lineage failed on.
+        distinct_nodes: u32,
+    },
     /// A compacted snapshot of the full replay plan so far.
     Snapshot {
         /// The plan at snapshot time.
@@ -340,6 +360,7 @@ json_enum!(JournalRecord {
     StageCompleted { pipeline, stage },
     Completed { pipeline, outcome },
     Aborted { pipeline, reason },
+    TaskPoisoned { pipeline, task, distinct_nodes },
     Snapshot { plan }
 });
 
@@ -784,6 +805,11 @@ mod tests {
                 pipeline: 0,
                 stage: 0,
             },
+            JournalRecord::TaskPoisoned {
+                pipeline: 0,
+                task: 17,
+                distinct_nodes: 3,
+            },
             JournalRecord::Completed {
                 pipeline: 0,
                 outcome: Json::object().field("score", 0.1875).build(),
@@ -849,7 +875,7 @@ mod tests {
 
     /// The mid-stream records of [`sample_records`] (no Begin/Snapshot).
     fn body() -> Vec<JournalRecord> {
-        sample_records()[1..7].to_vec()
+        sample_records()[1..8].to_vec()
     }
 
     #[test]
@@ -857,7 +883,7 @@ mod tests {
         let store = journaled(&body(), None);
         let loaded = load_plan(&store).unwrap();
         assert_eq!(loaded.dropped, 0);
-        assert_eq!(loaded.records, 7);
+        assert_eq!(loaded.records, 8);
         assert_eq!(loaded.plan.label, "t");
         assert_eq!(loaded.plan.seed, 9);
         assert_eq!(loaded.plan.pipelines.len(), 2);

@@ -121,6 +121,7 @@ mod tests {
             started: impress_sim::SimTime::ZERO,
             finished: impress_sim::SimTime::ZERO,
             attempts: 0,
+            hedged: false,
         };
         match p.stage_done(vec![fake("s1")]) {
             Step::Submit(tasks) => assert_eq!(tasks[0].name, "s2"),

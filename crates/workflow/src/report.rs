@@ -31,6 +31,13 @@ pub struct RunReport {
     pub wasted_core_seconds: f64,
     /// GPU-slot-seconds spent on attempts that ultimately failed.
     pub wasted_gpu_seconds: f64,
+    /// Hedged duplicate attempts placed (0 when hedging is disabled).
+    pub task_hedges: usize,
+    /// Core-seconds burned by hedge-race losers (kept separate from
+    /// `wasted_core_seconds`, which books only failed attempts).
+    pub hedge_wasted_core_seconds: f64,
+    /// GPU-slot-seconds burned by hedge-race losers.
+    pub hedge_wasted_gpu_seconds: f64,
     /// Pilot phase breakdown (Fig. 5 annotations).
     pub phases: PhaseBreakdown,
 }
@@ -46,6 +53,9 @@ json_struct!(RunReport {
     task_retries,
     wasted_core_seconds,
     wasted_gpu_seconds,
+    task_hedges,
+    hedge_wasted_core_seconds,
+    hedge_wasted_gpu_seconds,
     phases
 });
 
@@ -70,6 +80,9 @@ impl RunReport {
             task_retries: utilization.retries,
             wasted_core_seconds: utilization.wasted_core_seconds,
             wasted_gpu_seconds: utilization.wasted_gpu_seconds,
+            task_hedges: utilization.hedges,
+            hedge_wasted_core_seconds: utilization.hedge_wasted_core_seconds,
+            hedge_wasted_gpu_seconds: utilization.hedge_wasted_gpu_seconds,
             phases,
         }
     }
@@ -98,6 +111,14 @@ impl fmt::Display for RunReport {
                 f,
                 "faults: {} retries | wasted {:.0} core-s / {:.0} GPU-s",
                 self.task_retries, self.wasted_core_seconds, self.wasted_gpu_seconds
+            )?;
+        }
+        // Likewise, only hedging runs print the hedge line.
+        if self.task_hedges > 0 {
+            writeln!(
+                f,
+                "hedges: {} placed | hedge waste {:.0} core-s / {:.0} GPU-s",
+                self.task_hedges, self.hedge_wasted_core_seconds, self.hedge_wasted_gpu_seconds
             )?;
         }
         write!(
@@ -129,6 +150,9 @@ mod tests {
                 retries: 0,
                 wasted_core_seconds: 0.0,
                 wasted_gpu_seconds: 0.0,
+                hedges: 0,
+                hedge_wasted_core_seconds: 0.0,
+                hedge_wasted_gpu_seconds: 0.0,
             },
             PhaseBreakdown::default(),
             SimTime::from_micros(10_000_000),
@@ -156,6 +180,9 @@ mod tests {
                 retries: 0,
                 wasted_core_seconds: 0.0,
                 wasted_gpu_seconds: 0.0,
+                hedges: 0,
+                hedge_wasted_core_seconds: 0.0,
+                hedge_wasted_gpu_seconds: 0.0,
             },
             PhaseBreakdown::default(),
             SimTime::ZERO + SimDuration::from_hours(38),
@@ -182,6 +209,9 @@ mod tests {
                 retries: 3,
                 wasted_core_seconds: 120.0,
                 wasted_gpu_seconds: 60.0,
+                hedges: 0,
+                hedge_wasted_core_seconds: 0.0,
+                hedge_wasted_gpu_seconds: 0.0,
             },
             PhaseBreakdown::default(),
             SimTime::ZERO + SimDuration::from_hours(1),

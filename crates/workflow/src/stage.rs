@@ -107,6 +107,7 @@ mod tests {
             started: SimTime::ZERO,
             finished: SimTime::ZERO,
             attempts: 0,
+            hedged: false,
         }
     }
 

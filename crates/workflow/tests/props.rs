@@ -17,6 +17,7 @@ fn completion(id: u64) -> Completion {
         started: SimTime::ZERO,
         finished: SimTime::ZERO,
         attempts: 0,
+        hedged: false,
     }
 }
 

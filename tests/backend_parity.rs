@@ -229,6 +229,115 @@ mod placement_order_parity {
     }
 }
 
+/// Gray failures with hedging off are bit-identical across all three
+/// engines: scripted slowdown windows dilate the modeled clock by exactly
+/// the same microseconds whether virtual time is replayed sequentially,
+/// sharded, or modeled under real threads. Full-node tasks serialize
+/// execution, so the threaded engine's wall-clock races cannot perturb
+/// placement — any divergence is a dilation bug, not a scheduling race.
+mod slowdown_parity {
+    use super::*;
+    use impress_pilot::{FaultConfig, FaultPlan, RetryPolicy, RuntimeConfig, ScriptedSlowdown};
+    use impress_sim::{props, SimTime};
+    use impress_telemetry::{chrome_trace_filtered, SpanCat, Telemetry, TraceClock};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// Drive `durations.len()` full-node tasks (plus a max-priority gate
+    /// that holds the node until everything is enqueued, so all queue
+    /// spans begin at virtual zero on every engine) and export the
+    /// virtual-clock Chrome trace plus the final virtual watermark.
+    /// Scheduler spans are filtered: polling cadence is backend mechanics.
+    fn run_traced(
+        mut backend: Box<dyn ExecutionBackend>,
+        durations: &[u64],
+        recorder: impress_telemetry::TraceRecorder,
+        threaded: bool,
+    ) -> (String, u64) {
+        let node = PilotConfig::with_seed(0).node;
+        let full = ResourceRequest::with_gpus(node.cores, node.gpus);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        {
+            let gate = gate.clone();
+            backend.submit(
+                TaskDescription::new("gate", full, SimDuration::from_secs(1))
+                    .with_priority(i32::MAX)
+                    .with_work(move || {
+                        if threaded {
+                            let (lock, cv) = &*gate;
+                            let mut open = lock.lock().expect("gate lock");
+                            while !*open {
+                                open = cv.wait(open).expect("gate wait");
+                            }
+                        }
+                    }),
+            );
+        }
+        for (i, &secs) in durations.iter().enumerate() {
+            backend.submit(TaskDescription::new(
+                format!("t{i}"),
+                full,
+                SimDuration::from_secs(secs),
+            ));
+        }
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().expect("gate lock") = true;
+            cv.notify_all();
+        }
+        while let Some(c) = backend.next_completion() {
+            assert!(c.result.is_ok());
+        }
+        let trace = chrome_trace_filtered(&recorder.events(), TraceClock::Virtual, |cat| {
+            cat != SpanCat::Scheduler
+        });
+        (impress_json::to_string(&trace), backend.now().as_micros())
+    }
+
+    props! {
+        /// Random serialized workloads under random degradation schedules,
+        /// replayed through all three execution engines. Hedging and
+        /// quarantine stay off — this is the hedging-off bit-identity
+        /// guarantee the pinned artifacts rely on, now holding with
+        /// slowdown windows biting.
+        fn slowdown_windows_dilate_identically_on_all_three_engines(rng, cases = 12) {
+            let n = 3 + rng.below(8);
+            let durations: Vec<u64> = (0..n).map(|_| 5 + rng.below(300) as u64).collect();
+            let total_nominal: u64 = 1 + durations.iter().sum::<u64>();
+            let seed = rng.next_u64();
+            let mut fc = FaultConfig::none();
+            for _ in 0..1 + rng.below(3) {
+                fc.scripted_slowdowns.push(ScriptedSlowdown {
+                    node: 0,
+                    at: SimTime::from_micros(rng.below(total_nominal as usize) as u64 * 1_000_000),
+                    duration: SimDuration::from_secs(10 + rng.below(400) as u64),
+                    factor: 2.0 + rng.below(18) as f64,
+                });
+            }
+            let run = |make: &dyn Fn(RuntimeConfig) -> Box<dyn ExecutionBackend>, threaded| {
+                let (telemetry, recorder) = Telemetry::recording(1 << 16);
+                let rt = RuntimeConfig::new(pilot_config(seed))
+                    .faults(FaultPlan::new(fc.clone(), seed ^ 0x51), RetryPolicy::none())
+                    .telemetry(telemetry);
+                run_traced(make(rt), &durations, recorder, threaded)
+            };
+            let sim = run(&|rt| Box::new(rt.simulated()), false);
+            let sha = run(&|rt| Box::new(rt.sharded()), false);
+            let thr = run(&|rt| Box::new(rt.threaded()), true);
+            assert_eq!(sim, sha, "sharded slowdown dilation diverged");
+            // The threaded engine's `now()` is a wall clock, so only the
+            // virtual trace is comparable — and it must match to the byte.
+            assert_eq!(sim.0, thr.0, "threaded slowdown dilation diverged");
+            // The node is busy continuously from bootstrap to the last
+            // completion and every window starts inside that busy span, so
+            // the degradation must actually have stretched the campaign.
+            assert!(
+                sim.1 > (1 + total_nominal) * 1_000_000,
+                "no slowdown window dilated anything"
+            );
+        }
+    }
+}
+
 /// The threaded backend honors GPU slot limits under real concurrency:
 /// at most `gpus` GPU tasks may hold slots at once.
 #[test]

@@ -273,6 +273,98 @@ fn threaded_drain_checkpoint_resume_preserves_outcome_cohort() {
     assert_eq!(want, outcome_cohort(&resumed));
 }
 
+/// A kill landing between a failed attempt and its backed-off retry must
+/// resume onto an identical virtual timeline: the journal knows nothing of
+/// the in-flight ladder (retries are recorded only with the terminal
+/// completion), so the resume re-simulates the fault stream and the retry
+/// fires again — once, after the same jittered backoff — converging on the
+/// uninterrupted faulted campaign's bytes.
+#[test]
+fn kill_mid_retry_backoff_resumes_onto_an_identical_timeline() {
+    use impress_pilot::{FaultConfig, FaultPlan, RetryPolicy};
+    use impress_workflow::EventKind;
+
+    let faulted_backend = || {
+        let plan = FaultPlan::new(
+            FaultConfig {
+                task_failure_rate: 0.2,
+                ..FaultConfig::none()
+            },
+            SEED,
+        );
+        RuntimeConfig::new(PilotConfig::with_seed(SEED))
+            .faults(plan, RetryPolicy::retries(3))
+            .simulated()
+    };
+    let targets = targets();
+    let config = ProtocolConfig::imrp(SEED);
+    let add_roots = |c: &mut Coordinator<_, _, NoDecisions>| {
+        for (i, t) in targets.iter().enumerate() {
+            let tk = TargetToolkit::for_target(t, SEED);
+            c.add_pipeline(Box::new(DesignPipeline::root(tk, config.clone(), i as u64)));
+        }
+    };
+    let cohort = |c: &Coordinator<_, _, NoDecisions>| -> Vec<String> {
+        c.outcomes()
+            .iter()
+            .map(|(_, o)| impress_json::to_string(o))
+            .collect()
+    };
+
+    // Uninterrupted faulted baseline. The fault plan must actually bite,
+    // or the kill point below does not exist.
+    let mut baseline = Coordinator::new(faulted_backend(), NoDecisions);
+    add_roots(&mut baseline);
+    let report = baseline.run();
+    assert!(report.task_retries >= 1, "fault plan never bit");
+    let want = cohort(&baseline);
+
+    // Measure the campaign's natural journal length, then kill halfway:
+    // with a 20 % per-attempt failure rate, retry ladders span the whole
+    // campaign, so a mid-campaign kill lands with at least one failed
+    // attempt waiting out its backoff. Retries are deliberately NOT
+    // journaled (they are backend-internal), so the surviving journal
+    // knows nothing of the in-flight ladder.
+    let full_store = MemoryJournal::new();
+    {
+        let journal =
+            Journal::new(Box::new(full_store.clone()), "retry-backoff", SEED).expect("journal");
+        let mut c = Coordinator::new(faulted_backend(), NoDecisions).with_journal(journal);
+        add_roots(&mut c);
+        c.run();
+    }
+    let mut total = 0;
+    full_store.tamper(|l| total = l.len());
+    assert!(total > 8, "campaign too small to kill mid-ladder: {total}");
+
+    let store = MemoryJournal::new();
+    let journal = Journal::new(Box::new(store.clone()), "retry-backoff", SEED)
+        .expect("journal")
+        .with_kill_after(total as u64 / 2);
+    let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut c = Coordinator::new(faulted_backend(), NoDecisions).with_journal(journal);
+        add_roots(&mut c);
+        c.run();
+    }));
+    assert!(crashed.is_err(), "kill switch must fire");
+
+    let plan = load_plan(&store).expect("surviving journal must load").plan;
+    let mut resumed =
+        Coordinator::resume(faulted_backend(), NoDecisions, &plan).expect("resume");
+    add_roots(&mut resumed);
+    resumed.run();
+    assert_eq!(want, cohort(&resumed), "resume diverged from the baseline");
+    // The resumed coordinator re-derived the retry verdict itself — the
+    // interrupted ladder's retry fired on the replayed timeline.
+    assert!(
+        resumed
+            .events()
+            .count(|e| matches!(e.kind, EventKind::TaskRetried { .. }))
+            >= 1,
+        "the mid-backoff retry must fire after resume"
+    );
+}
+
 props! {
     /// Every prefix of the journal is a valid checkpoint: whatever line
     /// the crash landed on, loading the surviving prefix and resuming

@@ -466,6 +466,105 @@ fn sim_bench_smoke_iteration_produces_a_complete_document() {
         .expect("smoke study reports a headline cell");
 }
 
+/// The checked-in gray-failure study artifact must match the study's
+/// current document layout and certify both resilience claims it exists
+/// to make: hedging at k=2 recovers the majority of the makespan a 10x
+/// straggler tail costs, and quarantine bounds poisoned-lineage waste to
+/// the distinct-node budget. The study is fully deterministic (virtual
+/// clock, fixed seed), but the guard pins structure + claims rather than
+/// bytes so a parameter change stays a one-regeneration fix. Regenerate
+/// with `cargo run --release -p impress-bench --bin straggler_study`.
+#[test]
+fn straggler_artifact_matches_the_study_format_version() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("straggler.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {}: {e} — run the straggler_study bin", path.display()));
+    let json: impress_json::Json = impress_json::from_str(&text).expect("straggler.json parses");
+    let version: u32 = json
+        .get("format_version")
+        .and_then(|v| v.as_f64())
+        .expect("straggler.json has a format_version field") as u32;
+    assert_eq!(
+        version,
+        impress_bench::straggler::STRAGGLER_FORMAT_VERSION,
+        "straggler.json was generated under a different study format — regenerate it"
+    );
+    let acceptance = json.get("acceptance").expect("acceptance section present");
+    for key in ["k2_recovers_majority", "quarantine_bounds_poison_waste"] {
+        assert_eq!(
+            acceptance.get(key).and_then(|v| v.as_bool()),
+            Some(true),
+            "checked-in straggler study must certify `{key}`"
+        );
+    }
+    let rows = json
+        .get("rows")
+        .and_then(|r| r.as_array())
+        .expect("straggler.json has a rows array");
+    assert_eq!(
+        rows.len(),
+        24,
+        "the study sweeps 4 severities x 3 hedge modes x 2 quarantine modes"
+    );
+    for row in rows {
+        assert!(
+            row.get("makespan_secs").and_then(|v| v.as_f64()).is_some_and(|m| m > 0.0),
+            "every cell must report a positive makespan: {row:?}"
+        );
+    }
+}
+
+/// One tiny iteration of the gray-failure study runs under `cargo test`,
+/// so the code that regenerates `straggler.json` cannot bit-rot between
+/// releases. The smoke grid keeps every code path warm — scripted
+/// slowdowns, hedged duplicates, poison quarantine, circuit-breaker
+/// shedding — without asserting the paper-scale recovery bar, which only
+/// the full grid is sized to meet.
+#[test]
+fn straggler_smoke_iteration_produces_a_complete_document() {
+    let doc =
+        impress_bench::straggler::run_study(&impress_bench::straggler::StudyParams::smoke(), 7);
+    assert_eq!(
+        doc.get("format_version").and_then(|v| v.as_f64()),
+        Some(impress_bench::straggler::STRAGGLER_FORMAT_VERSION as f64)
+    );
+    let rows = doc
+        .get("rows")
+        .and_then(|r| r.as_array())
+        .expect("smoke study has rows");
+    assert_eq!(
+        rows.len(),
+        24,
+        "smoke study sweeps the same 24-cell grid as the paper run"
+    );
+    for row in rows {
+        let completed = row.get("completed").and_then(|v| v.as_u64()).unwrap_or(0);
+        let poisoned = row.get("poisoned").and_then(|v| v.as_u64()).unwrap_or(0);
+        let shed = row.get("shed").and_then(|v| v.as_u64()).unwrap_or(0);
+        let timed_out = row.get("timed_out").and_then(|v| v.as_u64()).unwrap_or(0);
+        assert!(
+            completed + poisoned + shed + timed_out > 0,
+            "every smoke cell must drain its campaign: {row:?}"
+        );
+        assert!(
+            row.get("makespan_secs").and_then(|v| v.as_f64()).is_some_and(|m| m > 0.0),
+            "every smoke cell must report a positive makespan: {row:?}"
+        );
+    }
+    let quarantined: Vec<_> = rows
+        .iter()
+        .filter(|r| r.get("quarantine").and_then(|v| v.as_str()) == Some("on"))
+        .collect();
+    assert!(
+        quarantined.iter().any(|r| r.get("poisoned").and_then(|v| v.as_u64()).unwrap_or(0) > 0),
+        "quarantine-on smoke cells must actually poison the doomed lineages"
+    );
+    doc.get("acceptance")
+        .and_then(|a| a.get("k2_recovered_fraction"))
+        .and_then(|v| v.as_f64())
+        .expect("smoke study computes the recovery fraction");
+}
+
 /// The deprecated single-concern pilot constructors (`with_faults`,
 /// `with_time_scale`, `with_deadline`) must not regain call sites outside
 /// the files that define them (which also hold their `#[allow(deprecated)]`
