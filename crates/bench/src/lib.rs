@@ -18,6 +18,7 @@
 //! Run e.g. `cargo run --release -p impress-bench --bin table1`.
 
 pub mod harness;
+pub mod partition;
 pub mod sched;
 pub mod sim;
 pub mod straggler;

@@ -199,7 +199,15 @@ fn run_cell(
             Some(TaskError::Poisoned { .. }) => poisoned += 1,
             Some(TaskError::ShapeCircuitOpen { .. }) => shed += 1,
             Some(TaskError::TimedOut { .. }) => timed_out += 1,
-            Some(other) => panic!("unexpected failure in the straggler study: {other}"),
+            // Spelled out (no catch-all) so a new error variant forces a
+            // decision here instead of silently panicking a bench run.
+            Some(
+                e @ (TaskError::Canceled
+                | TaskError::Injected
+                | TaskError::NodeCrashed { .. }
+                | TaskError::LeaseExpired { .. }
+                | TaskError::WorkPanicked(_)),
+            ) => panic!("unexpected failure in the straggler study: {e}"),
         }
     }
     let u = backend.utilization();

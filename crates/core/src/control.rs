@@ -78,9 +78,25 @@ fn run_lineage<B: ExecutionBackend>(
             ($expr:expr) => {
                 match $expr {
                     Ok(v) => v,
-                    Err(_) => {
+                    // Fault outcomes (budget-exhausted retries, quarantine
+                    // verdicts) are legal lineage terminations. A work
+                    // panic or a cancellation nobody issued is a bug in
+                    // the protocol itself — surface it instead of filing
+                    // it under "aborted". Exhaustive on purpose: a new
+                    // error variant must pick a side here.
+                    Err(
+                        TaskError::TimedOut { .. }
+                        | TaskError::Injected
+                        | TaskError::NodeCrashed { .. }
+                        | TaskError::LeaseExpired { .. }
+                        | TaskError::Poisoned { .. }
+                        | TaskError::ShapeCircuitOpen { .. },
+                    ) => {
                         aborted = true;
                         break 'cycles;
+                    }
+                    Err(e @ (TaskError::Canceled | TaskError::WorkPanicked(_))) => {
+                        panic!("CONT-V stage died on a non-fault error: {e}")
                     }
                 }
             };

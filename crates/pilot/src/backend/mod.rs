@@ -35,6 +35,24 @@ use crate::task::{TaskDescription, TaskId, TaskOutput};
 use impress_sim::{SimDuration, SimTime};
 use std::fmt;
 
+/// Message-kind discriminants for the control plane's idempotent dedup
+/// set: a message identity is `(task, attempt, kind)`, so a retry verdict
+/// and a completion report for the same attempt dedup independently. The
+/// same constants key the seeded per-message RNG on both deterministic
+/// engines, which is what keeps their delivery verdicts identical.
+pub(crate) const MSG_DONE: u8 = 0;
+pub(crate) const MSG_SUBMIT: u8 = 1;
+pub(crate) const MSG_RETRY: u8 = 2;
+pub(crate) const MSG_CANCEL: u8 = 3;
+pub(crate) const MSG_HEDGE: u8 = 4;
+
+/// The numeric message key for `(task, attempt)` traffic: attempts are
+/// folded into the low byte so every attempt of a task gets a distinct
+/// delivery verdict without colliding with other tasks' keys.
+pub(crate) fn msg_key(task: u64, attempt: u32) -> u64 {
+    (task << 8) | u64::from(attempt & 0xff)
+}
+
 /// Why a task did not complete successfully.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TaskError {
@@ -53,6 +71,16 @@ pub enum TaskError {
     /// budget is exhausted — crashes inside the budget requeue silently.
     NodeCrashed {
         /// The node that crashed.
+        node: u32,
+    },
+    /// The attempt's lease expired: the failure detector suspected its
+    /// node (heartbeats stopped arriving inside the timeout) and evicted
+    /// the attempt so it could requeue elsewhere. Like a crash, delivered
+    /// only when the retry budget is exhausted. A late completion from the
+    /// old lease-holder is fenced out by the attempt's lease epoch, so an
+    /// evicted attempt can never double-execute its effects.
+    LeaseExpired {
+        /// The suspected node that held the expired lease.
         node: u32,
     },
     /// The task was classified poisoned by the quarantine policy: its
@@ -84,7 +112,10 @@ impl TaskError {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            TaskError::TimedOut { .. } | TaskError::Injected | TaskError::NodeCrashed { .. }
+            TaskError::TimedOut { .. }
+                | TaskError::Injected
+                | TaskError::NodeCrashed { .. }
+                | TaskError::LeaseExpired { .. }
         )
     }
 
@@ -109,6 +140,9 @@ impl fmt::Display for TaskError {
             TaskError::Injected => write!(f, "task hit an injected transient fault"),
             TaskError::NodeCrashed { node } => {
                 write!(f, "node {node} crashed while hosting the task")
+            }
+            TaskError::LeaseExpired { node } => {
+                write!(f, "attempt's lease on suspected node {node} expired")
             }
             TaskError::Poisoned { distinct_nodes } => {
                 write!(f, "task quarantined as poisoned after failing on {distinct_nodes} distinct nodes")
@@ -284,6 +318,13 @@ pub trait ExecutionBackend {
     fn stamp(&self) -> impress_telemetry::Stamp {
         impress_telemetry::Stamp::virt(self.virtual_now())
     }
+
+    /// Control-plane resilience counters: heartbeats, suspicions, lease
+    /// expiries, fenced completions, dedup hits. All-zero on backends
+    /// without a control plane or with link faults disabled.
+    fn control_stats(&self) -> crate::control::ControlStats {
+        crate::control::ControlStats::default()
+    }
 }
 
 impl ExecutionBackend for Box<dyn ExecutionBackend> {
@@ -319,6 +360,9 @@ impl ExecutionBackend for Box<dyn ExecutionBackend> {
     }
     fn stamp(&self) -> impress_telemetry::Stamp {
         (**self).stamp()
+    }
+    fn control_stats(&self) -> crate::control::ControlStats {
+        (**self).control_stats()
     }
 }
 
@@ -393,6 +437,10 @@ mod tests {
             "node 3 crashed while hosting the task"
         );
         assert_eq!(
+            TaskError::LeaseExpired { node: 5 }.to_string(),
+            "attempt's lease on suspected node 5 expired"
+        );
+        assert_eq!(
             TaskError::Poisoned { distinct_nodes: 3 }.to_string(),
             "task quarantined as poisoned after failing on 3 distinct nodes"
         );
@@ -410,6 +458,8 @@ mod tests {
         }
         .is_retryable());
         assert!(TaskError::NodeCrashed { node: 0 }.is_retryable());
+        assert!(TaskError::LeaseExpired { node: 0 }.is_retryable());
+        assert!(!TaskError::LeaseExpired { node: 0 }.is_quarantined());
         assert!(!TaskError::WorkPanicked("boom".into()).is_retryable());
         assert!(!TaskError::Canceled.is_retryable());
         assert!(!TaskError::Poisoned { distinct_nodes: 3 }.is_retryable());

@@ -46,6 +46,7 @@
 //! repo workloads) satisfy this.
 
 use crate::backend::{Completion, ExecutionBackend, TaskError};
+use crate::control::{ControlPlane, ControlStats};
 use crate::fault::{
     dilate_span, AttemptFault, FaultPlan, HedgePolicy, QuarantinePolicy, RetryPolicy, SlowWindow,
 };
@@ -58,8 +59,10 @@ use crate::states::{StateCell, TaskState};
 use crate::task::{TaskDescription, TaskId, TaskWork};
 use impress_sim::{EventId, EventQueue, SimDuration, SimRng, SimTime, Slab, SlotId};
 use impress_telemetry::{track, SpanCat, SpanId, Stamp, Telemetry};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use super::{msg_key, MSG_CANCEL, MSG_DONE, MSG_HEDGE, MSG_RETRY, MSG_SUBMIT};
 
 /// A simulation event. `Copy`, six machine words: scheduling one costs a
 /// heap-free push into a shard's outbox.
@@ -85,6 +88,32 @@ enum Ev {
     HedgeCheck { task: u64, attempt: u32 },
     /// A hedge duplicate reaches its modeled end and wins the race.
     HedgeWin { task: u64, attempt: u32 },
+    /// Control plane on: a routed submit command arrives at the
+    /// coordinator — the task enters the queue here, not at the client
+    /// call. Duplicated arrivals are absorbed by the dedup set.
+    SubmitArrive { task: u64 },
+    /// Control plane on: a routed completion report arrives. The dedup
+    /// set makes duplicated reports apply once; the lease fence (attempt
+    /// epoch vs the running record) turns away reports superseded by a
+    /// suspicion eviction.
+    DeliverDone { task: u64, attempt: u32 },
+    /// Control plane on: a routed hedge-completion report arrives, with
+    /// the same dedup/fence discipline as [`Ev::DeliverDone`].
+    DeliverHedge { task: u64, attempt: u32 },
+    /// Control plane on: a routed retry verdict arrives; requeue the task
+    /// (duplicated verdicts requeue once via dedup).
+    RetryArrive { task: u64, attempt: u32 },
+    /// Control plane on: a cancel acknowledgment arrives at the client;
+    /// the terminal `Canceled` completion surfaces here.
+    CancelAck { task: u64, attempt: u32 },
+    /// Control plane on: one heartbeat tick for a node — draw the seeded
+    /// delivery verdict, arm the suspicion check, schedule the next tick.
+    HeartbeatSend { node: u32 },
+    /// Control plane on: a heartbeat reached the coordinator.
+    HeartbeatArrive { node: u32 },
+    /// Control plane on: the suspicion check armed one timeout after a
+    /// heartbeat send.
+    SuspectCheck { node: u32 },
 }
 
 /// Queue payload: global sequence number (the deterministic merge key,
@@ -455,6 +484,31 @@ pub struct ShardedBackend {
     failed_nodes: HashMap<u64, Vec<u32>>,
     /// Poisoned lineage count per shape class (quarantine breaker).
     shape_poison: HashMap<(u32, u32), u32>,
+    /// The seeded control plane (`None` = link faults off, a strict
+    /// no-op: no extra events, no randomness, no routing).
+    control: Option<ControlPlane>,
+    /// Control-plane resilience counters (all zero while `control` is
+    /// `None`).
+    cstats: ControlStats,
+    /// Failure detector: last heartbeat arrival per node.
+    last_heard: Vec<SimTime>,
+    /// Nodes currently declared suspect by the detector.
+    suspected: Vec<bool>,
+    /// Ground-truth node health (set by crash/recover events); a crashed
+    /// node emits no heartbeats and cannot be resynced by one.
+    crashed: Vec<bool>,
+    /// Per-node heartbeat sequence numbers (message identity).
+    hb_seq: Vec<u64>,
+    /// Whether heartbeat chains are currently ticking. Chains retire
+    /// themselves when the coordinator goes idle and restart on submit,
+    /// so a drained run still exhausts its event queues.
+    hb_live: bool,
+    /// Idempotent-dedup set: message identities whose effects have been
+    /// applied. A second arrival of the same identity is absorbed.
+    seen: HashSet<(u64, u32, u8)>,
+    /// Cancel acks in flight: `Ev` is `Copy`, so the completion's strings
+    /// are stashed here between the cancel call and the ack's delivery.
+    canceled_acks: HashMap<u64, (String, String, bool)>,
 }
 
 impl ShardedBackend {
@@ -488,6 +542,8 @@ impl ShardedBackend {
             .map(|n| faults.slowdown_windows(n))
             .collect();
         let backoff_rng = SimRng::from_seed(config.seed).fork("retry-backoff");
+        let control = ControlPlane::from_plan(&faults);
+        let node_count = config.nodes as usize;
         // Bootstrap completes at a known instant: record its span up front.
         let boot = telemetry.span(
             SpanCat::Pilot,
@@ -538,6 +594,15 @@ impl ShardedBackend {
             hedge_running: HashMap::new(),
             failed_nodes: HashMap::new(),
             shape_poison: HashMap::new(),
+            control,
+            cstats: ControlStats::default(),
+            last_heard: vec![SimTime::ZERO; node_count],
+            suspected: vec![false; node_count],
+            crashed: vec![false; node_count],
+            hb_seq: vec![0; node_count],
+            hb_live: false,
+            seen: HashSet::new(),
+            canceled_acks: HashMap::new(),
         };
         // Event construction order mirrors the sequential engine exactly:
         // bootstrap first, then each node's crash/recover windows — so
@@ -576,10 +641,14 @@ impl ShardedBackend {
     }
 
     /// Stage an event on its home shard: node-owned events hash to their
-    /// node, global events live on shard 0.
+    /// node, global (hub-link) events live on shard 0.
     fn schedule(&mut self, at: SimTime, ev: Ev) -> (usize, EventId) {
         let shard = match ev {
-            Ev::Crash { node } | Ev::Recover { node } => node as usize % self.nshards,
+            Ev::Crash { node }
+            | Ev::Recover { node }
+            | Ev::HeartbeatSend { node }
+            | Ev::HeartbeatArrive { node }
+            | Ev::SuspectCheck { node } => node as usize % self.nshards,
             _ => 0,
         };
         self.schedule_on(shard, at, ev)
@@ -692,6 +761,14 @@ impl ShardedBackend {
             Ev::Recover { node } => self.recover(node, now),
             Ev::HedgeCheck { task, attempt } => self.hedge_check(task, attempt, now),
             Ev::HedgeWin { task, attempt } => self.hedge_win(task, attempt, now),
+            Ev::SubmitArrive { task } => self.deliver_submit(task, now),
+            Ev::DeliverDone { task, attempt } => self.deliver_done(task, attempt, now),
+            Ev::DeliverHedge { task, attempt } => self.deliver_hedge(task, attempt, now),
+            Ev::RetryArrive { task, attempt } => self.deliver_retry(task, attempt, now),
+            Ev::CancelAck { task, attempt } => self.deliver_cancel(task, attempt, now),
+            Ev::HeartbeatSend { node } => self.heartbeat_send(node, now),
+            Ev::HeartbeatArrive { node } => self.heartbeat_arrive(node, now),
+            Ev::SuspectCheck { node } => self.suspect_check(node, now),
         }
     }
 
@@ -730,6 +807,444 @@ impl ShardedBackend {
             }
         }
         self.place_ready(now);
+    }
+
+    /// Route a control message through the plane: `Some((primary,
+    /// duplicate))` arrival instants with delivery stats booked, or `None`
+    /// when the plane is off and the caller must take its direct
+    /// (pre-control-plane) path.
+    fn route(
+        &mut self,
+        label: &str,
+        key: u64,
+        node: Option<u32>,
+        sent: SimTime,
+    ) -> Option<(SimTime, Option<SimTime>)> {
+        let cp = self.control.as_ref()?;
+        let d = cp.deliveries(label, key, node, sent);
+        self.cstats.messages += 1;
+        self.cstats.retransmits += u64::from(d.transmissions.saturating_sub(1));
+        if d.duplicate.is_some() {
+            self.cstats.duplicates += 1;
+        }
+        Some((d.primary, d.duplicate))
+    }
+
+    /// At-least-once meets exactly-once: the first arrival of a message
+    /// identity claims it and applies; a repeat arrival is absorbed here.
+    /// Returns true when this arrival is the duplicate.
+    fn dedup(&mut self, task: u64, attempt: u32, kind: u8, at: SimTime) -> bool {
+        if self.seen.insert((task, attempt, kind)) {
+            return false;
+        }
+        self.cstats.dedup_hits += 1;
+        if self.telemetry.enabled() {
+            let owner = self.tasks[task as usize]
+                .as_ref()
+                .map(|t| t.spans.task)
+                .unwrap_or(SpanId::NONE);
+            self.telemetry.instant(
+                SpanCat::Control,
+                "dedup-hit",
+                owner,
+                track::task(task),
+                Stamp::virt(at),
+                &[("attempt", attempt as i64), ("kind", kind as i64)],
+            );
+            self.telemetry.count("dedup_hits", 1);
+        }
+        true
+    }
+
+    /// Book a fenced completion: a report whose lease epoch no longer
+    /// matches the coordinator's record (the attempt was evicted and
+    /// superseded). Its effects are discarded — the core of the
+    /// no-split-brain guarantee.
+    fn fence(&mut self, task: u64, attempt: u32, at: SimTime) {
+        self.cstats.fenced_completions += 1;
+        if self.telemetry.enabled() {
+            let owner = self.tasks[task as usize]
+                .as_ref()
+                .map(|t| t.spans.task)
+                .unwrap_or(SpanId::NONE);
+            self.telemetry.instant(
+                SpanCat::Control,
+                "fenced-completion",
+                owner,
+                track::task(task),
+                Stamp::virt(at),
+                &[("attempt", attempt as i64)],
+            );
+            self.telemetry.count("fenced_completions", 1);
+        }
+    }
+
+    /// Arrival of a completion report at the coordinator (control plane
+    /// on): the routed twin of [`ShardedBackend::complete`], with dedup
+    /// and the lease fence in front of the settlement.
+    fn deliver_done(&mut self, task: u64, attempt: u32, now: SimTime) {
+        if self.dedup(task, attempt, MSG_DONE, now) {
+            return;
+        }
+        let slot = match self.tasks[task as usize].as_ref().and_then(|t| t.running) {
+            Some(slot) if self.running.get(slot).is_some_and(|r| r.attempt == attempt) => slot,
+            _ => {
+                self.fence(task, attempt, now);
+                return;
+            }
+        };
+        let run = self.running.remove(slot);
+        self.tasks[task as usize]
+            .as_mut()
+            .expect("running task has a record")
+            .running = None;
+        // A live hedge duplicate lost the race to this settlement.
+        self.settle_hedge_loser(task, true, now);
+        match run.outcome {
+            Planned::Finish => {
+                self.finish_task(TaskId(task), run.alloc, run.started, now, run.setup);
+            }
+            Planned::Injected | Planned::TimedOut(_) => {
+                let err = match run.outcome {
+                    Planned::Injected => TaskError::Injected,
+                    Planned::TimedOut(limit) => TaskError::TimedOut { limit },
+                    Planned::Finish => unreachable!("finish handled above"),
+                };
+                let node = run.alloc.node;
+                self.util.waste(&run.alloc, run.started, now);
+                self.scheduler.release_owned(run.alloc);
+                self.fail_attempt(TaskId(task), err, run.started, now, node);
+            }
+        }
+        self.place_ready(now);
+    }
+
+    /// Arrival of a submit command at the coordinator (control plane on):
+    /// the task enters the scheduler queue here, not at the client call.
+    fn deliver_submit(&mut self, task: u64, now: SimTime) {
+        if self.dedup(task, 0, MSG_SUBMIT, now) {
+            return;
+        }
+        let (request, priority) = {
+            let t = self.tasks[task as usize]
+                .as_ref()
+                .expect("submitted task has a record");
+            (t.request, t.priority)
+        };
+        self.scheduler
+            .enqueue_with_priority(TaskId(task), request, priority);
+        if self.telemetry.enabled() {
+            self.telemetry
+                .gauge("queue_depth", self.scheduler.queue_len() as f64);
+        }
+        self.place_ready(now);
+    }
+
+    /// Arrival of a retry verdict (control plane on): requeue the task for
+    /// its next attempt. Duplicated verdicts requeue once.
+    fn deliver_retry(&mut self, task: u64, attempt: u32, now: SimTime) {
+        if self.dedup(task, attempt, MSG_RETRY, now) {
+            return;
+        }
+        let (request, priority) = {
+            let t = self.tasks[task as usize]
+                .as_ref()
+                .expect("requeued task has a record");
+            (t.request, t.priority)
+        };
+        self.scheduler
+            .enqueue_with_priority(TaskId(task), request, priority);
+        if self.telemetry.enabled() {
+            let tele = self.telemetry.clone();
+            let at = Stamp::virt(now);
+            let t = self.tasks[task as usize]
+                .as_mut()
+                .expect("requeued task has a record");
+            let queue = tele.span(
+                SpanCat::Queue,
+                "queue",
+                t.spans.task,
+                track::task(task),
+                at,
+                &[("attempt", attempt as i64)],
+            );
+            t.spans.queue = queue;
+            t.spans.queued_at = now;
+            tele.gauge("queue_depth", self.scheduler.queue_len() as f64);
+        }
+        self.place_ready(now);
+    }
+
+    /// Arrival of a cancel acknowledgment at the client (control plane
+    /// on): the terminal `Canceled` completion surfaces here.
+    fn deliver_cancel(&mut self, task: u64, attempt: u32, now: SimTime) {
+        if self.dedup(task, attempt, MSG_CANCEL, now) {
+            return;
+        }
+        let (name, tag, hedged) = self
+            .canceled_acks
+            .remove(&task)
+            .expect("ack delivery has a stashed cancel");
+        self.in_flight -= 1;
+        if self.telemetry.enabled() {
+            self.telemetry.gauge("in_flight", self.in_flight as f64);
+        }
+        self.completions.push_back(Completion {
+            task: TaskId(task),
+            name,
+            tag,
+            result: Err(TaskError::Canceled),
+            started: now,
+            finished: now,
+            attempts: attempt,
+            hedged,
+        });
+    }
+
+    /// Arrival of a hedge duplicate's completion report (control plane
+    /// on): the routed twin of [`ShardedBackend::hedge_win`], with the
+    /// same dedup/fence discipline as main-attempt reports.
+    fn deliver_hedge(&mut self, task: u64, attempt: u32, now: SimTime) {
+        if self.dedup(task, attempt, MSG_HEDGE, now) {
+            return;
+        }
+        let hedge = match self.hedge_running.get(&task) {
+            Some(h) if h.attempt == attempt => {
+                self.hedge_running.remove(&task).expect("probed just above")
+            }
+            _ => {
+                self.fence(task, attempt, now);
+                return;
+            }
+        };
+        let slot = self.tasks[task as usize].as_mut().and_then(|t| t.running.take());
+        let Some(slot) = slot else {
+            // No live main to rescue (it was evicted between the hedge's
+            // finish and this delivery): book the duplicate as waste. The
+            // freed slots can admit queued work, so re-scan.
+            self.util.hedge_waste(&hedge.alloc, hedge.started, now);
+            self.scheduler.release_owned(hedge.alloc);
+            self.fence(task, attempt, now);
+            self.place_ready(now);
+            return;
+        };
+        let run = self.running.remove(slot);
+        self.cancel_event(run.shard, run.event);
+        self.util.hedge_waste(&run.alloc, run.started, now);
+        self.scheduler.release_owned(run.alloc);
+        if self.telemetry.enabled() {
+            let tele = self.telemetry.clone();
+            let owner = self.tasks[task as usize]
+                .as_ref()
+                .map(|t| t.spans.attempt)
+                .unwrap_or(SpanId::NONE);
+            tele.instant(
+                SpanCat::Hedge,
+                "hedge-win",
+                owner,
+                track::task(task),
+                Stamp::virt(now),
+                &[("node", hedge.alloc.node as i64)],
+            );
+            tele.count("hedge_wins", 1);
+        }
+        self.finish_task(TaskId(task), hedge.alloc, hedge.started, now, hedge.setup);
+        self.place_ready(now);
+    }
+
+    /// (Re)start heartbeat chains under an active failure detector.
+    /// Chains run only while work is in flight — each node's chain retires
+    /// itself at the first tick with an idle coordinator — so a drained
+    /// run still exhausts its event queues.
+    fn ensure_heartbeats(&mut self, now: SimTime) {
+        let interval = {
+            let Some(cp) = &self.control else {
+                return;
+            };
+            let link = cp.link();
+            let (Some(interval), Some(_)) = (link.heartbeat_interval, link.heartbeat_timeout)
+            else {
+                return;
+            };
+            if self.hb_live {
+                return;
+            }
+            interval
+        };
+        self.hb_live = true;
+        // A (re)started detector grants every node a fresh grace period —
+        // nothing can be suspected for silence that predates the detector.
+        for t in self.last_heard.iter_mut() {
+            *t = now;
+        }
+        for node in 0..self.config.nodes {
+            self.schedule(now + interval, Ev::HeartbeatSend { node });
+        }
+    }
+
+    /// One heartbeat tick for `node`: draw the seeded delivery verdict,
+    /// schedule the arrival (if any), the suspicion check one timeout out,
+    /// and the next tick one interval out — in that order on both
+    /// deterministic engines.
+    fn heartbeat_send(&mut self, node: u32, now: SimTime) {
+        if self.in_flight == 0 {
+            self.hb_live = false;
+            return;
+        }
+        let tick = {
+            let Some(cp) = &self.control else {
+                return;
+            };
+            let link = cp.link();
+            let (Some(interval), Some(timeout)) = (link.heartbeat_interval, link.heartbeat_timeout)
+            else {
+                return;
+            };
+            let seq = self.hb_seq[node as usize];
+            // A crashed node emits nothing this tick; the schedule keeps
+            // ticking so heartbeats resume the instant it recovers.
+            let sent = !self.crashed[node as usize];
+            let arrive = if sent {
+                cp.best_effort("hb", (u64::from(node) << 32) | seq, node, now)
+            } else {
+                None
+            };
+            (arrive, sent, interval, timeout)
+        };
+        let (arrive, sent, interval, timeout) = tick;
+        self.hb_seq[node as usize] += 1;
+        if sent {
+            self.cstats.heartbeats_sent += 1;
+            if arrive.is_some() {
+                self.cstats.heartbeats_delivered += 1;
+            }
+        }
+        if let Some(at) = arrive {
+            self.schedule(at, Ev::HeartbeatArrive { node });
+        }
+        self.schedule(now + timeout, Ev::SuspectCheck { node });
+        self.schedule(now + interval, Ev::HeartbeatSend { node });
+    }
+
+    /// A heartbeat reached the coordinator: refresh the node's liveness
+    /// and, if it was falsely suspected (partition, dropped heartbeats),
+    /// resync — re-admit the node to placement.
+    fn heartbeat_arrive(&mut self, node: u32, now: SimTime) {
+        self.last_heard[node as usize] = now;
+        if self.suspected[node as usize] && !self.crashed[node as usize] {
+            self.suspected[node as usize] = false;
+            self.cstats.resyncs += 1;
+            self.scheduler.recover_node(node);
+            if self.telemetry.enabled() {
+                self.telemetry.instant(
+                    SpanCat::Control,
+                    "resync",
+                    SpanId::NONE,
+                    track::FAULT,
+                    Stamp::virt(now),
+                    &[("node", node as i64)],
+                );
+                self.telemetry.count("resyncs", 1);
+            }
+            self.place_ready(now);
+        }
+    }
+
+    /// Timeout check armed one heartbeat-timeout after each send: if the
+    /// node has been silent for a full timeout, declare it suspect.
+    fn suspect_check(&mut self, node: u32, now: SimTime) {
+        let Some(cp) = &self.control else {
+            return;
+        };
+        let Some(timeout) = cp.link().heartbeat_timeout else {
+            return;
+        };
+        if self.in_flight > 0
+            && !self.suspected[node as usize]
+            && self.scheduler.node_is_up(node)
+            && self.last_heard[node as usize] + timeout <= now
+        {
+            self.suspect_node(node, now);
+        }
+    }
+
+    /// Declare `node` suspect: stop placing on it, and evict its resident
+    /// attempts — their leases are expired, so each requeues (consuming a
+    /// retry) while its eventual late report is fenced out by epoch. The
+    /// node-side events are *not* canceled: a falsely suspected node is
+    /// healthy and its reports genuinely arrive.
+    fn suspect_node(&mut self, node: u32, now: SimTime) {
+        self.suspected[node as usize] = true;
+        self.cstats.suspicions += 1;
+        // Victims in task-id order: slab iteration order must not leak
+        // into the deterministic event stream.
+        let mut victims: Vec<(u64, SlotId)> = self
+            .running
+            .iter()
+            .filter(|(_, r)| r.alloc.node == node)
+            .map(|(slot, r)| (r.task, slot))
+            .collect();
+        victims.sort_unstable_by_key(|&(task, _)| task);
+        self.scheduler.drain_node(node);
+        if self.telemetry.enabled() {
+            self.telemetry.instant(
+                SpanCat::Control,
+                "suspect",
+                SpanId::NONE,
+                track::FAULT,
+                Stamp::virt(now),
+                &[("node", node as i64)],
+            );
+            self.telemetry.count("suspicions", 1);
+        }
+        // Hedge duplicates resident on the suspected node forfeit their
+        // slots exactly as under a crash (the drained pool is rebuilt).
+        {
+            let mut hedge_ids: Vec<u64> = self
+                .hedge_running
+                .iter()
+                .filter(|(_, r)| r.alloc.node == node)
+                .map(|(&i, _)| i)
+                .collect();
+            hedge_ids.sort_unstable();
+            for i in hedge_ids {
+                self.settle_hedge_loser(i, false, now);
+            }
+        }
+        for (task, slot) in victims {
+            let run = self.running.remove(slot);
+            self.tasks[task as usize]
+                .as_mut()
+                .expect("victim has a record")
+                .running = None;
+            // The completion-report event stays live: the report genuinely
+            // arrives later and is turned away by the lease fence.
+            self.settle_hedge_loser(task, true, now);
+            self.cstats.lease_expiries += 1;
+            self.util.waste(&run.alloc, run.started, now);
+            if self.telemetry.enabled() {
+                let owner = self.tasks[task as usize]
+                    .as_ref()
+                    .map(|t| t.spans.attempt)
+                    .unwrap_or(SpanId::NONE);
+                self.telemetry.instant(
+                    SpanCat::Control,
+                    "lease-expired",
+                    owner,
+                    track::task(task),
+                    Stamp::virt(now),
+                    &[("node", node as i64), ("attempt", run.attempt as i64)],
+                );
+                self.telemetry.count("lease_expiries", 1);
+            }
+            self.fail_attempt(
+                TaskId(task),
+                TaskError::LeaseExpired { node },
+                run.started,
+                now,
+                node,
+            );
+        }
     }
 
     /// Complete a successful attempt: run the work closure, free slots,
@@ -879,7 +1394,11 @@ impl ShardedBackend {
                 TaskError::Injected => "fault-injected",
                 TaskError::TimedOut { .. } => "fault-timeout",
                 TaskError::NodeCrashed { .. } => "fault-crash",
-                _ => "fault",
+                TaskError::LeaseExpired { .. } => "fault-lease",
+                TaskError::WorkPanicked(_)
+                | TaskError::Canceled
+                | TaskError::Poisoned { .. }
+                | TaskError::ShapeCircuitOpen { .. } => "fault",
             };
             tele.instant(SpanCat::Fault, fault, spans.attempt, track::task(id.0), at, &[]);
             tele.end(spans.attempt, at);
@@ -915,9 +1434,33 @@ impl ShardedBackend {
             Some(n) => {
                 self.util.note_retry();
                 self.telemetry.count("retries", 1);
-                let _ = n;
                 let delay = retry.backoff(n, &mut self.backoff_rng);
-                self.schedule(now + delay, Ev::Requeue { task: id.0 });
+                // The retry verdict is a hub message sent once the backoff
+                // elapses; under the control plane the requeue happens at
+                // its delivery (duplicated verdicts requeue once via dedup).
+                match self.route("retry", msg_key(id.0, n), None, now + delay) {
+                    Some((primary, duplicate)) => {
+                        self.schedule(
+                            primary,
+                            Ev::RetryArrive {
+                                task: id.0,
+                                attempt: n,
+                            },
+                        );
+                        if let Some(dup) = duplicate {
+                            self.schedule(
+                                dup,
+                                Ev::RetryArrive {
+                                    task: id.0,
+                                    attempt: n,
+                                },
+                            );
+                        }
+                    }
+                    None => {
+                        self.schedule(now + delay, Ev::Requeue { task: id.0 });
+                    }
+                }
             }
             None => {
                 let mut task = self.tasks[id.0 as usize]
@@ -1101,8 +1644,24 @@ impl ShardedBackend {
             );
             tele.count("hedges", 1);
         }
-        let shard = alloc.node as usize % self.nshards;
-        let (shard, event) = self.schedule_on(shard, now + span, Ev::HedgeWin { task, attempt });
+        // The hedge's completion report routes exactly like the main
+        // attempt's (same link, same fence/dedup discipline).
+        let home = alloc.node as usize % self.nshards;
+        let (shard, event) = match self.route(
+            "hedge",
+            msg_key(task, attempt),
+            Some(alloc.node),
+            now + span,
+        ) {
+            Some((primary, duplicate)) => {
+                let placed = self.schedule_on(home, primary, Ev::DeliverHedge { task, attempt });
+                if let Some(dup) = duplicate {
+                    self.schedule_on(home, dup, Ev::DeliverHedge { task, attempt });
+                }
+                placed
+            }
+            None => self.schedule_on(home, now + span, Ev::HedgeWin { task, attempt }),
+        };
         self.hedge_running.insert(
             task,
             HedgeRun {
@@ -1236,7 +1795,12 @@ impl ShardedBackend {
             .map(|(slot, r)| (r.task, slot))
             .collect();
         victims.sort_unstable_by_key(|&(task, _)| task);
-        self.scheduler.drain_node(node);
+        self.crashed[node as usize] = true;
+        // A node already drained by a suspicion verdict stays drained;
+        // draining twice would corrupt the pool.
+        if !self.suspected[node as usize] {
+            self.scheduler.drain_node(node);
+        }
         if self.telemetry.enabled() {
             self.telemetry.instant(
                 SpanCat::Fault,
@@ -1280,6 +1844,11 @@ impl ShardedBackend {
 
     /// A node recover event: re-admit the node and place waiting tasks.
     fn recover(&mut self, node: u32, now: SimTime) {
+        self.crashed[node as usize] = false;
+        // The healed node gets a fresh liveness grace period, and any
+        // standing suspicion is cleared by this ground-truth recovery.
+        self.suspected[node as usize] = false;
+        self.last_heard[node as usize] = now;
         self.scheduler.recover_node(node);
         if self.telemetry.enabled() {
             self.telemetry.instant(
@@ -1324,6 +1893,14 @@ impl ShardedBackend {
         }
         let mut launched = 0u64;
         debug_assert!(self.queue_waits.is_empty());
+        // Placements that hand their slots straight back mid-round (deadline
+        // holds, shape sheds) can strand later queue entries: the freed
+        // frontier is never re-scanned. Without the control plane that gap
+        // is benign — the event queue drains and the run ends — and fixing
+        // it would break byte-identity with the pre-control engine. With
+        // the plane on, the heartbeat chain keeps the queue alive forever,
+        // so a stranded entry would livelock termination; re-scan below.
+        let mut stranded = false;
         for (id, mut alloc) in placements {
             let idx = id.0 as usize;
             // Quarantine: an open shape circuit breaker sheds the whole
@@ -1339,6 +1916,7 @@ impl ShardedBackend {
                 _ => false,
             };
             if tripped {
+                stranded = true;
                 self.scheduler.release_owned(alloc);
                 let mut task = self.tasks[idx].take().expect("placed task exists");
                 task.state.advance(TaskState::Failed);
@@ -1420,6 +1998,7 @@ impl ShardedBackend {
             // Walltime-aware drain: an attempt that cannot finish inside
             // the allocation deadline is held, not launched.
             if self.deadline.is_some_and(|d| now + span > d) {
+                stranded = true;
                 self.scheduler.release_owned(alloc);
                 self.held.push(id.0);
                 if self.telemetry.enabled() {
@@ -1460,15 +2039,49 @@ impl ShardedBackend {
                     .spans
                     .attempt = attempt_span;
             }
-            let shard = alloc.node as usize % self.nshards;
-            let (shard, event) = self.schedule_on(
-                shard,
+            // Under the control plane the node's completion report is sent
+            // at the attempt's modeled finish and *routed*: it settles at
+            // its (at-least-once) delivery instant, where the lease fence
+            // and dedup set decide whether its effects apply. Without the
+            // plane the report is the completion — the event fires at the
+            // finish instant exactly as before.
+            let home = alloc.node as usize % self.nshards;
+            let (shard, event) = match self.route(
+                "done",
+                msg_key(id.0, attempts),
+                Some(alloc.node),
                 now + span,
-                Ev::Complete {
-                    task: id.0,
-                    attempt: attempts,
-                },
-            );
+            ) {
+                Some((primary, duplicate)) => {
+                    let placed = self.schedule_on(
+                        home,
+                        primary,
+                        Ev::DeliverDone {
+                            task: id.0,
+                            attempt: attempts,
+                        },
+                    );
+                    if let Some(dup) = duplicate {
+                        self.schedule_on(
+                            home,
+                            dup,
+                            Ev::DeliverDone {
+                                task: id.0,
+                                attempt: attempts,
+                            },
+                        );
+                    }
+                    placed
+                }
+                None => self.schedule_on(
+                    home,
+                    now + span,
+                    Ev::Complete {
+                        task: id.0,
+                        attempt: attempts,
+                    },
+                ),
+            };
             let slot = self.running.insert(Running {
                 task: id.0,
                 attempt: attempts,
@@ -1510,6 +2123,12 @@ impl ShardedBackend {
         self.telemetry
             .observe_many("queue_wait_seconds", 0.0, 14_400.0, 48, &self.queue_waits);
         self.queue_waits.clear();
+        // See `stranded` above: each recursion either holds, sheds or
+        // places at least one queued task, so the depth is bounded by the
+        // queue length.
+        if stranded && self.control.is_some() {
+            self.place_ready(now);
+        }
     }
 }
 
@@ -1565,8 +2184,22 @@ impl ExecutionBackend for ShardedBackend {
             running: None,
             hedged: false,
         }));
-        self.scheduler.enqueue_with_priority(id, request, priority);
         self.in_flight += 1;
+        // Under the control plane the submit command itself is routed:
+        // the task enters the scheduler queue at the command's hub
+        // delivery, not at the client call.
+        if let Some((primary, duplicate)) = self.route("submit", msg_key(id.0, 0), None, now) {
+            if self.telemetry.enabled() {
+                self.telemetry.gauge("in_flight", self.in_flight as f64);
+            }
+            self.schedule(primary, Ev::SubmitArrive { task: id.0 });
+            if let Some(dup) = duplicate {
+                self.schedule(dup, Ev::SubmitArrive { task: id.0 });
+            }
+            self.ensure_heartbeats(now);
+            return id;
+        }
+        self.scheduler.enqueue_with_priority(id, request, priority);
         if self.telemetry.enabled() {
             self.telemetry
                 .gauge("queue_depth", self.scheduler.queue_len() as f64);
@@ -1591,6 +2224,13 @@ impl ExecutionBackend for ShardedBackend {
             // holds far-future crash/recover events whose processing would
             // pointlessly advance virtual time past the workload's end.
             if self.in_flight == 0 {
+                return None;
+            }
+            // With a live detector the heartbeat chains keep the event
+            // queues nonempty forever; a workload reduced to held tasks
+            // can never complete, so stop instead of ticking heartbeats
+            // until the end of time.
+            if self.control.is_some() && self.in_flight == self.held.len() {
                 return None;
             }
             if !self.pump() {
@@ -1651,6 +2291,37 @@ impl ExecutionBackend for ShardedBackend {
             tele.count("tasks_canceled", 1);
             tele.gauge("in_flight", self.in_flight as f64);
         }
+        let attempts = task.attempts;
+        // Under the control plane the cancel takes effect at the
+        // (coordinator-local) queue immediately, but its acknowledgment —
+        // the terminal `Canceled` completion — routes back over the hub
+        // link and surfaces at delivery.
+        if let Some((primary, duplicate)) =
+            self.route("cancel", msg_key(id.0, attempts), None, self.now)
+        {
+            // The deferred ack keeps the task in flight until delivery so
+            // the completion pump knows to keep stepping.
+            self.in_flight += 1;
+            self.canceled_acks
+                .insert(id.0, (task.name, task.tag, task.hedged));
+            self.schedule(
+                primary,
+                Ev::CancelAck {
+                    task: id.0,
+                    attempt: attempts,
+                },
+            );
+            if let Some(dup) = duplicate {
+                self.schedule(
+                    dup,
+                    Ev::CancelAck {
+                        task: id.0,
+                        attempt: attempts,
+                    },
+                );
+            }
+            return true;
+        }
         self.completions.push_back(Completion {
             task: id,
             name: task.name,
@@ -1658,17 +2329,21 @@ impl ExecutionBackend for ShardedBackend {
             result: Err(TaskError::Canceled),
             started: self.now,
             finished: self.now,
-            attempts: task.attempts,
+            attempts,
             hedged: task.hedged,
         });
         true
+    }
+
+    fn control_stats(&self) -> ControlStats {
+        self.cstats
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fault::{FaultConfig, ScriptedCrash, ScriptedSlowdown};
+    use crate::fault::{FaultConfig, ScriptedCrash, ScriptedPartition, ScriptedSlowdown};
     use crate::resources::{NodeSpec, ResourceRequest};
     use crate::scheduler::PlacementPolicy;
     use impress_sim::props;
@@ -1796,6 +2471,7 @@ mod tests {
             trace: String,
             breakdown: PhaseBreakdown,
             util: UtilizationReport,
+            cstats: ControlStats,
         }
 
         fn drive(backend: &mut dyn ExecutionBackend, c: &Campaign) -> Vec<(u64, String, u64, u64, u32, bool, String)> {
@@ -1846,6 +2522,7 @@ mod tests {
             let completions = drive(backend.as_mut(), c);
             Outcome {
                 completions,
+                cstats: backend.control_stats(),
                 end: backend.now().as_micros(),
                 held: backend.held_tasks(),
                 snapshot: telemetry.snapshot(),
@@ -1899,6 +2576,36 @@ mod tests {
                     fc.slowdown_duration = SimDuration::from_secs(60 + rng.below(600) as u64);
                     fc.slowdown_factor = 2.0 + rng.below(10) as f64;
                     fc.max_slowdowns_per_node = 1 + rng.below(3) as u32;
+                }
+                // Control-plane link faults on about a third of campaigns:
+                // drops, duplicates, latency/jitter/reorder, scripted
+                // partitions, heartbeat failure detection. The other two
+                // thirds keep proving the strict no-op path stays
+                // byte-identical to the pre-control-plane engine.
+                if rng.below(3) == 0 {
+                    fc.link.drop_rate = rng.below(25) as f64 / 100.0;
+                    fc.link.duplicate_rate = rng.below(30) as f64 / 100.0;
+                    fc.link.delay = SimDuration::from_micros(1_000 + rng.below(150_000) as u64);
+                    fc.link.jitter = SimDuration::from_micros(rng.below(80_000) as u64);
+                    fc.link.reorder_rate = rng.below(20) as f64 / 100.0;
+                    fc.link.retransmit_timeout = SimDuration::from_secs(1 + rng.below(4) as u64);
+                    if rng.below(2) == 0 {
+                        fc.link.partitions.push(ScriptedPartition {
+                            first_node: 0,
+                            last_node: rng.below(nodes as usize) as u32,
+                            at: SimTime::from_micros((30 + rng.below(900) as u64) * 1_000_000),
+                            duration: SimDuration::from_secs(20 + rng.below(180) as u64),
+                        });
+                    }
+                    if rng.below(2) == 0 {
+                        let interval = 1 + rng.below(5) as u64;
+                        fc.link.heartbeat_interval = Some(SimDuration::from_secs(interval));
+                        // Any timeout is legal — too-tight ones just produce
+                        // false suspicions, which resync. Both sides of that
+                        // coin must replay identically.
+                        fc.link.heartbeat_timeout =
+                            Some(SimDuration::from_secs(interval * (3 + rng.below(6) as u64)));
+                    }
                 }
                 let mut descs = Vec::new();
                 for _ in 0..1 + rng.below(25) {
@@ -1969,6 +2676,7 @@ mod tests {
                 assert_eq!(oracle.snapshot, serial.snapshot, "metrics snapshot diverged");
                 assert_eq!(oracle.trace, serial.trace, "chrome trace diverged");
                 assert_eq!(oracle.breakdown, serial.breakdown, "phase breakdown diverged");
+                assert_eq!(oracle.cstats, serial.cstats, "control-plane stats diverged");
 
                 // Utilization: same math, different (aggregate vs per-device)
                 // summation order — equal to float round-off.
@@ -1995,6 +2703,7 @@ mod tests {
                 assert_eq!(serial.held, parallel.held);
                 assert_eq!(serial.snapshot, parallel.snapshot);
                 assert_eq!(serial.trace, parallel.trace);
+                assert_eq!(serial.cstats, parallel.cstats);
             }
         }
     }

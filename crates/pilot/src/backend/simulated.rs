@@ -23,6 +23,7 @@
 //! event-for-event identical to an uninstrumented one.
 
 use crate::backend::{Completion, ExecutionBackend, TaskError};
+use crate::control::{ControlPlane, ControlStats};
 use crate::fault::{
     dilate_span, AttemptFault, FaultPlan, HedgePolicy, QuarantinePolicy, RetryPolicy, SlowWindow,
 };
@@ -36,7 +37,7 @@ use crate::task::{TaskDescription, TaskId, TaskWork};
 use impress_sim::{Engine, ProcessHandle, SimDuration, SimRng, SimTime};
 use impress_telemetry::{track, SpanCat, SpanId, Stamp, Telemetry};
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 
@@ -74,7 +75,14 @@ struct RunningAttempt {
     handle: ProcessHandle,
     alloc: Allocation,
     started: SimTime,
+    /// Lease epoch: the task's attempt number when this placement was
+    /// granted. Under the control plane a completion report only settles
+    /// if its epoch still matches — late reports from evicted (suspected)
+    /// lease-holders are fenced out.
+    attempt: u32,
 }
+
+use super::{msg_key, MSG_CANCEL, MSG_DONE, MSG_HEDGE, MSG_RETRY, MSG_SUBMIT};
 
 struct Shared {
     scheduler: Scheduler,
@@ -118,6 +126,28 @@ struct Shared {
     failed_nodes: HashMap<u64, Vec<u32>>,
     /// Poisoned lineage count per shape class (quarantine breaker).
     shape_poison: HashMap<(u32, u32), u32>,
+    /// The seeded control plane (`None` = link faults off, a strict
+    /// no-op: no extra events, no randomness, no routing).
+    control: Option<ControlPlane>,
+    /// Control-plane resilience counters (all zero while `control` is
+    /// `None`).
+    cstats: ControlStats,
+    /// Failure detector: last heartbeat arrival per node.
+    last_heard: Vec<SimTime>,
+    /// Nodes currently declared suspect by the detector.
+    suspected: Vec<bool>,
+    /// Ground-truth node health (set by crash/recover events); a crashed
+    /// node emits no heartbeats and cannot be resynced by one.
+    crashed: Vec<bool>,
+    /// Per-node heartbeat sequence numbers (message identity).
+    hb_seq: Vec<u64>,
+    /// Whether heartbeat chains are currently ticking. Chains retire
+    /// themselves when the coordinator goes idle and restart on submit,
+    /// so a drained run still exhausts its event queue.
+    hb_live: bool,
+    /// Idempotent-dedup set: message identities whose effects have been
+    /// applied. A second arrival of the same identity is absorbed.
+    seen: HashSet<(u64, u32, u8)>,
 }
 
 impl Shared {
@@ -275,6 +305,10 @@ impl SimulatedBackend {
             .map(|n| faults.slowdown_windows(n))
             .collect();
         let backoff_rng = SimRng::from_seed(config.seed).fork("retry-backoff");
+        // The control plane exists exactly when the plan's link section
+        // models anything; `None` keeps every code path below identical to
+        // the pre-control-plane backend.
+        let control = ControlPlane::from_plan(&faults);
         // The bootstrap phase completes at a known virtual instant, so its
         // span can be recorded up front, before the engine even starts.
         let boot = telemetry.span(
@@ -315,6 +349,14 @@ impl SimulatedBackend {
             hedge_running: HashMap::new(),
             failed_nodes: HashMap::new(),
             shape_poison: HashMap::new(),
+            control,
+            cstats: ControlStats::default(),
+            last_heard: vec![SimTime::ZERO; config.nodes as usize],
+            suspected: vec![false; config.nodes as usize],
+            crashed: vec![false; config.nodes as usize],
+            hb_seq: vec![0; config.nodes as usize],
+            hb_live: false,
+            seen: HashSet::new(),
         }));
         let mut engine = Engine::new();
         // Bootstrap completion event: mark ready and place anything queued.
@@ -399,6 +441,14 @@ impl SimulatedBackend {
             }
             placements
         };
+        // Placements that hand their slots straight back mid-round (deadline
+        // holds, shape sheds) can strand later queue entries: the freed
+        // frontier is never re-scanned. Without the control plane that gap
+        // is benign — the event queue drains and the run ends — and fixing
+        // it would break byte-identity with the pre-control engine. With
+        // the plane on, the heartbeat chain keeps the queue alive forever,
+        // so a stranded entry would livelock termination; re-scan below.
+        let mut stranded = false;
         for (id, mut alloc) in placements {
             let now = engine.now();
             // Quarantine: an open shape circuit breaker sheds the whole
@@ -416,6 +466,7 @@ impl SimulatedBackend {
                     _ => false,
                 };
                 if tripped {
+                    stranded = true;
                     sh.scheduler.release_owned(alloc);
                     let mut task = sh.pending.remove(&id.0).expect("placed task exists");
                     task.state.advance(TaskState::Failed);
@@ -473,7 +524,7 @@ impl SimulatedBackend {
                     }
                 }
             }
-            let (outcome, span, setup) = {
+            let (outcome, span, setup, attempt) = {
                 let mut sh = shared.borrow_mut();
                 let base_setup = sh.exec_setup;
                 let attempts = sh
@@ -513,6 +564,7 @@ impl SimulatedBackend {
                 // back to the pool (in-flight peers may still use them) and it
                 // stays pending — held, never re-placed, never completed.
                 if sh.deadline.is_some_and(|d| now + span > d) {
+                    stranded = true;
                     sh.scheduler.release_owned(alloc);
                     sh.held.push(id.0);
                     if sh.telemetry.enabled() {
@@ -563,49 +615,86 @@ impl SimulatedBackend {
                     }
                     tele.count("placements", 1);
                 }
-                (outcome, span, setup)
+                (outcome, span, setup, attempts)
             };
-            let s = shared.clone();
-            let handle = engine.schedule_in(span, move |eng| {
-                let at = eng.now();
-                // The record always exists when this event fires: eviction
-                // (node crash) cancels the handle before removing it, so a
-                // fired completion implies a live RunningAttempt. Taking it
-                // back here lets the allocation's id buffers be recycled
-                // instead of cloned per event.
-                let run = s
-                    .borrow_mut()
-                    .running
-                    .remove(&id.0)
-                    .expect("completion fired for a task no longer running");
-                // A live hedge duplicate lost the race to this settlement
-                // (or shares the attempt's failure): cancel it first.
-                Self::settle_hedge_loser(&s, eng, id, true);
-                match outcome {
-                    Ok(()) => {
-                        let warmed = s.borrow_mut().finish_task(id, run.alloc, now, at, setup);
-                        if let Some(shape) = warmed {
-                            Self::arm_warm_hedges(&s, eng, shape);
-                        }
+            // Under the control plane the node's completion report is sent
+            // at the attempt's modeled finish and *routed*: it settles at
+            // its (at-least-once) delivery instant, where the lease fence
+            // and dedup set decide whether its effects apply. Without the
+            // plane the report is the completion — the event fires at the
+            // finish instant exactly as before.
+            let routed = {
+                let mut sh = shared.borrow_mut();
+                Self::route(
+                    &mut sh,
+                    "done",
+                    msg_key(id.0, attempt),
+                    Some(alloc.node),
+                    now + span,
+                )
+            };
+            let handle = match routed {
+                Some((primary, duplicate)) => {
+                    let s = shared.clone();
+                    let out = outcome.clone();
+                    let handle = engine.schedule_at(primary, move |eng| {
+                        Self::deliver_done(&s, eng, id, attempt, out, setup)
+                    });
+                    if let Some(dup_at) = duplicate {
+                        let s = shared.clone();
+                        let out = outcome.clone();
+                        engine.schedule_at(dup_at, move |eng| {
+                            Self::deliver_done(&s, eng, id, attempt, out, setup)
+                        });
                     }
-                    Err(err) => {
-                        let node = run.alloc.node;
-                        {
-                            let mut sh = s.borrow_mut();
-                            sh.profiler.attempt_wasted(&run.alloc, now, at);
-                            sh.scheduler.release_owned(run.alloc);
-                        }
-                        Self::fail_attempt(&s, eng, id, err, now, node);
-                    }
+                    handle
                 }
-                Self::place_ready(&s, eng);
-            });
+                None => {
+                    let s = shared.clone();
+                    engine.schedule_in(span, move |eng| {
+                        let at = eng.now();
+                        // The record always exists when this event fires: eviction
+                        // (node crash) cancels the handle before removing it, so a
+                        // fired completion implies a live RunningAttempt. Taking it
+                        // back here lets the allocation's id buffers be recycled
+                        // instead of cloned per event.
+                        let run = s
+                            .borrow_mut()
+                            .running
+                            .remove(&id.0)
+                            .expect("completion fired for a task no longer running");
+                        // A live hedge duplicate lost the race to this settlement
+                        // (or shares the attempt's failure): cancel it first.
+                        Self::settle_hedge_loser(&s, eng, id, true);
+                        match outcome {
+                            Ok(()) => {
+                                let warmed =
+                                    s.borrow_mut().finish_task(id, run.alloc, now, at, setup);
+                                if let Some(shape) = warmed {
+                                    Self::arm_warm_hedges(&s, eng, shape);
+                                }
+                            }
+                            Err(err) => {
+                                let node = run.alloc.node;
+                                {
+                                    let mut sh = s.borrow_mut();
+                                    sh.profiler.attempt_wasted(&run.alloc, now, at);
+                                    sh.scheduler.release_owned(run.alloc);
+                                }
+                                Self::fail_attempt(&s, eng, id, err, now, node);
+                            }
+                        }
+                        Self::place_ready(&s, eng);
+                    })
+                }
+            };
             shared.borrow_mut().running.insert(
                 id.0,
                 RunningAttempt {
                     handle,
                     alloc,
                     started: now,
+                    attempt,
                 },
             );
             // Hedge arming: once the shape class has a runtime estimate, an
@@ -629,6 +718,516 @@ impl SimulatedBackend {
                 let s = shared.clone();
                 engine.schedule_in(delay, move |eng| Self::hedge_check(&s, eng, id, attempt));
             }
+        }
+        // See `stranded` above: each recursion either holds, sheds or
+        // places at least one queued task, so the depth is bounded by the
+        // queue length.
+        if stranded && shared.borrow().control.is_some() {
+            Self::place_ready(shared, engine);
+        }
+    }
+
+    /// Route a control message through the plane: `Some((primary,
+    /// duplicate))` arrival instants with delivery stats booked, or `None`
+    /// when the plane is off and the caller must take its direct
+    /// (pre-control-plane) path.
+    fn route(
+        sh: &mut Shared,
+        label: &str,
+        key: u64,
+        node: Option<u32>,
+        sent: SimTime,
+    ) -> Option<(SimTime, Option<SimTime>)> {
+        let cp = sh.control.as_ref()?;
+        let d = cp.deliveries(label, key, node, sent);
+        sh.cstats.messages += 1;
+        sh.cstats.retransmits += u64::from(d.transmissions.saturating_sub(1));
+        if d.duplicate.is_some() {
+            sh.cstats.duplicates += 1;
+        }
+        Some((d.primary, d.duplicate))
+    }
+
+    /// At-least-once meets exactly-once: the first arrival of a message
+    /// identity claims it and applies; a repeat arrival is absorbed here.
+    /// Returns true when this arrival is the duplicate.
+    fn dedup(shared: &Rc<RefCell<Shared>>, id: TaskId, attempt: u32, kind: u8, at: SimTime) -> bool {
+        let mut sh = shared.borrow_mut();
+        if sh.seen.insert((id.0, attempt, kind)) {
+            return false;
+        }
+        sh.cstats.dedup_hits += 1;
+        if sh.telemetry.enabled() {
+            let owner = sh.spans.get(&id.0).map(|s| s.task).unwrap_or(SpanId::NONE);
+            sh.telemetry.instant(
+                SpanCat::Control,
+                "dedup-hit",
+                owner,
+                track::task(id.0),
+                Stamp::virt(at),
+                &[("attempt", attempt as i64), ("kind", kind as i64)],
+            );
+            sh.telemetry.count("dedup_hits", 1);
+        }
+        true
+    }
+
+    /// Book a fenced completion: a report whose lease epoch no longer
+    /// matches the coordinator's record (the attempt was evicted and
+    /// superseded). Its effects are discarded — the core of the
+    /// no-split-brain guarantee.
+    fn fence(sh: &mut Shared, id: TaskId, attempt: u32, at: SimTime) {
+        sh.cstats.fenced_completions += 1;
+        if sh.telemetry.enabled() {
+            let owner = sh.spans.get(&id.0).map(|s| s.task).unwrap_or(SpanId::NONE);
+            sh.telemetry.instant(
+                SpanCat::Control,
+                "fenced-completion",
+                owner,
+                track::task(id.0),
+                Stamp::virt(at),
+                &[("attempt", attempt as i64)],
+            );
+            sh.telemetry.count("fenced_completions", 1);
+        }
+    }
+
+    /// Arrival of a completion report at the coordinator (control plane
+    /// on). The dedup set makes duplicated reports apply once; the lease
+    /// fence turns away reports whose epoch was superseded by a
+    /// suspicion eviction.
+    fn deliver_done(
+        shared: &Rc<RefCell<Shared>>,
+        engine: &mut Engine,
+        id: TaskId,
+        attempt: u32,
+        outcome: Result<(), TaskError>,
+        setup: SimDuration,
+    ) {
+        let at = engine.now();
+        if Self::dedup(shared, id, attempt, MSG_DONE, at) {
+            return;
+        }
+        let run = {
+            let mut sh = shared.borrow_mut();
+            if sh.running.get(&id.0).is_some_and(|r| r.attempt == attempt) {
+                sh.running.remove(&id.0)
+            } else {
+                Self::fence(&mut sh, id, attempt, at);
+                None
+            }
+        };
+        let Some(run) = run else {
+            return;
+        };
+        // A live hedge duplicate lost the race to this settlement.
+        Self::settle_hedge_loser(shared, engine, id, true);
+        match outcome {
+            Ok(()) => {
+                let warmed = shared
+                    .borrow_mut()
+                    .finish_task(id, run.alloc, run.started, at, setup);
+                if let Some(shape) = warmed {
+                    Self::arm_warm_hedges(shared, engine, shape);
+                }
+            }
+            Err(err) => {
+                let node = run.alloc.node;
+                {
+                    let mut sh = shared.borrow_mut();
+                    sh.profiler.attempt_wasted(&run.alloc, run.started, at);
+                    sh.scheduler.release_owned(run.alloc);
+                }
+                Self::fail_attempt(shared, engine, id, err, run.started, node);
+            }
+        }
+        Self::place_ready(shared, engine);
+    }
+
+    /// Arrival of a submit command at the coordinator (control plane on):
+    /// the task enters the scheduler queue here, not at the client call.
+    fn deliver_submit(
+        shared: &Rc<RefCell<Shared>>,
+        engine: &mut Engine,
+        id: TaskId,
+        request: ResourceRequest,
+        priority: i32,
+    ) {
+        if Self::dedup(shared, id, 0, MSG_SUBMIT, engine.now()) {
+            return;
+        }
+        {
+            let mut sh = shared.borrow_mut();
+            sh.scheduler.enqueue_with_priority(id, request, priority);
+            if sh.telemetry.enabled() {
+                sh.telemetry
+                    .gauge("queue_depth", sh.scheduler.queue_len() as f64);
+            }
+        }
+        Self::place_ready(shared, engine);
+    }
+
+    /// Arrival of a retry verdict (control plane on): requeue the task for
+    /// its next attempt. Duplicated verdicts requeue once.
+    fn deliver_retry(
+        shared: &Rc<RefCell<Shared>>,
+        engine: &mut Engine,
+        id: TaskId,
+        attempt: u32,
+        request: ResourceRequest,
+        priority: i32,
+    ) {
+        if Self::dedup(shared, id, attempt, MSG_RETRY, engine.now()) {
+            return;
+        }
+        {
+            let mut sh = shared.borrow_mut();
+            sh.scheduler.enqueue_with_priority(id, request, priority);
+            if sh.telemetry.enabled() {
+                let tele = sh.telemetry.clone();
+                let at = Stamp::virt(engine.now());
+                if let Some(spans) = sh.spans.get(&id.0).copied() {
+                    let queue = tele.span(
+                        SpanCat::Queue,
+                        "queue",
+                        spans.task,
+                        track::task(id.0),
+                        at,
+                        &[("attempt", attempt as i64)],
+                    );
+                    let entry = sh.spans.get_mut(&id.0).expect("span entry");
+                    entry.queue = queue;
+                    entry.queued_at = engine.now();
+                }
+                tele.gauge("queue_depth", sh.scheduler.queue_len() as f64);
+            }
+        }
+        Self::place_ready(shared, engine);
+    }
+
+    /// Arrival of a cancel acknowledgment at the client (control plane
+    /// on): the terminal `Canceled` completion surfaces here.
+    #[allow(clippy::too_many_arguments)]
+    fn deliver_cancel(
+        shared: &Rc<RefCell<Shared>>,
+        engine: &mut Engine,
+        id: TaskId,
+        attempts: u32,
+        name: String,
+        tag: String,
+        hedged: bool,
+    ) {
+        let at = engine.now();
+        if Self::dedup(shared, id, attempts, MSG_CANCEL, at) {
+            return;
+        }
+        let mut sh = shared.borrow_mut();
+        sh.in_flight -= 1;
+        if sh.telemetry.enabled() {
+            sh.telemetry.gauge("in_flight", sh.in_flight as f64);
+        }
+        sh.completions.push_back(Completion {
+            task: id,
+            name,
+            tag,
+            result: Err(TaskError::Canceled),
+            started: at,
+            finished: at,
+            attempts,
+            hedged,
+        });
+    }
+
+    /// Arrival of a hedge duplicate's completion report (control plane
+    /// on): the routed twin of [`SimulatedBackend::hedge_win`], with the
+    /// same dedup/fence discipline as main-attempt reports.
+    fn deliver_hedge(
+        shared: &Rc<RefCell<Shared>>,
+        engine: &mut Engine,
+        id: TaskId,
+        attempt: u32,
+        setup: SimDuration,
+    ) {
+        let at = engine.now();
+        if Self::dedup(shared, id, attempt, MSG_HEDGE, at) {
+            return;
+        }
+        let hedge = {
+            let mut sh = shared.borrow_mut();
+            if sh
+                .hedge_running
+                .get(&id.0)
+                .is_some_and(|h| h.attempt == attempt)
+            {
+                sh.hedge_running.remove(&id.0)
+            } else {
+                Self::fence(&mut sh, id, attempt, at);
+                None
+            }
+        };
+        let Some(hedge) = hedge else {
+            return;
+        };
+        let main = shared.borrow_mut().running.remove(&id.0);
+        let Some(main) = main else {
+            // No live main to rescue (it was evicted between the hedge's
+            // finish and this delivery): book the duplicate as waste. The
+            // freed slots can admit queued work, so re-scan.
+            {
+                let mut sh = shared.borrow_mut();
+                sh.profiler.attempt_hedge_wasted(&hedge.alloc, hedge.started, at);
+                sh.scheduler.release_owned(hedge.alloc);
+                Self::fence(&mut sh, id, attempt, at);
+            }
+            Self::place_ready(shared, engine);
+            return;
+        };
+        engine.cancel(main.handle);
+        {
+            let mut sh = shared.borrow_mut();
+            sh.profiler.attempt_hedge_wasted(&main.alloc, main.started, at);
+            sh.scheduler.release_owned(main.alloc);
+            if sh.telemetry.enabled() {
+                let tele = sh.telemetry.clone();
+                let owner = sh.spans.get(&id.0).map(|s| s.attempt).unwrap_or(SpanId::NONE);
+                tele.instant(
+                    SpanCat::Hedge,
+                    "hedge-win",
+                    owner,
+                    track::task(id.0),
+                    Stamp::virt(at),
+                    &[("node", hedge.alloc.node as i64)],
+                );
+                tele.count("hedge_wins", 1);
+            }
+        }
+        let warmed = shared
+            .borrow_mut()
+            .finish_task(id, hedge.alloc, hedge.started, at, setup);
+        if let Some(shape) = warmed {
+            Self::arm_warm_hedges(shared, engine, shape);
+        }
+        Self::place_ready(shared, engine);
+    }
+
+    /// (Re)start heartbeat chains under an active failure detector.
+    /// Chains run only while work is in flight — each node's chain retires
+    /// itself at the first tick with an idle coordinator — so a drained
+    /// run still exhausts its event queue.
+    fn ensure_heartbeats(shared: &Rc<RefCell<Shared>>, engine: &mut Engine) {
+        let start = {
+            let mut sh = shared.borrow_mut();
+            let Some(cp) = &sh.control else {
+                return;
+            };
+            let link = cp.link();
+            let (Some(interval), Some(_)) = (link.heartbeat_interval, link.heartbeat_timeout)
+            else {
+                return;
+            };
+            if sh.hb_live {
+                return;
+            }
+            sh.hb_live = true;
+            let now = engine.now();
+            // A (re)started detector grants every node a fresh grace
+            // period — nothing can be suspected for silence that predates
+            // the detector.
+            for t in sh.last_heard.iter_mut() {
+                *t = now;
+            }
+            (interval, sh.last_heard.len() as u32)
+        };
+        let (interval, nodes) = start;
+        for node in 0..nodes {
+            let s = shared.clone();
+            engine.schedule_in(interval, move |eng| Self::heartbeat_send(&s, eng, node));
+        }
+    }
+
+    /// One heartbeat tick for `node`: draw the seeded delivery verdict,
+    /// schedule the arrival (if any), the suspicion check one timeout out,
+    /// and the next tick one interval out — in that order on both
+    /// deterministic engines.
+    fn heartbeat_send(shared: &Rc<RefCell<Shared>>, engine: &mut Engine, node: u32) {
+        let now = engine.now();
+        let tick = {
+            let mut sh = shared.borrow_mut();
+            if sh.in_flight == 0 {
+                sh.hb_live = false;
+                return;
+            }
+            let Some(cp) = &sh.control else {
+                return;
+            };
+            let link = cp.link();
+            let (Some(interval), Some(timeout)) = (link.heartbeat_interval, link.heartbeat_timeout)
+            else {
+                return;
+            };
+            let seq = sh.hb_seq[node as usize];
+            // A crashed node emits nothing this tick; the schedule keeps
+            // ticking so heartbeats resume the instant it recovers.
+            let sent = !sh.crashed[node as usize];
+            let arrive = if sent {
+                cp.best_effort("hb", (u64::from(node) << 32) | seq, node, now)
+            } else {
+                None
+            };
+            sh.hb_seq[node as usize] += 1;
+            if sent {
+                sh.cstats.heartbeats_sent += 1;
+                if arrive.is_some() {
+                    sh.cstats.heartbeats_delivered += 1;
+                }
+            }
+            (arrive, interval, timeout)
+        };
+        let (arrive, interval, timeout) = tick;
+        if let Some(at) = arrive {
+            let s = shared.clone();
+            engine.schedule_at(at, move |eng| Self::heartbeat_arrive(&s, eng, node));
+        }
+        let s = shared.clone();
+        engine.schedule_in(timeout, move |eng| Self::suspect_check(&s, eng, node));
+        let s = shared.clone();
+        engine.schedule_in(interval, move |eng| Self::heartbeat_send(&s, eng, node));
+    }
+
+    /// A heartbeat reached the coordinator: refresh the node's liveness
+    /// and, if it was falsely suspected (partition, dropped heartbeats),
+    /// resync — re-admit the node to placement.
+    fn heartbeat_arrive(shared: &Rc<RefCell<Shared>>, engine: &mut Engine, node: u32) {
+        let now = engine.now();
+        let resynced = {
+            let mut sh = shared.borrow_mut();
+            sh.last_heard[node as usize] = now;
+            if sh.suspected[node as usize] && !sh.crashed[node as usize] {
+                sh.suspected[node as usize] = false;
+                sh.cstats.resyncs += 1;
+                sh.scheduler.recover_node(node);
+                if sh.telemetry.enabled() {
+                    sh.telemetry.instant(
+                        SpanCat::Control,
+                        "resync",
+                        SpanId::NONE,
+                        track::FAULT,
+                        Stamp::virt(now),
+                        &[("node", node as i64)],
+                    );
+                    sh.telemetry.count("resyncs", 1);
+                }
+                true
+            } else {
+                false
+            }
+        };
+        if resynced {
+            Self::place_ready(shared, engine);
+        }
+    }
+
+    /// Timeout check armed one heartbeat-timeout after each send: if the
+    /// node has been silent for a full timeout, declare it suspect.
+    fn suspect_check(shared: &Rc<RefCell<Shared>>, engine: &mut Engine, node: u32) {
+        let now = engine.now();
+        let fire = {
+            let sh = shared.borrow();
+            let Some(cp) = &sh.control else {
+                return;
+            };
+            let Some(timeout) = cp.link().heartbeat_timeout else {
+                return;
+            };
+            sh.in_flight > 0
+                && !sh.suspected[node as usize]
+                && sh.scheduler.node_is_up(node)
+                && sh.last_heard[node as usize] + timeout <= now
+        };
+        if fire {
+            Self::suspect_node(shared, engine, node);
+        }
+    }
+
+    /// Declare `node` suspect: stop placing on it, and evict its resident
+    /// attempts — their leases are expired, so each requeues (consuming a
+    /// retry) while its eventual late report is fenced out by epoch. The
+    /// node-side events are *not* canceled: a falsely suspected node is
+    /// healthy and its reports genuinely arrive.
+    fn suspect_node(shared: &Rc<RefCell<Shared>>, engine: &mut Engine, node: u32) {
+        let now = engine.now();
+        let victims: Vec<(u64, RunningAttempt)> = {
+            let mut sh = shared.borrow_mut();
+            sh.suspected[node as usize] = true;
+            sh.cstats.suspicions += 1;
+            let mut ids: Vec<u64> = sh
+                .running
+                .iter()
+                .filter(|(_, r)| r.alloc.node == node)
+                .map(|(&i, _)| i)
+                .collect();
+            ids.sort_unstable();
+            sh.scheduler.drain_node(node);
+            if sh.telemetry.enabled() {
+                sh.telemetry.instant(
+                    SpanCat::Control,
+                    "suspect",
+                    SpanId::NONE,
+                    track::FAULT,
+                    Stamp::virt(now),
+                    &[("node", node as i64)],
+                );
+                sh.telemetry.count("suspicions", 1);
+            }
+            ids.into_iter()
+                .map(|i| {
+                    let r = sh.running.remove(&i).expect("victim is running");
+                    (i, r)
+                })
+                .collect()
+        };
+        // Hedge duplicates resident on the suspected node forfeit their
+        // slots exactly as under a crash (the drained pool is rebuilt).
+        {
+            let mut hedge_ids: Vec<u64> = shared
+                .borrow()
+                .hedge_running
+                .iter()
+                .filter(|(_, r)| r.alloc.node == node)
+                .map(|(&i, _)| i)
+                .collect();
+            hedge_ids.sort_unstable();
+            for i in hedge_ids {
+                Self::settle_hedge_loser(shared, engine, TaskId(i), false);
+            }
+        }
+        for (id, run) in victims {
+            Self::settle_hedge_loser(shared, engine, TaskId(id), true);
+            {
+                let mut sh = shared.borrow_mut();
+                sh.cstats.lease_expiries += 1;
+                sh.profiler.attempt_wasted(&run.alloc, run.started, now);
+                if sh.telemetry.enabled() {
+                    let owner = sh.spans.get(&id).map(|s| s.attempt).unwrap_or(SpanId::NONE);
+                    sh.telemetry.instant(
+                        SpanCat::Control,
+                        "lease-expired",
+                        owner,
+                        track::task(id),
+                        Stamp::virt(now),
+                        &[("node", node as i64), ("attempt", run.attempt as i64)],
+                    );
+                    sh.telemetry.count("lease_expiries", 1);
+                }
+            }
+            Self::fail_attempt(
+                shared,
+                engine,
+                TaskId(id),
+                TaskError::LeaseExpired { node },
+                run.started,
+                node,
+            );
         }
     }
 
@@ -780,14 +1379,44 @@ impl SimulatedBackend {
                 tele.count("hedges", 1);
             }
         }
-        let s = shared.clone();
-        let handle = engine.schedule_in(span, move |eng| Self::hedge_win(&s, eng, id, setup));
+        // The hedge's completion report routes exactly like the main
+        // attempt's (same link, same fence/dedup discipline).
+        let routed = {
+            let mut sh = shared.borrow_mut();
+            Self::route(
+                &mut sh,
+                "hedge",
+                msg_key(id.0, attempt),
+                Some(alloc.node),
+                now + span,
+            )
+        };
+        let handle = match routed {
+            Some((primary, duplicate)) => {
+                let s = shared.clone();
+                let handle = engine.schedule_at(primary, move |eng| {
+                    Self::deliver_hedge(&s, eng, id, attempt, setup)
+                });
+                if let Some(dup_at) = duplicate {
+                    let s = shared.clone();
+                    engine.schedule_at(dup_at, move |eng| {
+                        Self::deliver_hedge(&s, eng, id, attempt, setup)
+                    });
+                }
+                handle
+            }
+            None => {
+                let s = shared.clone();
+                engine.schedule_in(span, move |eng| Self::hedge_win(&s, eng, id, setup))
+            }
+        };
         shared.borrow_mut().hedge_running.insert(
             id.0,
             RunningAttempt {
                 handle,
                 alloc,
                 started: now,
+                attempt,
             },
         );
     }
@@ -896,7 +1525,11 @@ impl SimulatedBackend {
                     TaskError::Injected => "fault-injected",
                     TaskError::TimedOut { .. } => "fault-timeout",
                     TaskError::NodeCrashed { .. } => "fault-crash",
-                    _ => "fault",
+                    TaskError::LeaseExpired { .. } => "fault-lease",
+                    TaskError::WorkPanicked(_)
+                    | TaskError::Canceled
+                    | TaskError::Poisoned { .. }
+                    | TaskError::ShapeCircuitOpen { .. } => "fault",
                 };
                 tele.instant(
                     SpanCat::Fault,
@@ -934,33 +1567,53 @@ impl SimulatedBackend {
             sh.profiler.note_retry();
             sh.telemetry.count("retries", 1);
             let delay = retry.backoff(attempt, &mut sh.backoff_rng);
+            // The retry verdict is a hub message sent once the backoff
+            // elapses; under the control plane the requeue happens at its
+            // delivery (duplicated verdicts requeue once via dedup).
+            let routed = Self::route(&mut sh, "retry", msg_key(id.0, attempt), None, now + delay);
             drop(sh);
-            let s = shared.clone();
-            engine.schedule_in(delay, move |eng| {
-                {
-                    let mut sh = s.borrow_mut();
-                    sh.scheduler.enqueue_with_priority(id, request, priority);
-                    if sh.telemetry.enabled() {
-                        let tele = sh.telemetry.clone();
-                        let at = Stamp::virt(eng.now());
-                        if let Some(spans) = sh.spans.get(&id.0).copied() {
-                            let queue = tele.span(
-                                SpanCat::Queue,
-                                "queue",
-                                spans.task,
-                                track::task(id.0),
-                                at,
-                                &[("attempt", attempt as i64)],
-                            );
-                            let entry = sh.spans.get_mut(&id.0).expect("span entry");
-                            entry.queue = queue;
-                            entry.queued_at = eng.now();
-                        }
-                        tele.gauge("queue_depth", sh.scheduler.queue_len() as f64);
+            match routed {
+                Some((primary, duplicate)) => {
+                    let s = shared.clone();
+                    engine.schedule_at(primary, move |eng| {
+                        Self::deliver_retry(&s, eng, id, attempt, request, priority)
+                    });
+                    if let Some(dup_at) = duplicate {
+                        let s = shared.clone();
+                        engine.schedule_at(dup_at, move |eng| {
+                            Self::deliver_retry(&s, eng, id, attempt, request, priority)
+                        });
                     }
                 }
-                Self::place_ready(&s, eng);
-            });
+                None => {
+                    let s = shared.clone();
+                    engine.schedule_in(delay, move |eng| {
+                        {
+                            let mut sh = s.borrow_mut();
+                            sh.scheduler.enqueue_with_priority(id, request, priority);
+                            if sh.telemetry.enabled() {
+                                let tele = sh.telemetry.clone();
+                                let at = Stamp::virt(eng.now());
+                                if let Some(spans) = sh.spans.get(&id.0).copied() {
+                                    let queue = tele.span(
+                                        SpanCat::Queue,
+                                        "queue",
+                                        spans.task,
+                                        track::task(id.0),
+                                        at,
+                                        &[("attempt", attempt as i64)],
+                                    );
+                                    let entry = sh.spans.get_mut(&id.0).expect("span entry");
+                                    entry.queue = queue;
+                                    entry.queued_at = eng.now();
+                                }
+                                tele.gauge("queue_depth", sh.scheduler.queue_len() as f64);
+                            }
+                        }
+                        Self::place_ready(&s, eng);
+                    });
+                }
+            }
         } else {
             let mut task = sh.pending.remove(&id.0).expect("failed task has a record");
             task.state.advance(TaskState::Failed);
@@ -1049,7 +1702,12 @@ impl SimulatedBackend {
                 .map(|(&i, _)| i)
                 .collect();
             ids.sort_unstable();
-            sh.scheduler.drain_node(node);
+            sh.crashed[node as usize] = true;
+            // A node already drained by a suspicion verdict stays drained;
+            // draining twice would corrupt the pool.
+            if !sh.suspected[node as usize] {
+                sh.scheduler.drain_node(node);
+            }
             ids.into_iter()
                 .map(|i| {
                     let r = sh.running.remove(&i).expect("victim is running");
@@ -1112,6 +1770,11 @@ impl SimulatedBackend {
     fn node_recover(shared: &Rc<RefCell<Shared>>, engine: &mut Engine, node: u32) {
         {
             let mut sh = shared.borrow_mut();
+            sh.crashed[node as usize] = false;
+            // The healed node gets a fresh liveness grace period, and any
+            // standing suspicion is cleared by this ground-truth recovery.
+            sh.suspected[node as usize] = false;
+            sh.last_heard[node as usize] = engine.now();
             sh.scheduler.recover_node(node);
             if sh.telemetry.enabled() {
                 sh.telemetry.instant(
@@ -1208,9 +1871,33 @@ impl ExecutionBackend for SimulatedBackend {
                 },
             );
             sh.profiler.task_submitted(id, now);
+            sh.in_flight += 1;
+            // Under the control plane the submit command itself is routed:
+            // the task enters the scheduler queue at the command's hub
+            // delivery, not at the client call.
+            let routed = Self::route(&mut sh, "submit", msg_key(id.0, 0), None, now);
+            if let Some((primary, duplicate)) = routed {
+                if sh.telemetry.enabled() {
+                    sh.telemetry.gauge("in_flight", sh.in_flight as f64);
+                }
+                let request = desc.request;
+                let priority = desc.priority;
+                drop(sh);
+                let s = self.shared.clone();
+                self.engine.schedule_at(primary, move |eng| {
+                    Self::deliver_submit(&s, eng, id, request, priority)
+                });
+                if let Some(dup_at) = duplicate {
+                    let s = self.shared.clone();
+                    self.engine.schedule_at(dup_at, move |eng| {
+                        Self::deliver_submit(&s, eng, id, request, priority)
+                    });
+                }
+                Self::ensure_heartbeats(&self.shared, &mut self.engine);
+                return id;
+            }
             sh.scheduler
                 .enqueue_with_priority(id, desc.request, desc.priority);
-            sh.in_flight += 1;
             if sh.telemetry.enabled() {
                 sh.telemetry
                     .gauge("queue_depth", sh.scheduler.queue_len() as f64);
@@ -1242,8 +1929,18 @@ impl ExecutionBackend for SimulatedBackend {
             // drain the remaining event queue: under fault injection it
             // holds far-future crash/recover events whose processing would
             // pointlessly advance virtual time past the workload's end.
-            if self.shared.borrow().in_flight == 0 {
-                return None;
+            {
+                let sh = self.shared.borrow();
+                if sh.in_flight == 0 {
+                    return None;
+                }
+                // With a live detector the heartbeat chain keeps the event
+                // queue nonempty forever; a workload reduced to held tasks
+                // can never complete, so stop instead of ticking heartbeats
+                // until the end of time.
+                if sh.control.is_some() && sh.in_flight == sh.held.len() {
+                    return None;
+                }
             }
             if !self.engine.step() {
                 return None;
@@ -1305,6 +2002,33 @@ impl ExecutionBackend for SimulatedBackend {
             tele.gauge("in_flight", sh.in_flight as f64);
         }
         let attempts = task.attempts;
+        // Under the control plane the cancel takes effect at the
+        // (coordinator-local) queue immediately, but its acknowledgment —
+        // the terminal `Canceled` completion — routes back over the hub
+        // link and surfaces at delivery.
+        let routed = Self::route(
+            &mut sh,
+            "cancel",
+            msg_key(id.0, attempts),
+            None,
+            self.engine.now(),
+        );
+        if let Some((primary, duplicate)) = routed {
+            // The deferred ack keeps the task in flight until delivery so
+            // the completion pump knows to keep stepping.
+            sh.in_flight += 1;
+            drop(sh);
+            for at in std::iter::once(primary).chain(duplicate) {
+                let s = self.shared.clone();
+                let name = task.name.clone();
+                let tag = task.tag.clone();
+                let hedged = task.hedged;
+                self.engine.schedule_at(at, move |eng| {
+                    Self::deliver_cancel(&s, eng, id, attempts, name, tag, hedged)
+                });
+            }
+            return true;
+        }
         sh.completions.push_back(Completion {
             task: id,
             name: task.name,
@@ -1316,6 +2040,10 @@ impl ExecutionBackend for SimulatedBackend {
             hedged: task.hedged,
         });
         true
+    }
+
+    fn control_stats(&self) -> ControlStats {
+        self.shared.borrow().cstats
     }
 }
 
@@ -1942,5 +2670,168 @@ mod tests {
             ref other => panic!("expected the breaker to shed, got {other:?}"),
         }
         assert_eq!(second.started, second.finished, "shed tasks never run");
+    }
+}
+
+#[cfg(test)]
+mod control_tests {
+    use super::*;
+    use crate::fault::{FaultConfig, ScriptedPartition};
+    use crate::resources::{NodeSpec, ResourceRequest};
+    use crate::scheduler::PlacementPolicy;
+
+    fn pconfig(nodes: u32, cores: u32) -> PilotConfig {
+        PilotConfig {
+            node: NodeSpec::new(cores, 0, 64),
+            nodes,
+            policy: PlacementPolicy::Backfill,
+            bootstrap: SimDuration::from_secs(10),
+            exec_setup_per_task: SimDuration::from_secs(1),
+            seed: 42,
+        }
+    }
+
+    fn task(name: &str, secs: u64) -> TaskDescription {
+        TaskDescription::new(name, ResourceRequest::cores(1), SimDuration::from_secs(secs))
+    }
+
+    fn secs(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn disabled_link_keeps_stats_zero() {
+        let mut b = SimulatedBackend::new(pconfig(1, 2));
+        b.submit(task("t", 5));
+        while b.next_completion().is_some() {}
+        assert_eq!(b.control_stats(), ControlStats::default());
+    }
+
+    #[test]
+    fn link_delay_defers_submit_and_completion_reports() {
+        let mut cfg = FaultConfig::none();
+        cfg.link.delay = secs(2);
+        let mut b = SimulatedBackend::from_config(
+            RuntimeConfig::new(pconfig(1, 4)).faults(FaultPlan::new(cfg, 1), RetryPolicy::none()),
+        );
+        b.submit(task("t", 50));
+        let c = b.next_completion().expect("task completes");
+        assert!(c.result.is_ok());
+        // Submit arrives at 2 s (before bootstrap ends at 10 s), so the
+        // start is unchanged; the finish report of 10 + 1 + 50 = 61 s
+        // arrives 2 s later.
+        assert_eq!(c.started, SimTime::from_micros(10_000_000));
+        assert_eq!(c.finished, SimTime::from_micros(63_000_000));
+        let st = b.control_stats();
+        assert_eq!(st.messages, 2, "one submit, one completion report");
+        assert_eq!(st.dedup_hits, 0);
+        assert_eq!(st.fenced_completions, 0);
+    }
+
+    #[test]
+    fn duplicated_reports_apply_exactly_once() {
+        let mut cfg = FaultConfig::none();
+        cfg.link.duplicate_rate = 1.0;
+        cfg.link.delay = SimDuration::from_micros(1_000);
+        let retry = RetryPolicy {
+            max_retries: 2,
+            backoff_base: secs(1),
+            ..RetryPolicy::none()
+        };
+        let mut b = SimulatedBackend::from_config(
+            RuntimeConfig::new(pconfig(2, 2)).faults(FaultPlan::new(cfg, 7), retry),
+        );
+        for i in 0..8 {
+            b.submit(task(&format!("t{i}"), 20));
+        }
+        let mut done = std::collections::HashSet::new();
+        while let Some(c) = b.next_completion() {
+            assert!(c.result.is_ok(), "unexpected failure: {:?}", c.result);
+            assert!(done.insert(c.task), "{} completed twice", c.task);
+        }
+        assert_eq!(done.len(), 8, "every task settles exactly once");
+        let st = b.control_stats();
+        assert!(st.duplicates > 0, "saturated duplicate rate duplicates");
+        assert!(st.dedup_hits > 0, "duplicates were absorbed by dedup");
+        assert_eq!(st.fenced_completions, 0);
+    }
+
+    #[test]
+    fn partition_triggers_suspicion_eviction_and_fencing() {
+        let mut cfg = FaultConfig::none();
+        cfg.link.delay = SimDuration::from_micros(100_000);
+        cfg.link.retransmit_timeout = secs(1);
+        cfg.link.heartbeat_interval = Some(secs(2));
+        cfg.link.heartbeat_timeout = Some(secs(8));
+        // Sever node 1 from the coordinator for 60 s starting the moment
+        // bootstrap completes.
+        cfg.link.partitions = vec![ScriptedPartition {
+            first_node: 1,
+            last_node: 1,
+            at: SimTime::from_micros(10_000_000),
+            duration: secs(60),
+        }];
+        let retry = RetryPolicy {
+            max_retries: 2,
+            backoff_base: secs(1),
+            ..RetryPolicy::none()
+        };
+        let mut b = SimulatedBackend::from_config(
+            RuntimeConfig::new(pconfig(2, 2)).faults(FaultPlan::new(cfg, 3), retry),
+        );
+        for i in 0..4 {
+            b.submit(task(&format!("t{i}"), 30));
+        }
+        let mut done = std::collections::HashSet::new();
+        while let Some(c) = b.next_completion() {
+            assert!(c.result.is_ok(), "unexpected failure: {:?}", c.result);
+            assert!(done.insert(c.task), "{} completed twice", c.task);
+        }
+        assert_eq!(done.len(), 4, "every task settles exactly once");
+        let st = b.control_stats();
+        assert!(st.suspicions >= 1, "partitioned node must be suspected");
+        assert_eq!(st.lease_expiries, 2, "both residents of node 1 evicted");
+        assert_eq!(
+            st.fenced_completions, 2,
+            "the healed partition delivers both stale reports, fenced by epoch"
+        );
+        assert!(st.resyncs >= 1, "post-heal heartbeat clears the suspicion");
+        // Detection recovered the work without waiting for the heal +
+        // stalled reports alone (~70 s + redelivery).
+        assert!(
+            b.now() < SimTime::from_micros(100_000_000),
+            "makespan {:?} should beat partition-bound completion",
+            b.now()
+        );
+    }
+
+    #[test]
+    fn lossy_hub_still_delivers_every_task() {
+        let mut cfg = FaultConfig::none();
+        cfg.link.drop_rate = 0.4;
+        cfg.link.duplicate_rate = 0.3;
+        cfg.link.delay = SimDuration::from_micros(50_000);
+        cfg.link.jitter = SimDuration::from_micros(30_000);
+        cfg.link.reorder_rate = 0.2;
+        cfg.link.retransmit_timeout = secs(1);
+        let retry = RetryPolicy {
+            max_retries: 2,
+            backoff_base: secs(1),
+            ..RetryPolicy::none()
+        };
+        let mut b = SimulatedBackend::from_config(
+            RuntimeConfig::new(pconfig(2, 2)).faults(FaultPlan::new(cfg, 11), retry),
+        );
+        for i in 0..12 {
+            b.submit(task(&format!("t{i}"), 15));
+        }
+        let mut done = std::collections::HashSet::new();
+        while let Some(c) = b.next_completion() {
+            assert!(c.result.is_ok(), "unexpected failure: {:?}", c.result);
+            assert!(done.insert(c.task), "{} completed twice", c.task);
+        }
+        assert_eq!(done.len(), 12, "at-least-once delivery loses nothing");
+        let st = b.control_stats();
+        assert!(st.retransmits > 0, "drops forced retransmissions");
     }
 }

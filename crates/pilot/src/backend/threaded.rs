@@ -45,6 +45,7 @@
 //! to the simulated backend's.
 
 use crate::backend::{Completion, ExecutionBackend, TaskError};
+use crate::control::{ControlPlane, ControlStats};
 use crate::fault::{dilate_span, AttemptFault, FaultPlan, RetryPolicy, SlowWindow};
 use crate::pilot::{PhaseBreakdown, PilotConfig};
 use crate::profiler::{Profiler, UtilizationReport};
@@ -170,6 +171,10 @@ enum Timer {
     Recover(u32, SimTime),
     /// Re-check a possibly-straggling attempt for hedging.
     HedgeCheck { id: TaskId, attempt: u32 },
+    /// One failure-detector tick for a node: emit (or skip) the seeded
+    /// heartbeat, heal a false suspicion on delivery, suspect on a full
+    /// timeout of silence. `vt` is the modeled virtual tick instant.
+    Heartbeat { node: u32, vt: SimTime },
 }
 
 /// Cancellation handshake state, shared between the client thread (cancel),
@@ -287,6 +292,9 @@ pub struct ThreadedBackend {
     /// in micros. Read at submit (virtual queue-entry time) and by
     /// [`ExecutionBackend::virtual_now`].
     vt_watermark: Arc<AtomicU64>,
+    /// Control-plane resilience counters (scheduler thread writes, client
+    /// reads). All-zero without an armed control plane.
+    cstats: Arc<Mutex<ControlStats>>,
     telemetry: Telemetry,
 }
 
@@ -365,6 +373,11 @@ impl ThreadedBackend {
         ));
         let held = Arc::new(AtomicUsize::new(0));
         let vt_watermark = Arc::new(AtomicU64::new(0));
+        let cstats = Arc::new(Mutex::new(ControlStats::default()));
+        // The same seeded plane the deterministic engines realize: `None`
+        // when link faults are disabled, which keeps every path below on
+        // the exact pre-control-plane behavior.
+        let control = ControlPlane::from_plan(&faults);
         let epoch = Instant::now();
 
         let thread_state = state.clone();
@@ -374,6 +387,7 @@ impl ThreadedBackend {
         let thread_deadline = deadline_micros.clone();
         let thread_held = held.clone();
         let thread_watermark = vt_watermark.clone();
+        let thread_cstats = cstats.clone();
         let tele = telemetry.clone();
         let exec_setup = config.exec_setup_per_task;
         let worker_tx = tx.clone();
@@ -464,16 +478,41 @@ impl ThreadedBackend {
                 // Bumped on each crash: a worker message whose incarnation is
                 // stale must not release into the rebuilt pool.
                 let mut node_incarnation: Vec<u64> = vec![0; config.nodes as usize];
+                // Failure detector (heartbeat liveness + suspicion): armed
+                // only when the control plane models heartbeats AND real
+                // sleeps exist — at time scale 0 there is no silence window
+                // for a timeout to measure, exactly like node faults.
+                let hb = control.as_ref().and_then(|cp| {
+                    let link = cp.link();
+                    match (link.heartbeat_interval, link.heartbeat_timeout) {
+                        (Some(i), Some(t)) if time_scale > 0.0 => Some((i, t)),
+                        _ => None,
+                    }
+                });
+                let mut suspected = vec![false; config.nodes as usize];
+                // Ground-truth node health: a crashed node emits no
+                // heartbeats and cannot be resynced by one.
+                let mut crashed = vec![false; config.nodes as usize];
+                let mut hb_seq: Vec<u64> = vec![0u64; config.nodes as usize];
+                // Last modeled heartbeat arrival per node, on the virtual
+                // clock the ticks march on.
+                let mut vt_heard: Vec<SimTime> = vec![vt_bootstrap; config.nodes as usize];
+                let scale_vt = move |t: SimTime| {
+                    epoch + Duration::from_secs_f64(t.as_secs_f64() * time_scale)
+                };
                 let mut timers: Vec<(Instant, Timer)> = Vec::new();
                 if time_scale > 0.0 {
                     for n in 0..config.nodes {
                         for (crash_at, recover_at) in faults.crash_windows(n) {
-                            let scale = |t: SimTime| {
-                                epoch + Duration::from_secs_f64(t.as_secs_f64() * time_scale)
-                            };
-                            timers.push((scale(crash_at), Timer::Crash(n, crash_at)));
-                            timers.push((scale(recover_at), Timer::Recover(n, recover_at)));
+                            timers.push((scale_vt(crash_at), Timer::Crash(n, crash_at)));
+                            timers.push((scale_vt(recover_at), Timer::Recover(n, recover_at)));
                         }
+                    }
+                }
+                if let Some((interval, _)) = hb {
+                    for n in 0..config.nodes {
+                        let vt = vt_bootstrap + interval;
+                        timers.push((scale_vt(vt), Timer::Heartbeat { node: n, vt }));
                     }
                 }
                 let now = |epoch: Instant| -> SimTime {
@@ -518,7 +557,13 @@ impl ThreadedBackend {
                             Timer::Crash(n, crash_vt) => {
                                 let live = node_incarnation[n as usize];
                                 node_incarnation[n as usize] += 1;
-                                scheduler.drain_node(n);
+                                crashed[n as usize] = true;
+                                // A node already drained by a suspicion
+                                // verdict stays drained; draining twice
+                                // would corrupt the pool.
+                                if !suspected[n as usize] {
+                                    scheduler.drain_node(n);
+                                }
                                 vt_crash[n as usize] = crash_vt;
                                 if tele.enabled() {
                                     tele.instant(
@@ -563,6 +608,12 @@ impl ThreadedBackend {
                                 }
                             }
                             Timer::Recover(n, recover_vt) => {
+                                crashed[n as usize] = false;
+                                // Ground-truth recovery clears any standing
+                                // suspicion and grants a fresh liveness
+                                // grace period.
+                                suspected[n as usize] = false;
+                                vt_heard[n as usize] = recover_vt;
                                 scheduler.recover_node(n);
                                 if tele.enabled() {
                                     tele.instant(
@@ -798,6 +849,112 @@ impl ThreadedBackend {
                                         );
                                     })
                                     .expect("spawn hedge worker thread");
+                            }
+                            Timer::Heartbeat { node: n, vt } => {
+                                let (interval, timeout) =
+                                    hb.expect("heartbeat timers only arm with a detector");
+                                let cp = control.as_ref().expect("detector implies a plane");
+                                let seq = hb_seq[n as usize];
+                                hb_seq[n as usize] += 1;
+                                // A crashed node emits nothing this tick; the
+                                // schedule keeps ticking so heartbeats resume
+                                // the instant it recovers. Verdicts are the
+                                // same seeded per-message draws the
+                                // deterministic engines make.
+                                let arrive = if !crashed[n as usize] {
+                                    let arrive = cp.best_effort(
+                                        "hb",
+                                        (u64::from(n) << 32) | seq,
+                                        n,
+                                        vt,
+                                    );
+                                    let mut cs = lock_recover(&thread_cstats);
+                                    cs.heartbeats_sent += 1;
+                                    if arrive.is_some() {
+                                        cs.heartbeats_delivered += 1;
+                                    }
+                                    arrive
+                                } else {
+                                    None
+                                };
+                                if let Some(at) = arrive {
+                                    vt_heard[n as usize] = at;
+                                    // A heartbeat from a suspected (but not
+                                    // crashed) node heals the false
+                                    // suspicion: re-admit it to placement.
+                                    if suspected[n as usize] && !crashed[n as usize] {
+                                        suspected[n as usize] = false;
+                                        scheduler.recover_node(n);
+                                        lock_recover(&thread_cstats).resyncs += 1;
+                                        if tele.enabled() {
+                                            tele.instant(
+                                                SpanCat::Control,
+                                                "resync",
+                                                SpanId::NONE,
+                                                track::FAULT,
+                                                Stamp::dual(at, now(epoch).as_micros()),
+                                                &[("node", n as i64)],
+                                            );
+                                            tele.count("resyncs", 1);
+                                        }
+                                    }
+                                } else if thread_inflight.load(Ordering::SeqCst) > 0
+                                    && !suspected[n as usize]
+                                    && scheduler.node_is_up(n)
+                                    && vt_heard[n as usize] + timeout <= vt
+                                {
+                                    // A full timeout of silence with work in
+                                    // flight: declare the node suspect, stop
+                                    // placing on it and evict its resident
+                                    // attempts — their leases are expired.
+                                    // The bookkeeping mirrors a crash (the
+                                    // incarnation bump makes the preempted
+                                    // workers' messages stale so the drained
+                                    // pool never sees a release); the
+                                    // AttemptFailed handler rewrites their
+                                    // eviction to a lease expiry.
+                                    let live = node_incarnation[n as usize];
+                                    node_incarnation[n as usize] += 1;
+                                    suspected[n as usize] = true;
+                                    scheduler.drain_node(n);
+                                    // The eviction instant stamps the
+                                    // victims' lease expiries (same slot a
+                                    // crash uses for its evictions).
+                                    vt_crash[n as usize] = vt;
+                                    lock_recover(&thread_cstats).suspicions += 1;
+                                    let at = now(epoch);
+                                    if tele.enabled() {
+                                        tele.instant(
+                                            SpanCat::Control,
+                                            "suspect",
+                                            SpanId::NONE,
+                                            track::FAULT,
+                                            Stamp::dual(vt, at.as_micros()),
+                                            &[("node", n as i64)],
+                                        );
+                                        tele.count("suspicions", 1);
+                                    }
+                                    let mut st = lock_recover(&thread_state);
+                                    for (_, (alloc, started, _, token)) in running
+                                        .iter()
+                                        .filter(|(_, (a, _, inc, _))| a.node == n && *inc == live)
+                                    {
+                                        st.profiler.attempt_wasted(alloc, *started, at);
+                                        token.preempt();
+                                    }
+                                    for (_, h) in hedges
+                                        .iter()
+                                        .filter(|(_, h)| h.alloc.node == n && h.incarnation == live)
+                                    {
+                                        st.profiler.attempt_hedge_wasted(&h.alloc, h.started, at);
+                                        h.token.preempt();
+                                    }
+                                }
+                                let next = vt + interval;
+                                timers.push((
+                                    scale_vt(next),
+                                    Timer::Heartbeat { node: n, vt: next },
+                                ));
                             }
                         }
                     }
@@ -1198,6 +1355,18 @@ impl ThreadedBackend {
                             // see a release, and the crash already closed
                             // the device intervals (as wasted).
                             let fresh = incarnation == node_incarnation[alloc.node as usize];
+                            // Under the control plane a stale-incarnation
+                            // completion is a late report from an old
+                            // lease-holder. The work genuinely ran on a real
+                            // thread (the commit race arbitrates effects),
+                            // so the result still stands — the fence records
+                            // the lateness.
+                            if !fresh && control.is_some() {
+                                lock_recover(&thread_cstats).fenced_completions += 1;
+                                if tele.enabled() {
+                                    tele.count("fenced_completions", 1);
+                                }
+                            }
                             {
                                 let mut st = lock_recover(&thread_state);
                                 if fresh {
@@ -1404,6 +1573,39 @@ impl ThreadedBackend {
                         }) => {
                             running.remove(&id.0);
                             let at = now(epoch);
+                            // Lease fencing: an eviction by the failure
+                            // detector preempts the worker's sleep exactly
+                            // like a crash, so it wakes reporting
+                            // NodeCrashed — but the node may be healthy.
+                            // Rewrite to the typed lease expiry (retryable,
+                            // so the ladder requeues it elsewhere).
+                            let err = if matches!(err, TaskError::NodeCrashed { .. })
+                                && suspected[alloc.node as usize]
+                                && !crashed[alloc.node as usize]
+                            {
+                                lock_recover(&thread_cstats).lease_expiries += 1;
+                                if tele.enabled() {
+                                    let owner = vspans
+                                        .get(&id.0)
+                                        .map(|v| v.attempt)
+                                        .unwrap_or(SpanId::NONE);
+                                    tele.instant(
+                                        SpanCat::Control,
+                                        "lease-expired",
+                                        owner,
+                                        track::task(id.0),
+                                        Stamp::dual(
+                                            vt_crash[alloc.node as usize],
+                                            at.as_micros(),
+                                        ),
+                                        &[("node", alloc.node as i64)],
+                                    );
+                                    tele.count("lease_expiries", 1);
+                                }
+                                TaskError::LeaseExpired { node: alloc.node }
+                            } else {
+                                err
+                            };
                             // Hedge interplay: if the duplicate already
                             // committed, it owns the task's outcome — this
                             // failure is absorbed and no retry fires.
@@ -1442,7 +1644,8 @@ impl ThreadedBackend {
                             // the crash instant for crash evictions.
                             let vs = vspans.get(&id.0).copied();
                             let v_fail = match (&err, vs) {
-                                (TaskError::NodeCrashed { node }, Some(v)) => {
+                                (TaskError::NodeCrashed { node }, Some(v))
+                                | (TaskError::LeaseExpired { node }, Some(v)) => {
                                     vt_crash[*node as usize].max(v.start_vt)
                                 }
                                 (_, Some(v)) => v.end_vt,
@@ -1455,6 +1658,7 @@ impl ThreadedBackend {
                                         TaskError::Injected => "fault-injected",
                                         TaskError::TimedOut { .. } => "fault-timeout",
                                         TaskError::NodeCrashed { .. } => "fault-crash",
+                                        TaskError::LeaseExpired { .. } => "fault-lease-expired",
                                         _ => "fault",
                                     };
                                     tele.instant(
@@ -1672,6 +1876,7 @@ impl ThreadedBackend {
             scheduler_thread: Some(scheduler_thread),
             node,
             vt_watermark,
+            cstats,
             telemetry,
         }
     }
@@ -1982,6 +2187,10 @@ impl ExecutionBackend for ThreadedBackend {
 
     fn stamp(&self) -> Stamp {
         Stamp::dual(self.virtual_now(), self.now().as_micros())
+    }
+
+    fn control_stats(&self) -> ControlStats {
+        *lock_recover(&self.cstats)
     }
 
     fn cancel(&mut self, id: TaskId) -> bool {
@@ -2611,5 +2820,106 @@ mod tests {
              not the full retry budget"
         );
         assert!(b.next_completion().is_none());
+    }
+
+    #[test]
+    fn partition_triggers_suspicion_lease_expiry_and_resync() {
+        use crate::fault::ScriptedPartition;
+        // Both nodes are partitioned from the coordinator for 8 virtual
+        // seconds: their heartbeats vanish, the detector suspects them
+        // (timeout 3 s), the running attempt's lease expires and it
+        // requeues. The heal delivers heartbeats again, both nodes
+        // resync, and the retried attempt completes.
+        let fc = FaultConfig {
+            link: crate::fault::LinkFaults {
+                heartbeat_interval: Some(SimDuration::from_secs(1)),
+                heartbeat_timeout: Some(SimDuration::from_secs(3)),
+                partitions: vec![ScriptedPartition {
+                    first_node: 0,
+                    last_node: 1,
+                    at: SimTime::ZERO,
+                    duration: SimDuration::from_secs(8),
+                }],
+                ..crate::fault::LinkFaults::none()
+            },
+            ..FaultConfig::none()
+        };
+        let cfg = PilotConfig {
+            nodes: 2,
+            ..config(2, 0)
+        };
+        let mut b = RuntimeConfig::new(cfg)
+            .faults(FaultPlan::new(fc, 3), no_backoff(3))
+            .time_scale(1e-3)
+            .threaded();
+        b.submit(
+            TaskDescription::new("long", ResourceRequest::cores(2), SimDuration::from_secs(100))
+                .with_work(|| 7i32),
+        );
+        let c = b.next_completion().unwrap();
+        assert_eq!(c.attempts, 1, "the lease expiry consumed one retry");
+        assert_eq!(c.output::<i32>(), 7);
+        assert!(b.next_completion().is_none());
+        let cs = b.control_stats();
+        assert!(cs.heartbeats_sent > 0, "chains never ticked: {cs:?}");
+        assert!(
+            cs.heartbeats_delivered > 0,
+            "post-heal heartbeats never arrived: {cs:?}"
+        );
+        assert!(cs.suspicions >= 1, "partition never suspected: {cs:?}");
+        assert!(cs.lease_expiries >= 1, "victim kept its lease: {cs:?}");
+        assert!(cs.resyncs >= 1, "heal never resynced: {cs:?}");
+    }
+
+    #[test]
+    fn control_stats_stay_zero_without_link_faults() {
+        let mut b = RuntimeConfig::new(config(2, 0))
+            .time_scale(1e-3)
+            .threaded();
+        b.submit(task("t", 1).with_work(|| 1i32));
+        while b.next_completion().is_some() {}
+        assert_eq!(b.control_stats(), ControlStats::default());
+    }
+
+    #[test]
+    fn repeated_create_drop_with_live_timers_shuts_down_cleanly() {
+        use crate::fault::HedgePolicy;
+        // A backend dropped with heartbeat chains ticking, retry backoffs
+        // pending, hedge checks armed and workers mid-sleep must join its
+        // scheduler thread promptly instead of hanging or panicking. The
+        // in-flight completions are simply never popped.
+        for round in 0..12u64 {
+            let fc = FaultConfig {
+                task_failure_rate: 0.5,
+                link: crate::fault::LinkFaults {
+                    heartbeat_interval: Some(SimDuration::from_micros(50_000)),
+                    heartbeat_timeout: Some(SimDuration::from_micros(200_000)),
+                    ..crate::fault::LinkFaults::none()
+                },
+                ..FaultConfig::none()
+            };
+            let cfg = PilotConfig {
+                nodes: 2,
+                seed: round,
+                ..config(2, 0)
+            };
+            let mut b = RuntimeConfig::new(cfg)
+                .faults(FaultPlan::new(fc, round), RetryPolicy::retries(3))
+                .hedge(HedgePolicy {
+                    threshold: 1.2,
+                    min_samples: 1,
+                })
+                .time_scale(1e-3)
+                .threaded();
+            for i in 0..6u64 {
+                b.submit(task(&format!("t{i}"), 1).with_work(move || i));
+            }
+            if round % 3 == 0 {
+                // Sometimes pop one completion first, sometimes drop with
+                // everything still in flight.
+                let _ = b.next_completion();
+            }
+            drop(b);
+        }
     }
 }

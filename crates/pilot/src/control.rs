@@ -1,0 +1,298 @@
+//! The seeded control plane: a message-layer fault model for
+//! coordinator↔node traffic.
+//!
+//! The paper's middleware splits the design loop (client) from the pilot
+//! runtime (agent) across a real network; every control message — task
+//! submission, cancellation, completion reports, retry verdicts,
+//! heartbeats — can be dropped, duplicated, delayed or reordered, and a
+//! partition can sever the coordinator from a whole node group for
+//! minutes. [`ControlPlane`] realizes a [`LinkFaults`] config as *pure,
+//! seeded per-message verdicts*: given a stable message identity (a label
+//! plus a numeric key), it answers "when does this message arrive, and
+//! does it arrive twice?" deterministically, independent of call order.
+//! All three backends route their control traffic through one of these,
+//! so a single seed produces the same message history everywhere.
+//!
+//! Two delivery disciplines:
+//!
+//! * [`ControlPlane::deliveries`] — at-least-once: a dropped or
+//!   partitioned transmission retransmits every
+//!   [`LinkFaults::retransmit_timeout`] until one gets through (messages
+//!   are never lost, only late — the dedup layer above makes the *effects*
+//!   exactly-once). Used for submits, completion reports, cancels and
+//!   retry verdicts.
+//! * [`ControlPlane::best_effort`] — fire-and-forget: a dropped or
+//!   partitioned heartbeat is simply gone. That silence is the signal the
+//!   failure detector thrives on.
+//!
+//! Determinism: each message forks the plane's RNG on
+//! `(label, key)` — never on the order backends happen to ask — so the
+//! simulated and sharded engines (and the threaded backend's modeled
+//! virtual clock) draw identical verdicts for identical traffic.
+
+use crate::fault::{FaultPlan, LinkFaults};
+use impress_sim::{SimDuration, SimRng, SimTime};
+
+/// Upper bound on modeled transmissions per message: a backstop against a
+/// partition window that never heals combining with a saturated drop rate.
+/// At the default 1 s retransmit timeout this forces delivery within ~68
+/// virtual minutes.
+const MAX_TRANSMISSIONS: u32 = 4096;
+
+/// Control-plane resilience counters, exposed via
+/// [`crate::backend::ExecutionBackend::control_stats`]. All-zero when link
+/// faults are disabled — the counters both feed the partition study and
+/// prove (in tests) that the disabled path never engages the machinery.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControlStats {
+    /// Messages routed through at-least-once delivery.
+    pub messages: u64,
+    /// Extra transmissions beyond the first (drops + partition stalls).
+    pub retransmits: u64,
+    /// Messages that arrived twice (duplicate deliveries scheduled).
+    pub duplicates: u64,
+    /// Heartbeats emitted by live nodes.
+    pub heartbeats_sent: u64,
+    /// Heartbeats that reached the coordinator.
+    pub heartbeats_delivered: u64,
+    /// Nodes declared suspect by the failure detector.
+    pub suspicions: u64,
+    /// False suspicions healed by a late heartbeat (partition heal resync).
+    pub resyncs: u64,
+    /// Running attempts evicted because their lease expired under
+    /// suspicion (each consumed one retry).
+    pub lease_expiries: u64,
+    /// Late completions from old lease-holders fenced out by their epoch.
+    pub fenced_completions: u64,
+    /// Duplicate message arrivals suppressed by idempotent dedup.
+    pub dedup_hits: u64,
+}
+
+/// A message's resolved delivery schedule under at-least-once routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deliveries {
+    /// When the first successful transmission arrives.
+    pub primary: SimTime,
+    /// A second arrival of the same message, if it was duplicated.
+    pub duplicate: Option<SimTime>,
+    /// Total transmissions modeled (1 = got through first try).
+    pub transmissions: u32,
+}
+
+/// A seeded realization of [`LinkFaults`]: pure per-message delivery
+/// verdicts. See the module docs for the determinism contract.
+#[derive(Debug, Clone)]
+pub struct ControlPlane {
+    link: LinkFaults,
+    rng: SimRng,
+}
+
+impl ControlPlane {
+    /// Realize `link` under an explicit RNG root.
+    pub fn new(link: LinkFaults, rng: SimRng) -> Self {
+        ControlPlane { link, rng }
+    }
+
+    /// The control plane a fault plan calls for: `Some` exactly when the
+    /// plan's [`LinkFaults`] section models anything. `None` is the strict
+    /// no-op contract — backends route directly, schedule no control
+    /// events, and stay byte-identical to the pre-control-plane engine.
+    pub fn from_plan(plan: &FaultPlan) -> Option<Self> {
+        let link = plan.config().link.clone();
+        if link.is_none() {
+            return None;
+        }
+        Some(ControlPlane::new(link, plan.control_rng()))
+    }
+
+    /// The link config this plane realizes.
+    pub fn link(&self) -> &LinkFaults {
+        &self.link
+    }
+
+    /// Whether a message to/from `node` at instant `t` is inside a
+    /// scripted partition window.
+    pub fn partitioned(&self, node: u32, t: SimTime) -> bool {
+        self.link.partitions.iter().any(|p| p.blocks(node, t))
+    }
+
+    /// The RNG for one message, keyed on its stable identity.
+    fn message_rng(&self, label: &str, key: u64) -> SimRng {
+        self.rng.fork(label).fork_idx("msg", key)
+    }
+
+    /// One-way latency draw: base delay, plus uniform jitter, plus (with
+    /// probability [`LinkFaults::reorder_rate`]) a second jitter span that
+    /// lets later sends overtake this message.
+    fn latency(&self, rng: &mut SimRng) -> SimDuration {
+        let mut l = self.link.delay;
+        if self.link.jitter > SimDuration::ZERO {
+            l = l.saturating_add(self.link.jitter.mul_f64(rng.uniform()));
+        }
+        if self.link.reorder_rate > 0.0 && rng.uniform() < self.link.reorder_rate {
+            let span = if self.link.jitter > SimDuration::ZERO {
+                self.link.jitter
+            } else {
+                self.link.delay
+            };
+            l = l.saturating_add(span.mul_f64(rng.uniform()));
+        }
+        l
+    }
+
+    /// At-least-once delivery of the message `(label, key)` sent at
+    /// `sent`. `node` selects the partitionable coordinator↔node link;
+    /// `None` is the hub link (client↔coordinator), which drops and delays
+    /// but never partitions. Transmissions blocked by a partition or a
+    /// drop draw retransmit after [`LinkFaults::retransmit_timeout`];
+    /// the first one through fixes the arrival.
+    pub fn deliveries(&self, label: &str, key: u64, node: Option<u32>, sent: SimTime) -> Deliveries {
+        let mut rng = self.message_rng(label, key);
+        // A saturated drop rate would make the retransmit loop the whole
+        // story; clamp so every message still terminates quickly.
+        let drop = self.link.drop_rate.clamp(0.0, 0.95);
+        let rto = self
+            .link
+            .retransmit_timeout
+            .max(SimDuration::from_micros(1));
+        let mut t = sent;
+        let mut transmissions = 0u32;
+        let through = loop {
+            transmissions += 1;
+            let blocked = node.is_some_and(|n| self.partitioned(n, t));
+            let dropped = drop > 0.0 && rng.uniform() < drop;
+            if (!blocked && !dropped) || transmissions >= MAX_TRANSMISSIONS {
+                break t;
+            }
+            t = t + rto;
+        };
+        let primary = through + self.latency(&mut rng);
+        let duplicate = if self.link.duplicate_rate > 0.0
+            && rng.uniform() < self.link.duplicate_rate
+        {
+            Some(through + self.latency(&mut rng))
+        } else {
+            None
+        };
+        Deliveries {
+            primary,
+            duplicate,
+            transmissions,
+        }
+    }
+
+    /// Fire-and-forget delivery (heartbeats): `Some(arrival)` if the
+    /// single transmission gets through, `None` if it is partitioned away
+    /// or dropped.
+    pub fn best_effort(&self, label: &str, key: u64, node: u32, sent: SimTime) -> Option<SimTime> {
+        let mut rng = self.message_rng(label, key);
+        if self.partitioned(node, sent) {
+            return None;
+        }
+        let drop = self.link.drop_rate.clamp(0.0, 0.95);
+        if drop > 0.0 && rng.uniform() < drop {
+            return None;
+        }
+        Some(sent + self.latency(&mut rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultConfig, ScriptedPartition};
+
+    fn lossy() -> LinkFaults {
+        LinkFaults {
+            drop_rate: 0.3,
+            duplicate_rate: 0.2,
+            delay: SimDuration::from_micros(50_000),
+            jitter: SimDuration::from_micros(20_000),
+            reorder_rate: 0.1,
+            ..LinkFaults::none()
+        }
+    }
+
+    fn plane(link: LinkFaults, seed: u64) -> ControlPlane {
+        ControlPlane::new(link, SimRng::from_seed(seed).fork("control-plane"))
+    }
+
+    #[test]
+    fn verdicts_are_keyed_not_order_dependent() {
+        let p = plane(lossy(), 7);
+        let a1 = p.deliveries("done", 42, Some(1), SimTime::from_micros(1_000));
+        let _ = p.deliveries("done", 99, Some(2), SimTime::from_micros(5));
+        let _ = p.best_effort("hb", 3, 0, SimTime::ZERO);
+        let a2 = p.deliveries("done", 42, Some(1), SimTime::from_micros(1_000));
+        assert_eq!(a1, a2, "same message identity, same verdict");
+        let b = p.deliveries("retry", 42, Some(1), SimTime::from_micros(1_000));
+        assert_ne!(a1, b, "labels separate the streams");
+    }
+
+    #[test]
+    fn delivery_is_at_least_once_even_at_saturated_drop() {
+        let p = plane(
+            LinkFaults {
+                drop_rate: 1.0, // clamped to 0.95
+                ..LinkFaults::none()
+            },
+            3,
+        );
+        for key in 0..64 {
+            let d = p.deliveries("m", key, None, SimTime::ZERO);
+            assert!(d.transmissions < MAX_TRANSMISSIONS);
+            assert!(d.primary >= SimTime::ZERO);
+        }
+    }
+
+    #[test]
+    fn partition_stalls_node_traffic_until_heal_but_not_hub_traffic() {
+        let heal = SimTime::from_micros(60_000_000);
+        let p = plane(
+            LinkFaults {
+                partitions: vec![ScriptedPartition {
+                    first_node: 0,
+                    last_node: 3,
+                    at: SimTime::ZERO,
+                    duration: SimDuration::from_micros(60_000_000),
+                }],
+                retransmit_timeout: SimDuration::from_secs(1),
+                ..LinkFaults::none()
+            },
+            9,
+        );
+        let node = p.deliveries("done", 1, Some(2), SimTime::from_micros(10));
+        assert!(node.primary >= heal, "partitioned message waits for heal");
+        assert!(node.transmissions > 1);
+        let outside = p.deliveries("done", 1, Some(7), SimTime::from_micros(10));
+        assert_eq!(outside.transmissions, 1, "node outside the window is fine");
+        let hub = p.deliveries("submit", 1, None, SimTime::from_micros(10));
+        assert_eq!(hub.transmissions, 1, "hub link never partitions");
+        assert!(p.best_effort("hb", 5, 2, SimTime::from_micros(10)).is_none());
+        assert!(p.best_effort("hb", 5, 2, heal + SimDuration::from_micros(1)).is_some());
+    }
+
+    #[test]
+    fn disabled_link_yields_no_plane() {
+        let plan = FaultPlan::new(FaultConfig::none(), 11);
+        assert!(ControlPlane::from_plan(&plan).is_none());
+        let mut on = FaultConfig::none();
+        on.link.drop_rate = 0.1;
+        assert!(ControlPlane::from_plan(&FaultPlan::new(on, 11)).is_some());
+    }
+
+    #[test]
+    fn lossless_plane_adds_only_configured_delay() {
+        let p = plane(
+            LinkFaults {
+                delay: SimDuration::from_micros(1_000),
+                ..LinkFaults::none()
+            },
+            5,
+        );
+        let d = p.deliveries("m", 0, Some(0), SimTime::from_micros(500));
+        assert_eq!(d.primary, SimTime::from_micros(1_500));
+        assert_eq!(d.duplicate, None);
+        assert_eq!(d.transmissions, 1);
+    }
+}

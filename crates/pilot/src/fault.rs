@@ -82,6 +82,98 @@ pub struct SlowWindow {
     pub factor: f64,
 }
 
+/// A scripted control-plane partition window: messages between the
+/// coordinator side and nodes `first_node..=last_node` are dropped for the
+/// window's duration (retransmissions deliver them after it heals). Hub
+/// traffic (submit, cancel, retry verdicts) never partitions — partitions
+/// model the coordinator↔agent network split of the paper's client/agent
+/// architecture, not a client outage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScriptedPartition {
+    /// First node (inclusive) on the far side of the partition.
+    pub first_node: u32,
+    /// Last node (inclusive) on the far side of the partition.
+    pub last_node: u32,
+    /// When the partition opens (virtual time).
+    pub at: SimTime,
+    /// How long it lasts before healing.
+    pub duration: SimDuration,
+}
+
+impl ScriptedPartition {
+    /// Whether a message to/from `node` sent at `t` falls inside the window.
+    pub fn blocks(&self, node: u32, t: SimTime) -> bool {
+        node >= self.first_node && node <= self.last_node && t >= self.at && t < self.at + self.duration
+    }
+}
+
+/// Message-layer fault model for the control plane: per-message drop,
+/// duplication, delay and reorder probabilities, scripted partition
+/// windows, and the heartbeat failure-detector knobs. All control traffic
+/// (submit, cancel, completion reports, retry verdicts, heartbeats) is
+/// routed through a seeded [`crate::control::ControlPlane`] realizing this
+/// config; [`LinkFaults::none`] routes nothing, draws no randomness, and
+/// leaves every backend byte-identical to the pre-control-plane engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkFaults {
+    /// Per-transmission probability a message is dropped (clamped below 1;
+    /// delivery is at-least-once — dropped transmissions retransmit after
+    /// [`LinkFaults::retransmit_timeout`]).
+    pub drop_rate: f64,
+    /// Per-message probability the delivered message arrives twice.
+    pub duplicate_rate: f64,
+    /// Base one-way latency added to every delivered message.
+    pub delay: SimDuration,
+    /// Uniform extra latency in `[0, jitter]` per delivered message.
+    pub jitter: SimDuration,
+    /// Per-message probability of a reorder penalty: the message draws a
+    /// second jitter span on top, letting later sends overtake it.
+    pub reorder_rate: f64,
+    /// Sender retransmission interval for undelivered messages.
+    pub retransmit_timeout: SimDuration,
+    /// Scripted coordinator↔node-group partition windows.
+    pub partitions: Vec<ScriptedPartition>,
+    /// Node heartbeat period (`None` disables the failure detector).
+    pub heartbeat_interval: Option<SimDuration>,
+    /// Silence span after which a node is suspected (must exceed the
+    /// worst-case heartbeat latency or healthy nodes get suspected).
+    pub heartbeat_timeout: Option<SimDuration>,
+}
+
+impl LinkFaults {
+    /// The lossless link: nothing is routed, no randomness is drawn.
+    pub fn none() -> Self {
+        LinkFaults {
+            drop_rate: 0.0,
+            duplicate_rate: 0.0,
+            delay: SimDuration::ZERO,
+            jitter: SimDuration::ZERO,
+            reorder_rate: 0.0,
+            retransmit_timeout: SimDuration::from_secs(1),
+            partitions: Vec::new(),
+            heartbeat_interval: None,
+            heartbeat_timeout: None,
+        }
+    }
+
+    /// Whether this link config models nothing at all.
+    pub fn is_none(&self) -> bool {
+        self.drop_rate <= 0.0
+            && self.duplicate_rate <= 0.0
+            && self.delay == SimDuration::ZERO
+            && self.jitter == SimDuration::ZERO
+            && self.reorder_rate <= 0.0
+            && self.partitions.is_empty()
+            && self.heartbeat_interval.is_none()
+    }
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
 /// Configuration of the injected fault environment.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultConfig {
@@ -112,6 +204,8 @@ pub struct FaultConfig {
     pub max_slowdowns_per_node: u32,
     /// Explicit slowdowns injected in addition to the stochastic schedule.
     pub scripted_slowdowns: Vec<ScriptedSlowdown>,
+    /// Message-layer faults on the coordinator↔node control plane.
+    pub link: LinkFaults,
 }
 
 impl FaultConfig {
@@ -130,6 +224,7 @@ impl FaultConfig {
             slowdown_factor: 10.0,
             max_slowdowns_per_node: 4,
             scripted_slowdowns: Vec::new(),
+            link: LinkFaults::none(),
         }
     }
 
@@ -140,6 +235,7 @@ impl FaultConfig {
             && self.node_mtbf.is_none()
             && self.scripted_crashes.is_empty()
             && !self.has_slowdowns()
+            && self.link.is_none()
     }
 
     /// Whether any gray (slowdown) injection is configured.
@@ -183,6 +279,14 @@ impl FaultPlan {
     /// The configuration this plan realizes.
     pub fn config(&self) -> &FaultConfig {
         &self.config
+    }
+
+    /// The seeded RNG root for this plan's control plane. A labelled fork
+    /// of the plan's own RNG, so one seed governs the whole fault
+    /// environment and the link-fault stream is independent of the
+    /// task/node fault streams.
+    pub fn control_rng(&self) -> SimRng {
+        self.rng.fork("control-plane")
     }
 
     /// The fault drawn by attempt `attempt` (0-based) of task `task`.

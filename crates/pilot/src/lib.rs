@@ -26,6 +26,10 @@
 //! * [`fault`] — deterministic fault injection ([`FaultPlan`]: transient
 //!   task failures, hangs, node crash/recover schedules) and the
 //!   [`RetryPolicy`] with which the pilot resubmits faulted attempts.
+//! * [`control`] — the seeded control plane: message-layer faults
+//!   ([`LinkFaults`]: drops, duplicates, delays, partitions) on
+//!   coordinator↔node traffic, plus the counters behind heartbeat failure
+//!   detection, lease fencing and idempotent dedup.
 //! * [`pilot`] — pilot lifecycle phases (Bootstrap → Exec setup → Running,
 //!   the Fig. 5 breakdown) and their timing configuration.
 //! * [`profiler`] — per-device utilization accounting, distinguishing *slot
@@ -38,6 +42,7 @@
 #![deny(unsafe_code)]
 
 pub mod backend;
+pub mod control;
 pub mod fault;
 pub mod pilot;
 pub mod profiler;
@@ -51,9 +56,10 @@ pub mod task;
 pub mod timeline;
 
 pub use backend::{Completion, ExecutionBackend, TaskError};
+pub use control::{ControlPlane, ControlStats, Deliveries};
 pub use fault::{
-    AttemptFault, FaultConfig, FaultPlan, HedgePolicy, QuarantinePolicy, RetryPolicy,
-    ScriptedCrash, ScriptedSlowdown, SlowWindow,
+    AttemptFault, FaultConfig, FaultPlan, HedgePolicy, LinkFaults, QuarantinePolicy, RetryPolicy,
+    ScriptedCrash, ScriptedPartition, ScriptedSlowdown, SlowWindow,
 };
 pub use pilot::{PhaseBreakdown, PilotConfig, PilotPhase};
 pub use profiler::{Profiler, UtilizationReport};

@@ -176,6 +176,13 @@ impl<B: ExecutionBackend> Session<B> {
         self.backend.telemetry()
     }
 
+    /// Control-plane message statistics (heartbeats, suspicions, lease
+    /// expiries, dedup hits). All-zero unless link faults are configured —
+    /// see [`crate::ControlStats`].
+    pub fn control_stats(&self) -> crate::ControlStats {
+        self.backend.control_stats()
+    }
+
     /// A dual-clock stamp at the current instant (virtual time always;
     /// wall time when the backend runs on real threads). Useful for
     /// recording application-level spans against the backend's clocks.

@@ -55,6 +55,9 @@ pub enum SpanCat {
     /// Poison-task quarantine: poison verdicts, circuit-breaker trips,
     /// shape sheds.
     Quarantine,
+    /// Control-plane resilience: heartbeat suspicion/resync, lease
+    /// expiries, fenced completions, dedup hits.
+    Control,
 }
 
 impl SpanCat {
@@ -73,6 +76,7 @@ impl SpanCat {
             SpanCat::Session => "session",
             SpanCat::Hedge => "hedge",
             SpanCat::Quarantine => "quarantine",
+            SpanCat::Control => "control",
         }
     }
 }

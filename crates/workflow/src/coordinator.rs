@@ -24,7 +24,7 @@ use impress_json::{FromJson, Json, JsonError, ToJson};
 use impress_pilot::{Completion, ExecutionBackend, Session, TaskId};
 use impress_sim::SimTime;
 use impress_telemetry::{track, SpanCat, SpanId, Telemetry};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// A read-only snapshot handed to the decision engine.
 pub struct CoordinatorView<'a> {
@@ -121,6 +121,8 @@ pub struct Coordinator<O, B: ExecutionBackend, D: DecisionEngine<O>> {
     live: HashMap<u64, BoxedPipeline<O>>,
     buffers: HashMap<u64, StageBuffer>,
     routes: HashMap<TaskId, PipelineId>,
+    routed: HashSet<TaskId>,
+    dedup_hits: u64,
     to_start: Vec<PipelineId>,
     outcomes: Vec<(PipelineId, O)>,
     aborts: Vec<(PipelineId, String)>,
@@ -145,6 +147,8 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
             live: HashMap::new(),
             buffers: HashMap::new(),
             routes: HashMap::new(),
+            routed: HashSet::new(),
+            dedup_hits: 0,
             to_start: Vec::new(),
             outcomes: Vec::new(),
             aborts: Vec::new(),
@@ -399,11 +403,30 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
     }
 
     fn route(&mut self, completion: Completion) {
-        let id = *self
-            .routes
-            .get(&completion.task)
-            .unwrap_or_else(|| panic!("{}: completion has no route", completion.task));
+        let Some(&id) = self.routes.get(&completion.task) else {
+            // Idempotent dedup at the coordinator boundary: under
+            // at-least-once delivery a completion already consumed can be
+            // replayed. Re-applying it would double the pipeline's stage
+            // progress (and the decision engine's view of it), so an exact
+            // replay is counted and dropped; a completion for a task never
+            // routed at all is still a routing bug.
+            if self.routed.contains(&completion.task) {
+                self.dedup_hits += 1;
+                self.telemetry.count("coordinator_dedup_hits", 1);
+                self.telemetry.instant(
+                    SpanCat::Fault,
+                    "completion-deduped",
+                    SpanId::NONE,
+                    track::SESSION,
+                    self.session.stamp(),
+                    &[("task", completion.task.0 as i64)],
+                );
+                return;
+            }
+            panic!("{}: completion has no route", completion.task);
+        };
         self.routes.remove(&completion.task);
+        self.routed.insert(completion.task);
         if completion.attempts > 0 {
             self.events.push(
                 self.session.now(),
@@ -583,6 +606,12 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
     /// rather than because the campaign finished.
     pub fn drained(&self) -> bool {
         self.drained
+    }
+
+    /// Replayed completions dropped by the coordinator-boundary dedup
+    /// (at-least-once delivery made exactly-once effects).
+    pub fn dedup_hits(&self) -> u64 {
+        self.dedup_hits
     }
 
     /// The write-ahead journal, if one is installed.
@@ -926,6 +955,54 @@ mod tests {
         let report = c.run();
         assert_eq!(c.outcomes().len(), 3); // initial + 2 idle rounds
         assert_eq!(report.root_pipelines, 3);
+    }
+
+    #[test]
+    fn replayed_completion_is_deduped_not_reapplied() {
+        let mut c = Coordinator::new(backend(), NoDecisions);
+        c.add_pipeline(Box::new(Counter {
+            label: "p".into(),
+            stages: 2,
+            acc: 0,
+        }));
+        // Drive the first stage by hand so its completion can be replayed
+        // (at-least-once delivery) after the coordinator consumed it.
+        c.start_pending();
+        let first = c.session.wait_next().unwrap();
+        let replay = Completion {
+            task: first.task,
+            name: first.name.clone(),
+            tag: first.tag.clone(),
+            result: Ok(None),
+            started: first.started,
+            finished: first.finished,
+            attempts: first.attempts,
+            hedged: first.hedged,
+        };
+        c.route(first);
+        assert_eq!(c.dedup_hits(), 0);
+        c.route(replay);
+        assert_eq!(c.dedup_hits(), 1, "replay must be dropped, not re-applied");
+        let report = c.run();
+        assert_eq!(c.outcomes().len(), 1);
+        assert_eq!(c.outcomes()[0].1, 2, "stage progress must not double");
+        assert_eq!(report.total_tasks, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn completion_for_a_never_routed_task_is_still_a_bug() {
+        let mut c: Coordinator<u64, _, NoDecisions> = Coordinator::new(backend(), NoDecisions);
+        c.route(Completion {
+            task: TaskId(999),
+            name: "ghost".into(),
+            tag: String::new(),
+            result: Ok(None),
+            started: SimTime::ZERO,
+            finished: SimTime::ZERO,
+            attempts: 0,
+            hedged: false,
+        });
     }
 
     use crate::journal::{load_plan, Journal, MemoryJournal, TerminalRecord};

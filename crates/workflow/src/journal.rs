@@ -683,6 +683,9 @@ pub struct LoadedJournal {
     pub records: usize,
     /// Trailing lines dropped as torn/corrupt.
     pub dropped: usize,
+    /// Byte-identical adjacent re-writes skipped as benign duplicates (a
+    /// crash between append and ack replays the last frame).
+    pub duplicates: usize,
 }
 
 /// Replay a journal store into a [`ReplayPlan`].
@@ -693,6 +696,14 @@ pub struct LoadedJournal {
 /// best-effort: the tail is dropped at the first malformed, mis-checksummed,
 /// out-of-sequence, or structurally inconsistent line. Dropping the tail
 /// trades cached state for recomputation; it never produces a wrong plan.
+///
+/// One at-least-once wrinkle is tolerated rather than dropped: a line that
+/// is byte-identical to its predecessor. A writer that crashes between the
+/// durable append and its acknowledgement legitimately re-appends the same
+/// frame on restart, so an exact duplicate carries the same sequence number
+/// and checksum — it is skipped (and counted in
+/// [`LoadedJournal::duplicates`]), never treated as corruption. A same-seq
+/// line whose bytes *differ* is still a torn tail.
 pub fn load_plan(store: &dyn JournalStore) -> Result<LoadedJournal, JournalError> {
     let lines = store.lines()?;
     let mut it = lines.iter();
@@ -719,8 +730,18 @@ pub fn load_plan(store: &dyn JournalStore) -> Result<LoadedJournal, JournalError
     let mut plan = ReplayPlan::new(label, seed);
     let mut records = 1usize;
     let mut dropped = 0usize;
+    let mut duplicates = 0usize;
     let mut remaining = lines.len() - 1;
+    let mut prev_line = head;
     for line in it {
+        // Benign at-least-once duplicate: the exact bytes of the previous
+        // (already applied) frame, re-appended by a writer that died
+        // between append and ack. Skip without re-applying.
+        if line == prev_line {
+            duplicates += 1;
+            remaining -= 1;
+            continue;
+        }
         let keep = parse_frame(line).and_then(|(seq, rec)| {
             if seq <= prev_seq {
                 return Err(JournalError::Corrupt(format!(
@@ -745,6 +766,7 @@ pub fn load_plan(store: &dyn JournalStore) -> Result<LoadedJournal, JournalError
         match keep {
             Ok(seq) => {
                 prev_seq = seq;
+                prev_line = line;
                 records += 1;
                 remaining -= 1;
             }
@@ -759,6 +781,7 @@ pub fn load_plan(store: &dyn JournalStore) -> Result<LoadedJournal, JournalError
         plan,
         records,
         dropped,
+        duplicates,
     })
 }
 
@@ -924,6 +947,69 @@ mod tests {
         let loaded = load_plan(&store).unwrap();
         assert_eq!(loaded.dropped, 0);
         assert_eq!(loaded.plan, *j.plan());
+    }
+
+    #[test]
+    fn double_written_tail_frame_is_a_benign_duplicate() {
+        // A crash between the durable append and its ack re-appends the
+        // identical frame on restart — the loader must shrug, not drop the
+        // tail as corrupt.
+        let store = journaled(&body(), None);
+        store.tamper(|lines| {
+            let last = lines.last().unwrap().clone();
+            lines.push(last);
+        });
+        let reference = load_plan(&journaled(&body(), None)).unwrap();
+        let loaded = load_plan(&store).unwrap();
+        assert_eq!(loaded.dropped, 0);
+        assert_eq!(loaded.duplicates, 1);
+        assert_eq!(loaded.plan, reference.plan, "duplicate must not re-apply");
+    }
+
+    #[test]
+    fn duplicated_mid_stream_frame_is_skipped_and_the_tail_survives() {
+        let store = journaled(&body(), None);
+        store.tamper(|lines| {
+            let mid = lines.len() / 2;
+            let dup = lines[mid].clone();
+            lines.insert(mid + 1, dup);
+        });
+        let reference = load_plan(&journaled(&body(), None)).unwrap();
+        let loaded = load_plan(&store).unwrap();
+        assert_eq!(loaded.dropped, 0);
+        assert_eq!(loaded.duplicates, 1);
+        assert_eq!(loaded.plan, reference.plan);
+    }
+
+    #[test]
+    fn triple_written_frame_counts_every_extra_copy() {
+        let store = journaled(&body(), None);
+        store.tamper(|lines| {
+            let last = lines.last().unwrap().clone();
+            lines.push(last.clone());
+            lines.push(last);
+        });
+        let loaded = load_plan(&store).unwrap();
+        assert_eq!(loaded.dropped, 0);
+        assert_eq!(loaded.duplicates, 2);
+    }
+
+    #[test]
+    fn same_seq_with_different_bytes_is_still_a_torn_tail() {
+        // Only a *byte-identical* re-write is the benign at-least-once
+        // case. A same-seq line with different content is corruption.
+        let store = journaled(&body(), None);
+        store.tamper(|lines| {
+            // Re-frame a different record under the last line's seq.
+            let forged = frame(
+                (lines.len() - 1) as u64,
+                &JournalRecord::StageCompleted { pipeline: 0, stage: 0 },
+            );
+            lines.push(forged);
+        });
+        let loaded = load_plan(&store).unwrap();
+        assert_eq!(loaded.dropped, 1, "forged same-seq frame must be dropped");
+        assert_eq!(loaded.duplicates, 0);
     }
 
     #[test]

@@ -651,3 +651,152 @@ fn workspace_dependency_table_is_all_paths() {
     }
     assert!(entries > 0, "expected a populated [workspace.dependencies]");
 }
+
+/// The checked-in partition study artifact must match the study's current
+/// document layout and certify both resilience claims it exists to make:
+/// journal/DecisionEngine effects stay exactly-once at every swept
+/// drop/duplication rate, and heartbeat detection recovers >= 90% of the
+/// makespan a healed 60 s partition costs. The study is fully
+/// deterministic (virtual clock, fixed seed), but the guard pins
+/// structure + claims rather than bytes so a parameter change stays a
+/// one-regeneration fix. Regenerate with
+/// `cargo run --release -p impress-bench --bin partition_study`.
+#[test]
+fn partition_artifact_matches_the_study_format_version() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("partition.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {}: {e} — run the partition_study bin", path.display()));
+    let json: impress_json::Json = impress_json::from_str(&text).expect("partition.json parses");
+    let version: u32 = json
+        .get("format_version")
+        .and_then(|v| v.as_f64())
+        .expect("partition.json has a format_version field") as u32;
+    assert_eq!(
+        version,
+        impress_bench::partition::PARTITION_FORMAT_VERSION,
+        "partition.json was generated under a different study format — regenerate it"
+    );
+    let acceptance = json.get("acceptance").expect("acceptance section present");
+    for key in ["exactly_once_at_every_rate", "detection_recovers_90pct"] {
+        assert_eq!(
+            acceptance.get(key).and_then(|v| v.as_bool()),
+            Some(true),
+            "checked-in partition study must certify `{key}`"
+        );
+    }
+    assert_eq!(
+        acceptance.get("grid_duplicate_completions").and_then(|v| v.as_f64()),
+        Some(0.0),
+        "the grid must observe zero duplicate completions"
+    );
+    assert_eq!(
+        acceptance.get("delivery_duplicate_effects").and_then(|v| v.as_f64()),
+        Some(0.0),
+        "the delivery campaigns must observe zero duplicate journal/decision effects"
+    );
+    let grid = json
+        .get("grid")
+        .and_then(|r| r.as_array())
+        .expect("partition.json has a grid array");
+    assert_eq!(
+        grid.len(),
+        36,
+        "the study sweeps 3 loss rates x 4 partition durations x 3 detector settings"
+    );
+    for row in grid {
+        assert!(
+            row.get("makespan_secs").and_then(|v| v.as_f64()).is_some_and(|m| m > 0.0),
+            "every grid cell must report a positive makespan: {row:?}"
+        );
+        assert_eq!(
+            row.get("duplicate_completions").and_then(|v| v.as_f64()),
+            Some(0.0),
+            "exactly-once must hold in every grid cell: {row:?}"
+        );
+    }
+    let delivery = json
+        .get("delivery")
+        .and_then(|r| r.as_array())
+        .expect("partition.json has a delivery array");
+    assert_eq!(delivery.len(), 3, "one journaled delivery campaign per loss rate");
+    for row in delivery {
+        for key in ["duplicate_decision_effects", "duplicate_journal_effects"] {
+            assert_eq!(
+                row.get(key).and_then(|v| v.as_f64()),
+                Some(0.0),
+                "`{key}` must be zero in every delivery campaign: {row:?}"
+            );
+        }
+    }
+}
+
+/// One tiny iteration of the partition study runs under `cargo test`, so
+/// the code that regenerates `partition.json` cannot bit-rot between
+/// releases. The smoke grid keeps every code path warm — lossy links,
+/// scripted partitions, heartbeat suspicion and lease-fenced reruns,
+/// journaled delivery with coordinator-boundary dedup — without asserting
+/// the paper-scale 90% recovery bar, which only the full grid is sized to
+/// meet. Exactly-once, by contrast, must hold at any scale.
+#[test]
+fn partition_smoke_iteration_produces_a_complete_document() {
+    let doc =
+        impress_bench::partition::run_study(&impress_bench::partition::StudyParams::smoke(), 7);
+    assert_eq!(
+        doc.get("format_version").and_then(|v| v.as_f64()),
+        Some(impress_bench::partition::PARTITION_FORMAT_VERSION as f64)
+    );
+    let grid = doc
+        .get("grid")
+        .and_then(|r| r.as_array())
+        .expect("smoke study has a grid");
+    assert_eq!(
+        grid.len(),
+        36,
+        "smoke study sweeps the same 36-cell grid as the paper run"
+    );
+    let tasks = doc.get("tasks").and_then(|v| v.as_u64()).expect("smoke study reports tasks");
+    for row in grid {
+        assert_eq!(
+            row.get("completed").and_then(|v| v.as_u64()),
+            Some(tasks),
+            "every smoke campaign must drain fully: {row:?}"
+        );
+        assert_eq!(
+            row.get("duplicate_completions").and_then(|v| v.as_f64()),
+            Some(0.0),
+            "exactly-once must hold in every smoke cell: {row:?}"
+        );
+    }
+    let detected: Vec<_> = grid
+        .iter()
+        .filter(|r| r.get("detector").and_then(|v| v.as_str()) != Some("off"))
+        .collect();
+    assert!(
+        detected.iter().any(|r| r.get("suspicions").and_then(|v| v.as_f64()).unwrap_or(0.0) > 0.0),
+        "detector-on smoke cells must actually suspect the partitioned node"
+    );
+    assert!(
+        detected
+            .iter()
+            .any(|r| r.get("lease_expiries").and_then(|v| v.as_f64()).unwrap_or(0.0) > 0.0),
+        "suspicion eviction must expire the trapped leases in some smoke cell"
+    );
+    let delivery = doc
+        .get("delivery")
+        .and_then(|r| r.as_array())
+        .expect("smoke study has a delivery array");
+    assert_eq!(delivery.len(), 3);
+    for row in delivery {
+        for key in ["duplicate_decision_effects", "duplicate_journal_effects"] {
+            assert_eq!(
+                row.get(key).and_then(|v| v.as_f64()),
+                Some(0.0),
+                "`{key}` must be zero in every smoke delivery campaign: {row:?}"
+            );
+        }
+    }
+    doc.get("acceptance")
+        .and_then(|a| a.get("exactly_once_at_every_rate"))
+        .and_then(|v| v.as_bool())
+        .expect("smoke study reports the exactly-once verdict");
+}
