@@ -1,0 +1,45 @@
+//! Coordinator fast-path study → `BENCH_coord.json`.
+//!
+//! Measures journaled-vs-bare campaign overhead (memory and file stores)
+//! against the embedded pre-optimization baseline, then drives the
+//! 1,000-concurrent-journaled-coordinator headline cell.
+//!
+//! ```text
+//! cargo run --release -p impress-bench --bin coord_bench
+//! ```
+
+use impress_bench::coord::{run_study, StudyParams};
+use impress_bench::harness::master_seed;
+
+fn main() {
+    let seed = master_seed();
+    eprintln!("coord_bench: seed {seed}");
+    let doc = run_study(&StudyParams::full(), seed);
+    std::fs::write("BENCH_coord.json", impress_json::to_string_pretty(&doc))
+        .expect("write BENCH_coord.json");
+    let reductions = doc.get("overhead_reductions").and_then(|r| r.as_array());
+    if let Some(rows) = reductions {
+        for row in rows {
+            println!(
+                "{:>6}: overhead {} ms -> {} ms ({}x reduction)",
+                row.get("store").and_then(|v| v.as_str()).unwrap_or("?"),
+                row.get("baseline_overhead_ms")
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(f64::NAN),
+                row.get("overhead_ms").and_then(|v| v.as_f64()).unwrap_or(f64::NAN),
+                row.get("reduction").and_then(|v| v.as_f64()).unwrap_or(f64::NAN),
+            );
+        }
+    }
+    if let Some(headline) = doc.get("headline") {
+        println!(
+            "headline: {} concurrent journaled coordinators in {} ms",
+            headline
+                .get("coordinators")
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0),
+            headline.get("wall_ms").and_then(|v| v.as_f64()).unwrap_or(f64::NAN),
+        );
+    }
+    println!("wrote BENCH_coord.json");
+}

@@ -1,0 +1,456 @@
+//! Coordinator fast-path study: journaled-vs-bare campaign overhead and
+//! the 1,000-concurrent-coordinator cell, written to `BENCH_coord.json`
+//! by the `coord_bench` binary.
+//!
+//! The study documents its own *before* shape: [`baseline`] pins the
+//! overhead measured on the pre-fast-path coordinator (per-record journal
+//! appends through an intermediate JSON `Value` tree, a file open + flush
+//! per record, `HashMap`-backed dispatch) so the checked-in artifact
+//! always carries the comparison point. The quantity under test is the
+//! *overhead delta* — journaled minus bare wall time for the identical
+//! campaign — because that isolates the journal's cost from the
+//! workload's.
+//!
+//! The headline cell drives **1,000 concurrent journaled coordinators**:
+//! independent campaigns, each owning a one-node slice of a simulated
+//! 1,000-node cluster, interleaved round-robin on one thread via
+//! [`Coordinator::step`]. It is the first measurement on the ROADMAP's
+//! multi-tenant axis (1k–10k concurrent campaigns per service).
+//!
+//! The logic lives in the library (not the binary) so `tests/hermetic.rs`
+//! can run a tiny smoke iteration under `cargo test` — bench code cannot
+//! bit-rot between releases.
+
+use impress_json::Json;
+use impress_pilot::backend::SimulatedBackend;
+use impress_pilot::{Completion, PilotConfig, ResourceRequest, TaskDescription};
+use impress_sim::SimDuration;
+use impress_workflow::{
+    Coordinator, FileJournal, Journal, JournalStore, MemoryJournal, NoDecisions, PipelineLogic,
+    Step,
+};
+
+/// Bumped whenever the JSON document layout changes; `tests/hermetic.rs`
+/// checks the checked-in artifact against this.
+pub const COORD_BENCH_FORMAT_VERSION: u32 = 1;
+
+/// Pre-optimization measurements, taken on the same machine that produced
+/// the checked-in `BENCH_coord.json`, before the workflow fast path
+/// landed.
+///
+/// Each overhead cell is `(store label, bare ms, journaled ms)` for one
+/// [`run_overhead_cell`] campaign (256 pipelines × 8 single-task stages);
+/// the overhead delta `journaled - bare` is the comparison quantity.
+pub mod baseline {
+    /// Commit the baseline was measured at.
+    pub const COMMIT: &str = "4416bc4";
+    /// What that coordinator looked like.
+    pub const DESCRIPTION: &str = "per-record journal appends: every record serialized through \
+         an intermediate JSON Value tree (twice: once for the CRC, once for the frame), one \
+         file open + write + flush per record, HashMap-backed pipeline dispatch";
+    /// `(store label, bare ms, journaled ms)` for the overhead campaign
+    /// (median of 15 samples, seed 2025).
+    pub const CELLS_MS: &[(&str, f64, f64)] = &[
+        ("memory", 4.46, 20.87),
+        ("file", 4.38, 28.19),
+    ];
+    /// Wall ms of the 1,000-concurrent-coordinator cell on the
+    /// pre-fast-path coordinator (same shape as [`super::run_concurrent_cell`]).
+    pub const CONCURRENT_1K_MS: f64 = 81.03;
+}
+
+/// Which durable store a journaled cell writes through.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum StoreKind {
+    /// Shared in-memory line buffer ([`MemoryJournal`]).
+    Memory,
+    /// Newline-delimited file with a flush per commit ([`FileJournal`]).
+    File,
+}
+
+impl StoreKind {
+    /// Stable label used in the JSON document and the baseline table.
+    pub fn label(self) -> &'static str {
+        match self {
+            StoreKind::Memory => "memory",
+            StoreKind::File => "file",
+        }
+    }
+}
+
+/// A pipeline of `stages` trivial single-task stages — pure coordinator
+/// and journal overhead, no meaningful work.
+struct NullPipeline {
+    stages: u32,
+}
+
+impl PipelineLogic<u64> for NullPipeline {
+    fn name(&self) -> String {
+        "null".into()
+    }
+    fn begin(&mut self) -> Step<u64> {
+        self.next()
+    }
+    fn stage_done(&mut self, _: Vec<Completion>) -> Step<u64> {
+        self.next()
+    }
+}
+
+impl NullPipeline {
+    fn next(&mut self) -> Step<u64> {
+        if self.stages == 0 {
+            return Step::Complete(0);
+        }
+        self.stages -= 1;
+        Step::run(
+            TaskDescription::new("null", ResourceRequest::cores(1), SimDuration::from_secs(5))
+                .with_work(|| 0u64),
+        )
+    }
+}
+
+fn overhead_config(seed: u64) -> PilotConfig {
+    PilotConfig {
+        nodes: 8,
+        bootstrap: SimDuration::from_secs(60),
+        exec_setup_per_task: SimDuration::from_secs(1),
+        ..PilotConfig::with_seed(seed)
+    }
+}
+
+/// Drive one campaign of `pipelines` × `stages` trivial stages; returns
+/// the journal record count (0 for a bare run).
+fn drive_campaign(journal: Option<Journal>, pipelines: usize, stages: u32, seed: u64) -> u64 {
+    let mut c = Coordinator::new(SimulatedBackend::new(overhead_config(seed)), NoDecisions);
+    if let Some(j) = journal {
+        c = c.with_journal(j);
+    }
+    for _ in 0..pipelines {
+        c.add_pipeline(Box::new(NullPipeline { stages }));
+    }
+    c.run();
+    assert_eq!(c.outcomes().len(), pipelines, "campaign must complete");
+    c.journal().map(|j| j.records_written()).unwrap_or(0)
+}
+
+/// One measured journaled-vs-bare overhead cell.
+pub struct OverheadCell {
+    /// Which store the journaled arm wrote through.
+    pub store: StoreKind,
+    /// Median bare (unjournaled) wall ms.
+    pub bare_ms: f64,
+    /// Median journaled wall ms.
+    pub journaled_ms: f64,
+    /// Records the journaled arm appended.
+    pub records: u64,
+}
+
+impl OverheadCell {
+    /// The comparison quantity: journaled minus bare wall time.
+    pub fn overhead_ms(&self) -> f64 {
+        self.journaled_ms - self.bare_ms
+    }
+}
+
+fn timed<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let start = std::time::Instant::now();
+    let r = f();
+    (start.elapsed().as_secs_f64() * 1e3, r)
+}
+
+fn scratch_journal_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "impress-coord-bench-{}-{tag}.journal",
+        std::process::id()
+    ))
+}
+
+/// Measure one journaled-vs-bare cell: `samples` interleaved bare and
+/// journaled drains of the identical campaign, medians reported.
+pub fn run_overhead_cell(
+    store: StoreKind,
+    pipelines: usize,
+    stages: u32,
+    samples: usize,
+    seed: u64,
+) -> OverheadCell {
+    let mut bare = Vec::with_capacity(samples);
+    let mut journaled = Vec::with_capacity(samples);
+    let mut records = 0;
+    for s in 0..samples {
+        let (ms, _) = timed(|| drive_campaign(None, pipelines, stages, seed));
+        bare.push(ms);
+        let journal = match store {
+            StoreKind::Memory => {
+                Journal::new(Box::new(MemoryJournal::new()), "coord-bench", seed).unwrap()
+            }
+            StoreKind::File => {
+                let path = scratch_journal_path(&format!("{}-{s}", store.label()));
+                let file = FileJournal::new(&path);
+                // Reset any stale content so appends start from a clean file.
+                file.rewrite(&[]).unwrap();
+                Journal::new(Box::new(file), "coord-bench", seed).unwrap()
+            }
+        };
+        let (ms, n) = timed(|| drive_campaign(Some(journal), pipelines, stages, seed));
+        journaled.push(ms);
+        records = n;
+        if store == StoreKind::File {
+            let _ = std::fs::remove_file(scratch_journal_path(&format!("{}-{s}", store.label())));
+        }
+    }
+    OverheadCell {
+        store,
+        bare_ms: median(bare),
+        journaled_ms: median(journaled),
+        records,
+    }
+}
+
+/// The 1,000-concurrent-coordinator headline cell result.
+pub struct ConcurrentCell {
+    /// Coordinators driven.
+    pub coordinators: usize,
+    /// Campaigns that drained to completion.
+    pub completed: usize,
+    /// Total pipeline outcomes across the fleet.
+    pub outcomes: usize,
+    /// Total journal records appended across the fleet.
+    pub records: u64,
+    /// Wall ms for the round-robin drive (construction excluded).
+    pub wall_ms: f64,
+}
+
+/// Drive `coordinators` independent journaled campaigns — each owning a
+/// one-node slice of a simulated `coordinators`-node cluster — round-robin
+/// on one thread via [`Coordinator::step`]. Repeated `samples` times
+/// (fresh fleet each time, identical seeds, so every repeat drains the
+/// identical virtual campaign); the median wall time is reported, since
+/// the first drive of a freshly built fleet pays cold-cache and
+/// frequency-ramp costs the steady state does not.
+pub fn run_concurrent_cell(
+    coordinators: usize,
+    pipelines: usize,
+    stages: u32,
+    samples: usize,
+    seed: u64,
+) -> ConcurrentCell {
+    let mut walls = Vec::with_capacity(samples);
+    let mut cell = None;
+    for _ in 0..samples.max(1) {
+        let mut fleet: Vec<_> = (0..coordinators)
+            .map(|i| {
+                let config = PilotConfig {
+                    nodes: 1,
+                    bootstrap: SimDuration::from_secs(60),
+                    exec_setup_per_task: SimDuration::from_secs(1),
+                    ..PilotConfig::with_seed(seed ^ i as u64)
+                };
+                let journal =
+                    Journal::new(Box::new(MemoryJournal::new()), "coord-bench-tenant", seed)
+                        .unwrap();
+                let mut c = Coordinator::new(SimulatedBackend::new(config), NoDecisions)
+                    .with_journal(journal);
+                for _ in 0..pipelines {
+                    c.add_pipeline(Box::new(NullPipeline { stages }));
+                }
+                c
+            })
+            .collect();
+        let (wall_ms, ()) = timed(|| {
+            let mut alive: Vec<usize> = (0..fleet.len()).collect();
+            while !alive.is_empty() {
+                alive.retain(|&i| fleet[i].step());
+            }
+        });
+        walls.push(wall_ms);
+        let completed = fleet
+            .iter()
+            .filter(|c| c.outcomes().len() == pipelines)
+            .count();
+        cell = Some(ConcurrentCell {
+            coordinators,
+            completed,
+            outcomes: fleet.iter().map(|c| c.outcomes().len()).sum(),
+            records: fleet
+                .iter()
+                .map(|c| c.journal().expect("journaled").records_written())
+                .sum(),
+            wall_ms,
+        });
+    }
+    let mut cell = cell.expect("at least one sample");
+    cell.wall_ms = median(walls);
+    cell
+}
+
+/// Knobs for one study run; [`StudyParams::full`] is what the study uses,
+/// [`StudyParams::smoke`] is the tiny `cargo test` iteration.
+pub struct StudyParams {
+    /// Pipelines in the overhead campaign.
+    pub overhead_pipelines: usize,
+    /// Single-task stages per overhead pipeline.
+    pub overhead_stages: u32,
+    /// Coordinators in the concurrent cell.
+    pub coordinators: usize,
+    /// Pipelines per concurrent-cell campaign.
+    pub concurrent_pipelines: usize,
+    /// Stages per concurrent-cell pipeline.
+    pub concurrent_stages: u32,
+    /// Samples per overhead cell (median reported).
+    pub samples: usize,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl StudyParams {
+    /// The full study grid — what `coord_bench` runs and checks in. Must
+    /// match the campaign shape [`baseline::CELLS_MS`] was measured with.
+    pub fn full() -> Self {
+        StudyParams {
+            overhead_pipelines: 256,
+            overhead_stages: 8,
+            coordinators: 1_000,
+            concurrent_pipelines: 2,
+            concurrent_stages: 3,
+            samples: env_usize("IMPRESS_BENCH_SAMPLES", 15),
+        }
+    }
+
+    /// A seconds-scale iteration for `cargo test`.
+    pub fn smoke() -> Self {
+        StudyParams {
+            overhead_pipelines: 8,
+            overhead_stages: 2,
+            coordinators: 8,
+            concurrent_pipelines: 1,
+            concurrent_stages: 2,
+            samples: 1,
+        }
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+/// Run the study and build the `BENCH_coord.json` document.
+pub fn run_study(params: &StudyParams, seed: u64) -> Json {
+    let mut results = Vec::new();
+    let mut reductions = Vec::new();
+    let mut file_reduction = 0.0;
+    for store in [StoreKind::Memory, StoreKind::File] {
+        let cell = run_overhead_cell(
+            store,
+            params.overhead_pipelines,
+            params.overhead_stages,
+            params.samples,
+            seed,
+        );
+        eprintln!(
+            "  {:>6}: bare {:>8.2} ms  journaled {:>8.2} ms  overhead {:>8.2} ms  ({} records)",
+            store.label(),
+            cell.bare_ms,
+            cell.journaled_ms,
+            cell.overhead_ms(),
+            cell.records
+        );
+        if let Some(&(_, base_bare, base_journaled)) = baseline::CELLS_MS
+            .iter()
+            .find(|&&(label, _, _)| label == store.label())
+        {
+            let base_overhead = base_journaled - base_bare;
+            if base_overhead > 0.0 && cell.overhead_ms() > 0.0 {
+                let reduction = base_overhead / cell.overhead_ms();
+                if store == StoreKind::File {
+                    file_reduction = reduction;
+                }
+                reductions.push(
+                    Json::object()
+                        .field("store", store.label())
+                        .field("baseline_overhead_ms", round2(base_overhead))
+                        .field("overhead_ms", round2(cell.overhead_ms()))
+                        .field("reduction", round2(reduction))
+                        .build(),
+                );
+            }
+        }
+        results.push(
+            Json::object()
+                .field("store", store.label())
+                .field("pipelines", params.overhead_pipelines)
+                .field("stages", params.overhead_stages as u64)
+                .field("records", cell.records)
+                .field("bare_ms", round2(cell.bare_ms))
+                .field("journaled_ms", round2(cell.journaled_ms))
+                .field("overhead_ms", round2(cell.overhead_ms()))
+                .build(),
+        );
+    }
+    let concurrent = run_concurrent_cell(
+        params.coordinators,
+        params.concurrent_pipelines,
+        params.concurrent_stages,
+        params.samples,
+        seed,
+    );
+    eprintln!(
+        "  {} concurrent journaled coordinators: {:.2} ms ({} records, {} completed)",
+        concurrent.coordinators, concurrent.wall_ms, concurrent.records, concurrent.completed
+    );
+    assert_eq!(
+        concurrent.completed, concurrent.coordinators,
+        "every concurrent campaign must drain to completion"
+    );
+    Json::object()
+        .field("format_version", COORD_BENCH_FORMAT_VERSION)
+        .field("suite", "coord_bench")
+        .field("seed", seed)
+        .field(
+            "baseline",
+            Json::object()
+                .field("commit", baseline::COMMIT)
+                .field("description", baseline::DESCRIPTION)
+                .field(
+                    "cells",
+                    baseline::CELLS_MS
+                        .iter()
+                        .map(|&(label, bare, journaled)| {
+                            Json::object()
+                                .field("store", label)
+                                .field("bare_ms", bare)
+                                .field("journaled_ms", journaled)
+                                .field("overhead_ms", round2(journaled - bare))
+                                .build()
+                        })
+                        .collect::<Vec<_>>(),
+                )
+                .field("concurrent_1k_ms", baseline::CONCURRENT_1K_MS)
+                .build(),
+        )
+        .field("results", results)
+        .field("overhead_reductions", reductions)
+        .field(
+            "headline",
+            Json::object()
+                .field("coordinators", concurrent.coordinators)
+                .field("campaigns_completed", concurrent.completed)
+                .field("pipeline_outcomes", concurrent.outcomes)
+                .field("records", concurrent.records)
+                .field("wall_ms", round2(concurrent.wall_ms))
+                .field("all_completed", concurrent.completed == concurrent.coordinators)
+                .field("five_x_file_overhead_reduction", file_reduction >= 5.0)
+                .build(),
+        )
+        .build()
+}

@@ -17,6 +17,7 @@
 //!
 //! Run e.g. `cargo run --release -p impress-bench --bin table1`.
 
+pub mod coord;
 pub mod harness;
 pub mod partition;
 pub mod sched;

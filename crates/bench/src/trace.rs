@@ -32,7 +32,8 @@ use impress_pilot::{
 use impress_proteins::datasets::mined_pdz_complexes;
 use impress_sim::SimDuration;
 use impress_telemetry::{
-    check_nesting, chrome_trace_filtered, SpanCat, Telemetry, TelemetryEvent, TraceClock,
+    check_nesting, write_chrome_trace, write_chrome_trace_filtered, SpanCat, Telemetry,
+    TelemetryEvent, TraceClock,
 };
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -169,10 +170,11 @@ pub fn parity_trace_on(which: ParityBackend, seed: u64, tasks: usize) -> String 
         cv.notify_all();
     }
     while backend.next_completion().is_some() {}
-    let trace = chrome_trace_filtered(&recorder.events(), TraceClock::Virtual, |cat| {
+    let mut trace = String::new();
+    write_chrome_trace_filtered(&mut trace, &recorder.events(), TraceClock::Virtual, |cat| {
         cat != SpanCat::Scheduler
     });
-    impress_json::to_string(&trace)
+    trace
 }
 
 /// Count `Begin` events per span category, as sorted `(label, count)`
@@ -214,8 +216,11 @@ pub fn run_study(params: &TraceParams, seed: u64) -> Json {
     let events = recorder.events();
     let dropped = recorder.dropped();
     let nesting = check_nesting(&events);
-    let chrome = recorder.chrome_trace(TraceClock::Virtual);
-    let chrome_text = impress_json::to_string(&chrome);
+    // Streaming fast path (no intermediate Json tree); the round-trip
+    // check below re-parses it, so a parity break would fail loudly here
+    // as well as in the exporter's own tests.
+    let mut chrome_text = String::new();
+    write_chrome_trace(&mut chrome_text, &events, TraceClock::Virtual);
     let round_trip_ok = impress_json::from_str::<Json>(&chrome_text)
         .map(|parsed| impress_json::to_string(&parsed) == chrome_text)
         .unwrap_or(false);

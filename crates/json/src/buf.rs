@@ -1,0 +1,413 @@
+//! Zero-allocation serialization fast path.
+//!
+//! [`ToJsonBuf`] writes a value's compact JSON text directly into a caller
+//! supplied (and typically reused) `String`, skipping the intermediate
+//! [`Json`] tree that [`ToJson`](crate::ToJson) builds. The bytes produced
+//! are **identical** to `to_string(&value.to_json())` — both paths share
+//! the number and string writers below — so checksums computed over either
+//! representation agree. Hot paths that serialize per-record (the
+//! write-ahead journal, trace exporters, study bins) use this to reach
+//! zero heap allocations per record once the buffer is warm: integers and
+//! floats are formatted through `core::fmt` (stack buffers, no heap), and
+//! strings are escaped char-by-char into the existing capacity.
+
+use crate::value::{Json, Number};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+
+/// Serialize directly into a reused buffer, compactly.
+///
+/// Implementations must produce exactly the bytes of
+/// `crate::to_string(&self.to_json())`; the [`json_struct!`](crate::json_struct)
+/// and [`json_enum!`](crate::json_enum) macros generate conforming impls
+/// alongside the tree-building ones.
+pub trait ToJsonBuf {
+    /// Append `self`'s compact JSON text to `out`.
+    fn write_json(&self, out: &mut String);
+}
+
+/// Append `value`'s compact JSON text to `out` (the buffer-reusing analog
+/// of [`to_string`](crate::to_string)).
+pub fn write_json(out: &mut String, value: &impl ToJsonBuf) {
+    value.write_json(out);
+}
+
+pub(crate) fn write_u64(out: &mut String, u: u64) {
+    let _ = write!(out, "{u}");
+}
+
+pub(crate) fn write_i64(out: &mut String, i: i64) {
+    let _ = write!(out, "{i}");
+}
+
+pub(crate) fn write_f64(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        // serde_json's convention: non-finite floats become null.
+        out.push_str("null");
+        return;
+    }
+    // Rust's shortest round-trip formatting, with a `.0` re-attached for
+    // integral values so the token stays float-typed on re-parse.
+    let start = out.len();
+    let _ = write!(out, "{f}");
+    if !out[start..].contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+pub(crate) fn write_number(out: &mut String, n: Number) {
+    match n {
+        Number::U64(u) => write_u64(out, u),
+        Number::I64(i) => write_i64(out, i),
+        Number::F64(f) => write_f64(out, f),
+    }
+}
+
+fn escape_char(out: &mut String, c: char) {
+    match c {
+        '"' => out.push_str("\\\""),
+        '\\' => out.push_str("\\\\"),
+        '\n' => out.push_str("\\n"),
+        '\r' => out.push_str("\\r"),
+        '\t' => out.push_str("\\t"),
+        '\u{08}' => out.push_str("\\b"),
+        '\u{0c}' => out.push_str("\\f"),
+        c if (c as u32) < 0x20 => {
+            let _ = write!(out, "\\u{:04x}", c as u32);
+        }
+        c => out.push(c),
+    }
+}
+
+pub(crate) fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        escape_char(out, c);
+    }
+    out.push('"');
+}
+
+impl ToJsonBuf for Json {
+    fn write_json(&self, out: &mut String) {
+        crate::ser::write_value(out, self, None);
+    }
+}
+
+impl<T: ToJsonBuf + ?Sized> ToJsonBuf for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: ToJsonBuf + ?Sized> ToJsonBuf for Box<T> {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl ToJsonBuf for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl ToJsonBuf for str {
+    fn write_json(&self, out: &mut String) {
+        write_escaped(out, self);
+    }
+}
+
+impl ToJsonBuf for String {
+    fn write_json(&self, out: &mut String) {
+        write_escaped(out, self);
+    }
+}
+
+impl ToJsonBuf for char {
+    fn write_json(&self, out: &mut String) {
+        out.push('"');
+        escape_char(out, *self);
+        out.push('"');
+    }
+}
+
+macro_rules! impl_buf_uint {
+    ($($ty:ty),+) => {$(
+        impl ToJsonBuf for $ty {
+            fn write_json(&self, out: &mut String) {
+                write_u64(out, u64::from(*self));
+            }
+        }
+    )+};
+}
+impl_buf_uint!(u8, u16, u32, u64);
+
+macro_rules! impl_buf_int {
+    ($($ty:ty),+) => {$(
+        impl ToJsonBuf for $ty {
+            fn write_json(&self, out: &mut String) {
+                write_i64(out, i64::from(*self));
+            }
+        }
+    )+};
+}
+impl_buf_int!(i8, i16, i32, i64);
+
+impl ToJsonBuf for usize {
+    fn write_json(&self, out: &mut String) {
+        write_u64(out, *self as u64);
+    }
+}
+
+impl ToJsonBuf for isize {
+    fn write_json(&self, out: &mut String) {
+        write_i64(out, *self as i64);
+    }
+}
+
+impl ToJsonBuf for f64 {
+    fn write_json(&self, out: &mut String) {
+        write_f64(out, *self);
+    }
+}
+
+impl ToJsonBuf for f32 {
+    fn write_json(&self, out: &mut String) {
+        // Widen first: shortest-round-trip text of the f64 value, exactly
+        // like the tree path (`f32::to_json` stores an `f64`).
+        write_f64(out, f64::from(*self));
+    }
+}
+
+impl<T: ToJsonBuf> ToJsonBuf for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+fn write_seq<'a, T: ToJsonBuf + 'a>(out: &mut String, items: impl Iterator<Item = &'a T>) {
+    out.push('[');
+    let mut first = true;
+    for item in items {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        item.write_json(out);
+    }
+    out.push(']');
+}
+
+impl<T: ToJsonBuf> ToJsonBuf for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        write_seq(out, self.iter());
+    }
+}
+
+impl<T: ToJsonBuf> ToJsonBuf for [T] {
+    fn write_json(&self, out: &mut String) {
+        write_seq(out, self.iter());
+    }
+}
+
+impl<T: ToJsonBuf, const N: usize> ToJsonBuf for [T; N] {
+    fn write_json(&self, out: &mut String) {
+        write_seq(out, self.iter());
+    }
+}
+
+impl<A: ToJsonBuf, B: ToJsonBuf> ToJsonBuf for (A, B) {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.write_json(out);
+        out.push(',');
+        self.1.write_json(out);
+        out.push(']');
+    }
+}
+
+impl<V: ToJsonBuf> ToJsonBuf for BTreeMap<String, V> {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in self {
+            if !std::mem::take(&mut first) {
+                out.push(',');
+            }
+            write_escaped(out, k);
+            out.push(':');
+            v.write_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<V: ToJsonBuf> ToJsonBuf for HashMap<String, V> {
+    fn write_json(&self, out: &mut String) {
+        // Sort keys so HashMap iteration order cannot leak into the output
+        // (matching the tree path). The key vector allocates; ordered maps
+        // on hot paths should prefer `BTreeMap` or a struct.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        out.push('{');
+        let mut first = true;
+        for k in keys {
+            if !std::mem::take(&mut first) {
+                out.push(',');
+            }
+            write_escaped(out, k);
+            out.push(':');
+            self[k].write_json(out);
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{json_enum, json_struct, to_string, ToJson};
+
+    /// The invariant everything rests on: fast-path bytes == tree-path
+    /// bytes, for any value.
+    fn assert_parity<T: ToJson + ToJsonBuf>(v: &T) {
+        let tree = to_string(v);
+        let mut buf = String::from("seed-prefix");
+        v.write_json(&mut buf);
+        assert_eq!(&buf["seed-prefix".len()..], tree, "fast path diverged");
+    }
+
+    #[test]
+    fn scalars_match_the_tree_path_byte_for_byte() {
+        assert_parity(&true);
+        assert_parity(&false);
+        assert_parity(&0u64);
+        assert_parity(&u64::MAX);
+        assert_parity(&-1i64);
+        assert_parity(&i64::MIN);
+        assert_parity(&42usize);
+        assert_parity(&-9isize);
+        assert_parity(&7u8);
+        assert_parity(&-3i16);
+    }
+
+    #[test]
+    fn floats_match_including_integral_shortest_roundtrip_and_nonfinite() {
+        for f in [
+            0.0f64,
+            -0.0,
+            3.0,
+            0.1,
+            0.1875,
+            -2.5e-308,
+            1e300,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            123456789.0,
+        ] {
+            assert_parity(&f);
+        }
+        assert_parity(&0.25f32);
+        assert_parity(&3.0f32);
+        assert_parity(&f32::NAN);
+    }
+
+    #[test]
+    fn strings_match_across_the_whole_escape_set() {
+        for s in [
+            "",
+            "plain",
+            "with \"quotes\" and \\backslashes\\",
+            "newline\n tab\t return\r",
+            "backspace\u{08} formfeed\u{0c}",
+            "control\u{01}\u{1f}",
+            "unicode: héllo ⚙ 日本語",
+        ] {
+            assert_parity(&s.to_string());
+        }
+        assert_parity(&'x');
+        assert_parity(&'"');
+        assert_parity(&'\u{02}');
+    }
+
+    #[test]
+    fn containers_match_including_empties() {
+        assert_parity(&Vec::<u64>::new());
+        assert_parity(&vec![1u64, 2, 3]);
+        assert_parity(&[0.5f64, 1.5]);
+        assert_parity(&(Some(1u32), Option::<String>::None));
+        assert_parity(&("k".to_string(), 2.0f64));
+        let mut bt = std::collections::BTreeMap::new();
+        bt.insert("b".to_string(), 1u64);
+        bt.insert("a".to_string(), 2u64);
+        assert_parity(&bt);
+        let mut hm = std::collections::HashMap::new();
+        hm.insert("z".to_string(), 0.5f64);
+        hm.insert("a".to_string(), -1.0);
+        assert_parity(&hm);
+        assert_parity(&std::collections::HashMap::<String, bool>::new());
+    }
+
+    #[test]
+    fn json_values_match_through_the_compact_writer() {
+        let doc = Json::object()
+            .field("nested", Json::array(vec![Json::Null, Json::Bool(true)]))
+            .field("num", 0.1875)
+            .field("text", "esc\"aped\n")
+            .field("empty_obj", Json::object().build())
+            .field("empty_arr", Json::array(Vec::<Json>::new()))
+            .build();
+        assert_parity(&doc);
+    }
+
+    struct Inner {
+        label: String,
+        weight: f64,
+    }
+    json_struct!(Inner { label, weight });
+
+    struct Wrapper(u64);
+    json_struct!(Wrapper(u64));
+
+    enum Kind {
+        Unit,
+        Single(Inner),
+        Pair(u64, String),
+        Fields { id: u64, optional: Option<f64> },
+    }
+    json_enum!(Kind {
+        Unit,
+        Single(inner),
+        Pair(a, b),
+        Fields { id, optional }
+    });
+
+    #[test]
+    fn macro_generated_impls_match_for_every_shape() {
+        assert_parity(&Inner {
+            label: "a \"quoted\" name".into(),
+            weight: 3.0,
+        });
+        assert_parity(&Wrapper(99));
+        assert_parity(&Kind::Unit);
+        assert_parity(&Kind::Single(Inner {
+            label: String::new(),
+            weight: f64::NAN,
+        }));
+        assert_parity(&Kind::Pair(7, "x\ty".into()));
+        assert_parity(&Kind::Fields {
+            id: 0,
+            optional: None,
+        });
+        assert_parity(&Kind::Fields {
+            id: u64::MAX,
+            optional: Some(0.5),
+        });
+        assert_parity(&vec![Kind::Unit, Kind::Pair(1, "s".into())]);
+    }
+}

@@ -15,6 +15,10 @@
 //! * [`ToJson`] / [`FromJson`] — conversion traits; the [`json_struct!`] and
 //!   [`json_enum!`] macros generate the short hand-written impls that replace
 //!   `#[derive(Serialize, Deserialize)]`.
+//! * [`ToJsonBuf`] / [`write_json`] — the zero-alloc fast path: serialize
+//!   straight into a reused buffer, skipping the `Json` tree, with bytes
+//!   identical to `to_string(&value.to_json())` (the macros generate these
+//!   impls too).
 //!
 //! Enum representation matches serde's externally-tagged default:
 //! unit variants are strings (`"Fifo"`), newtype variants are
@@ -25,6 +29,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+mod buf;
 mod convert;
 mod de;
 mod ser;
@@ -33,6 +38,7 @@ mod value;
 #[macro_use]
 mod macros;
 
+pub use buf::{write_json, ToJsonBuf};
 pub use convert::{from_field, from_str, FromJson, ToJson};
 pub use de::parse;
 pub use ser::{to_string, to_string_pretty};

@@ -21,8 +21,9 @@
 //! parse: structs are objects keyed by field name (declaration order),
 //! newtype structs are transparent, and enums are externally tagged.
 
-/// Implement [`ToJson`](crate::ToJson) and [`FromJson`](crate::FromJson) for
-/// a struct with named fields, or transparently for a newtype struct.
+/// Implement [`ToJson`](crate::ToJson), [`FromJson`](crate::FromJson) and
+/// the zero-alloc [`ToJsonBuf`](crate::ToJsonBuf) fast path for a struct
+/// with named fields, or transparently for a newtype struct.
 ///
 /// Missing keys on input read as `null`, so `Option<T>` fields tolerate
 /// older artifacts that omitted them.
@@ -34,6 +35,20 @@ macro_rules! json_struct {
                 $crate::Json::Object(vec![
                     $( (stringify!($field).to_string(), $crate::ToJson::to_json(&self.$field)) ),+
                 ])
+            }
+        }
+        impl $crate::ToJsonBuf for $ty {
+            fn write_json(&self, out: &mut ::std::string::String) {
+                out.push('{');
+                let mut _first = true;
+                $(
+                    if !::std::mem::take(&mut _first) {
+                        out.push(',');
+                    }
+                    out.push_str(concat!("\"", stringify!($field), "\":"));
+                    $crate::ToJsonBuf::write_json(&self.$field, out);
+                )+
+                out.push('}');
             }
         }
         impl $crate::FromJson for $ty {
@@ -50,6 +65,11 @@ macro_rules! json_struct {
                 $crate::ToJson::to_json(&self.0)
             }
         }
+        impl $crate::ToJsonBuf for $ty {
+            fn write_json(&self, out: &mut ::std::string::String) {
+                $crate::ToJsonBuf::write_json(&self.0, out);
+            }
+        }
         impl $crate::FromJson for $ty {
             fn from_json(v: &$crate::Json) -> Result<Self, $crate::JsonError> {
                 Ok($ty(<$inner as $crate::FromJson>::from_json(v)?))
@@ -58,8 +78,9 @@ macro_rules! json_struct {
     };
 }
 
-/// Implement [`ToJson`](crate::ToJson) and [`FromJson`](crate::FromJson) for
-/// an enum, using serde's externally-tagged representation.
+/// Implement [`ToJson`](crate::ToJson), [`FromJson`](crate::FromJson) and
+/// the zero-alloc [`ToJsonBuf`](crate::ToJsonBuf) fast path for an enum,
+/// using serde's externally-tagged representation.
 ///
 /// Unit variants serialize as `"Name"`; newtype variants as
 /// `{"Name": value}`; tuple variants as `{"Name": [..]}`; struct variants as
@@ -72,6 +93,14 @@ macro_rules! json_enum {
                 match self {
                     $( $crate::json_enum!(@pat $ty $var $(( $($tf),+ ))? $({ $($sf),+ })?) =>
                         $crate::json_enum!(@to $var $(( $($tf),+ ))? $({ $($sf),+ })?), )+
+                }
+            }
+        }
+        impl $crate::ToJsonBuf for $ty {
+            fn write_json(&self, out: &mut ::std::string::String) {
+                match self {
+                    $( $crate::json_enum!(@pat $ty $var $(( $($tf),+ ))? $({ $($sf),+ })?) =>
+                        { $crate::json_enum!(@tobuf out $var $(( $($tf),+ ))? $({ $($sf),+ })?); } )+
                 }
             }
         }
@@ -111,6 +140,38 @@ macro_rules! json_enum {
             ]),
         )])
     };
+
+    (@tobuf $out:ident $var:ident) => {
+        $out.push_str(concat!("\"", stringify!($var), "\""))
+    };
+    (@tobuf $out:ident $var:ident ( $single:ident )) => {{
+        $out.push_str(concat!("{\"", stringify!($var), "\":"));
+        $crate::ToJsonBuf::write_json($single, $out);
+        $out.push('}');
+    }};
+    (@tobuf $out:ident $var:ident ( $($tf:ident),+ )) => {{
+        $out.push_str(concat!("{\"", stringify!($var), "\":["));
+        let mut _first = true;
+        $(
+            if !::std::mem::take(&mut _first) {
+                $out.push(',');
+            }
+            $crate::ToJsonBuf::write_json($tf, $out);
+        )+
+        $out.push_str("]}");
+    }};
+    (@tobuf $out:ident $var:ident { $($sf:ident),+ }) => {{
+        $out.push_str(concat!("{\"", stringify!($var), "\":{"));
+        let mut _first = true;
+        $(
+            if !::std::mem::take(&mut _first) {
+                $out.push(',');
+            }
+            $out.push_str(concat!("\"", stringify!($sf), "\":"));
+            $crate::ToJsonBuf::write_json($sf, $out);
+        )+
+        $out.push_str("}}");
+    }};
 
     (@from $ty:ident $v:ident $var:ident) => {
         if $v.as_str() == Some(stringify!($var)) {

@@ -1,6 +1,11 @@
 //! Serialization: compact and pretty (2-space indent, `serde_json` style).
+//!
+//! The number and string writers live in [`crate::buf`] and are shared
+//! with the [`ToJsonBuf`](crate::ToJsonBuf) fast path, so the two paths
+//! produce identical bytes by construction.
 
-use crate::value::{Json, Number};
+use crate::buf::{write_escaped, write_number};
+use crate::value::Json;
 use crate::ToJson;
 
 /// Serialize compactly: `{"k":1,"v":[true,null]}`.
@@ -23,7 +28,7 @@ pub(crate) fn json_to_string(value: &Json) -> String {
 }
 
 /// `indent = None` → compact; `Some(depth)` → pretty at that nesting depth.
-fn write_value(out: &mut String, value: &Json, indent: Option<usize>) {
+pub(crate) fn write_value(out: &mut String, value: &Json, indent: Option<usize>) {
     match value {
         Json::Null => out.push_str("null"),
         Json::Bool(true) => out.push_str("true"),
@@ -88,43 +93,3 @@ fn close_line(out: &mut String, indent: Option<usize>) {
     }
 }
 
-fn write_number(out: &mut String, n: Number) {
-    match n {
-        Number::U64(u) => out.push_str(&u.to_string()),
-        Number::I64(i) => out.push_str(&i.to_string()),
-        Number::F64(f) => {
-            if !f.is_finite() {
-                // serde_json's convention: non-finite floats become null.
-                out.push_str("null");
-                return;
-            }
-            // Rust's shortest round-trip formatting, with a `.0` re-attached
-            // for integral values so the token stays float-typed on re-parse.
-            let s = format!("{f}");
-            out.push_str(&s);
-            if !s.contains(['.', 'e', 'E']) {
-                out.push_str(".0");
-            }
-        }
-    }
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            '\u{08}' => out.push_str("\\b"),
-            '\u{0c}' => out.push_str("\\f"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}

@@ -21,6 +21,7 @@ const ARTIFACTS: &[&str] = &[
     "table1.json",
     "scaling.json",
     "resilience.json",
+    "BENCH_coord.json",
 ];
 
 #[test]

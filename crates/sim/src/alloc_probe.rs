@@ -1,0 +1,96 @@
+//! A heap-allocation probe for zero-alloc regression tests.
+//!
+//! Perf claims like "zero heap allocations per journal record once the
+//! buffers are warm" rot silently: one innocent `format!` on the hot path
+//! and the claim is false with no test noticing. This module provides a
+//! counting [`std::alloc::GlobalAlloc`] wrapper around the system
+//! allocator, so a dedicated integration test binary can install it with
+//! `#[global_allocator]` and *pin* an allocation count:
+//!
+//! ```ignore
+//! use impress_sim::alloc_probe::CountingAlloc;
+//!
+//! #[global_allocator]
+//! static ALLOC: CountingAlloc = CountingAlloc::new();
+//!
+//! let (allocs, _) = ALLOC.measure(|| hot_path());
+//! assert_eq!(allocs, 0);
+//! ```
+//!
+//! The probe belongs in its own test *binary* (one `#[test]`): the
+//! counters are process-global, so concurrent tests in the same binary
+//! would bleed allocations into each other's measurements. It lives here
+//! (not under `#[cfg(test)]`) because the binaries that consume it are in
+//! downstream crates.
+
+// The one place in the workspace that needs `unsafe`: implementing
+// `GlobalAlloc` requires it by signature. Every method is a trivial
+// forward to `System` plus a relaxed counter bump.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A [`System`]-forwarding allocator that counts every allocation.
+///
+/// Install as the `#[global_allocator]` of a test binary, then wrap the
+/// code under measurement in [`measure`](Self::measure).
+pub struct CountingAlloc {
+    allocs: AtomicU64,
+}
+
+impl CountingAlloc {
+    /// A fresh probe (counter at zero). `const` so it can initialize a
+    /// `static`.
+    pub const fn new() -> Self {
+        CountingAlloc {
+            allocs: AtomicU64::new(0),
+        }
+    }
+
+    /// Heap allocations observed so far (allocations and growing
+    /// reallocations; frees are not counted — a zero-alloc pin is about
+    /// acquiring memory, not returning it).
+    pub fn allocations(&self) -> u64 {
+        self.allocs.load(Ordering::Relaxed)
+    }
+
+    /// Run `f`, returning how many heap allocations it performed along
+    /// with its result. Single-threaded measurement discipline is the
+    /// caller's job (one `#[test]` per probe binary).
+    pub fn measure<R>(&self, f: impl FnOnce() -> R) -> (u64, R) {
+        let before = self.allocations();
+        let out = f();
+        (self.allocations() - before, out)
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A realloc acquires memory (even in place it *may* move), so it
+        // counts against a zero-alloc pin: a hot path that grows a buffer
+        // per record is not zero-alloc.
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}

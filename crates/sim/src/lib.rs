@@ -29,6 +29,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod alloc_probe;
 pub mod engine;
 pub mod event;
 pub mod histogram;

@@ -59,6 +59,99 @@ pub fn chrome_trace_filtered(
     clock: TraceClock,
     keep: impl Fn(SpanCat) -> bool,
 ) -> Json {
+    let rows = collect_rows(events, clock, keep);
+    let trace_events: Vec<Json> = rows
+        .iter()
+        .map(|row| {
+            let mut obj = Json::object()
+                .field("name", &row.name)
+                .field("cat", row.cat.as_str())
+                .field("ph", if row.dur.is_some() { "X" } else { "i" })
+                .field("ts", row.ts)
+                .field("pid", 1u64)
+                .field("tid", row.tid);
+            if let Some(dur) = row.dur {
+                obj = obj.field("dur", dur);
+            } else {
+                obj = obj.field("s", "t");
+            }
+            let mut args = Json::object();
+            for (k, v) in &row.args {
+                args = args.field(k, *v);
+            }
+            obj.field("args", args.build()).build()
+        })
+        .collect();
+
+    Json::object()
+        .field("traceEvents", Json::Array(trace_events))
+        .field("displayTimeUnit", "ms")
+        .build()
+}
+
+/// Render the compact-JSON trace document straight into `out` — the
+/// [`ToJsonBuf`](impress_json::ToJsonBuf)-style fast path. The bytes are
+/// identical to `impress_json::to_string(&chrome_trace(events, clock))`
+/// without materializing the intermediate [`Json`] tree (one small object
+/// per span adds up: trace documents reach hundreds of kilobytes).
+pub fn write_chrome_trace(out: &mut String, events: &[TelemetryEvent], clock: TraceClock) {
+    write_chrome_trace_filtered(out, events, clock, |_| true)
+}
+
+/// [`write_chrome_trace`] restricted to categories passing `keep`; byte
+/// parity with [`chrome_trace_filtered`] rendered compactly.
+pub fn write_chrome_trace_filtered(
+    out: &mut String,
+    events: &[TelemetryEvent],
+    clock: TraceClock,
+    keep: impl Fn(SpanCat) -> bool,
+) {
+    let rows = collect_rows(events, clock, keep);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for row in &rows {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        impress_json::write_json(out, &row.name);
+        out.push_str(",\"cat\":");
+        impress_json::write_json(out, &row.cat.as_str());
+        out.push_str(",\"ph\":");
+        out.push_str(if row.dur.is_some() { "\"X\"" } else { "\"i\"" });
+        out.push_str(",\"ts\":");
+        impress_json::write_json(out, &row.ts);
+        out.push_str(",\"pid\":1,\"tid\":");
+        impress_json::write_json(out, &row.tid);
+        match row.dur {
+            Some(dur) => {
+                out.push_str(",\"dur\":");
+                impress_json::write_json(out, &dur);
+            }
+            None => out.push_str(",\"s\":\"t\""),
+        }
+        out.push_str(",\"args\":{");
+        let mut first_arg = true;
+        for (k, v) in &row.args {
+            if !std::mem::take(&mut first_arg) {
+                out.push(',');
+            }
+            impress_json::write_json(out, k);
+            out.push(':');
+            impress_json::write_json(out, v);
+        }
+        out.push_str("}}");
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+}
+
+/// Flatten, filter and canonically sort the events into render-ready rows
+/// (shared by the tree and streaming renderers).
+fn collect_rows(
+    events: &[TelemetryEvent],
+    clock: TraceClock,
+    keep: impl Fn(SpanCat) -> bool,
+) -> Vec<Row> {
     // Pair Begin/End by id, then forget the ids.
     let mut ends: HashMap<SpanId, Stamp> = HashMap::new();
     for ev in events {
@@ -148,32 +241,5 @@ pub fn chrome_trace_filtered(
             &b.args,
         ))
     });
-
-    let trace_events: Vec<Json> = rows
-        .iter()
-        .map(|row| {
-            let mut obj = Json::object()
-                .field("name", &row.name)
-                .field("cat", row.cat.as_str())
-                .field("ph", if row.dur.is_some() { "X" } else { "i" })
-                .field("ts", row.ts)
-                .field("pid", 1u64)
-                .field("tid", row.tid);
-            if let Some(dur) = row.dur {
-                obj = obj.field("dur", dur);
-            } else {
-                obj = obj.field("s", "t");
-            }
-            let mut args = Json::object();
-            for (k, v) in &row.args {
-                args = args.field(k, *v);
-            }
-            obj.field("args", args.build()).build()
-        })
-        .collect();
-
-    Json::object()
-        .field("traceEvents", Json::Array(trace_events))
-        .field("displayTimeUnit", "ms")
-        .build()
+    rows
 }

@@ -32,10 +32,13 @@ mod metrics;
 mod prom;
 mod sink;
 
-pub use chrome::{chrome_trace, chrome_trace_filtered, TraceClock};
+pub use chrome::{
+    chrome_trace, chrome_trace_filtered, write_chrome_trace, write_chrome_trace_filtered,
+    TraceClock,
+};
 pub use event::{check_nesting, Args, SpanCat, SpanId, Stamp, TelemetryEvent};
 pub use metrics::{BucketSample, CounterSample, GaugeSample, HistogramSample, MetricsSnapshot};
-pub use prom::prometheus_text;
+pub use prom::{prometheus_text, prometheus_text_into};
 pub use sink::{NullSink, RingSink, TelemetrySink, TraceRecorder};
 
 use metrics::Metrics;
@@ -368,6 +371,42 @@ mod tests {
             impress_json::to_string(&rec.chrome_trace(TraceClock::Virtual))
         };
         assert_eq!(render(false), render(true));
+    }
+
+    #[test]
+    fn streaming_chrome_export_matches_the_tree_path_byte_for_byte() {
+        let (tele, rec) = Telemetry::recording(64);
+        let a = tele.span(
+            SpanCat::Pipeline,
+            "pipe \"0\"",
+            SpanId::NONE,
+            3,
+            t(1),
+            &[("pipeline", 0)],
+        );
+        let b = tele.span(SpanCat::Stage, "stage", a, 3, t(2), &[("tasks", 4)]);
+        tele.instant(SpanCat::Fault, "task-retried", b, 3, t(3), &[("attempts", 2)]);
+        tele.end(b, t(6));
+        tele.end(a, t(9));
+        tele.span(SpanCat::Task, "unclosed", SpanId::NONE, 7, t(4), &[]);
+        let events = rec.events();
+        for clock in [TraceClock::Virtual, TraceClock::Wall] {
+            let tree = impress_json::to_string(&chrome_trace(&events, clock));
+            let mut streamed = String::new();
+            write_chrome_trace(&mut streamed, &events, clock);
+            assert_eq!(streamed, tree, "fast path diverged ({clock:?})");
+        }
+        // The filtered variants agree too (and actually filter).
+        let keep = |c: SpanCat| c != SpanCat::Task;
+        let tree = impress_json::to_string(&chrome_trace_filtered(
+            &events,
+            TraceClock::Virtual,
+            keep,
+        ));
+        let mut streamed = String::new();
+        write_chrome_trace_filtered(&mut streamed, &events, TraceClock::Virtual, keep);
+        assert_eq!(streamed, tree);
+        assert!(!streamed.contains("unclosed"));
     }
 
     #[test]

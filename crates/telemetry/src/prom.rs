@@ -9,6 +9,14 @@ use std::fmt::Write as _;
 /// deterministic because snapshots are name-sorted.
 pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::new();
+    prometheus_text_into(&mut out, snapshot);
+    out
+}
+
+/// [`prometheus_text`] into a caller-supplied (typically reused) buffer —
+/// the zero-alloc-once-warm variant for scrape loops that render every
+/// poll interval.
+pub fn prometheus_text_into(out: &mut String, snapshot: &MetricsSnapshot) {
     for c in &snapshot.counters {
         let _ = writeln!(out, "# TYPE impress_{} counter", c.name);
         let _ = writeln!(out, "impress_{} {}", c.name, c.value);
@@ -26,5 +34,4 @@ pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
         let _ = writeln!(out, "impress_{}_sum {}", h.name, h.sum);
         let _ = writeln!(out, "impress_{}_count {}", h.name, h.count);
     }
-    out
 }

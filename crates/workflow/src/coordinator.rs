@@ -21,10 +21,10 @@ use crate::registry::Registry;
 use crate::report::RunReport;
 use crate::stage::{StageBuffer, Step};
 use impress_json::{FromJson, Json, JsonError, ToJson};
-use impress_pilot::{Completion, ExecutionBackend, Session, TaskId};
+use impress_pilot::{Completion, ExecutionBackend, Session, TaskDescription};
 use impress_sim::SimTime;
 use impress_telemetry::{track, SpanCat, SpanId, Telemetry};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 
 /// A read-only snapshot handed to the decision engine.
 pub struct CoordinatorView<'a> {
@@ -47,9 +47,19 @@ struct JournalWriter<O> {
 impl<O> JournalWriter<O> {
     /// Durability is the whole point: if the journal cannot be written, the
     /// coordinator fail-stops rather than silently running unjournaled.
-    fn append(&mut self, rec: &JournalRecord) {
+    fn record(&mut self, rec: JournalRecord) {
         if let Err(e) = self.journal.record(rec) {
             panic!("write-ahead journal append failed; refusing to run without durability: {e}");
+        }
+    }
+
+    /// Flush the current group commit; returns the batch size.
+    fn commit(&mut self) -> usize {
+        match self.journal.commit() {
+            Ok(batch) => batch,
+            Err(e) => {
+                panic!("write-ahead journal commit failed; refusing to run without durability: {e}")
+            }
         }
     }
 }
@@ -71,7 +81,8 @@ struct ReplayState<O> {
 struct GhostPipeline<O> {
     name: String,
     stages: VecDeque<Vec<TaskMeta>>,
-    terminal: TerminalRecord,
+    /// Taken at the terminal step (a ghost reaches it exactly once).
+    terminal: Option<TerminalRecord>,
     decode: fn(&Json) -> Result<O, JsonError>,
 }
 
@@ -80,15 +91,16 @@ impl<O> GhostPipeline<O> {
         if let Some(stage) = self.stages.pop_front() {
             return Step::Submit(stage.iter().map(TaskMeta::to_description).collect());
         }
-        match &self.terminal {
+        match self.terminal.take() {
             // `resume` pre-validates that every journaled outcome decodes,
             // so the Err arm is unreachable in practice; it degrades to an
             // abort rather than panicking if a plan is mutated after that.
-            TerminalRecord::Completed(json) => match (self.decode)(json) {
+            Some(TerminalRecord::Completed(json)) => match (self.decode)(&json) {
                 Ok(outcome) => Step::Complete(outcome),
                 Err(e) => Step::Abort(format!("journaled outcome failed to decode: {e}")),
             },
-            TerminalRecord::Aborted(reason) => Step::Abort(reason.clone()),
+            Some(TerminalRecord::Aborted(reason)) => Step::Abort(reason),
+            None => Step::Abort("ghost pipeline stepped past its terminal record".into()),
         }
     }
 }
@@ -113,15 +125,45 @@ struct PipelineSpans {
     stage: SpanId,
 }
 
+/// Dense per-pipeline dispatch state. Pipeline ids are assigned densely
+/// from 0 and never recycled, so `slots[id]` replaces what used to be
+/// three separate `HashMap` lookups (live pipeline, stage buffer, spans)
+/// per dispatch with one bounds-checked index.
+struct PipelineSlot<O> {
+    /// The pipeline logic; `None` once terminal.
+    live: Option<BoxedPipeline<O>>,
+    /// The in-flight stage's completion buffer, if a stage is in flight.
+    buffer: Option<StageBuffer>,
+    /// Open telemetry spans; taken when the pipeline span closes.
+    spans: Option<PipelineSpans>,
+    /// The pipeline's task tag, formatted once at registration — each
+    /// submission clones it (the completion owns its tag) instead of
+    /// re-formatting per task.
+    tag: String,
+}
+
+/// Where a task's completion routes, indexed by dense backend task id.
+#[derive(Clone, Copy)]
+enum RouteState {
+    /// Never submitted by this coordinator (or not yet).
+    Unknown,
+    /// In flight, owned by this pipeline.
+    Routed(PipelineId),
+    /// Completion already consumed — an exact replay is deduped.
+    Consumed,
+}
+
 /// The pipelines coordinator. `O` is the pipeline outcome type.
 pub struct Coordinator<O, B: ExecutionBackend, D: DecisionEngine<O>> {
     session: Session<B>,
     decision: D,
     registry: Registry,
-    live: HashMap<u64, BoxedPipeline<O>>,
-    buffers: HashMap<u64, StageBuffer>,
-    routes: HashMap<TaskId, PipelineId>,
-    routed: HashSet<TaskId>,
+    slots: Vec<PipelineSlot<O>>,
+    routes: Vec<RouteState>,
+    /// Stage submissions produced during the current drain cycle, deferred
+    /// to [`flush_effects`](Coordinator::flush_effects) so they apply only
+    /// after their `StageSubmitted` records are durable.
+    pending_submits: Vec<(PipelineId, Vec<TaskDescription>)>,
     dedup_hits: u64,
     to_start: Vec<PipelineId>,
     outcomes: Vec<(PipelineId, O)>,
@@ -131,7 +173,6 @@ pub struct Coordinator<O, B: ExecutionBackend, D: DecisionEngine<O>> {
     replay: Option<ReplayState<O>>,
     drained: bool,
     telemetry: Telemetry,
-    spans: HashMap<u64, PipelineSpans>,
 }
 
 impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D> {
@@ -144,10 +185,9 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
             session,
             decision,
             registry: Registry::new(),
-            live: HashMap::new(),
-            buffers: HashMap::new(),
-            routes: HashMap::new(),
-            routed: HashSet::new(),
+            slots: Vec::new(),
+            routes: Vec::new(),
+            pending_submits: Vec::new(),
             dedup_hits: 0,
             to_start: Vec::new(),
             outcomes: Vec::new(),
@@ -157,7 +197,6 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
             replay: None,
             drained: false,
             telemetry,
-            spans: HashMap::new(),
         }
     }
 
@@ -181,26 +220,27 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
         // journal replays as a work-free ghost. Live-at-kill pipelines (no
         // terminal record) re-run for real. A name mismatch means the plan
         // does not describe this pipeline — run it for real.
-        let pipeline = match self.replay.as_ref().and_then(|rs| {
+        let pipeline = match self.replay.as_mut().and_then(|rs| {
             let script = rs.scripts.get(&id.0)?;
             if script.name != name {
                 debug_assert!(false, "{id}: plan names {:?}, run names {name:?}", script.name);
                 return None;
             }
-            let terminal = script.terminal.clone()?;
+            script.terminal.as_ref()?;
+            // Each id registers exactly once, so the ghost takes ownership
+            // of the journaled script instead of cloning its stages.
+            let script = rs.scripts.remove(&id.0).expect("present just above");
             Some(Box::new(GhostPipeline {
-                name: script.name.clone(),
-                stages: script.stages.iter().cloned().collect(),
-                terminal,
+                name: script.name,
+                stages: script.stages.into(),
+                terminal: script.terminal,
                 decode: rs.decode,
             }) as BoxedPipeline<O>)
         }) {
             Some(ghost) => ghost,
             None => pipeline,
         };
-        let assigned = self
-            .registry
-            .register(pipeline.name(), parent, self.session.now());
+        let assigned = self.registry.register(name, parent, self.session.now());
         debug_assert_eq!(assigned, id, "peeked id diverged from assigned id");
         self.events
             .push(self.session.now(), id, EventKind::Registered { parent });
@@ -208,7 +248,7 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
         // parented under the spawning pipeline's span (if any) so adaptive
         // sub-pipeline trees nest in the trace.
         let parent_span = parent
-            .and_then(|p| self.spans.get(&p.0))
+            .and_then(|p| self.slots[p.0 as usize].spans.as_ref())
             .map(|s| s.pipeline)
             .unwrap_or(SpanId::NONE);
         let span = self.telemetry.span(
@@ -219,50 +259,98 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
             self.session.stamp(),
             &[("pipeline", id.0 as i64)],
         );
-        self.spans.insert(
-            id.0,
-            PipelineSpans {
+        debug_assert_eq!(self.slots.len() as u64, id.0, "slot slab diverged from ids");
+        self.slots.push(PipelineSlot {
+            live: Some(pipeline),
+            buffer: None,
+            spans: Some(PipelineSpans {
                 pipeline: span,
                 stage: SpanId::NONE,
-            },
-        );
+            }),
+            tag: id.to_string(),
+        });
         self.telemetry.count("pipelines_registered", 1);
-        self.live.insert(id.0, pipeline);
         self.to_start.push(id);
         id
     }
 
-    /// Append a journal record, building it lazily so unjournaled runs pay
-    /// nothing for the hook.
+    /// Buffer a journal record into the cycle's group commit, building it
+    /// lazily so unjournaled runs pay nothing for the hook. Durability
+    /// comes at the cycle's [`flush_effects`](Self::flush_effects) barrier.
     fn journal_append(&mut self, make: impl FnOnce() -> JournalRecord) {
         if let Some(writer) = &mut self.journal {
-            writer.append(&make());
-            self.journal_instant();
+            writer.record(make());
         }
     }
 
-    /// Mark a durable write-ahead append on the session track, so journal
-    /// pressure is visible in the trace alongside the decisions it guards.
-    fn journal_instant(&self) {
-        self.telemetry.instant(
-            SpanCat::Session,
-            "journal-append",
-            SpanId::NONE,
-            track::SESSION,
-            self.session.stamp(),
-            &[],
-        );
+    /// The group-commit barrier that ends a drain cycle: flush every
+    /// journal record the cycle produced with one durable append, then
+    /// perform the deferred backend submissions those records describe.
+    /// The write-ahead contract holds — no externally visible effect
+    /// happens before its record is durable — while the per-record flush
+    /// collapses to one flush per cycle. Deferring the submissions is
+    /// observationally neutral: the simulated backend schedules at
+    /// `wait_next`, not at `submit`, and submission order (hence task id
+    /// assignment) is preserved.
+    fn flush_effects(&mut self) {
+        if let Some(writer) = &mut self.journal {
+            let batch = writer.commit();
+            if batch > 0 {
+                // One instant per *commit* (the old code stamped one per
+                // record); counters keep per-record visibility and the
+                // histogram shows how well the cycle batches.
+                self.telemetry.count("journal_batches", 1);
+                self.telemetry.count("journal_records", batch as u64);
+                self.telemetry
+                    .observe("journal_batch_records", 0.0, 64.0, 16, batch as f64);
+                self.telemetry.instant(
+                    SpanCat::Session,
+                    "journal-commit",
+                    SpanId::NONE,
+                    track::SESSION,
+                    self.session.stamp(),
+                    &[("records", batch as i64)],
+                );
+            }
+        }
+        for i in 0..self.pending_submits.len() {
+            let (id, tasks) = {
+                let entry = &mut self.pending_submits[i];
+                (entry.0, std::mem::take(&mut entry.1))
+            };
+            let mut ids = Vec::with_capacity(tasks.len());
+            for task in tasks {
+                let tid = self
+                    .session
+                    .submit(task.with_tag(self.slots[id.0 as usize].tag.clone()));
+                let at = tid.0 as usize;
+                if self.routes.len() <= at {
+                    self.routes.resize(at + 1, RouteState::Unknown);
+                }
+                debug_assert!(matches!(self.routes[at], RouteState::Unknown));
+                self.routes[at] = RouteState::Routed(id);
+                ids.push(tid);
+            }
+            let slot = &mut self.slots[id.0 as usize];
+            assert!(
+                slot.buffer.is_none(),
+                "{id}: submitted a stage while one is in flight"
+            );
+            slot.buffer = Some(StageBuffer::new(ids));
+        }
+        self.pending_submits.clear();
     }
 
     fn start_pending(&mut self) {
         while let Some(id) = self.to_start.pop() {
-            let step = self
+            let step = self.slots[id.0 as usize]
                 .live
-                .get_mut(&id.0)
+                .as_mut()
                 .expect("pipeline registered")
                 .begin();
             self.apply_step(id, step);
         }
+        self.flush_effects();
     }
 
     fn apply_step(&mut self, id: PipelineId, step: Step<O>) {
@@ -284,7 +372,7 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
                     },
                 );
                 self.registry.note_stage_submitted(id, tasks.len());
-                if let Some(spans) = self.spans.get_mut(&id.0) {
+                if let Some(spans) = self.slots[id.0 as usize].spans.as_mut() {
                     spans.stage = self.telemetry.span(
                         SpanCat::Stage,
                         "stage",
@@ -295,17 +383,10 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
                     );
                 }
                 self.telemetry.count("stages_submitted", 1);
-                let mut ids = Vec::with_capacity(tasks.len());
-                for task in tasks {
-                    let tid = self.session.submit(task.with_tag(format!("{id}")));
-                    self.routes.insert(tid, id);
-                    ids.push(tid);
-                }
-                let prev = self.buffers.insert(id.0, StageBuffer::new(ids));
-                assert!(
-                    prev.is_none(),
-                    "{id}: submitted a stage while one is in flight"
-                );
+                // Effect deferred: the backend submission happens at the
+                // cycle's flush barrier, after the StageSubmitted record
+                // above is durable.
+                self.pending_submits.push((id, tasks));
             }
             Step::Complete(outcome) => {
                 if let Some(writer) = &mut self.journal {
@@ -313,14 +394,13 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
                         pipeline: id.0,
                         outcome: (writer.encode)(&outcome),
                     };
-                    writer.append(&rec);
-                    self.journal_instant();
+                    writer.record(rec);
                 }
                 self.events
                     .push(self.session.now(), id, EventKind::Completed);
                 self.registry
                     .finish(id, PipelineState::Completed, self.session.now());
-                self.live.remove(&id.0);
+                self.slots[id.0 as usize].live = None;
                 self.end_pipeline_span(id);
                 self.telemetry.count("pipelines_completed", 1);
                 // Decision point: the adaptive engine may spawn sub-pipelines.
@@ -353,7 +433,7 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
                 );
                 self.registry
                     .finish(id, PipelineState::Aborted, self.session.now());
-                self.live.remove(&id.0);
+                self.slots[id.0 as usize].live = None;
                 self.end_pipeline_span(id);
                 self.telemetry.count("pipelines_aborted", 1);
                 let spawns = {
@@ -382,7 +462,7 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
 
     /// Close a pipeline's whole-lifetime span at the terminal step.
     fn end_pipeline_span(&mut self, id: PipelineId) {
-        if let Some(spans) = self.spans.remove(&id.0) {
+        if let Some(spans) = self.slots[id.0 as usize].spans.take() {
             self.telemetry.end(spans.pipeline, self.session.stamp());
         }
     }
@@ -403,14 +483,16 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
     }
 
     fn route(&mut self, completion: Completion) {
-        let Some(&id) = self.routes.get(&completion.task) else {
+        let at = completion.task.0 as usize;
+        let id = match self.routes.get(at).copied().unwrap_or(RouteState::Unknown) {
+            RouteState::Routed(id) => id,
             // Idempotent dedup at the coordinator boundary: under
             // at-least-once delivery a completion already consumed can be
             // replayed. Re-applying it would double the pipeline's stage
             // progress (and the decision engine's view of it), so an exact
             // replay is counted and dropped; a completion for a task never
             // routed at all is still a routing bug.
-            if self.routed.contains(&completion.task) {
+            RouteState::Consumed => {
                 self.dedup_hits += 1;
                 self.telemetry.count("coordinator_dedup_hits", 1);
                 self.telemetry.instant(
@@ -423,10 +505,9 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
                 );
                 return;
             }
-            panic!("{}: completion has no route", completion.task);
+            RouteState::Unknown => panic!("{}: completion has no route", completion.task),
         };
-        self.routes.remove(&completion.task);
-        self.routed.insert(completion.task);
+        self.routes[at] = RouteState::Consumed;
         if completion.attempts > 0 {
             self.events.push(
                 self.session.now(),
@@ -436,7 +517,11 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
                     attempts: completion.attempts,
                 },
             );
-            let span = self.spans.get(&id.0).map(|s| s.stage).unwrap_or(SpanId::NONE);
+            let span = self.slots[id.0 as usize]
+                .spans
+                .as_ref()
+                .map(|s| s.stage)
+                .unwrap_or(SpanId::NONE);
             self.telemetry.instant(
                 SpanCat::Fault,
                 "task-retried",
@@ -468,7 +553,11 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
                     distinct_nodes: distinct,
                 },
             );
-            let span = self.spans.get(&id.0).map(|s| s.stage).unwrap_or(SpanId::NONE);
+            let span = self.slots[id.0 as usize]
+                .spans
+                .as_ref()
+                .map(|s| s.stage)
+                .unwrap_or(SpanId::NONE);
             self.telemetry.instant(
                 SpanCat::Quarantine,
                 "task-poisoned",
@@ -496,12 +585,13 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
             };
             self.apply_spawns(spawns);
         }
-        let buffer = self
-            .buffers
-            .get_mut(&id.0)
-            .unwrap_or_else(|| panic!("{id}: completion but no in-flight stage"));
-        if let Some(batch) = buffer.record(completion) {
-            self.buffers.remove(&id.0);
+        let batch = self.slots[id.0 as usize]
+            .buffer
+            .as_mut()
+            .unwrap_or_else(|| panic!("{id}: completion but no in-flight stage"))
+            .record(completion);
+        if let Some(batch) = batch {
+            self.slots[id.0 as usize].buffer = None;
             let stage = self.registry.get(id).stages_completed;
             self.journal_append(|| JournalRecord::StageCompleted {
                 pipeline: id.0,
@@ -510,62 +600,80 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
             self.events
                 .push(self.session.now(), id, EventKind::StageCompleted { stage });
             self.registry.note_stage_completed(id);
-            if let Some(spans) = self.spans.get_mut(&id.0) {
+            if let Some(spans) = self.slots[id.0 as usize].spans.as_mut() {
                 let done = std::mem::replace(&mut spans.stage, SpanId::NONE);
                 self.telemetry.end(done, self.session.stamp());
             }
             self.telemetry.count("stages_completed", 1);
-            let step = self
+            let step = self.slots[id.0 as usize]
                 .live
-                .get_mut(&id.0)
+                .as_mut()
                 .expect("live pipeline")
                 .stage_done(batch);
             self.apply_step(id, step);
+        }
+        // End-of-cycle barrier: commit the records this routing produced
+        // and perform the submissions they describe.
+        self.flush_effects();
+    }
+
+    /// Advance the campaign by one coordinator drain cycle: start pending
+    /// pipelines, wait for the next completion, and route it (applying
+    /// every transition it triggers). Returns `false` once the campaign
+    /// has reached a terminal state — either finished or drained by a
+    /// walltime deadline.
+    ///
+    /// [`Coordinator::run`] is `while self.step() {}`; calling `step`
+    /// directly lets a multi-tenant driver interleave many independent
+    /// campaigns on one thread (the `coord_bench` 1k-coordinator cell).
+    pub fn step(&mut self) -> bool {
+        self.start_pending();
+        match self.session.wait_next() {
+            Some(c) => {
+                self.route(c);
+                true
+            }
+            None => {
+                // A walltime deadline made the backend hold tasks it
+                // could not finish in time: the session has drained its
+                // in-flight work and will launch nothing further. Stop
+                // here — the journal holds everything a resume needs.
+                if self.session.observe().held_tasks() > 0 {
+                    self.drained = true;
+                    return false;
+                }
+                // Workload drained. Give the engine a chance to start
+                // another round; otherwise we are done.
+                let spawns = {
+                    let d = self.decision_span("on-all-idle");
+                    let obs = self.session.observe();
+                    let view = CoordinatorView {
+                        now: obs.at(),
+                        registry: &self.registry,
+                        utilization: *obs.utilization(),
+                    };
+                    let spawns = self.decision.on_all_idle(&view);
+                    self.telemetry.end(d, self.session.stamp());
+                    spawns
+                };
+                if spawns.is_empty() && self.to_start.is_empty() {
+                    assert_eq!(
+                        self.registry.live_count(),
+                        0,
+                        "drained backend but pipelines still live (stuck stage?)"
+                    );
+                    return false;
+                }
+                self.apply_spawns(spawns);
+                true
+            }
         }
     }
 
     /// Drive every pipeline (and everything the decision engine spawns) to
     /// a terminal state, then return the run report.
     pub fn run(&mut self) -> RunReport {
-        loop {
-            self.start_pending();
-            match self.session.wait_next() {
-                Some(c) => self.route(c),
-                None => {
-                    // A walltime deadline made the backend hold tasks it
-                    // could not finish in time: the session has drained its
-                    // in-flight work and will launch nothing further. Stop
-                    // here — the journal holds everything a resume needs.
-                    if self.session.observe().held_tasks() > 0 {
-                        self.drained = true;
-                        break;
-                    }
-                    // Workload drained. Give the engine a chance to start
-                    // another round; otherwise we are done.
-                    let spawns = {
-                        let d = self.decision_span("on-all-idle");
-                        let obs = self.session.observe();
-                        let view = CoordinatorView {
-                            now: obs.at(),
-                            registry: &self.registry,
-                            utilization: *obs.utilization(),
-                        };
-                        let spawns = self.decision.on_all_idle(&view);
-                        self.telemetry.end(d, self.session.stamp());
-                        spawns
-                    };
-                    if spawns.is_empty() && self.to_start.is_empty() {
-                        assert_eq!(
-                            self.registry.live_count(),
-                            0,
-                            "drained backend but pipelines still live (stuck stage?)"
-                        );
-                        break;
-                    }
-                    self.apply_spawns(spawns);
-                }
-            }
-        }
+        while self.step() {}
         self.report()
     }
 
@@ -631,9 +739,14 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
 }
 
 impl<O: ToJson, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D> {
-    /// Install a write-ahead journal: every state transition is appended
-    /// (and durably stored) *before* it is applied, so a crash at any
+    /// Install a write-ahead journal: every state transition's record is
+    /// durable *before* the transition's effects apply, so a crash at any
     /// instant leaves a journal describing a consistent prefix of the run.
+    /// Records buffer across one drain cycle and flush as a single group
+    /// commit at the cycle barrier — losing a buffered, unflushed suffix is
+    /// indistinguishable from crashing a moment earlier, so batching does
+    /// not weaken crash consistency while collapsing per-record flushes to
+    /// one per cycle.
     pub fn with_journal(mut self, journal: Journal) -> Self {
         self.journal = Some(JournalWriter {
             journal,
@@ -694,7 +807,7 @@ mod tests {
     use crate::decision::NoDecisions;
     use crate::pipeline::PipelineLogic;
     use impress_pilot::backend::SimulatedBackend;
-    use impress_pilot::{PilotConfig, ResourceRequest, RuntimeConfig, TaskDescription};
+    use impress_pilot::{PilotConfig, ResourceRequest, RuntimeConfig, TaskDescription, TaskId};
     use impress_sim::SimDuration;
 
     fn pilot_config() -> PilotConfig {

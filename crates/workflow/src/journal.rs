@@ -37,10 +37,11 @@
 //! task metadata, never on work outputs, an interrupted-then-resumed run
 //! regenerates every artifact byte-identically to an uninterrupted one.
 
-use impress_json::{from_field, json_enum, json_struct, FromJson, Json, ToJson};
+use impress_json::{from_field, json_enum, json_struct, FromJson, Json, ToJsonBuf};
 use impress_pilot::{ResourceRequest, TaskDescription, TaskKind};
 use impress_sim::SimDuration;
-use std::fmt;
+use std::fmt::{self, Write as _};
+use std::fs::File;
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
@@ -183,7 +184,11 @@ impl ReplayPlan {
     /// Fold one record into the plan, validating structural consistency.
     /// The writer uses this to keep its snapshot state current; the loader
     /// uses the same path, so snapshots and raw replay can never diverge.
-    pub fn apply(&mut self, rec: &JournalRecord) -> Result<(), JournalError> {
+    ///
+    /// Takes the record by value: both callers own it (the writer just
+    /// framed it, the loader just parsed it), so names, task vectors and
+    /// outcomes move into the plan instead of being cloned per record.
+    pub fn apply(&mut self, rec: JournalRecord) -> Result<(), JournalError> {
         match rec {
             JournalRecord::Begin { .. } | JournalRecord::Snapshot { .. } => Err(
                 JournalError::Corrupt("Begin/Snapshot records cannot appear mid-stream".into()),
@@ -193,15 +198,15 @@ impl ReplayPlan {
                 parent,
                 name,
             } => {
-                if self.pipelines.iter().any(|s| s.id == *pipeline) {
+                if self.pipelines.iter().any(|s| s.id == pipeline) {
                     return Err(JournalError::Corrupt(format!(
                         "pipeline {pipeline} registered twice"
                     )));
                 }
                 self.pipelines.push(PipelineScript {
-                    id: *pipeline,
-                    name: name.clone(),
-                    parent: *parent,
+                    id: pipeline,
+                    name,
+                    parent,
                     stages: Vec::new(),
                     stages_completed: 0,
                     terminal: None,
@@ -213,19 +218,18 @@ impl ReplayPlan {
                 stage,
                 tasks,
             } => {
-                let s = self.script_mut(*pipeline)?;
-                if s.terminal.is_some() || *stage != s.stages.len() {
+                let s = self.script_mut(pipeline)?;
+                if s.terminal.is_some() || stage != s.stages.len() {
                     return Err(JournalError::Corrupt(format!(
                         "pipeline {pipeline}: stage {stage} submission out of order"
                     )));
                 }
-                s.stages.push(tasks.clone());
+                s.stages.push(tasks);
                 Ok(())
             }
             JournalRecord::StageCompleted { pipeline, stage } => {
-                let s = self.script_mut(*pipeline)?;
-                if s.terminal.is_some() || *stage != s.stages_completed || *stage >= s.stages.len()
-                {
+                let s = self.script_mut(pipeline)?;
+                if s.terminal.is_some() || stage != s.stages_completed || stage >= s.stages.len() {
                     return Err(JournalError::Corrupt(format!(
                         "pipeline {pipeline}: stage {stage} completion out of order"
                     )));
@@ -234,23 +238,23 @@ impl ReplayPlan {
                 Ok(())
             }
             JournalRecord::Completed { pipeline, outcome } => {
-                let s = self.script_mut(*pipeline)?;
+                let s = self.script_mut(pipeline)?;
                 if s.terminal.is_some() {
                     return Err(JournalError::Corrupt(format!(
                         "pipeline {pipeline} finished twice"
                     )));
                 }
-                s.terminal = Some(TerminalRecord::Completed(outcome.clone()));
+                s.terminal = Some(TerminalRecord::Completed(outcome));
                 Ok(())
             }
             JournalRecord::Aborted { pipeline, reason } => {
-                let s = self.script_mut(*pipeline)?;
+                let s = self.script_mut(pipeline)?;
                 if s.terminal.is_some() {
                     return Err(JournalError::Corrupt(format!(
                         "pipeline {pipeline} finished twice"
                     )));
                 }
-                s.terminal = Some(TerminalRecord::Aborted(reason.clone()));
+                s.terminal = Some(TerminalRecord::Aborted(reason));
                 Ok(())
             }
             // Poison verdicts change no replay state: resume re-simulates
@@ -258,9 +262,7 @@ impl ReplayPlan {
             // verdict. The record preserves it durably (post-mortems read
             // it straight off the journal), so only its structural validity
             // is checked here.
-            JournalRecord::TaskPoisoned { pipeline, .. } => {
-                self.script_mut(*pipeline).map(|_| ())
-            }
+            JournalRecord::TaskPoisoned { pipeline, .. } => self.script_mut(pipeline).map(|_| ()),
         }
     }
 
@@ -409,8 +411,29 @@ impl From<impress_json::JsonError> for JournalError {
 pub trait JournalStore {
     /// Append one framed line.
     fn append(&self, line: &str) -> Result<(), JournalError>;
+    /// Append a block of framed lines (each `\n`-terminated) with a single
+    /// durability point — the group-commit fast path. Semantically
+    /// equivalent to appending each line in order; the default does exactly
+    /// that, and stores override it to reach one write + flush per batch.
+    fn append_block(&self, block: &str) -> Result<(), JournalError> {
+        for line in block.lines() {
+            self.append(line)?;
+        }
+        Ok(())
+    }
     /// All lines currently stored, in order.
     fn lines(&self) -> Result<Vec<String>, JournalError>;
+    /// The full stored text, newline-delimited — the loader's single-read
+    /// path (it iterates borrowed `str::lines`, never allocating per line).
+    /// The default joins [`lines`](JournalStore::lines); stores override it
+    /// to read their medium once.
+    fn read_all(&self) -> Result<String, JournalError> {
+        let mut text = self.lines()?.join("\n");
+        if !text.is_empty() {
+            text.push('\n');
+        }
+        Ok(text)
+    }
     /// Atomically replace the content with `lines` (compaction).
     fn rewrite(&self, lines: &[String]) -> Result<(), JournalError>;
 }
@@ -460,8 +483,27 @@ impl JournalStore for MemoryJournal {
         Ok(())
     }
 
+    fn append_block(&self, block: &str) -> Result<(), JournalError> {
+        // One lock acquisition per batch (`append` pays one per record).
+        self.lines
+            .lock()
+            .expect("journal buffer lock")
+            .extend(block.lines().map(str::to_string));
+        Ok(())
+    }
+
     fn lines(&self) -> Result<Vec<String>, JournalError> {
         Ok(self.lines.lock().expect("journal buffer lock").clone())
+    }
+
+    fn read_all(&self) -> Result<String, JournalError> {
+        let lines = self.lines.lock().expect("journal buffer lock");
+        let mut text = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+        for line in lines.iter() {
+            text.push_str(line);
+            text.push('\n');
+        }
+        Ok(text)
     }
 
     fn rewrite(&self, lines: &[String]) -> Result<(), JournalError> {
@@ -470,22 +512,45 @@ impl JournalStore for MemoryJournal {
     }
 }
 
-/// A file-backed store: newline-delimited records, appended with a flush
-/// per record; compaction writes a sibling temp file and renames it over
-/// the journal (atomic on POSIX filesystems).
+/// A file-backed store: newline-delimited records written through a
+/// persistent append handle (opened once, one `write` + `flush` per group
+/// commit); compaction writes a sibling temp file and renames it over the
+/// journal (atomic on POSIX filesystems), invalidating the handle.
 pub struct FileJournal {
     path: PathBuf,
+    handle: Mutex<Option<File>>,
 }
 
 impl FileJournal {
     /// A store at `path`. The file is created on first write.
     pub fn new(path: impl Into<PathBuf>) -> Self {
-        FileJournal { path: path.into() }
+        FileJournal {
+            path: path.into(),
+            handle: Mutex::new(None),
+        }
     }
 
     /// The journal file path.
     pub fn path(&self) -> &std::path::Path {
         &self.path
+    }
+
+    /// Write + flush through the persistent append handle, opening it on
+    /// first use (and after a `rewrite` invalidated it).
+    fn write_durable(&self, bytes: &[u8]) -> Result<(), JournalError> {
+        let mut guard = self.handle.lock().expect("journal file handle lock");
+        if guard.is_none() {
+            *guard = Some(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&self.path)
+                    .map_err(io_err)?,
+            );
+        }
+        let f = guard.as_mut().expect("handle just ensured");
+        f.write_all(bytes).map_err(io_err)?;
+        f.flush().map_err(io_err)
     }
 }
 
@@ -495,24 +560,32 @@ fn io_err(e: std::io::Error) -> JournalError {
 
 impl JournalStore for FileJournal {
     fn append(&self, line: &str) -> Result<(), JournalError> {
-        let mut f = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&self.path)
-            .map_err(io_err)?;
-        writeln!(f, "{line}").map_err(io_err)?;
-        f.flush().map_err(io_err)
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
+        self.write_durable(framed.as_bytes())
+    }
+
+    fn append_block(&self, block: &str) -> Result<(), JournalError> {
+        self.write_durable(block.as_bytes())
     }
 
     fn lines(&self) -> Result<Vec<String>, JournalError> {
+        Ok(self.read_all()?.lines().map(str::to_string).collect())
+    }
+
+    fn read_all(&self) -> Result<String, JournalError> {
         match std::fs::read_to_string(&self.path) {
-            Ok(text) => Ok(text.lines().map(str::to_string).collect()),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+            Ok(text) => Ok(text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(String::new()),
             Err(e) => Err(io_err(e)),
         }
     }
 
     fn rewrite(&self, lines: &[String]) -> Result<(), JournalError> {
+        // Drop the append handle first: the rename replaces the inode, and
+        // a stale handle would keep appending to the unlinked old file.
+        *self.handle.lock().expect("journal file handle lock") = None;
         let tmp = self.path.with_extension("journal.tmp");
         let mut body = lines.join("\n");
         if !body.is_empty() {
@@ -533,35 +606,94 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-fn frame(seq: u64, rec: &JournalRecord) -> String {
-    let rec_json = rec.to_json();
-    let crc = fnv1a(impress_json::to_string(&rec_json).as_bytes());
-    impress_json::to_string(
-        &Json::object()
-            .field("seq", seq)
-            .field("crc", crc)
-            .field("rec", rec_json)
-            .build(),
-    )
+/// Append one framed line (`{"seq":N,"crc":C,"rec":{...}}`, no trailing
+/// newline) to `out`. The record is serialized exactly once, through the
+/// [`ToJsonBuf`] fast path into `scratch` (a reused buffer), and the CRC is
+/// computed over those same bytes — the old tree-building path serialized
+/// every record twice and allocated a fresh `String` both times. Fast-path
+/// bytes are identical to the tree path's, so journals stay interchangeable.
+fn write_frame(out: &mut String, scratch: &mut String, seq: u64, rec: &JournalRecord) {
+    scratch.clear();
+    rec.write_json(scratch);
+    let crc = fnv1a(scratch.as_bytes());
+    out.push_str("{\"seq\":");
+    let _ = write!(out, "{seq}");
+    out.push_str(",\"crc\":");
+    let _ = write!(out, "{crc}");
+    out.push_str(",\"rec\":");
+    out.push_str(scratch);
+    out.push('}');
 }
 
-fn parse_frame(line: &str) -> Result<(u64, JournalRecord), JournalError> {
-    let v = impress_json::parse(line)?;
-    let seq: u64 = from_field(&v, "seq")?;
-    let crc: u64 = from_field(&v, "crc")?;
-    let rec = v
-        .get("rec")
-        .ok_or_else(|| JournalError::Corrupt("frame has no rec field".into()))?;
-    let computed = fnv1a(impress_json::to_string(rec).as_bytes());
-    if computed != crc {
-        return Err(JournalError::Corrupt(format!(
-            "crc mismatch at seq {seq}: stored {crc:#x}, computed {computed:#x}"
-        )));
+/// Frame into a fresh `String` — the compaction / test convenience wrapper
+/// around [`write_frame`].
+fn frame(seq: u64, rec: &JournalRecord) -> String {
+    let mut out = String::new();
+    let mut scratch = String::new();
+    write_frame(&mut out, &mut scratch, seq, rec);
+    out
+}
+
+/// Why one frame failed to parse. Deliberately cheap to construct: the
+/// loader discards mid-stream issues wholesale (a torn tail is dropped, not
+/// reported), so formatting a diagnostic per bad line would be allocation
+/// for nothing. Only the journal head converts an issue into a full
+/// [`JournalError`] via [`FrameIssue::into_error`].
+#[derive(Debug)]
+enum FrameIssue {
+    Json(impress_json::JsonError),
+    NoRec,
+    Crc { seq: u64, stored: u64, computed: u64 },
+}
+
+impl FrameIssue {
+    fn into_error(self) -> JournalError {
+        match self {
+            FrameIssue::Json(e) => JournalError::Corrupt(e.to_string()),
+            FrameIssue::NoRec => JournalError::Corrupt("frame has no rec field".into()),
+            FrameIssue::Crc {
+                seq,
+                stored,
+                computed,
+            } => JournalError::Corrupt(format!(
+                "crc mismatch at seq {seq}: stored {stored:#x}, computed {computed:#x}"
+            )),
+        }
     }
-    Ok((seq, JournalRecord::from_json(rec)?))
+}
+
+fn parse_frame(line: &str, scratch: &mut String) -> Result<(u64, JournalRecord), FrameIssue> {
+    let v = impress_json::parse(line).map_err(FrameIssue::Json)?;
+    let seq: u64 = from_field(&v, "seq").map_err(FrameIssue::Json)?;
+    let crc: u64 = from_field(&v, "crc").map_err(FrameIssue::Json)?;
+    let rec = v.get("rec").ok_or(FrameIssue::NoRec)?;
+    // CRC check re-serializes the parsed record into the caller's reused
+    // scratch buffer — the old path allocated a fresh String per line.
+    scratch.clear();
+    rec.write_json(scratch);
+    let computed = fnv1a(scratch.as_bytes());
+    if computed != crc {
+        return Err(FrameIssue::Crc {
+            seq,
+            stored: crc,
+            computed,
+        });
+    }
+    Ok((seq, JournalRecord::from_json(rec).map_err(FrameIssue::Json)?))
 }
 
 /// The write-ahead journal a coordinator appends to.
+///
+/// Writes are **group-committed**: [`record`](Journal::record) frames into
+/// an in-memory buffer and [`commit`](Journal::commit) makes the whole
+/// batch durable with a single store write + flush. The write-ahead
+/// contract therefore moves from "every record durable before its
+/// transition applies" to "every record durable before its transition's
+/// *effects* apply" — callers must commit at the barrier between producing
+/// records and performing externally visible effects. Crash-wise this is
+/// free: losing a buffered, uncommitted suffix is indistinguishable from
+/// having crashed before those records were produced, and every journal
+/// prefix is a valid checkpoint.
 pub struct Journal {
     store: Box<dyn JournalStore>,
     seq: u64,
@@ -571,6 +703,12 @@ pub struct Journal {
     snapshot_interval: Option<usize>,
     kill_after: Option<u64>,
     plan: ReplayPlan,
+    /// Framed-but-not-durable lines, each `\n`-terminated.
+    buf: String,
+    /// Per-record serialization scratch (CRC is computed over it).
+    scratch: String,
+    /// Records in `buf`.
+    pending: usize,
 }
 
 impl Journal {
@@ -598,6 +736,9 @@ impl Journal {
             snapshot_interval: None,
             kill_after: None,
             plan: ReplayPlan::new(label, seed),
+            buf: String::new(),
+            scratch: String::new(),
+            pending: 0,
         })
     }
 
@@ -616,27 +757,56 @@ impl Journal {
         self
     }
 
-    /// Append one record (write-ahead: call *before* applying the
-    /// transition). Triggers compaction when the snapshot interval elapses.
-    pub fn record(&mut self, rec: &JournalRecord) -> Result<(), JournalError> {
-        self.store.append(&frame(self.seq, rec))?;
+    /// Buffer one record into the current group commit. Framing (one
+    /// serialization through the reused scratch buffer, zero allocations
+    /// once warm) and plan maintenance happen now; durability is deferred
+    /// to [`commit`](Journal::commit), which the caller must invoke before
+    /// applying any buffered transition's externally visible effects.
+    pub fn record(&mut self, rec: JournalRecord) -> Result<(), JournalError> {
+        write_frame(&mut self.buf, &mut self.scratch, self.seq, &rec);
+        self.buf.push('\n');
         self.seq += 1;
-        self.appended += 1;
-        if self.kill_after.is_some_and(|n| self.appended >= n) {
-            panic!(
-                "journal kill switch: simulated crash after record {}",
-                self.appended
-            );
-        }
-        self.plan.apply(rec)?;
+        self.pending += 1;
         self.since_snapshot += 1;
+        self.plan.apply(rec)
+    }
+
+    /// Durably flush every buffered record as one block append — the group
+    /// commit barrier. Returns the batch size. Compaction, when due, runs
+    /// here (never mid-batch) so the rewrite only ever sees durable state.
+    pub fn commit(&mut self) -> Result<usize, JournalError> {
+        let batch = self.pending;
+        if batch > 0 {
+            if self.kill_after.is_some() {
+                // Kill emulation degrades to per-record appends so the
+                // simulated crash lands exactly after the n-th durable
+                // record — covering mid-batch torn tails too.
+                let buf = std::mem::take(&mut self.buf);
+                self.pending = 0;
+                for line in buf.lines() {
+                    self.store.append(line)?;
+                    self.appended += 1;
+                    if self.kill_after.is_some_and(|n| self.appended >= n) {
+                        panic!(
+                            "journal kill switch: simulated crash after record {}",
+                            self.appended
+                        );
+                    }
+                }
+            } else {
+                self.store.append_block(&self.buf)?;
+                self.buf.clear();
+                self.pending = 0;
+                self.appended += batch as u64;
+            }
+        }
         if self
             .snapshot_interval
             .is_some_and(|interval| self.since_snapshot >= interval)
         {
             self.compact()?;
         }
-        Ok(())
+        Ok(batch)
     }
 
     /// Rewrite the store as `[Begin, Snapshot(plan)]`.
@@ -657,9 +827,14 @@ impl Journal {
         Ok(())
     }
 
-    /// Records appended so far (excluding Begin/Snapshot frames).
+    /// Records durably appended so far (excluding Begin/Snapshot frames).
     pub fn records_written(&self) -> u64 {
         self.appended
+    }
+
+    /// Records buffered but not yet durable (zero outside a drain cycle).
+    pub fn pending_records(&self) -> usize {
+        self.pending
     }
 
     /// Compactions performed so far.
@@ -705,12 +880,16 @@ pub struct LoadedJournal {
 /// [`LoadedJournal::duplicates`]), never treated as corruption. A same-seq
 /// line whose bytes *differ* is still a torn tail.
 pub fn load_plan(store: &dyn JournalStore) -> Result<LoadedJournal, JournalError> {
-    let lines = store.lines()?;
-    let mut it = lines.iter();
+    // One read for the whole journal; every line below is a borrowed slice
+    // of `text`, and the CRC scratch buffer is reused across lines — the
+    // loader allocates nothing per record beyond the parsed values.
+    let text = store.read_all()?;
+    let mut scratch = String::new();
+    let mut it = text.lines();
     let head = it
         .next()
         .ok_or_else(|| JournalError::Corrupt("journal is empty".into()))?;
-    let (mut prev_seq, begin) = parse_frame(head)?;
+    let (mut prev_seq, begin) = parse_frame(head, &mut scratch).map_err(FrameIssue::into_error)?;
     let JournalRecord::Begin {
         version,
         label,
@@ -731,7 +910,7 @@ pub fn load_plan(store: &dyn JournalStore) -> Result<LoadedJournal, JournalError
     let mut records = 1usize;
     let mut dropped = 0usize;
     let mut duplicates = 0usize;
-    let mut remaining = lines.len() - 1;
+    let mut remaining = it.clone().count();
     let mut prev_line = head;
     for line in it {
         // Benign at-least-once duplicate: the exact bytes of the previous
@@ -742,27 +921,29 @@ pub fn load_plan(store: &dyn JournalStore) -> Result<LoadedJournal, JournalError
             remaining -= 1;
             continue;
         }
-        let keep = parse_frame(line).and_then(|(seq, rec)| {
-            if seq <= prev_seq {
-                return Err(JournalError::Corrupt(format!(
-                    "sequence regressed: {prev_seq} then {seq}"
-                )));
-            }
-            match rec {
-                // A Snapshot directly after the head replaces the plan
-                // wholesale (compacted journal). Anywhere else it is torn.
-                JournalRecord::Snapshot { plan: snap } if records == 1 => {
-                    if snap.label != plan.label || snap.seed != plan.seed {
-                        return Err(JournalError::Corrupt(
-                            "snapshot identity does not match the Begin record".into(),
-                        ));
-                    }
-                    plan = snap;
-                    Ok(seq)
+        // Mid-stream failures are discarded wholesale (the tail is dropped,
+        // not diagnosed), so the error type here is `()` — no message is
+        // ever formatted for a line that will simply be dropped.
+        let keep: Result<u64, ()> = parse_frame(line, &mut scratch)
+            .map_err(|_| ())
+            .and_then(|(seq, rec)| {
+                if seq <= prev_seq {
+                    return Err(()); // sequence regressed
                 }
-                rec => plan.apply(&rec).map(|()| seq),
-            }
-        });
+                match rec {
+                    // A Snapshot directly after the head replaces the plan
+                    // wholesale (compacted journal). Anywhere else it is
+                    // torn.
+                    JournalRecord::Snapshot { plan: snap } if records == 1 => {
+                        if snap.label != plan.label || snap.seed != plan.seed {
+                            return Err(()); // identity mismatch with Begin
+                        }
+                        plan = snap;
+                        Ok(seq)
+                    }
+                    rec => plan.apply(rec).map(|()| seq).map_err(|_| ()),
+                }
+            });
         match keep {
             Ok(seq) => {
                 prev_seq = seq;
@@ -770,7 +951,7 @@ pub fn load_plan(store: &dyn JournalStore) -> Result<LoadedJournal, JournalError
                 records += 1;
                 remaining -= 1;
             }
-            Err(_) => {
+            Err(()) => {
                 // Torn tail: everything from here on is untrusted.
                 dropped = remaining;
                 break;
@@ -788,6 +969,7 @@ pub fn load_plan(store: &dyn JournalStore) -> Result<LoadedJournal, JournalError
 #[cfg(test)]
 mod tests {
     use super::*;
+    use impress_json::ToJson;
     use impress_sim::SimTime;
 
     fn meta(name: &str, secs: u64) -> TaskMeta {
@@ -874,14 +1056,22 @@ mod tests {
             pipeline: 3,
             stage: 1,
         };
+        let mut scratch = String::new();
         let line = frame(7, &rec);
-        assert_eq!(parse_frame(&line).unwrap(), (7, rec));
+        assert_eq!(parse_frame(&line, &mut scratch).unwrap(), (7, rec));
         let flipped = line.replace("\"stage\":1", "\"stage\":2");
         assert!(matches!(
-            parse_frame(&flipped),
-            Err(JournalError::Corrupt(_))
+            parse_frame(&flipped, &mut scratch),
+            Err(FrameIssue::Crc { .. })
         ));
-        assert!(parse_frame(&line[..line.len() - 4]).is_err(), "truncation");
+        assert!(
+            parse_frame(&line[..line.len() - 4], &mut scratch).is_err(),
+            "truncation"
+        );
+        assert!(matches!(
+            FrameIssue::NoRec.into_error(),
+            JournalError::Corrupt(_)
+        ));
     }
 
     fn journaled(records: &[JournalRecord], interval: Option<usize>) -> MemoryJournal {
@@ -890,8 +1080,12 @@ mod tests {
         if let Some(i) = interval {
             j = j.with_snapshot_interval(i);
         }
+        // Commit after every record: the per-record durability cadence the
+        // pre-group-commit journal had (and the compaction cadence the
+        // interval tests expect).
         for rec in records {
-            j.record(rec).unwrap();
+            j.record(rec.clone()).unwrap();
+            j.commit().unwrap();
         }
         store
     }
@@ -941,7 +1135,8 @@ mod tests {
             .unwrap()
             .with_snapshot_interval(3);
         for rec in body() {
-            j.record(&rec).unwrap();
+            j.record(rec).unwrap();
+            j.commit().unwrap();
         }
         assert!(j.snapshots_taken() >= 1);
         let loaded = load_plan(&store).unwrap();
@@ -1110,7 +1305,8 @@ mod tests {
                 .unwrap()
                 .with_kill_after(2);
             for rec in body() {
-                j.record(&rec).unwrap();
+                j.record(rec).unwrap();
+                j.commit().unwrap();
             }
         }));
         assert!(result.is_err(), "kill switch must fire");
@@ -1118,6 +1314,71 @@ mod tests {
         // record is durable even though its transition never applied).
         assert_eq!(store.line_count(), 3);
         assert!(load_plan(&store).is_ok());
+    }
+
+    #[test]
+    fn records_buffer_until_commit_then_flush_as_one_block() {
+        let store = MemoryJournal::new();
+        let mut j = Journal::new(Box::new(store.clone()), "t", 9).unwrap();
+        for rec in body() {
+            j.record(rec).unwrap();
+        }
+        assert_eq!(store.line_count(), 1, "nothing durable before the barrier");
+        assert_eq!(j.pending_records(), 7);
+        assert_eq!(j.records_written(), 0);
+        assert_eq!(j.commit().unwrap(), 7);
+        assert_eq!(j.pending_records(), 0);
+        assert_eq!(j.records_written(), 7);
+        assert_eq!(store.line_count(), 8);
+        // Group commit is invisible downstream: byte-identical lines to the
+        // per-record-commit path.
+        let per_record = journaled(&body(), None);
+        assert_eq!(store.lines().unwrap(), per_record.lines().unwrap());
+    }
+
+    #[test]
+    fn commit_with_nothing_buffered_is_a_noop() {
+        let store = MemoryJournal::new();
+        let mut j = Journal::new(Box::new(store.clone()), "t", 9).unwrap();
+        assert_eq!(j.commit().unwrap(), 0);
+        assert_eq!(store.line_count(), 1);
+    }
+
+    #[test]
+    fn kill_mid_batch_leaves_exactly_the_durable_prefix() {
+        let store = MemoryJournal::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut j = Journal::new(Box::new(store.clone()), "t", 9)
+                .unwrap()
+                .with_kill_after(4);
+            for rec in body() {
+                j.record(rec).unwrap();
+            }
+            j.commit().unwrap();
+        }));
+        assert!(result.is_err(), "kill switch must fire inside the batch");
+        assert_eq!(store.line_count(), 5, "Begin + exactly 4 durable records");
+        let loaded = load_plan(&store).unwrap();
+        assert_eq!(loaded.dropped, 0);
+    }
+
+    #[test]
+    fn compaction_fires_at_the_commit_barrier_not_mid_batch() {
+        let store = MemoryJournal::new();
+        let mut j = Journal::new(Box::new(store.clone()), "t", 9)
+            .unwrap()
+            .with_snapshot_interval(2);
+        for rec in body() {
+            j.record(rec).unwrap();
+        }
+        assert_eq!(j.snapshots_taken(), 0, "no compaction while buffering");
+        j.commit().unwrap();
+        assert_eq!(j.snapshots_taken(), 1, "one compaction at the barrier");
+        assert_eq!(store.line_count(), 2, "[Begin, Snapshot]");
+        assert_eq!(
+            load_plan(&store).unwrap().plan,
+            load_plan(&journaled(&body(), None)).unwrap().plan
+        );
     }
 
     #[test]
@@ -1133,22 +1394,27 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("campaign.journal");
         {
-            let mut j =
-                Journal::new(Box::new(FileJournal::new(&path)), "file-test", 4).unwrap();
+            let mut j = Journal::new(Box::new(FileJournal::new(&path)), "file-test", 4).unwrap();
+            // Batch the whole body through one group commit — exercises the
+            // persistent handle's single-write append_block path.
             for rec in body() {
-                j.record(&rec).unwrap();
+                j.record(rec).unwrap();
             }
+            j.commit().unwrap();
         }
         let reloaded = load_plan(&FileJournal::new(&path)).unwrap();
         assert_eq!(reloaded.plan.pipelines.len(), 2);
         assert_eq!(reloaded.dropped, 0);
-        // Compaction path: rewrite through the same store.
+        // Compaction path: rewrite through the same store (per-record
+        // commits so the interval actually fires mid-run, re-opening the
+        // append handle after each rewrite).
         {
             let mut j = Journal::new(Box::new(FileJournal::new(&path)), "file-test", 4)
                 .unwrap()
                 .with_snapshot_interval(2);
             for rec in body() {
-                j.record(&rec).unwrap();
+                j.record(rec).unwrap();
+                j.commit().unwrap();
             }
             assert!(j.snapshots_taken() >= 1);
         }

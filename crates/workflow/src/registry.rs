@@ -8,7 +8,6 @@
 use crate::pipeline::{PipelineId, PipelineState};
 use impress_json::json_struct;
 use impress_sim::SimTime;
-use std::collections::HashMap;
 
 /// One pipeline's ledger entry.
 #[derive(Debug, Clone)]
@@ -42,11 +41,14 @@ json_struct!(PipelineEntry {
 });
 
 /// The coordinator's pipeline ledger.
+///
+/// Ids are assigned densely from 0 and entries are never removed, so the
+/// ledger is a plain slab: `entries[id]` *is* the entry, lookups are one
+/// bounds-checked index (the hot coordinator dispatch path used to pay a
+/// hash per lookup), and the vector itself is registration order.
 #[derive(Debug, Default)]
 pub struct Registry {
-    entries: HashMap<u64, PipelineEntry>,
-    order: Vec<PipelineId>,
-    next_id: u64,
+    entries: Vec<PipelineEntry>,
 }
 
 impl Registry {
@@ -59,7 +61,7 @@ impl Registry {
     /// The journal writes its `Registered` record *before* registration, so
     /// it needs the id ahead of time.
     pub fn peek_next_id(&self) -> u64 {
-        self.next_id
+        self.entries.len() as u64
     }
 
     /// Register a new pipeline, returning its id.
@@ -71,36 +73,33 @@ impl Registry {
     ) -> PipelineId {
         if let Some(p) = parent {
             assert!(
-                self.entries.contains_key(&p.0),
+                (p.0 as usize) < self.entries.len(),
                 "parent {p} is not registered"
             );
         }
-        let id = PipelineId(self.next_id);
-        self.next_id += 1;
-        self.entries.insert(
-            id.0,
-            PipelineEntry {
-                id,
-                name,
-                parent,
-                state: PipelineState::Created,
-                tasks_submitted: 0,
-                stages_completed: 0,
-                created_at: at,
-                finished_at: None,
-            },
-        );
-        self.order.push(id);
+        let id = PipelineId(self.entries.len() as u64);
+        self.entries.push(PipelineEntry {
+            id,
+            name,
+            parent,
+            state: PipelineState::Created,
+            tasks_submitted: 0,
+            stages_completed: 0,
+            created_at: at,
+            finished_at: None,
+        });
         id
     }
 
     /// Look up an entry.
     pub fn get(&self, id: PipelineId) -> &PipelineEntry {
-        self.entries.get(&id.0).expect("pipeline is registered")
+        self.entries.get(id.0 as usize).expect("pipeline is registered")
     }
 
     fn get_mut(&mut self, id: PipelineId) -> &mut PipelineEntry {
-        self.entries.get_mut(&id.0).expect("pipeline is registered")
+        self.entries
+            .get_mut(id.0 as usize)
+            .expect("pipeline is registered")
     }
 
     /// Mark a pipeline running and charge `n_tasks` submitted tasks to it.
@@ -127,30 +126,30 @@ impl Registry {
 
     /// All entries in registration order.
     pub fn entries(&self) -> Vec<&PipelineEntry> {
-        self.order.iter().map(|id| self.get(*id)).collect()
+        self.entries.iter().collect()
     }
 
     /// Number of root pipelines (Table I `# PL`).
     pub fn root_count(&self) -> usize {
-        self.entries.values().filter(|e| e.parent.is_none()).count()
+        self.entries.iter().filter(|e| e.parent.is_none()).count()
     }
 
     /// Number of spawned sub-pipelines (Table I `# Sub-PL`).
     pub fn sub_count(&self) -> usize {
-        self.entries.values().filter(|e| e.parent.is_some()).count()
+        self.entries.iter().filter(|e| e.parent.is_some()).count()
     }
 
     /// Pipelines not yet in a terminal state.
     pub fn live_count(&self) -> usize {
         self.entries
-            .values()
+            .iter()
             .filter(|e| !e.state.is_terminal())
             .count()
     }
 
     /// Total tasks submitted across all pipelines.
     pub fn total_tasks(&self) -> usize {
-        self.entries.values().map(|e| e.tasks_submitted).sum()
+        self.entries.iter().map(|e| e.tasks_submitted).sum()
     }
 }
 

@@ -365,35 +365,73 @@ fn kill_mid_retry_backoff_resumes_onto_an_identical_timeline() {
     );
 }
 
+fn journal_fixture() -> &'static (Vec<String>, String) {
+    use std::sync::OnceLock;
+    static FIXTURE: OnceLock<(Vec<String>, String)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let targets = targets();
+        let config = ProtocolConfig::imrp(SEED);
+        let store = MemoryJournal::new();
+        let full = run_imrp_journaled(
+            &targets,
+            config.clone(),
+            policy(),
+            PilotConfig::with_seed(SEED),
+            imrp_journal(Box::new(store.clone()), &config).expect("journal"),
+            None,
+        );
+        let mut lines = Vec::new();
+        store.tamper(|l| lines = l.clone());
+        (lines, impress_json::to_string(&full.result))
+    })
+}
+
 props! {
     /// Every prefix of the journal is a valid checkpoint: whatever line
     /// the crash landed on, loading the surviving prefix and resuming
-    /// regenerates the uninterrupted campaign byte for byte.
+    /// regenerates the uninterrupted campaign byte for byte. Each group
+    /// commit flushes *before* its cycle's effects apply, so losing a
+    /// buffered suffix is indistinguishable from crashing earlier — this
+    /// property is exactly why batching the flush is crash-safe.
     fn resume_from_any_journal_prefix_regenerates_the_baseline(rng, cases = 8) {
-        use std::sync::OnceLock;
-        static FIXTURE: OnceLock<(Vec<String>, String)> = OnceLock::new();
-        let (lines, baseline) = FIXTURE.get_or_init(|| {
-            let targets = targets();
-            let config = ProtocolConfig::imrp(SEED);
-            let store = MemoryJournal::new();
-            let full = run_imrp_journaled(
-                &targets,
-                config.clone(),
-                policy(),
-                PilotConfig::with_seed(SEED),
-                imrp_journal(Box::new(store.clone()), &config).expect("journal"),
-                None,
-            );
-            let mut lines = Vec::new();
-            store.tamper(|l| lines = l.clone());
-            (lines, impress_json::to_string(&full.result))
-        });
-
+        let (lines, baseline) = journal_fixture();
         let prefix = 1 + rng.below(lines.len());
         let store = MemoryJournal::new();
         store.tamper(|l| *l = lines[..prefix].to_vec());
         let (resumed, dropped) = resume_from(&store);
         assert_eq!(dropped, 0, "whole-line prefixes are never torn");
         assert_eq!(baseline, &resumed, "prefix of {prefix} lines");
+    }
+
+    /// Group commit writes a whole cycle's frames as one block, so a crash
+    /// mid-`write(2)` can tear the file at *any byte* — several whole
+    /// frames followed by a partial one — not just at a frame boundary.
+    /// Whatever byte the tear lands on (past the head frame), the loader
+    /// distrusts exactly the torn fragment and the resume regenerates the
+    /// uninterrupted campaign byte for byte.
+    fn resume_from_any_torn_byte_prefix_regenerates_the_baseline(rng, cases = 8) {
+        let (lines, baseline) = journal_fixture();
+        let mut text = String::new();
+        for line in lines {
+            text.push_str(line);
+            text.push('\n');
+        }
+        // Tear anywhere after the head (Begin) frame; a torn head is a
+        // separate, typed-error case covered elsewhere. Frames are ASCII
+        // (compact JSON with \u escapes), so any byte offset is a char
+        // boundary.
+        let head_len = lines[0].len() + 1;
+        let cut = head_len + rng.below(text.len() - head_len) + 1;
+        let torn: Vec<String> = text[..cut].lines().map(str::to_string).collect();
+        let whole_lines = text[..cut].ends_with('\n');
+        let store = MemoryJournal::new();
+        store.tamper(|l| *l = torn);
+        let (resumed, dropped) = resume_from(&store);
+        assert_eq!(
+            dropped,
+            usize::from(!whole_lines),
+            "exactly the torn fragment (if any) is distrusted"
+        );
+        assert_eq!(baseline, &resumed, "tear at byte {cut}");
     }
 }

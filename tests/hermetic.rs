@@ -800,3 +800,93 @@ fn partition_smoke_iteration_produces_a_complete_document() {
         .and_then(|v| v.as_bool())
         .expect("smoke study reports the exactly-once verdict");
 }
+
+/// The checked-in coordinator fast-path study must match the study's
+/// current document layout and certify the claims it exists to make: the
+/// group-commit + slab-dispatch fast path cuts journaled-campaign
+/// overhead at least 5x against the embedded pre-optimization baseline
+/// (file-store cell), and 1,000 concurrent journaled coordinators drain
+/// to completion on one thread. Structure + claims, never wall-clock
+/// bytes (those are machine-dependent). Regenerate with
+/// `cargo run --release -p impress-bench --bin coord_bench`.
+#[test]
+fn coord_bench_artifact_matches_the_study_format_version() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_coord.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {}: {e} — run the coord_bench bin", path.display()));
+    let json: impress_json::Json = impress_json::from_str(&text).expect("BENCH_coord.json parses");
+    let version: u32 = json
+        .get("format_version")
+        .and_then(|v| v.as_f64())
+        .expect("BENCH_coord.json has a format_version field") as u32;
+    assert_eq!(
+        version,
+        impress_bench::coord::COORD_BENCH_FORMAT_VERSION,
+        "BENCH_coord.json was generated under a different study format — regenerate it"
+    );
+    let results = json
+        .get("results")
+        .and_then(|r| r.as_array())
+        .expect("BENCH_coord.json has results");
+    assert_eq!(results.len(), 2, "one overhead cell per journal store");
+    json.get("baseline")
+        .and_then(|b| b.get("commit"))
+        .and_then(|c| c.as_str())
+        .expect("baseline must name the pre-optimization commit");
+    let reductions = json
+        .get("overhead_reductions")
+        .and_then(|r| r.as_array())
+        .expect("overhead_reductions section present");
+    assert_eq!(reductions.len(), 2, "both stores compare against baseline");
+    let headline = json.get("headline").expect("headline section present");
+    assert_eq!(
+        headline.get("coordinators").and_then(|v| v.as_u64()),
+        Some(1000),
+        "headline must be the 1k-concurrent-coordinator cell"
+    );
+    assert_eq!(
+        headline.get("all_completed").and_then(|v| v.as_bool()),
+        Some(true),
+        "every concurrent campaign in the checked-in headline must complete"
+    );
+    assert_eq!(
+        headline
+            .get("five_x_file_overhead_reduction")
+            .and_then(|v| v.as_bool()),
+        Some(true),
+        "the checked-in artifact must certify the 5x file-overhead reduction"
+    );
+}
+
+/// One tiny iteration of the coordinator study runs under `cargo test`,
+/// so the code that regenerates `BENCH_coord.json` cannot bit-rot. The
+/// smoke grid covers both journal stores and a small concurrent fleet.
+#[test]
+fn coord_bench_smoke_iteration_produces_a_complete_document() {
+    let doc = impress_bench::coord::run_study(&impress_bench::coord::StudyParams::smoke(), 7);
+    assert_eq!(
+        doc.get("format_version").and_then(|v| v.as_f64()),
+        Some(impress_bench::coord::COORD_BENCH_FORMAT_VERSION as f64)
+    );
+    let results = doc
+        .get("results")
+        .and_then(|r| r.as_array())
+        .expect("smoke study has results");
+    assert_eq!(results.len(), 2, "smoke grid covers memory and file stores");
+    for row in results {
+        assert!(
+            row.get("records").and_then(|v| v.as_u64()).unwrap_or(0) > 0,
+            "every smoke cell must journal records: {row:?}"
+        );
+        assert!(
+            row.get("journaled_ms").and_then(|v| v.as_f64()).is_some(),
+            "every smoke cell must time the journaled drain: {row:?}"
+        );
+    }
+    let headline = doc.get("headline").expect("smoke study has a headline");
+    assert_eq!(
+        headline.get("all_completed").and_then(|v| v.as_bool()),
+        Some(true),
+        "every smoke concurrent campaign must drain to completion"
+    );
+}
