@@ -1,0 +1,49 @@
+//! Multi-tenant campaign-service study → `BENCH_serve.json`.
+//!
+//! Sweeps 1k–10k concurrent campaigns over equal-weight tenants on a
+//! simulated 1,000-node cluster behind `CampaignService`, reporting
+//! p50/p99 campaign latency, the Jain fairness index over per-tenant
+//! delivered core-seconds, and the service layer's wall-time overhead
+//! versus independent round-robin coordinators; plus a weighted 1-vs-4
+//! fair-share cell.
+//!
+//! ```text
+//! cargo run --release -p impress-bench --bin serve_bench
+//! ```
+
+use impress_bench::harness::master_seed;
+use impress_bench::serve::{run_study, StudyParams};
+
+fn main() {
+    let seed = master_seed();
+    eprintln!("serve_bench: seed {seed}");
+    let doc = run_study(&StudyParams::full(), seed);
+    std::fs::write("BENCH_serve.json", impress_json::to_string_pretty(&doc))
+        .expect("write BENCH_serve.json");
+    if let Some(headline) = doc.get("headline") {
+        println!(
+            "headline: {} concurrent campaigns, p50 {} s / p99 {} s latency, jain {}, {}x overhead",
+            headline
+                .get("max_concurrent_campaigns")
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0),
+            headline
+                .get("p50_latency_s")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(f64::NAN),
+            headline
+                .get("p99_latency_s")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(f64::NAN),
+            headline
+                .get("min_jain_fairness")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(f64::NAN),
+            headline
+                .get("overhead_ratio")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(f64::NAN),
+        );
+    }
+    println!("wrote BENCH_serve.json");
+}

@@ -21,6 +21,7 @@ pub mod coord;
 pub mod harness;
 pub mod partition;
 pub mod sched;
+pub mod serve;
 pub mod sim;
 pub mod straggler;
 pub mod timing;

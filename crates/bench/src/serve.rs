@@ -1,0 +1,483 @@
+//! Multi-tenant campaign-service study: 1k–10k concurrent campaigns on a
+//! simulated 1,000-node cluster behind [`CampaignService`], written to
+//! `BENCH_serve.json` by the `serve_bench` binary.
+//!
+//! Three quantities per grid cell:
+//!
+//! * **Campaign latency** — virtual seconds from submission to terminal
+//!   state, p50/p99 across the fleet. All campaigns are submitted at
+//!   `t = 0`, so latency is the service's end-to-end sojourn time under
+//!   full contention.
+//! * **Jain fairness** — `J = (Σx)² / (n·Σx²)` over per-tenant delivered
+//!   core-seconds, equal weights and equal submitted load; `J = 1` is
+//!   perfect fairness, and the artifact guard requires `J ≥ 0.9`.
+//! * **Scheduler overhead** — wall time of the service cell divided by the
+//!   wall time of the same campaigns driven as independent round-robin
+//!   coordinators (the pre-service shape from `BENCH_coord.json`). This
+//!   isolates what the service layer itself — admission, shared-cluster
+//!   routing, weighted-fair stepping, boost rebalancing — costs on top of
+//!   raw coordinator multiplexing.
+//!
+//! A separate **weighted cell** runs two tenants at weights 1 vs 4 on a
+//! deliberately small cluster and reports their mean campaign latencies:
+//! the weight-4 tenant must not finish later than the weight-1 tenant.
+//!
+//! The logic lives in the library (not the binary) so `tests/hermetic.rs`
+//! can run a tiny smoke iteration under `cargo test`.
+
+use impress_json::Json;
+use impress_pilot::backend::SimulatedBackend;
+use impress_pilot::{
+    Completion, NodeSpec, PilotConfig, PlacementPolicy, ResourceRequest, TaskDescription,
+};
+use impress_sim::SimDuration;
+use impress_workflow::service::{CampaignService, CampaignSpec, TenantId, TenantQuota};
+use impress_workflow::{Coordinator, NoDecisions, PipelineLogic, Step};
+
+/// Bumped whenever the JSON document layout changes; `tests/hermetic.rs`
+/// checks the checked-in artifact against this.
+pub const SERVE_BENCH_FORMAT_VERSION: u32 = 1;
+
+/// A campaign pipeline: `stages` sequential single-core tasks whose
+/// durations are a pure function of the campaign/pipeline identity, so the
+/// fleet has a realistic latency spread without any nondeterminism.
+struct ServePipeline {
+    campaign: u64,
+    pipeline: u64,
+    stages: u32,
+}
+
+impl ServePipeline {
+    fn next(&mut self) -> Step<u64> {
+        if self.stages == 0 {
+            return Step::Complete(self.campaign);
+        }
+        self.stages -= 1;
+        let secs = 30 + (self.campaign * 13 + self.pipeline * 5 + u64::from(self.stages) * 7) % 90;
+        Step::run(
+            TaskDescription::new(
+                "serve",
+                ResourceRequest::cores(1),
+                SimDuration::from_secs(secs),
+            )
+            .with_work(|| 0u64),
+        )
+    }
+}
+
+impl PipelineLogic<u64> for ServePipeline {
+    fn name(&self) -> String {
+        format!("serve-{}-{}", self.campaign, self.pipeline)
+    }
+    fn begin(&mut self) -> Step<u64> {
+        self.next()
+    }
+    fn stage_done(&mut self, _: Vec<Completion>) -> Step<u64> {
+        self.next()
+    }
+}
+
+fn cluster_config(nodes: u32, cores_per_node: u32, seed: u64) -> PilotConfig {
+    PilotConfig {
+        node: NodeSpec::new(cores_per_node, 0, 16),
+        nodes,
+        policy: PlacementPolicy::Backfill,
+        bootstrap: SimDuration::from_secs(60),
+        exec_setup_per_task: SimDuration::from_secs(1),
+        seed,
+    }
+}
+
+fn campaign_spec(campaign: u64, pipelines: usize, stages: u32) -> CampaignSpec<u64> {
+    let mut spec = CampaignSpec::new(format!("c{campaign}"));
+    for p in 0..pipelines as u64 {
+        spec = spec.root(Box::new(ServePipeline {
+            campaign,
+            pipeline: p,
+            stages,
+        }));
+    }
+    spec
+}
+
+fn timed<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let start = std::time::Instant::now();
+    let r = f();
+    (start.elapsed().as_secs_f64() * 1e3, r)
+}
+
+/// Jain's fairness index over per-tenant allocations: `(Σx)² / (n·Σx²)`,
+/// 1.0 = perfectly fair. Empty or all-zero inputs are defined as 1.0 (a
+/// service that delivered nothing delivered it evenly).
+pub fn jain_index(xs: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if n == 0.0 || sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n * sq)
+}
+
+/// One measured service grid cell.
+pub struct ServeCell {
+    /// Concurrent campaigns submitted.
+    pub campaigns: usize,
+    /// Tenants they were spread across (equal weights, round-robin).
+    pub tenants: usize,
+    /// Total tasks executed.
+    pub tasks: u64,
+    /// Wall ms to drain the whole service.
+    pub wall_ms: f64,
+    /// Virtual makespan (seconds) of the shared cluster.
+    pub makespan_s: f64,
+    /// p50 of campaign sojourn latency, virtual seconds.
+    pub p50_latency_s: f64,
+    /// p99 of campaign sojourn latency, virtual seconds.
+    pub p99_latency_s: f64,
+    /// Jain fairness index over per-tenant delivered core-seconds.
+    pub jain: f64,
+    /// Wall ms for the same campaigns as independent round-robin
+    /// coordinators (no service layer).
+    pub baseline_wall_ms: f64,
+    /// `wall_ms / baseline_wall_ms` — the service layer's overhead factor.
+    pub overhead_ratio: f64,
+    /// Whether every campaign completed.
+    pub all_completed: bool,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Run one equal-weights service cell: `campaigns` campaigns spread
+/// round-robin over `tenants` equal-weight tenants on one shared
+/// `nodes`-node cluster.
+pub fn run_service_cell(
+    campaigns: usize,
+    tenants: usize,
+    nodes: u32,
+    cores_per_node: u32,
+    pipelines: usize,
+    stages: u32,
+    seed: u64,
+) -> ServeCell {
+    let backend = SimulatedBackend::new(cluster_config(nodes, cores_per_node, seed));
+    let mut service: CampaignService<u64, _> = CampaignService::new(backend);
+    let ids: Vec<TenantId> = (0..tenants)
+        .map(|t| {
+            let id = TenantId::new(format!("tenant-{t}"));
+            service.register_tenant(id.clone(), TenantQuota::unmetered(campaigns));
+            id
+        })
+        .collect();
+    let handles: Vec<_> = (0..campaigns)
+        .map(|c| {
+            service
+                .submit(
+                    &ids[c % tenants],
+                    campaign_spec(c as u64, pipelines, stages),
+                )
+                .expect("admission under unmetered quota")
+        })
+        .collect();
+    let (wall_ms, ()) = timed(|| service.run());
+
+    let mut latencies: Vec<f64> = Vec::with_capacity(campaigns);
+    let mut completed = 0usize;
+    for h in &handles {
+        let r = service.take_result(h).expect("campaign result");
+        if r.status == impress_workflow::service::CampaignStatus::Completed {
+            completed += 1;
+        }
+        latencies.push((r.finished_at - r.submitted_at).as_secs_f64());
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let per_tenant: Vec<f64> = ids
+        .iter()
+        .map(|id| service.tenant_usage(id).expect("registered").core_seconds)
+        .collect();
+    let util = service.utilization();
+
+    // Baseline: identical campaigns as independent coordinators, each on
+    // its own proportional slice of the cluster, driven round-robin on one
+    // thread — the pre-service multiplexing shape.
+    let slice_nodes = (u64::from(nodes) * u64::from(cores_per_node) / campaigns as u64).max(1);
+    let (baseline_wall_ms, ()) = timed(|| {
+        let mut fleet: Vec<_> = (0..campaigns)
+            .map(|c| {
+                let cfg = cluster_config(slice_nodes as u32, cores_per_node, seed ^ c as u64);
+                let mut coordinator = Coordinator::new(SimulatedBackend::new(cfg), NoDecisions);
+                for p in 0..pipelines as u64 {
+                    coordinator.add_pipeline(Box::new(ServePipeline {
+                        campaign: c as u64,
+                        pipeline: p,
+                        stages,
+                    }));
+                }
+                coordinator
+            })
+            .collect();
+        let mut alive: Vec<usize> = (0..fleet.len()).collect();
+        while !alive.is_empty() {
+            alive.retain(|&i| fleet[i].step());
+        }
+    });
+
+    ServeCell {
+        campaigns,
+        tenants,
+        tasks: util.tasks as u64,
+        wall_ms,
+        makespan_s: service.now().as_secs_f64(),
+        p50_latency_s: percentile(&latencies, 0.50),
+        p99_latency_s: percentile(&latencies, 0.99),
+        jain: jain_index(&per_tenant),
+        baseline_wall_ms,
+        overhead_ratio: if baseline_wall_ms > 0.0 {
+            wall_ms / baseline_wall_ms
+        } else {
+            1.0
+        },
+        all_completed: completed == campaigns,
+    }
+}
+
+/// The weighted-fairness cell result: two tenants, weights 1 vs 4, equal
+/// submitted load, on a deliberately contended cluster.
+pub struct WeightedCell {
+    /// Campaigns per tenant.
+    pub campaigns_per_tenant: usize,
+    /// Mean campaign latency of the weight-1 tenant, virtual seconds.
+    pub light_mean_latency_s: f64,
+    /// Mean campaign latency of the weight-4 tenant, virtual seconds.
+    pub heavy_mean_latency_s: f64,
+}
+
+impl WeightedCell {
+    /// `light / heavy` mean-latency ratio — ≥ 1 means the weighted tenant
+    /// was served at least as well.
+    pub fn latency_ratio(&self) -> f64 {
+        if self.heavy_mean_latency_s > 0.0 {
+            self.light_mean_latency_s / self.heavy_mean_latency_s
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Run the weighted cell: `campaigns_per_tenant` identical campaigns for a
+/// weight-1 and a weight-4 tenant on a small shared cluster.
+pub fn run_weighted_cell(
+    campaigns_per_tenant: usize,
+    nodes: u32,
+    cores_per_node: u32,
+    pipelines: usize,
+    stages: u32,
+    seed: u64,
+) -> WeightedCell {
+    let backend = SimulatedBackend::new(cluster_config(nodes, cores_per_node, seed));
+    let mut service: CampaignService<u64, _> = CampaignService::new(backend);
+    let light = TenantId::new("light");
+    let heavy = TenantId::new("heavy");
+    service.register_tenant(
+        light.clone(),
+        TenantQuota::unmetered(campaigns_per_tenant).with_weight(1),
+    );
+    service.register_tenant(
+        heavy.clone(),
+        TenantQuota::unmetered(campaigns_per_tenant).with_weight(4),
+    );
+    let mut light_handles = Vec::new();
+    let mut heavy_handles = Vec::new();
+    for c in 0..campaigns_per_tenant as u64 {
+        // Identical campaign shapes for both tenants: only the weight
+        // differs, so any latency gap is the fair-share layer at work.
+        light_handles.push(
+            service
+                .submit(&light, campaign_spec(c, pipelines, stages))
+                .expect("admitted"),
+        );
+        heavy_handles.push(
+            service
+                .submit(&heavy, campaign_spec(c, pipelines, stages))
+                .expect("admitted"),
+        );
+    }
+    service.run();
+    let mean = |handles: &[impress_workflow::service::CampaignHandle],
+                service: &mut CampaignService<u64, SimulatedBackend>| {
+        let mut sum = 0.0;
+        for h in handles {
+            let r = service.take_result(h).expect("result");
+            sum += (r.finished_at - r.submitted_at).as_secs_f64();
+        }
+        sum / handles.len().max(1) as f64
+    };
+    let light_mean = mean(&light_handles, &mut service);
+    let heavy_mean = mean(&heavy_handles, &mut service);
+    WeightedCell {
+        campaigns_per_tenant,
+        light_mean_latency_s: light_mean,
+        heavy_mean_latency_s: heavy_mean,
+    }
+}
+
+/// Knobs for one study run; [`StudyParams::full`] is what the study uses,
+/// [`StudyParams::smoke`] is the tiny `cargo test` iteration.
+pub struct StudyParams {
+    /// Concurrent-campaign counts to sweep (the ROADMAP's 1k–10k axis).
+    pub campaign_grid: Vec<usize>,
+    /// Equal-weight tenants per cell.
+    pub tenants: usize,
+    /// Cluster nodes.
+    pub nodes: u32,
+    /// Cores per node.
+    pub cores_per_node: u32,
+    /// Root pipelines per campaign.
+    pub pipelines: usize,
+    /// Stages per pipeline.
+    pub stages: u32,
+    /// Campaigns per tenant in the weighted cell.
+    pub weighted_campaigns: usize,
+    /// Cluster nodes for the weighted cell (small, so weights matter).
+    pub weighted_nodes: u32,
+}
+
+impl StudyParams {
+    /// The full study grid — what `serve_bench` runs and checks in:
+    /// 1k/4k/10k concurrent campaigns on a simulated 1,000-node cluster.
+    pub fn full() -> Self {
+        StudyParams {
+            campaign_grid: vec![1_000, 4_000, 10_000],
+            tenants: 25,
+            nodes: 1_000,
+            cores_per_node: 4,
+            pipelines: 2,
+            stages: 3,
+            weighted_campaigns: 200,
+            weighted_nodes: 25,
+        }
+    }
+
+    /// A seconds-scale iteration for `cargo test`.
+    pub fn smoke() -> Self {
+        StudyParams {
+            campaign_grid: vec![24],
+            tenants: 4,
+            nodes: 4,
+            cores_per_node: 2,
+            pipelines: 1,
+            stages: 2,
+            weighted_campaigns: 8,
+            weighted_nodes: 2,
+        }
+    }
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+/// Run the study and build the `BENCH_serve.json` document.
+pub fn run_study(params: &StudyParams, seed: u64) -> Json {
+    let mut results = Vec::new();
+    let mut max_campaigns = 0usize;
+    let mut min_jain = f64::INFINITY;
+    let mut headline_cell: Option<&ServeCell> = None;
+    let mut cells = Vec::new();
+    for &campaigns in &params.campaign_grid {
+        let cell = run_service_cell(
+            campaigns,
+            params.tenants,
+            params.nodes,
+            params.cores_per_node,
+            params.pipelines,
+            params.stages,
+            seed,
+        );
+        eprintln!(
+            "  {:>6} campaigns / {:>3} tenants: wall {:>9.2} ms  p50 {:>8.0} s  p99 {:>8.0} s  jain {:.4}  overhead {:.2}x",
+            cell.campaigns, cell.tenants, cell.wall_ms, cell.p50_latency_s, cell.p99_latency_s,
+            cell.jain, cell.overhead_ratio
+        );
+        assert!(cell.all_completed, "every campaign must complete");
+        max_campaigns = max_campaigns.max(campaigns);
+        min_jain = min_jain.min(cell.jain);
+        results.push(
+            Json::object()
+                .field("campaigns", cell.campaigns)
+                .field("tenants", cell.tenants)
+                .field("tasks", cell.tasks)
+                .field("wall_ms", round2(cell.wall_ms))
+                .field("virtual_makespan_s", round2(cell.makespan_s))
+                .field("p50_latency_s", round2(cell.p50_latency_s))
+                .field("p99_latency_s", round2(cell.p99_latency_s))
+                .field("jain_fairness", (cell.jain * 1e4).round() / 1e4)
+                .field("baseline_wall_ms", round2(cell.baseline_wall_ms))
+                .field("overhead_ratio", round2(cell.overhead_ratio))
+                .field("all_completed", cell.all_completed)
+                .build(),
+        );
+        cells.push(cell);
+    }
+    if let Some(last) = cells.last() {
+        headline_cell = Some(last);
+    }
+    let weighted = run_weighted_cell(
+        params.weighted_campaigns,
+        params.weighted_nodes,
+        params.cores_per_node,
+        params.pipelines,
+        params.stages,
+        seed,
+    );
+    eprintln!(
+        "  weighted 1-vs-4: light mean {:.0} s  heavy mean {:.0} s  ratio {:.2}",
+        weighted.light_mean_latency_s,
+        weighted.heavy_mean_latency_s,
+        weighted.latency_ratio()
+    );
+    let headline = headline_cell.expect("non-empty campaign grid");
+    Json::object()
+        .field("format_version", SERVE_BENCH_FORMAT_VERSION)
+        .field("suite", "serve_bench")
+        .field("seed", seed)
+        .field(
+            "cluster",
+            Json::object()
+                .field("nodes", params.nodes)
+                .field("cores_per_node", params.cores_per_node)
+                .build(),
+        )
+        .field("results", results)
+        .field(
+            "weighted",
+            Json::object()
+                .field("campaigns_per_tenant", weighted.campaigns_per_tenant)
+                .field("light_weight", 1u64)
+                .field("heavy_weight", 4u64)
+                .field("light_mean_latency_s", round2(weighted.light_mean_latency_s))
+                .field("heavy_mean_latency_s", round2(weighted.heavy_mean_latency_s))
+                .field("latency_ratio", round2(weighted.latency_ratio()))
+                .field("heavy_not_worse", weighted.latency_ratio() >= 1.0)
+                .build(),
+        )
+        .field(
+            "headline",
+            Json::object()
+                .field("max_concurrent_campaigns", max_campaigns)
+                .field("p50_latency_s", round2(headline.p50_latency_s))
+                .field("p99_latency_s", round2(headline.p99_latency_s))
+                .field("min_jain_fairness", (min_jain * 1e4).round() / 1e4)
+                .field("overhead_ratio", round2(headline.overhead_ratio))
+                .field("fair_at_equal_weights", min_jain >= 0.9)
+                .field("thousand_plus_campaigns", max_campaigns >= 1_000)
+                .build(),
+        )
+        .build()
+}

@@ -164,7 +164,7 @@ impl DecisionEngine<DesignOutcome> for ImpressDecision {
         if self.spawned >= self.policy.sub_budget {
             return Vec::new();
         }
-        let name = view.registry.get(id).name.clone();
+        let name = view.registry().get(id).name.clone();
         let target = name.split('/').next().unwrap_or(&name);
         let Some(tk) = self.toolkits.get(target).cloned() else {
             return Vec::new();

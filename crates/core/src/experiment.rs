@@ -6,6 +6,7 @@ use crate::config::ProtocolConfig;
 use crate::control::run_cont_v;
 use crate::protocol::{DesignOutcome, DesignPipeline};
 use crate::quality::{IterationSeries, NetDeltas};
+use crate::spec::CampaignSpec;
 use crate::toolkit::TargetToolkit;
 use impress_pilot::backend::SimulatedBackend;
 use impress_pilot::{FaultConfig, FaultPlan, PilotConfig, RetryPolicy, RuntimeConfig, Session};
@@ -79,32 +80,40 @@ pub fn toolkits(targets: &[DesignTarget], seed: u64) -> Vec<Arc<TargetToolkit>> 
 
 /// Run the adaptive IM-RP arm: concurrent pipelines over the pilot
 /// coordinator with the quality-ranked sub-pipeline policy, on the paper's
-/// single Amarel node.
+/// single Amarel node. Thin wrapper over [`CampaignSpec::run`].
 pub fn run_imrp(
     targets: &[DesignTarget],
     config: ProtocolConfig,
     policy: AdaptivePolicy,
 ) -> ExperimentResult {
-    let pilot = PilotConfig::with_seed(config.seed);
-    run_imrp_on(targets, config, policy, pilot)
+    CampaignSpec::imrp(targets, config)
+        .policy(policy)
+        .run()
+        .expect("no resume plan to reject")
+        .result
 }
 
 /// Run IM-RP on an arbitrary pilot configuration (e.g. a multi-node
-/// cluster for scaling studies).
+/// cluster for scaling studies). Thin wrapper over [`CampaignSpec::run`].
 pub fn run_imrp_on(
     targets: &[DesignTarget],
     config: ProtocolConfig,
     policy: AdaptivePolicy,
     pilot: PilotConfig,
 ) -> ExperimentResult {
-    run_imrp_with_backend(targets, config, policy, SimulatedBackend::new(pilot))
+    CampaignSpec::imrp(targets, config)
+        .policy(policy)
+        .pilot(pilot)
+        .run()
+        .expect("no resume plan to reject")
+        .result
 }
 
 /// Run IM-RP under an injected fault environment: the same protocol, but
 /// the pilot realizes the given fault plan (transient failures, hangs,
 /// node crash/recover windows) and retry policy. With
 /// [`FaultConfig::none`] and [`RetryPolicy::none`] this is bit-identical
-/// to [`run_imrp_on`].
+/// to [`run_imrp_on`]. Thin wrapper over [`CampaignSpec::run`].
 pub fn run_imrp_resilient(
     targets: &[DesignTarget],
     config: ProtocolConfig,
@@ -113,13 +122,13 @@ pub fn run_imrp_resilient(
     faults: FaultConfig,
     retry: RetryPolicy,
 ) -> ExperimentResult {
-    let plan = FaultPlan::new(faults, pilot.seed);
-    run_imrp_with_backend(
-        targets,
-        config,
-        policy,
-        RuntimeConfig::new(pilot).faults(plan, retry).simulated(),
-    )
+    CampaignSpec::imrp(targets, config)
+        .policy(policy)
+        .pilot(pilot)
+        .faults(faults, retry)
+        .run()
+        .expect("no resume plan to reject")
+        .result
 }
 
 /// Run IM-RP with a live [`Telemetry`] handle wired through the pilot:
@@ -127,7 +136,8 @@ pub fn run_imrp_resilient(
 /// decision lands in the handle's sink (pair with
 /// [`Telemetry::recording`] to capture a Chrome-exportable trace).
 /// Telemetry never perturbs the simulation — with a disabled handle this
-/// is bit-identical to [`run_imrp_on`].
+/// is bit-identical to [`run_imrp_on`]. Thin wrapper over
+/// [`CampaignSpec::run`].
 pub fn run_imrp_traced(
     targets: &[DesignTarget],
     config: ProtocolConfig,
@@ -135,18 +145,19 @@ pub fn run_imrp_traced(
     pilot: PilotConfig,
     telemetry: Telemetry,
 ) -> ExperimentResult {
-    run_imrp_with_backend(
-        targets,
-        config,
-        policy,
-        RuntimeConfig::new(pilot).telemetry(telemetry).simulated(),
-    )
+    CampaignSpec::imrp(targets, config)
+        .policy(policy)
+        .pilot(pilot)
+        .telemetry(telemetry)
+        .run()
+        .expect("no resume plan to reject")
+        .result
 }
 
 /// The IM-RP coordinator type the experiment drivers build.
-type ImrpCoordinator = Coordinator<DesignOutcome, SimulatedBackend, ImpressDecision>;
+pub(crate) type ImrpCoordinator = Coordinator<DesignOutcome, SimulatedBackend, ImpressDecision>;
 
-fn add_imrp_roots(
+pub(crate) fn add_imrp_roots(
     coordinator: &mut ImrpCoordinator,
     tks: &[Arc<TargetToolkit>],
     config: &ProtocolConfig,
@@ -163,7 +174,7 @@ fn add_imrp_roots(
 /// Drive the coordinator to completion and package the result — the shared
 /// tail of the plain, journaled, and resumed IM-RP drivers, so all three
 /// produce byte-identical artifacts by construction.
-fn finish_imrp(mut coordinator: ImrpCoordinator) -> (ExperimentResult, ImrpCoordinator) {
+pub(crate) fn finish_imrp(mut coordinator: ImrpCoordinator) -> (ExperimentResult, ImrpCoordinator) {
     let run = coordinator.run();
     let backend = coordinator.session().backend();
     let cpu_series = backend.cpu_series(SERIES_BIN);
@@ -183,24 +194,6 @@ fn finish_imrp(mut coordinator: ImrpCoordinator) -> (ExperimentResult, ImrpCoord
         gpu_hw_series,
     );
     (result, coordinator)
-}
-
-fn run_imrp_with_backend(
-    targets: &[DesignTarget],
-    config: ProtocolConfig,
-    policy: AdaptivePolicy,
-    backend: SimulatedBackend,
-) -> ExperimentResult {
-    // `config.adaptive == false` is allowed here: it gives the
-    // concurrent-but-non-selective ablation variant (pipelines still run
-    // under the coordinator, but Stage 6 accepts unconditionally). The
-    // paper's CONT-V additionally removes concurrency — use
-    // `run_cont_v_experiment` for that arm.
-    let tks = toolkits(targets, config.seed);
-    let decision = ImpressDecision::new(config.clone(), policy, tks.clone());
-    let mut coordinator = Coordinator::new(backend, decision);
-    add_imrp_roots(&mut coordinator, &tks, &config);
-    finish_imrp(coordinator).0
 }
 
 /// The campaign label journaled IM-RP runs stamp into the journal header;
@@ -244,22 +237,19 @@ pub fn run_imrp_journaled(
     journal: Journal,
     deadline: Option<SimTime>,
 ) -> JournaledRun {
-    let mut runtime = RuntimeConfig::new(pilot);
+    let mut spec = CampaignSpec::imrp(targets, config)
+        .policy(policy)
+        .pilot(pilot)
+        .journal(journal);
     if let Some(d) = deadline {
-        runtime = runtime.deadline(d);
+        spec = spec.deadline(d);
     }
-    let backend = runtime.simulated();
-    let tks = toolkits(targets, config.seed);
-    let decision = ImpressDecision::new(config.clone(), policy, tks.clone());
-    let mut coordinator = Coordinator::new(backend, decision).with_journal(journal);
-    add_imrp_roots(&mut coordinator, &tks, &config);
-    let (result, coordinator) = finish_imrp(coordinator);
-    let journal = coordinator.journal().expect("journal installed");
+    let run = spec.run().expect("no resume plan to reject");
     JournaledRun {
-        result,
-        drained: coordinator.drained(),
-        records: journal.records_written(),
-        snapshots: journal.snapshots_taken(),
+        result: run.result,
+        drained: run.drained,
+        records: run.records,
+        snapshots: run.snapshots,
     }
 }
 
@@ -278,17 +268,12 @@ pub fn resume_imrp(
     pilot: PilotConfig,
     plan: &ReplayPlan,
 ) -> Result<ExperimentResult, JournalError> {
-    if plan.label != IMRP_JOURNAL_LABEL || plan.seed != config.seed {
-        return Err(JournalError::Corrupt(format!(
-            "journal is for campaign {:?} (seed {}), not {IMRP_JOURNAL_LABEL:?} (seed {})",
-            plan.label, plan.seed, config.seed
-        )));
-    }
-    let tks = toolkits(targets, config.seed);
-    let decision = ImpressDecision::new(config.clone(), policy, tks.clone());
-    let mut coordinator = Coordinator::resume(SimulatedBackend::new(pilot), decision, plan)?;
-    add_imrp_roots(&mut coordinator, &tks, &config);
-    Ok(finish_imrp(coordinator).0)
+    CampaignSpec::imrp(targets, config)
+        .policy(policy)
+        .pilot(pilot)
+        .resume_from(plan.clone())
+        .run()
+        .map(|run| run.result)
 }
 
 /// Run the sequential CONT-V arm on its own simulated node.

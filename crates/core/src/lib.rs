@@ -47,6 +47,7 @@ pub mod genetic;
 pub mod protocol;
 pub mod quality;
 pub mod results;
+pub mod spec;
 pub mod stages;
 pub mod toolkit;
 
@@ -62,4 +63,5 @@ pub use generator::{MpnnGenerator, RandomMutagenesis, SequenceGenerator};
 pub use protocol::{DesignOutcome, DesignPipeline, IterationRecord};
 pub use quality::{IterationSeries, NetDeltas};
 pub use results::{Table1Row, TABLE1_HEADER};
+pub use spec::{CampaignRun, CampaignSpec};
 pub use toolkit::TargetToolkit;

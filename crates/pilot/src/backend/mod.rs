@@ -285,6 +285,19 @@ pub trait ExecutionBackend {
         false
     }
 
+    /// Preempt a *running* attempt of `id`: evict it from its node and
+    /// requeue the task through the same requeue transition a node crash
+    /// uses (`Executing → Scheduling`), without consuming retry budget.
+    /// The evicted attempt's occupancy is booked as waste, its lease epoch
+    /// is bumped so any late completion report is fenced out, and the task
+    /// re-enters the priority queue to be placed again — typically after
+    /// higher-priority work. Returns `false` if the task is not currently
+    /// running (queued, held, finished, unknown) or the backend does not
+    /// support preemption (the default).
+    fn preempt(&mut self, _id: TaskId) -> bool {
+        false
+    }
+
     /// Tasks the backend is holding back because its walltime deadline
     /// leaves too little allocation for their modeled duration. Held tasks
     /// count as [`in_flight`](Self::in_flight) but will never launch;
@@ -293,6 +306,18 @@ pub trait ExecutionBackend {
     /// deadline hold nothing.
     fn held_tasks(&self) -> usize {
         0
+    }
+
+    /// Deliver a completion that is *already available* without advancing
+    /// time or waiting, or `None` if making progress would require a
+    /// [`next_completion`](Self::next_completion) wait. Multiplexing
+    /// drivers (the multi-tenant campaign service) use this to step every
+    /// consumer that can make progress at the current instant before
+    /// letting anyone advance the shared clock. The default — `None`
+    /// always — is correct for exclusively-owned backends, whose callers
+    /// have nobody to yield to and simply wait.
+    fn poll_completion(&mut self) -> Option<Completion> {
+        None
     }
 
     /// The backend's telemetry handle (disabled by default). Layers above
@@ -349,8 +374,14 @@ impl ExecutionBackend for Box<dyn ExecutionBackend> {
     fn cancel(&mut self, id: TaskId) -> bool {
         (**self).cancel(id)
     }
+    fn preempt(&mut self, id: TaskId) -> bool {
+        (**self).preempt(id)
+    }
     fn held_tasks(&self) -> usize {
         (**self).held_tasks()
+    }
+    fn poll_completion(&mut self) -> Option<Completion> {
+        (**self).poll_completion()
     }
     fn telemetry(&self) -> &impress_telemetry::Telemetry {
         (**self).telemetry()

@@ -385,28 +385,9 @@ impl SimulatedBackend {
         }
     }
 
-    /// Start a pilot under an injected fault environment.
-    #[deprecated(since = "0.1.0", note = "use `RuntimeConfig::new(..).faults(..).simulated()`")]
-    pub fn with_faults(config: PilotConfig, faults: FaultPlan, retry: RetryPolicy) -> Self {
-        Self::from_config(RuntimeConfig::new(config).faults(faults, retry))
-    }
-
     /// The pilot configuration this backend runs.
     pub fn config(&self) -> &PilotConfig {
         &self.config
-    }
-
-    /// Set an allocation walltime deadline (virtual time). Once a task's
-    /// modeled span (exec setup + run time) would cross it, the task is held
-    /// instead of launched: its slots are released, it stays in flight, and
-    /// the session drains in-flight work then reports the hold via
-    /// [`ExecutionBackend::held_tasks`] — mirroring a pilot refusing to
-    /// start work its allocation cannot finish. Without a deadline the
-    /// backend's behavior is completely unchanged.
-    #[deprecated(since = "0.1.0", note = "use `RuntimeConfig::new(..).deadline(..).simulated()`")]
-    pub fn with_deadline(self, deadline: SimTime) -> Self {
-        self.shared.borrow_mut().deadline = Some(deadline);
-        self
     }
 
     /// Place every task the scheduler allows, wiring up setup + completion
@@ -2042,6 +2023,80 @@ impl ExecutionBackend for SimulatedBackend {
         true
     }
 
+    /// Preemption: evict a running attempt through the same requeue
+    /// transition a node crash uses (`Executing → Scheduling`), but on a
+    /// healthy node — the attempt's slots are *released* back into the
+    /// pool (a crash forfeits them), its occupancy is booked as waste, and
+    /// the task immediately re-enters the priority queue under its stored
+    /// priority. Unlike a crash eviction the requeue is unconditional: a
+    /// preempted task never surfaces a terminal error, whatever the retry
+    /// budget. The attempt counter still advances — it doubles as the
+    /// lease epoch, so any late completion report from the evicted attempt
+    /// (a duplicated delivery under the control plane) is fenced out by
+    /// the epoch check exactly like a suspicion eviction's.
+    fn preempt(&mut self, id: TaskId) -> bool {
+        let run = {
+            let mut sh = self.shared.borrow_mut();
+            match sh.running.remove(&id.0) {
+                Some(r) => r,
+                None => return false,
+            }
+        };
+        let now = self.engine.now();
+        self.engine.cancel(run.handle);
+        // A live hedge duplicate lost with its main attempt.
+        Self::settle_hedge_loser(&self.shared, &mut self.engine, id, true);
+        {
+            let mut sh = self.shared.borrow_mut();
+            sh.profiler.attempt_wasted(&run.alloc, run.started, now);
+            let node = run.alloc.node;
+            sh.scheduler.release_owned(run.alloc);
+            let task = sh
+                .pending
+                .get_mut(&id.0)
+                .expect("preempted task has a record");
+            task.state.advance(TaskState::Executing);
+            task.state.advance(TaskState::Scheduling);
+            task.attempts += 1;
+            let attempt = task.attempts;
+            let request = task.request;
+            let priority = task.priority;
+            sh.scheduler.enqueue_with_priority(id, request, priority);
+            if sh.telemetry.enabled() {
+                let tele = sh.telemetry.clone();
+                let at = Stamp::virt(now);
+                if let Some(spans) = sh.spans.get(&id.0).copied() {
+                    tele.instant(
+                        SpanCat::Scheduler,
+                        "preempted",
+                        spans.attempt,
+                        track::task(id.0),
+                        at,
+                        &[("node", node as i64), ("attempt", attempt as i64)],
+                    );
+                    tele.end(spans.attempt, at);
+                    let queue = tele.span(
+                        SpanCat::Queue,
+                        "queue",
+                        spans.task,
+                        track::task(id.0),
+                        at,
+                        &[("attempt", attempt as i64)],
+                    );
+                    let entry = sh.spans.get_mut(&id.0).expect("span entry");
+                    entry.queue = queue;
+                    entry.queued_at = now;
+                }
+                tele.count("preemptions", 1);
+                tele.gauge("queue_depth", sh.scheduler.queue_len() as f64);
+            }
+        }
+        // The freed slots can admit queued (higher-priority) work at this
+        // very instant.
+        Self::place_ready(&self.shared, &mut self.engine);
+        true
+    }
+
     fn control_stats(&self) -> ControlStats {
         self.shared.borrow().cstats
     }
@@ -2251,32 +2306,30 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructor_shims_delegate_to_runtime_config() {
-        // The one-release compatibility shims must behave exactly like the
-        // RuntimeConfig path they delegate to.
-        let run = |mut b: SimulatedBackend| -> Vec<(u64, u64)> {
-            for i in 0..4 {
-                b.submit(task(&format!("t{i}"), 1, 0, 40 + i as u64));
-            }
-            let mut log = Vec::new();
-            while let Some(c) = b.next_completion() {
-                log.push((c.task.0, c.finished.as_micros()));
-            }
-            log
-        };
-        let shimmed = run(SimulatedBackend::with_faults(
-            config(3, 1),
-            FaultPlan::none(),
-            RetryPolicy::none(),
-        ));
-        let configured = run(RuntimeConfig::new(config(3, 1)).simulated());
-        assert_eq!(shimmed, configured);
-
-        let deadline = SimTime::from_micros(300 * 1_000_000);
-        let shimmed = run(SimulatedBackend::new(config(3, 1)).with_deadline(deadline));
-        let configured = run(RuntimeConfig::new(config(3, 1)).deadline(deadline).simulated());
-        assert_eq!(shimmed, configured);
+    fn preempt_requeues_a_running_attempt_without_a_terminal_error() {
+        // Zero retry budget: a preempted attempt must requeue and finish
+        // anyway — preemption is never a terminal error and never consumes
+        // a retry.
+        let mut b = SimulatedBackend::new(config(2, 0));
+        let t0 = b.submit(task("t0", 1, 0, 100).with_work(|| 0u64));
+        let short = b.submit(task("short", 1, 0, 5).with_work(|| 2u64));
+        // Nothing has been placed yet, so nothing is preemptible.
+        assert!(!b.preempt(t0), "queued tasks are not preemptible");
+        assert!(!b.preempt(TaskId(99)), "unknown tasks are not preemptible");
+        // Pump to the short task's completion: t0 is now mid-attempt with
+        // nonzero occupancy behind it.
+        let c = b.next_completion().expect("short task finishes first");
+        assert_eq!(c.task, short);
+        assert!(b.preempt(t0), "t0 must be running and preemptible");
+        assert!(!b.preempt(short), "finished tasks are not preemptible");
+        let mut finished = Vec::new();
+        while let Some(c) = b.next_completion() {
+            assert!(c.result.is_ok(), "preemption must not surface an error");
+            finished.push(c.task);
+        }
+        assert_eq!(finished, vec![t0]);
+        // The evicted attempt's partial occupancy is booked as waste.
+        assert!(b.utilization().wasted_core_seconds > 0.0);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! examples (live runs at natural speed) and by concurrency tests.
 //!
 //! Virtual durations can be dilated into real sleeps with
-//! [`ThreadedBackend::with_time_scale`] — e.g. a scale of `1e-4` replays a
+//! [`RuntimeConfig::time_scale`](crate::RuntimeConfig::time_scale) — e.g. a scale of `1e-4` replays a
 //! 28-hour CONT-V run in about ten real seconds with faithful overlap
 //! structure. The default scale of `0.0` skips sleeping entirely and runs
 //! work closures back-to-back.
@@ -18,7 +18,7 @@
 //! order is whatever real concurrency produces — determinism is the
 //! simulated backend's job.
 //!
-//! Fault injection ([`ThreadedBackend::with_faults`]) mirrors the simulated
+//! Fault injection ([`RuntimeConfig::faults`](crate::RuntimeConfig::faults)) mirrors the simulated
 //! backend: *which* attempts fault is decided by the same seeded
 //! [`FaultPlan`] (so the two backends agree on the fault sequence), and the
 //! worker thread realizes the outcome — an injected transient failure or
@@ -46,7 +46,7 @@
 
 use crate::backend::{Completion, ExecutionBackend, TaskError};
 use crate::control::{ControlPlane, ControlStats};
-use crate::fault::{dilate_span, AttemptFault, FaultPlan, RetryPolicy, SlowWindow};
+use crate::fault::{dilate_span, AttemptFault, SlowWindow};
 use crate::pilot::{PhaseBreakdown, PilotConfig};
 use crate::profiler::{Profiler, UtilizationReport};
 use crate::resources::{Allocation, ResourceRequest};
@@ -280,8 +280,6 @@ pub struct ThreadedBackend {
     /// opposite ordering so `next_completion` can never return `None`
     /// with a completion still in transit.
     inflight: Arc<AtomicUsize>,
-    /// Allocation deadline in backend-time micros; `u64::MAX` = none.
-    deadline_micros: Arc<AtomicU64>,
     /// Tasks held back by the deadline (they will never launch).
     held: Arc<AtomicUsize>,
     epoch: Instant,
@@ -303,34 +301,6 @@ impl ThreadedBackend {
     /// exec setup are honored only when a time scale is set.
     pub fn new(config: PilotConfig) -> Self {
         Self::from_config(RuntimeConfig::new(config))
-    }
-
-    /// Start with virtual durations dilated by `time_scale` into real
-    /// sleeps (`0.0` = no sleeping).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `RuntimeConfig::new(..).time_scale(..).threaded()`"
-    )]
-    pub fn with_time_scale(config: PilotConfig, time_scale: f64) -> Self {
-        Self::from_config(RuntimeConfig::new(config).time_scale(time_scale))
-    }
-
-    /// Start under an injected fault environment.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `RuntimeConfig::new(..).time_scale(..).faults(..).threaded()`"
-    )]
-    pub fn with_faults(
-        config: PilotConfig,
-        time_scale: f64,
-        faults: FaultPlan,
-        retry: RetryPolicy,
-    ) -> Self {
-        Self::from_config(
-            RuntimeConfig::new(config)
-                .time_scale(time_scale)
-                .faults(faults, retry),
-        )
     }
 
     /// Start a pilot under a full [`RuntimeConfig`]: time scale, fault
@@ -368,6 +338,7 @@ impl ThreadedBackend {
         let statuses: StatusMap = Arc::new(Mutex::new(HashMap::new()));
         let unfinished = Arc::new(AtomicUsize::new(0));
         let inflight = Arc::new(AtomicUsize::new(0));
+        // Allocation deadline in backend-time micros; `u64::MAX` = none.
         let deadline_micros = Arc::new(AtomicU64::new(
             deadline.map(|d| d.as_micros()).unwrap_or(u64::MAX),
         ));
@@ -1869,7 +1840,6 @@ impl ThreadedBackend {
             statuses,
             unfinished,
             inflight,
-            deadline_micros,
             held,
             epoch,
             next_id: 0,
@@ -1886,22 +1856,6 @@ impl ThreadedBackend {
         &self.node
     }
 
-    /// Set an allocation walltime deadline (backend time, i.e. elapsed time
-    /// since the pilot started). Placements whose scaled duration would
-    /// cross it are held instead of launched: the session finishes in-flight
-    /// work, then [`ExecutionBackend::next_completion`] returns `None` with
-    /// [`ExecutionBackend::held_tasks`] `> 0` — the graceful-drain signal.
-    /// At time scale `0` tasks run instantly, so only placements attempted
-    /// after the deadline has already passed are held.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `RuntimeConfig::new(..).deadline(..).threaded()`"
-    )]
-    pub fn with_deadline(self, deadline: SimTime) -> Self {
-        self.deadline_micros
-            .store(deadline.as_micros(), Ordering::SeqCst);
-        self
-    }
 }
 
 /// How a worker's commit point resolved.
@@ -2222,7 +2176,7 @@ impl Drop for ThreadedBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fault::{FaultConfig, ScriptedCrash};
+    use crate::fault::{FaultConfig, FaultPlan, RetryPolicy, ScriptedCrash};
     use crate::resources::{NodeSpec, ResourceRequest};
     use crate::scheduler::PlacementPolicy;
 
@@ -2583,46 +2537,6 @@ mod tests {
         assert_eq!(r.retries, 1);
         assert!(r.wasted_core_seconds > 0.0);
         assert_eq!(b.in_flight(), 0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructor_shims_delegate_to_runtime_config() {
-        // Each shim must produce a backend behaviorally identical to the
-        // RuntimeConfig path it delegates to.
-        let run = |mut b: ThreadedBackend| -> Vec<u64> {
-            for i in 0..4u64 {
-                b.submit(task(&format!("t{i}"), 1).with_work(move || i * 3));
-            }
-            let mut outs: Vec<u64> = Vec::new();
-            while let Some(c) = b.next_completion() {
-                outs.push(c.output::<u64>());
-            }
-            outs.sort_unstable();
-            outs
-        };
-        let via_shim = run(ThreadedBackend::with_time_scale(config(2, 0), 0.0));
-        let via_config = run(RuntimeConfig::new(config(2, 0)).threaded());
-        assert_eq!(via_shim, via_config);
-        let plan = || {
-            FaultPlan::new(
-                FaultConfig {
-                    task_failure_rate: 1.0,
-                    ..FaultConfig::none()
-                },
-                1,
-            )
-        };
-        let mut shim = ThreadedBackend::with_faults(config(2, 0), 0.0, plan(), no_backoff(1));
-        shim.submit(task("doomed", 1));
-        let cs = shim.next_completion().unwrap();
-        let mut cfg = RuntimeConfig::new(config(2, 0))
-            .faults(plan(), no_backoff(1))
-            .threaded();
-        cfg.submit(task("doomed", 1));
-        let cc = cfg.next_completion().unwrap();
-        assert_eq!(cs.attempts, cc.attempts);
-        assert_eq!(cs.result.is_ok(), cc.result.is_ok());
     }
 
     #[test]

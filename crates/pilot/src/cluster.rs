@@ -1,0 +1,657 @@
+//! Multiplexing one backend across many independent consumers.
+//!
+//! The session/coordinator stack assumes it *owns* its
+//! [`ExecutionBackend`]: it submits, pumps [`next_completion`], and treats
+//! every completion as its own. A multi-tenant campaign service breaks that
+//! assumption — many coordinators share one cluster — so this module
+//! supplies the adapter: a [`SharedCluster`] wraps a single backend and
+//! hands out [`ClusterLease`]s, each of which *is* an `ExecutionBackend`
+//! scoped to the tasks submitted through it.
+//!
+//! Routing works by ownership: the cluster records which lease submitted
+//! each task; pumping the shared backend from any lease routes foreign
+//! completions into their owners' inboxes and returns only the pumper's
+//! own. Completion *order within a lease* is therefore exactly the order
+//! the shared backend produced, regardless of which lease did the pumping —
+//! the property that makes a campaign's outcome independent of its
+//! neighbors' drive pattern (the serial-vs-service determinism tests in
+//! `impress-workflow` rest on it).
+//!
+//! Each lease additionally carries:
+//!
+//! * a **priority boost** added to every task submitted through it — the
+//!   hook a fair-share layer uses to map tenant deficits onto the
+//!   scheduler's priority buckets (higher schedules first);
+//! * a **usage meter** (core/GPU-seconds of delivered occupancy), booked
+//!   at pump time against the *owning* lease, which quota enforcement
+//!   reads without trusting tenants to self-report;
+//! * a **retired** flag: retiring a lease drops its queued inbox and any
+//!   late completions, so a canceled campaign cannot leak memory or
+//!   deliver into a dead coordinator.
+//!
+//! A lease deliberately does *not* expose cluster-global mutation — or
+//! even cluster-global *names*. Task ids on a lease are lease-local (dense
+//! from 0, translated to the backend's ids at the submit/pump boundary),
+//! so a consumer's task-indexed bookkeeping stays sized by its own
+//! workload rather than the cluster-wide id space, a tenant cannot observe
+//! the global submission counter through its ids, and `cancel`/`preempt`
+//! structurally cannot name another lease's work — preemption decisions
+//! belong to the service layer, which holds the [`SharedCluster`] itself.
+
+use crate::backend::{Completion, ExecutionBackend};
+use crate::pilot::PhaseBreakdown;
+use crate::profiler::UtilizationReport;
+use crate::task::{TaskDescription, TaskId};
+use impress_sim::SimTime;
+use impress_telemetry::Telemetry;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+/// Occupancy delivered to one lease so far: the sum over its completed
+/// attempts of `(finished - started) × slots`. Booked when the completion
+/// is *pumped* out of the shared backend (not when the owner pops it), so
+/// quota checks see usage as soon as the cluster knows about it.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LeaseUsage {
+    /// Core-seconds of delivered slot occupancy.
+    pub core_seconds: f64,
+    /// GPU-seconds of delivered slot occupancy.
+    pub gpu_seconds: f64,
+    /// Terminal completions delivered (success or failure).
+    pub completions: u64,
+}
+
+/// Per-lease bookkeeping inside the cluster core.
+struct LeaseState {
+    /// Completions pumped by *other* leases, waiting for this one to pop.
+    inbox: VecDeque<Completion>,
+    /// Tasks submitted through this lease and not yet *delivered* to it
+    /// (an inboxed completion still counts — it has not been observed).
+    in_flight: usize,
+    /// Priority added to every submission (higher schedules first).
+    boost: i32,
+    /// Delivered occupancy, for quota/fairness accounting.
+    usage: LeaseUsage,
+    /// Retired leases take no new submissions and drop late completions.
+    retired: bool,
+    /// Lease-local task ids, dense from 0: `to_global[local]` is the
+    /// shared backend's id. Leases speak *local* ids to their consumer —
+    /// a coordinator's task-indexed slabs stay sized by its own workload
+    /// instead of the cluster-global id space (with thousands of leases
+    /// that difference is quadratic memory), and a tenant cannot observe
+    /// the cluster-wide submission counter through its ids.
+    to_global: Vec<TaskId>,
+}
+
+/// What the cluster knows about one submitted task.
+struct TaskRoute {
+    owner: u32,
+    /// The owner's lease-local id for this task.
+    local: u64,
+    cores: u32,
+    gpus: u32,
+}
+
+struct ClusterCore<B: ExecutionBackend> {
+    backend: B,
+    routes: HashMap<u64, TaskRoute>,
+    leases: HashMap<u32, LeaseState>,
+    next_lease: u32,
+}
+
+impl<B: ExecutionBackend> ClusterCore<B> {
+    /// Pump one completion out of the shared backend, booking usage to its
+    /// owner. Returns the completion together with its owning lease id, or
+    /// `None` when the backend has nothing left to deliver (idle, or a
+    /// graceful deadline drain).
+    fn pump(&mut self) -> Option<(u32, Completion)> {
+        loop {
+            let mut c = self.backend.next_completion()?;
+            let Some(route) = self.routes.remove(&c.task.0) else {
+                // A task submitted around the lease layer (e.g. directly on
+                // the backend before it was wrapped). No owner — drop it;
+                // leases must only ever see their own traffic.
+                continue;
+            };
+            let span = (c.finished - c.started).as_secs_f64();
+            let lease = self
+                .leases
+                .get_mut(&route.owner)
+                .expect("every route points at a lease record");
+            lease.usage.core_seconds += span * f64::from(route.cores);
+            lease.usage.gpu_seconds += span * f64::from(route.gpus);
+            lease.usage.completions += 1;
+            if lease.retired {
+                // The owner is gone; its in-flight counter died with it.
+                continue;
+            }
+            // Deliver under the owner's local id, not the global one.
+            c.task = TaskId(route.local);
+            return Some((route.owner, c));
+        }
+    }
+}
+
+/// One execution backend shared between many [`ClusterLease`]s.
+///
+/// Cheaply cloneable handle (`Rc` inside — the whole stack is
+/// single-threaded, like the simulated backend it typically wraps). The
+/// service layer keeps one of these for cluster-global reads and
+/// lease administration; coordinators only ever see their own lease.
+pub struct SharedCluster<B: ExecutionBackend> {
+    core: Rc<RefCell<ClusterCore<B>>>,
+    telemetry: Telemetry,
+}
+
+impl<B: ExecutionBackend> Clone for SharedCluster<B> {
+    fn clone(&self) -> Self {
+        SharedCluster {
+            core: self.core.clone(),
+            telemetry: self.telemetry.clone(),
+        }
+    }
+}
+
+impl<B: ExecutionBackend> SharedCluster<B> {
+    /// Wrap a backend. All submissions must go through leases from here on:
+    /// completions of tasks the cluster has no route for are dropped.
+    pub fn new(backend: B) -> Self {
+        let telemetry = backend.telemetry().clone();
+        SharedCluster {
+            core: Rc::new(RefCell::new(ClusterCore {
+                backend,
+                routes: HashMap::new(),
+                leases: HashMap::new(),
+                next_lease: 0,
+            })),
+            telemetry,
+        }
+    }
+
+    /// Open a new lease with priority boost 0.
+    pub fn lease(&self) -> ClusterLease<B> {
+        let mut core = self.core.borrow_mut();
+        let id = core.next_lease;
+        core.next_lease += 1;
+        core.leases.insert(
+            id,
+            LeaseState {
+                inbox: VecDeque::new(),
+                in_flight: 0,
+                boost: 0,
+                usage: LeaseUsage::default(),
+                retired: false,
+                to_global: Vec::new(),
+            },
+        );
+        ClusterLease {
+            core: self.core.clone(),
+            telemetry: self.telemetry.clone(),
+            id,
+        }
+    }
+
+    /// Delivered occupancy of one lease (`None` for unknown ids). Retired
+    /// leases keep their meter: a tenant's spent budget survives campaign
+    /// completion.
+    pub fn usage_of(&self, lease: u32) -> Option<LeaseUsage> {
+        self.core.borrow().leases.get(&lease).map(|l| l.usage)
+    }
+
+    /// Pump exactly one completion out of the shared backend — advancing
+    /// time to it if necessary — and deliver it into the owning lease's
+    /// inbox. Returns the owner's lease id, or `None` when the backend has
+    /// nothing left to deliver (idle, or only deadline-held tasks remain).
+    ///
+    /// This is the *only* clock-advancing primitive a multiplexing driver
+    /// needs: step every lease that [`SharedCluster::lease_ready`] says can
+    /// make progress at the current instant, and call this once when
+    /// nobody can. Pumping from a lease's own
+    /// [`next_completion`](ExecutionBackend::next_completion) also works
+    /// but advances time until *that* lease is served, serializing
+    /// consumers that had work to submit at the current time.
+    pub fn pump_one(&self) -> Option<u32> {
+        let mut core = self.core.borrow_mut();
+        let (owner, c) = core.pump()?;
+        core.leases
+            .get_mut(&owner)
+            .expect("pump only returns live owners")
+            .inbox
+            .push_back(c);
+        Some(owner)
+    }
+
+    /// Whether stepping the consumer on `lease` would make progress
+    /// *without* advancing time: a completion is queued in its inbox, or it
+    /// has nothing in flight at all (its `next_completion` returns `None`
+    /// immediately — the idle/terminal transition). `false` means the lease
+    /// is blocked waiting on in-flight work, and `false` for unknown ids.
+    pub fn lease_ready(&self, lease: u32) -> bool {
+        self.core
+            .borrow()
+            .leases
+            .get(&lease)
+            .is_some_and(|l| !l.inbox.is_empty() || l.in_flight == 0)
+    }
+
+    /// Set a lease's priority boost. Applies to *future* submissions; work
+    /// already queued keeps the priority it was enqueued with.
+    pub fn set_boost(&self, lease: u32, boost: i32) {
+        if let Some(l) = self.core.borrow_mut().leases.get_mut(&lease) {
+            l.boost = boost;
+        }
+    }
+
+    /// Preempt a running task of `lease` (named by its lease-local id) —
+    /// the service-layer hook behind priority preemption, which may target
+    /// any lease it administers. Returns `false` for unknown ids, tasks
+    /// that are not running, or backends without preemption support.
+    pub fn preempt(&self, lease: u32, task: TaskId) -> bool {
+        let mut core = self.core.borrow_mut();
+        let Some(&global) = core
+            .leases
+            .get(&lease)
+            .and_then(|l| l.to_global.get(task.0 as usize))
+        else {
+            return false;
+        };
+        if !core.routes.get(&global.0).is_some_and(|r| r.owner == lease) {
+            return false;
+        }
+        core.backend.preempt(global)
+    }
+
+    /// Unfinished tasks currently routed to `lease`, as lease-local ids in
+    /// submission order — the victim list a preemption sweep walks (and the
+    /// ids a cancel sweep feeds back through the lease). Queued and running
+    /// tasks are not distinguished here; [`SharedCluster::preempt`] simply
+    /// returns `false` for the queued ones.
+    pub fn tasks_of(&self, lease: u32) -> Vec<TaskId> {
+        let core = self.core.borrow();
+        let mut out: Vec<TaskId> = core
+            .routes
+            .values()
+            .filter(|r| r.owner == lease)
+            .map(|r| TaskId(r.local))
+            .collect();
+        out.sort_unstable_by_key(|t| t.0);
+        out
+    }
+
+    /// Current backend time.
+    pub fn now(&self) -> SimTime {
+        self.core.borrow().backend.now()
+    }
+
+    /// Cluster-wide utilization up to the current time.
+    pub fn utilization(&self) -> UtilizationReport {
+        self.core.borrow().backend.utilization()
+    }
+
+    /// The wrapped backend's telemetry handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+}
+
+/// One consumer's view of a [`SharedCluster`]: an [`ExecutionBackend`]
+/// scoped to the tasks submitted through it.
+///
+/// `next_completion` returns only this lease's completions, in shared
+/// pump order; foreign completions encountered while pumping are routed to
+/// their owners. Task ids are lease-local: `submit` returns ids dense from
+/// 0, completions carry them, and `cancel`/`preempt` accept only them —
+/// another lease's tasks cannot even be named. Dropping a lease without
+/// [`ClusterLease::retire`] leaves it live (another handle may exist);
+/// retiring it drops queued and future completions.
+pub struct ClusterLease<B: ExecutionBackend> {
+    core: Rc<RefCell<ClusterCore<B>>>,
+    telemetry: Telemetry,
+    id: u32,
+}
+
+impl<B: ExecutionBackend> ClusterLease<B> {
+    /// This lease's id, the key for [`SharedCluster::usage_of`] /
+    /// [`SharedCluster::set_boost`].
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Delivered occupancy so far.
+    pub fn usage(&self) -> LeaseUsage {
+        self.core.borrow().leases[&self.id].usage
+    }
+
+    /// Retire the lease: drop its queued inbox, drop any late completions,
+    /// refuse further submissions (they panic — submitting into a retired
+    /// lease is a service-layer bug, not a runtime condition). Usage
+    /// metering survives.
+    pub fn retire(&mut self) {
+        let mut core = self.core.borrow_mut();
+        let lease = core.leases.get_mut(&self.id).expect("lease exists");
+        lease.retired = true;
+        lease.inbox.clear();
+        lease.in_flight = 0;
+    }
+
+    /// Resolve a lease-local id to the shared backend's id, provided the
+    /// task is still routed (unfinished) and really belongs to this lease.
+    fn resolve(&self, local: TaskId) -> Option<TaskId> {
+        let core = self.core.borrow();
+        let global = *core.leases[&self.id].to_global.get(local.0 as usize)?;
+        core.routes
+            .get(&global.0)
+            .is_some_and(|r| r.owner == self.id)
+            .then_some(global)
+    }
+}
+
+impl<B: ExecutionBackend> ExecutionBackend for ClusterLease<B> {
+    /// Submit through the lease. The returned id is *lease-local* (dense
+    /// from 0 per lease); completions and `cancel`/`preempt` on this lease
+    /// speak the same local ids.
+    fn submit(&mut self, desc: TaskDescription) -> TaskId {
+        let mut core = self.core.borrow_mut();
+        let core = &mut *core;
+        let lease = core.leases.get_mut(&self.id).expect("lease exists");
+        assert!(!lease.retired, "submit on a retired lease");
+        let boost = lease.boost;
+        lease.in_flight += 1;
+        let local = TaskId(lease.to_global.len() as u64);
+        let (cores, gpus) = (desc.request.cores, desc.request.gpus);
+        let priority = desc.priority;
+        let id = core.backend.submit(desc.with_priority(priority + boost));
+        core.leases
+            .get_mut(&self.id)
+            .expect("lease exists")
+            .to_global
+            .push(id);
+        core.routes.insert(
+            id.0,
+            TaskRoute {
+                owner: self.id,
+                local: local.0,
+                cores,
+                gpus,
+            },
+        );
+        local
+    }
+
+    fn next_completion(&mut self) -> Option<Completion> {
+        {
+            let mut core = self.core.borrow_mut();
+            let lease = core.leases.get_mut(&self.id).expect("lease exists");
+            if let Some(c) = lease.inbox.pop_front() {
+                lease.in_flight -= 1;
+                return Some(c);
+            }
+            if lease.in_flight == 0 {
+                return None;
+            }
+        }
+        loop {
+            let mut core = self.core.borrow_mut();
+            match core.pump() {
+                Some((owner, c)) if owner == self.id => {
+                    let lease = core.leases.get_mut(&self.id).expect("lease exists");
+                    lease.in_flight -= 1;
+                    return Some(c);
+                }
+                Some((owner, c)) => {
+                    let lease = core
+                        .leases
+                        .get_mut(&owner)
+                        .expect("pump only returns live owners");
+                    lease.inbox.push_back(c);
+                }
+                // The backend is out of deliverable completions while this
+                // lease still has work in flight: its tasks are held by the
+                // walltime deadline — the graceful-drain signal. Surface it
+                // exactly like an owned backend would.
+                None => return None,
+            }
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        self.core.borrow().backend.now()
+    }
+
+    /// Tasks submitted through *this lease* and not yet delivered to it.
+    fn in_flight(&self) -> usize {
+        self.core.borrow().leases[&self.id].in_flight
+    }
+
+    /// Cluster-wide utilization: occupancy has no per-lease meaning on
+    /// shared hardware (see [`ClusterLease::usage`] for this lease's own
+    /// delivered occupancy).
+    fn utilization(&self) -> UtilizationReport {
+        self.core.borrow().backend.utilization()
+    }
+
+    fn phase_breakdown(&self) -> PhaseBreakdown {
+        self.core.borrow().backend.phase_breakdown()
+    }
+
+    fn cancel(&mut self, id: TaskId) -> bool {
+        let Some(global) = self.resolve(id) else {
+            return false;
+        };
+        self.core.borrow_mut().backend.cancel(global)
+    }
+
+    fn preempt(&mut self, id: TaskId) -> bool {
+        let Some(global) = self.resolve(id) else {
+            return false;
+        };
+        self.core.borrow_mut().backend.preempt(global)
+    }
+
+    fn held_tasks(&self) -> usize {
+        self.core.borrow().backend.held_tasks()
+    }
+
+    /// Pop from this lease's inbox only — never pumps the shared backend,
+    /// so polling cannot advance time on behalf of other leases.
+    fn poll_completion(&mut self) -> Option<Completion> {
+        let mut core = self.core.borrow_mut();
+        let lease = core.leases.get_mut(&self.id).expect("lease exists");
+        let c = lease.inbox.pop_front()?;
+        lease.in_flight -= 1;
+        Some(c)
+    }
+
+    fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    fn virtual_now(&self) -> SimTime {
+        self.core.borrow().backend.virtual_now()
+    }
+
+    fn stamp(&self) -> impress_telemetry::Stamp {
+        self.core.borrow().backend.stamp()
+    }
+
+    fn control_stats(&self) -> crate::control::ControlStats {
+        self.core.borrow().backend.control_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::SimulatedBackend;
+    use crate::pilot::PilotConfig;
+    use crate::resources::{NodeSpec, ResourceRequest};
+    use crate::scheduler::PlacementPolicy;
+    use impress_sim::SimDuration;
+
+    fn backend(cores: u32) -> SimulatedBackend {
+        SimulatedBackend::new(PilotConfig {
+            node: NodeSpec::new(cores, 2, 64),
+            nodes: 1,
+            policy: PlacementPolicy::Backfill,
+            bootstrap: SimDuration::from_secs(1),
+            exec_setup_per_task: SimDuration::ZERO,
+            seed: 0,
+        })
+    }
+
+    fn task(name: &str, secs: u64) -> TaskDescription {
+        TaskDescription::new(name, ResourceRequest::cores(1), SimDuration::from_secs(secs))
+    }
+
+    #[test]
+    fn leases_only_see_their_own_completions() {
+        let cluster = SharedCluster::new(backend(4));
+        let mut a = cluster.lease();
+        let mut b = cluster.lease();
+        let a1 = a.submit(task("a1", 5));
+        let b1 = b.submit(task("b1", 1));
+        let a2 = a.submit(task("a2", 3));
+        // Pumping from lease A routes B's (earlier) completion to B's inbox.
+        let first_a = a.next_completion().expect("a has work");
+        assert!(first_a.task == a1 || first_a.task == a2);
+        assert_eq!(b.in_flight(), 1, "b's completion waits in its inbox");
+        let first_b = b.next_completion().expect("b has work");
+        assert_eq!(first_b.task, b1);
+        assert_eq!(b.in_flight(), 0);
+        assert!(b.next_completion().is_none(), "b is drained");
+        let second_a = a.next_completion().expect("a's second task");
+        assert_ne!(second_a.task, first_a.task);
+        assert!(a.next_completion().is_none());
+    }
+
+    #[test]
+    fn usage_is_booked_to_the_owning_lease() {
+        let cluster = SharedCluster::new(backend(4));
+        let mut a = cluster.lease();
+        let mut b = cluster.lease();
+        a.submit(task("a", 10));
+        b.submit(task("b", 2));
+        while a.next_completion().is_some() {}
+        // Pumping from A booked B's usage too, before B ever popped.
+        let ua = cluster.usage_of(a.id()).unwrap();
+        let ub = cluster.usage_of(b.id()).unwrap();
+        assert!((ua.core_seconds - 10.0).abs() < 1e-9, "{ua:?}");
+        assert!((ub.core_seconds - 2.0).abs() < 1e-9, "{ub:?}");
+        assert_eq!(ua.completions, 1);
+        assert_eq!(ub.completions, 1);
+        assert!(b.next_completion().is_some());
+    }
+
+    #[test]
+    fn boost_reorders_contended_submissions() {
+        // One core: whoever holds higher priority jumps the queue once the
+        // first occupant finishes.
+        let cluster = SharedCluster::new(backend(1));
+        let mut low = cluster.lease();
+        let mut high = cluster.lease();
+        cluster.set_boost(high.id(), 10);
+        let _head = low.submit(task("head", 1));
+        let l = low.submit(task("low", 1));
+        let h = high.submit(task("high", 1));
+        let mut order = Vec::new();
+        loop {
+            let before = order.len();
+            if let Some(c) = low.next_completion() {
+                order.push(c.task);
+            }
+            if let Some(c) = high.next_completion() {
+                order.push(c.task);
+            }
+            if order.len() == before {
+                break;
+            }
+        }
+        let pos = |t| order.iter().position(|x| *x == t).unwrap();
+        assert!(pos(h) < pos(l), "boosted lease schedules first: {order:?}");
+    }
+
+    #[test]
+    fn retired_leases_drop_their_completions() {
+        let cluster = SharedCluster::new(backend(4));
+        let mut a = cluster.lease();
+        let mut b = cluster.lease();
+        a.submit(task("a", 5));
+        b.submit(task("b", 1));
+        b.retire();
+        assert_eq!(b.in_flight(), 0);
+        // Draining A pumps B's completion; it is dropped, not queued.
+        while a.next_completion().is_some() {}
+        assert!(b.next_completion().is_none());
+        // Usage is still metered for the retired lease.
+        assert_eq!(cluster.usage_of(b.id()).unwrap().completions, 1);
+    }
+
+    #[test]
+    fn lease_ids_are_local_and_cannot_name_foreign_tasks() {
+        let cluster = SharedCluster::new(backend(1));
+        let mut a = cluster.lease();
+        let mut b = cluster.lease();
+        let at = a.submit(task("a", 5));
+        let bt = b.submit(task("b", 5));
+        // Ids are namespaced per lease: both leases see a dense space
+        // starting at 0, so the global submission counter never leaks.
+        assert_eq!(at, bt);
+        // Ids a lease never issued resolve to nothing…
+        assert!(!b.cancel(TaskId(7)), "unknown local id refused");
+        assert!(!b.preempt(TaskId(7)), "unknown local id refused");
+        // …and its own ids touch only its own work: canceling b's task 0
+        // (still queued behind a's on the single core) leaves a's task 0 —
+        // a different global task — running to completion.
+        assert!(b.cancel(bt), "own queued task cancels fine");
+        let got = a.next_completion().expect("a's task survives");
+        assert_eq!(got.task, at);
+        assert!(a.next_completion().is_none());
+        // b's canceled attempt surfaces under b's local id, then b drains.
+        let canceled = b.next_completion().expect("cancellation completion");
+        assert_eq!(canceled.task, bt);
+        assert!(canceled.result.is_err());
+        assert!(b.next_completion().is_none());
+    }
+
+    #[test]
+    fn service_side_preempt_speaks_lease_local_ids() {
+        let cluster = SharedCluster::new(backend(1));
+        let mut a = cluster.lease();
+        let mut b = cluster.lease();
+        let _at = a.submit(task("a", 50));
+        let bt = b.submit(task("b", 5));
+        // b's task is queued (a holds the core): preempt refuses it.
+        assert!(!cluster.preempt(b.id(), bt), "queued task not preemptible");
+        // Unknown lease or id: refused, never routed to a foreign task.
+        assert!(!cluster.preempt(99, bt));
+        assert!(!cluster.preempt(b.id(), TaskId(7)));
+        assert_eq!(cluster.tasks_of(b.id()), vec![bt]);
+        while a.next_completion().is_some() {}
+        while b.next_completion().is_some() {}
+    }
+
+    #[test]
+    fn completion_order_within_a_lease_is_pump_order() {
+        // Two identical clusters; in one, lease B drives all the pumping.
+        // Lease A must observe its completions in the same order either way.
+        let run = |b_pumps_first: bool| -> Vec<u64> {
+            let cluster = SharedCluster::new(backend(2));
+            let mut a = cluster.lease();
+            let mut b = cluster.lease();
+            for i in 0..4 {
+                a.submit(task(&format!("a{i}"), 3 + i));
+                b.submit(task(&format!("b{i}"), 2 + i));
+            }
+            if b_pumps_first {
+                while b.next_completion().is_some() {}
+            }
+            let mut seen = Vec::new();
+            while let Some(c) = a.next_completion() {
+                seen.push(c.task.0);
+            }
+            seen
+        };
+        assert_eq!(run(false), run(true));
+    }
+}

@@ -37,11 +37,17 @@
 //!   `nvidia-smi` sees) — the distinction behind the paper's 61% vs 1% GPU
 //!   utilization gap.
 //! * [`session`] — the user-facing API tying the above together.
+//! * [`cluster`] — one backend shared between many consumers:
+//!   [`SharedCluster`] hands out [`ClusterLease`]s (each an
+//!   [`ExecutionBackend`] scoped to its own tasks, with a priority boost
+//!   and a usage meter), the substrate under the multi-tenant campaign
+//!   service in `impress-workflow`.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod backend;
+pub mod cluster;
 pub mod control;
 pub mod fault;
 pub mod pilot;
@@ -56,6 +62,7 @@ pub mod task;
 pub mod timeline;
 
 pub use backend::{Completion, ExecutionBackend, TaskError};
+pub use cluster::{ClusterLease, LeaseUsage, SharedCluster};
 pub use control::{ControlPlane, ControlStats, Deliveries};
 pub use fault::{
     AttemptFault, FaultConfig, FaultPlan, HedgePolicy, LinkFaults, QuarantinePolicy, RetryPolicy,

@@ -7,7 +7,9 @@
 //! `RuntimeConfig` collapses them: build one value describing the run
 //! (pilot sizing, fault plan + retry policy, walltime deadline, threaded
 //! time dilation, telemetry handle), then hand it to either backend. The
-//! old constructors survive as thin deprecated shims for one release.
+//! old constructors shipped as deprecated shims for one release and have
+//! since been removed; `RuntimeConfig` is the only way to configure a
+//! backend beyond `new`.
 //!
 //! ```
 //! use impress_pilot::{PilotConfig, RuntimeConfig};

@@ -86,6 +86,13 @@ impl<B: ExecutionBackend> Session<B> {
         self.backend.next_completion()
     }
 
+    /// Deliver a completion already available without waiting (see
+    /// [`ExecutionBackend::poll_completion`]); `None` if progress would
+    /// require a [`Session::wait_next`].
+    pub fn poll_next(&mut self) -> Option<Completion> {
+        self.backend.poll_completion()
+    }
+
     /// Best-effort cancellation of a queued task (see
     /// [`crate::backend::ExecutionBackend::cancel`]).
     pub fn cancel(&mut self, id: TaskId) -> bool {
@@ -190,35 +197,6 @@ impl<B: ExecutionBackend> Session<B> {
         self.backend.stamp()
     }
 
-    /// Tasks submitted but not yet completed.
-    #[deprecated(since = "0.1.0", note = "use `Session::observe().in_flight()`")]
-    pub fn in_flight(&self) -> usize {
-        self.backend.in_flight()
-    }
-
-    /// Tasks held back by the backend's walltime deadline (they will never
-    /// launch; a graceful drain is in progress). See
-    /// [`ExecutionBackend::held_tasks`].
-    #[deprecated(since = "0.1.0", note = "use `Session::observe().held_tasks()`")]
-    pub fn held_tasks(&self) -> usize {
-        self.backend.held_tasks()
-    }
-
-    /// Utilization report up to the current time.
-    #[deprecated(since = "0.1.0", note = "use `Session::observe().utilization()`")]
-    pub fn utilization(&self) -> UtilizationReport {
-        self.backend.utilization()
-    }
-
-    /// Pilot phase breakdown so far.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Session::observe().phase_breakdown()`"
-    )]
-    pub fn phase_breakdown(&self) -> PhaseBreakdown {
-        self.backend.phase_breakdown()
-    }
-
     /// Borrow the backend (e.g. for simulated-backend-specific series).
     pub fn backend(&self) -> &B {
         &self.backend
@@ -302,25 +280,4 @@ mod tests {
         assert!(!s.telemetry().enabled());
     }
 
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_probes_agree_with_observe() {
-        let mut s = session(2);
-        for i in 0..3 {
-            s.submit(TaskDescription::new(
-                format!("t{i}"),
-                ResourceRequest::cores(1),
-                SimDuration::from_secs(5),
-            ));
-        }
-        let _ = s.drain();
-        let obs = s.observe();
-        assert_eq!(obs.in_flight(), s.in_flight());
-        assert_eq!(obs.held_tasks(), s.held_tasks());
-        assert_eq!(obs.utilization().tasks, s.utilization().tasks);
-        assert_eq!(
-            obs.phase_breakdown().tasks_executed,
-            s.phase_breakdown().tasks_executed
-        );
-    }
 }

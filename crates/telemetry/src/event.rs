@@ -58,6 +58,9 @@ pub enum SpanCat {
     /// Control-plane resilience: heartbeat suspicion/resync, lease
     /// expiries, fenced completions, dedup hits.
     Control,
+    /// Multi-tenant campaign service: admissions, campaign lifetimes,
+    /// fair-share boosts, preemption sweeps.
+    Service,
 }
 
 impl SpanCat {
@@ -77,6 +80,7 @@ impl SpanCat {
             SpanCat::Hedge => "hedge",
             SpanCat::Quarantine => "quarantine",
             SpanCat::Control => "control",
+            SpanCat::Service => "service",
         }
     }
 }

@@ -67,6 +67,11 @@ pub mod track {
     pub fn pipeline(id: u64) -> i64 {
         100 + id as i64
     }
+
+    /// The per-campaign track (multi-tenant campaign service).
+    pub fn campaign(id: u64) -> i64 {
+        1_000_000 + id as i64
+    }
 }
 
 /// Shared state behind an enabled handle.

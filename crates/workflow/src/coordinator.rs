@@ -27,13 +27,52 @@ use impress_telemetry::{track, SpanCat, SpanId, Telemetry};
 use std::collections::{HashMap, VecDeque};
 
 /// A read-only snapshot handed to the decision engine.
+///
+/// Fields are private by design: the view is the decision engine's *only*
+/// window into coordinator state, so its surface is the exact contract of
+/// what adaptive policies may observe — time, the pipeline ledger, and
+/// utilization. Anything not exposed here (journals, routing tables, the
+/// session) is deliberately out of reach of decision callbacks.
 pub struct CoordinatorView<'a> {
+    now: SimTime,
+    registry: &'a Registry,
+    util: &'a dyn UtilSource,
+    cached_util: std::cell::OnceCell<impress_pilot::UtilizationReport>,
+}
+
+/// Object-safe utilization access, so the type-erased view can read it
+/// lazily without growing a backend type parameter.
+trait UtilSource {
+    fn utilization(&self) -> impress_pilot::UtilizationReport;
+}
+
+impl<B: ExecutionBackend> UtilSource for Session<B> {
+    fn utilization(&self) -> impress_pilot::UtilizationReport {
+        self.backend().utilization()
+    }
+}
+
+impl<'a> CoordinatorView<'a> {
     /// Current backend time.
-    pub now: SimTime,
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
     /// The pipeline ledger.
-    pub registry: &'a Registry,
+    pub fn registry(&self) -> &'a Registry {
+        self.registry
+    }
+
     /// Utilization so far.
-    pub utilization: impress_pilot::UtilizationReport,
+    ///
+    /// Computed on first read and cached for the view's lifetime. The
+    /// report walks every device's busy intervals, so engines that never
+    /// look at utilization pay nothing — at service scale (thousands of
+    /// campaigns sharing one big cluster, one view per terminal event)
+    /// an eager report here dominated the whole run's wall time.
+    pub fn utilization(&self) -> &impress_pilot::UtilizationReport {
+        self.cached_util.get_or_init(|| self.util.utilization())
+    }
 }
 
 /// The write-ahead journal plus the outcome encoder the coordinator needs
@@ -151,6 +190,20 @@ enum RouteState {
     Routed(PipelineId),
     /// Completion already consumed — an exact replay is deduped.
     Consumed,
+}
+
+/// What one [`Coordinator::try_step`] call achieved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryStep {
+    /// Progress was made without waiting: pipelines started, a completion
+    /// routed, or the decision engine spawned a new round.
+    Progressed,
+    /// Nothing is available at the current instant — every live pipeline
+    /// is waiting on in-flight work. Someone must advance the clock (a
+    /// blocking [`Coordinator::step`], or the shared cluster's pump).
+    Blocked,
+    /// The campaign reached a terminal state (finished or drained).
+    Terminal,
 }
 
 /// The pipelines coordinator. `O` is the pipeline outcome type.
@@ -406,11 +459,11 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
                 // Decision point: the adaptive engine may spawn sub-pipelines.
                 let spawns = {
                     let d = self.decision_span("on-pipeline-complete");
-                    let obs = self.session.observe();
                     let view = CoordinatorView {
-                        now: obs.at(),
+                        now: self.session.now(),
                         registry: &self.registry,
-                        utilization: *obs.utilization(),
+                        util: &self.session,
+                        cached_util: std::cell::OnceCell::new(),
                     };
                     let spawns = self.decision.on_pipeline_complete(id, &outcome, &view);
                     self.telemetry.end(d, self.session.stamp());
@@ -438,11 +491,11 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
                 self.telemetry.count("pipelines_aborted", 1);
                 let spawns = {
                     let d = self.decision_span("on-pipeline-aborted");
-                    let obs = self.session.observe();
                     let view = CoordinatorView {
-                        now: obs.at(),
+                        now: self.session.now(),
                         registry: &self.registry,
-                        utilization: *obs.utilization(),
+                        util: &self.session,
+                        cached_util: std::cell::OnceCell::new(),
                     };
                     let spawns = self.decision.on_pipeline_aborted(id, &reason, &view);
                     self.telemetry.end(d, self.session.stamp());
@@ -571,11 +624,11 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
             );
             let spawns = {
                 let d = self.decision_span("on-task-poisoned");
-                let obs = self.session.observe();
                 let view = CoordinatorView {
-                    now: obs.at(),
+                    now: self.session.now(),
                     registry: &self.registry,
-                    utilization: *obs.utilization(),
+                    util: &self.session,
+                    cached_util: std::cell::OnceCell::new(),
                 };
                 let spawns =
                     self.decision
@@ -633,41 +686,82 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
                 self.route(c);
                 true
             }
-            None => {
-                // A walltime deadline made the backend hold tasks it
-                // could not finish in time: the session has drained its
-                // in-flight work and will launch nothing further. Stop
-                // here — the journal holds everything a resume needs.
-                if self.session.observe().held_tasks() > 0 {
-                    self.drained = true;
-                    return false;
-                }
-                // Workload drained. Give the engine a chance to start
-                // another round; otherwise we are done.
-                let spawns = {
-                    let d = self.decision_span("on-all-idle");
-                    let obs = self.session.observe();
-                    let view = CoordinatorView {
-                        now: obs.at(),
-                        registry: &self.registry,
-                        utilization: *obs.utilization(),
-                    };
-                    let spawns = self.decision.on_all_idle(&view);
-                    self.telemetry.end(d, self.session.stamp());
-                    spawns
-                };
-                if spawns.is_empty() && self.to_start.is_empty() {
-                    assert_eq!(
-                        self.registry.live_count(),
-                        0,
-                        "drained backend but pipelines still live (stuck stage?)"
-                    );
-                    return false;
-                }
-                self.apply_spawns(spawns);
-                true
-            }
+            None => self.idle_transition(),
         }
+    }
+
+    /// The backend-has-nothing transition shared by [`Coordinator::step`]
+    /// and [`Coordinator::try_step`]. Returns whether the campaign is
+    /// still alive.
+    fn idle_transition(&mut self) -> bool {
+        // A walltime deadline made the backend hold tasks it could not
+        // finish in time: the session has drained its in-flight work and
+        // will launch nothing further. Stop here — the journal holds
+        // everything a resume needs.
+        if self.session.backend().held_tasks() > 0 {
+            self.drained = true;
+            return false;
+        }
+        // Workload drained. Give the engine a chance to start another
+        // round; otherwise we are done.
+        let spawns = {
+            let d = self.decision_span("on-all-idle");
+            let view = CoordinatorView {
+                now: self.session.now(),
+                registry: &self.registry,
+                util: &self.session,
+                cached_util: std::cell::OnceCell::new(),
+            };
+            let spawns = self.decision.on_all_idle(&view);
+            self.telemetry.end(d, self.session.stamp());
+            spawns
+        };
+        if spawns.is_empty() && self.to_start.is_empty() {
+            assert_eq!(
+                self.registry.live_count(),
+                0,
+                "drained backend but pipelines still live (stuck stage?)"
+            );
+            return false;
+        }
+        self.apply_spawns(spawns);
+        true
+    }
+
+    /// Advance the campaign as far as it can go *without waiting*: start
+    /// pending pipelines, then route one completion the backend already
+    /// has available ([`Session::poll_next`]). Unlike
+    /// [`Coordinator::step`], this never advances the backend clock — the
+    /// primitive a multiplexing driver needs to keep many campaigns on one
+    /// shared cluster maximally concurrent: every campaign with progress
+    /// to make at the current instant is stepped before anyone waits.
+    ///
+    /// [`Session::poll_next`]: impress_pilot::Session::poll_next
+    pub fn try_step(&mut self) -> TryStep {
+        let started = !self.to_start.is_empty();
+        self.start_pending();
+        if let Some(c) = self.session.poll_next() {
+            self.route(c);
+            return TryStep::Progressed;
+        }
+        if started {
+            return TryStep::Progressed;
+        }
+        if self.session.backend().in_flight() > 0 {
+            return TryStep::Blocked;
+        }
+        if self.idle_transition() {
+            TryStep::Progressed
+        } else {
+            TryStep::Terminal
+        }
+    }
+
+    /// Whether pipelines are queued to begin on the next step (roots added
+    /// since the last one, or decision-engine spawns not yet started) —
+    /// i.e. [`Coordinator::try_step`] is guaranteed to make progress.
+    pub fn has_pending_starts(&self) -> bool {
+        !self.to_start.is_empty()
     }
 
     /// Drive every pipeline (and everything the decision engine spawns) to
@@ -732,9 +826,26 @@ impl<O: 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinator<O, B, D>
         &self.session
     }
 
-    /// Consume the coordinator, returning outcomes and the session.
+    /// Consume the coordinator, handing ownership of its results and its
+    /// session back to the caller.
+    ///
+    /// Ownership handoff contract: after this call the coordinator is gone
+    /// — its registry, event log, journal handle, and routing state are
+    /// dropped. What survives is exactly what a *caller that owns the
+    /// campaign's aftermath* needs: the terminal outcomes, the aborts, and
+    /// the live [`Session`] (whose backend keeps its full utilization and
+    /// phase history, so post-run accounting still works). The session is
+    /// returned *hot*: any tasks the campaign left in flight are still in
+    /// flight, which is what lets a service layer recycle the backend for
+    /// the next campaign or drain it on its own schedule. Callers that
+    /// need the event log or registry must read them (or clone what they
+    /// need) *before* consuming the coordinator.
     pub fn into_parts(self) -> CoordinatorParts<O, B> {
-        (self.outcomes, self.aborts, self.session)
+        CoordinatorParts {
+            outcomes: self.outcomes,
+            aborts: self.aborts,
+            session: self.session,
+        }
     }
 }
 
@@ -797,9 +908,16 @@ impl<O: FromJson + 'static, B: ExecutionBackend, D: DecisionEngine<O>> Coordinat
     }
 }
 
-/// What [`Coordinator::into_parts`] returns: completed outcomes, aborted
-/// pipelines with reasons, and the underlying session.
-pub type CoordinatorParts<O, B> = (Vec<(PipelineId, O)>, Vec<(PipelineId, String)>, Session<B>);
+/// What [`Coordinator::into_parts`] returns — see that method's rustdoc
+/// for the ownership handoff contract.
+pub struct CoordinatorParts<O, B: ExecutionBackend> {
+    /// Completed pipeline outcomes, in completion order.
+    pub outcomes: Vec<(PipelineId, O)>,
+    /// Aborted pipelines and their reasons.
+    pub aborts: Vec<(PipelineId, String)>,
+    /// The session, still owning the backend (and any in-flight work).
+    pub session: Session<B>,
+}
 
 #[cfg(test)]
 mod tests {
@@ -914,7 +1032,7 @@ mod tests {
             _outcome: &u64,
             view: &CoordinatorView<'_>,
         ) -> Vec<Spawn<u64>> {
-            if view.registry.get(id).parent.is_some() || self.spawned >= 2 {
+            if view.registry().get(id).parent.is_some() || self.spawned >= 2 {
                 return Vec::new();
             }
             self.spawned += 1;
@@ -1255,7 +1373,7 @@ mod tests {
             c
         };
         assert!(drained.drained(), "deadline must force a drain");
-        assert!(drained.session().held_tasks() > 0);
+        assert!(drained.session().observe().held_tasks() > 0);
         assert!(drained.outcomes().len() < reference.outcomes().len());
         // Resume on a fresh, deadline-free backend.
         let plan = load_plan(&store).unwrap().plan;

@@ -82,6 +82,43 @@ pub trait DecisionEngine<O> {
     }
 }
 
+/// Boxed engines forward, so a service that stores heterogeneous
+/// campaigns can drive `Coordinator<O, B, Box<dyn DecisionEngine<O>>>`
+/// without a wrapper type.
+impl<O> DecisionEngine<O> for Box<dyn DecisionEngine<O>> {
+    fn on_pipeline_complete(
+        &mut self,
+        id: PipelineId,
+        outcome: &O,
+        view: &CoordinatorView<'_>,
+    ) -> Vec<Spawn<O>> {
+        (**self).on_pipeline_complete(id, outcome, view)
+    }
+
+    fn on_pipeline_aborted(
+        &mut self,
+        id: PipelineId,
+        reason: &str,
+        view: &CoordinatorView<'_>,
+    ) -> Vec<Spawn<O>> {
+        (**self).on_pipeline_aborted(id, reason, view)
+    }
+
+    fn on_all_idle(&mut self, view: &CoordinatorView<'_>) -> Vec<Spawn<O>> {
+        (**self).on_all_idle(view)
+    }
+
+    fn on_task_poisoned(
+        &mut self,
+        id: PipelineId,
+        task: u64,
+        distinct_nodes: u32,
+        view: &CoordinatorView<'_>,
+    ) -> Vec<Spawn<O>> {
+        (**self).on_task_poisoned(id, task, distinct_nodes, view)
+    }
+}
+
 /// The null engine: never spawns anything (the CONT-V behaviour of running
 /// exactly the submitted workload).
 #[derive(Debug, Default, Clone, Copy)]

@@ -34,6 +34,10 @@
 //!   coordinator state transitions with snapshot compaction, and the replay
 //!   plan [`Coordinator::resume`] uses to reconstruct an interrupted
 //!   campaign byte-identically.
+//! * [`service`] — the multi-tenant campaign service: thousands of
+//!   concurrent campaigns behind a typed submission API, multiplexed over
+//!   one shared cluster with admission control, per-tenant quotas, weighted
+//!   fair share and priority preemption.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -47,9 +51,10 @@ pub mod linear;
 pub mod pipeline;
 pub mod registry;
 pub mod report;
+pub mod service;
 pub mod stage;
 
-pub use coordinator::{Coordinator, CoordinatorView};
+pub use coordinator::{Coordinator, CoordinatorParts, CoordinatorView, TryStep};
 pub use dag::{DagBuilder, DagPipeline};
 pub use decision::{DecisionEngine, NoDecisions};
 pub use events::{Event, EventKind, EventLog};
@@ -61,4 +66,8 @@ pub use linear::LinearPipeline;
 pub use pipeline::{BoxedPipeline, PipelineId, PipelineLogic, PipelineState};
 pub use registry::Registry;
 pub use report::RunReport;
+pub use service::{
+    AdmissionError, CampaignHandle, CampaignResult, CampaignService, CampaignSpec, CampaignStatus,
+    TenantId, TenantQuota,
+};
 pub use stage::Step;

@@ -1,0 +1,344 @@
+//! Multi-tenant campaign service, end to end: campaign outcomes under the
+//! service are bit-identical to the same campaigns run serially with the
+//! same seeds (isolation is real, not statistical); a single-campaign
+//! service is behaviorally identical to a bare coordinator; and one
+//! tenant's journaled campaign killed mid-run resumes — byte-identically —
+//! in a fresh service while other tenants' campaigns run to completion.
+
+use impress_pilot::backend::SimulatedBackend;
+use impress_pilot::{
+    Completion, NodeSpec, PilotConfig, PlacementPolicy, ResourceRequest, TaskDescription,
+};
+use impress_sim::SimDuration;
+use impress_workflow::journal::{load_plan, Journal, MemoryJournal};
+use impress_workflow::service::{CampaignService, CampaignSpec, CampaignStatus, TenantId, TenantQuota};
+use impress_workflow::decision::Spawn;
+use impress_workflow::{
+    BoxedPipeline, Coordinator, CoordinatorView, DecisionEngine, PipelineId, PipelineLogic, Step,
+};
+
+fn pilot(cores: u32, nodes: u32) -> PilotConfig {
+    PilotConfig {
+        node: NodeSpec::new(cores, 2, 64),
+        nodes,
+        policy: PlacementPolicy::Backfill,
+        bootstrap: SimDuration::from_secs(10),
+        exec_setup_per_task: SimDuration::from_secs(1),
+        seed: 0,
+    }
+}
+
+/// A deterministic pipeline: `stages` sequential tasks whose durations and
+/// outputs are pure functions of `seed`, outcome = sum of task outputs.
+/// Timing-independent by construction, so outcomes must not change no
+/// matter who shares the cluster.
+struct Chain {
+    seed: u64,
+    stages: u64,
+    step: u64,
+    acc: u64,
+}
+
+impl Chain {
+    fn new(seed: u64) -> Self {
+        Chain {
+            seed,
+            stages: 1 + seed % 3,
+            step: 0,
+            acc: 0,
+        }
+    }
+
+    fn boxed(seed: u64) -> BoxedPipeline<u64> {
+        Box::new(Chain::new(seed))
+    }
+
+    fn next(&mut self) -> Step<u64> {
+        if self.step == self.stages {
+            return Step::Complete(self.acc);
+        }
+        self.step += 1;
+        let (seed, step) = (self.seed, self.step);
+        Step::run(
+            TaskDescription::new(
+                format!("chain-{seed}-{step}"),
+                ResourceRequest::cores(1),
+                SimDuration::from_secs(1 + (seed * 7 + step) % 5),
+            )
+            .with_work(move || seed.wrapping_mul(31).wrapping_add(step)),
+        )
+    }
+}
+
+impl PipelineLogic<u64> for Chain {
+    fn name(&self) -> String {
+        format!("chain-{}", self.seed)
+    }
+    fn begin(&mut self) -> Step<u64> {
+        self.next()
+    }
+    fn stage_done(&mut self, completions: Vec<Completion>) -> Step<u64> {
+        for c in completions {
+            self.acc = self.acc.wrapping_add(c.output::<u64>());
+        }
+        self.next()
+    }
+}
+
+/// An adaptive engine whose spawning decision is a pure function of
+/// outcome values and lineage depth (never of timing, arrival order, or
+/// cluster state): every completed pipeline whose outcome is divisible by
+/// 3 spawns one child seeded from it, down to a fixed ancestry depth.
+///
+/// Depth — read off the registry's parent links — matters: a shared
+/// mutable budget would leak *arrival order* into the outcome set, and
+/// the order in which a campaign's own concurrent pipelines finish
+/// legitimately shifts with cluster shape and neighbor load. This test
+/// exists to prove neighbors cannot shift *what* a campaign computes, so
+/// its decision logic must depend only on the (unordered) outcome set.
+struct SpawnOnMultiples {
+    max_depth: u32,
+}
+
+impl DecisionEngine<u64> for SpawnOnMultiples {
+    fn on_pipeline_complete(
+        &mut self,
+        id: PipelineId,
+        outcome: &u64,
+        view: &CoordinatorView<'_>,
+    ) -> Vec<Spawn<u64>> {
+        let mut depth = 0;
+        let mut cur = id;
+        while let Some(parent) = view.registry().get(cur).parent {
+            depth += 1;
+            cur = parent;
+        }
+        if depth >= self.max_depth || outcome % 3 != 0 {
+            return Vec::new();
+        }
+        vec![Spawn::sub_of(id, Chain::boxed(outcome / 3 + 1))]
+    }
+}
+
+/// One campaign's identity: its root seeds and its spawn depth limit.
+#[derive(Clone)]
+struct Campaign {
+    roots: Vec<u64>,
+    max_depth: u32,
+}
+
+fn campaigns(n: u64) -> Vec<Campaign> {
+    (0..n)
+        .map(|i| Campaign {
+            roots: (0..2 + i % 3).map(|r| i * 100 + r * 13).collect(),
+            max_depth: 2,
+        })
+        .collect()
+}
+
+/// The order-insensitive fingerprint of a campaign's results: sorted
+/// outcome values plus sorted abort reasons. Pipeline *ids* of spawned
+/// sub-pipelines legitimately depend on cross-root completion order (which
+/// neighbors may shift); values may not.
+fn fingerprint(mut outcomes: Vec<u64>, mut aborts: Vec<String>) -> String {
+    outcomes.sort_unstable();
+    aborts.sort();
+    format!("{outcomes:?}|{aborts:?}")
+}
+
+fn run_serial(c: &Campaign, cfg: PilotConfig) -> String {
+    let mut coordinator = Coordinator::new(
+        SimulatedBackend::new(cfg),
+        SpawnOnMultiples {
+            max_depth: c.max_depth,
+        },
+    );
+    for &seed in &c.roots {
+        coordinator.add_pipeline(Chain::boxed(seed));
+    }
+    coordinator.run();
+    fingerprint(
+        coordinator.outcomes().iter().map(|(_, o)| *o).collect(),
+        coordinator
+            .aborts()
+            .iter()
+            .map(|(_, r)| r.clone())
+            .collect(),
+    )
+}
+
+fn spec_for(c: &Campaign, name: &str) -> CampaignSpec<u64> {
+    let mut spec = CampaignSpec::new(name).decision(Box::new(SpawnOnMultiples {
+        max_depth: c.max_depth,
+    }));
+    for &seed in &c.roots {
+        spec = spec.root(Chain::boxed(seed));
+    }
+    spec
+}
+
+/// The determinism props test: N concurrent campaigns under the service —
+/// across several cluster shapes and tenant layouts — produce outcomes
+/// bit-identical to the same N campaigns run serially with the same seeds.
+#[test]
+fn service_campaign_outcomes_are_bit_identical_to_serial_runs() {
+    let all = campaigns(12);
+    let serial: Vec<String> = all
+        .iter()
+        .map(|c| run_serial(c, pilot(4, 1)))
+        .collect();
+
+    // Layouts: (cluster cores/node, nodes, tenant count).
+    for &(cores, nodes, tenants) in &[(4u32, 1u32, 1usize), (8, 2, 3), (2, 1, 12)] {
+        let mut service: CampaignService<u64, _> =
+            CampaignService::new(SimulatedBackend::new(pilot(cores, nodes)));
+        let ids: Vec<TenantId> = (0..tenants)
+            .map(|t| {
+                let id = TenantId::new(format!("tenant-{t}"));
+                service.register_tenant(id.clone(), TenantQuota::unmetered(64));
+                id
+            })
+            .collect();
+        let handles: Vec<_> = all
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                service
+                    .submit(&ids[i % tenants], spec_for(c, &format!("c{i}")))
+                    .expect("admitted")
+            })
+            .collect();
+        service.run();
+        for (i, h) in handles.iter().enumerate() {
+            assert_eq!(service.status(h), CampaignStatus::Completed);
+            let r = service.take_result(h).expect("result");
+            let got = fingerprint(
+                r.outcomes.iter().map(|(_, o)| *o).collect(),
+                r.aborts.iter().map(|(_, e)| e.clone()).collect(),
+            );
+            assert_eq!(
+                got, serial[i],
+                "campaign {i} diverged under {cores}x{nodes} cores, {tenants} tenants"
+            );
+        }
+    }
+}
+
+/// A single-campaign service is behaviorally identical to a bare
+/// coordinator on the same backend: same outcomes AND the same virtual
+/// makespan (the service adds no timing perturbation when there is no
+/// contention — fair-share boost is exactly 0 for a lone tenant).
+#[test]
+fn single_campaign_service_matches_a_bare_coordinator_exactly() {
+    let c = Campaign {
+        roots: vec![3, 14, 15],
+        max_depth: 3,
+    };
+    let mut bare = Coordinator::new(
+        SimulatedBackend::new(pilot(4, 1)),
+        SpawnOnMultiples {
+            max_depth: c.max_depth,
+        },
+    );
+    for &seed in &c.roots {
+        bare.add_pipeline(Chain::boxed(seed));
+    }
+    bare.run();
+    let bare_now = bare.session().now();
+    let bare_fp = fingerprint(
+        bare.outcomes().iter().map(|(_, o)| *o).collect(),
+        Vec::new(),
+    );
+
+    let mut service: CampaignService<u64, _> =
+        CampaignService::new(SimulatedBackend::new(pilot(4, 1)));
+    let t = TenantId::new("solo");
+    service.register_tenant(t.clone(), TenantQuota::unmetered(1));
+    let h = service.submit(&t, spec_for(&c, "solo-c")).unwrap();
+    service.run();
+    let r = service.take_result(&h).unwrap();
+    assert_eq!(
+        fingerprint(r.outcomes.iter().map(|(_, o)| *o).collect(), Vec::new()),
+        bare_fp
+    );
+    assert_eq!(
+        service.now(),
+        bare_now,
+        "a lone campaign must see the exact same virtual timeline"
+    );
+}
+
+/// Kill-and-resume under multi-tenancy: tenant A's journaled campaign is
+/// killed mid-run (the kill switch panics out of the service, like an
+/// allocation preemption taking the node down); a fresh service resumes A
+/// from the surviving journal while tenants B and C run their campaigns to
+/// completion, and A's outcomes are byte-identical to an uninterrupted
+/// solo run.
+#[test]
+fn journaled_campaign_resumes_in_a_fresh_service_while_others_keep_running() {
+    let a = Campaign {
+        roots: vec![9, 21, 30, 45],
+        max_depth: 3,
+    };
+    let b = Campaign {
+        roots: vec![7, 11],
+        max_depth: 1,
+    };
+    let c = Campaign {
+        roots: vec![500, 501, 502],
+        max_depth: 2,
+    };
+    let baseline = run_serial(&a, pilot(8, 1));
+
+    // First life: A journaled with a kill switch, B and C along for the
+    // ride. The kill panics out of `run`, taking the whole service with it
+    // — exactly what a crashed allocation looks like.
+    let store = MemoryJournal::new();
+    let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut service: CampaignService<u64, _> =
+            CampaignService::new(SimulatedBackend::new(pilot(8, 1)));
+        for name in ["A", "B", "C"] {
+            service.register_tenant(TenantId::new(name), TenantQuota::unmetered(8));
+        }
+        let journal = Journal::new(Box::new(store.clone()), "svc-A", 77)
+            .expect("journal")
+            .with_kill_after(10);
+        service
+            .submit(&TenantId::new("A"), spec_for(&a, "a").journal(journal))
+            .unwrap();
+        service.submit(&TenantId::new("B"), spec_for(&b, "b")).unwrap();
+        service.submit(&TenantId::new("C"), spec_for(&c, "c")).unwrap();
+        service.run();
+    }));
+    assert!(crashed.is_err(), "kill switch must fire mid-service");
+
+    // Second life: resume A from the surviving journal; B and C restart
+    // fresh (they were not journaled) and keep running alongside.
+    let plan = load_plan(&store).expect("surviving journal must load").plan;
+    let mut service: CampaignService<u64, _> =
+        CampaignService::new(SimulatedBackend::new(pilot(8, 1)));
+    for name in ["A", "B", "C"] {
+        service.register_tenant(TenantId::new(name), TenantQuota::unmetered(8));
+    }
+    let ha = service
+        .submit(&TenantId::new("A"), spec_for(&a, "a").resume_from(plan))
+        .unwrap();
+    let hb = service.submit(&TenantId::new("B"), spec_for(&b, "b")).unwrap();
+    let hc = service.submit(&TenantId::new("C"), spec_for(&c, "c")).unwrap();
+    service.run();
+    for h in [&ha, &hb, &hc] {
+        assert_eq!(service.status(h), CampaignStatus::Completed);
+    }
+    let ra = service.take_result(&ha).unwrap();
+    assert_eq!(
+        fingerprint(
+            ra.outcomes.iter().map(|(_, o)| *o).collect(),
+            ra.aborts.iter().map(|(_, e)| e.clone()).collect(),
+        ),
+        baseline,
+        "resumed campaign must regenerate the uninterrupted outcomes"
+    );
+    // B and C finished on the shared cluster with real work delivered.
+    assert!(service.take_result(&hb).unwrap().usage.core_seconds > 0.0);
+    assert!(service.take_result(&hc).unwrap().usage.core_seconds > 0.0);
+}
